@@ -1,0 +1,91 @@
+//! E7 — Recycling-cache behaviour: warm-query latency as the byte budget
+//! shrinks below the working set, plus raw cache op throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyetl_bench::{scale_repo, selectivity_query, ScaleName};
+use lazyetl_core::{RecyclingCache, Warehouse, WarehouseConfig};
+use lazyetl_mseed::Timestamp;
+use lazyetl_store::{ColumnData, Column, Schema, Field, DataType, Table};
+use std::sync::Arc;
+
+fn bench_cache_budgets(c: &mut Criterion) {
+    let dir = scale_repo(ScaleName::Small);
+    let sql = selectivity_query(3);
+    // Size the working set once.
+    let mut probe = Warehouse::open_lazy(
+        &dir,
+        WarehouseConfig {
+            auto_refresh: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    probe.query(&sql).unwrap();
+    let working_set = probe.cache_snapshot().used_bytes;
+    drop(probe);
+
+    let mut group = c.benchmark_group("cache_budget");
+    group.sample_size(10);
+    for (label, budget) in [
+        ("fits", working_set * 2),
+        ("half", working_set / 2),
+        ("tenth", working_set / 10),
+    ] {
+        let mut wh = Warehouse::open_lazy(
+            &dir,
+            WarehouseConfig {
+                cache_budget_bytes: budget,
+                auto_refresh: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        wh.query(&sql).unwrap(); // populate
+        group.bench_with_input(BenchmarkId::new("warm_query", label), &sql, |b, sql| {
+            b.iter(|| wh.query(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ops(c: &mut Criterion) {
+    // Raw insert/get/evict throughput on synthetic entries.
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]).unwrap();
+    let entry_rows = 1000usize;
+    let table = Arc::new(
+        Table::new(
+            schema,
+            vec![Column::new(ColumnData::Float64(vec![1.0; entry_rows]))],
+        )
+        .unwrap(),
+    );
+    let entry_bytes = table.byte_size();
+    let mt = Timestamp(1);
+    let mut group = c.benchmark_group("cache_ops");
+    group.sample_size(20);
+    group.bench_function("insert_evict_cycle", |b| {
+        // Budget of 100 entries: every insert past 100 evicts one.
+        let mut cache = RecyclingCache::new(entry_bytes * 100);
+        let mut i = 0i64;
+        b.iter(|| {
+            cache.insert((i, 0), table.clone(), mt);
+            i += 1;
+        })
+    });
+    group.bench_function("hit", |b| {
+        let mut cache = RecyclingCache::new(entry_bytes * 100);
+        for i in 0..100i64 {
+            cache.insert((i, 0), table.clone(), mt);
+        }
+        let mut i = 0i64;
+        b.iter(|| {
+            let r = cache.get((i % 100, 0), mt);
+            i += 1;
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_budgets, bench_cache_ops);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Microbenchmarks of the Steim codecs and plain encodings — the cost
+//! eager ETL pays per payload and lazy ETL defers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lazyetl_mseed::encoding::{decode, encode, DataEncoding, SamplesRef};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn waveform(n: usize) -> Vec<i32> {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut v = Vec::with_capacity(n);
+    let mut noise = 0.0f64;
+    for i in 0..n {
+        noise = 0.92 * noise + rng.gen_range(-40.0..40.0);
+        let event = if i > n / 2 {
+            let t = (i - n / 2) as f64 / 40.0;
+            2000.0 * (-t / 5.0).exp() * (8.0 * t).sin()
+        } else {
+            0.0
+        };
+        v.push((noise + event) as i32);
+    }
+    v
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let samples = waveform(100_000);
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    for enc in [
+        DataEncoding::Steim1,
+        DataEncoding::Steim2,
+        DataEncoding::Int32,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("encode", enc.name()),
+            &enc,
+            |b, &enc| {
+                b.iter(|| {
+                    encode(enc, &SamplesRef::Ints(black_box(&samples)), 0, 1 << 22).unwrap()
+                })
+            },
+        );
+        let encoded = encode(enc, &SamplesRef::Ints(&samples), 0, 1 << 22).unwrap();
+        assert_eq!(encoded.samples_encoded, samples.len());
+        group.bench_with_input(
+            BenchmarkId::new("decode", enc.name()),
+            &enc,
+            |b, &enc| {
+                b.iter(|| decode(enc, black_box(&encoded.bytes), samples.len()).unwrap())
+            },
+        );
+    }
+    group.finish();
+
+    // Compression ratios as a side effect worth printing once.
+    for enc in [DataEncoding::Steim1, DataEncoding::Steim2] {
+        let encoded = encode(enc, &SamplesRef::Ints(&samples), 0, 1 << 22).unwrap();
+        eprintln!(
+            "[info] {} compresses {} samples to {} bytes ({:.2} bits/sample)",
+            enc.name(),
+            samples.len(),
+            encoded.bytes.len(),
+            encoded.bytes.len() as f64 * 8.0 / samples.len() as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

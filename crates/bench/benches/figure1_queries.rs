@@ -1,0 +1,45 @@
+//! E3 — The paper's Figure-1 queries: eager resident vs lazy cold vs lazy
+//! warm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lazyetl_bench::{scale_repo, ScaleName, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl_core::{Warehouse, WarehouseConfig};
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn bench_figure1(c: &mut Criterion) {
+    let dir = scale_repo(ScaleName::Small);
+    let mut group = c.benchmark_group("figure1");
+    group.sample_size(10);
+    for (name, sql) in [("q1", FIGURE1_Q1), ("q2", FIGURE1_Q2)] {
+        // Eager: load once outside the measurement, query repeatedly.
+        let mut eager = Warehouse::open_eager(&dir, cfg()).unwrap();
+        group.bench_with_input(BenchmarkId::new("eager_resident", name), &sql, |b, sql| {
+            b.iter(|| eager.query(sql).unwrap())
+        });
+        // Lazy cold: fresh warehouse per iteration (cache empty), metadata
+        // load excluded via iter_batched setup.
+        group.bench_with_input(BenchmarkId::new("lazy_cold", name), &sql, |b, sql| {
+            b.iter_batched(
+                || Warehouse::open_lazy(&dir, cfg()).unwrap(),
+                |mut wh| wh.query(sql).unwrap(),
+                BatchSize::PerIteration,
+            )
+        });
+        // Lazy warm: one warehouse, cache populated by a warm-up query.
+        let mut warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
+        warm.query(sql).unwrap();
+        group.bench_with_input(BenchmarkId::new("lazy_warm", name), &sql, |b, sql| {
+            b.iter(|| warm.query(sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E1 — Initial loading: eager vs lazy across repository sizes.
+//!
+//! The paper's headline: lazy initial loading touches only metadata, so it
+//! is orders of magnitude cheaper and nearly independent of payload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyetl_bench::{scale_repo, ScaleName};
+use lazyetl_core::{Warehouse, WarehouseConfig};
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn bench_initial_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("initial_load");
+    group.sample_size(10);
+    for scale in [ScaleName::Tiny, ScaleName::Small, ScaleName::Medium] {
+        let dir = scale_repo(scale);
+        group.bench_with_input(
+            BenchmarkId::new("lazy", scale.label()),
+            &dir,
+            |b, dir| b.iter(|| Warehouse::open_lazy(dir, cfg()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eager", scale.label()),
+            &dir,
+            |b, dir| b.iter(|| Warehouse::open_eager(dir, cfg()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_initial_load);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 — Selectivity sweep: lazy cold-query cost as the touched fraction of
+//! the repository grows (1 of 5 stations .. all 5), against the eager
+//! resident query. Shows the §3.1 worst case: at selectivity 1 lazy
+//! degenerates toward eager-load cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lazyetl_bench::{scale_repo, selectivity_query, ScaleName};
+use lazyetl_core::{Warehouse, WarehouseConfig};
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn bench_selectivity(c: &mut Criterion) {
+    let dir = scale_repo(ScaleName::Small);
+    let mut group = c.benchmark_group("selectivity");
+    group.sample_size(10);
+    let mut eager = Warehouse::open_eager(&dir, cfg()).unwrap();
+    for k in [1usize, 2, 3, 4, 5] {
+        let sql = selectivity_query(k);
+        group.bench_with_input(
+            BenchmarkId::new("lazy_cold", format!("{k}of5")),
+            &sql,
+            |b, sql| {
+                b.iter_batched(
+                    || Warehouse::open_lazy(&dir, cfg()).unwrap(),
+                    |mut wh| wh.query(sql).unwrap(),
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eager_resident", format!("{k}of5")),
+            &sql,
+            |b, sql| b.iter(|| eager.query(sql).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectivity);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E9 — The demo's analysis workload: STA/LTA event hunting end to end,
+//! plus the raw detector throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use lazyetl_bench::{scale_repo, ScaleName};
+use lazyetl_core::{hunt_events, sta_lta, StaLtaConfig, Warehouse, WarehouseConfig};
+use std::hint::black_box;
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn bench_hunt(c: &mut Criterion) {
+    let dir = scale_repo(ScaleName::Tiny);
+    let detector = StaLtaConfig {
+        threshold: 3.5,
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("sta_lta_hunt");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("end_to_end", "lazy_cold"), |b| {
+        b.iter_batched(
+            || Warehouse::open_lazy(&dir, cfg()).unwrap(),
+            |mut wh| {
+                hunt_events(
+                    &mut wh, "ISK", "BHE",
+                    "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+                )
+                .unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let mut warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
+    hunt_events(
+        &mut warm, "ISK", "BHE",
+        "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+    )
+    .unwrap();
+    group.bench_function(BenchmarkId::new("end_to_end", "lazy_warm"), |b| {
+        b.iter(|| {
+            hunt_events(
+                &mut warm, "ISK", "BHE",
+                "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_detector(c: &mut Criterion) {
+    // Pure detector throughput on an in-memory signal.
+    let n = 1_000_000usize;
+    let rate = 40.0;
+    let samples: Vec<(i64, f64)> = (0..n)
+        .map(|i| {
+            let noise = ((i * 2_654_435_761) % 1000) as f64 / 50.0 - 10.0;
+            (i as i64 * 25_000, noise)
+        })
+        .collect();
+    let cfg = StaLtaConfig::default();
+    let mut group = c.benchmark_group("sta_lta_detector");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("1M_samples", |b| {
+        b.iter(|| sta_lta(black_box(&samples), rate, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hunt, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E5 — Time from source-data availability to first query answer:
+//! (load + first query) for eager vs lazy. The paper's "significant
+//! reduction of the overall time from source data availability to query
+//! answer".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lazyetl_bench::{scale_repo, ScaleName, FIGURE1_Q1, METADATA_QUERY};
+use lazyetl_core::{Warehouse, WarehouseConfig};
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn bench_time_to_insight(c: &mut Criterion) {
+    let dir = scale_repo(ScaleName::Small);
+    let mut group = c.benchmark_group("time_to_insight");
+    group.sample_size(10);
+    for (name, sql) in [("metadata", METADATA_QUERY), ("figure1_q1", FIGURE1_Q1)] {
+        group.bench_with_input(BenchmarkId::new("lazy", name), &sql, |b, sql| {
+            b.iter(|| {
+                let mut wh = Warehouse::open_lazy(&dir, cfg()).unwrap();
+                wh.query(sql).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eager", name), &sql, |b, sql| {
+            b.iter(|| {
+                let mut wh = Warehouse::open_eager(&dir, cfg()).unwrap();
+                wh.query(sql).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_to_insight);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! E6 — Update handling: next-query cost after a repository change, lazy
+//! refresh vs eager re-extraction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lazyetl_bench::{mutable_copy, scale_repo, ScaleName, METADATA_QUERY};
+use lazyetl_core::{Warehouse, WarehouseConfig};
+use lazyetl_repo::{updates, Repository};
+use std::path::PathBuf;
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: true,
+        ..Default::default()
+    }
+}
+
+/// One benchmark iteration's state: a warehouse attached to a mutable repo
+/// copy in which one file was just appended to.
+struct Prepared {
+    wh: Warehouse,
+    dir: PathBuf,
+}
+
+fn prepare(src: &PathBuf, eager: bool, round: &mut u64) -> Prepared {
+    *round += 1;
+    let dir = mutable_copy(src, &format!("bench_{}_{round}", if eager { "e" } else { "l" }));
+    let mut wh = if eager {
+        Warehouse::open_eager(&dir, cfg()).unwrap()
+    } else {
+        Warehouse::open_lazy(&dir, cfg()).unwrap()
+    };
+    wh.query(METADATA_QUERY).unwrap();
+    let mut repo = Repository::open(&dir).unwrap();
+    let uri = repo
+        .files()
+        .iter()
+        .find(|f| f.uri.contains("BHZ"))
+        .unwrap()
+        .uri
+        .clone();
+    updates::append_records(&mut repo, &uri, 30, *round).unwrap();
+    Prepared { wh, dir }
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let src = scale_repo(ScaleName::Tiny);
+    let mut group = c.benchmark_group("updates");
+    group.sample_size(10);
+    let mut round = 0u64;
+    group.bench_function(BenchmarkId::new("refresh_query", "lazy"), |b| {
+        b.iter_batched(
+            || prepare(&src, false, &mut round),
+            |mut p| {
+                let out = p.wh.query(METADATA_QUERY).unwrap();
+                std::fs::remove_dir_all(&p.dir).ok();
+                out
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let mut round = 1_000_000u64;
+    group.bench_function(BenchmarkId::new("refresh_query", "eager"), |b| {
+        b.iter_batched(
+            || prepare(&src, true, &mut round),
+            |mut p| {
+                let out = p.wh.query(METADATA_QUERY).unwrap();
+                std::fs::remove_dir_all(&p.dir).ok();
+                out
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

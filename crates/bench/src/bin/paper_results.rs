@@ -1,0 +1,588 @@
+//! The experiment harness: regenerates every table/series of the paper's
+//! evaluation narrative (see DESIGN.md, "Experiment inventory").
+//!
+//! ```sh
+//! cargo run --release -p lazyetl-bench --bin paper_results            # all, small scale
+//! cargo run --release -p lazyetl-bench --bin paper_results -- e1 e4   # a subset
+//! cargo run --release -p lazyetl-bench --bin paper_results -- all medium
+//! ```
+//!
+//! Output is markdown-ish text; EXPERIMENTS.md embeds a captured run.
+
+use lazyetl_bench::*;
+use lazyetl_core::{Warehouse, WarehouseConfig};
+use lazyetl_repo::{updates, AccessProfile, Repository};
+use lazyetl_store::persist;
+use std::time::Duration;
+
+fn base_config() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+/// E1: initial loading time, eager vs lazy, sweeping repository size.
+fn e1_initial_load() {
+    let mut rows = Vec::new();
+    for scale in [ScaleName::Tiny, ScaleName::Small, ScaleName::Medium, ScaleName::Large] {
+        let dir = scale_repo(scale);
+        let repo = Repository::open(&dir).expect("repo opens");
+        let files = repo.len();
+        let bytes = repo.total_bytes();
+        drop(repo);
+        let (lazy, t_lazy) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
+        let (eager, t_eager) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+        let wan = AccessProfile::wan();
+        rows.push(vec![
+            scale.label().to_string(),
+            files.to_string(),
+            fmt_bytes(bytes),
+            fmt_dur(t_eager),
+            fmt_dur(t_lazy),
+            format!("{:.0}x", t_eager.as_secs_f64() / t_lazy.as_secs_f64().max(1e-9)),
+            fmt_bytes(eager.load_report().bytes_read),
+            fmt_bytes(lazy.load_report().bytes_read),
+            fmt_dur(wan.cost(eager.load_report().bytes_read) + Duration::from_millis(20) * files as u32),
+            fmt_dur(wan.cost(lazy.load_report().bytes_read) + Duration::from_millis(20) * files as u32),
+        ]);
+    }
+    print_table(
+        "E1 — Initial loading: eager vs lazy (local disk; last two columns model a 20ms/20MBps WAN)",
+        &[
+            "scale", "files", "repo size", "eager load", "lazy load", "speedup",
+            "eager bytes", "lazy bytes", "eager WAN(est)", "lazy WAN(est)",
+        ],
+        &rows,
+    );
+}
+
+/// E2: storage footprint — raw repo vs eager warehouse vs lazy warehouse.
+fn e2_storage(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let repo = Repository::open(&dir).unwrap();
+    let raw = repo.total_bytes();
+    drop(repo);
+    let lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
+    let eager = Warehouse::open_eager(&dir, base_config()).unwrap();
+
+    // On-disk footprint of the eager warehouse: persist all three tables.
+    let persist_dir = std::env::temp_dir().join("lazyetl_e2_persist");
+    std::fs::remove_dir_all(&persist_dir).ok();
+    std::fs::create_dir_all(&persist_dir).unwrap();
+    let mut eager_disk = 0u64;
+    for t in ["files", "records", "data"] {
+        let path = persist_dir.join(format!("{t}.lztb"));
+        persist::save_table(eager.catalog().table(t).unwrap(), &path).unwrap();
+        eager_disk += std::fs::metadata(&path).unwrap().len();
+    }
+    let mut lazy_disk = 0u64;
+    for t in ["files", "records"] {
+        let path = persist_dir.join(format!("lazy_{t}.lztb"));
+        persist::save_table(lazy.catalog().table(t).unwrap(), &path).unwrap();
+        lazy_disk += std::fs::metadata(&path).unwrap().len();
+    }
+    std::fs::remove_dir_all(&persist_dir).ok();
+
+    let rows = vec![
+        vec![
+            "raw mSEED repository (Steim-2)".into(),
+            fmt_bytes(raw),
+            "1.0x".into(),
+        ],
+        vec![
+            "eager warehouse, resident".into(),
+            fmt_bytes(eager.resident_bytes() as u64),
+            format!("{:.1}x", eager.resident_bytes() as f64 / raw as f64),
+        ],
+        vec![
+            "eager warehouse, persisted".into(),
+            fmt_bytes(eager_disk),
+            format!("{:.1}x", eager_disk as f64 / raw as f64),
+        ],
+        vec![
+            "lazy warehouse, resident (metadata only)".into(),
+            fmt_bytes(lazy.resident_bytes() as u64),
+            format!("{:.3}x", lazy.resident_bytes() as f64 / raw as f64),
+        ],
+        vec![
+            "lazy warehouse, persisted (metadata only)".into(),
+            fmt_bytes(lazy_disk),
+            format!("{:.3}x", lazy_disk as f64 / raw as f64),
+        ],
+    ];
+    print_table(
+        &format!(
+            "E2 — Storage footprint vs raw repository ({} scale) — paper: 'up to 10 times the original storage size'",
+            scale.label()
+        ),
+        &["representation", "size", "vs raw"],
+        &rows,
+    );
+}
+
+/// E3: the Figure-1 queries — eager resident vs lazy cold vs lazy warm.
+fn e3_figure1(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut rows = Vec::new();
+    for (name, sql) in [("Q1 (2s STA window)", FIGURE1_Q1), ("Q2 (min/max per NL station)", FIGURE1_Q2)] {
+        let mut eager = Warehouse::open_eager(&dir, base_config()).unwrap();
+        let (eo, t_eager) = time(|| eager.query(sql).unwrap());
+        let mut lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
+        let (lo, t_cold) = time(|| lazy.query(sql).unwrap());
+        let (lw, t_warm) = time(|| lazy.query(sql).unwrap());
+        assert_eq!(eo.table.num_rows(), lo.table.num_rows());
+        rows.push(vec![
+            name.to_string(),
+            fmt_dur(t_eager),
+            fmt_dur(t_cold),
+            fmt_dur(t_warm),
+            lo.report.files_extracted.len().to_string(),
+            lo.report.records_extracted.to_string(),
+            format!("{}", lw.report.cache_hits),
+        ]);
+    }
+    print_table(
+        &format!("E3 — Figure-1 query latency ({} scale)", scale.label()),
+        &[
+            "query", "eager (resident)", "lazy cold", "lazy warm",
+            "files extracted", "records extracted", "warm cache hits",
+        ],
+        &rows,
+    );
+}
+
+/// E4: selectivity sweep — lazy extraction cost vs fraction touched.
+fn e4_selectivity(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut eager = Warehouse::open_eager(&dir, base_config()).unwrap();
+    let eager_load = eager.load_report().elapsed;
+    let mut rows = Vec::new();
+    let full_repo_sql = "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview \
+                         WHERE F.station IN ('HGN', 'WIT', 'OPLO', 'WTSB', 'ISK', 'BFO', 'WET', 'BALB')"
+        .to_string();
+    let sweep: Vec<(String, String)> = (1..=5usize)
+        .map(|k| (format!("{k}/5 stations, BHZ"), selectivity_query(k)))
+        .chain([("whole repository".to_string(), full_repo_sql)])
+        .collect();
+    for (label, sql) in sweep {
+        let mut lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
+        let lazy_load = lazy.load_report().elapsed;
+        let (lo, t_cold) = time(|| lazy.query(&sql).unwrap());
+        let (_, t_warm) = time(|| lazy.query(&sql).unwrap());
+        let (_, t_eager) = time(|| eager.query(&sql).unwrap());
+        rows.push(vec![
+            label,
+            lo.report.files_extracted.len().to_string(),
+            fmt_dur(lazy_load + t_cold),
+            fmt_dur(eager_load + t_eager),
+            fmt_dur(t_cold),
+            fmt_dur(t_warm),
+            fmt_dur(t_eager),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E4 — Selectivity sweep ({} scale): total = load+query; crossover appears as selectivity grows",
+            scale.label()
+        ),
+        &[
+            "touched", "files extracted", "lazy total", "eager total",
+            "lazy cold qry", "lazy warm qry", "eager qry",
+        ],
+        &rows,
+    );
+
+    // Ablations called out in DESIGN.md: metadata-predicates-first and
+    // record-level pruning, measured on the most selective query.
+    let sql = FIGURE1_Q1;
+    let mut ablation_rows = Vec::new();
+    for (label, meta_first, pruning) in [
+        ("full lazy ETL", true, true),
+        ("no record-level pruning", true, false),
+        ("no metadata-first reorganization", false, true),
+    ] {
+        let mut wh = Warehouse::open_lazy(
+            &dir,
+            WarehouseConfig {
+                metadata_predicate_first: meta_first,
+                record_level_pruning: pruning,
+                auto_refresh: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (out, t) = time(|| wh.query(sql).unwrap());
+        let r = out.report.rewrite.unwrap();
+        ablation_rows.push(vec![
+            label.to_string(),
+            fmt_dur(t),
+            r.fetched_pairs.to_string(),
+            out.report.files_extracted.len().to_string(),
+        ]);
+    }
+    print_table(
+        &format!("E4b — Ablations on Figure-1 Q1 ({} scale)", scale.label()),
+        &["configuration", "cold query", "records extracted", "files touched"],
+        &ablation_rows,
+    );
+}
+
+/// E5: time from data availability to first answer.
+fn e5_time_to_insight(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut rows = Vec::new();
+    for (label, sql) in [
+        ("metadata browse", METADATA_QUERY),
+        ("Figure-1 Q1", FIGURE1_Q1),
+        ("Figure-1 Q2", FIGURE1_Q2),
+    ] {
+        let (mut lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
+        let (_, t_lq) = time(|| lazy.query(sql).unwrap());
+        let (mut eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+        let (_, t_eq) = time(|| eager.query(sql).unwrap());
+        rows.push(vec![
+            label.to_string(),
+            fmt_dur(t_eload + t_eq),
+            fmt_dur(t_lload + t_lq),
+            format!(
+                "{:.1}x",
+                (t_eload + t_eq).as_secs_f64() / (t_lload + t_lq).as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E5 — Time from source availability to first answer ({} scale)",
+            scale.label()
+        ),
+        &["first query", "eager load+query", "lazy load+query", "lazy advantage"],
+        &rows,
+    );
+}
+
+/// E6: repository updates — cost of staying fresh.
+fn e6_updates(scale: ScaleName) {
+    let src = scale_repo(scale);
+    let mut rows = Vec::new();
+    for (label, n_changes) in [("1 file appended", 1usize), ("4 files appended", 4)] {
+        let dir = mutable_copy(&src, &format!("e6_{n_changes}"));
+        let cfg = WarehouseConfig {
+            auto_refresh: true,
+            ..Default::default()
+        };
+        let mut lazy = Warehouse::open_lazy(&dir, cfg.clone()).unwrap();
+        let mut eager = Warehouse::open_eager(&dir, cfg).unwrap();
+        // Warm both with a metadata query.
+        lazy.query(METADATA_QUERY).unwrap();
+        eager.query(METADATA_QUERY).unwrap();
+
+        let mut repo = Repository::open(&dir).unwrap();
+        let uris: Vec<String> = repo
+            .files()
+            .iter()
+            .filter(|f| f.uri.contains("BHZ"))
+            .take(n_changes)
+            .map(|f| f.uri.clone())
+            .collect();
+        for (i, uri) in uris.iter().enumerate() {
+            updates::append_records(&mut repo, uri, 30, 1000 + i as u64).unwrap();
+        }
+        // The next query pays the refresh; measure it.
+        let (_, t_lazy) = time(|| lazy.query(METADATA_QUERY).unwrap());
+        let (_, t_eager) = time(|| eager.query(METADATA_QUERY).unwrap());
+        // Baseline: full reload from scratch.
+        let (_, t_reload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+        rows.push(vec![
+            label.to_string(),
+            fmt_dur(t_lazy),
+            fmt_dur(t_eager),
+            fmt_dur(t_reload),
+        ]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    print_table(
+        &format!(
+            "E6 — Update handling ({} scale): next-query cost after repository changes",
+            scale.label()
+        ),
+        &[
+            "change", "lazy refresh+query", "eager refresh+query", "eager full reload",
+        ],
+        &rows,
+    );
+}
+
+/// E7: cache behaviour under budget pressure.
+fn e7_cache(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut rows = Vec::new();
+    // Working set: all five stations' BHZ channels.
+    let sql = selectivity_query(5);
+    for (label, budget) in [
+        ("unbounded (256 MiB)", 256usize << 20),
+        ("50% of working set", 0usize), // filled below
+        ("10% of working set", 1),
+    ] {
+        // First pass with big budget to size the working set.
+        let budget = match label {
+            "unbounded (256 MiB)" => budget,
+            _ => {
+                let mut probe = Warehouse::open_lazy(
+                    &dir,
+                    WarehouseConfig {
+                        auto_refresh: false,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                probe.query(&sql).unwrap();
+                let ws = probe.cache_snapshot().used_bytes;
+                if label.starts_with("50%") {
+                    ws / 2
+                } else {
+                    ws / 10
+                }
+            }
+        };
+        let mut wh = Warehouse::open_lazy(
+            &dir,
+            WarehouseConfig {
+                cache_budget_bytes: budget,
+                auto_refresh: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let (_, t_cold) = time(|| wh.query(&sql).unwrap());
+        let (o2, t_warm) = time(|| wh.query(&sql).unwrap());
+        let snap = wh.cache_snapshot();
+        rows.push(vec![
+            label.to_string(),
+            fmt_bytes(budget as u64),
+            fmt_dur(t_cold),
+            fmt_dur(t_warm),
+            format!("{:.0}%", 100.0 * o2.report.cache_hits as f64
+                / (o2.report.cache_hits + o2.report.cache_misses).max(1) as f64),
+            snap.stats.evictions.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("E7 — Recycling cache under budget pressure ({} scale)", scale.label()),
+        &["budget", "bytes", "cold query", "repeat query", "repeat hit rate", "evictions"],
+        &rows,
+    );
+}
+
+/// E9: STA/LTA event mining end to end.
+fn e9_sta_lta(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let cfg = lazyetl_core::StaLtaConfig {
+        threshold: 3.5,
+        ..Default::default()
+    };
+    let mut rows = Vec::new();
+    let (mut lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
+    let (hunt_l, t_lq) = time(|| {
+        lazyetl_core::hunt_events(
+            &mut lazy, "ISK", "BHE",
+            "2010-01-12T22:00:00", "2010-01-12T23:00:00", &cfg,
+        )
+        .unwrap()
+    });
+    let (mut eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+    let (hunt_e, t_eq) = time(|| {
+        lazyetl_core::hunt_events(
+            &mut eager, "ISK", "BHE",
+            "2010-01-12T22:00:00", "2010-01-12T23:00:00", &cfg,
+        )
+        .unwrap()
+    });
+    assert_eq!(hunt_l.detections.len(), hunt_e.detections.len());
+    rows.push(vec![
+        "lazy".into(),
+        fmt_dur(t_lload),
+        fmt_dur(t_lq),
+        fmt_dur(t_lload + t_lq),
+        hunt_l.samples.to_string(),
+        hunt_l.detections.len().to_string(),
+    ]);
+    rows.push(vec![
+        "eager".into(),
+        fmt_dur(t_eload),
+        fmt_dur(t_eq),
+        fmt_dur(t_eload + t_eq),
+        hunt_e.samples.to_string(),
+        hunt_e.detections.len().to_string(),
+    ]);
+    print_table(
+        &format!(
+            "E9 — STA/LTA event hunt on KO.ISK BHE, one hour ({} scale)",
+            scale.label()
+        ),
+        &["mode", "load", "hunt", "total", "samples scanned", "detections"],
+        &rows,
+    );
+}
+
+/// E10: parallel lazy extraction — wall clock vs worker threads on an
+/// extraction-bound sweep (one record from every file).
+fn e10_parallel(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let sweep = "SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE R.seq_no = 1";
+    let mut rows = Vec::new();
+    let mut base = Duration::ZERO;
+    for threads in [1usize, 2, 4, 8] {
+        let mut wh = Warehouse::open_lazy(
+            &dir,
+            WarehouseConfig {
+                auto_refresh: false,
+                use_cache: false,
+                extraction_threads: threads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Median of three runs.
+        let mut times: Vec<Duration> = (0..3)
+            .map(|_| time(|| wh.query(sweep).unwrap()).1)
+            .collect();
+        times.sort();
+        let t = times[1];
+        if threads == 1 {
+            base = t;
+        }
+        let out = wh.query(sweep).unwrap();
+        rows.push(vec![
+            threads.to_string(),
+            fmt_dur(t),
+            format!("{:.2}x", base.as_secs_f64() / t.as_secs_f64().max(1e-9)),
+            out.report.files_extracted.len().to_string(),
+            out.report.records_extracted.to_string(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E10 — Parallel lazy extraction ({} scale): decode+materialize overlap; \
+             sequential join/aggregate bounds the speedup (Amdahl)",
+            scale.label()
+        ),
+        &["threads", "cold query", "speedup", "files", "records"],
+        &rows,
+    );
+}
+
+/// E11: the two recycler levels — record cache vs whole-result recycler.
+fn e11_recycling(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut rows = Vec::new();
+    let variants: [(&str, WarehouseConfig); 3] = [
+        (
+            "no caching (re-extract every run)",
+            WarehouseConfig {
+                auto_refresh: false,
+                use_cache: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "record cache (paper's recycler)",
+            WarehouseConfig {
+                auto_refresh: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "result recycler (end result of the view)",
+            WarehouseConfig {
+                auto_refresh: false,
+                recycle_query_results: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, cfg) in variants {
+        let mut wh = Warehouse::open_lazy(&dir, cfg).unwrap();
+        let (_, t_cold) = time(|| wh.query(FIGURE1_Q2).unwrap());
+        let mut warms: Vec<Duration> = (0..3)
+            .map(|_| time(|| wh.query(FIGURE1_Q2).unwrap()).1)
+            .collect();
+        warms.sort();
+        let out = wh.query(FIGURE1_Q2).unwrap();
+        rows.push(vec![
+            label.to_string(),
+            fmt_dur(t_cold),
+            fmt_dur(warms[1]),
+            out.report.records_extracted.to_string(),
+            if out.report.result_recycled {
+                "whole result".into()
+            } else if out.report.cache_hits > 0 {
+                "record payloads".into()
+            } else {
+                "nothing".into()
+            },
+        ]);
+    }
+    print_table(
+        &format!(
+            "E11 — Recycler levels on Figure-1 Q2 ({} scale): warm repeats",
+            scale.label()
+        ),
+        &["configuration", "cold query", "warm query", "warm re-extractions", "reused"],
+        &rows,
+    );
+}
+
+/// E8 appears as integration tests + the explain_lazy example; here we
+/// print the plans once for the record.
+fn e8_observability(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let mut wh = Warehouse::open_lazy(&dir, base_config()).unwrap();
+    let out = wh.query(FIGURE1_Q1).unwrap();
+    println!("\n### E8 — Plan observability (Figure-1 Q1, {} scale)\n", scale.label());
+    for (stage, plan) in &out.report.stages {
+        println!("--- {stage} ---\n{plan}");
+    }
+    let r = out.report.rewrite.as_ref().unwrap();
+    println!(
+        "metadata rows: {}, candidates: {}, pruned: {}, fetched: {}",
+        r.metadata_rows, r.candidate_pairs, r.pruned_pairs, r.fetched_pairs
+    );
+    println!("files extracted: {:?}", out.report.files_extracted);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ScaleName::Small;
+    let mut wanted: Vec<String> = Vec::new();
+    for a in &args {
+        if let Some(s) = ScaleName::parse(a) {
+            scale = s;
+        } else {
+            wanted.push(a.clone());
+        }
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    println!("# Lazy ETL experiment harness — scale: {}", scale.label());
+    for w in &wanted {
+        match w.as_str() {
+            "e1" => e1_initial_load(),
+            "e2" => e2_storage(scale),
+            "e3" => e3_figure1(scale),
+            "e4" => e4_selectivity(scale),
+            "e5" => e5_time_to_insight(scale),
+            "e6" => e6_updates(scale),
+            "e7" => e7_cache(scale),
+            "e8" => e8_observability(scale),
+            "e9" => e9_sta_lta(scale),
+            "e10" => e10_parallel(scale),
+            "e11" => e11_recycling(scale),
+            other => eprintln!("unknown experiment {other:?} (want e1..e11 or all)"),
+        }
+    }
+}

@@ -1,0 +1,764 @@
+//! Seismic analysis tasks used by the demonstration.
+//!
+//! §4: "Seismic data analysis contains tasks that help hunt for interesting
+//! seismic events. Such tasks include finding extreme values over Short
+//! Term Averaging (STA, typically over an interval of 2 seconds) and Long
+//! Term Averaging (LTA, typically over an interval of 15 seconds),
+//! retrieving the data of an entire record for visual analysis, etc."
+//!
+//! The classic STA/LTA trigger computes the ratio of a short-term average
+//! of signal energy to a long-term average; a ratio above a threshold marks
+//! an event onset.
+
+use crate::error::{EtlError, Result};
+use crate::warehouse::{QueryReport, Warehouse};
+use lazyetl_mseed::Timestamp;
+
+/// STA/LTA detector parameters. Defaults follow the paper's intervals.
+#[derive(Debug, Clone)]
+pub struct StaLtaConfig {
+    /// Short-term window in seconds (paper: 2 s).
+    pub sta_secs: f64,
+    /// Long-term window in seconds (paper: 15 s).
+    pub lta_secs: f64,
+    /// Trigger threshold on STA/LTA.
+    pub threshold: f64,
+    /// Minimum separation between reported events, seconds.
+    pub min_separation_secs: f64,
+}
+
+impl Default for StaLtaConfig {
+    fn default() -> Self {
+        StaLtaConfig {
+            sta_secs: 2.0,
+            lta_secs: 15.0,
+            threshold: 4.0,
+            min_separation_secs: 30.0,
+        }
+    }
+}
+
+/// One detected event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Trigger time.
+    pub time: Timestamp,
+    /// Peak STA/LTA ratio at the trigger.
+    pub ratio: f64,
+}
+
+/// Run the STA/LTA trigger over an evenly sampled signal.
+///
+/// `samples` are (time µs, value) pairs in time order; `sample_rate` in Hz.
+/// Uses energy (squared amplitude) averaging with prefix sums; a detection
+/// is reported at each local ratio maximum above the threshold, separated
+/// by at least `min_separation_secs`.
+pub fn sta_lta(
+    samples: &[(i64, f64)],
+    sample_rate: f64,
+    cfg: &StaLtaConfig,
+) -> Result<Vec<Detection>> {
+    if sample_rate <= 0.0 {
+        return Err(EtlError::Internal("sample rate must be positive".into()));
+    }
+    let sta_n = (cfg.sta_secs * sample_rate).round().max(1.0) as usize;
+    let lta_n = (cfg.lta_secs * sample_rate).round().max(1.0) as usize;
+    if samples.len() < lta_n + sta_n {
+        return Ok(Vec::new());
+    }
+    // Prefix sums of energy.
+    let mut prefix = Vec::with_capacity(samples.len() + 1);
+    prefix.push(0.0f64);
+    for &(_, v) in samples {
+        prefix.push(prefix.last().unwrap() + v * v);
+    }
+    let window_sum = |end: usize, n: usize| -> f64 {
+        // inclusive window (end-n, end]; caller guarantees end >= n
+        prefix[end] - prefix[end - n]
+    };
+    let min_sep_us = (cfg.min_separation_secs * 1e6) as i64;
+    let mut detections: Vec<Detection> = Vec::new();
+    // Track the running maximum within a triggered stretch so the reported
+    // time is the ratio peak, not the first threshold crossing.
+    let mut in_trigger = false;
+    let mut best: Option<Detection> = None;
+    for i in (lta_n + sta_n)..=samples.len() {
+        let sta = window_sum(i, sta_n) / sta_n as f64;
+        // LTA window precedes the STA window so the event itself does not
+        // inflate the noise estimate.
+        let lta = window_sum(i - sta_n, lta_n) / lta_n as f64;
+        let ratio = if lta > 1e-12 { sta / lta } else { 0.0 };
+        let t = samples[i - 1].0;
+        if ratio >= cfg.threshold {
+            in_trigger = true;
+            if best.as_ref().is_none_or(|b| ratio > b.ratio) {
+                best = Some(Detection {
+                    time: Timestamp(t),
+                    ratio,
+                });
+            }
+        } else if in_trigger {
+            in_trigger = false;
+            if let Some(d) = best.take() {
+                let far_enough = detections
+                    .last()
+                    .is_none_or(|prev| d.time.0 - prev.time.0 >= min_sep_us);
+                if far_enough {
+                    detections.push(d);
+                }
+            }
+        }
+    }
+    if let Some(d) = best.take() {
+        let far_enough = detections
+            .last()
+            .is_none_or(|prev| d.time.0 - prev.time.0 >= min_sep_us);
+        if far_enough {
+            detections.push(d);
+        }
+    }
+    Ok(detections)
+}
+
+/// Run the *recursive* STA/LTA trigger (Earle & Shearer style): the two
+/// averages are exponential moving averages instead of sliding windows,
+/// giving O(1) state per sample — the streaming variant used by real-time
+/// pickers.
+///
+/// Same inputs and semantics as [`sta_lta`]: detections are reported at
+/// the peak ratio of each triggered stretch, separated by at least
+/// `min_separation_secs`; the first `lta_secs` of signal are warm-up and
+/// never trigger. The de-trigger threshold is 60% of the trigger
+/// threshold, the usual hysteresis that keeps one event from being
+/// reported as several.
+pub fn recursive_sta_lta(
+    samples: &[(i64, f64)],
+    sample_rate: f64,
+    cfg: &StaLtaConfig,
+) -> Result<Vec<Detection>> {
+    if sample_rate <= 0.0 {
+        return Err(EtlError::Internal("sample rate must be positive".into()));
+    }
+    let a_sta = 1.0 / (cfg.sta_secs * sample_rate).max(1.0);
+    let a_lta = 1.0 / (cfg.lta_secs * sample_rate).max(1.0);
+    let warmup = (cfg.lta_secs * sample_rate).round() as usize;
+    if samples.len() <= warmup {
+        return Ok(Vec::new());
+    }
+    let off_threshold = cfg.threshold * 0.6;
+    let min_sep_us = (cfg.min_separation_secs * 1e6) as i64;
+    // Seed both averages with the first sample's energy to avoid a zero
+    // denominator at the start.
+    let e0 = samples[0].1 * samples[0].1;
+    let (mut sta, mut lta) = (e0, e0.max(1e-12));
+    let mut detections: Vec<Detection> = Vec::new();
+    let mut in_trigger = false;
+    let mut best: Option<Detection> = None;
+    let flush = |best: &mut Option<Detection>, detections: &mut Vec<Detection>| {
+        if let Some(d) = best.take() {
+            let far_enough = detections
+                .last()
+                .is_none_or(|prev| d.time.0 - prev.time.0 >= min_sep_us);
+            if far_enough {
+                detections.push(d);
+            }
+        }
+    };
+    for (i, &(t, v)) in samples.iter().enumerate() {
+        let energy = v * v;
+        sta += a_sta * (energy - sta);
+        // Freeze the noise estimate while triggered so the event does not
+        // lift its own detection floor.
+        if !in_trigger {
+            lta += a_lta * (energy - lta);
+        }
+        if i < warmup {
+            continue;
+        }
+        let ratio = if lta > 1e-12 { sta / lta } else { 0.0 };
+        if ratio >= cfg.threshold || (in_trigger && ratio >= off_threshold) {
+            in_trigger = true;
+            if best.as_ref().is_none_or(|b| ratio > b.ratio) {
+                best = Some(Detection {
+                    time: Timestamp(t),
+                    ratio,
+                });
+            }
+        } else if in_trigger {
+            in_trigger = false;
+            flush(&mut best, &mut detections);
+        }
+    }
+    flush(&mut best, &mut detections);
+    Ok(detections)
+}
+
+/// Z-detector parameters.
+#[derive(Debug, Clone)]
+pub struct ZDetectConfig {
+    /// Energy window in seconds.
+    pub window_secs: f64,
+    /// Trigger threshold on the z-score of windowed energy.
+    pub threshold: f64,
+    /// Minimum separation between reported events, seconds.
+    pub min_separation_secs: f64,
+}
+
+impl Default for ZDetectConfig {
+    fn default() -> Self {
+        ZDetectConfig {
+            window_secs: 2.0,
+            threshold: 6.0,
+            min_separation_secs: 30.0,
+        }
+    }
+}
+
+/// The z-detector: windowed signal energy standardized against the whole
+/// trace's energy distribution; windows whose z-score exceed the threshold
+/// trigger. Complements STA/LTA for swarms, where elevated background
+/// energy keeps the STA/LTA ratio low. The reported [`Detection::ratio`]
+/// is the peak z-score.
+pub fn z_detect(
+    samples: &[(i64, f64)],
+    sample_rate: f64,
+    cfg: &ZDetectConfig,
+) -> Result<Vec<Detection>> {
+    if sample_rate <= 0.0 {
+        return Err(EtlError::Internal("sample rate must be positive".into()));
+    }
+    let n = (cfg.window_secs * sample_rate).round().max(1.0) as usize;
+    if samples.len() < n * 2 {
+        return Ok(Vec::new());
+    }
+    let mut prefix = Vec::with_capacity(samples.len() + 1);
+    prefix.push(0.0f64);
+    for &(_, v) in samples {
+        prefix.push(prefix.last().unwrap() + v * v);
+    }
+    // Windowed energies and their global mean/stddev.
+    let count = samples.len() - n + 1;
+    let energy = |i: usize| (prefix[i + n] - prefix[i]) / n as f64;
+    let mean = (0..count).map(energy).sum::<f64>() / count as f64;
+    let var = (0..count).map(|i| (energy(i) - mean).powi(2)).sum::<f64>() / count as f64;
+    let std = var.sqrt().max(1e-12);
+    let min_sep_us = (cfg.min_separation_secs * 1e6) as i64;
+    let mut detections: Vec<Detection> = Vec::new();
+    let mut in_trigger = false;
+    let mut best: Option<Detection> = None;
+    for i in 0..count {
+        let z = (energy(i) - mean) / std;
+        let t = samples[i + n - 1].0;
+        if z >= cfg.threshold {
+            in_trigger = true;
+            if best.as_ref().is_none_or(|b| z > b.ratio) {
+                best = Some(Detection {
+                    time: Timestamp(t),
+                    ratio: z,
+                });
+            }
+        } else if in_trigger {
+            in_trigger = false;
+            if let Some(d) = best.take() {
+                let far_enough = detections
+                    .last()
+                    .is_none_or(|prev| d.time.0 - prev.time.0 >= min_sep_us);
+                if far_enough {
+                    detections.push(d);
+                }
+            }
+        }
+    }
+    if let Some(d) = best.take() {
+        let far_enough = detections
+            .last()
+            .is_none_or(|prev| d.time.0 - prev.time.0 >= min_sep_us);
+        if far_enough {
+            detections.push(d);
+        }
+    }
+    Ok(detections)
+}
+
+/// One station's detections, input to [`coincidence_trigger`].
+#[derive(Debug, Clone)]
+pub struct StationDetections {
+    /// Station code (e.g. `"HGN"`).
+    pub station: String,
+    /// Detections on that station, any order.
+    pub detections: Vec<Detection>,
+}
+
+/// A network-level event: several stations triggering together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoincidenceEvent {
+    /// Earliest trigger time in the cluster.
+    pub time: Timestamp,
+    /// Distinct stations in the cluster, sorted.
+    pub stations: Vec<String>,
+    /// Mean peak ratio across the cluster's detections.
+    pub mean_ratio: f64,
+}
+
+/// Network coincidence triggering: cluster per-station detections that
+/// fall within `window_secs` of each other and keep clusters seen by at
+/// least `min_stations` distinct stations. Single-station false triggers
+/// (traffic, calibration pulses) are discarded this way before an analyst
+/// ever looks at the catalog.
+pub fn coincidence_trigger(
+    per_station: &[StationDetections],
+    window_secs: f64,
+    min_stations: usize,
+) -> Vec<CoincidenceEvent> {
+    let mut all: Vec<(i64, &str, f64)> = per_station
+        .iter()
+        .flat_map(|sd| {
+            sd.detections
+                .iter()
+                .map(move |d| (d.time.0, sd.station.as_str(), d.ratio))
+        })
+        .collect();
+    all.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(b.1)));
+    let window_us = (window_secs * 1e6) as i64;
+    let mut events = Vec::new();
+    let mut i = 0usize;
+    while i < all.len() {
+        // Grow the cluster anchored at all[i].
+        let start = all[i].0;
+        let mut j = i + 1;
+        while j < all.len() && all[j].0 - start <= window_us {
+            j += 1;
+        }
+        let cluster = &all[i..j];
+        let mut stations: Vec<String> =
+            cluster.iter().map(|&(_, s, _)| s.to_string()).collect();
+        stations.sort();
+        stations.dedup();
+        if stations.len() >= min_stations {
+            let mean_ratio =
+                cluster.iter().map(|&(_, _, r)| r).sum::<f64>() / cluster.len() as f64;
+            events.push(CoincidenceEvent {
+                time: Timestamp(start),
+                stations,
+                mean_ratio,
+            });
+            i = j; // consume the cluster
+        } else {
+            i += 1; // a later anchor may still form a cluster
+        }
+    }
+    events
+}
+
+/// Result of an event hunt through the warehouse.
+#[derive(Debug, Clone)]
+pub struct HuntResult {
+    /// Detections in time order.
+    pub detections: Vec<Detection>,
+    /// Number of samples analysed.
+    pub samples: usize,
+    /// The query diagnostics of the sample-fetch query.
+    pub report: QueryReport,
+}
+
+/// Hunt for events on one stream within a time window, end to end through
+/// the warehouse SQL interface (the demo's workload).
+pub fn hunt_events(
+    warehouse: &mut Warehouse,
+    station: &str,
+    channel: &str,
+    start_iso: &str,
+    end_iso: &str,
+    cfg: &StaLtaConfig,
+) -> Result<HuntResult> {
+    let sql = format!(
+        "SELECT D.sample_time, D.sample_value \
+         FROM mseed.dataview \
+         WHERE F.station = '{station}' AND F.channel = '{channel}' \
+         AND D.sample_time >= '{start_iso}' AND D.sample_time < '{end_iso}' \
+         ORDER BY D.sample_time"
+    );
+    let out = warehouse.query(&sql)?;
+    let t = &out.table;
+    let mut samples = Vec::with_capacity(t.num_rows());
+    let time_col = t
+        .column("sample_time")
+        .ok_or_else(|| EtlError::Internal("missing sample_time column".into()))?;
+    let val_col = t
+        .column("sample_value")
+        .ok_or_else(|| EtlError::Internal("missing sample_value column".into()))?;
+    for i in 0..t.num_rows() {
+        let ts = time_col.get(i)?.as_i64().unwrap_or(0);
+        let v = val_col.get(i)?.as_f64().unwrap_or(0.0);
+        samples.push((ts, v));
+    }
+    // Infer the sample rate from the median spacing.
+    let rate = infer_rate(&samples).unwrap_or(40.0);
+    let detections = sta_lta(&samples, rate, cfg)?;
+    Ok(HuntResult {
+        detections,
+        samples: samples.len(),
+        report: out.report,
+    })
+}
+
+/// One record's waveform fetched for visual analysis (§4: "retrieving the
+/// data of an entire record for visual analysis").
+#[derive(Debug, Clone)]
+pub struct RecordWaveform {
+    /// Owning file id.
+    pub file_id: i64,
+    /// Record sequence number.
+    pub seq_no: i64,
+    /// (time µs, value) points in time order.
+    pub samples: Vec<(i64, f64)>,
+    /// Diagnostics of the fetch query.
+    pub report: QueryReport,
+}
+
+/// Fetch every sample of one record through the SQL surface (lazy
+/// extraction fetches exactly this record; eager reads it from `D`).
+pub fn fetch_record_waveform(
+    warehouse: &mut Warehouse,
+    file_id: i64,
+    seq_no: i64,
+) -> Result<RecordWaveform> {
+    let sql = format!(
+        "SELECT D.sample_time, D.sample_value FROM mseed.dataview \
+         WHERE R.file_id = {file_id} AND R.seq_no = {seq_no} \
+         ORDER BY D.sample_time"
+    );
+    let out = warehouse.query(&sql)?;
+    let t = &out.table;
+    let time_col = t
+        .column("sample_time")
+        .ok_or_else(|| EtlError::Internal("missing sample_time".into()))?;
+    let val_col = t
+        .column("sample_value")
+        .ok_or_else(|| EtlError::Internal("missing sample_value".into()))?;
+    let mut samples = Vec::with_capacity(t.num_rows());
+    for i in 0..t.num_rows() {
+        samples.push((
+            time_col.get(i)?.as_i64().unwrap_or(0),
+            val_col.get(i)?.as_f64().unwrap_or(0.0),
+        ));
+    }
+    Ok(RecordWaveform {
+        file_id,
+        seq_no,
+        samples,
+        report: out.report,
+    })
+}
+
+/// Render a waveform as a fixed-size ASCII plot (for terminal browsing).
+///
+/// Bins samples into `width` columns; each column shows the min..max
+/// envelope over `height` character rows.
+pub fn waveform_ascii(samples: &[(i64, f64)], width: usize, height: usize) -> String {
+    if samples.is_empty() || width == 0 || height == 0 {
+        return String::from("(no samples)\n");
+    }
+    let (vmin, vmax) = samples.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
+        (lo.min(v), hi.max(v))
+    });
+    let span = (vmax - vmin).max(1e-12);
+    let per_col = samples.len().div_ceil(width);
+    let mut cols: Vec<(usize, usize)> = Vec::with_capacity(width);
+    for chunk in samples.chunks(per_col) {
+        let (lo, hi) = chunk.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
+            (lo.min(v), hi.max(v))
+        });
+        let to_row = |v: f64| -> usize {
+            // Row 0 is the top of the plot.
+            let frac = (v - vmin) / span;
+            ((1.0 - frac) * (height - 1) as f64).round() as usize
+        };
+        cols.push((to_row(hi), to_row(lo)));
+    }
+    let mut out = String::new();
+    for row in 0..height {
+        for &(top, bottom) in &cols {
+            out.push(if row >= top && row <= bottom { '█' } else { ' ' });
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "min {vmin:.1}  max {vmax:.1}  {} samples\n",
+        samples.len()
+    ));
+    out
+}
+
+/// Infer sample rate from consecutive time deltas (robust to record gaps).
+pub fn infer_rate(samples: &[(i64, f64)]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let mut deltas: Vec<i64> = samples
+        .windows(2)
+        .map(|w| w[1].0 - w[0].0)
+        .filter(|&d| d > 0)
+        .collect();
+    if deltas.is_empty() {
+        return None;
+    }
+    deltas.sort_unstable();
+    let median = deltas[deltas.len() / 2];
+    Some(1e6 / median as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a noisy signal with an injected burst at a known index.
+    fn signal_with_event(n: usize, rate: f64, event_at: usize) -> Vec<(i64, f64)> {
+        let period = (1e6 / rate) as i64;
+        (0..n)
+            .map(|i| {
+                let noise = ((i.wrapping_mul(2_654_435_761)) % 1000) as f64 / 500.0 - 1.0; // deterministic pseudo-noise
+                let mut v = noise * 10.0;
+                if i >= event_at {
+                    let t = (i - event_at) as f64 / rate;
+                    v += 400.0 * (-t / 3.0).exp() * (2.0 * std::f64::consts::PI * 4.0 * t).sin();
+                }
+                (i as i64 * period, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_injected_event() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, 2500);
+        let dets = sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        assert_eq!(dets.len(), 1, "exactly one event: {dets:?}");
+        let event_time_us = 2500.0 * 1e6 / rate;
+        let diff = (dets[0].time.0 as f64 - event_time_us).abs();
+        assert!(diff < 3e6, "detection within 3 s of onset, off by {diff}");
+        assert!(dets[0].ratio >= 4.0);
+    }
+
+    #[test]
+    fn quiet_signal_triggers_nothing() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, usize::MAX);
+        let dets = sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        assert!(dets.is_empty(), "no events in noise: {dets:?}");
+    }
+
+    #[test]
+    fn short_signal_yields_nothing() {
+        let samples = signal_with_event(100, 40.0, 50);
+        let dets = sta_lta(&samples, 40.0, &StaLtaConfig::default()).unwrap();
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn min_separation_suppresses_duplicates() {
+        let rate = 40.0;
+        let mut samples = signal_with_event(4000, rate, 2000);
+        // Second burst only 5 s later.
+        let period = (1e6 / rate) as i64;
+        for (i, sample) in samples.iter_mut().enumerate().take(4000).skip(2200) {
+            let t = (i - 2200) as f64 / rate;
+            sample.1 +=
+                500.0 * (-t / 3.0).exp() * (2.0 * std::f64::consts::PI * 5.0 * t).sin();
+        }
+        let cfg = StaLtaConfig {
+            min_separation_secs: 60.0,
+            ..Default::default()
+        };
+        let dets = sta_lta(&samples, rate, &cfg).unwrap();
+        assert_eq!(dets.len(), 1, "{dets:?}");
+        let _ = period;
+    }
+
+    #[test]
+    fn rate_inference() {
+        let samples: Vec<(i64, f64)> = (0..100).map(|i| (i * 25_000, 0.0)).collect();
+        let rate = infer_rate(&samples).unwrap();
+        assert!((rate - 40.0).abs() < 1e-9);
+        assert_eq!(infer_rate(&[]), None);
+        assert_eq!(infer_rate(&[(0, 1.0)]), None);
+    }
+
+    #[test]
+    fn waveform_ascii_envelope() {
+        let samples: Vec<(i64, f64)> = (0..200)
+            .map(|i| (i as i64, (i as f64 / 10.0).sin() * 50.0))
+            .collect();
+        let art = waveform_ascii(&samples, 40, 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 9, "8 plot rows + 1 caption");
+        assert!(lines[8].contains("200 samples"));
+        // Every column must paint at least one cell.
+        for col in 0..40 {
+            let painted = (0..8).any(|row| {
+                lines[row].chars().nth(col) == Some('█')
+            });
+            assert!(painted, "column {col} empty");
+        }
+        assert_eq!(waveform_ascii(&[], 10, 5), "(no samples)\n");
+    }
+
+    #[test]
+    fn bad_rate_rejected() {
+        assert!(sta_lta(&[], 0.0, &StaLtaConfig::default()).is_err());
+        assert!(recursive_sta_lta(&[], 0.0, &StaLtaConfig::default()).is_err());
+        assert!(z_detect(&[], 0.0, &ZDetectConfig::default()).is_err());
+    }
+
+    #[test]
+    fn recursive_detects_injected_event() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, 2500);
+        let dets = recursive_sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        assert_eq!(dets.len(), 1, "exactly one event: {dets:?}");
+        let event_time_us = 2500.0 * 1e6 / rate;
+        let diff = (dets[0].time.0 as f64 - event_time_us).abs();
+        assert!(diff < 3e6, "detection within 3 s of onset, off by {diff}");
+    }
+
+    #[test]
+    fn recursive_quiet_signal_triggers_nothing() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, usize::MAX);
+        let dets = recursive_sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        assert!(dets.is_empty(), "{dets:?}");
+    }
+
+    #[test]
+    fn recursive_short_signal_yields_nothing() {
+        let samples = signal_with_event(100, 40.0, 50);
+        let dets = recursive_sta_lta(&samples, 40.0, &StaLtaConfig::default()).unwrap();
+        assert!(dets.is_empty());
+    }
+
+    #[test]
+    fn recursive_agrees_with_classic_on_the_event() {
+        let rate = 40.0;
+        let samples = signal_with_event(6000, rate, 3000);
+        let classic = sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        let recursive = recursive_sta_lta(&samples, rate, &StaLtaConfig::default()).unwrap();
+        assert_eq!(classic.len(), 1);
+        assert_eq!(recursive.len(), 1);
+        let diff = (classic[0].time.0 - recursive[0].time.0).abs();
+        assert!(diff < 3_000_000, "both pickers land within 3 s: {diff}µs");
+    }
+
+    #[test]
+    fn z_detector_finds_the_event() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, 2500);
+        let dets = z_detect(&samples, rate, &ZDetectConfig::default()).unwrap();
+        assert_eq!(dets.len(), 1, "{dets:?}");
+        let event_time_us = 2500.0 * 1e6 / rate;
+        let diff = (dets[0].time.0 as f64 - event_time_us).abs();
+        assert!(diff < 3e6, "off by {diff}");
+        assert!(dets[0].ratio >= 6.0, "peak z-score reported");
+    }
+
+    #[test]
+    fn z_detector_quiet_signal_triggers_nothing() {
+        let rate = 40.0;
+        let samples = signal_with_event(4000, rate, usize::MAX);
+        let dets = z_detect(&samples, rate, &ZDetectConfig::default()).unwrap();
+        assert!(dets.is_empty(), "{dets:?}");
+    }
+
+    #[test]
+    fn z_detector_short_signal_yields_nothing() {
+        let dets = z_detect(
+            &signal_with_event(50, 40.0, 10),
+            40.0,
+            &ZDetectConfig::default(),
+        )
+        .unwrap();
+        assert!(dets.is_empty());
+    }
+
+    fn det(t_secs: f64, ratio: f64) -> Detection {
+        Detection {
+            time: Timestamp((t_secs * 1e6) as i64),
+            ratio,
+        }
+    }
+
+    #[test]
+    fn coincidence_requires_min_stations() {
+        let per_station = vec![
+            StationDetections {
+                station: "HGN".into(),
+                detections: vec![det(100.0, 5.0)],
+            },
+            StationDetections {
+                station: "WIT".into(),
+                detections: vec![det(101.5, 6.0)],
+            },
+            StationDetections {
+                station: "OPLO".into(),
+                detections: vec![det(102.0, 4.5)],
+            },
+        ];
+        let events = coincidence_trigger(&per_station, 5.0, 3);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stations, vec!["HGN", "OPLO", "WIT"]);
+        assert_eq!(events[0].time, Timestamp(100_000_000));
+        assert!((events[0].mean_ratio - (5.0 + 6.0 + 4.5) / 3.0).abs() < 1e-9);
+
+        // Demanding a 4th station kills the cluster.
+        assert!(coincidence_trigger(&per_station, 5.0, 4).is_empty());
+    }
+
+    #[test]
+    fn coincidence_window_separates_events() {
+        let per_station = vec![
+            StationDetections {
+                station: "HGN".into(),
+                detections: vec![det(100.0, 5.0), det(500.0, 7.0)],
+            },
+            StationDetections {
+                station: "WIT".into(),
+                detections: vec![det(101.0, 6.0), det(501.0, 8.0)],
+            },
+        ];
+        let events = coincidence_trigger(&per_station, 5.0, 2);
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert_eq!(events[0].time, Timestamp(100_000_000));
+        assert_eq!(events[1].time, Timestamp(500_000_000));
+    }
+
+    #[test]
+    fn coincidence_lone_station_is_noise() {
+        let per_station = vec![
+            StationDetections {
+                station: "HGN".into(),
+                detections: vec![det(100.0, 5.0)],
+            },
+            StationDetections {
+                station: "WIT".into(),
+                detections: vec![det(300.0, 6.0)],
+            },
+        ];
+        assert!(coincidence_trigger(&per_station, 5.0, 2).is_empty());
+    }
+
+    #[test]
+    fn coincidence_same_station_twice_counts_once() {
+        let per_station = vec![StationDetections {
+            station: "HGN".into(),
+            detections: vec![det(100.0, 5.0), det(101.0, 6.0)],
+        }];
+        assert!(
+            coincidence_trigger(&per_station, 5.0, 2).is_empty(),
+            "two triggers on one station are not two stations"
+        );
+    }
+
+    #[test]
+    fn coincidence_empty_input() {
+        assert!(coincidence_trigger(&[], 5.0, 1).is_empty());
+    }
+}

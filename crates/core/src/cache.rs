@@ -1,0 +1,388 @@
+//! The lazy-loading cache: intermediate result recycling (§3.3).
+//!
+//! "Materialization of the extracted and transformed data is simply caching
+//! the result of a view definition … A least recently used (LRU) policy is
+//! used for cache maintenance. … The cache makes use of required files'
+//! last modified timestamp, and compares that with the admission timestamp
+//! of that data to the cache."
+//!
+//! Entries are keyed per (file, record) — the unit the lazy extractor
+//! fetches — and hold the record's transformed `D`-table rows. The cache is
+//! byte-budgeted ("not larger than the size of system's main memory");
+//! inserting past the budget evicts least-recently-used entries. Staleness
+//! is detected by comparing the file's modification time now against the
+//! one recorded at admission; a stale entry is dropped and re-extracted by
+//! the caller (lazy refresh).
+
+use lazyetl_mseed::Timestamp;
+use lazyetl_store::Table;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cache key: one mSEED record's extracted data.
+pub type CacheKey = (i64, i64); // (file_id, seq_no)
+
+/// Outcome of a cache lookup.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Fresh entry; use it.
+    Hit(Arc<Table>),
+    /// Entry existed but its file changed since admission; it was dropped.
+    Stale,
+    /// No entry.
+    Miss,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    table: Arc<Table>,
+    bytes: usize,
+    /// File modification time observed when this entry was admitted.
+    file_mtime: Timestamp,
+    /// Wall-clock-ish admission order (monotone tick), per the paper's
+    /// admission timestamp.
+    admitted_tick: u64,
+    last_used_tick: u64,
+}
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned fresh data.
+    pub hits: u64,
+    /// Lookups with no entry.
+    pub misses: u64,
+    /// Lookups that found a stale entry (counted also as a miss by most
+    /// metrics; kept separate here).
+    pub stale_drops: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Total bytes ever inserted.
+    pub inserted_bytes: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over hits+misses+stale drops (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.stale_drops;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Summary of one resident entry (for the demo's cache browser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntrySummary {
+    /// (file_id, seq_no).
+    pub key: CacheKey,
+    /// Entry size in bytes.
+    pub bytes: usize,
+    /// Rows held.
+    pub rows: usize,
+    /// File mtime at admission.
+    pub file_mtime: Timestamp,
+}
+
+/// Snapshot of cache contents and occupancy (demo item 7).
+#[derive(Debug, Clone)]
+pub struct CacheSnapshot {
+    /// Resident entries ordered by key.
+    pub entries: Vec<CacheEntrySummary>,
+    /// Bytes in use.
+    pub used_bytes: usize,
+    /// Byte budget.
+    pub budget_bytes: usize,
+    /// Statistics so far.
+    pub stats: CacheStats,
+}
+
+/// Byte-budgeted LRU cache of extracted record data.
+#[derive(Debug)]
+pub struct RecyclingCache {
+    budget_bytes: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// last_used_tick -> key index for O(log n) LRU eviction.
+    lru: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    used_bytes: usize,
+    stats: CacheStats,
+}
+
+impl RecyclingCache {
+    /// A cache with the given byte budget.
+    pub fn new(budget_bytes: usize) -> RecyclingCache {
+        RecyclingCache {
+            budget_bytes,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            used_bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up one record's data, checking freshness against the file's
+    /// current modification time.
+    pub fn get(&mut self, key: CacheKey, current_file_mtime: Timestamp) -> CacheLookup {
+        let tick = self.next_tick();
+        match self.entries.get_mut(&key) {
+            None => {
+                self.stats.misses += 1;
+                CacheLookup::Miss
+            }
+            Some(entry) => {
+                if entry.file_mtime != current_file_mtime {
+                    // Outdated: drop; caller re-extracts from the updated
+                    // file (lazy refresh, §3.3).
+                    self.stats.stale_drops += 1;
+                    let old = self.entries.remove(&key).expect("entry just seen");
+                    self.lru.remove(&old.last_used_tick);
+                    self.used_bytes -= old.bytes;
+                    CacheLookup::Stale
+                } else {
+                    self.stats.hits += 1;
+                    self.lru.remove(&entry.last_used_tick);
+                    entry.last_used_tick = tick;
+                    self.lru.insert(tick, key);
+                    CacheLookup::Hit(entry.table.clone())
+                }
+            }
+        }
+    }
+
+    /// Insert (or replace) one record's extracted data.
+    ///
+    /// Returns the number of entries evicted to make room. Entries larger
+    /// than the whole budget are not admitted.
+    pub fn insert(&mut self, key: CacheKey, table: Arc<Table>, file_mtime: Timestamp) -> usize {
+        let bytes = table.byte_size();
+        // Replace any existing entry first: even if the new value turns out
+        // to be inadmissible, the old value is superseded and must not be
+        // served afterwards.
+        if let Some(old) = self.entries.remove(&key) {
+            self.lru.remove(&old.last_used_tick);
+            self.used_bytes -= old.bytes;
+        }
+        if bytes > self.budget_bytes {
+            return 0; // would evict everything and still not fit
+        }
+        let mut evicted = 0usize;
+        while self.used_bytes + bytes > self.budget_bytes {
+            let (&oldest_tick, &oldest_key) =
+                self.lru.iter().next().expect("over budget implies entries");
+            let old = self
+                .entries
+                .remove(&oldest_key)
+                .expect("lru index consistent");
+            self.lru.remove(&oldest_tick);
+            self.used_bytes -= old.bytes;
+            self.stats.evictions += 1;
+            evicted += 1;
+        }
+        let tick = self.next_tick();
+        self.entries.insert(
+            key,
+            CacheEntry {
+                table,
+                bytes,
+                file_mtime,
+                admitted_tick: tick,
+                last_used_tick: tick,
+            },
+        );
+        self.lru.insert(tick, key);
+        self.used_bytes += bytes;
+        self.stats.inserted_bytes += bytes as u64;
+        evicted
+    }
+
+    /// Drop every entry belonging to a file (metadata refresh path).
+    pub fn invalidate_file(&mut self, file_id: i64) -> usize {
+        let keys: Vec<CacheKey> = self
+            .entries
+            .keys()
+            .filter(|(f, _)| *f == file_id)
+            .copied()
+            .collect();
+        for k in &keys {
+            if let Some(old) = self.entries.remove(k) {
+                self.lru.remove(&old.last_used_tick);
+                self.used_bytes -= old.bytes;
+            }
+        }
+        keys.len()
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Admission tick of an entry (test hook for LRU behaviour).
+    pub fn admitted_tick(&self, key: &CacheKey) -> Option<u64> {
+        self.entries.get(key).map(|e| e.admitted_tick)
+    }
+
+    /// Snapshot of contents for the demo's cache browser.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut entries: Vec<CacheEntrySummary> = self
+            .entries
+            .iter()
+            .map(|(k, e)| CacheEntrySummary {
+                key: *k,
+                bytes: e.bytes,
+                rows: e.table.num_rows(),
+                file_mtime: e.file_mtime,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.key);
+        CacheSnapshot {
+            entries,
+            used_bytes: self.used_bytes,
+            budget_bytes: self.budget_bytes,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_store::{DataType, Field, Schema, Value};
+
+    fn table_of(rows: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float64)]).unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..rows {
+            t.append_row(vec![Value::Float64(i as f64)]).unwrap();
+        }
+        Arc::new(t)
+    }
+
+    const MT: Timestamp = Timestamp(1000);
+
+    #[test]
+    fn hit_miss_lifecycle() {
+        let mut c = RecyclingCache::new(1 << 20);
+        assert!(matches!(c.get((1, 1), MT), CacheLookup::Miss));
+        c.insert((1, 1), table_of(10), MT);
+        match c.get((1, 1), MT) {
+            CacheLookup::Hit(t) => assert_eq!(t.num_rows(), 10),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn staleness_detected_by_mtime() {
+        let mut c = RecyclingCache::new(1 << 20);
+        c.insert((1, 1), table_of(10), MT);
+        // File was touched since admission.
+        assert!(matches!(
+            c.get((1, 1), Timestamp(2000)),
+            CacheLookup::Stale
+        ));
+        // The stale entry is gone.
+        assert!(matches!(c.get((1, 1), Timestamp(2000)), CacheLookup::Miss));
+        assert_eq!(c.stats().stale_drops, 1);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget_pressure() {
+        // Each 10-row float table is 80 bytes.
+        let mut c = RecyclingCache::new(250);
+        c.insert((1, 1), table_of(10), MT);
+        c.insert((1, 2), table_of(10), MT);
+        c.insert((1, 3), table_of(10), MT);
+        assert_eq!(c.len(), 3);
+        // Touch (1,1) so (1,2) becomes the LRU victim.
+        assert!(matches!(c.get((1, 1), MT), CacheLookup::Hit(_)));
+        let evicted = c.insert((1, 4), table_of(10), MT);
+        assert_eq!(evicted, 1);
+        assert!(matches!(c.get((1, 2), MT), CacheLookup::Miss), "LRU gone");
+        assert!(matches!(c.get((1, 1), MT), CacheLookup::Hit(_)));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used_bytes() <= c.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_entry_not_admitted() {
+        let mut c = RecyclingCache::new(100);
+        let evicted = c.insert((1, 1), table_of(1000), MT);
+        assert_eq!(evicted, 0);
+        assert!(c.is_empty());
+        assert!(matches!(c.get((1, 1), MT), CacheLookup::Miss));
+    }
+
+    #[test]
+    fn invalidate_file_drops_only_that_file() {
+        let mut c = RecyclingCache::new(1 << 20);
+        c.insert((1, 1), table_of(5), MT);
+        c.insert((1, 2), table_of(5), MT);
+        c.insert((2, 1), table_of(5), MT);
+        assert_eq!(c.invalidate_file(1), 2);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.get((2, 1), MT), CacheLookup::Hit(_)));
+    }
+
+    #[test]
+    fn replace_same_key_updates_bytes() {
+        let mut c = RecyclingCache::new(1 << 20);
+        c.insert((1, 1), table_of(10), MT);
+        let b1 = c.used_bytes();
+        c.insert((1, 1), table_of(20), MT);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), b1 * 2);
+    }
+
+    #[test]
+    fn snapshot_reports_contents() {
+        let mut c = RecyclingCache::new(1 << 20);
+        c.insert((2, 7), table_of(3), MT);
+        c.insert((1, 9), table_of(4), MT);
+        let snap = c.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].key, (1, 9), "sorted by key");
+        assert_eq!(snap.entries[0].rows, 4);
+        assert_eq!(snap.used_bytes, c.used_bytes());
+    }
+}

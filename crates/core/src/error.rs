@@ -1,0 +1,73 @@
+//! Error type for the Lazy ETL layer.
+
+use lazyetl_mseed::MseedError;
+use lazyetl_query::QueryError;
+use lazyetl_repo::RepoError;
+use lazyetl_store::StoreError;
+use std::fmt;
+
+/// Errors raised by warehouse construction, loading and querying.
+#[derive(Debug)]
+pub enum EtlError {
+    /// MiniSEED parsing/decoding failure during extraction.
+    Mseed(MseedError),
+    /// Repository access failure.
+    Repo(RepoError),
+    /// Storage failure.
+    Store(StoreError),
+    /// Query failure.
+    Query(QueryError),
+    /// Internal invariant violation or configuration problem.
+    Internal(String),
+}
+
+impl fmt::Display for EtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtlError::Mseed(e) => write!(f, "extraction error: {e}"),
+            EtlError::Repo(e) => write!(f, "repository error: {e}"),
+            EtlError::Store(e) => write!(f, "storage error: {e}"),
+            EtlError::Query(e) => write!(f, "query error: {e}"),
+            EtlError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EtlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EtlError::Mseed(e) => Some(e),
+            EtlError::Repo(e) => Some(e),
+            EtlError::Store(e) => Some(e),
+            EtlError::Query(e) => Some(e),
+            EtlError::Internal(_) => None,
+        }
+    }
+}
+
+impl From<MseedError> for EtlError {
+    fn from(e: MseedError) -> Self {
+        EtlError::Mseed(e)
+    }
+}
+
+impl From<RepoError> for EtlError {
+    fn from(e: RepoError) -> Self {
+        EtlError::Repo(e)
+    }
+}
+
+impl From<StoreError> for EtlError {
+    fn from(e: StoreError) -> Self {
+        EtlError::Store(e)
+    }
+}
+
+impl From<QueryError> for EtlError {
+    fn from(e: QueryError) -> Self {
+        EtlError::Query(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, EtlError>;

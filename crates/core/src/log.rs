@@ -1,0 +1,214 @@
+//! The ETL operations log.
+//!
+//! Demo item (8): "looking through the log to see what operations are
+//! performed and in which order". Every warehouse operation appends an
+//! entry; tests and the observability example read them back.
+
+use std::time::Instant;
+
+/// One operation category.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EtlOp {
+    /// Metadata of one file loaded into F/R.
+    MetadataLoad {
+        /// Repository URI.
+        uri: String,
+        /// Number of record-metadata rows produced.
+        records: usize,
+        /// Bytes read to scan the metadata.
+        bytes_read: u64,
+    },
+    /// Actual data extracted from a file (lazy or eager).
+    Extract {
+        /// Repository URI.
+        uri: String,
+        /// Number of records decoded.
+        records: usize,
+        /// Number of samples produced.
+        samples: usize,
+    },
+    /// A needed record range was served from the cache.
+    CacheHit {
+        /// Repository URI.
+        uri: String,
+        /// Records served.
+        records: usize,
+    },
+    /// Entries evicted to make room.
+    CacheEvict {
+        /// Number of entries evicted.
+        entries: usize,
+        /// Bytes reclaimed.
+        bytes: usize,
+    },
+    /// A stale cache entry was detected and dropped (lazy refresh).
+    StaleDrop {
+        /// Repository URI whose entries were dropped.
+        uri: String,
+    },
+    /// Metadata rows of a changed file were re-loaded.
+    MetadataRefresh {
+        /// Repository URI.
+        uri: String,
+    },
+    /// A compile-time or run-time plan rewrite took place.
+    PlanRewrite {
+        /// Which stage ("optimize", "lazy-extract", …).
+        stage: String,
+        /// Short description of what changed.
+        detail: String,
+    },
+    /// A whole query result was served by the result recycler.
+    ResultRecycleHit {
+        /// Rows served.
+        rows: usize,
+    },
+    /// A query result was admitted to the result recycler.
+    ResultRecycleAdmit {
+        /// Rows admitted.
+        rows: usize,
+        /// Bytes admitted.
+        bytes: usize,
+    },
+    /// A query started.
+    QueryStart {
+        /// The SQL text.
+        sql: String,
+    },
+    /// A query finished.
+    QueryFinish {
+        /// Result row count.
+        rows: usize,
+        /// Elapsed microseconds.
+        elapsed_us: u64,
+    },
+}
+
+/// A timestamped log entry.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Microseconds since the log was created.
+    pub at_us: u64,
+    /// What happened.
+    pub op: EtlOp,
+}
+
+/// Append-only operations log.
+#[derive(Debug)]
+pub struct EtlLog {
+    started: Instant,
+    entries: Vec<LogEntry>,
+    next_seq: u64,
+}
+
+impl Default for EtlLog {
+    fn default() -> Self {
+        EtlLog::new()
+    }
+}
+
+impl EtlLog {
+    /// A fresh, empty log.
+    pub fn new() -> EtlLog {
+        EtlLog {
+            started: Instant::now(),
+            entries: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Append one operation.
+    pub fn push(&mut self, op: EtlOp) {
+        let entry = LogEntry {
+            seq: self.next_seq,
+            at_us: self.started.elapsed().as_micros() as u64,
+            op,
+        };
+        self.next_seq += 1;
+        self.entries.push(entry);
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all entries (sequence numbers keep increasing).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Render the log as text, one line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("[{:>6}] t+{:>9}us {:?}\n", e.seq, e.at_us, e.op));
+        }
+        out
+    }
+
+    /// Count entries matching a predicate.
+    pub fn count_matching(&self, pred: impl Fn(&EtlOp) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(&e.op)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_and_ordering() {
+        let mut log = EtlLog::new();
+        log.push(EtlOp::QueryStart { sql: "SELECT 1".into() });
+        log.push(EtlOp::QueryFinish {
+            rows: 1,
+            elapsed_us: 10,
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].seq, 0);
+        assert_eq!(log.entries()[1].seq, 1);
+        assert!(log.entries()[0].at_us <= log.entries()[1].at_us);
+        let rendered = log.render();
+        assert!(rendered.contains("QueryStart"));
+        assert!(rendered.lines().count() == 2);
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let mut log = EtlLog::new();
+        log.push(EtlOp::StaleDrop { uri: "x".into() });
+        log.clear();
+        assert!(log.is_empty());
+        log.push(EtlOp::StaleDrop { uri: "y".into() });
+        assert_eq!(log.entries()[0].seq, 1, "seq continues after clear");
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut log = EtlLog::new();
+        for i in 0..5 {
+            log.push(EtlOp::CacheHit {
+                uri: format!("f{i}"),
+                records: i,
+            });
+        }
+        log.push(EtlOp::StaleDrop { uri: "f0".into() });
+        assert_eq!(
+            log.count_matching(|op| matches!(op, EtlOp::CacheHit { .. })),
+            5
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Saving and reopening warehouses without re-running ETL.
+//!
+//! A lazy warehouse's state is small (metadata tables + nothing else), so
+//! persisting it makes the *next* bootstrap free: attach, load two tables,
+//! reconcile any repository drift via the ordinary refresh path. An eager
+//! warehouse persists its `D` table too — which is also how experiment E2
+//! measures the on-disk footprint honestly.
+
+use crate::error::{EtlError, Result};
+use crate::schema::{DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
+use crate::warehouse::{Mode, Warehouse};
+use lazyetl_store::persist::{load_table, save_table};
+use std::path::Path;
+
+/// Name of the manifest file inside a saved-warehouse directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+const MANIFEST_VERSION: &str = "lazyetl-warehouse-v1";
+
+/// What [`save_warehouse`] wrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Mode that was saved.
+    pub mode: Mode,
+    /// Total bytes written.
+    pub bytes: u64,
+    /// Table files written.
+    pub tables: Vec<String>,
+}
+
+/// Persist a warehouse's catalog tables under `dir`.
+pub fn save_warehouse(wh: &Warehouse, dir: &Path) -> Result<SaveReport> {
+    std::fs::create_dir_all(dir).map_err(|e| EtlError::Internal(e.to_string()))?;
+    let mode = wh.mode();
+    let tables: Vec<&str> = match mode {
+        Mode::Lazy => vec![FILES_TABLE, RECORDS_TABLE],
+        Mode::Eager => vec![FILES_TABLE, RECORDS_TABLE, DATA_TABLE],
+    };
+    let mut bytes = 0u64;
+    let mut written = Vec::new();
+    for name in tables {
+        let table = wh
+            .catalog()
+            .table(name)
+            .ok_or_else(|| EtlError::Internal(format!("table {name} missing")))?;
+        let path = dir.join(format!("{name}.lztb"));
+        save_table(table, &path)?;
+        bytes += std::fs::metadata(&path)
+            .map_err(|e| EtlError::Internal(e.to_string()))?
+            .len();
+        written.push(format!("{name}.lztb"));
+    }
+    let manifest = format!(
+        "{MANIFEST_VERSION}\nmode={}\n",
+        match mode {
+            Mode::Lazy => "lazy",
+            Mode::Eager => "eager",
+        }
+    );
+    std::fs::write(dir.join(MANIFEST_NAME), manifest)
+        .map_err(|e| EtlError::Internal(e.to_string()))?;
+    Ok(SaveReport {
+        mode,
+        bytes,
+        tables: written,
+    })
+}
+
+/// Read the mode recorded in a saved-warehouse directory.
+pub fn saved_mode(dir: &Path) -> Result<Mode> {
+    let manifest = std::fs::read_to_string(dir.join(MANIFEST_NAME))
+        .map_err(|e| EtlError::Internal(format!("no warehouse manifest in {dir:?}: {e}")))?;
+    let mut lines = manifest.lines();
+    if lines.next() != Some(MANIFEST_VERSION) {
+        return Err(EtlError::Internal(format!(
+            "unsupported warehouse manifest version in {dir:?}"
+        )));
+    }
+    match lines.next() {
+        Some("mode=lazy") => Ok(Mode::Lazy),
+        Some("mode=eager") => Ok(Mode::Eager),
+        other => Err(EtlError::Internal(format!(
+            "bad manifest mode line {other:?}"
+        ))),
+    }
+}
+
+/// Load the persisted tables of a saved warehouse.
+///
+/// Returns `(files, records, data)`; `data` is present for eager saves.
+pub fn load_saved_tables(
+    dir: &Path,
+) -> Result<(
+    lazyetl_store::Table,
+    lazyetl_store::Table,
+    Option<lazyetl_store::Table>,
+)> {
+    let mode = saved_mode(dir)?;
+    let files = load_table(&dir.join(format!("{FILES_TABLE}.lztb")))?;
+    let records = load_table(&dir.join(format!("{RECORDS_TABLE}.lztb")))?;
+    let data = match mode {
+        Mode::Lazy => None,
+        Mode::Eager => Some(load_table(&dir.join(format!("{DATA_TABLE}.lztb")))?),
+    };
+    Ok((files, records, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warehouse::WarehouseConfig;
+    use lazyetl_mseed::gen::{generate_repository, GeneratorConfig};
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (PathBuf, PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "lazyetl_persist_wh_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&root).ok();
+        let repo = root.join("repo");
+        std::fs::create_dir_all(&repo).unwrap();
+        generate_repository(&repo, &GeneratorConfig::tiny(31)).unwrap();
+        (root, repo)
+    }
+
+    fn cfg() -> WarehouseConfig {
+        WarehouseConfig {
+            auto_refresh: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn save_and_reload_lazy() {
+        let (root, repo) = setup("lazy");
+        let wh = Warehouse::open_lazy(&repo, cfg()).unwrap();
+        let saved = root.join("saved");
+        let report = save_warehouse(&wh, &saved).unwrap();
+        assert_eq!(report.mode, Mode::Lazy);
+        assert_eq!(report.tables.len(), 2);
+        assert!(report.bytes > 0);
+        assert_eq!(saved_mode(&saved).unwrap(), Mode::Lazy);
+        let (files, records, data) = load_saved_tables(&saved).unwrap();
+        assert_eq!(files.num_rows(), wh.load_report().files);
+        assert_eq!(records.num_rows(), wh.load_report().records);
+        assert!(data.is_none());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn save_and_reload_eager_keeps_data() {
+        let (root, repo) = setup("eager");
+        let wh = Warehouse::open_eager(&repo, cfg()).unwrap();
+        let saved = root.join("saved");
+        let report = save_warehouse(&wh, &saved).unwrap();
+        assert_eq!(report.tables.len(), 3);
+        let (_, _, data) = load_saved_tables(&saved).unwrap();
+        let d = data.expect("eager saves D");
+        assert_eq!(d.num_rows() as u64, wh.load_report().samples_loaded);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn missing_or_corrupt_manifest_rejected() {
+        let dir = std::env::temp_dir().join(format!(
+            "lazyetl_persist_bad_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(saved_mode(&dir).is_err());
+        std::fs::write(dir.join(MANIFEST_NAME), "garbage\nmode=lazy\n").unwrap();
+        assert!(saved_mode(&dir).is_err());
+        std::fs::write(
+            dir.join(MANIFEST_NAME),
+            "lazyetl-warehouse-v1\nmode=sideways\n",
+        )
+        .unwrap();
+        assert!(saved_mode(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

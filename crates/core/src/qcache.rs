@@ -1,0 +1,341 @@
+//! Result-level recycling: caching the **end result** of a query.
+//!
+//! §3.3 of the paper describes loading as "simply caching the result of a
+//! view definition" via MonetDB's intermediate-result recycler \[8\], and
+//! notes that "usually, the end result of a view is saved in the cache".
+//! The per-record cache in [`crate::cache`] recycles the *extraction*
+//! intermediates; this module adds the second recycler level: the final
+//! table of a query, keyed by a fingerprint of its optimized plan.
+//!
+//! A recycled result is only valid while the warehouse state it was
+//! computed from is unchanged. The warehouse bumps a *generation* counter
+//! whenever a refresh folds repository changes into the catalog; an entry
+//! admitted under an older generation is dropped at lookup (the lazy
+//! analogue of the staleness check the record cache does with mtimes).
+//!
+//! Entries are LRU-evicted under a byte budget, exactly like the record
+//! cache. This layer is off by default
+//! ([`crate::warehouse::WarehouseConfig::recycle_query_results`]) so that
+//! per-query extraction accounting stays observable; experiment E11
+//! measures what it buys.
+
+use lazyetl_store::Table;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cumulative statistics of the result recycler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups that returned a fresh result.
+    pub hits: u64,
+    /// Lookups with no entry.
+    pub misses: u64,
+    /// Entries dropped because the warehouse generation moved on.
+    pub generation_drops: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+    /// Total bytes ever admitted.
+    pub inserted_bytes: u64,
+}
+
+impl ResultCacheStats {
+    /// Hit rate over all lookups (0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.generation_drops;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Summary of one resident recycled result (for the demo's cache browser).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultEntrySummary {
+    /// The plan fingerprint (first line shown by browsers).
+    pub fingerprint: String,
+    /// Entry size in bytes.
+    pub bytes: usize,
+    /// Rows held.
+    pub rows: usize,
+    /// Warehouse generation the result was computed under.
+    pub generation: u64,
+}
+
+/// Snapshot of recycled results and occupancy.
+#[derive(Debug, Clone)]
+pub struct ResultCacheSnapshot {
+    /// Resident entries ordered by fingerprint.
+    pub entries: Vec<ResultEntrySummary>,
+    /// Bytes in use.
+    pub used_bytes: usize,
+    /// Byte budget.
+    pub budget_bytes: usize,
+    /// Statistics so far.
+    pub stats: ResultCacheStats,
+}
+
+#[derive(Debug)]
+struct ResultEntry {
+    table: Arc<Table>,
+    bytes: usize,
+    generation: u64,
+    last_used_tick: u64,
+}
+
+/// Byte-budgeted LRU cache of final query results.
+#[derive(Debug)]
+pub struct QueryResultCache {
+    budget_bytes: usize,
+    entries: HashMap<String, ResultEntry>,
+    /// last_used_tick -> fingerprint for O(log n) LRU eviction.
+    lru: BTreeMap<u64, String>,
+    tick: u64,
+    used_bytes: usize,
+    stats: ResultCacheStats,
+}
+
+impl QueryResultCache {
+    /// A result recycler with the given byte budget.
+    pub fn new(budget_bytes: usize) -> QueryResultCache {
+        QueryResultCache {
+            budget_bytes,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            used_bytes: 0,
+            stats: ResultCacheStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up a plan fingerprint; entries from older warehouse
+    /// generations are dropped and reported as misses.
+    pub fn get(&mut self, fingerprint: &str, current_generation: u64) -> Option<Arc<Table>> {
+        let tick = self.next_tick();
+        match self.entries.get_mut(fingerprint) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(entry) if entry.generation != current_generation => {
+                self.stats.generation_drops += 1;
+                let old = self
+                    .entries
+                    .remove(fingerprint)
+                    .expect("entry just matched");
+                self.lru.remove(&old.last_used_tick);
+                self.used_bytes -= old.bytes;
+                None
+            }
+            Some(entry) => {
+                self.stats.hits += 1;
+                self.lru.remove(&entry.last_used_tick);
+                entry.last_used_tick = tick;
+                self.lru.insert(tick, fingerprint.to_string());
+                Some(entry.table.clone())
+            }
+        }
+    }
+
+    /// Admit (or replace) a result. Returns entries evicted to make room;
+    /// results larger than the whole budget are not admitted.
+    pub fn insert(&mut self, fingerprint: String, table: Arc<Table>, generation: u64) -> usize {
+        let bytes = table.byte_size();
+        if let Some(old) = self.entries.remove(&fingerprint) {
+            self.lru.remove(&old.last_used_tick);
+            self.used_bytes -= old.bytes;
+        }
+        if bytes > self.budget_bytes {
+            return 0;
+        }
+        let mut evicted = 0usize;
+        while self.used_bytes + bytes > self.budget_bytes {
+            let (&oldest_tick, oldest_key) =
+                self.lru.iter().next().expect("over budget implies entries");
+            let oldest_key = oldest_key.clone();
+            let old = self
+                .entries
+                .remove(&oldest_key)
+                .expect("lru index consistent");
+            self.lru.remove(&oldest_tick);
+            self.used_bytes -= old.bytes;
+            self.stats.evictions += 1;
+            evicted += 1;
+        }
+        let tick = self.next_tick();
+        self.entries.insert(
+            fingerprint.clone(),
+            ResultEntry {
+                table,
+                bytes,
+                generation,
+                last_used_tick: tick,
+            },
+        );
+        self.lru.insert(tick, fingerprint);
+        self.used_bytes += bytes;
+        self.stats.inserted_bytes += bytes as u64;
+        evicted
+    }
+
+    /// Drop every entry (called when invalidation cannot be scoped).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.lru.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Number of resident results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ResultCacheStats {
+        self.stats
+    }
+
+    /// Snapshot of contents for the demo's cache browser.
+    pub fn snapshot(&self) -> ResultCacheSnapshot {
+        let mut entries: Vec<ResultEntrySummary> = self
+            .entries
+            .iter()
+            .map(|(k, e)| ResultEntrySummary {
+                fingerprint: k.clone(),
+                bytes: e.bytes,
+                rows: e.table.num_rows(),
+                generation: e.generation,
+            })
+            .collect();
+        entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
+        ResultCacheSnapshot {
+            entries,
+            used_bytes: self.used_bytes,
+            budget_bytes: self.budget_bytes,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_store::{DataType, Field, Schema, Value};
+
+    fn table_of(rows: usize) -> Arc<Table> {
+        let schema = Schema::new(vec![Field::new("v", DataType::Float64)]).unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..rows {
+            t.append_row(vec![Value::Float64(i as f64)]).unwrap();
+        }
+        Arc::new(t)
+    }
+
+    #[test]
+    fn hit_after_insert_same_generation() {
+        let mut c = QueryResultCache::new(1 << 20);
+        assert!(c.get("plan-a", 0).is_none());
+        c.insert("plan-a".into(), table_of(4), 0);
+        let hit = c.get("plan-a", 0).expect("fresh entry");
+        assert_eq!(hit.num_rows(), 4);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let mut c = QueryResultCache::new(1 << 20);
+        c.insert("plan-a".into(), table_of(4), 0);
+        assert!(c.get("plan-a", 1).is_none(), "stale generation dropped");
+        assert_eq!(c.stats().generation_drops, 1);
+        assert!(c.is_empty());
+        // And it's a plain miss afterwards.
+        assert!(c.get("plan-a", 1).is_none());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn distinct_fingerprints_do_not_collide() {
+        let mut c = QueryResultCache::new(1 << 20);
+        c.insert("plan-a".into(), table_of(1), 0);
+        c.insert("plan-b".into(), table_of(2), 0);
+        assert_eq!(c.get("plan-a", 0).unwrap().num_rows(), 1);
+        assert_eq!(c.get("plan-b", 0).unwrap().num_rows(), 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_under_budget() {
+        // 10-row float tables are 80 bytes each.
+        let mut c = QueryResultCache::new(250);
+        c.insert("a".into(), table_of(10), 0);
+        c.insert("b".into(), table_of(10), 0);
+        c.insert("c".into(), table_of(10), 0);
+        assert!(c.get("a", 0).is_some(), "touch a; b becomes LRU");
+        let evicted = c.insert("d".into(), table_of(10), 0);
+        assert_eq!(evicted, 1);
+        assert!(c.get("b", 0).is_none(), "LRU victim gone");
+        assert!(c.get("a", 0).is_some());
+        assert!(c.used_bytes() <= c.budget_bytes());
+    }
+
+    #[test]
+    fn oversized_result_not_admitted() {
+        let mut c = QueryResultCache::new(64);
+        assert_eq!(c.insert("big".into(), table_of(1000), 0), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replace_same_fingerprint() {
+        let mut c = QueryResultCache::new(1 << 20);
+        c.insert("a".into(), table_of(10), 0);
+        c.insert("a".into(), table_of(20), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a", 1).unwrap().num_rows(), 20);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_fingerprint() {
+        let mut c = QueryResultCache::new(1 << 20);
+        c.insert("zeta".into(), table_of(1), 3);
+        c.insert("alpha".into(), table_of(2), 3);
+        let snap = c.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].fingerprint, "alpha");
+        assert_eq!(snap.entries[0].generation, 3);
+        assert_eq!(snap.used_bytes, c.used_bytes());
+    }
+
+    #[test]
+    fn clear_resets_occupancy_not_stats() {
+        let mut c = QueryResultCache::new(1 << 20);
+        c.insert("a".into(), table_of(10), 0);
+        let _ = c.get("a", 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.stats().hits, 1, "stats survive clear");
+    }
+}

@@ -1,0 +1,987 @@
+//! The scientific data warehouse facade.
+//!
+//! Two construction modes mirror the paper's comparison:
+//!
+//! * [`Warehouse::open_lazy`] — loads **only metadata** (F and R); the
+//!   actual data table `D` is registered as an external table that the
+//!   lazy rewriter materializes per query. "With the initial loading of
+//!   only metadata, the data warehouse is instantly ready for analysis
+//!   queries" (§4).
+//! * [`Warehouse::open_eager`] — the traditional baseline: extracts,
+//!   transforms and loads everything up front.
+//!
+//! Querying goes through the full pipeline: parse → plan (with view
+//! expansion) → optimize (metadata predicates first) → run-time lazy
+//! rewrite → execute, with every stage's plan captured for the demo's
+//! observability items (4)–(6) and every ETL operation logged (item 8).
+
+use crate::cache::{CacheLookup, CacheSnapshot, RecyclingCache};
+use crate::error::{EtlError, Result};
+use crate::extract::{push_file_row, push_record_row, FormatRegistry, RecordLocator};
+use crate::log::{EtlLog, EtlOp};
+use crate::parallel::{extract_groups, FileGroup};
+use crate::qcache::{QueryResultCache, ResultCacheSnapshot};
+use crate::rewrite::{lazy_rewrite, LocatorIndex, RewriteContext, RewriteReport};
+use crate::schema::{self, DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
+use lazyetl_query::exec::{execute, ExecContext};
+use lazyetl_query::optimizer::{coerce_timestamp_literals, fold_constants, optimize};
+use lazyetl_query::planner::{plan_select, TableSource};
+use lazyetl_query::{parse_select, LogicalPlan};
+use lazyetl_repo::{AccessProfile, Repository};
+use lazyetl_store::{Catalog, Table};
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Warehouse construction mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Metadata-only initial load; actual data on demand (the paper's
+    /// contribution).
+    Lazy,
+    /// Traditional full initial load (the baseline).
+    Eager,
+}
+
+/// Tunables; defaults reproduce the paper's configuration.
+#[derive(Debug, Clone)]
+pub struct WarehouseConfig {
+    /// Byte budget of the recycling cache ("not larger than the size of
+    /// system's main memory", §3.3).
+    pub cache_budget_bytes: usize,
+    /// Check the repository for updates at the start of every query
+    /// ("refreshments are handled … when the data warehouse is queried",
+    /// §3.3). Benchmarks measuring pure query latency disable this.
+    pub auto_refresh: bool,
+    /// Bounded staleness for auto-refresh (cf. the "lazy aggregates" line
+    /// of work the paper cites \[13\]): when set, the query-start rescan is
+    /// skipped if the previous one ran less than this long ago. Metadata
+    /// may then lag the repository by at most this bound; extracted
+    /// payloads stay fresh regardless, because the record cache checks
+    /// file mtimes at every fetch. `None` rescans on every query.
+    pub max_staleness: Option<Duration>,
+    /// Apply the compile-time reorganization that evaluates metadata
+    /// predicates first (§3.1). Disabling is the E4 ablation: every query
+    /// degenerates to a full-repository extraction.
+    pub metadata_predicate_first: bool,
+    /// Prune candidate records whose time range cannot intersect the
+    /// query's sample-time predicates (ablation flag).
+    pub record_level_pruning: bool,
+    /// Use the recycling cache (ablation flag).
+    pub use_cache: bool,
+    /// Recycle **final query results** keyed by optimized-plan fingerprint
+    /// (the second recycler level of §3.3; experiment E11). Off by default
+    /// so per-query extraction accounting stays observable.
+    pub recycle_query_results: bool,
+    /// Byte budget of the result recycler (only used when
+    /// [`recycle_query_results`](Self::recycle_query_results) is on).
+    pub result_cache_budget_bytes: usize,
+    /// Worker threads for the extraction phase of lazy fetches (file
+    /// granularity; experiment E10). `1` is the paper's sequential
+    /// behaviour; higher values overlap decoding of independent files
+    /// without changing any observable result.
+    pub extraction_threads: usize,
+    /// Simulated remote-access cost model for experiment accounting.
+    pub access: AccessProfile,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            cache_budget_bytes: 256 << 20,
+            auto_refresh: true,
+            max_staleness: None,
+            metadata_predicate_first: true,
+            record_level_pruning: true,
+            use_cache: true,
+            recycle_query_results: false,
+            result_cache_budget_bytes: 64 << 20,
+            extraction_threads: 1,
+            access: AccessProfile::local(),
+        }
+    }
+}
+
+/// What initial loading cost.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Lazy or eager.
+    pub mode: Mode,
+    /// Files registered.
+    pub files: usize,
+    /// Record-metadata rows loaded.
+    pub records: usize,
+    /// Waveform samples materialized into `D` (0 for lazy).
+    pub samples_loaded: u64,
+    /// Bytes read from the repository.
+    pub bytes_read: u64,
+    /// Wall-clock duration of the load.
+    pub elapsed: Duration,
+    /// Simulated remote-access time under [`WarehouseConfig::access`].
+    pub simulated_io: Duration,
+}
+
+/// What a refresh did.
+#[derive(Debug, Clone, Default)]
+pub struct RefreshSummary {
+    /// Newly appeared files.
+    pub added: usize,
+    /// Files whose content changed.
+    pub modified: usize,
+    /// Files that disappeared.
+    pub removed: usize,
+    /// Record-metadata rows re-loaded.
+    pub records_reloaded: usize,
+    /// Samples re-extracted (eager mode only).
+    pub samples_reloaded: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+}
+
+impl RefreshSummary {
+    /// True when the repository was unchanged.
+    pub fn is_noop(&self) -> bool {
+        self.added == 0 && self.modified == 0 && self.removed == 0
+    }
+}
+
+/// Per-query diagnostics (feeds demo items 3, 4, 5, 6, 8).
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// The SQL text.
+    pub sql: String,
+    /// End-to-end wall-clock time.
+    pub elapsed: Duration,
+    /// Result row count.
+    pub rows: usize,
+    /// (stage name, rendered plan) in pipeline order.
+    pub stages: Vec<(String, String)>,
+    /// Run-time rewrite details (lazy mode, when the query touches data).
+    pub rewrite: Option<RewriteReport>,
+    /// URIs of files actual data was extracted from for this query.
+    pub files_extracted: Vec<String>,
+    /// Records decoded for this query.
+    pub records_extracted: usize,
+    /// Samples decoded for this query.
+    pub samples_extracted: u64,
+    /// Needed record ranges served from the cache.
+    pub cache_hits: usize,
+    /// Needed record ranges not in the cache.
+    pub cache_misses: usize,
+    /// Stale cache entries dropped and re-extracted.
+    pub stale_drops: usize,
+    /// Repository bytes read for this query.
+    pub bytes_read: u64,
+    /// Simulated remote-access time for this query.
+    pub simulated_io: Duration,
+    /// What the query-start refresh found, when auto-refresh is on.
+    pub refresh: Option<RefreshSummary>,
+    /// True when the whole result was served by the result recycler
+    /// (no extraction, no execution).
+    pub result_recycled: bool,
+}
+
+/// Query result: the rows plus the diagnostics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result rows.
+    pub table: Arc<Table>,
+    /// Diagnostics.
+    pub report: QueryReport,
+}
+
+#[derive(Debug, Default)]
+struct FetchStats {
+    files_extracted: BTreeSet<String>,
+    records_extracted: usize,
+    samples_extracted: u64,
+    cache_hits: usize,
+    cache_misses: usize,
+    stale_drops: usize,
+    bytes_read: u64,
+    simulated_io: Duration,
+}
+
+/// The scientific data warehouse.
+pub struct Warehouse {
+    mode: Mode,
+    config: WarehouseConfig,
+    repo: Repository,
+    catalog: Catalog,
+    cache: RecyclingCache,
+    qcache: QueryResultCache,
+    /// Bumped whenever a refresh folds repository changes into the
+    /// catalog; recycled results from older generations are invalid.
+    generation: u64,
+    log: EtlLog,
+    index: LocatorIndex,
+    extractor: FormatRegistry,
+    load_report: LoadReport,
+    /// When the repository was last rescanned (drives `max_staleness`).
+    last_rescan: Instant,
+}
+
+impl Warehouse {
+    /// Open a repository lazily: load only metadata; the warehouse is
+    /// ready for queries immediately.
+    pub fn open_lazy(root: impl AsRef<Path>, config: WarehouseConfig) -> Result<Warehouse> {
+        Self::open(root, config, Mode::Lazy)
+    }
+
+    /// Open a repository eagerly: full traditional ETL before the first
+    /// query can run.
+    pub fn open_eager(root: impl AsRef<Path>, config: WarehouseConfig) -> Result<Warehouse> {
+        Self::open(root, config, Mode::Eager)
+    }
+
+    fn open(root: impl AsRef<Path>, config: WarehouseConfig, mode: Mode) -> Result<Warehouse> {
+        let t0 = Instant::now();
+        let mut repo = Repository::open(root.as_ref().to_path_buf())?;
+        repo.access = config.access;
+        let mut catalog = Catalog::new();
+        schema::install_metadata_schema(&mut catalog)?;
+        let mut log = EtlLog::new();
+        let extractor = FormatRegistry::default();
+
+        // Phase 1 (both modes): metadata into F and R.
+        let mut bytes_read = 0u64;
+        let mut simulated_io = Duration::ZERO;
+        let mut n_records = 0usize;
+        {
+            let mut f_table = Table::empty(schema::files_schema());
+            let mut r_table = Table::empty(schema::records_schema());
+            for entry in repo.files() {
+                let md = extractor.for_entry(entry)?.scan_metadata(entry)?;
+                push_file_row(&mut f_table, &md.file)?;
+                for rr in &md.records {
+                    push_record_row(&mut r_table, rr)?;
+                }
+                n_records += md.records.len();
+                bytes_read += md.bytes_read;
+                simulated_io += config.access.cost(md.bytes_read);
+                log.push(EtlOp::MetadataLoad {
+                    uri: entry.uri.clone(),
+                    records: md.records.len(),
+                    bytes_read: md.bytes_read,
+                });
+            }
+            catalog.replace_table(FILES_TABLE, f_table)?;
+            catalog.replace_table(RECORDS_TABLE, r_table)?;
+        }
+        let index = LocatorIndex::build(
+            catalog
+                .table(RECORDS_TABLE)
+                .expect("records table installed"),
+        )?;
+
+        // Phase 2 (eager only): extract and load every record into D.
+        let mut samples_loaded = 0u64;
+        if mode == Mode::Eager {
+            let mut d_table = Table::empty(schema::data_schema());
+            for entry in repo.files() {
+                let file_id = entry.id.0 as i64;
+                let locators: Vec<RecordLocator> = index
+                    .seqs_of_file(file_id)
+                    .iter()
+                    .map(|&s| index.get(file_id, s).expect("index consistent").locator)
+                    .collect();
+                let datas = extractor.for_entry(entry)?.extract_records(entry, &locators)?;
+                let mut recs = 0usize;
+                for rd in &datas {
+                    samples_loaded += rd.values.len() as u64;
+                    recs += 1;
+                    d_table.append_table(&rd.to_table(file_id)?)?;
+                }
+                bytes_read += entry.size;
+                simulated_io += config.access.cost(entry.size);
+                log.push(EtlOp::Extract {
+                    uri: entry.uri.clone(),
+                    records: recs,
+                    samples: datas.iter().map(|d| d.values.len()).sum(),
+                });
+            }
+            catalog.create_table(DATA_TABLE, d_table)?;
+        }
+
+        let load_report = LoadReport {
+            mode,
+            files: repo.len(),
+            records: n_records,
+            samples_loaded,
+            bytes_read,
+            elapsed: t0.elapsed(),
+            simulated_io,
+        };
+        Ok(Warehouse {
+            mode,
+            cache: RecyclingCache::new(config.cache_budget_bytes),
+            qcache: QueryResultCache::new(config.result_cache_budget_bytes),
+            generation: 0,
+            config,
+            repo,
+            catalog,
+            log,
+            index,
+            extractor,
+            load_report,
+            last_rescan: Instant::now(),
+        })
+    }
+
+    /// Which mode this warehouse was opened in.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The initial-load cost report.
+    pub fn load_report(&self) -> &LoadReport {
+        &self.load_report
+    }
+
+    /// The underlying repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repo
+    }
+
+    /// The catalog (metadata browsing, demo item 2).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Bytes resident in catalog tables (warehouse footprint, E2).
+    pub fn resident_bytes(&self) -> usize {
+        self.catalog.resident_bytes()
+    }
+
+    /// Snapshot of the recycling cache (demo item 7).
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.cache.snapshot()
+    }
+
+    /// Snapshot of the result recycler (empty unless
+    /// [`WarehouseConfig::recycle_query_results`] is on).
+    pub fn result_cache_snapshot(&self) -> ResultCacheSnapshot {
+        self.qcache.snapshot()
+    }
+
+    /// Current invalidation generation (bumped by refreshes that fold
+    /// repository changes into the catalog).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The ETL operations log (demo item 8).
+    pub fn etl_log(&self) -> &EtlLog {
+        &self.log
+    }
+
+    /// Render the ETL log as text.
+    pub fn etl_log_render(&self) -> String {
+        self.log.render()
+    }
+
+    /// Run a SQL query through the full lazy/eager pipeline.
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutput> {
+        let t0 = Instant::now();
+        self.log.push(EtlOp::QueryStart {
+            sql: sql.to_string(),
+        });
+        let mut report = QueryReport {
+            sql: sql.to_string(),
+            elapsed: Duration::ZERO,
+            rows: 0,
+            stages: Vec::new(),
+            rewrite: None,
+            files_extracted: Vec::new(),
+            records_extracted: 0,
+            samples_extracted: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            stale_drops: 0,
+            bytes_read: 0,
+            simulated_io: Duration::ZERO,
+            refresh: None,
+            result_recycled: false,
+        };
+        let within_staleness_bound = self
+            .config
+            .max_staleness
+            .is_some_and(|bound| self.last_rescan.elapsed() < bound);
+        if self.config.auto_refresh && !within_staleness_bound {
+            let summary = self.refresh()?;
+            if !summary.is_noop() {
+                report.refresh = Some(summary);
+            }
+        }
+
+        // Parse and plan.
+        let stmt = parse_select(sql)?;
+        let source = match self.mode {
+            Mode::Lazy => TableSource::new(&self.catalog)
+                .with_external(DATA_TABLE, schema::data_schema()),
+            Mode::Eager => TableSource::new(&self.catalog),
+        };
+        let plan = plan_select(&stmt, &source)?;
+        report.stages.push(("logical".into(), plan.display()));
+
+        // Compile-time optimization (metadata predicates first).
+        let plan = if self.config.metadata_predicate_first {
+            optimize(&plan)?
+        } else {
+            // Ablation: keep literal coercion and folding, skip pushdown.
+            fold_constants(&coerce_timestamp_literals(&plan)?)
+        };
+        report.stages.push(("optimized".into(), plan.display()));
+        self.log.push(EtlOp::PlanRewrite {
+            stage: "compile-time".into(),
+            detail: if self.config.metadata_predicate_first {
+                "predicates pushed toward metadata scans".into()
+            } else {
+                "pushdown disabled (ablation)".into()
+            },
+        });
+
+        // Result recycler: the optimized plan (literals included) is the
+        // fingerprint; a hit skips extraction and execution entirely.
+        let fingerprint = if self.config.recycle_query_results {
+            let fp = plan.display();
+            if let Some(table) = self.qcache.get(&fp, self.generation) {
+                report.stages.push(("recycled".into(), fp.clone()));
+                report.rows = table.num_rows();
+                report.result_recycled = true;
+                report.elapsed = t0.elapsed();
+                self.log.push(EtlOp::ResultRecycleHit {
+                    rows: report.rows,
+                });
+                self.log.push(EtlOp::QueryFinish {
+                    rows: report.rows,
+                    elapsed_us: report.elapsed.as_micros() as u64,
+                });
+                return Ok(QueryOutput { table, report });
+            }
+            Some(fp)
+        } else {
+            None
+        };
+
+        // Run-time lazy rewrite (lazy mode only).
+        let has_external =
+            plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
+        let final_plan = if self.mode == Mode::Lazy && has_external {
+            let mut rewrite_report = RewriteReport::default();
+            let mut stats = FetchStats::default();
+            {
+                let catalog = &self.catalog;
+                let repo = &self.repo;
+                let index = &self.index;
+                let extractor = &self.extractor;
+                let cache = &mut self.cache;
+                let log = &mut self.log;
+                let use_cache = self.config.use_cache;
+                let access = self.config.access;
+                let threads = self.config.extraction_threads;
+                let exec_meta = move |p: &LogicalPlan| -> Result<Arc<Table>> {
+                    execute(p, &ExecContext::new(catalog)).map_err(EtlError::Query)
+                };
+                let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
+                    fetch_pairs(
+                        repo, index, extractor, cache, log, use_cache, access, threads,
+                        pairs, &mut stats,
+                    )
+                };
+                let ctx = RewriteContext {
+                    index,
+                    record_level_pruning: self.config.record_level_pruning,
+                };
+                let rewritten =
+                    lazy_rewrite(&plan, &ctx, &exec_meta, &mut fetch, &mut rewrite_report)?;
+                report.stages.push(("rewritten".into(), rewritten.display()));
+                report.rewrite = Some(rewrite_report.clone());
+                self.log.push(EtlOp::PlanRewrite {
+                    stage: "run-time".into(),
+                    detail: format!(
+                        "injected {} records ({} pruned) from metadata join of {} rows",
+                        rewrite_report.fetched_pairs,
+                        rewrite_report.pruned_pairs,
+                        rewrite_report.metadata_rows
+                    ),
+                });
+                report.files_extracted = stats.files_extracted.iter().cloned().collect();
+                report.records_extracted = stats.records_extracted;
+                report.samples_extracted = stats.samples_extracted;
+                report.cache_hits = stats.cache_hits;
+                report.cache_misses = stats.cache_misses;
+                report.stale_drops = stats.stale_drops;
+                report.bytes_read = stats.bytes_read;
+                report.simulated_io = stats.simulated_io;
+                rewritten
+            }
+        } else {
+            plan
+        };
+
+        // Execute.
+        let table = execute(&final_plan, &ExecContext::new(&self.catalog))
+            .map_err(EtlError::Query)?;
+        if let Some(fp) = fingerprint {
+            let bytes = table.byte_size();
+            self.qcache.insert(fp, table.clone(), self.generation);
+            self.log.push(EtlOp::ResultRecycleAdmit {
+                rows: table.num_rows(),
+                bytes,
+            });
+        }
+        report.rows = table.num_rows();
+        report.elapsed = t0.elapsed();
+        self.log.push(EtlOp::QueryFinish {
+            rows: report.rows,
+            elapsed_us: report.elapsed.as_micros() as u64,
+        });
+        Ok(QueryOutput { table, report })
+    }
+
+    /// Explain a query: run the pipeline and return the per-stage plans.
+    ///
+    /// In lazy mode this performs the run-time rewrite (and therefore the
+    /// extraction) — exactly what the demo shows its audience.
+    pub fn explain(&mut self, sql: &str) -> Result<Vec<(String, String)>> {
+        Ok(self.query(sql)?.report.stages)
+    }
+
+    /// Compile-time plan preview: parse, plan and optimize *without*
+    /// executing anything — no extraction, no cache traffic, no log
+    /// entries. Returns the `logical` and `optimized` stages; the
+    /// `rewritten` stage only exists at run time (see [`Self::explain`]).
+    pub fn plan_preview(&self, sql: &str) -> Result<Vec<(String, String)>> {
+        let stmt = parse_select(sql)?;
+        let source = match self.mode {
+            Mode::Lazy => TableSource::new(&self.catalog)
+                .with_external(DATA_TABLE, schema::data_schema()),
+            Mode::Eager => TableSource::new(&self.catalog),
+        };
+        let plan = plan_select(&stmt, &source)?;
+        let mut stages = vec![("logical".to_string(), plan.display())];
+        let optimized = if self.config.metadata_predicate_first {
+            optimize(&plan)?
+        } else {
+            fold_constants(&coerce_timestamp_literals(&plan)?)
+        };
+        stages.push(("optimized".to_string(), optimized.display()));
+        Ok(stages)
+    }
+
+    /// Rescan the repository and fold any changes into the warehouse.
+    ///
+    /// Lazy mode reloads metadata of changed/added files and invalidates
+    /// their cache entries; eager mode additionally re-extracts their
+    /// data. Removed files disappear from all tables.
+    pub fn refresh(&mut self) -> Result<RefreshSummary> {
+        let t0 = Instant::now();
+        // Capture the pre-rescan id mapping so removed files can be purged.
+        let prev_ids: std::collections::HashMap<String, i64> = self
+            .repo
+            .files()
+            .iter()
+            .map(|e| (e.uri.clone(), e.id.0 as i64))
+            .collect();
+        let change = self.repo.rescan()?;
+        self.last_rescan = Instant::now();
+        if change.is_empty() {
+            return Ok(RefreshSummary {
+                elapsed: t0.elapsed(),
+                ..Default::default()
+            });
+        }
+        let mut summary = RefreshSummary {
+            added: change.added.len(),
+            modified: change.modified.len(),
+            removed: change.removed.len(),
+            ..Default::default()
+        };
+        // Recycled results were computed against the pre-change catalog.
+        self.generation += 1;
+
+        // Purge removed files.
+        for uri in &change.removed {
+            if let Some(&fid) = prev_ids.get(uri) {
+                self.delete_file_rows(fid)?;
+                self.cache.invalidate_file(fid);
+            }
+        }
+
+        // Reload metadata (and, eagerly, data) of changed and added files.
+        for uri in change.modified.iter().chain(&change.added) {
+            let (records, samples) = self.reload_file(uri)?;
+            summary.records_reloaded += records;
+            summary.samples_reloaded += samples;
+        }
+
+        // Rebuild the locator index from the fresh R table.
+        self.rebuild_index()?;
+        summary.elapsed = t0.elapsed();
+        Ok(summary)
+    }
+
+    /// Replace one file's warehouse state from its current on-disk
+    /// content: metadata rows always, `D` rows in eager mode, cache
+    /// entries invalidated. Returns (record rows, samples) reloaded.
+    /// Callers must rebuild the locator index afterwards.
+    fn reload_file(&mut self, uri: &str) -> Result<(usize, u64)> {
+        let entry = self
+            .repo
+            .by_uri(uri)
+            .ok_or_else(|| EtlError::Internal(format!("repository lost {uri:?}")))?
+            .clone();
+        let fid = entry.id.0 as i64;
+        self.delete_file_rows(fid)?;
+        self.cache.invalidate_file(fid);
+        let md = self.extractor.for_entry(&entry)?.scan_metadata(&entry)?;
+        {
+            let f_table = self
+                .catalog
+                .table_mut(FILES_TABLE)
+                .ok_or_else(|| EtlError::Internal("files table missing".into()))?;
+            push_file_row(f_table, &md.file)?;
+        }
+        {
+            let r_table = self
+                .catalog
+                .table_mut(RECORDS_TABLE)
+                .ok_or_else(|| EtlError::Internal("records table missing".into()))?;
+            for rr in &md.records {
+                push_record_row(r_table, rr)?;
+            }
+        }
+        self.log.push(EtlOp::MetadataRefresh { uri: uri.to_string() });
+        self.log.push(EtlOp::StaleDrop { uri: uri.to_string() });
+        let mut samples = 0u64;
+        if self.mode == Mode::Eager {
+            let locators: Vec<RecordLocator> = md
+                .records
+                .iter()
+                .map(|r| RecordLocator {
+                    seq_no: r.seq_no,
+                    byte_offset: r.byte_offset as u64,
+                    record_length: r.record_length as u32,
+                })
+                .collect();
+            let datas = self
+                .extractor
+                .for_entry(&entry)?
+                .extract_records(&entry, &locators)?;
+            let mut adds = Table::empty(schema::data_schema());
+            for rd in &datas {
+                samples += rd.values.len() as u64;
+                adds.append_table(&rd.to_table(fid)?)?;
+            }
+            let d_table = self
+                .catalog
+                .table_mut(DATA_TABLE)
+                .ok_or_else(|| EtlError::Internal("data table missing".into()))?;
+            d_table.append_table(&adds)?;
+            self.log.push(EtlOp::Extract {
+                uri: uri.to_string(),
+                records: datas.len(),
+                samples: samples as usize,
+            });
+        }
+        Ok((md.records.len(), samples))
+    }
+
+    fn rebuild_index(&mut self) -> Result<()> {
+        self.index = LocatorIndex::build(
+            self.catalog
+                .table(RECORDS_TABLE)
+                .expect("records table present"),
+        )?;
+        Ok(())
+    }
+
+    /// Reopen a warehouse from state persisted by
+    /// [`crate::persistence::save_warehouse`], skipping the metadata scan
+    /// (and, for eager saves, the full extraction).
+    ///
+    /// The repository may have drifted since the save; every file is
+    /// reconciled by URI — unchanged files keep their persisted rows,
+    /// changed or renumbered files are reloaded, vanished files are
+    /// purged, and new files are scanned fresh.
+    pub fn open_saved(
+        root: impl AsRef<Path>,
+        saved_dir: impl AsRef<Path>,
+        config: WarehouseConfig,
+    ) -> Result<Warehouse> {
+        let t0 = Instant::now();
+        let mode = crate::persistence::saved_mode(saved_dir.as_ref())?;
+        let (files, records, data) = crate::persistence::load_saved_tables(saved_dir.as_ref())?;
+        let mut repo = Repository::open(root.as_ref().to_path_buf())?;
+        repo.access = config.access;
+        let mut catalog = Catalog::new();
+        schema::install_metadata_schema(&mut catalog)?;
+        catalog.replace_table(FILES_TABLE, files)?;
+        catalog.replace_table(RECORDS_TABLE, records)?;
+        if let Some(d) = data {
+            catalog.create_table(DATA_TABLE, d)?;
+        }
+        let mut wh = Warehouse {
+            mode,
+            cache: RecyclingCache::new(config.cache_budget_bytes),
+            qcache: QueryResultCache::new(config.result_cache_budget_bytes),
+            generation: 0,
+            config,
+            repo,
+            catalog,
+            log: EtlLog::new(),
+            index: LocatorIndex::default(),
+            extractor: FormatRegistry::default(),
+            load_report: LoadReport {
+                mode,
+                files: 0,
+                records: 0,
+                samples_loaded: 0,
+                bytes_read: 0,
+                elapsed: Duration::ZERO,
+                simulated_io: Duration::ZERO,
+            },
+            last_rescan: Instant::now(),
+        };
+
+        // Reconcile persisted rows against the live repository by URI.
+        #[derive(Clone)]
+        struct SavedRow {
+            file_id: i64,
+            mtime: i64,
+            size: i64,
+        }
+        let mut saved: std::collections::HashMap<String, SavedRow> =
+            std::collections::HashMap::new();
+        {
+            let f_table = wh
+                .catalog
+                .table(FILES_TABLE)
+                .expect("files table installed");
+            let need = |name: &str| {
+                f_table
+                    .schema
+                    .index_of(name)
+                    .ok_or_else(|| EtlError::Internal(format!("files table lacks {name}")))
+            };
+            let (c_uri, c_id, c_mtime, c_size) =
+                (need("uri")?, need("file_id")?, need("mtime")?, need("size")?);
+            for row in 0..f_table.num_rows() {
+                let uri = f_table.columns[c_uri]
+                    .get(row)?
+                    .as_str()
+                    .unwrap_or_default()
+                    .to_string();
+                saved.insert(
+                    uri,
+                    SavedRow {
+                        file_id: f_table.columns[c_id].get(row)?.as_i64().unwrap_or(-1),
+                        mtime: f_table.columns[c_mtime].get(row)?.as_i64().unwrap_or(0),
+                        size: f_table.columns[c_size].get(row)?.as_i64().unwrap_or(-1),
+                    },
+                );
+            }
+        }
+        let entries: Vec<(String, i64, i64, i64)> = wh
+            .repo
+            .files()
+            .iter()
+            .map(|e| (e.uri.clone(), e.id.0 as i64, e.mtime.micros(), e.size as i64))
+            .collect();
+        let mut reloaded = 0usize;
+        for (uri, id, mtime, size) in &entries {
+            let fresh = match saved.remove(uri) {
+                Some(s) => s.file_id != *id || s.mtime != *mtime || s.size != *size,
+                None => true, // new file since the save
+            };
+            if fresh {
+                wh.reload_file(uri)?;
+                reloaded += 1;
+            }
+        }
+        // Anything left in `saved` vanished from the repository.
+        for (_, row) in saved {
+            wh.delete_file_rows(row.file_id)?;
+        }
+        wh.rebuild_index()?;
+        wh.load_report = LoadReport {
+            mode,
+            files: wh.repo.len(),
+            records: wh.index.len(),
+            samples_loaded: match mode {
+                Mode::Lazy => 0,
+                Mode::Eager => wh
+                    .catalog
+                    .table(DATA_TABLE)
+                    .map(|t| t.num_rows() as u64)
+                    .unwrap_or(0),
+            },
+            bytes_read: 0,
+            elapsed: t0.elapsed(),
+            simulated_io: Duration::ZERO,
+        };
+        wh.log.push(EtlOp::PlanRewrite {
+            stage: "bootstrap".into(),
+            detail: format!(
+                "reopened from saved state; {reloaded} of {} files reconciled",
+                entries.len()
+            ),
+        });
+        Ok(wh)
+    }
+
+    /// Remove all rows of `file_id` from F, R (and D in eager mode).
+    fn delete_file_rows(&mut self, file_id: i64) -> Result<()> {
+        let tables: &[&str] = match self.mode {
+            Mode::Lazy => &[FILES_TABLE, RECORDS_TABLE],
+            Mode::Eager => &[FILES_TABLE, RECORDS_TABLE, DATA_TABLE],
+        };
+        for name in tables {
+            let Some(table) = self.catalog.table_mut(name) else {
+                continue;
+            };
+            let Some(col) = table.column("file_id") else {
+                continue;
+            };
+            let mask: Vec<bool> = (0..col.len())
+                .map(|i| col.get(i).map(|v| v.as_i64() != Some(file_id)))
+                .collect::<lazyetl_store::Result<_>>()?;
+            if mask.iter().any(|&keep| !keep) {
+                *table = table.filter(&mask)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Materialize `D` rows for (file, record) pairs in three phases:
+///
+/// * **triage** (sequential) — per file, look each record up in the cache,
+///   collecting hits and the locators still needing extraction;
+/// * **extract** (parallel up to `threads`, see [`crate::parallel`]) —
+///   decode the missing records, file by file;
+/// * **assemble** (sequential) — per file in pair order: cached rows
+///   first, then fresh rows in byte-offset order, admitting each fresh
+///   record to the cache.
+///
+/// The assembled table is byte-identical for every thread count.
+#[allow(clippy::too_many_arguments)]
+fn fetch_pairs(
+    repo: &Repository,
+    index: &LocatorIndex,
+    extractor: &FormatRegistry,
+    cache: &mut RecyclingCache,
+    log: &mut EtlLog,
+    use_cache: bool,
+    access: AccessProfile,
+    threads: usize,
+    pairs: &[(i64, i64)],
+    stats: &mut FetchStats,
+) -> Result<Arc<Table>> {
+    // Phase A: group pairs by file and triage against the cache.
+    let mut groups: Vec<FileGroup> = Vec::new();
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let file_id = pairs[i].0;
+        let mut seqs = Vec::new();
+        while i < pairs.len() && pairs[i].0 == file_id {
+            seqs.push(pairs[i].1);
+            i += 1;
+        }
+        let entry = repo
+            .by_id(lazyetl_repo::FileId(file_id as u32))
+            .ok_or_else(|| {
+                EtlError::Internal(format!("file id {file_id} not in repository registry"))
+            })?
+            .clone();
+        let current_mtime = repo.current_mtime(&entry.uri)?;
+        let mut group = FileGroup {
+            entry,
+            current_mtime,
+            hit_tables: Vec::new(),
+            to_extract: Vec::new(),
+        };
+        for &seq in &seqs {
+            let info = index.get(file_id, seq).ok_or_else(|| {
+                EtlError::Internal(format!(
+                    "record ({file_id}, {seq}) missing from locator index"
+                ))
+            })?;
+            if use_cache {
+                match cache.get((file_id, seq), current_mtime) {
+                    CacheLookup::Hit(t) => {
+                        group.hit_tables.push(t);
+                        stats.cache_hits += 1;
+                        continue;
+                    }
+                    CacheLookup::Stale => {
+                        stats.stale_drops += 1;
+                        log.push(EtlOp::StaleDrop {
+                            uri: group.entry.uri.clone(),
+                        });
+                    }
+                    CacheLookup::Miss => {
+                        stats.cache_misses += 1;
+                    }
+                }
+            } else {
+                stats.cache_misses += 1;
+            }
+            group.to_extract.push(info.locator);
+        }
+        group.to_extract.sort_by_key(|l| l.byte_offset);
+        groups.push(group);
+    }
+
+    // Phase B: extract missing records, possibly in parallel.
+    let extracted = extract_groups(extractor, &groups, threads);
+
+    // Phase C: assemble rows in pair order and admit fresh extractions.
+    let mut out = Table::empty(schema::data_schema());
+    for (group, datas) in groups.iter().zip(extracted) {
+        let file_id = group.entry.id.0 as i64;
+        if !group.hit_tables.is_empty() {
+            for t in &group.hit_tables {
+                out.append_table(t)?;
+            }
+            log.push(EtlOp::CacheHit {
+                uri: group.entry.uri.clone(),
+                records: group.hit_tables.len(),
+            });
+        }
+        let datas = datas?;
+        if datas.is_empty() {
+            continue;
+        }
+        let mut file_bytes = 0u64;
+        let mut samples = 0usize;
+        for (rec, loc) in datas.iter().zip(&group.to_extract) {
+            samples += rec.samples;
+            file_bytes += loc.record_length as u64;
+            out.append_table(&rec.table)?;
+            if use_cache {
+                let evicted =
+                    cache.insert((file_id, rec.seq_no), rec.table.clone(), group.current_mtime);
+                if evicted > 0 {
+                    log.push(EtlOp::CacheEvict {
+                        entries: evicted,
+                        bytes: 0,
+                    });
+                }
+            }
+        }
+        stats.records_extracted += datas.len();
+        stats.samples_extracted += samples as u64;
+        stats.bytes_read += file_bytes;
+        stats.simulated_io += access.cost(file_bytes);
+        stats.files_extracted.insert(group.entry.uri.clone());
+        log.push(EtlOp::Extract {
+            uri: group.entry.uri.clone(),
+            records: datas.len(),
+            samples,
+        });
+    }
+    Ok(Arc::new(out))
+}

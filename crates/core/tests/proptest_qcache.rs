@@ -1,0 +1,126 @@
+//! Model-based property tests for the result recycler: agreement with a
+//! naive reference model under arbitrary operation sequences, byte-budget
+//! and generation-invalidation invariants.
+
+use lazyetl_core::qcache::QueryResultCache;
+use lazyetl_store::{Column, ColumnData, DataType, Field, Schema, Table};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn table_of(rows: usize) -> Arc<Table> {
+    let schema = Schema::new(vec![Field::new("v", DataType::Float64)]).unwrap();
+    Arc::new(
+        Table::new(
+            schema,
+            vec![Column::new(ColumnData::Float64(vec![1.25; rows]))],
+        )
+        .unwrap(),
+    )
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: u8, rows: usize, generation: u64 },
+    Get { key: u8, generation: u64 },
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..6, 1usize..40, 0u64..3).prop_map(|(key, rows, generation)| Op::Insert {
+            key,
+            rows,
+            generation
+        }),
+        4 => (0u8..6, 0u64..3).prop_map(|(key, generation)| Op::Get { key, generation }),
+        1 => Just(Op::Clear),
+    ]
+}
+
+fn fp(key: u8) -> String {
+    format!("plan-{key}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn recycler_agrees_with_model(
+        ops in prop::collection::vec(op_strategy(), 1..120),
+        budget_rows in 10usize..200,
+    ) {
+        let mut cache = QueryResultCache::new(budget_rows * 8);
+        // key -> (rows, generation); unbounded (never evicts).
+        let mut model: HashMap<u8, (usize, u64)> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert { key, rows, generation } => {
+                    cache.insert(fp(key), table_of(rows), generation);
+                    if rows * 8 <= budget_rows * 8 {
+                        model.insert(key, (rows, generation));
+                    } else {
+                        model.remove(&key);
+                    }
+                }
+                Op::Get { key, generation } => {
+                    match cache.get(&fp(key), generation) {
+                        Some(t) => {
+                            let (rows, stored_gen) = model.get(&key)
+                                .copied()
+                                .expect("hit without model entry");
+                            prop_assert_eq!(stored_gen, generation,
+                                "a hit must come from the current generation");
+                            prop_assert_eq!(t.num_rows(), rows);
+                        }
+                        None => {
+                            // Never inserted, evicted, or invalidated by a
+                            // generation move — in the last case the entry
+                            // is gone from the real cache now; mirror it.
+                            if let Some(&(_, stored_gen)) = model.get(&key) {
+                                if stored_gen != generation {
+                                    model.remove(&key);
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Clear => {
+                    cache.clear();
+                    model.clear();
+                }
+            }
+            prop_assert!(cache.used_bytes() <= cache.budget_bytes(),
+                "over budget: {} > {}", cache.used_bytes(), cache.budget_bytes());
+            prop_assert!(cache.len() <= model.len(),
+                "cache holds {} entries, model only {}", cache.len(), model.len());
+        }
+    }
+
+    /// A generation bump invalidates everything admitted before it,
+    /// regardless of operation interleaving.
+    #[test]
+    fn generation_bump_invalidates_all_prior(keys in prop::collection::vec(0u8..6, 1..10)) {
+        let mut cache = QueryResultCache::new(1 << 20);
+        for &k in &keys {
+            cache.insert(fp(k), table_of(4), 0);
+        }
+        for &k in &keys {
+            prop_assert!(cache.get(&fp(k), 1).is_none(), "gen-0 entry served at gen 1");
+        }
+        prop_assert!(cache.is_empty(), "all stale entries dropped on lookup");
+    }
+
+    /// LRU: the most recently *used* fingerprint survives eviction waves.
+    #[test]
+    fn lru_respects_recency(n in 3usize..12) {
+        let mut cache = QueryResultCache::new(n * 80);
+        for i in 0..n as u8 {
+            cache.insert(fp(i), table_of(10), 0);
+        }
+        prop_assert!(cache.get(&fp(0), 0).is_some());
+        cache.insert("newcomer".into(), table_of(10), 0);
+        prop_assert!(cache.get(&fp(0), 0).is_some(), "recently used survives");
+        prop_assert!(cache.get(&fp(1), 0).is_none(), "LRU victim evicted");
+    }
+}

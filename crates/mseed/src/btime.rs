@@ -1,0 +1,427 @@
+//! SEED binary time (BTIME) and a microsecond-precision [`Timestamp`].
+//!
+//! SEED encodes record start times as a 10-byte structure of year,
+//! day-of-year, hour, minute, second and a fraction counted in units of
+//! 0.0001 s. Database-side processing wants a single comparable integer, so
+//! this module also provides [`Timestamp`]: microseconds since the Unix
+//! epoch, with civil-date conversions implemented from first principles
+//! (no external date-time dependency).
+
+use crate::error::{MseedError, Result};
+use std::fmt;
+
+/// Microseconds since 1970-01-01T00:00:00 UTC.
+///
+/// The warehouse stores all sample and record times in this form; it is
+/// totally ordered, cheap to compare, and converts losslessly to and from
+/// [`BTime`] (which has 100 µs resolution — the conversion preserves the
+/// coarser of the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub i64);
+
+/// Days from the civil epoch 1970-01-01 for a (year, month, day) triple.
+///
+/// Howard Hinnant's `days_from_civil` algorithm, valid for all i64-range
+/// dates we care about.
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`]: (year, month, day) for a day count.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// True iff `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `year` (365 or 366).
+pub fn days_in_year(year: i64) -> u32 {
+    if is_leap_year(year) {
+        366
+    } else {
+        365
+    }
+}
+
+impl Timestamp {
+    /// Minimum representable timestamp.
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    /// Maximum representable timestamp.
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    /// Build from a civil UTC date and time-of-day.
+    ///
+    /// `micros` is the sub-second part in microseconds.
+    pub fn from_ymd_hms(
+        year: i64,
+        month: u32,
+        day: u32,
+        hour: u32,
+        minute: u32,
+        second: u32,
+        micros: u32,
+    ) -> Timestamp {
+        let days = days_from_civil(year, month, day);
+        let secs = days * 86_400 + hour as i64 * 3_600 + minute as i64 * 60 + second as i64;
+        Timestamp(secs * 1_000_000 + micros as i64)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (floor).
+    pub fn as_secs(self) -> i64 {
+        self.0.div_euclid(1_000_000)
+    }
+
+    /// Sub-second microsecond component in `[0, 1_000_000)`.
+    pub fn subsec_micros(self) -> u32 {
+        self.0.rem_euclid(1_000_000) as u32
+    }
+
+    /// Shift by a signed number of microseconds.
+    pub fn add_micros(self, us: i64) -> Timestamp {
+        Timestamp(self.0 + us)
+    }
+
+    /// Decompose into (year, month, day, hour, minute, second, micros).
+    pub fn to_civil(self) -> (i64, u32, u32, u32, u32, u32, u32) {
+        let secs = self.as_secs();
+        let micros = self.subsec_micros();
+        let days = secs.div_euclid(86_400);
+        let sod = secs.rem_euclid(86_400);
+        let (y, m, d) = civil_from_days(days);
+        (
+            y,
+            m,
+            d,
+            (sod / 3_600) as u32,
+            ((sod % 3_600) / 60) as u32,
+            (sod % 60) as u32,
+            micros,
+        )
+    }
+
+    /// Parse an ISO-8601-ish literal: `YYYY-MM-DD[THH:MM:SS[.ffffff]]`.
+    ///
+    /// This is the literal syntax accepted by the SQL layer (the paper's
+    /// Figure 1 uses e.g. `'2010-01-12T22:15:00.000'`). A space is accepted
+    /// in place of `T`.
+    pub fn parse_iso(s: &str) -> Result<Timestamp> {
+        let bad = |msg: &str| MseedError::InvalidTime(format!("{msg}: {s:?}"));
+        let s = s.trim();
+        let (date, time) = match s.find(['T', ' ']) {
+            Some(i) => (&s[..i], Some(&s[i + 1..])),
+            None => (s, None),
+        };
+        let mut dp = date.split('-');
+        let year: i64 = dp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing year"))?;
+        let month: u32 = dp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing month"))?;
+        let day: u32 = dp
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| bad("missing day"))?;
+        if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(bad("invalid date"));
+        }
+        let (mut hour, mut minute, mut second, mut micros) = (0u32, 0u32, 0u32, 0u32);
+        if let Some(t) = time {
+            let (hms, frac) = match t.find('.') {
+                Some(i) => (&t[..i], Some(&t[i + 1..])),
+                None => (t, None),
+            };
+            let mut tp = hms.split(':');
+            hour = tp
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("missing hour"))?;
+            minute = tp
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad("missing minute"))?;
+            second = tp.next().map_or(Ok(0), |v| {
+                v.parse().map_err(|_| bad("invalid second"))
+            })?;
+            if tp.next().is_some() || hour > 23 || minute > 59 || second > 60 {
+                return Err(bad("invalid time of day"));
+            }
+            if let Some(frac) = frac {
+                if frac.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(bad("invalid fractional seconds"));
+                }
+                let mut val: u32 = frac.parse().map_err(|_| bad("invalid fraction"))?;
+                for _ in frac.len()..6 {
+                    val *= 10;
+                }
+                micros = val;
+            }
+        }
+        Ok(Timestamp::from_ymd_hms(
+            year, month, day, hour, minute, second, micros,
+        ))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d, h, mi, s, us) = self.to_civil();
+        write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}.{us:06}")
+    }
+}
+
+/// SEED BTIME: the 10-byte binary time carried in every record header.
+///
+/// Fields follow the SEED 2.4 manual, chapter 8. The fraction (`tenth_ms`)
+/// counts 0.0001-second units, so BTIME resolution is 100 µs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTime {
+    /// Four-digit year, e.g. 2010.
+    pub year: u16,
+    /// Day of year, 1..=366.
+    pub day_of_year: u16,
+    /// Hour of day, 0..=23.
+    pub hour: u8,
+    /// Minute of hour, 0..=59.
+    pub minute: u8,
+    /// Second of minute, 0..=60 (60 allows leap seconds).
+    pub second: u8,
+    /// Fraction of second in units of 0.0001 s, 0..=9999.
+    pub tenth_ms: u16,
+}
+
+impl BTime {
+    /// Serialized size in bytes.
+    pub const SIZE: usize = 10;
+
+    /// Convert a day-of-year to (month, day-of-month) within `year`.
+    pub fn month_day(year: i64, doy: u32) -> Result<(u32, u32)> {
+        if doy == 0 || doy > days_in_year(year) {
+            return Err(MseedError::InvalidTime(format!(
+                "day-of-year {doy} out of range for year {year}"
+            )));
+        }
+        let leap = is_leap_year(year) as u32;
+        let lengths = [31, 28 + leap, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        let mut rem = doy;
+        for (i, len) in lengths.iter().enumerate() {
+            if rem <= *len {
+                return Ok((i as u32 + 1, rem));
+            }
+            rem -= len;
+        }
+        unreachable!("doy bounded by days_in_year");
+    }
+
+    /// Day-of-year for a (year, month, day) date.
+    pub fn day_of_year_for(year: i64, month: u32, day: u32) -> u32 {
+        let leap = is_leap_year(year) as u32;
+        let cum = [0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334];
+        let extra = if month > 2 { leap } else { 0 };
+        cum[(month - 1) as usize] + extra + day
+    }
+
+    /// Convert to a [`Timestamp`] (exact: BTIME has 100 µs resolution).
+    pub fn to_timestamp(self) -> Result<Timestamp> {
+        let (month, day) = Self::month_day(self.year as i64, self.day_of_year as u32)?;
+        if self.hour > 23 || self.minute > 59 || self.second > 60 || self.tenth_ms > 9999 {
+            return Err(MseedError::InvalidTime(format!("{self:?}")));
+        }
+        Ok(Timestamp::from_ymd_hms(
+            self.year as i64,
+            month,
+            day,
+            self.hour as u32,
+            self.minute as u32,
+            self.second as u32,
+            self.tenth_ms as u32 * 100,
+        ))
+    }
+
+    /// Convert from a [`Timestamp`], truncating sub-100 µs precision.
+    pub fn from_timestamp(ts: Timestamp) -> BTime {
+        let (y, m, d, h, mi, s, us) = ts.to_civil();
+        BTime {
+            year: y as u16,
+            day_of_year: Self::day_of_year_for(y, m, d) as u16,
+            hour: h as u8,
+            minute: mi as u8,
+            second: s as u8,
+            tenth_ms: (us / 100) as u16,
+        }
+    }
+
+    /// Parse from the SEED on-disk representation (big-endian).
+    pub fn parse(buf: &[u8]) -> Result<BTime> {
+        if buf.len() < Self::SIZE {
+            return Err(MseedError::Truncated {
+                context: "BTIME",
+                needed: Self::SIZE,
+                available: buf.len(),
+            });
+        }
+        Ok(BTime {
+            year: u16::from_be_bytes([buf[0], buf[1]]),
+            day_of_year: u16::from_be_bytes([buf[2], buf[3]]),
+            hour: buf[4],
+            minute: buf[5],
+            second: buf[6],
+            // buf[7] is the unused alignment byte
+            tenth_ms: u16::from_be_bytes([buf[8], buf[9]]),
+        })
+    }
+
+    /// Serialize to the SEED on-disk representation (big-endian).
+    pub fn write(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.year.to_be_bytes());
+        out.extend_from_slice(&self.day_of_year.to_be_bytes());
+        out.push(self.hour);
+        out.push(self.minute);
+        out.push(self.second);
+        out.push(0); // unused
+        out.extend_from_slice(&self.tenth_ms.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Timestamp::from_ymd_hms(1970, 1, 1, 0, 0, 0, 0).0, 0);
+    }
+
+    #[test]
+    fn civil_roundtrip_sample_dates() {
+        for &(y, m, d) in &[
+            (1970, 1, 1),
+            (1988, 2, 29),
+            (2000, 2, 29),
+            (2010, 1, 12),
+            (2013, 8, 26),
+            (2026, 6, 10),
+            (1969, 12, 31),
+            (1900, 3, 1),
+        ] {
+            let ts = Timestamp::from_ymd_hms(y, m, d, 12, 34, 56, 789_000);
+            let (y2, m2, d2, h, mi, s, us) = ts.to_civil();
+            assert_eq!((y, m, d), (y2, m2, d2));
+            assert_eq!((h, mi, s, us), (12, 34, 56, 789_000));
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap_year(2000));
+        assert!(is_leap_year(2004));
+        assert!(!is_leap_year(1900));
+        assert!(!is_leap_year(2013));
+        assert_eq!(days_in_year(2000), 366);
+        assert_eq!(days_in_year(2001), 365);
+    }
+
+    #[test]
+    fn day_of_year_conversions() {
+        assert_eq!(BTime::day_of_year_for(2010, 1, 12), 12);
+        assert_eq!(BTime::day_of_year_for(2012, 3, 1), 61); // leap
+        assert_eq!(BTime::day_of_year_for(2013, 3, 1), 60);
+        assert_eq!(BTime::month_day(2010, 12).unwrap(), (1, 12));
+        assert_eq!(BTime::month_day(2012, 61).unwrap(), (3, 1));
+        assert_eq!(BTime::month_day(2012, 366).unwrap(), (12, 31));
+        assert!(BTime::month_day(2013, 366).is_err());
+        assert!(BTime::month_day(2013, 0).is_err());
+    }
+
+    #[test]
+    fn btime_timestamp_roundtrip() {
+        let bt = BTime {
+            year: 2010,
+            day_of_year: 12,
+            hour: 22,
+            minute: 15,
+            second: 1,
+            tenth_ms: 1234,
+        };
+        let ts = bt.to_timestamp().unwrap();
+        assert_eq!(BTime::from_timestamp(ts), bt);
+        assert_eq!(ts.to_string(), "2010-01-12T22:15:01.123400");
+    }
+
+    #[test]
+    fn btime_binary_roundtrip() {
+        let bt = BTime {
+            year: 1988,
+            day_of_year: 366,
+            hour: 23,
+            minute: 59,
+            second: 60,
+            tenth_ms: 9999,
+        };
+        let mut buf = Vec::new();
+        bt.write(&mut buf);
+        assert_eq!(buf.len(), BTime::SIZE);
+        assert_eq!(BTime::parse(&buf).unwrap(), bt);
+    }
+
+    #[test]
+    fn btime_parse_truncated() {
+        assert!(matches!(
+            BTime::parse(&[0u8; 5]),
+            Err(MseedError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_iso_full() {
+        let ts = Timestamp::parse_iso("2010-01-12T22:15:00.000").unwrap();
+        assert_eq!(ts, Timestamp::from_ymd_hms(2010, 1, 12, 22, 15, 0, 0));
+        let ts = Timestamp::parse_iso("2010-01-12 22:15:02.5").unwrap();
+        assert_eq!(ts, Timestamp::from_ymd_hms(2010, 1, 12, 22, 15, 2, 500_000));
+        let ts = Timestamp::parse_iso("2010-01-12").unwrap();
+        assert_eq!(ts, Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn parse_iso_rejects_garbage() {
+        for bad in [
+            "", "2010", "2010-13-01", "2010-01-32", "2010-01-12T25:00:00",
+            "2010-01-12T10:61:00", "abcd-01-12", "2010-01-12T10:00:00.1234567",
+            "2010-01-12T10:00:00.",
+        ] {
+            assert!(Timestamp::parse_iso(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_negative_timestamp() {
+        let ts = Timestamp::from_ymd_hms(1969, 12, 31, 23, 59, 59, 500_000);
+        assert!(ts.0 < 0);
+        assert_eq!(ts.to_string(), "1969-12-31T23:59:59.500000");
+    }
+}

@@ -1,0 +1,401 @@
+//! Data-payload encodings and the plain (non-Steim) codecs.
+//!
+//! SEED stores the payload encoding as a one-byte code in Blockette 1000.
+//! This module defines the [`DataEncoding`] enum for the codes this library
+//! supports and implements the uncompressed big-endian codecs; the Steim
+//! codecs live in [`crate::steim`].
+
+use crate::error::{MseedError, Result};
+use crate::steim;
+
+/// Waveform payload encodings supported by this library.
+///
+/// The numeric values are the SEED encoding-format codes carried in
+/// Blockette 1000 field 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataEncoding {
+    /// 16-bit big-endian two's-complement integers (code 1).
+    Int16 = 1,
+    /// 32-bit big-endian two's-complement integers (code 3).
+    Int32 = 3,
+    /// IEEE-754 single precision, big-endian (code 4).
+    Float32 = 4,
+    /// IEEE-754 double precision, big-endian (code 5).
+    Float64 = 5,
+    /// Steim-1 compressed integers (code 10).
+    Steim1 = 10,
+    /// Steim-2 compressed integers (code 11).
+    Steim2 = 11,
+}
+
+impl DataEncoding {
+    /// Map a SEED encoding-format code to a supported encoding.
+    pub fn from_code(code: u8) -> Result<DataEncoding> {
+        Ok(match code {
+            1 => DataEncoding::Int16,
+            3 => DataEncoding::Int32,
+            4 => DataEncoding::Float32,
+            5 => DataEncoding::Float64,
+            10 => DataEncoding::Steim1,
+            11 => DataEncoding::Steim2,
+            other => {
+                return Err(MseedError::InvalidField {
+                    field: "blockette 1000 encoding format",
+                    detail: format!("unsupported encoding code {other}"),
+                })
+            }
+        })
+    }
+
+    /// The SEED encoding-format code.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Human-readable codec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataEncoding::Int16 => "INT16",
+            DataEncoding::Int32 => "INT32",
+            DataEncoding::Float32 => "FLOAT32",
+            DataEncoding::Float64 => "FLOAT64",
+            DataEncoding::Steim1 => "STEIM1",
+            DataEncoding::Steim2 => "STEIM2",
+        }
+    }
+
+    /// True for the Steim family (frame-structured payloads).
+    pub fn is_compressed(self) -> bool {
+        matches!(self, DataEncoding::Steim1 | DataEncoding::Steim2)
+    }
+}
+
+/// Decoded waveform samples.
+///
+/// Integer and floating payloads are kept in their native width; the
+/// warehouse's D table stores `sample_value` as `f64`, and [`Samples::to_f64`]
+/// performs that widening exactly once at load time (a record-level
+/// transformation in ETL terms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Samples {
+    /// Integer samples (Int16/Int32/Steim payloads decode to this).
+    Ints(Vec<i32>),
+    /// Floating-point samples (Float32/Float64 payloads).
+    Floats(Vec<f64>),
+}
+
+impl Samples {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        match self {
+            Samples::Ints(v) => v.len(),
+            Samples::Floats(v) => v.len(),
+        }
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Widen to `f64` values (the warehouse representation).
+    pub fn to_f64(&self) -> Vec<f64> {
+        match self {
+            Samples::Ints(v) => v.iter().map(|&x| x as f64).collect(),
+            Samples::Floats(v) => v.clone(),
+        }
+    }
+
+    /// Borrow integer samples, if this is an integer payload.
+    pub fn as_ints(&self) -> Option<&[i32]> {
+        match self {
+            Samples::Ints(v) => Some(v),
+            Samples::Floats(_) => None,
+        }
+    }
+}
+
+/// Result of encoding a prefix of a sample slice into a bounded payload.
+#[derive(Debug, Clone)]
+pub struct EncodedPayload {
+    /// Raw payload bytes (whole frames for Steim encodings).
+    pub bytes: Vec<u8>,
+    /// Samples consumed from the input.
+    pub samples_encoded: usize,
+}
+
+/// Encode as many samples as fit into `max_bytes` with the given encoding.
+///
+/// For Steim encodings `max_bytes` is rounded down to whole 64-byte frames.
+/// `prev` seeds the differencer for Steim (last sample of previous record).
+pub fn encode(
+    encoding: DataEncoding,
+    samples: &SamplesRef<'_>,
+    prev: i32,
+    max_bytes: usize,
+) -> Result<EncodedPayload> {
+    match (encoding, samples) {
+        (DataEncoding::Int16, SamplesRef::Ints(v)) => {
+            let n = (max_bytes / 2).min(v.len());
+            let mut bytes = Vec::with_capacity(n * 2);
+            for &s in &v[..n] {
+                let narrowed = i16::try_from(s).map_err(|_| MseedError::Unrepresentable {
+                    encoding: "INT16",
+                    value: s as i64,
+                })?;
+                bytes.extend_from_slice(&narrowed.to_be_bytes());
+            }
+            Ok(EncodedPayload {
+                bytes,
+                samples_encoded: n,
+            })
+        }
+        (DataEncoding::Int32, SamplesRef::Ints(v)) => {
+            let n = (max_bytes / 4).min(v.len());
+            let mut bytes = Vec::with_capacity(n * 4);
+            for &s in &v[..n] {
+                bytes.extend_from_slice(&s.to_be_bytes());
+            }
+            Ok(EncodedPayload {
+                bytes,
+                samples_encoded: n,
+            })
+        }
+        (DataEncoding::Float32, SamplesRef::Floats(v)) => {
+            let n = (max_bytes / 4).min(v.len());
+            let mut bytes = Vec::with_capacity(n * 4);
+            for &s in &v[..n] {
+                bytes.extend_from_slice(&(s as f32).to_be_bytes());
+            }
+            Ok(EncodedPayload {
+                bytes,
+                samples_encoded: n,
+            })
+        }
+        (DataEncoding::Float64, SamplesRef::Floats(v)) => {
+            let n = (max_bytes / 8).min(v.len());
+            let mut bytes = Vec::with_capacity(n * 8);
+            for &s in &v[..n] {
+                bytes.extend_from_slice(&s.to_be_bytes());
+            }
+            Ok(EncodedPayload {
+                bytes,
+                samples_encoded: n,
+            })
+        }
+        (DataEncoding::Steim1, SamplesRef::Ints(v)) => {
+            let enc = steim::encode_steim1(v, prev, max_bytes / steim::FRAME_BYTES)?;
+            Ok(EncodedPayload {
+                bytes: enc.bytes,
+                samples_encoded: enc.samples_encoded,
+            })
+        }
+        (DataEncoding::Steim2, SamplesRef::Ints(v)) => {
+            let enc = steim::encode_steim2(v, prev, max_bytes / steim::FRAME_BYTES)?;
+            Ok(EncodedPayload {
+                bytes: enc.bytes,
+                samples_encoded: enc.samples_encoded,
+            })
+        }
+        (enc, _) => Err(MseedError::Codec {
+            encoding: enc.name(),
+            detail: "sample type does not match encoding family".into(),
+        }),
+    }
+}
+
+/// Borrowed view of samples to encode (avoids cloning per record).
+#[derive(Debug, Clone, Copy)]
+pub enum SamplesRef<'a> {
+    /// Integer samples.
+    Ints(&'a [i32]),
+    /// Floating-point samples.
+    Floats(&'a [f64]),
+}
+
+impl<'a> SamplesRef<'a> {
+    /// Number of samples in the view.
+    pub fn len(&self) -> usize {
+        match self {
+            SamplesRef::Ints(v) => v.len(),
+            SamplesRef::Floats(v) => v.len(),
+        }
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sub-view starting at `at`.
+    pub fn suffix(&self, at: usize) -> SamplesRef<'a> {
+        match self {
+            SamplesRef::Ints(v) => SamplesRef::Ints(&v[at..]),
+            SamplesRef::Floats(v) => SamplesRef::Floats(&v[at..]),
+        }
+    }
+}
+
+/// Decode `n_samples` samples from a payload.
+pub fn decode(encoding: DataEncoding, data: &[u8], n_samples: usize) -> Result<Samples> {
+    let need = |width: usize| -> Result<()> {
+        if data.len() < n_samples * width {
+            Err(MseedError::Truncated {
+                context: "data payload",
+                needed: n_samples * width,
+                available: data.len(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    match encoding {
+        DataEncoding::Int16 => {
+            need(2)?;
+            Ok(Samples::Ints(
+                data.chunks_exact(2)
+                    .take(n_samples)
+                    .map(|c| i16::from_be_bytes([c[0], c[1]]) as i32)
+                    .collect(),
+            ))
+        }
+        DataEncoding::Int32 => {
+            need(4)?;
+            Ok(Samples::Ints(
+                data.chunks_exact(4)
+                    .take(n_samples)
+                    .map(|c| i32::from_be_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ))
+        }
+        DataEncoding::Float32 => {
+            need(4)?;
+            Ok(Samples::Floats(
+                data.chunks_exact(4)
+                    .take(n_samples)
+                    .map(|c| f32::from_be_bytes([c[0], c[1], c[2], c[3]]) as f64)
+                    .collect(),
+            ))
+        }
+        DataEncoding::Float64 => {
+            need(8)?;
+            Ok(Samples::Floats(
+                data.chunks_exact(8)
+                    .take(n_samples)
+                    .map(|c| {
+                        f64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
+                    })
+                    .collect(),
+            ))
+        }
+        DataEncoding::Steim1 => Ok(Samples::Ints(steim::decode_steim1(data, n_samples)?)),
+        DataEncoding::Steim2 => Ok(Samples::Ints(steim::decode_steim2(data, n_samples)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for enc in [
+            DataEncoding::Int16,
+            DataEncoding::Int32,
+            DataEncoding::Float32,
+            DataEncoding::Float64,
+            DataEncoding::Steim1,
+            DataEncoding::Steim2,
+        ] {
+            assert_eq!(DataEncoding::from_code(enc.code()).unwrap(), enc);
+        }
+        assert!(DataEncoding::from_code(99).is_err());
+    }
+
+    #[test]
+    fn int16_roundtrip_and_overflow() {
+        let v = vec![0, 100, -100, i16::MAX as i32, i16::MIN as i32];
+        let enc = encode(DataEncoding::Int16, &SamplesRef::Ints(&v), 0, 1 << 16).unwrap();
+        assert_eq!(enc.samples_encoded, v.len());
+        assert_eq!(
+            decode(DataEncoding::Int16, &enc.bytes, v.len()).unwrap(),
+            Samples::Ints(v)
+        );
+        let big = vec![40_000i32];
+        assert!(matches!(
+            encode(DataEncoding::Int16, &SamplesRef::Ints(&big), 0, 64),
+            Err(MseedError::Unrepresentable { .. })
+        ));
+    }
+
+    #[test]
+    fn int32_roundtrip_bounded() {
+        let v: Vec<i32> = (-50..50).map(|x| x * 1_000_003).collect();
+        // Only 10 samples fit in 40 bytes.
+        let enc = encode(DataEncoding::Int32, &SamplesRef::Ints(&v), 0, 40).unwrap();
+        assert_eq!(enc.samples_encoded, 10);
+        assert_eq!(
+            decode(DataEncoding::Int32, &enc.bytes, 10).unwrap(),
+            Samples::Ints(v[..10].to_vec())
+        );
+    }
+
+    #[test]
+    fn float64_roundtrip_exact() {
+        let v = vec![0.0, -1.5, std::f64::consts::PI, f64::MIN_POSITIVE, 1e300];
+        let enc = encode(DataEncoding::Float64, &SamplesRef::Floats(&v), 0, 1 << 12).unwrap();
+        assert_eq!(
+            decode(DataEncoding::Float64, &enc.bytes, v.len()).unwrap(),
+            Samples::Floats(v)
+        );
+    }
+
+    #[test]
+    fn float32_lossy_but_close() {
+        let v = vec![1.25, -2.5, 1e10];
+        let enc = encode(DataEncoding::Float32, &SamplesRef::Floats(&v), 0, 1 << 12).unwrap();
+        let dec = decode(DataEncoding::Float32, &enc.bytes, v.len()).unwrap();
+        if let Samples::Floats(d) = dec {
+            for (a, b) in d.iter().zip(&v) {
+                assert!((a - b).abs() <= b.abs() * 1e-6);
+            }
+        } else {
+            panic!("expected float samples");
+        }
+    }
+
+    #[test]
+    fn steim_dispatch_roundtrip() {
+        let v: Vec<i32> = (0..500).map(|i| (i * 7) % 1000 - 500).collect();
+        for enc_kind in [DataEncoding::Steim1, DataEncoding::Steim2] {
+            let enc = encode(enc_kind, &SamplesRef::Ints(&v), 0, 1 << 16).unwrap();
+            assert_eq!(enc.samples_encoded, v.len());
+            assert_eq!(
+                decode(enc_kind, &enc.bytes, v.len()).unwrap(),
+                Samples::Ints(v.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let ints = vec![1, 2, 3];
+        assert!(encode(DataEncoding::Float32, &SamplesRef::Ints(&ints), 0, 64).is_err());
+        let floats = vec![1.0];
+        assert!(encode(DataEncoding::Steim1, &SamplesRef::Floats(&floats), 0, 64).is_err());
+    }
+
+    #[test]
+    fn decode_truncation_detected() {
+        assert!(decode(DataEncoding::Int32, &[0u8; 7], 2).is_err());
+        assert!(decode(DataEncoding::Float64, &[0u8; 8], 2).is_err());
+    }
+
+    #[test]
+    fn samples_widening() {
+        assert_eq!(Samples::Ints(vec![1, -2]).to_f64(), vec![1.0, -2.0]);
+        assert_eq!(Samples::Floats(vec![0.5]).to_f64(), vec![0.5]);
+        assert_eq!(Samples::Ints(vec![]).len(), 0);
+        assert!(Samples::Ints(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for MiniSEED parsing, encoding and generation.
+
+use std::fmt;
+
+/// Errors produced while reading, writing or generating MiniSEED data.
+#[derive(Debug)]
+pub enum MseedError {
+    /// Record buffer too short or truncated mid-structure.
+    Truncated {
+        /// What was being parsed when the input ended.
+        context: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A header field held a value outside its legal domain.
+    InvalidField {
+        /// Field name as named by the SEED manual.
+        field: &'static str,
+        /// Human-readable description of the offending value.
+        detail: String,
+    },
+    /// The data payload could not be decoded.
+    Codec {
+        /// Encoding that was being decoded/encoded.
+        encoding: &'static str,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// A sample value cannot be represented in the requested encoding.
+    Unrepresentable {
+        /// Encoding that was asked to represent the value.
+        encoding: &'static str,
+        /// The offending value (as i64 for diagnostics).
+        value: i64,
+    },
+    /// Time components out of range (e.g. day 367).
+    InvalidTime(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MseedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MseedError::Truncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated input while parsing {context}: need {needed} bytes, have {available}"
+            ),
+            MseedError::InvalidField { field, detail } => {
+                write!(f, "invalid value for field {field}: {detail}")
+            }
+            MseedError::Codec { encoding, detail } => {
+                write!(f, "{encoding} codec error: {detail}")
+            }
+            MseedError::Unrepresentable { encoding, value } => {
+                write!(f, "value {value} not representable in {encoding}")
+            }
+            MseedError::InvalidTime(msg) => write!(f, "invalid time: {msg}"),
+            MseedError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MseedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MseedError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MseedError {
+    fn from(e: std::io::Error) -> Self {
+        MseedError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MseedError>;

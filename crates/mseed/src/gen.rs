@@ -1,0 +1,625 @@
+//! Deterministic synthetic seismogram and repository generation.
+//!
+//! The paper's demo runs against mSEED repositories fetched from ORFEUS.
+//! Those are not redistributable, so this module synthesizes repositories
+//! with the same *shape*: a directory tree of waveform files (MiniSEED
+//! with Steim-compressed records by default; optionally SAC or a mixture,
+//! see [`RepoFormat`]), one file per (stream, time window).
+//! Signals are a colored-noise floor with injected seismic events
+//! (exponentially decaying wavelets), so STA/LTA event hunting — the demo's
+//! analysis task — has real structure to find, and Steim compression sees
+//! realistic difference distributions (small diffs in quiet stretches,
+//! large ones during events).
+//!
+//! Everything is seeded and reproducible: the same [`GeneratorConfig`]
+//! always yields byte-identical repositories.
+
+use crate::btime::Timestamp;
+use crate::encoding::{DataEncoding, SamplesRef};
+use crate::error::Result;
+use crate::inventory::{default_inventory, Station, BROADBAND_CHANNELS};
+use crate::record::SourceId;
+use crate::write::{write_records, WriteOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// An injected synthetic seismic event (ground truth for detector tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedEvent {
+    /// Stream the event appears in.
+    pub source: SourceId,
+    /// Onset time.
+    pub onset: Timestamp,
+    /// Peak amplitude in counts.
+    pub amplitude: f64,
+    /// Dominant frequency in Hz.
+    pub frequency: f64,
+    /// Decay time constant in seconds.
+    pub decay: f64,
+}
+
+/// Which file format(s) a generated repository uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepoFormat {
+    /// Every stream as MiniSEED (the paper's setting).
+    #[default]
+    MseedOnly,
+    /// Every stream as SAC.
+    SacOnly,
+    /// Alternate formats per stream (exercises the format registry).
+    Mixed,
+}
+
+/// Configuration for synthetic repository generation.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Stations to generate; defaults to [`default_inventory`].
+    pub stations: Vec<Station>,
+    /// Channels per station.
+    pub channels: Vec<String>,
+    /// First file start time.
+    pub start: Timestamp,
+    /// Duration covered by each file, in seconds.
+    pub file_duration_secs: u32,
+    /// Number of consecutive files per stream.
+    pub files_per_stream: u32,
+    /// Sample rate in Hz (must satisfy [`crate::write::rate_to_factor`]).
+    pub sample_rate: f64,
+    /// Record length in bytes.
+    pub record_length: usize,
+    /// Payload encoding.
+    pub encoding: DataEncoding,
+    /// RMS amplitude of the background noise in counts.
+    pub noise_amplitude: f64,
+    /// Expected number of events per file (Poisson-ish). These are
+    /// *local* events: each stream draws its own, independently.
+    pub events_per_file: f64,
+    /// Number of **network-wide** events: earthquakes every station
+    /// records, with per-stream onset jitter (±1 s, simulating travel-time
+    /// differences) and amplitude scaling. Feeds coincidence-triggering
+    /// workloads; `0` (the default) leaves output byte-identical to
+    /// configurations predating this knob.
+    pub network_events: usize,
+    /// RNG seed; equal seeds give byte-identical repositories.
+    pub seed: u64,
+    /// File format selection.
+    pub format: RepoFormat,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            stations: default_inventory(),
+            channels: BROADBAND_CHANNELS.iter().map(|s| s.to_string()).collect(),
+            start: Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0),
+            file_duration_secs: 600,
+            files_per_stream: 4,
+            sample_rate: 40.0,
+            record_length: 4096,
+            encoding: DataEncoding::Steim2,
+            noise_amplitude: 120.0,
+            events_per_file: 0.6,
+            network_events: 0,
+            seed: 0x5EED_CAFE,
+            format: RepoFormat::default(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for unit tests (2 stations, short files).
+    pub fn tiny(seed: u64) -> GeneratorConfig {
+        let inv = default_inventory();
+        GeneratorConfig {
+            stations: vec![inv[0].clone(), inv[4].clone()], // NL.HGN + KO.ISK
+            channels: vec!["BHZ".into(), "BHE".into()],
+            file_duration_secs: 30,
+            files_per_stream: 2,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Samples per generated file.
+    pub fn samples_per_file(&self) -> usize {
+        (self.file_duration_secs as f64 * self.sample_rate) as usize
+    }
+
+    /// Total number of files this configuration will generate.
+    pub fn total_files(&self) -> usize {
+        self.stations.len() * self.channels.len() * self.files_per_stream as usize
+    }
+}
+
+/// One generated file plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedFile {
+    /// Path of the written file.
+    pub path: PathBuf,
+    /// Stream stored in the file.
+    pub source: SourceId,
+    /// First sample time.
+    pub start: Timestamp,
+    /// Exclusive end time.
+    pub end: Timestamp,
+    /// File size in bytes.
+    pub size: u64,
+    /// Number of samples written.
+    pub num_samples: usize,
+}
+
+/// The full output of a generation run.
+#[derive(Debug, Clone, Default)]
+pub struct GeneratedRepository {
+    /// Every file written, in generation order.
+    pub files: Vec<GeneratedFile>,
+    /// Ground-truth injected events across all streams.
+    pub events: Vec<InjectedEvent>,
+    /// Total bytes written.
+    pub total_bytes: u64,
+    /// Total samples written.
+    pub total_samples: u64,
+}
+
+/// Synthesize one stream segment: AR(1) colored noise plus decaying
+/// sinusoid bursts for each event onset within the window.
+pub fn synthesize_segment(
+    rng: &mut SmallRng,
+    n: usize,
+    sample_rate: f64,
+    noise_amplitude: f64,
+    events: &[(usize, f64, f64, f64)], // (onset sample, amplitude, freq, decay)
+) -> Vec<i32> {
+    let mut out = Vec::with_capacity(n);
+    let mut noise = 0.0f64;
+    // AR(1) with coefficient 0.92 gives a reddish microseism-like floor.
+    let innovation = noise_amplitude * (1.0 - 0.92f64 * 0.92).sqrt();
+    for i in 0..n {
+        noise = 0.92 * noise + innovation * (rng.gen::<f64>() * 2.0 - 1.0) * 1.732;
+        let mut v = noise;
+        for &(onset, amp, freq, decay) in events {
+            if i >= onset {
+                let t = (i - onset) as f64 / sample_rate;
+                v += amp * (-t / decay).exp() * (2.0 * std::f64::consts::PI * freq * t).sin();
+            }
+        }
+        out.push(v.round().clamp(i32::MIN as f64, i32::MAX as f64) as i32);
+    }
+    out
+}
+
+/// Relative path (inside the repository root) for a stream's n-th file.
+///
+/// Layout: `NET/STA/NET.STA.LOC.CHA.YYYY.DDD.HHMM.mseed` — metadata in the
+/// file name, which the paper notes makes file-level metadata available
+/// without even opening the file.
+pub fn file_rel_path(source: &SourceId, start: Timestamp) -> PathBuf {
+    file_rel_path_ext(source, start, "mseed")
+}
+
+/// Relative path with an explicit file extension (`mseed` or `sac`).
+pub fn file_rel_path_ext(source: &SourceId, start: Timestamp, ext: &str) -> PathBuf {
+    let (y, m, d, h, mi, s, _) = start.to_civil();
+    let doy = crate::btime::BTime::day_of_year_for(y, m, d);
+    let loc = if source.location.is_empty() {
+        "--"
+    } else {
+        &source.location
+    };
+    PathBuf::from(&source.network).join(&source.station).join(format!(
+        "{}.{}.{}.{}.{:04}.{:03}.{:02}{:02}{:02}.{ext}",
+        source.network, source.station, loc, source.channel, y, doy, h, mi, s
+    ))
+}
+
+/// Time-domain parameters of one network-wide event, before per-stream
+/// jitter is applied.
+struct NetworkEventSpec {
+    /// Offset of the onset from the repository start, in µs.
+    onset_offset_us: i64,
+    /// Amplitude as a multiple of the noise floor.
+    amp_factor: f64,
+    frequency: f64,
+    decay: f64,
+}
+
+/// Draw the network-wide event specs: onsets spread over the middle 80%
+/// of the covered time span so every stream's files contain them.
+fn draw_network_events(config: &GeneratorConfig) -> Vec<NetworkEventSpec> {
+    if config.network_events == 0 {
+        return Vec::new();
+    }
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    (config.seed, "network-events").hash(&mut hasher);
+    let mut rng = SmallRng::seed_from_u64(hasher.finish());
+    let span_us =
+        config.files_per_stream as i64 * config.file_duration_secs as i64 * 1_000_000;
+    let lo = span_us / 10;
+    let hi = span_us - span_us / 10;
+    (0..config.network_events)
+        .map(|_| NetworkEventSpec {
+            onset_offset_us: rng.gen_range(lo..hi.max(lo + 1)),
+            amp_factor: rng.gen_range(12.0..45.0),
+            frequency: rng.gen_range(1.0..6.0),
+            decay: rng.gen_range(2.0..10.0),
+        })
+        .collect()
+}
+
+/// Generate a repository under `root`. Existing files are overwritten.
+pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<GeneratedRepository> {
+    let mut out = GeneratedRepository::default();
+    let n = config.samples_per_file();
+    let file_span_us = (config.file_duration_secs as i64) * 1_000_000;
+    let network_events = draw_network_events(config);
+    let mut stream_index = 0usize;
+    for station in &config.stations {
+        for channel in &config.channels {
+            let source = station.source(channel);
+            let use_sac = match config.format {
+                RepoFormat::MseedOnly => false,
+                RepoFormat::SacOnly => true,
+                RepoFormat::Mixed => stream_index % 2 == 1,
+            };
+            stream_index += 1;
+            // Stream-specific deterministic RNG: stable regardless of
+            // station iteration order changes elsewhere.
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            use std::hash::{Hash, Hasher};
+            (config.seed, &source.network, &source.station, &source.channel).hash(&mut hasher);
+            let mut rng = SmallRng::seed_from_u64(hasher.finish());
+            for file_idx in 0..config.files_per_stream {
+                let start = config.start.add_micros(file_idx as i64 * file_span_us);
+                let file_offset_us = file_idx as i64 * file_span_us;
+                let mut events = Vec::new();
+                // Network-wide events falling inside this file's window,
+                // with per-(event, stream) deterministic jitter.
+                for (k, spec) in network_events.iter().enumerate() {
+                    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+                    use std::hash::{Hash, Hasher};
+                    (config.seed, "netev", k, &source.network, &source.station, &source.channel)
+                        .hash(&mut hasher);
+                    let mut ev_rng = SmallRng::seed_from_u64(hasher.finish());
+                    let jitter_us = ev_rng.gen_range(-1_000_000i64..=1_000_000);
+                    let onset_us = spec.onset_offset_us + jitter_us;
+                    if onset_us < file_offset_us || onset_us >= file_offset_us + file_span_us {
+                        continue;
+                    }
+                    let onset =
+                        ((onset_us - file_offset_us) as f64 / 1e6 * config.sample_rate) as usize;
+                    if onset >= n {
+                        continue;
+                    }
+                    let amplitude =
+                        config.noise_amplitude * spec.amp_factor * ev_rng.gen_range(0.6..1.4);
+                    events.push((onset, amplitude, spec.frequency, spec.decay));
+                    out.events.push(InjectedEvent {
+                        source: source.clone(),
+                        onset: start
+                            .add_micros((onset as f64 / config.sample_rate * 1e6) as i64),
+                        amplitude,
+                        frequency: spec.frequency,
+                        decay: spec.decay,
+                    });
+                }
+                // Poisson(events_per_file) approximated by repeated Bernoulli.
+                let mut budget = config.events_per_file;
+                while budget > 0.0 {
+                    let p = budget.min(1.0);
+                    if rng.gen::<f64>() < p {
+                        let onset = rng.gen_range(0..n.max(1));
+                        let amplitude = config.noise_amplitude * rng.gen_range(8.0..40.0);
+                        let freq = rng.gen_range(1.0..6.0);
+                        let decay = rng.gen_range(2.0..10.0);
+                        events.push((onset, amplitude, freq, decay));
+                        out.events.push(InjectedEvent {
+                            source: source.clone(),
+                            onset: start
+                                .add_micros((onset as f64 / config.sample_rate * 1e6) as i64),
+                            amplitude,
+                            frequency: freq,
+                            decay,
+                        });
+                    }
+                    budget -= 1.0;
+                }
+                let samples =
+                    synthesize_segment(&mut rng, n, config.sample_rate, config.noise_amplitude, &events);
+                let rel = file_rel_path_ext(&source, start, if use_sac { "sac" } else { "mseed" });
+                let path = root.join(rel);
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                let bytes = if use_sac {
+                    let floats: Vec<f32> = samples.iter().map(|&v| v as f32).collect();
+                    crate::sac::write_sac_bytes(
+                        &source,
+                        start,
+                        config.sample_rate,
+                        &floats,
+                        crate::sac::SacByteOrder::Little,
+                    )?
+                } else {
+                    let opts = WriteOptions {
+                        record_length: config.record_length,
+                        encoding: config.encoding,
+                        ..Default::default()
+                    };
+                    write_records(
+                        &source,
+                        start,
+                        config.sample_rate,
+                        SamplesRef::Ints(&samples),
+                        &opts,
+                    )?
+                };
+                std::fs::write(&path, &bytes)?;
+                out.total_bytes += bytes.len() as u64;
+                out.total_samples += samples.len() as u64;
+                out.files.push(GeneratedFile {
+                    path,
+                    source: source.clone(),
+                    start,
+                    end: start.add_micros(file_span_us),
+                    size: bytes.len() as u64,
+                    num_samples: samples.len(),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Append `extra_secs` of fresh waveform to an existing generated file,
+/// emulating a repository update (new data arriving at a station).
+///
+/// Returns the number of samples appended.
+#[allow(clippy::too_many_arguments)]
+pub fn append_to_file(
+    path: &Path,
+    source: &SourceId,
+    sample_rate: f64,
+    extra_secs: u32,
+    noise_amplitude: f64,
+    seed: u64,
+    record_length: usize,
+    encoding: DataEncoding,
+) -> Result<usize> {
+    let existing = crate::read::scan_metadata_file(path)?;
+    let start = existing.max_end().unwrap_or(Timestamp(0));
+    let next_seq = existing
+        .records
+        .iter()
+        .map(|r| r.sequence_number)
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let n = (extra_secs as f64 * sample_rate) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples = synthesize_segment(&mut rng, n, sample_rate, noise_amplitude, &[]);
+    let opts = WriteOptions {
+        record_length,
+        encoding,
+        first_sequence: next_seq,
+        ..Default::default()
+    };
+    let bytes = write_records(source, start, sample_rate, SamplesRef::Ints(&samples), &opts)?;
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    f.write_all(&bytes)?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::{read_file, scan_metadata_file};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("lazyetl_gen_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::tiny(7);
+        let d1 = tmpdir("det1");
+        let d2 = tmpdir("det2");
+        let r1 = generate_repository(&d1, &cfg).unwrap();
+        let r2 = generate_repository(&d2, &cfg).unwrap();
+        assert_eq!(r1.total_bytes, r2.total_bytes);
+        assert_eq!(r1.files.len(), r2.files.len());
+        for (f1, f2) in r1.files.iter().zip(&r2.files) {
+            let b1 = std::fs::read(&f1.path).unwrap();
+            let b2 = std::fs::read(&f2.path).unwrap();
+            assert_eq!(b1, b2, "{} differs", f1.path.display());
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+
+    #[test]
+    fn generated_files_parse_and_cover_window() {
+        let cfg = GeneratorConfig::tiny(11);
+        let dir = tmpdir("parse");
+        let rep = generate_repository(&dir, &cfg).unwrap();
+        assert_eq!(rep.files.len(), cfg.total_files());
+        for gf in &rep.files {
+            let recs = read_file(&gf.path).unwrap();
+            assert!(!recs.is_empty());
+            let total: usize = recs
+                .iter()
+                .map(|r| r.header.num_samples as usize)
+                .sum();
+            assert_eq!(total, gf.num_samples);
+            let first = recs[0].start_timestamp().unwrap();
+            assert_eq!(first, gf.start);
+            for r in &recs {
+                assert_eq!(r.header.source, gf.source);
+                r.decode_samples().unwrap();
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn events_are_visible_above_noise() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let quiet = synthesize_segment(&mut rng, 4000, 40.0, 100.0, &[]);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let eventful =
+            synthesize_segment(&mut rng, 4000, 40.0, 100.0, &[(2000, 4000.0, 3.0, 5.0)]);
+        let peak_quiet = quiet.iter().map(|v| v.abs()).max().unwrap();
+        let peak_event = eventful[2000..].iter().map(|v| v.abs()).max().unwrap();
+        assert!(
+            peak_event > peak_quiet * 3,
+            "event peak {peak_event} vs quiet {peak_quiet}"
+        );
+    }
+
+    #[test]
+    fn filename_encodes_metadata() {
+        let src = SourceId::new("NL", "HGN", "", "BHZ").unwrap();
+        let ts = Timestamp::from_ymd_hms(2010, 1, 12, 22, 0, 0, 0);
+        let p = file_rel_path(&src, ts);
+        let s = p.to_string_lossy();
+        assert!(s.contains("NL/HGN/"));
+        assert!(s.contains("NL.HGN.--.BHZ.2010.012.220000.mseed"));
+    }
+
+    #[test]
+    fn append_extends_time_range() {
+        let cfg = GeneratorConfig::tiny(5);
+        let dir = tmpdir("append");
+        let rep = generate_repository(&dir, &cfg).unwrap();
+        let gf = &rep.files[0];
+        let before = scan_metadata_file(&gf.path).unwrap();
+        let added = append_to_file(
+            &gf.path,
+            &gf.source,
+            cfg.sample_rate,
+            10,
+            cfg.noise_amplitude,
+            99,
+            cfg.record_length,
+            cfg.encoding,
+        )
+        .unwrap();
+        assert_eq!(added, 400);
+        let after = scan_metadata_file(&gf.path).unwrap();
+        assert!(after.records.len() > before.records.len());
+        assert!(after.max_end().unwrap() > before.max_end().unwrap());
+        assert_eq!(after.total_samples(), before.total_samples() + 400);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn network_events_hit_every_stream() {
+        let cfg = GeneratorConfig {
+            events_per_file: 0.0, // isolate the network events
+            network_events: 2,
+            file_duration_secs: 120,
+            files_per_stream: 2,
+            ..GeneratorConfig::tiny(77)
+        };
+        let dir = tmpdir("netev");
+        let rep = generate_repository(&dir, &cfg).unwrap();
+        let streams = cfg.stations.len() * cfg.channels.len();
+        assert_eq!(
+            rep.events.len(),
+            2 * streams,
+            "each network event appears once per stream"
+        );
+        // Onsets of the same event agree across streams within the ±1 s
+        // jitter (compare per-stream onsets of event 0 = earliest onset
+        // per stream).
+        let mut per_stream_first: Vec<i64> = Vec::new();
+        for st in &cfg.stations {
+            for ch in &cfg.channels {
+                let mut onsets: Vec<i64> = rep
+                    .events
+                    .iter()
+                    .filter(|e| e.source.station == st.station && e.source.channel == *ch)
+                    .map(|e| e.onset.0)
+                    .collect();
+                assert_eq!(onsets.len(), 2);
+                onsets.sort();
+                per_stream_first.push(onsets[0]);
+            }
+        }
+        let min = per_stream_first.iter().min().unwrap();
+        let max = per_stream_first.iter().max().unwrap();
+        assert!(
+            max - min <= 2_100_000,
+            "travel-time jitter bounded by ±1 s (+sampling): {per_stream_first:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn network_events_deterministic_per_seed() {
+        let cfg = GeneratorConfig {
+            network_events: 3,
+            ..GeneratorConfig::tiny(123)
+        };
+        let d1 = tmpdir("netev_d1");
+        let d2 = tmpdir("netev_d2");
+        let r1 = generate_repository(&d1, &cfg).unwrap();
+        let r2 = generate_repository(&d2, &cfg).unwrap();
+        assert_eq!(r1.events.len(), r2.events.len());
+        for (a, b) in r1.events.iter().zip(&r2.events) {
+            assert_eq!(a.onset, b.onset);
+            assert_eq!(a.amplitude, b.amplitude);
+        }
+        // And the file bytes themselves are identical.
+        for (fa, fb) in r1.files.iter().zip(&r2.files) {
+            assert_eq!(
+                std::fs::read(&fa.path).unwrap(),
+                std::fs::read(&fb.path).unwrap()
+            );
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+
+    #[test]
+    fn zero_network_events_changes_nothing() {
+        let base = GeneratorConfig::tiny(9);
+        let with_field = GeneratorConfig {
+            network_events: 0,
+            ..base.clone()
+        };
+        let d1 = tmpdir("netev_z1");
+        let d2 = tmpdir("netev_z2");
+        generate_repository(&d1, &base).unwrap();
+        generate_repository(&d2, &with_field).unwrap();
+        let walk = |root: &Path| -> Vec<PathBuf> {
+            let mut v: Vec<PathBuf> = walkdir(root);
+            v.sort();
+            v
+        };
+        fn walkdir(root: &Path) -> Vec<PathBuf> {
+            let mut out = Vec::new();
+            for e in std::fs::read_dir(root).unwrap().flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    out.extend(walkdir(&p));
+                } else {
+                    out.push(p);
+                }
+            }
+            out
+        }
+        let f1 = walk(&d1);
+        let f2 = walk(&d2);
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(std::fs::read(a).unwrap(), std::fs::read(b).unwrap());
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}

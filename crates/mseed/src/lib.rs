@@ -1,0 +1,40 @@
+//! MiniSEED 2.4 substrate for the Lazy ETL reproduction.
+//!
+//! The paper's source datastore is a repository of MiniSEED (mSEED) files —
+//! the exchange format of the seismological community. This crate implements
+//! the format from scratch:
+//!
+//! * [`btime`] — SEED binary time and a microsecond [`btime::Timestamp`];
+//! * [`record`] — the 48-byte fixed header, blockettes 1000/1001/100, and
+//!   whole-record parsing;
+//! * [`steim`] — Steim-1/Steim-2 waveform compression codecs;
+//! * [`encoding`] — plain big-endian codecs and the encoding registry;
+//! * [`read`] — full record iteration **and** the metadata-only scan that
+//!   makes lazy initial loading cheap;
+//! * [`write`] — serialization of sample streams into fixed-length records;
+//! * [`gen`] — deterministic synthetic repository generation (substitute
+//!   for the paper's ORFEUS data, see DESIGN.md);
+//! * [`inventory`] — the demo station inventory, including the streams the
+//!   paper's Figure 1 queries reference;
+//! * [`sac`] — the SAC binary waveform format (second scientific format,
+//!   demonstrating the format-agnostic extraction boundary).
+
+#![warn(missing_docs)]
+
+pub mod btime;
+pub mod encoding;
+pub mod error;
+pub mod gen;
+pub mod inventory;
+pub mod read;
+pub mod record;
+pub mod sac;
+pub mod steim;
+pub mod write;
+
+pub use btime::{BTime, Timestamp};
+pub use encoding::{DataEncoding, Samples, SamplesRef};
+pub use error::{MseedError, Result};
+pub use read::{read_file, read_records, read_records_at, scan_metadata, scan_metadata_file, FileScan, RecordMeta};
+pub use record::{Record, RecordHeader, SourceId};
+pub use write::{write_file, write_records, WriteOptions};

@@ -1,0 +1,330 @@
+//! Serialization of sample streams into fixed-length MiniSEED records.
+//!
+//! The writer packs a continuous time series into as many fixed-length
+//! records as needed: FSDH at offset 0, Blockette 1000 at 48, Blockette 1001
+//! at 56, payload from offset 64, zero padding to the record length. This is
+//! the layout the overwhelming majority of real-world MiniSEED uses and is
+//! what the synthetic repository generator emits.
+
+use crate::btime::{BTime, Timestamp};
+use crate::encoding::{self, DataEncoding, SamplesRef};
+use crate::error::{MseedError, Result};
+use crate::record::{RecordHeader, SourceId, FSDH_SIZE};
+
+/// Offset at which payload data begins in records written by this library.
+pub const DATA_OFFSET: usize = 64;
+
+/// Options controlling record serialization.
+#[derive(Debug, Clone)]
+pub struct WriteOptions {
+    /// Record length in bytes; must be a power of two in `128..=65536`.
+    pub record_length: usize,
+    /// Payload encoding.
+    pub encoding: DataEncoding,
+    /// Data quality indicator, normally `'D'`.
+    pub quality: char,
+    /// Sequence number of the first record written.
+    pub first_sequence: u32,
+    /// Timing quality percentage stored in Blockette 1001.
+    pub timing_quality: u8,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            record_length: 4096,
+            encoding: DataEncoding::Steim2,
+            quality: 'D',
+            first_sequence: 1,
+            timing_quality: 100,
+        }
+    }
+}
+
+/// Derive the SEED (factor, multiplier) pair for a sample rate.
+///
+/// Integral rates map to `(rate, 1)`; reciprocal-of-integral rates (e.g.
+/// 0.1 Hz) map to `(-1/rate, 1)`. Other rates are not representable in the
+/// FSDH alone and are rejected (Blockette 100 support is read-side only).
+pub fn rate_to_factor(rate: f64) -> Result<(i16, i16)> {
+    if rate <= 0.0 {
+        return Err(MseedError::InvalidField {
+            field: "sample rate",
+            detail: format!("rate {rate} must be positive"),
+        });
+    }
+    if rate >= 1.0 && rate.fract() == 0.0 && rate <= i16::MAX as f64 {
+        return Ok((rate as i16, 1));
+    }
+    let period = 1.0 / rate;
+    if period.fract().abs() < 1e-9 && period <= i16::MAX as f64 {
+        return Ok((-(period as i16), 1));
+    }
+    Err(MseedError::InvalidField {
+        field: "sample rate",
+        detail: format!("rate {rate} Hz not representable as factor/multiplier"),
+    })
+}
+
+/// Serialize a continuous time series into MiniSEED records.
+///
+/// Splits `samples` across consecutive records, advancing the start time by
+/// the sample period, and returns the concatenated record bytes — i.e. a
+/// complete MiniSEED file body for this stream segment.
+pub fn write_records(
+    source: &SourceId,
+    start: Timestamp,
+    sample_rate: f64,
+    samples: SamplesRef<'_>,
+    opts: &WriteOptions,
+) -> Result<Vec<u8>> {
+    if !opts.record_length.is_power_of_two() || !(128..=65536).contains(&opts.record_length) {
+        return Err(MseedError::InvalidField {
+            field: "record length",
+            detail: format!("{} is not a power of two in 128..=65536", opts.record_length),
+        });
+    }
+    if samples.is_empty() {
+        return Ok(Vec::new());
+    }
+    let (factor, multiplier) = rate_to_factor(sample_rate)?;
+    let period_us = (1_000_000.0 / sample_rate).round() as i64;
+    let payload_capacity = opts.record_length - DATA_OFFSET;
+    let record_length_exp = opts.record_length.trailing_zeros() as u8;
+
+    let mut out = Vec::new();
+    let mut consumed = 0usize;
+    let mut seq = opts.first_sequence;
+    let mut prev_sample = 0i32;
+    let mut record_start = start;
+    while consumed < samples.len() {
+        let remaining = samples.suffix(consumed);
+        let encoded = encoding::encode(opts.encoding, &remaining, prev_sample, payload_capacity)?;
+        let n = encoded.samples_encoded.min(u16::MAX as usize);
+        if n == 0 {
+            return Err(MseedError::Codec {
+                encoding: opts.encoding.name(),
+                detail: "record too small to hold any sample".into(),
+            });
+        }
+        // If u16 clamped the count, re-encode the exact slice so payload
+        // matches the header (only possible with >65535 samples/record,
+        // which needs 256 KiB records — out of range — but stay correct).
+        let encoded = if n < encoded.samples_encoded {
+            let exact = match remaining {
+                SamplesRef::Ints(v) => {
+                    encoding::encode(opts.encoding, &SamplesRef::Ints(&v[..n]), prev_sample, payload_capacity)?
+                }
+                SamplesRef::Floats(v) => {
+                    encoding::encode(opts.encoding, &SamplesRef::Floats(&v[..n]), prev_sample, payload_capacity)?
+                }
+            };
+            exact
+        } else {
+            encoded
+        };
+        if let SamplesRef::Ints(v) = remaining {
+            prev_sample = v[n - 1];
+        }
+        let frame_count = (encoded.bytes.len() / crate::steim::FRAME_BYTES) as u8;
+        let header = RecordHeader {
+            sequence_number: seq,
+            quality: opts.quality,
+            source: source.clone(),
+            start_time: BTime::from_timestamp(record_start),
+            num_samples: n as u16,
+            sample_rate_factor: factor,
+            sample_rate_multiplier: multiplier,
+            activity_flags: 0,
+            io_clock_flags: 0x20, // clock locked
+            data_quality_flags: 0,
+            num_blockettes: 2,
+            time_correction: 0,
+            data_offset: DATA_OFFSET as u16,
+            blockette_offset: FSDH_SIZE as u16,
+        };
+        let rec_base = out.len();
+        header.write(&mut out);
+        // Blockette 1000 at offset 48, chaining to 1001 at 56.
+        out.extend_from_slice(&1000u16.to_be_bytes());
+        out.extend_from_slice(&56u16.to_be_bytes());
+        out.push(opts.encoding.code());
+        out.push(1); // big-endian word order
+        out.push(record_length_exp);
+        out.push(0); // reserved
+        // Blockette 1001 at offset 56, end of chain.
+        out.extend_from_slice(&1001u16.to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes());
+        out.push(opts.timing_quality);
+        out.push(0); // micro_sec
+        out.push(0); // reserved
+        out.push(if opts.encoding.is_compressed() { frame_count } else { 0 });
+        debug_assert_eq!(out.len() - rec_base, DATA_OFFSET);
+        out.extend_from_slice(&encoded.bytes);
+        // Zero-pad to the fixed record length.
+        out.resize(rec_base + opts.record_length, 0);
+
+        consumed += n;
+        seq = seq.wrapping_add(1);
+        record_start = record_start.add_micros(period_us * n as i64);
+    }
+    Ok(out)
+}
+
+/// Convenience: write a stream segment straight to a file.
+pub fn write_file(
+    path: &std::path::Path,
+    source: &SourceId,
+    start: Timestamp,
+    sample_rate: f64,
+    samples: SamplesRef<'_>,
+    opts: &WriteOptions,
+) -> Result<()> {
+    let bytes = write_records(source, start, sample_rate, samples, opts)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Samples;
+    use crate::read::read_records;
+
+    fn src() -> SourceId {
+        SourceId::new("NL", "HGN", "02", "BHZ").unwrap()
+    }
+
+    #[test]
+    fn rate_mapping() {
+        assert_eq!(rate_to_factor(40.0).unwrap(), (40, 1));
+        assert_eq!(rate_to_factor(1.0).unwrap(), (1, 1));
+        assert_eq!(rate_to_factor(0.1).unwrap(), (-10, 1));
+        assert!(rate_to_factor(0.0).is_err());
+        assert!(rate_to_factor(2.5).is_err());
+    }
+
+    #[test]
+    fn single_record_roundtrip() {
+        let samples: Vec<i32> = (0..100).map(|i| (i * 3) % 50 - 25).collect();
+        let start = Timestamp::from_ymd_hms(2010, 1, 12, 22, 15, 0, 0);
+        let bytes = write_records(
+            &src(),
+            start,
+            40.0,
+            SamplesRef::Ints(&samples),
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(bytes.len(), 4096);
+        let recs: Vec<_> = read_records(&bytes).collect::<Result<_>>().unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].header.num_samples, 100);
+        assert_eq!(recs[0].start_timestamp().unwrap(), start);
+        assert_eq!(recs[0].sample_rate(), 40.0);
+        assert_eq!(recs[0].decode_samples().unwrap(), Samples::Ints(samples));
+    }
+
+    #[test]
+    fn multi_record_split_preserves_stream() {
+        // Enough samples to need several 512-byte records.
+        let samples: Vec<i32> = (0..5000).map(|i| ((i as f64 / 7.0).sin() * 1000.0) as i32).collect();
+        let start = Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0);
+        let opts = WriteOptions {
+            record_length: 512,
+            ..Default::default()
+        };
+        let bytes = write_records(&src(), start, 40.0, SamplesRef::Ints(&samples), &opts).unwrap();
+        assert_eq!(bytes.len() % 512, 0);
+        let mut reassembled = Vec::new();
+        let mut expect_start = start;
+        for (i, rec) in read_records(&bytes).enumerate() {
+            let rec = rec.unwrap();
+            assert_eq!(rec.header.sequence_number, 1 + i as u32);
+            assert_eq!(rec.start_timestamp().unwrap(), expect_start);
+            let s = rec.decode_samples().unwrap();
+            expect_start =
+                expect_start.add_micros(25_000 * rec.header.num_samples as i64);
+            reassembled.extend_from_slice(s.as_ints().unwrap());
+        }
+        assert_eq!(reassembled, samples);
+    }
+
+    #[test]
+    fn float_stream_roundtrip() {
+        let samples: Vec<f64> = (0..300).map(|i| i as f64 * 0.25).collect();
+        let opts = WriteOptions {
+            encoding: DataEncoding::Float64,
+            record_length: 1024,
+            ..Default::default()
+        };
+        let start = Timestamp::from_ymd_hms(2011, 6, 1, 0, 0, 0, 0);
+        let bytes =
+            write_records(&src(), start, 20.0, SamplesRef::Floats(&samples), &opts).unwrap();
+        let mut got = Vec::new();
+        for rec in read_records(&bytes) {
+            got.extend(rec.unwrap().decode_samples().unwrap().to_f64());
+        }
+        assert_eq!(got, samples);
+    }
+
+    #[test]
+    fn rejects_bad_record_length() {
+        let s = [1i32, 2, 3];
+        let opts = WriteOptions {
+            record_length: 1000,
+            ..Default::default()
+        };
+        assert!(write_records(
+            &src(),
+            Timestamp(0),
+            40.0,
+            SamplesRef::Ints(&s),
+            &opts
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let bytes = write_records(
+            &src(),
+            Timestamp(0),
+            40.0,
+            SamplesRef::Ints(&[]),
+            &WriteOptions::default(),
+        )
+        .unwrap();
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn all_encodings_roundtrip_through_records() {
+        let ints: Vec<i32> = (0..200).map(|i| i % 100 - 50).collect();
+        let floats: Vec<f64> = ints.iter().map(|&i| i as f64 / 3.0).collect();
+        let start = Timestamp::from_ymd_hms(2012, 3, 4, 5, 6, 7, 0);
+        for enc in [DataEncoding::Int16, DataEncoding::Int32, DataEncoding::Steim1, DataEncoding::Steim2] {
+            let opts = WriteOptions { encoding: enc, record_length: 512, ..Default::default() };
+            let bytes = write_records(&src(), start, 20.0, SamplesRef::Ints(&ints), &opts).unwrap();
+            let mut got = Vec::new();
+            for rec in read_records(&bytes) {
+                got.extend_from_slice(rec.unwrap().decode_samples().unwrap().as_ints().unwrap());
+            }
+            assert_eq!(got, ints, "encoding {}", enc.name());
+        }
+        for enc in [DataEncoding::Float32, DataEncoding::Float64] {
+            let opts = WriteOptions { encoding: enc, record_length: 512, ..Default::default() };
+            let bytes = write_records(&src(), start, 20.0, SamplesRef::Floats(&floats), &opts).unwrap();
+            let mut got = Vec::new();
+            for rec in read_records(&bytes) {
+                got.extend(rec.unwrap().decode_samples().unwrap().to_f64());
+            }
+            for (a, b) in got.iter().zip(&floats) {
+                assert!((a - b).abs() < 1e-4, "encoding {}", enc.name());
+            }
+        }
+    }
+}

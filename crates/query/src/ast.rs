@@ -1,0 +1,91 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::expr::Expr;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(SelectStmt),
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// An expression with an optional alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// `AS alias`, lower-cased.
+        alias: Option<String>,
+    },
+}
+
+/// A table reference in FROM, optionally joined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Possibly schema-qualified name (`mseed.dataview`), lower-cased.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// One `JOIN table ON cond` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// The ON condition (equi-join conditions are extracted at planning).
+    pub on: Expr,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: Expr,
+    /// True for DESC.
+    pub desc: bool,
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// DISTINCT modifier.
+    pub distinct: bool,
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// Base table (None allows `SELECT 1`).
+    pub from: Option<TableRef>,
+    /// JOIN clauses, in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+}
+
+impl SelectStmt {
+    /// An empty SELECT skeleton (used by the parser).
+    pub fn empty() -> SelectStmt {
+        SelectStmt {
+            distinct: false,
+            items: Vec::new(),
+            from: None,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}

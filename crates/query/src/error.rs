@@ -1,0 +1,56 @@
+//! Error type for the query engine.
+
+use lazyetl_store::StoreError;
+use std::fmt;
+
+/// Errors raised while parsing, planning, optimizing or executing queries.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Lexical or syntactic error with position info.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset in the SQL text.
+        offset: usize,
+    },
+    /// Semantic error during planning (unknown column/table, bad types…).
+    Plan(String),
+    /// Runtime execution failure.
+    Execution(String),
+    /// Error from the storage layer.
+    Store(StoreError),
+    /// Error raised by an external table provider (lazy extraction).
+    External(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            QueryError::Plan(m) => write!(f, "planning error: {m}"),
+            QueryError::Execution(m) => write!(f, "execution error: {m}"),
+            QueryError::Store(e) => write!(f, "storage error: {e}"),
+            QueryError::External(m) => write!(f, "external source error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for QueryError {
+    fn from(e: StoreError) -> Self {
+        QueryError::Store(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,912 @@
+//! Plan execution: column-at-a-time operators with full materialization.
+//!
+//! Every operator consumes whole tables and produces a whole table — the
+//! execution model of MonetDB, the paper's host system. Full
+//! materialization is what makes *intermediate result recycling* (the
+//! paper's lazy-loading cache, §3.3) a natural fit: any intermediate is a
+//! complete table that can be cached and reused.
+
+use crate::error::{QueryError, Result};
+use crate::expr::{
+    eval_expr, eval_predicate_mask, infer_type, AggFunc, Expr,
+};
+use crate::plan::LogicalPlan;
+use lazyetl_store::{
+    Catalog, Column, DataType, Field, GroupKey, Schema, Table, Value,
+};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Serves external tables when the executor reaches an [`LogicalPlan::ExternalScan`]
+/// that no runtime rewrite replaced.
+///
+/// The lazy warehouse implements this with a *full* extraction — the
+/// paper's §3.1 worst case ("the required subset … is the entire
+/// repository") — because the lazy rewriter normally intercepts the scan
+/// first and injects only the needed subset.
+pub trait ExternalTableProvider {
+    /// Materialize the entire external table.
+    fn full_scan(&self, name: &str) -> Result<Arc<Table>>;
+}
+
+/// Execution context: the catalog plus an optional external-table provider.
+pub struct ExecContext<'a> {
+    /// Catalog with resident tables.
+    pub catalog: &'a Catalog,
+    /// Provider for external scans (lazy ETL), if any.
+    pub external: Option<&'a dyn ExternalTableProvider>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Context over a catalog with no external tables.
+    pub fn new(catalog: &'a Catalog) -> ExecContext<'a> {
+        ExecContext {
+            catalog,
+            external: None,
+        }
+    }
+}
+
+/// Execute a logical plan to a materialized table.
+pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> {
+    match plan {
+        LogicalPlan::TableScan { table, .. } => ctx
+            .catalog
+            .table_arc(table)
+            .ok_or_else(|| QueryError::Execution(format!("table {table:?} disappeared"))),
+        LogicalPlan::ExternalScan { name, .. } => match ctx.external {
+            Some(p) => p.full_scan(name),
+            None => Err(QueryError::Execution(format!(
+                "external table {name:?} reached the executor without a provider \
+                 (lazy rewriter not engaged)"
+            ))),
+        },
+        LogicalPlan::InlineData { table, .. } => Ok(table.clone()),
+        LogicalPlan::OneRow => {
+            let schema = Schema::new(vec![Field::new("__onerow", DataType::Bool)])
+                .map_err(QueryError::Store)?;
+            let mut t = Table::empty(schema);
+            t.append_row(vec![Value::Bool(true)])
+                .map_err(QueryError::Store)?;
+            Ok(Arc::new(t))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let table = execute(input, ctx)?;
+            let mask = eval_predicate_mask(predicate, &table)?;
+            Ok(Arc::new(table.filter(&mask).map_err(QueryError::Store)?))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let table = execute(input, ctx)?;
+            let mut fields = Vec::with_capacity(exprs.len());
+            let mut columns = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                let col = eval_expr(e, &table)?;
+                fields.push(Field::nullable(name, col.data_type()));
+                columns.push(col);
+            }
+            let schema = Schema::new(fields).map_err(QueryError::Store)?;
+            Ok(Arc::new(
+                Table::new(schema, columns).map_err(QueryError::Store)?,
+            ))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggregates,
+        } => execute_aggregate(input, group, aggregates, ctx),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => execute_join(left, right, on, right_label, ctx),
+        LogicalPlan::Sort { input, keys } => {
+            let table = execute(input, ctx)?;
+            let indices = sort_indices(&table, keys)?;
+            Ok(Arc::new(table.take(&indices).map_err(QueryError::Store)?))
+        }
+        LogicalPlan::Limit { input, n } => {
+            let table = execute(input, ctx)?;
+            let keep = (*n as usize).min(table.num_rows());
+            let indices: Vec<usize> = (0..keep).collect();
+            Ok(Arc::new(table.take(&indices).map_err(QueryError::Store)?))
+        }
+        LogicalPlan::Distinct { input } => {
+            let table = execute(input, ctx)?;
+            let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+            let mut keep = Vec::new();
+            for row in 0..table.num_rows() {
+                let key: Vec<GroupKey> = table
+                    .columns
+                    .iter()
+                    .map(|c| c.get(row).map(|v| v.group_key()))
+                    .collect::<lazyetl_store::Result<_>>()
+                    .map_err(QueryError::Store)?;
+                if seen.insert(key) {
+                    keep.push(row);
+                }
+            }
+            Ok(Arc::new(table.take(&keep).map_err(QueryError::Store)?))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Accumulator {
+    Count { n: i64 },
+    SumInt { sum: i64, any: bool },
+    SumFloat { sum: f64, any: bool },
+    Avg { sum: f64, n: i64 },
+    Min { best: Option<Value> },
+    Max { best: Option<Value> },
+}
+
+impl Accumulator {
+    fn new(func: AggFunc, arg_type: Option<DataType>) -> Accumulator {
+        match func {
+            AggFunc::Count => Accumulator::Count { n: 0 },
+            AggFunc::Sum => match arg_type {
+                Some(DataType::Float64) => Accumulator::SumFloat { sum: 0.0, any: false },
+                _ => Accumulator::SumInt { sum: 0, any: false },
+            },
+            AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Accumulator::Min { best: None },
+            AggFunc::Max => Accumulator::Max { best: None },
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Accumulator::Count { n } => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::SumInt { sum, any } => {
+                if let Some(x) = v.as_i64() {
+                    *sum = sum
+                        .checked_add(x)
+                        .ok_or_else(|| QueryError::Execution("SUM overflow".into()))?;
+                    *any = true;
+                }
+            }
+            Accumulator::SumFloat { sum, any } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *any = true;
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+            Accumulator::Min { best } => {
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Less),
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            Accumulator::Max { best } => {
+                if !v.is_null() {
+                    let replace = match best {
+                        None => true,
+                        Some(b) => v.sql_cmp(b) == Some(std::cmp::Ordering::Greater),
+                    };
+                    if replace {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Accumulator::Count { n } => Value::Int64(*n),
+            Accumulator::SumInt { sum, any } => {
+                if *any {
+                    Value::Int64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::SumFloat { sum, any } => {
+                if *any {
+                    Value::Float64(*sum)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Avg { sum, n } => {
+                if *n > 0 {
+                    Value::Float64(*sum / *n as f64)
+                } else {
+                    Value::Null
+                }
+            }
+            Accumulator::Min { best } | Accumulator::Max { best } => {
+                best.clone().unwrap_or(Value::Null)
+            }
+        }
+    }
+}
+
+struct GroupState {
+    group_values: Vec<Value>,
+    accs: Vec<Accumulator>,
+    /// Per-aggregate seen-set for DISTINCT aggregates.
+    distinct_seen: Vec<Option<HashSet<GroupKey>>>,
+}
+
+fn execute_aggregate(
+    input: &LogicalPlan,
+    group: &[(Expr, String)],
+    aggregates: &[(Expr, String)],
+    ctx: &ExecContext<'_>,
+) -> Result<Arc<Table>> {
+    let table = execute(input, ctx)?;
+    let in_schema = &table.schema;
+
+    // Decompose aggregate expressions.
+    struct AggSpec {
+        func: AggFunc,
+        arg: Option<Expr>,
+        distinct: bool,
+        arg_type: Option<DataType>,
+    }
+    let specs: Vec<AggSpec> = aggregates
+        .iter()
+        .map(|(e, _)| match e {
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                let arg_type = match arg {
+                    Some(a) => Some(infer_type(a, in_schema)?),
+                    None => None,
+                };
+                Ok(AggSpec {
+                    func: *func,
+                    arg: arg.as_deref().cloned(),
+                    distinct: *distinct,
+                    arg_type,
+                })
+            }
+            other => Err(QueryError::Execution(format!(
+                "non-aggregate expression {other} in aggregate node"
+            ))),
+        })
+        .collect::<Result<_>>()?;
+
+    // Column-at-a-time: evaluate group keys and aggregate arguments as
+    // whole columns once, then fold rows over the materialized columns.
+    let group_cols: Vec<Column> = group
+        .iter()
+        .map(|(ge, _)| eval_expr(ge, &table))
+        .collect::<Result<_>>()?;
+    let arg_cols: Vec<Option<Column>> = specs
+        .iter()
+        .map(|s| s.arg.as_ref().map(|a| eval_expr(a, &table)).transpose())
+        .collect::<Result<_>>()?;
+
+    // Assign each row to a group id. Specialized keying paths avoid
+    // per-row Value boxing for the common single-column cases.
+    let n_rows = table.num_rows();
+    let mut states: Vec<GroupState> = Vec::new();
+    let mut group_of_row: Vec<u32> = Vec::with_capacity(n_rows);
+    let new_state = |gvals: Vec<Value>| GroupState {
+        group_values: gvals,
+        accs: specs
+            .iter()
+            .map(|s| Accumulator::new(s.func, s.arg_type))
+            .collect(),
+        distinct_seen: specs
+            .iter()
+            .map(|s| if s.distinct { Some(HashSet::new()) } else { None })
+            .collect(),
+    };
+
+    enum Keying<'a> {
+        Global,
+        Utf8(&'a [String], &'a Column),
+        Int(Vec<i64>, &'a Column),
+        Generic,
+    }
+    let keying = if group.is_empty() {
+        Keying::Global
+    } else if group.len() == 1 {
+        use lazyetl_store::ColumnData as CD;
+        match group_cols[0].data() {
+            CD::Utf8(v) => Keying::Utf8(v, &group_cols[0]),
+            CD::Int64(v) | CD::Timestamp(v) => Keying::Int(v.clone(), &group_cols[0]),
+            CD::Int32(v) => Keying::Int(
+                v.iter().map(|&x| x as i64).collect(),
+                &group_cols[0],
+            ),
+            _ => Keying::Generic,
+        }
+    } else {
+        Keying::Generic
+    };
+    match keying {
+        Keying::Global => {
+            states.push(new_state(Vec::new()));
+            group_of_row.resize(n_rows, 0);
+        }
+        Keying::Utf8(strings, col) => {
+            let mut map: HashMap<&str, u32> = HashMap::new();
+            let mut null_group: Option<u32> = None;
+            #[allow(clippy::needless_range_loop)] // strings and col indexed in lockstep
+            for row in 0..n_rows {
+                let gid = if col.is_null(row) {
+                    *null_group.get_or_insert_with(|| {
+                        states.push(new_state(vec![Value::Null]));
+                        (states.len() - 1) as u32
+                    })
+                } else {
+                    match map.entry(strings[row].as_str()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            states.push(new_state(vec![Value::Utf8(strings[row].clone())]));
+                            *e.insert((states.len() - 1) as u32)
+                        }
+                    }
+                };
+                group_of_row.push(gid);
+            }
+        }
+        Keying::Int(ints, col) => {
+            let dt = col.data_type();
+            let mut map: HashMap<i64, u32> = HashMap::new();
+            let mut null_group: Option<u32> = None;
+            #[allow(clippy::needless_range_loop)] // ints and col indexed in lockstep
+            for row in 0..n_rows {
+                let gid = if col.is_null(row) {
+                    *null_group.get_or_insert_with(|| {
+                        states.push(new_state(vec![Value::Null]));
+                        (states.len() - 1) as u32
+                    })
+                } else {
+                    match map.entry(ints[row]) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let v = match dt {
+                                DataType::Timestamp => Value::Timestamp(ints[row]),
+                                DataType::Int32 => Value::Int32(ints[row] as i32),
+                                _ => Value::Int64(ints[row]),
+                            };
+                            states.push(new_state(vec![v]));
+                            *e.insert((states.len() - 1) as u32)
+                        }
+                    }
+                };
+                group_of_row.push(gid);
+            }
+        }
+        Keying::Generic => {
+            let mut map: HashMap<Vec<GroupKey>, u32> = HashMap::new();
+            for row in 0..n_rows {
+                let mut key = Vec::with_capacity(group.len());
+                let mut gvals = Vec::with_capacity(group.len());
+                for col in &group_cols {
+                    let v = col.get(row).map_err(QueryError::Store)?;
+                    key.push(v.group_key());
+                    gvals.push(v);
+                }
+                let gid = match map.entry(key) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(e) => {
+                        states.push(new_state(gvals));
+                        *e.insert((states.len() - 1) as u32)
+                    }
+                };
+                group_of_row.push(gid);
+            }
+        }
+    }
+
+    // Accumulate.
+    for row in 0..n_rows {
+        let state = &mut states[group_of_row[row] as usize];
+        for (i, arg_col) in arg_cols.iter().enumerate() {
+            let v = match arg_col {
+                Some(col) => col.get(row).map_err(QueryError::Store)?,
+                None => Value::Int64(1), // COUNT(*) counts every row
+            };
+            if let Some(seen) = &mut state.distinct_seen[i] {
+                if v.is_null() || !seen.insert(v.group_key()) {
+                    continue;
+                }
+            }
+            state.accs[i].update(&v)?;
+        }
+    }
+
+    // Global aggregate over empty input still yields one row (created
+    // above by Keying::Global even when n_rows == 0).
+
+    // Build output table.
+    let mut fields = Vec::with_capacity(group.len() + aggregates.len());
+    for (e, name) in group {
+        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
+    }
+    for (e, name) in aggregates {
+        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
+    }
+    let schema = Schema::new(fields).map_err(QueryError::Store)?;
+    let mut out = Table::empty(schema);
+    for state in &states {
+        let mut row = state.group_values.clone();
+        row.extend(state.accs.iter().map(|a| a.finish()));
+        out.append_row(row).map_err(QueryError::Store)?;
+    }
+    Ok(Arc::new(out))
+}
+
+// ---------------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------------
+
+fn execute_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    on: &[(Expr, Expr)],
+    right_label: &str,
+    ctx: &ExecContext<'_>,
+) -> Result<Arc<Table>> {
+    let lt = execute(left, ctx)?;
+    let rt = execute(right, ctx)?;
+    // Column-at-a-time: materialize the key columns of both sides once.
+    let right_keys: Vec<Column> = on
+        .iter()
+        .map(|(_, re)| eval_expr(re, &rt))
+        .collect::<Result<_>>()?;
+    let left_keys: Vec<Column> = on
+        .iter()
+        .map(|(le, _)| eval_expr(le, &lt))
+        .collect::<Result<_>>()?;
+
+    // Build on the smaller input, probe the larger; emitted index pairs
+    // are always (left row, right row) so the output schema is unaffected.
+    let build_is_left = lt.num_rows() < rt.num_rows();
+    let (bt, bkeys, pt, pkeys) = if build_is_left {
+        (&lt, &left_keys, &rt, &right_keys)
+    } else {
+        (&rt, &right_keys, &lt, &left_keys)
+    };
+    let (mut probe_idx, mut build_idx) = (Vec::new(), Vec::new());
+    match (
+        int_key_rows(bkeys, bt.num_rows()),
+        int_key_rows(pkeys, pt.num_rows()),
+    ) {
+        // All keys integer-typed (the file_id/seq_no joins of the
+        // warehouse schema): hash on packed native integers.
+        (Some(bk), Some(pk)) => {
+            let mut build: HashMap<u128, Vec<usize>> =
+                HashMap::with_capacity(bt.num_rows());
+            for (row, key) in bk.iter().enumerate() {
+                if let Some(k) = key {
+                    build.entry(*k).or_default().push(row);
+                }
+            }
+            for (row, key) in pk.iter().enumerate() {
+                if let Some(k) = key {
+                    if let Some(matches) = build.get(k) {
+                        for &r in matches {
+                            probe_idx.push(row);
+                            build_idx.push(r);
+                        }
+                    }
+                }
+            }
+        }
+        // Generic path: normalized GroupKey vectors.
+        _ => {
+            let mut build: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+            'rows: for row in 0..bt.num_rows() {
+                let mut key = Vec::with_capacity(on.len());
+                for col in bkeys {
+                    let v = col.get(row).map_err(QueryError::Store)?;
+                    if v.is_null() {
+                        continue 'rows; // NULL never joins
+                    }
+                    key.push(v.group_key());
+                }
+                build.entry(key).or_default().push(row);
+            }
+            let mut key = Vec::with_capacity(on.len());
+            'probe: for row in 0..pt.num_rows() {
+                key.clear();
+                for col in pkeys {
+                    let v = col.get(row).map_err(QueryError::Store)?;
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                    key.push(v.group_key());
+                }
+                if let Some(matches) = build.get(&key) {
+                    for &r in matches {
+                        probe_idx.push(row);
+                        build_idx.push(r);
+                    }
+                }
+            }
+        }
+    }
+    let (left_idx, right_idx) = if build_is_left {
+        (build_idx, probe_idx)
+    } else {
+        (probe_idx, build_idx)
+    };
+    let lout = lt.take(&left_idx).map_err(QueryError::Store)?;
+    let rout = rt.take(&right_idx).map_err(QueryError::Store)?;
+    let schema = lout
+        .schema
+        .join(&rout.schema, right_label)
+        .map_err(QueryError::Store)?;
+    let mut columns = lout.columns;
+    columns.extend(rout.columns);
+    Ok(Arc::new(
+        Table::new(schema, columns).map_err(QueryError::Store)?,
+    ))
+}
+
+/// Pack up to two integer-typed join key columns into one `u128` per row
+/// (`None` = a NULL key, which never joins). Returns `None` when any key
+/// column is not integer-typed or more than two keys are present.
+fn int_key_rows(keys: &[Column], n_rows: usize) -> Option<Vec<Option<u128>>> {
+    use lazyetl_store::ColumnData as CD;
+    if keys.is_empty() || keys.len() > 2 {
+        return None;
+    }
+    let as_i64 = |col: &Column| -> Option<Vec<i64>> {
+        match col.data() {
+            CD::Int64(v) | CD::Timestamp(v) => Some(v.clone()),
+            CD::Int32(v) => Some(v.iter().map(|&x| x as i64).collect()),
+            _ => None,
+        }
+    };
+    let first = as_i64(&keys[0])?;
+    let second = match keys.get(1) {
+        Some(col) => Some(as_i64(col)?),
+        None => None,
+    };
+    let mut out = Vec::with_capacity(n_rows);
+    for row in 0..n_rows {
+        let null = keys.iter().any(|k| k.is_null(row));
+        if null {
+            out.push(None);
+            continue;
+        }
+        let hi = first[row] as u64 as u128;
+        let lo = second.as_ref().map_or(0, |s| s[row] as u64 as u128);
+        out.push(Some(hi << 64 | lo));
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Sort
+// ---------------------------------------------------------------------------
+
+fn sort_indices(table: &Table, keys: &[(Expr, bool)]) -> Result<Vec<usize>> {
+    let mut key_cols: Vec<Column> = Vec::with_capacity(keys.len());
+    for (e, _) in keys {
+        key_cols.push(eval_expr(e, table)?);
+    }
+    let mut indices: Vec<usize> = (0..table.num_rows()).collect();
+    let mut fail: Option<QueryError> = None;
+    indices.sort_by(|&a, &b| {
+        for ((_, desc), col) in keys.iter().zip(&key_cols) {
+            let va = col.get(a).unwrap_or(Value::Null);
+            let vb = col.get(b).unwrap_or(Value::Null);
+            // NULLs sort last regardless of direction.
+            let ord = match (va.is_null(), vb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                (true, false) => std::cmp::Ordering::Greater,
+                (false, true) => std::cmp::Ordering::Less,
+                (false, false) => match va.sql_cmp(&vb) {
+                    Some(o) => {
+                        if *desc {
+                            o.reverse()
+                        } else {
+                            o
+                        }
+                    }
+                    None => {
+                        if fail.is_none() {
+                            fail = Some(QueryError::Execution(format!(
+                                "cannot order {va} against {vb}"
+                            )));
+                        }
+                        std::cmp::Ordering::Equal
+                    }
+                },
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    match fail {
+        Some(e) => Err(e),
+        None => Ok(indices),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::optimize;
+    use crate::planner::{plan_sql, TableSource};
+
+    fn demo_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let files_schema = Schema::new(vec![
+            Field::new("file_id", DataType::Int64),
+            Field::new("uri", DataType::Utf8),
+            Field::new("station", DataType::Utf8),
+            Field::new("network", DataType::Utf8),
+            Field::new("channel", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut files = Table::empty(files_schema);
+        let rows = [
+            (0i64, "a.mseed", "ISK", "KO", "BHE"),
+            (1, "b.mseed", "HGN", "NL", "BHZ"),
+            (2, "c.mseed", "WIT", "NL", "BHZ"),
+            (3, "d.mseed", "HGN", "NL", "BHE"),
+        ];
+        for (id, uri, st, net, ch) in rows {
+            files
+                .append_row(vec![
+                    Value::Int64(id),
+                    Value::Utf8(uri.into()),
+                    Value::Utf8(st.into()),
+                    Value::Utf8(net.into()),
+                    Value::Utf8(ch.into()),
+                ])
+                .unwrap();
+        }
+        let samples_schema = Schema::new(vec![
+            Field::new("file_id", DataType::Int64),
+            Field::new("sample_time", DataType::Timestamp),
+            Field::new("sample_value", DataType::Float64),
+        ])
+        .unwrap();
+        let mut samples = Table::empty(samples_schema);
+        for i in 0..40i64 {
+            samples
+                .append_row(vec![
+                    Value::Int64(i % 4),
+                    Value::Timestamp(1_000_000 * i),
+                    Value::Float64((i % 4) as f64 * 10.0 + (i / 4) as f64),
+                ])
+                .unwrap();
+        }
+        c.create_table("files", files).unwrap();
+        c.create_table("samples", samples).unwrap();
+        c.create_view(
+            "fileview",
+            "SELECT * FROM files f JOIN samples s ON f.file_id = s.file_id",
+        )
+        .unwrap();
+        c
+    }
+
+    fn run(sql: &str, c: &Catalog) -> Arc<Table> {
+        let src = TableSource::new(c);
+        let plan = plan_sql(sql, &src).unwrap();
+        let plan = optimize(&plan).unwrap();
+        execute(&plan, &ExecContext::new(c)).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let c = demo_catalog();
+        let t = run("SELECT uri FROM files WHERE network = 'NL' AND channel = 'BHZ'", &c);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0).unwrap()[0], Value::Utf8("b.mseed".into()));
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let c = demo_catalog();
+        let t = run(
+            "SELECT station, COUNT(*) AS cnt FROM files GROUP BY station ORDER BY cnt DESC, station",
+            &c,
+        );
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.row(0).unwrap()[0], Value::Utf8("HGN".into()));
+        assert_eq!(t.row(0).unwrap()[1], Value::Int64(2));
+    }
+
+    #[test]
+    fn global_aggregates_over_empty_input() {
+        let c = demo_catalog();
+        let t = run(
+            "SELECT COUNT(*), SUM(file_id), AVG(file_id), MIN(uri) FROM files WHERE station = 'NOPE'",
+            &c,
+        );
+        assert_eq!(t.num_rows(), 1);
+        let row = t.row(0).unwrap();
+        assert_eq!(row[0], Value::Int64(0));
+        assert!(row[1].is_null());
+        assert!(row[2].is_null());
+        assert!(row[3].is_null());
+    }
+
+    #[test]
+    fn join_via_view() {
+        let c = demo_catalog();
+        let t = run(
+            "SELECT f.station, AVG(s.sample_value) FROM fileview WHERE f.network = 'NL' GROUP BY f.station ORDER BY f.station",
+            &c,
+        );
+        assert_eq!(t.num_rows(), 2);
+        // station HGN covers file_ids 1 and 3.
+        assert_eq!(t.row(0).unwrap()[0], Value::Utf8("HGN".into()));
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let c = demo_catalog();
+        let t = run("SELECT DISTINCT network FROM files ORDER BY network", &c);
+        assert_eq!(t.num_rows(), 2);
+        let t = run("SELECT uri FROM files ORDER BY uri LIMIT 2", &c);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1).unwrap()[0], Value::Utf8("b.mseed".into()));
+        let t = run("SELECT uri FROM files LIMIT 0", &c);
+        assert_eq!(t.num_rows(), 0);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let c = demo_catalog();
+        let t = run("SELECT COUNT(DISTINCT station) FROM files", &c);
+        assert_eq!(t.row(0).unwrap()[0], Value::Int64(3));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let c = demo_catalog();
+        let t = run("SELECT 1 + 1 AS two, 'x' AS tag", &c);
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0).unwrap()[0], Value::Int64(2));
+        assert_eq!(t.row(0).unwrap()[1], Value::Utf8("x".into()));
+    }
+
+    #[test]
+    fn order_by_nulls_last() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Field::nullable("v", DataType::Int32)]).unwrap();
+        let mut t = Table::empty(schema);
+        for v in [Value::Int32(2), Value::Null, Value::Int32(1)] {
+            t.append_row(vec![v]).unwrap();
+        }
+        c.create_table("t", t).unwrap();
+        let asc = run("SELECT v FROM t ORDER BY v", &c);
+        assert_eq!(asc.row(0).unwrap()[0], Value::Int32(1));
+        assert!(asc.row(2).unwrap()[0].is_null());
+        let desc = run("SELECT v FROM t ORDER BY v DESC", &c);
+        assert_eq!(desc.row(0).unwrap()[0], Value::Int32(2));
+        assert!(desc.row(2).unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn external_scan_without_provider_fails() {
+        let c = demo_catalog();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]).unwrap();
+        let src = TableSource::new(&c).with_external("ext", schema);
+        let plan = plan_sql("SELECT x FROM ext", &src).unwrap();
+        let res = execute(&plan, &ExecContext::new(&c));
+        assert!(matches!(res, Err(QueryError::Execution(_))));
+    }
+
+    #[test]
+    fn join_null_keys_do_not_match() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Field::nullable("k", DataType::Int32)]).unwrap();
+        let mut a = Table::empty(schema.clone());
+        a.append_row(vec![Value::Int32(1)]).unwrap();
+        a.append_row(vec![Value::Null]).unwrap();
+        let mut b = Table::empty(schema);
+        b.append_row(vec![Value::Null]).unwrap();
+        b.append_row(vec![Value::Int32(1)]).unwrap();
+        c.create_table("a", a).unwrap();
+        c.create_table("b", b).unwrap();
+        let t = run("SELECT * FROM a JOIN b ON a.k = b.k", &c);
+        assert_eq!(t.num_rows(), 1, "only the non-null key pair joins");
+    }
+
+    #[test]
+    fn string_key_join_uses_generic_path() {
+        // Utf8 keys cannot take the packed-integer fast path; results must
+        // still match expectations.
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("name", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+        ])
+        .unwrap();
+        let mut a = Table::empty(schema.clone());
+        let mut b = Table::empty(schema);
+        for (n, v) in [("x", 1i64), ("y", 2), ("z", 3)] {
+            a.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)]).unwrap();
+        }
+        for (n, v) in [("y", 20i64), ("z", 30), ("w", 40)] {
+            b.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)]).unwrap();
+        }
+        c.create_table("a", a).unwrap();
+        c.create_table("b", b).unwrap();
+        let t = run(
+            "SELECT a.name, a.v, b.v FROM a JOIN b ON a.name = b.name ORDER BY a.name",
+            &c,
+        );
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(0).unwrap()[0], Value::Utf8("y".into()));
+        assert_eq!(t.row(0).unwrap()[2], Value::Int64(20));
+        assert_eq!(t.row(1).unwrap()[0], Value::Utf8("z".into()));
+    }
+
+    #[test]
+    fn three_key_join_falls_back_to_generic() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k1", DataType::Int64),
+            Field::new("k2", DataType::Int64),
+            Field::new("k3", DataType::Int64),
+        ])
+        .unwrap();
+        let mut a = Table::empty(schema.clone());
+        let mut b = Table::empty(schema);
+        for i in 0..6i64 {
+            a.append_row(vec![
+                Value::Int64(i % 2),
+                Value::Int64(i % 3),
+                Value::Int64(i),
+            ])
+            .unwrap();
+            b.append_row(vec![
+                Value::Int64(i % 2),
+                Value::Int64(i % 3),
+                Value::Int64(i),
+            ])
+            .unwrap();
+        }
+        c.create_table("a", a).unwrap();
+        c.create_table("b", b).unwrap();
+        let t = run(
+            "SELECT COUNT(*) FROM a JOIN b ON a.k1 = b.k1 AND a.k2 = b.k2 AND a.k3 = b.k3",
+            &c,
+        );
+        // Exact triple matches only: 6 rows.
+        assert_eq!(t.row(0).unwrap()[0], Value::Int64(6));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let c = demo_catalog();
+        let t = run(
+            "SELECT station, COUNT(*) AS c FROM files GROUP BY station HAVING COUNT(*) > 1",
+            &c,
+        );
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0).unwrap()[0], Value::Utf8("HGN".into()));
+    }
+}

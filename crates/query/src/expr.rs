@@ -1,0 +1,1404 @@
+//! Scalar expressions: representation, typing, and columnar evaluation.
+//!
+//! Expressions are shared by the AST, logical plans and the executor. The
+//! evaluator is column-at-a-time: given a [`Table`], an expression produces
+//! a whole [`Column`] — the execution style of the paper's host system.
+
+use crate::error::{QueryError, Result};
+use lazyetl_store::{Column, DataType, Schema, Table, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// Logical AND (three-valued).
+    And,
+    /// Logical OR (three-valued).
+    Or,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always yields DOUBLE)
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinaryOp {
+    /// True for the six comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+        )
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(expr)` / `COUNT(*)`
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// A scalar (or aggregate) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, possibly qualified (`f.station`), lower-cased.
+    Column(String),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Scalar function call.
+    Function {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Aggregate call (only valid inside an Aggregate plan node).
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (`None` = `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+        /// DISTINCT modifier.
+        distinct: bool,
+    },
+    /// `expr BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `expr LIKE pattern` (`%` and `_` wildcards).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern (usually a literal).
+        pattern: Box<Expr>,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_ascii_lowercase())
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    /// Shorthand: `self op other`.
+    pub fn binary(self, op: BinaryOp, other: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(self),
+            op,
+            right: Box::new(other),
+        }
+    }
+
+    /// Shorthand: conjunction.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinaryOp::And, other)
+    }
+
+    /// Collect every column name referenced by this expression.
+    pub fn columns_used(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => out.push(name.clone()),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.columns_used(out);
+                right.columns_used(out);
+            }
+            Expr::Unary { expr, .. } => expr.columns_used(out),
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.columns_used(out);
+                }
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.columns_used(out);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.columns_used(out);
+                low.columns_used(out);
+                high.columns_used(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.columns_used(out);
+                for e in list {
+                    e.columns_used(out);
+                }
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.columns_used(out);
+                pattern.columns_used(out);
+            }
+            Expr::IsNull { expr, .. } => expr.columns_used(out),
+        }
+    }
+
+    /// True if any sub-expression is an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Function { args, .. } => args.iter().any(|a| a.contains_aggregate()),
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+
+    /// Apply `f` to every node bottom-up, rebuilding the tree.
+    pub fn transform(&self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let rebuilt = match self {
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.transform(f)),
+                op: *op,
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.transform(f)),
+            },
+            Expr::Function { name, args } => Expr::Function {
+                name: name.clone(),
+                args: args.iter().map(|a| a.transform(f)).collect(),
+            },
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => Expr::Aggregate {
+                func: *func,
+                arg: arg.as_ref().map(|a| Box::new(a.transform(f))),
+                distinct: *distinct,
+            },
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Expr::Between {
+                expr: Box::new(expr.transform(f)),
+                low: Box::new(low.transform(f)),
+                high: Box::new(high.transform(f)),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.transform(f)),
+                list: list.iter().map(|e| e.transform(f)).collect(),
+                negated: *negated,
+            },
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.transform(f)),
+                pattern: Box::new(pattern.transform(f)),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => Expr::IsNull {
+                expr: Box::new(expr.transform(f)),
+                negated: *negated,
+            },
+        };
+        f(rebuilt)
+    }
+
+    /// A display name for an unaliased projection of this expression.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column(name) => name
+                .rsplit('.')
+                .next()
+                .unwrap_or(name)
+                .to_string(),
+            Expr::Aggregate { func, arg, .. } => match arg {
+                Some(a) => format!(
+                    "{}({})",
+                    func.name().to_ascii_lowercase(),
+                    a.default_name()
+                ),
+                None => format!("{}(*)", func.name().to_ascii_lowercase()),
+            },
+            other => other.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::Literal(Value::Utf8(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => {
+                if let Value::Timestamp(_) = v {
+                    write!(f, "'{v}'")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Binary { left, op, right } => write!(f, "({left} {} {right})", op.symbol()),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            Expr::Function { name, args } => {
+                let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                write!(f, "{name}({})", parts.join(", "))
+            }
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                let d = if *distinct { "DISTINCT " } else { "" };
+                match arg {
+                    Some(a) => write!(f, "{}({d}{a})", func.name()),
+                    None => write!(f, "{}(*)", func.name()),
+                }
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let parts: Vec<String> = list.iter().map(|e| e.to_string()).collect();
+                write!(
+                    f,
+                    "({expr} {}IN ({}))",
+                    if *negated { "NOT " } else { "" },
+                    parts.join(", ")
+                )
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::IsNull { expr, negated } => write!(
+                f,
+                "({expr} IS {}NULL)",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+/// Resolve a possibly-qualified column name against a schema.
+///
+/// Resolution order: exact match; then suffix match (`f.station` matches
+/// field `station`; `station` matches a unique field `…&#46;station`). This is
+/// what lets the paper's Figure-1 queries qualify view columns with the
+/// origin-table aliases F/R/D.
+pub fn resolve_column(schema: &Schema, name: &str) -> Option<usize> {
+    resolve_name(schema.fields.iter().map(|f| f.name.as_str()), name)
+}
+
+/// Resolve a possibly-qualified column reference against a list of output
+/// names (shared by schema resolution and projection substitution).
+///
+/// Rules, in order:
+/// 1. exact match;
+/// 2. qualified reference (`r.start_time`): matches an *unqualified* name
+///    equal to the suffix, or a qualified name with the **same** qualifier
+///    — a name qualified with a *different* alias (`f.start_time`) must
+///    NOT match, otherwise predicates silently filter the wrong table;
+/// 3. unqualified reference: unique suffix match under any qualifier.
+pub fn resolve_name<'a>(
+    names: impl Iterator<Item = &'a str> + Clone,
+    query: &str,
+) -> Option<usize> {
+    if let Some(i) = names.clone().position(|n| n == query) {
+        return Some(i);
+    }
+    let matches: Vec<usize> = if let Some((qual, suffix)) = query.rsplit_once('.') {
+        let qual_tail = qual.rsplit('.').next().unwrap_or(qual);
+        names
+            .enumerate()
+            .filter(|(_, n)| match n.rsplit_once('.') {
+                None => *n == suffix,
+                Some((fq, fs)) => {
+                    fs == suffix && fq.rsplit('.').next() == Some(qual_tail)
+                }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    } else {
+        names
+            .enumerate()
+            .filter(|(_, n)| n.rsplit('.').next() == Some(query))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    if matches.len() == 1 {
+        Some(matches[0])
+    } else {
+        None
+    }
+}
+
+/// Infer the output type of an expression against an input schema.
+pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
+    Ok(match expr {
+        Expr::Column(name) => {
+            let idx = resolve_column(schema, name)
+                .ok_or_else(|| QueryError::Plan(format!("unknown column {name:?}")))?;
+            schema.fields[idx].data_type
+        }
+        Expr::Literal(v) => v.data_type().unwrap_or(DataType::Utf8),
+        Expr::Binary { left, op, right } => {
+            if op.is_comparison() || matches!(op, BinaryOp::And | BinaryOp::Or) {
+                DataType::Bool
+            } else if *op == BinaryOp::Div {
+                DataType::Float64
+            } else {
+                let lt = infer_type(left, schema)?;
+                let rt = infer_type(right, schema)?;
+                numeric_supertype(lt, rt)?
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnaryOp::Not => DataType::Bool,
+            UnaryOp::Neg => infer_type(expr, schema)?,
+        },
+        Expr::Function { name, args } => {
+            check_function_arity(name, args.len()).map_err(QueryError::Plan)?;
+            match name.as_str() {
+                "abs" | "round" | "floor" | "ceil" => {
+                    let t = infer_type(&args[0], schema)?;
+                    if t == DataType::Int32 || t == DataType::Int64 {
+                        t
+                    } else {
+                        DataType::Float64
+                    }
+                }
+                "sqrt" | "exp" | "ln" | "power" => DataType::Float64,
+                "lower" | "upper" => DataType::Utf8,
+                "length" => DataType::Int64,
+                "coalesce" => infer_type(&args[0], schema)?,
+                other => {
+                    return Err(QueryError::Plan(format!("unknown function {other:?}")))
+                }
+            }
+        }
+        Expr::Aggregate { func, arg, .. } => match func {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match arg {
+                Some(a) => match infer_type(a, schema)? {
+                    DataType::Float64 => DataType::Float64,
+                    _ => DataType::Int64,
+                },
+                None => DataType::Int64,
+            },
+            AggFunc::Min | AggFunc::Max => match arg {
+                Some(a) => infer_type(a, schema)?,
+                None => {
+                    return Err(QueryError::Plan("MIN/MAX need an argument".into()))
+                }
+            },
+        },
+        Expr::Between { .. }
+        | Expr::InList { .. }
+        | Expr::Like { .. }
+        | Expr::IsNull { .. } => DataType::Bool,
+    })
+}
+
+fn numeric_supertype(a: DataType, b: DataType) -> Result<DataType> {
+    use DataType::*;
+    Ok(match (a, b) {
+        (Float64, _) | (_, Float64) => Float64,
+        (Timestamp, Int32) | (Timestamp, Int64) | (Int32, Timestamp) | (Int64, Timestamp) => {
+            Timestamp
+        }
+        (Timestamp, Timestamp) => Int64, // difference of timestamps
+        (Int64, _) | (_, Int64) => Int64,
+        (Int32, Int32) => Int32,
+        _ => {
+            return Err(QueryError::Plan(format!(
+                "no numeric supertype for {a} and {b}"
+            )))
+        }
+    })
+}
+
+/// SQL LIKE with `%` (any run) and `_` (single char) wildcards.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn inner(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => {
+                // Collapse consecutive %.
+                let rest = &p[1..];
+                (0..=t.len()).any(|k| inner(&t[k..], rest))
+            }
+            Some('_') => !t.is_empty() && inner(&t[1..], &p[1..]),
+            Some(c) => t.first() == Some(c) && inner(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    inner(&t, &p)
+}
+
+/// Evaluate a scalar value binary operation under SQL NULL semantics.
+pub fn eval_binary_values(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(match (l.as_bool(), r.as_bool(), l.is_null(), r.is_null()) {
+            (Some(false), _, _, _) | (_, Some(false), _, _) => Value::Bool(false),
+            (Some(true), Some(true), _, _) => Value::Bool(true),
+            _ => Value::Null,
+        }),
+        Or => Ok(match (l.as_bool(), r.as_bool(), l.is_null(), r.is_null()) {
+            (Some(true), _, _, _) | (_, Some(true), _, _) => Value::Bool(true),
+            (Some(false), Some(false), _, _) => Value::Bool(false),
+            _ => Value::Null,
+        }),
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            let ord = l.sql_cmp(r).ok_or_else(|| {
+                QueryError::Execution(format!("cannot compare {l} with {r}"))
+            })?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Add | Sub | Mul | Div | Mod => {
+            if l.is_null() || r.is_null() {
+                return Ok(Value::Null);
+            }
+            // Timestamp arithmetic: ts ± integer µs, ts - ts.
+            match (l, r, op) {
+                (Value::Timestamp(a), Value::Timestamp(b), Sub) => {
+                    return Ok(Value::Int64(a - b))
+                }
+                (Value::Timestamp(a), _, Add) => {
+                    let d = r.as_i64().ok_or_else(|| {
+                        QueryError::Execution("timestamp + non-integer".into())
+                    })?;
+                    return Ok(Value::Timestamp(a + d));
+                }
+                (Value::Timestamp(a), _, Sub) => {
+                    let d = r.as_i64().ok_or_else(|| {
+                        QueryError::Execution("timestamp - non-integer".into())
+                    })?;
+                    return Ok(Value::Timestamp(a - d));
+                }
+                _ => {}
+            }
+            let fl = l
+                .as_f64()
+                .ok_or_else(|| QueryError::Execution(format!("non-numeric operand {l}")))?;
+            let fr = r
+                .as_f64()
+                .ok_or_else(|| QueryError::Execution(format!("non-numeric operand {r}")))?;
+            // Integer-preserving arithmetic when both sides are integers
+            // and the op is not division.
+            let both_int = matches!(l, Value::Int32(_) | Value::Int64(_))
+                && matches!(r, Value::Int32(_) | Value::Int64(_));
+            if both_int && op != Div {
+                let a = l.as_i64().unwrap();
+                let b = r.as_i64().unwrap();
+                let v = match op {
+                    Add => a.checked_add(b),
+                    Sub => a.checked_sub(b),
+                    Mul => a.checked_mul(b),
+                    Mod => {
+                        if b == 0 {
+                            return Ok(Value::Null); // SQL: x % 0 -> NULL
+                        }
+                        a.checked_rem(b)
+                    }
+                    _ => unreachable!(),
+                }
+                .ok_or_else(|| QueryError::Execution("integer overflow".into()))?;
+                let narrow = matches!(l, Value::Int32(_)) && matches!(r, Value::Int32(_));
+                return Ok(if narrow && i32::try_from(v).is_ok() {
+                    Value::Int32(v as i32)
+                } else {
+                    Value::Int64(v)
+                });
+            }
+            let v = match op {
+                Add => fl + fr,
+                Sub => fl - fr,
+                Mul => fl * fr,
+                Div => {
+                    if fr == 0.0 {
+                        return Ok(Value::Null); // SQL: x / 0 -> NULL
+                    }
+                    fl / fr
+                }
+                Mod => {
+                    if fr == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    fl % fr
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float64(v))
+        }
+    }
+}
+
+/// Validate a scalar function's argument count; the message names the
+/// function and the expected arity.
+fn check_function_arity(name: &str, actual: usize) -> std::result::Result<(), String> {
+    let expected: Option<usize> = match name {
+        "abs" | "round" | "floor" | "ceil" | "sqrt" | "exp" | "ln" | "lower" | "upper"
+        | "length" => Some(1),
+        "power" => Some(2),
+        "coalesce" => {
+            if actual == 0 {
+                return Err("coalesce needs at least one argument".into());
+            }
+            None
+        }
+        _ => None, // unknown names are rejected by type inference
+    };
+    match expected {
+        Some(n) if n != actual => Err(format!(
+            "{name} takes {n} argument{}, got {actual}",
+            if n == 1 { "" } else { "s" }
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
+    check_function_arity(name, args.len()).map_err(QueryError::Execution)?;
+    let num = |v: &Value| -> Result<Option<f64>> {
+        if v.is_null() {
+            return Ok(None);
+        }
+        v.as_f64()
+            .map(Some)
+            .ok_or_else(|| QueryError::Execution(format!("{name}: non-numeric argument {v}")))
+    };
+    Ok(match name {
+        "abs" => match &args[0] {
+            Value::Null => Value::Null,
+            Value::Int32(v) => Value::Int32(v.saturating_abs()),
+            Value::Int64(v) => Value::Int64(v.saturating_abs()),
+            Value::Float64(v) => Value::Float64(v.abs()),
+            other => {
+                return Err(QueryError::Execution(format!("abs: bad argument {other}")))
+            }
+        },
+        "round" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => match &args[0] {
+                Value::Int32(_) | Value::Int64(_) => args[0].clone(),
+                _ => Value::Float64(v.round()),
+            },
+        },
+        "floor" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => match &args[0] {
+                Value::Int32(_) | Value::Int64(_) => args[0].clone(),
+                _ => Value::Float64(v.floor()),
+            },
+        },
+        "ceil" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => match &args[0] {
+                Value::Int32(_) | Value::Int64(_) => args[0].clone(),
+                _ => Value::Float64(v.ceil()),
+            },
+        },
+        "sqrt" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => Value::Float64(v.sqrt()),
+        },
+        "exp" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => Value::Float64(v.exp()),
+        },
+        "ln" => match num(&args[0])? {
+            None => Value::Null,
+            Some(v) => Value::Float64(v.ln()),
+        },
+        "power" => match (num(&args[0])?, num(&args[1])?) {
+            (Some(a), Some(b)) => Value::Float64(a.powf(b)),
+            _ => Value::Null,
+        },
+        "lower" => match &args[0] {
+            Value::Null => Value::Null,
+            Value::Utf8(s) => Value::Utf8(s.to_lowercase()),
+            other => {
+                return Err(QueryError::Execution(format!("lower: bad argument {other}")))
+            }
+        },
+        "upper" => match &args[0] {
+            Value::Null => Value::Null,
+            Value::Utf8(s) => Value::Utf8(s.to_uppercase()),
+            other => {
+                return Err(QueryError::Execution(format!("upper: bad argument {other}")))
+            }
+        },
+        "length" => match &args[0] {
+            Value::Null => Value::Null,
+            Value::Utf8(s) => Value::Int64(s.chars().count() as i64),
+            other => {
+                return Err(QueryError::Execution(format!(
+                    "length: bad argument {other}"
+                )))
+            }
+        },
+        "coalesce" => args
+            .iter()
+            .find(|v| !v.is_null())
+            .cloned()
+            .unwrap_or(Value::Null),
+        other => return Err(QueryError::Execution(format!("unknown function {other:?}"))),
+    })
+}
+
+/// Evaluate an expression for one row of a table.
+pub fn eval_row(expr: &Expr, table: &Table, row: usize) -> Result<Value> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = resolve_column(&table.schema, name)
+                .ok_or_else(|| QueryError::Execution(format!("unknown column {name:?}")))?;
+            Ok(table.columns[idx].get(row)?)
+        }
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Binary { left, op, right } => {
+            let l = eval_row(left, table, row)?;
+            // Short-circuit AND/OR on the already-known left side.
+            if *op == BinaryOp::And && l.as_bool() == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            if *op == BinaryOp::Or && l.as_bool() == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval_row(right, table, row)?;
+            eval_binary_values(*op, &l, &r)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_row(expr, table, row)?;
+            match op {
+                UnaryOp::Not => Ok(match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                }),
+                UnaryOp::Neg => Ok(match v {
+                    Value::Null => Value::Null,
+                    Value::Int32(x) => Value::Int32(-x),
+                    Value::Int64(x) => Value::Int64(-x),
+                    Value::Float64(x) => Value::Float64(-x),
+                    other => {
+                        return Err(QueryError::Execution(format!("cannot negate {other}")))
+                    }
+                }),
+            }
+        }
+        Expr::Function { name, args } => {
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval_row(a, table, row))
+                .collect::<Result<_>>()?;
+            eval_function(name, &vals)
+        }
+        Expr::Aggregate { .. } => Err(QueryError::Execution(
+            "aggregate expression outside of GROUP BY context".into(),
+        )),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row)?;
+            let lo = eval_row(low, table, row)?;
+            let hi = eval_row(high, table, row)?;
+            let ge = eval_binary_values(BinaryOp::GtEq, &v, &lo)?;
+            let le = eval_binary_values(BinaryOp::LtEq, &v, &hi)?;
+            let both = eval_binary_values(BinaryOp::And, &ge, &le)?;
+            Ok(match (both.as_bool(), *negated) {
+                (Some(b), neg) => Value::Bool(b != neg),
+                (None, _) => Value::Null,
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for candidate in list {
+                let c = eval_row(candidate, table, row)?;
+                match v.sql_eq(&c) {
+                    Some(true) => return Ok(Value::Bool(!negated)),
+                    Some(false) => {}
+                    None => saw_null = true,
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row)?;
+            let p = eval_row(pattern, table, row)?;
+            match (v.as_str(), p.as_str()) {
+                (Some(t), Some(pat)) => Ok(Value::Bool(like_match(t, pat) != *negated)),
+                _ if v.is_null() || p.is_null() => Ok(Value::Null),
+                _ => Err(QueryError::Execution(
+                    "LIKE requires string operands".into(),
+                )),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_row(expr, table, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// Evaluate an expression over all rows, producing a column.
+///
+/// Common shapes (bare column references, column-vs-literal comparisons,
+/// boolean combinations of those) run as tight typed loops; everything else
+/// falls back to row-at-a-time interpretation.
+pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
+    if let Some(col) = eval_vectorized(expr, table)? {
+        return Ok(col);
+    }
+    let out_type = infer_type(expr, &table.schema)?;
+    let mut col = Column::empty(out_type);
+    for row in 0..table.num_rows() {
+        let v = eval_row(expr, table, row)?;
+        // Coerce to the inferred column type where the valueside differs
+        // (e.g. int-preserving round over a Float64-typed expression).
+        let v = coerce_value(v, out_type);
+        col.push(v).map_err(QueryError::Store)?;
+    }
+    Ok(col)
+}
+
+/// Tri-state vector used by the vectorized boolean kernels:
+/// `Some(bool)` = definite, `None` = SQL NULL.
+type BoolVec = Vec<Option<bool>>;
+
+fn bools_to_column(bools: BoolVec) -> Result<Column> {
+    let mut values = Vec::with_capacity(bools.len());
+    let mut validity = Vec::with_capacity(bools.len());
+    let mut has_null = false;
+    for b in bools {
+        match b {
+            Some(v) => {
+                values.push(v);
+                validity.push(true);
+            }
+            None => {
+                values.push(false);
+                validity.push(false);
+                has_null = true;
+            }
+        }
+    }
+    let data = lazyetl_store::ColumnData::Bool(values);
+    if has_null {
+        Column::with_validity(data, validity).map_err(QueryError::Store)
+    } else {
+        Ok(Column::new(data))
+    }
+}
+
+/// Vectorized comparison of a column against a literal. Returns `None`
+/// when the type pairing has no fast kernel.
+fn compare_column_literal(
+    col: &Column,
+    op: BinaryOp,
+    lit: &Value,
+    literal_on_left: bool,
+) -> Option<BoolVec> {
+    use lazyetl_store::ColumnData as CD;
+    use std::cmp::Ordering;
+    let decide = |ord: Ordering| -> bool {
+        let ord = if literal_on_left { ord.reverse() } else { ord };
+        match op {
+            BinaryOp::Eq => ord == Ordering::Equal,
+            BinaryOp::NotEq => ord != Ordering::Equal,
+            BinaryOp::Lt => ord == Ordering::Less,
+            BinaryOp::LtEq => ord != Ordering::Greater,
+            BinaryOp::Gt => ord == Ordering::Greater,
+            BinaryOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!("caller checks is_comparison"),
+        }
+    };
+    let n = col.len();
+    let nullable = col.null_count() > 0;
+    macro_rules! kernel {
+        ($data:expr, $target:expr, $cmp:expr) => {{
+            let mut out: BoolVec = Vec::with_capacity(n);
+            for (i, v) in $data.iter().enumerate() {
+                if nullable && col.is_null(i) {
+                    out.push(None);
+                } else {
+                    out.push(Some(decide($cmp(v, $target))));
+                }
+            }
+            Some(out)
+        }};
+    }
+    match (col.data(), lit) {
+        (CD::Int64(d), _) | (CD::Timestamp(d), _) => {
+            let t = lit.as_i64()?;
+            kernel!(d, &t, |a: &i64, b: &i64| a.cmp(b))
+        }
+        (CD::Int32(d), Value::Int32(_) | Value::Int64(_)) => {
+            let t = lit.as_i64()?;
+            kernel!(d, &t, |a: &i32, b: &i64| (*a as i64).cmp(b))
+        }
+        (CD::Int32(d), Value::Float64(t)) => {
+            kernel!(d, t, |a: &i32, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (CD::Float64(d), _) => {
+            let t = lit.as_f64()?;
+            kernel!(d, &t, |a: &f64, b: &f64| a.total_cmp(b))
+        }
+        (CD::Utf8(d), Value::Utf8(t)) => {
+            kernel!(d, t, |a: &String, b: &String| a.as_str().cmp(b.as_str()))
+        }
+        _ => None,
+    }
+}
+
+/// Fast-path evaluation; `Ok(None)` means "no kernel, use the interpreter".
+fn eval_vectorized(expr: &Expr, table: &Table) -> Result<Option<Column>> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = match resolve_column(&table.schema, name) {
+                Some(i) => i,
+                None => return Ok(None), // let the interpreter report the error path
+            };
+            Ok(Some(table.columns[idx].clone()))
+        }
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let (col_expr, lit, literal_on_left) = match (&**left, &**right) {
+                (Expr::Column(_), Expr::Literal(v)) => (&**left, v, false),
+                (Expr::Literal(v), Expr::Column(_)) => (&**right, v, true),
+                _ => return Ok(None),
+            };
+            if lit.is_null() {
+                return Ok(None); // NULL comparisons: interpreter handles 3VL
+            }
+            let Expr::Column(name) = col_expr else {
+                return Ok(None);
+            };
+            let Some(idx) = resolve_column(&table.schema, name) else {
+                return Ok(None);
+            };
+            match compare_column_literal(&table.columns[idx], *op, lit, literal_on_left) {
+                Some(bools) => Ok(Some(bools_to_column(bools)?)),
+                None => Ok(None),
+            }
+        }
+        Expr::Binary { left, op, right }
+            if matches!(op, BinaryOp::And | BinaryOp::Or) =>
+        {
+            let Some(l) = eval_vectorized(left, table)? else {
+                return Ok(None);
+            };
+            let Some(r) = eval_vectorized(right, table)? else {
+                return Ok(None);
+            };
+            if l.data_type() != DataType::Bool || r.data_type() != DataType::Bool {
+                return Ok(None);
+            }
+            let (lazyetl_store::ColumnData::Bool(ld), lazyetl_store::ColumnData::Bool(rd)) =
+                (l.data(), r.data())
+            else {
+                return Ok(None);
+            };
+            let is_and = *op == BinaryOp::And;
+            let mut out: BoolVec = Vec::with_capacity(ld.len());
+            for i in 0..ld.len() {
+                let a = if l.is_null(i) { None } else { Some(ld[i]) };
+                let b = if r.is_null(i) { None } else { Some(rd[i]) };
+                out.push(if is_and {
+                    match (a, b) {
+                        (Some(false), _) | (_, Some(false)) => Some(false),
+                        (Some(true), Some(true)) => Some(true),
+                        _ => None,
+                    }
+                } else {
+                    match (a, b) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    }
+                });
+            }
+            Ok(Some(bools_to_column(out)?))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Losslessly coerce a value toward a target type where SQL allows it.
+fn coerce_value(v: Value, target: DataType) -> Value {
+    match (&v, target) {
+        (Value::Int32(x), DataType::Int64) => Value::Int64(*x as i64),
+        (Value::Int32(x), DataType::Float64) => Value::Float64(*x as f64),
+        (Value::Int64(x), DataType::Float64) => Value::Float64(*x as f64),
+        (Value::Int64(x), DataType::Timestamp) => Value::Timestamp(*x),
+        _ => v,
+    }
+}
+
+/// Evaluate a predicate to a boolean selection mask (NULL -> false).
+pub fn eval_predicate_mask(expr: &Expr, table: &Table) -> Result<Vec<bool>> {
+    if let Some(col) = eval_vectorized(expr, table)? {
+        if let lazyetl_store::ColumnData::Bool(d) = col.data() {
+            return Ok(d
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b && !col.is_null(i))
+                .collect());
+        }
+    }
+    let mut mask = Vec::with_capacity(table.num_rows());
+    for row in 0..table.num_rows() {
+        let v = eval_row(expr, table, row)?;
+        mask.push(v.as_bool().unwrap_or(false));
+    }
+    Ok(mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_store::Field;
+
+    fn test_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("station", DataType::Utf8),
+            Field::new("value", DataType::Float64),
+            Field::nullable("qual", DataType::Int32),
+            Field::new("t", DataType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        t.append_row(vec![
+            Value::Utf8("ISK".into()),
+            Value::Float64(1.5),
+            Value::Int32(80),
+            Value::Timestamp(1_000_000),
+        ])
+        .unwrap();
+        t.append_row(vec![
+            Value::Utf8("HGN".into()),
+            Value::Float64(-2.0),
+            Value::Null,
+            Value::Timestamp(2_000_000),
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn column_resolution_with_qualifiers() {
+        let t = test_table();
+        assert_eq!(resolve_column(&t.schema, "station"), Some(0));
+        assert_eq!(resolve_column(&t.schema, "f.station"), Some(0));
+        assert_eq!(resolve_column(&t.schema, "x.y.station"), Some(0));
+        assert_eq!(resolve_column(&t.schema, "missing"), None);
+    }
+
+    #[test]
+    fn comparison_and_nulls() {
+        let t = test_table();
+        let p = Expr::col("qual").binary(BinaryOp::Gt, Expr::lit(Value::Int32(50)));
+        let mask = eval_predicate_mask(&p, &t).unwrap();
+        assert_eq!(mask, vec![true, false], "NULL row filtered out");
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = test_table();
+        // NULL OR TRUE = TRUE even though qual is NULL in row 1.
+        let p = Expr::col("qual")
+            .binary(BinaryOp::Gt, Expr::lit(Value::Int32(50)))
+            .binary(BinaryOp::Or, Expr::lit(Value::Bool(true)));
+        let mask = eval_predicate_mask(&p, &t).unwrap();
+        assert_eq!(mask, vec![true, true]);
+        // NULL AND FALSE = FALSE.
+        let v = eval_binary_values(BinaryOp::And, &Value::Null, &Value::Bool(false)).unwrap();
+        assert_eq!(v, Value::Bool(false));
+        let v = eval_binary_values(BinaryOp::And, &Value::Null, &Value::Bool(true)).unwrap();
+        assert!(v.is_null());
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        let v = eval_binary_values(BinaryOp::Add, &Value::Int32(1), &Value::Int32(2)).unwrap();
+        assert_eq!(v, Value::Int32(3));
+        let v =
+            eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(2)).unwrap();
+        assert_eq!(v, Value::Float64(0.5));
+        let v =
+            eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(0)).unwrap();
+        assert!(v.is_null(), "division by zero is NULL");
+        let v = eval_binary_values(
+            BinaryOp::Add,
+            &Value::Timestamp(10),
+            &Value::Int64(5),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Timestamp(15));
+        let v = eval_binary_values(
+            BinaryOp::Sub,
+            &Value::Timestamp(10),
+            &Value::Timestamp(4),
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int64(6));
+        assert!(eval_binary_values(
+            BinaryOp::Add,
+            &Value::Int64(i64::MAX),
+            &Value::Int64(1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("BHZ", "BH%"));
+        assert!(like_match("BHZ", "B_Z"));
+        assert!(!like_match("BHZ", "B_"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "%c"));
+        assert!(like_match("abc", "%%c"));
+        assert!(!like_match("abc", "_"));
+        assert!(like_match("a%b", "a%b")); // literal percent matched by wildcard
+    }
+
+    #[test]
+    fn between_and_in() {
+        let t = test_table();
+        let p = Expr::Between {
+            expr: Box::new(Expr::col("value")),
+            low: Box::new(Expr::lit(Value::Float64(0.0))),
+            high: Box::new(Expr::lit(Value::Float64(2.0))),
+            negated: false,
+        };
+        assert_eq!(eval_predicate_mask(&p, &t).unwrap(), vec![true, false]);
+        let p = Expr::InList {
+            expr: Box::new(Expr::col("station")),
+            list: vec![
+                Expr::lit(Value::Utf8("HGN".into())),
+                Expr::lit(Value::Utf8("WIT".into())),
+            ],
+            negated: false,
+        };
+        assert_eq!(eval_predicate_mask(&p, &t).unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn functions() {
+        let t = test_table();
+        let c = eval_expr(
+            &Expr::Function {
+                name: "abs".into(),
+                args: vec![Expr::col("value")],
+            },
+            &t,
+        )
+        .unwrap();
+        assert_eq!(c.get(1).unwrap(), Value::Float64(2.0));
+        let c = eval_expr(
+            &Expr::Function {
+                name: "lower".into(),
+                args: vec![Expr::col("station")],
+            },
+            &t,
+        )
+        .unwrap();
+        assert_eq!(c.get(0).unwrap(), Value::Utf8("isk".into()));
+        let c = eval_expr(
+            &Expr::Function {
+                name: "coalesce".into(),
+                args: vec![Expr::col("qual"), Expr::lit(Value::Int32(-1))],
+            },
+            &t,
+        )
+        .unwrap();
+        assert_eq!(c.get(1).unwrap(), Value::Int32(-1));
+    }
+
+    #[test]
+    fn wrong_function_arity_is_an_error_not_a_panic() {
+        let t = test_table();
+        for (name, args) in [
+            ("abs", vec![]),
+            ("abs", vec![Expr::col("value"), Expr::col("value")]),
+            ("power", vec![Expr::lit(Value::Int64(2))]),
+            ("sqrt", vec![]),
+            ("coalesce", vec![]),
+        ] {
+            let f = Expr::Function {
+                name: name.into(),
+                args: args.clone(),
+            };
+            assert!(
+                infer_type(&f, &t.schema).is_err(),
+                "{name}/{} must fail type inference",
+                args.len()
+            );
+            assert!(
+                eval_expr(&f, &t).is_err(),
+                "{name}/{} must fail evaluation",
+                args.len()
+            );
+        }
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let t = test_table();
+        let p = Expr::IsNull {
+            expr: Box::new(Expr::col("qual")),
+            negated: false,
+        };
+        assert_eq!(eval_predicate_mask(&p, &t).unwrap(), vec![false, true]);
+        let p = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::IsNull {
+                expr: Box::new(Expr::col("qual")),
+                negated: false,
+            }),
+        };
+        assert_eq!(eval_predicate_mask(&p, &t).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn type_inference() {
+        let t = test_table();
+        assert_eq!(
+            infer_type(&Expr::col("value"), &t.schema).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            infer_type(
+                &Expr::col("qual").binary(BinaryOp::Add, Expr::lit(Value::Int32(1))),
+                &t.schema
+            )
+            .unwrap(),
+            DataType::Int32
+        );
+        assert_eq!(
+            infer_type(
+                &Expr::Aggregate {
+                    func: AggFunc::Avg,
+                    arg: Some(Box::new(Expr::col("value"))),
+                    distinct: false
+                },
+                &t.schema
+            )
+            .unwrap(),
+            DataType::Float64
+        );
+        assert!(infer_type(&Expr::col("nope"), &t.schema).is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let e = Expr::col("f.station").binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ISK".into())));
+        assert_eq!(e.to_string(), "(f.station = 'ISK')");
+        assert_eq!(e.default_name(), "(f.station = 'ISK')");
+        assert_eq!(Expr::col("d.sample_value").default_name(), "sample_value");
+        let agg = Expr::Aggregate {
+            func: AggFunc::Avg,
+            arg: Some(Box::new(Expr::col("d.sample_value"))),
+            distinct: false,
+        };
+        assert_eq!(agg.default_name(), "avg(sample_value)");
+    }
+
+    #[test]
+    fn columns_used_collects() {
+        let e = Expr::col("a")
+            .binary(BinaryOp::Add, Expr::col("b"))
+            .binary(BinaryOp::Gt, Expr::lit(Value::Int32(0)));
+        let mut cols = Vec::new();
+        e.columns_used(&mut cols);
+        assert_eq!(cols, vec!["a".to_string(), "b".to_string()]);
+        assert!(!e.contains_aggregate());
+    }
+}

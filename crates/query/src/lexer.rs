@@ -1,0 +1,322 @@
+//! SQL lexer: hand-rolled tokenizer for the supported SQL subset.
+
+use crate::error::{QueryError, Result};
+
+/// One lexical token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (stored lower-cased; original in payload).
+    Ident(String),
+    /// `'...'` string literal (quotes stripped, `''` unescaped).
+    StringLit(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// A punctuation or operator symbol.
+    Symbol(Symbol),
+    /// End of input.
+    Eof,
+}
+
+/// Operator and punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+}
+
+/// Tokenize `sql` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let err = |message: String, offset: usize| QueryError::Parse { message, offset };
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err("unterminated string literal".into(), start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Strings are treated as raw bytes of UTF-8 input.
+                    let ch_len = utf8_len(bytes[i]);
+                    s.push_str(
+                        std::str::from_utf8(&bytes[i..i + ch_len])
+                            .map_err(|_| err("invalid UTF-8 in string".into(), i))?,
+                    );
+                    i += ch_len;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &sql[start..i];
+                let kind = if is_float {
+                    TokenKind::FloatLit(
+                        text.parse()
+                            .map_err(|_| err(format!("bad float literal {text:?}"), start))?,
+                    )
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => TokenKind::IntLit(v),
+                        Err(_) => TokenKind::FloatLit(
+                            text.parse()
+                                .map_err(|_| err(format!("bad numeric literal {text:?}"), start))?,
+                        ),
+                    }
+                };
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'"' => {
+                let start = i;
+                let text = if c == b'"' {
+                    // delimited identifier
+                    i += 1;
+                    let id_start = i;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(err("unterminated quoted identifier".into(), start));
+                    }
+                    let t = sql[id_start..i].to_string();
+                    i += 1;
+                    t
+                } else {
+                    while i < bytes.len()
+                        && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    sql[start..i].to_ascii_lowercase()
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    offset: start,
+                });
+            }
+            _ => {
+                let start = i;
+                let (sym, len) = match c {
+                    b'(' => (Symbol::LParen, 1),
+                    b')' => (Symbol::RParen, 1),
+                    b',' => (Symbol::Comma, 1),
+                    b'.' => (Symbol::Dot, 1),
+                    b'*' => (Symbol::Star, 1),
+                    b'+' => (Symbol::Plus, 1),
+                    b'-' => (Symbol::Minus, 1),
+                    b'/' => (Symbol::Slash, 1),
+                    b'%' => (Symbol::Percent, 1),
+                    b';' => (Symbol::Semicolon, 1),
+                    b'=' => (Symbol::Eq, 1),
+                    b'!' if bytes.get(i + 1) == Some(&b'=') => (Symbol::NotEq, 2),
+                    b'<' => match bytes.get(i + 1) {
+                        Some(b'=') => (Symbol::LtEq, 2),
+                        Some(b'>') => (Symbol::NotEq, 2),
+                        _ => (Symbol::Lt, 1),
+                    },
+                    b'>' => match bytes.get(i + 1) {
+                        Some(b'=') => (Symbol::GtEq, 2),
+                        _ => (Symbol::Gt, 1),
+                    },
+                    other => {
+                        return Err(err(
+                            format!("unexpected character {:?}", other as char),
+                            start,
+                        ))
+                    }
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(sym),
+                    offset: start,
+                });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: sql.len(),
+    });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn figure1_query_tokens() {
+        let toks = kinds("SELECT AVG(D.sample_value) FROM mseed.dataview WHERE F.station = 'ISK'");
+        assert!(toks.contains(&TokenKind::Ident("select".into())));
+        assert!(toks.contains(&TokenKind::Ident("avg".into())));
+        assert!(toks.contains(&TokenKind::StringLit("ISK".into())));
+        assert!(toks.contains(&TokenKind::Symbol(Symbol::Dot)));
+        assert_eq!(toks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 1e3 10.25e-2 9223372036854775807"),
+            vec![
+                TokenKind::IntLit(1),
+                TokenKind::FloatLit(2.5),
+                TokenKind::FloatLit(1000.0),
+                TokenKind::FloatLit(0.1025),
+                TokenKind::IntLit(i64::MAX),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("<= >= <> != < > ="),
+            vec![
+                TokenKind::Symbol(Symbol::LtEq),
+                TokenKind::Symbol(Symbol::GtEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::NotEq),
+                TokenKind::Symbol(Symbol::Lt),
+                TokenKind::Symbol(Symbol::Gt),
+                TokenKind::Symbol(Symbol::Eq),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        assert_eq!(
+            kinds("'it''s' -- trailing comment\n42"),
+            vec![
+                TokenKind::StringLit("it's".into()),
+                TokenKind::IntLit(42),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifier_preserves_case() {
+        assert_eq!(
+            kinds("\"MixedCase\""),
+            vec![TokenKind::Ident("MixedCase".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offset() {
+        let e = tokenize("SELECT 'unterminated").unwrap_err();
+        match e {
+            QueryError::Parse { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Query substrate for the Lazy ETL reproduction.
+//!
+//! A self-contained relational query engine in the style the paper's host
+//! system (MonetDB) exposes to its SQL front end:
+//!
+//! * [`lexer`] / [`parser`] / [`ast`] — a SQL subset large enough to run
+//!   the paper's Figure-1 queries verbatim (SELECT with joins, WHERE,
+//!   GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, aggregates);
+//! * [`expr`] — expression trees, SQL three-valued evaluation semantics;
+//! * [`plan`] — logical plans with structural helpers for *plan
+//!   introspection and rewriting*, the mechanism §3.1 of the paper builds
+//!   lazy extraction on;
+//! * [`planner`] — AST→plan translation including **view expansion** (the
+//!   lazy-transformation vehicle of §3.2);
+//! * [`optimizer`] — timestamp-literal coercion, constant folding and
+//!   predicate pushdown (the compile-time plan reorganization that puts
+//!   metadata predicates first);
+//! * [`exec`] — column-at-a-time execution with full materialization
+//!   (MonetDB's model, which makes intermediate-result recycling natural).
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod optimizer;
+pub mod parser;
+pub mod plan;
+pub mod planner;
+pub mod time;
+
+pub use ast::{SelectItem, SelectStmt, Statement};
+pub use error::{QueryError, Result};
+pub use exec::{execute, ExecContext, ExternalTableProvider};
+pub use expr::{AggFunc, BinaryOp, Expr, UnaryOp};
+pub use optimizer::{optimize, predicates_above};
+pub use parser::{parse, parse_select};
+pub use plan::LogicalPlan;
+pub use planner::{plan_select, plan_sql, Resolved, TableSource};

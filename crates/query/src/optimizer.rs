@@ -1,0 +1,710 @@
+//! Compile-time plan optimization.
+//!
+//! Three rewrites run before execution, in order:
+//!
+//! 1. **Timestamp-literal coercion** — string literals compared against
+//!    TIMESTAMP columns become microsecond timestamps, so the paper's
+//!    Figure-1 queries (`R.start_time > '2010-01-12T00:00:00.000'`) compare
+//!    numerically.
+//! 2. **Constant folding** — literal-only subexpressions collapse.
+//! 3. **Predicate pushdown** — conjunctions split and sink toward their
+//!    scans: through projections (with substitution), sorts, distinct, and
+//!    into join inputs. This is the compile-time half of the paper's lazy
+//!    extraction (§3.1): after pushdown, "the selection predicates on the
+//!    metadata are applied first", leaving data-side predicates sitting
+//!    directly on the external scan where the runtime rewriter collects
+//!    them.
+
+use crate::error::Result;
+use crate::expr::{eval_binary_values, infer_type, resolve_column, Expr, UnaryOp};
+use crate::plan::LogicalPlan;
+use crate::planner::{conjoin, split_conjunction};
+use crate::time::parse_iso_micros;
+use lazyetl_store::{DataType, Schema, Value};
+
+/// Run all optimizer passes.
+pub fn optimize(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    let plan = coerce_timestamp_literals(plan)?;
+    let plan = fold_constants(&plan);
+    let plan = push_down_filters(&plan)?;
+    let plan = prune_columns(&plan, None)?;
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: timestamp literal coercion
+// ---------------------------------------------------------------------------
+
+fn is_timestamp_expr(e: &Expr, schema: &Schema) -> bool {
+    matches!(infer_type(e, schema), Ok(DataType::Timestamp))
+}
+
+fn coerce_literal(e: &Expr) -> Option<Expr> {
+    if let Expr::Literal(Value::Utf8(s)) = e {
+        parse_iso_micros(s).map(|us| Expr::Literal(Value::Timestamp(us)))
+    } else {
+        None
+    }
+}
+
+fn coerce_in_expr(expr: &Expr, schema: &Schema) -> Expr {
+    expr.transform(&mut |node| match &node {
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            if is_timestamp_expr(left, schema) {
+                if let Some(lit) = coerce_literal(right) {
+                    return Expr::Binary {
+                        left: left.clone(),
+                        op: *op,
+                        right: Box::new(lit),
+                    };
+                }
+            }
+            if is_timestamp_expr(right, schema) {
+                if let Some(lit) = coerce_literal(left) {
+                    return Expr::Binary {
+                        left: Box::new(lit),
+                        op: *op,
+                        right: right.clone(),
+                    };
+                }
+            }
+            node
+        }
+        Expr::Between {
+            expr: tested,
+            low,
+            high,
+            negated,
+        } if is_timestamp_expr(tested, schema) => {
+            let low2 = coerce_literal(low).unwrap_or_else(|| (**low).clone());
+            let high2 = coerce_literal(high).unwrap_or_else(|| (**high).clone());
+            Expr::Between {
+                expr: tested.clone(),
+                low: Box::new(low2),
+                high: Box::new(high2),
+                negated: *negated,
+            }
+        }
+        Expr::InList {
+            expr: tested,
+            list,
+            negated,
+        } if is_timestamp_expr(tested, schema) => Expr::InList {
+            expr: tested.clone(),
+            list: list
+                .iter()
+                .map(|e| coerce_literal(e).unwrap_or_else(|| e.clone()))
+                .collect(),
+            negated: *negated,
+        },
+        _ => node,
+    })
+}
+
+/// Coerce ISO-8601 string literals compared against timestamp expressions.
+pub fn coerce_timestamp_literals(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let new_input = coerce_timestamp_literals(input)?;
+            let schema = new_input.schema()?;
+            LogicalPlan::Filter {
+                predicate: coerce_in_expr(predicate, &schema),
+                input: Box::new(new_input),
+            }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let new_input = coerce_timestamp_literals(input)?;
+            let schema = new_input.schema()?;
+            LogicalPlan::Project {
+                exprs: exprs
+                    .iter()
+                    .map(|(e, n)| (coerce_in_expr(e, &schema), n.clone()))
+                    .collect(),
+                input: Box::new(new_input),
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggregates,
+        } => {
+            let new_input = coerce_timestamp_literals(input)?;
+            LogicalPlan::Aggregate {
+                input: Box::new(new_input),
+                group: group.clone(),
+                aggregates: aggregates.clone(),
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => LogicalPlan::Join {
+            left: Box::new(coerce_timestamp_literals(left)?),
+            right: Box::new(coerce_timestamp_literals(right)?),
+            on: on.clone(),
+            right_label: right_label.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(coerce_timestamp_literals(input)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(coerce_timestamp_literals(input)?),
+            n: *n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(coerce_timestamp_literals(input)?),
+        },
+        leaf => leaf.clone(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: constant folding
+// ---------------------------------------------------------------------------
+
+/// Try to evaluate an expression that references no columns.
+pub fn try_eval_const(expr: &Expr) -> Option<Value> {
+    match expr {
+        Expr::Literal(v) => Some(v.clone()),
+        Expr::Binary { left, op, right } => {
+            let l = try_eval_const(left)?;
+            // AND/OR can short-circuit on one constant side.
+            let r = try_eval_const(right)?;
+            eval_binary_values(*op, &l, &r).ok()
+        }
+        Expr::Unary { op, expr } => {
+            let v = try_eval_const(expr)?;
+            match op {
+                UnaryOp::Not => v.as_bool().map(|b| Value::Bool(!b)).or(if v.is_null() {
+                    Some(Value::Null)
+                } else {
+                    None
+                }),
+                UnaryOp::Neg => match v {
+                    Value::Int32(x) => Some(Value::Int32(-x)),
+                    Value::Int64(x) => Some(Value::Int64(-x)),
+                    Value::Float64(x) => Some(Value::Float64(-x)),
+                    Value::Null => Some(Value::Null),
+                    _ => None,
+                },
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = try_eval_const(expr)?;
+            Some(Value::Bool(v.is_null() != *negated))
+        }
+        _ => None,
+    }
+}
+
+fn fold_expr(expr: &Expr) -> Expr {
+    expr.transform(&mut |node| {
+        if matches!(node, Expr::Literal(_)) {
+            return node;
+        }
+        match try_eval_const(&node) {
+            Some(v) => Expr::Literal(v),
+            None => node,
+        }
+    })
+}
+
+/// Fold constant subexpressions throughout the plan.
+pub fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
+    plan.transform_up(&mut |node| match node {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: fold_expr(&predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input,
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (fold_expr(&e), n))
+                .collect(),
+        },
+        other => other,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn columns_of(expr: &Expr) -> Vec<String> {
+    let mut cols = Vec::new();
+    expr.columns_used(&mut cols);
+    cols
+}
+
+fn all_resolve(expr: &Expr, schema: &Schema) -> bool {
+    columns_of(expr)
+        .iter()
+        .all(|c| resolve_column(schema, c).is_some())
+}
+
+/// Substitute projection outputs back into a predicate so it can move
+/// below the projection, using the same qualifier-aware resolution rules
+/// as column lookup (see [`crate::expr::resolve_name`]).
+fn substitute_project(pred: &Expr, exprs: &[(Expr, String)]) -> Expr {
+    pred.transform(&mut |node| {
+        if let Expr::Column(name) = &node {
+            if let Some(i) =
+                crate::expr::resolve_name(exprs.iter().map(|(_, n)| n.as_str()), name)
+            {
+                return exprs[i].0.clone();
+            }
+        }
+        node
+    })
+}
+
+/// Push filter conjunctions toward their scans.
+pub fn push_down_filters(plan: &LogicalPlan) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let mut conjuncts = Vec::new();
+            split_conjunction(predicate, &mut conjuncts);
+            push_conjuncts(input, conjuncts)?
+        }
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(push_down_filters(input)?),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(push_down_filters(input)?),
+            group: group.clone(),
+            aggregates: aggregates.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => LogicalPlan::Join {
+            left: Box::new(push_down_filters(left)?),
+            right: Box::new(push_down_filters(right)?),
+            on: on.clone(),
+            right_label: right_label.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(push_down_filters(input)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(push_down_filters(input)?),
+            n: *n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(push_down_filters(input)?),
+        },
+        leaf => leaf.clone(),
+    })
+}
+
+/// Push a set of conjuncts into `plan`, wrapping what cannot sink.
+fn push_conjuncts(plan: &LogicalPlan, conjuncts: Vec<Expr>) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            // Merge and continue downward.
+            let mut all = conjuncts;
+            split_conjunction(predicate, &mut all);
+            push_conjuncts(input, all)
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let input_schema = input.schema()?;
+            let mut sinkable = Vec::new();
+            let mut stuck = Vec::new();
+            for c in conjuncts {
+                let substituted = substitute_project(&c, exprs);
+                if all_resolve(&substituted, &input_schema) {
+                    sinkable.push(substituted);
+                } else {
+                    stuck.push(c);
+                }
+            }
+            let new_input = push_conjuncts(input, sinkable)?;
+            let node = LogicalPlan::Project {
+                input: Box::new(new_input),
+                exprs: exprs.clone(),
+            };
+            Ok(wrap_filter(node, stuck))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => {
+            let left_schema = left.schema()?;
+            let right_schema = right.schema()?;
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut stuck = Vec::new();
+            for c in conjuncts {
+                if all_resolve(&c, &left_schema) {
+                    to_left.push(c);
+                } else if all_resolve(&c, &right_schema) {
+                    to_right.push(c);
+                } else {
+                    stuck.push(c);
+                }
+            }
+            let node = LogicalPlan::Join {
+                left: Box::new(push_conjuncts(left, to_left)?),
+                right: Box::new(push_conjuncts(right, to_right)?),
+                on: on.clone(),
+                right_label: right_label.clone(),
+            };
+            Ok(wrap_filter(node, stuck))
+        }
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(push_conjuncts(input, conjuncts)?),
+            keys: keys.clone(),
+        }),
+        LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
+            input: Box::new(push_conjuncts(input, conjuncts)?),
+        }),
+        // Not safe to push through Limit or Aggregate; optimize below and
+        // leave the filter here.
+        other => {
+            let below = push_down_filters(other)?;
+            Ok(wrap_filter(below, conjuncts))
+        }
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
+    match conjoin(conjuncts) {
+        Some(pred) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        },
+        None => plan,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: projection pruning
+// ---------------------------------------------------------------------------
+
+/// Names a node's parent actually consumes; `None` = everything.
+type Required = Option<std::collections::BTreeSet<String>>;
+
+fn require_all() -> Required {
+    None
+}
+
+fn add_expr_columns(req: &mut std::collections::BTreeSet<String>, e: &Expr) {
+    let mut cols = Vec::new();
+    e.columns_used(&mut cols);
+    req.extend(cols);
+}
+
+/// Is output name `name` needed by the requirement set?
+fn is_required(req: &Required, name: &str, all_names: &[String]) -> bool {
+    match req {
+        None => true,
+        Some(set) => set.iter().any(|want| {
+            // A required reference matches this output if resolution over
+            // the full output list picks exactly this column.
+            crate::expr::resolve_name(all_names.iter().map(|s| s.as_str()), want)
+                .map(|i| all_names[i] == name)
+                .unwrap_or(false)
+        }),
+    }
+}
+
+/// Drop unused columns: narrow projections to what their consumers need and
+/// insert narrowing projections on join inputs. Wide scans (the
+/// de-normalized dataview exposes ~30 columns) otherwise drag every column
+/// through joins and gathers.
+pub fn prune_columns(plan: &LogicalPlan, required: Required) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Project { input, exprs } => {
+            let all_names: Vec<String> = exprs.iter().map(|(_, n)| n.clone()).collect();
+            let kept: Vec<(Expr, String)> = exprs
+                .iter()
+                .filter(|(_, n)| is_required(&required, n, &all_names))
+                .cloned()
+                .collect();
+            // Never prune to zero columns.
+            let kept = if kept.is_empty() {
+                exprs.clone()
+            } else {
+                kept
+            };
+            let mut child_req = std::collections::BTreeSet::new();
+            for (e, _) in &kept {
+                add_expr_columns(&mut child_req, e);
+            }
+            LogicalPlan::Project {
+                input: Box::new(prune_columns(input, Some(child_req))?),
+                exprs: kept,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let required = match required {
+                None => None,
+                Some(mut set) => {
+                    add_expr_columns(&mut set, predicate);
+                    Some(set)
+                }
+            };
+            LogicalPlan::Filter {
+                input: Box::new(prune_columns(input, required)?),
+                predicate: predicate.clone(),
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggregates,
+        } => {
+            let mut child_req = std::collections::BTreeSet::new();
+            for (e, _) in group.iter().chain(aggregates) {
+                add_expr_columns(&mut child_req, e);
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_columns(input, Some(child_req))?),
+                group: group.clone(),
+                aggregates: aggregates.clone(),
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => {
+            let left_schema = left.schema()?;
+            let right_schema = right.schema()?;
+            // Pruning may only proceed when the join performs no duplicate
+            // renaming (all output names already distinct); otherwise
+            // dropping a column could change downstream names.
+            let has_dup = right_schema
+                .fields
+                .iter()
+                .any(|f| left_schema.index_of(&f.name).is_some());
+            let mut req = match (&required, has_dup) {
+                (Some(set), false) => set.clone(),
+                _ => {
+                    // Keep everything below; still recurse for nested joins.
+                    return Ok(LogicalPlan::Join {
+                        left: Box::new(prune_columns(left, require_all())?),
+                        right: Box::new(prune_columns(right, require_all())?),
+                        on: on.clone(),
+                        right_label: right_label.clone(),
+                    });
+                }
+            };
+            for (l, r) in on {
+                add_expr_columns(&mut req, l);
+                add_expr_columns(&mut req, r);
+            }
+            let side_req = |schema: &Schema| -> std::collections::BTreeSet<String> {
+                req.iter()
+                    .filter(|name| {
+                        crate::expr::resolve_column(schema, name).is_some()
+                    })
+                    .cloned()
+                    .collect()
+            };
+            LogicalPlan::Join {
+                left: Box::new(prune_columns(left, Some(side_req(&left_schema)))?),
+                right: Box::new(prune_columns(right, Some(side_req(&right_schema)))?),
+                on: on.clone(),
+                right_label: right_label.clone(),
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let required = match required {
+                None => None,
+                Some(mut set) => {
+                    for (e, _) in keys {
+                        add_expr_columns(&mut set, e);
+                    }
+                    Some(set)
+                }
+            };
+            LogicalPlan::Sort {
+                input: Box::new(prune_columns(input, required)?),
+                keys: keys.clone(),
+            }
+        }
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(prune_columns(input, required)?),
+            n: *n,
+        },
+        // DISTINCT semantics depend on every column: keep all below.
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(prune_columns(input, require_all())?),
+        },
+        leaf => leaf.clone(),
+    })
+}
+
+/// Collect the conjuncts of every Filter sitting directly above a leaf that
+/// satisfies `is_target`. Used by the lazy rewriter to find "the selection
+/// predicates on the metadata" and on the actual data.
+pub fn predicates_above<F: Fn(&LogicalPlan) -> bool>(
+    plan: &LogicalPlan,
+    is_target: &F,
+) -> Vec<Expr> {
+    let mut out = Vec::new();
+    fn walk<F: Fn(&LogicalPlan) -> bool>(
+        plan: &LogicalPlan,
+        is_target: &F,
+        out: &mut Vec<Expr>,
+    ) {
+        if let LogicalPlan::Filter { input, predicate } = plan {
+            if is_target(input) {
+                split_conjunction(predicate, out);
+            }
+        }
+        for c in plan.children() {
+            walk(c, is_target, out);
+        }
+    }
+    walk(plan, is_target, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+    use crate::planner::{plan_sql, TableSource};
+    use lazyetl_store::{Catalog, Field, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let files = Schema::new(vec![
+            Field::new("file_id", DataType::Int64),
+            Field::new("station", DataType::Utf8),
+            Field::new("mtime", DataType::Timestamp),
+        ])
+        .unwrap();
+        let records = Schema::new(vec![
+            Field::new("file_id", DataType::Int64),
+            Field::new("start_time", DataType::Timestamp),
+        ])
+        .unwrap();
+        c.create_table("files", Table::empty(files)).unwrap();
+        c.create_table("records", Table::empty(records)).unwrap();
+        c
+    }
+
+    #[test]
+    fn timestamp_literals_coerced() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT file_id FROM records WHERE start_time > '2010-01-12T00:00:00.000'",
+            &src,
+        )
+        .unwrap();
+        let opt = optimize(&plan).unwrap();
+        let d = opt.display();
+        assert!(
+            d.contains("2010-01-12T00:00:00.000000"),
+            "coerced literal shown as timestamp:\n{d}"
+        );
+        // The predicate value is a Timestamp literal, not a string.
+        let preds = predicates_above(&opt, &|p| matches!(p, LogicalPlan::TableScan { .. }));
+        assert_eq!(preds.len(), 1);
+        match &preds[0] {
+            Expr::Binary { right, .. } => {
+                assert!(matches!(**right, Expr::Literal(Value::Timestamp(_))))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_fold() {
+        let e = Expr::lit(Value::Int64(2))
+            .binary(BinaryOp::Mul, Expr::lit(Value::Int64(21)));
+        assert_eq!(fold_expr(&e), Expr::Literal(Value::Int64(42)));
+        let e = Expr::col("x").binary(
+            BinaryOp::Gt,
+            Expr::lit(Value::Int64(1)).binary(BinaryOp::Add, Expr::lit(Value::Int64(1))),
+        );
+        let folded = fold_expr(&e);
+        assert_eq!(folded.to_string(), "(x > 2)");
+    }
+
+    #[test]
+    fn filters_sink_into_join_sides() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT f.station FROM files f JOIN records r ON f.file_id = r.file_id \
+             WHERE f.station = 'ISK' AND r.start_time > '2010-01-01'",
+            &src,
+        )
+        .unwrap();
+        let opt = optimize(&plan).unwrap();
+        let d = opt.display();
+        // Both predicates must sit below the Join.
+        let join_line = d.lines().position(|l| l.contains("Join")).unwrap();
+        let f1 = d
+            .lines()
+            .position(|l| l.contains("station = 'ISK'"))
+            .unwrap();
+        let f2 = d
+            .lines()
+            .position(|l| l.contains("start_time >"))
+            .unwrap();
+        assert!(f1 > join_line, "station predicate below join:\n{d}");
+        assert!(f2 > join_line, "time predicate below join:\n{d}");
+    }
+
+    #[test]
+    fn pushdown_through_alias_projection() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT f.station FROM files f WHERE f.station = 'ISK'",
+            &src,
+        )
+        .unwrap();
+        let opt = optimize(&plan).unwrap();
+        let d = opt.display();
+        // Filter must sit directly on the scan (below the alias projection).
+        let scan_line = d.lines().position(|l| l.contains("TableScan")).unwrap();
+        let filter_line = d.lines().position(|l| l.contains("Filter")).unwrap();
+        assert_eq!(
+            filter_line + 1,
+            scan_line,
+            "filter directly above scan:\n{d}"
+        );
+    }
+
+    #[test]
+    fn filter_not_pushed_through_limit() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        // Build Filter over Limit manually (SQL can't express it directly).
+        let inner = plan_sql("SELECT station FROM files LIMIT 5", &src).unwrap();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(inner),
+            predicate: Expr::col("station").binary(
+                BinaryOp::Eq,
+                Expr::lit(Value::Utf8("ISK".into())),
+            ),
+        };
+        let opt = optimize(&plan).unwrap();
+        let d = opt.display();
+        let filter_line = d.lines().position(|l| l.contains("Filter")).unwrap();
+        let limit_line = d.lines().position(|l| l.contains("Limit")).unwrap();
+        assert!(filter_line < limit_line, "filter stays above limit:\n{d}");
+    }
+}

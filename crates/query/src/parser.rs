@@ -1,0 +1,636 @@
+//! Recursive-descent SQL parser for the supported subset.
+//!
+//! Grammar (informal):
+//! ```text
+//! select   := SELECT [DISTINCT] items FROM table (JOIN table ON expr)*
+//!             [WHERE expr] [GROUP BY exprs] [HAVING expr]
+//!             [ORDER BY key (, key)*] [LIMIT int] [;]
+//! expr     := or_expr
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | predicate
+//! predicate:= additive [cmp additive | BETWEEN .. AND .. | IN (..) |
+//!             LIKE .. | IS [NOT] NULL]
+//! additive := multiplicative ((+|-) multiplicative)*
+//! mult     := unary ((*|/|%) unary)*
+//! unary    := - unary | primary
+//! primary  := literal | ident[(args)] | qualified.column | ( expr ) | *
+//! ```
+//!
+//! This is enough to run both Figure-1 queries of the paper verbatim, the
+//! dataview view definition, and the analysis workloads.
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+use crate::expr::{AggFunc, BinaryOp, Expr, UnaryOp};
+use crate::lexer::{tokenize, Symbol, Token, TokenKind};
+use lazyetl_store::Value;
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_statement()?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+/// Parse a statement and require it to be a SELECT.
+pub fn parse_select(sql: &str) -> Result<SelectStmt> {
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> QueryError {
+        QueryError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    /// Consume a keyword (case-insensitive identifier) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(id) = self.peek() {
+            if id == kw {
+                self.advance();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: Symbol) -> bool {
+        if self.peek() == &TokenKind::Symbol(sym) {
+            self.advance();
+            return true;
+        }
+        false
+    }
+
+    fn expect_sym(&mut self, sym: Symbol) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {sym:?}")))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.eat_sym(Symbol::Semicolon);
+        if self.peek() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input"))
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("select") {
+            Ok(Statement::Select(self.parse_select_body()?))
+        } else {
+            Err(self.error("expected SELECT"))
+        }
+    }
+
+    fn parse_select_body(&mut self) -> Result<SelectStmt> {
+        let mut stmt = SelectStmt::empty();
+        stmt.distinct = self.eat_kw("distinct");
+        // projection list
+        loop {
+            if self.eat_sym(Symbol::Star) {
+                stmt.items.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.parse_ident()?)
+                } else if let TokenKind::Ident(id) = self.peek() {
+                    // bare alias, but not a clause keyword
+                    let kw = [
+                        "from", "where", "group", "having", "order", "limit", "join", "on",
+                        "inner", "and", "or",
+                    ];
+                    if kw.contains(&id.as_str()) {
+                        None
+                    } else {
+                        Some(self.parse_ident()?)
+                    }
+                } else {
+                    None
+                };
+                stmt.items.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat_sym(Symbol::Comma) {
+                break;
+            }
+        }
+        if self.eat_kw("from") {
+            stmt.from = Some(self.parse_table_ref()?);
+            loop {
+                let inner = self.eat_kw("inner");
+                if self.eat_kw("join") {
+                    let table = self.parse_table_ref()?;
+                    self.expect_kw("on")?;
+                    let on = self.parse_expr()?;
+                    stmt.joins.push(JoinClause { table, on });
+                } else if inner {
+                    return Err(self.error("expected JOIN after INNER"));
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("where") {
+            stmt.where_clause = Some(self.parse_expr()?);
+        }
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                stmt.group_by.push(self.parse_expr()?);
+                if !self.eat_sym(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("having") {
+            stmt.having = Some(self.parse_expr()?);
+        }
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                stmt.order_by.push(OrderKey { expr, desc });
+                if !self.eat_sym(Symbol::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            match self.advance() {
+                TokenKind::IntLit(n) if n >= 0 => stmt.limit = Some(n as u64),
+                _ => return Err(self.error("expected non-negative integer after LIMIT")),
+            }
+        }
+        Ok(stmt)
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(id) => Ok(id),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Parse `name(.name)*` into a dotted string.
+    fn parse_qualified_name(&mut self) -> Result<String> {
+        let mut name = self.parse_ident()?;
+        while self.eat_sym(Symbol::Dot) {
+            name.push('.');
+            name.push_str(&self.parse_ident()?);
+        }
+        Ok(name)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let name = self.parse_qualified_name()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.parse_ident()?)
+        } else if let TokenKind::Ident(id) = self.peek() {
+            let kw = [
+                "join", "inner", "on", "where", "group", "having", "order", "limit",
+            ];
+            if kw.contains(&id.as_str()) {
+                None
+            } else {
+                Some(self.parse_ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// Entry point for expressions.
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_kw("or") {
+            let right = self.parse_and()?;
+            left = left.binary(BinaryOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_kw("and") {
+            let right = self.parse_not()?;
+            left = left.binary(BinaryOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        let negated = if self.eat_kw("not") {
+            // NOT BETWEEN / NOT IN / NOT LIKE
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let low = self.parse_additive()?;
+            self.expect_kw("and")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_sym(Symbol::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if !self.eat_sym(Symbol::Comma) {
+                    break;
+                }
+            }
+            self.expect_sym(Symbol::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("like") {
+            let pattern = self.parse_additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN, IN or LIKE after NOT"));
+        }
+        // comparison?
+        let op = match self.peek() {
+            TokenKind::Symbol(Symbol::Eq) => Some(BinaryOp::Eq),
+            TokenKind::Symbol(Symbol::NotEq) => Some(BinaryOp::NotEq),
+            TokenKind::Symbol(Symbol::Lt) => Some(BinaryOp::Lt),
+            TokenKind::Symbol(Symbol::LtEq) => Some(BinaryOp::LtEq),
+            TokenKind::Symbol(Symbol::Gt) => Some(BinaryOp::Gt),
+            TokenKind::Symbol(Symbol::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_additive()?;
+            return Ok(left.binary(op, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol(Symbol::Plus) => BinaryOp::Add,
+                TokenKind::Symbol(Symbol::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Symbol(Symbol::Star) => BinaryOp::Mul,
+                TokenKind::Symbol(Symbol::Slash) => BinaryOp::Div,
+                TokenKind::Symbol(Symbol::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            left = left.binary(op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat_sym(Symbol::Minus) {
+            let inner = self.parse_unary()?;
+            // Fold negative literals immediately.
+            return Ok(match inner {
+                Expr::Literal(Value::Int64(v)) => Expr::Literal(Value::Int64(-v)),
+                Expr::Literal(Value::Float64(v)) => Expr::Literal(Value::Float64(-v)),
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat_sym(Symbol::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Int64(v)))
+            }
+            TokenKind::FloatLit(v) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Float64(v)))
+            }
+            TokenKind::StringLit(s) => {
+                self.advance();
+                Ok(Expr::Literal(Value::Utf8(s)))
+            }
+            TokenKind::Symbol(Symbol::LParen) => {
+                self.advance();
+                let e = self.parse_expr()?;
+                self.expect_sym(Symbol::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(id) => {
+                const RESERVED: [&str; 19] = [
+                    "select", "from", "where", "group", "by", "having", "order", "limit",
+                    "join", "inner", "on", "as", "distinct", "and", "or", "not", "between",
+                    "asc", "desc",
+                ];
+                if RESERVED.contains(&id.as_str()) {
+                    return Err(self.error(format!(
+                        "unexpected keyword {}",
+                        id.to_uppercase()
+                    )));
+                }
+                match id.as_str() {
+                    "true" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Bool(true)));
+                    }
+                    "false" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Bool(false)));
+                    }
+                    "null" => {
+                        self.advance();
+                        return Ok(Expr::Literal(Value::Null));
+                    }
+                    _ => {}
+                }
+                // function call?
+                if self.tokens[self.pos + 1].kind == TokenKind::Symbol(Symbol::LParen) {
+                    let name = self.parse_ident()?;
+                    self.expect_sym(Symbol::LParen)?;
+                    let agg = match name.as_str() {
+                        "count" => Some(AggFunc::Count),
+                        "sum" => Some(AggFunc::Sum),
+                        "avg" => Some(AggFunc::Avg),
+                        "min" => Some(AggFunc::Min),
+                        "max" => Some(AggFunc::Max),
+                        _ => None,
+                    };
+                    if let Some(func) = agg {
+                        let distinct = self.eat_kw("distinct");
+                        if self.eat_sym(Symbol::Star) {
+                            self.expect_sym(Symbol::RParen)?;
+                            if func != AggFunc::Count {
+                                return Err(self.error("only COUNT may take *"));
+                            }
+                            return Ok(Expr::Aggregate {
+                                func,
+                                arg: None,
+                                distinct,
+                            });
+                        }
+                        let arg = self.parse_expr()?;
+                        self.expect_sym(Symbol::RParen)?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Some(Box::new(arg)),
+                            distinct,
+                        });
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat_sym(Symbol::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_sym(Symbol::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect_sym(Symbol::RParen)?;
+                    }
+                    return Ok(Expr::Function { name, args });
+                }
+                // qualified column reference
+                let name = self.parse_qualified_name()?;
+                Ok(Expr::Column(name))
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The first Figure-1 query from the paper, verbatim.
+    pub const FIGURE1_Q1: &str = "SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK'
+AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000';";
+
+    /// The second Figure-1 query from the paper, verbatim.
+    pub const FIGURE1_Q2: &str = "SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM mseed.dataview
+WHERE F.network = 'NL'
+AND F.channel = 'BHZ'
+GROUP BY F.station;";
+
+    #[test]
+    fn parses_figure1_q1_verbatim() {
+        let stmt = parse_select(FIGURE1_Q1).unwrap();
+        assert_eq!(stmt.items.len(), 1);
+        assert_eq!(stmt.from.as_ref().unwrap().name, "mseed.dataview");
+        let w = stmt.where_clause.unwrap();
+        let mut cols = Vec::new();
+        w.columns_used(&mut cols);
+        assert!(cols.contains(&"f.station".to_string()));
+        assert!(cols.contains(&"d.sample_time".to_string()));
+        assert_eq!(cols.len(), 6);
+    }
+
+    #[test]
+    fn parses_figure1_q2_verbatim() {
+        let stmt = parse_select(FIGURE1_Q2).unwrap();
+        assert_eq!(stmt.items.len(), 3);
+        assert_eq!(stmt.group_by.len(), 1);
+        match &stmt.items[1] {
+            SelectItem::Expr { expr, .. } => match expr {
+                Expr::Aggregate { func, .. } => assert_eq!(*func, AggFunc::Min),
+                other => panic!("expected aggregate, got {other:?}"),
+            },
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_joins() {
+        let stmt = parse_select(
+            "SELECT f.uri, r.seq FROM files f JOIN records r ON f.file_id = r.file_id \
+             JOIN data d ON r.file_id = d.file_id AND r.seq = d.seq WHERE f.uri LIKE '%.mseed'",
+        )
+        .unwrap();
+        assert_eq!(stmt.joins.len(), 2);
+        assert_eq!(stmt.from.unwrap().alias, Some("f".into()));
+        assert_eq!(stmt.joins[1].table.alias, Some("d".into()));
+    }
+
+    #[test]
+    fn parses_order_limit_distinct() {
+        let stmt = parse_select(
+            "SELECT DISTINCT station FROM files ORDER BY station DESC, uri ASC LIMIT 10",
+        )
+        .unwrap();
+        assert!(stmt.distinct);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].desc);
+        assert!(!stmt.order_by[1].desc);
+        assert_eq!(stmt.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_arithmetic_precedence() {
+        let stmt = parse_select("SELECT 1 + 2 * 3 FROM t").unwrap();
+        match &stmt.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr.to_string(), "(1 + (2 * 3))");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_not_between_in() {
+        let stmt =
+            parse_select("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (1, 2)")
+                .unwrap();
+        let w = stmt.where_clause.unwrap();
+        let s = w.to_string();
+        assert!(s.contains("NOT BETWEEN"));
+        assert!(s.contains("NOT IN"));
+    }
+
+    #[test]
+    fn parses_having_and_aliases() {
+        let stmt = parse_select(
+            "SELECT station AS s, COUNT(*) cnt FROM records GROUP BY station HAVING COUNT(*) > 5",
+        )
+        .unwrap();
+        match &stmt.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("s")),
+            _ => panic!(),
+        }
+        match &stmt.items[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("cnt")),
+            _ => panic!(),
+        }
+        assert!(stmt.having.is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("UPDATE t SET x = 1").is_err());
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT -1").is_err());
+        assert!(parse("SELECT a FROM t extra garbage !").is_err());
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+    }
+
+    #[test]
+    fn select_without_from() {
+        let stmt = parse_select("SELECT 1 + 1").unwrap();
+        assert!(stmt.from.is_none());
+        assert_eq!(stmt.items.len(), 1);
+    }
+}

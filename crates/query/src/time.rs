@@ -1,0 +1,143 @@
+//! Timestamp-literal parsing for the SQL layer.
+//!
+//! The paper's Figure 1 compares timestamp columns against string literals
+//! like `'2010-01-12T22:15:00.000'`. The optimizer coerces such literals to
+//! microsecond timestamps using this parser (kept local so the query crate
+//! stays independent of the mSEED substrate).
+
+/// Parse `YYYY-MM-DD[THH:MM:SS[.ffffff]]` (space accepted for `T`) into
+/// microseconds since the Unix epoch. Returns `None` on any malformation.
+pub fn parse_iso_micros(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date, time) = match s.find(['T', ' ']) {
+        Some(i) => (&s[..i], Some(&s[i + 1..])),
+        None => (s, None),
+    };
+    let mut dp = date.split('-');
+    let year: i64 = dp.next()?.parse().ok()?;
+    let month: u32 = dp.next()?.parse().ok()?;
+    let day: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    let (mut hour, mut minute, mut second, mut micros) = (0i64, 0i64, 0i64, 0i64);
+    if let Some(t) = time {
+        let (hms, frac) = match t.find('.') {
+            Some(i) => (&t[..i], Some(&t[i + 1..])),
+            None => (t, None),
+        };
+        let mut tp = hms.split(':');
+        hour = tp.next()?.parse().ok()?;
+        minute = tp.next()?.parse().ok()?;
+        second = match tp.next() {
+            Some(v) => v.parse().ok()?,
+            None => 0,
+        };
+        if tp.next().is_some() || !(0..24).contains(&hour) || !(0..60).contains(&minute) || !(0..=60).contains(&second) {
+            return None;
+        }
+        if let Some(frac) = frac {
+            if frac.is_empty() || frac.len() > 6 || !frac.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            let mut val: i64 = frac.parse().ok()?;
+            for _ in frac.len()..6 {
+                val *= 10;
+            }
+            micros = val;
+        }
+    }
+    // Howard Hinnant's days_from_civil.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    Some((days * 86_400 + hour * 3_600 + minute * 60 + second) * 1_000_000 + micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(parse_iso_micros("1970-01-01"), Some(0));
+        assert_eq!(
+            parse_iso_micros("2010-01-12T22:15:00.000"),
+            Some(1_263_334_500_000_000)
+        );
+        assert_eq!(
+            parse_iso_micros("2010-01-12 22:15:02.5"),
+            Some(1_263_334_502_500_000)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["", "2010", "2010-13-01", "2010-01-12T25:00", "x-y-z"] {
+            assert_eq!(parse_iso_micros(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn leap_year_and_century_rules() {
+        // 2000 is a leap year (divisible by 400).
+        assert_eq!(parse_iso_micros("2000-02-29"), Some(951_782_400_000_000));
+        // Day after Feb 29 lands on Mar 1.
+        assert_eq!(
+            parse_iso_micros("2000-03-01").unwrap()
+                - parse_iso_micros("2000-02-29").unwrap(),
+            86_400_000_000
+        );
+        // 2012-02-29 (ordinary leap year).
+        assert_eq!(
+            parse_iso_micros("2012-03-01").unwrap()
+                - parse_iso_micros("2012-02-28").unwrap(),
+            2 * 86_400_000_000
+        );
+    }
+
+    #[test]
+    fn pre_epoch_times_are_negative() {
+        assert_eq!(parse_iso_micros("1969-12-31T23:59:59"), Some(-1_000_000));
+        assert_eq!(parse_iso_micros("1969-12-31"), Some(-86_400_000_000));
+    }
+
+    #[test]
+    fn fraction_digit_padding() {
+        let base = parse_iso_micros("2010-01-12T00:00:00").unwrap();
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.1"), Some(base + 100_000));
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.123456"), Some(base + 123_456));
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.000001"), Some(base + 1));
+        // Seven digits, empty fraction, non-digits: rejected.
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.1234567"), None);
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00."), None);
+        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.12a"), None);
+    }
+
+    #[test]
+    fn hour_minute_without_seconds() {
+        assert_eq!(
+            parse_iso_micros("2010-01-12T22:15").unwrap(),
+            parse_iso_micros("2010-01-12T22:15:00").unwrap()
+        );
+    }
+
+    #[test]
+    fn leap_second_value_is_tolerated() {
+        // :60 is accepted (folds into the next minute arithmetically).
+        let t60 = parse_iso_micros("2010-06-30T23:59:60").unwrap();
+        let next = parse_iso_micros("2010-07-01T00:00:00").unwrap();
+        assert_eq!(t60, next);
+    }
+
+    #[test]
+    fn year_boundaries_are_consecutive() {
+        let dec31 = parse_iso_micros("2009-12-31T23:59:59.999999").unwrap();
+        let jan1 = parse_iso_micros("2010-01-01").unwrap();
+        assert_eq!(jan1 - dec31, 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the SQL layer: the parser never panics, the
+//! vectorized evaluator agrees with the row interpreter, LIKE matches a
+//! reference implementation, and optimized plans answer like unoptimized
+//! ones.
+
+use lazyetl_query::exec::{execute, ExecContext};
+use lazyetl_query::expr::{eval_expr, eval_row, like_match, BinaryOp, Expr};
+use lazyetl_query::optimizer::optimize;
+use lazyetl_query::planner::{plan_sql, TableSource};
+use lazyetl_query::parse;
+use lazyetl_store::{Catalog, DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn small_table(rows: &[(i64, f64, &str, bool)]) -> Table {
+    let schema = Schema::new(vec![
+        Field::nullable("id", DataType::Int64),
+        Field::nullable("v", DataType::Float64),
+        Field::nullable("name", DataType::Utf8),
+        Field::nullable("flag", DataType::Bool),
+    ])
+    .unwrap();
+    let mut t = Table::empty(schema);
+    for (i, (id, v, name, flag)) in rows.iter().enumerate() {
+        t.append_row(vec![
+            if i % 7 == 3 { Value::Null } else { Value::Int64(*id) },
+            if i % 5 == 4 { Value::Null } else { Value::Float64(*v) },
+            Value::Utf8(name.to_string()),
+            Value::Bool(*flag),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser returns Ok or Err but never panics, on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// ... including inputs that look like SQL.
+    #[test]
+    fn parser_never_panics_sqlish(
+        keyword in prop::sample::select(vec!["SELECT", "FROM", "WHERE", "GROUP", "ORDER", "LIMIT", "AND", "BETWEEN"]),
+        ident in "[a-z_.]{1,10}",
+        num in any::<i64>(),
+    ) {
+        let _ = parse(&format!("{keyword} {ident} {num}"));
+        let _ = parse(&format!("SELECT {ident} FROM t WHERE {ident} = {num} {keyword}"));
+    }
+
+    /// Vectorized expression evaluation agrees with the row interpreter.
+    #[test]
+    fn vectorized_matches_interpreter(
+        rows in prop::collection::vec((any::<i64>(), -1e9f64..1e9, "[a-c]{1,3}", any::<bool>()), 1..40),
+        threshold in any::<i64>(),
+    ) {
+        let refs: Vec<(i64, f64, &str, bool)> =
+            rows.iter().map(|(a, b, c, d)| (*a, *b, c.as_str(), *d)).collect();
+        let t = small_table(&refs);
+        let exprs = vec![
+            Expr::col("id").binary(BinaryOp::Gt, Expr::lit(Value::Int64(threshold))),
+            Expr::col("v").binary(BinaryOp::LtEq, Expr::lit(Value::Float64(0.0))),
+            Expr::col("name").binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ab".into()))),
+            Expr::col("id")
+                .binary(BinaryOp::Gt, Expr::lit(Value::Int64(threshold)))
+                .and(Expr::col("v").binary(BinaryOp::Lt, Expr::lit(Value::Float64(1e8)))),
+        ];
+        for e in &exprs {
+            let col = eval_expr(e, &t).unwrap();
+            for row in 0..t.num_rows() {
+                let direct = eval_row(e, &t, row).unwrap();
+                let from_col = col.get(row).unwrap();
+                prop_assert_eq!(direct, from_col, "expr {} row {}", e, row);
+            }
+        }
+    }
+
+    /// LIKE agrees with a simple reference matcher.
+    #[test]
+    fn like_matches_reference(text in "[ab_%]{0,8}", pattern in "[ab_%]{0,6}") {
+        fn reference(t: &str, p: &str) -> bool {
+            // O(2^n) reference: recursive descent without memo.
+            let tc: Vec<char> = t.chars().collect();
+            let pc: Vec<char> = p.chars().collect();
+            fn go(t: &[char], p: &[char]) -> bool {
+                match p.split_first() {
+                    None => t.is_empty(),
+                    Some(('%', rest)) => {
+                        (0..=t.len()).any(|k| go(&t[k..], rest))
+                    }
+                    Some(('_', rest)) => !t.is_empty() && go(&t[1..], rest),
+                    Some((c, rest)) => t.first() == Some(c) && go(&t[1..], rest),
+                }
+            }
+            go(&tc, &pc)
+        }
+        prop_assert_eq!(like_match(&text, &pattern), reference(&text, &pattern));
+    }
+
+    /// Optimized plans return the same rows as unoptimized plans.
+    #[test]
+    fn optimizer_preserves_semantics(
+        rows in prop::collection::vec((0i64..20, -100f64..100.0, "[ab]{1,2}", any::<bool>()), 0..30),
+        lo in 0i64..10,
+    ) {
+        let refs: Vec<(i64, f64, &str, bool)> =
+            rows.iter().map(|(a, b, c, d)| (*a, *b, c.as_str(), *d)).collect();
+        let mut catalog = Catalog::new();
+        catalog.create_table("t", small_table(&refs)).unwrap();
+        catalog
+            .create_view("doubled", "SELECT id, v * 2 AS v2, name FROM t")
+            .unwrap();
+        let queries = vec![
+            format!("SELECT id, v FROM t WHERE id >= {lo} ORDER BY id, v"),
+            format!("SELECT name, COUNT(*) AS c, SUM(v) FROM t WHERE id > {lo} GROUP BY name ORDER BY name"),
+            format!("SELECT v2 FROM doubled WHERE id = {lo} ORDER BY v2"),
+            "SELECT DISTINCT name FROM t ORDER BY name".to_string(),
+            format!("SELECT id + 1, abs(v) FROM t WHERE id BETWEEN {lo} AND {} ORDER BY id LIMIT 7", lo + 5),
+        ];
+        let src = TableSource::new(&catalog);
+        let ctx = ExecContext::new(&catalog);
+        for sql in &queries {
+            let plan = plan_sql(sql, &src).unwrap();
+            let raw = execute(&plan, &ctx).unwrap();
+            let optimized = optimize(&plan).unwrap();
+            let opt = execute(&optimized, &ctx).unwrap();
+            prop_assert_eq!(raw.num_rows(), opt.num_rows(), "{}", sql);
+            for i in 0..raw.num_rows() {
+                prop_assert_eq!(raw.row(i).unwrap(), opt.row(i).unwrap(), "{} row {}", sql, i);
+            }
+        }
+    }
+}

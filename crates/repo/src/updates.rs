@@ -1,0 +1,270 @@
+//! Repository update operations for the refresh experiments.
+//!
+//! The paper argues Lazy ETL "makes updating and extending a warehouse with
+//! modified and additional files more efficient" (§1) and handles
+//! refreshments lazily in the cache (§3.3). These helpers produce the three
+//! kinds of repository change those claims are benchmarked against:
+//! appending new records to an existing file, adding a brand-new file, and
+//! touching a file without changing content (a false-positive staleness
+//! signal the cache must tolerate).
+
+use crate::{RepoError, Repository};
+use lazyetl_mseed::encoding::DataEncoding;
+use lazyetl_mseed::gen::{append_to_file, file_rel_path, synthesize_segment, GeneratorConfig};
+use lazyetl_mseed::record::SourceId;
+use lazyetl_mseed::write::{write_records, WriteOptions};
+use lazyetl_mseed::{scan_metadata_file, SamplesRef, Timestamp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::SystemTime;
+
+/// Append `extra_secs` of new waveform to the file at `uri`.
+///
+/// Returns the number of samples appended. The file's mtime moves forward,
+/// which a subsequent [`Repository::rescan`] reports as a modification and
+/// the lazy cache treats as staleness.
+pub fn append_records(
+    repo: &mut Repository,
+    uri: &str,
+    extra_secs: u32,
+    seed: u64,
+) -> Result<usize, RepoError> {
+    let entry = repo
+        .by_uri(uri)
+        .ok_or_else(|| RepoError::UnknownUri(uri.to_string()))?
+        .clone();
+    let scan = scan_metadata_file(&entry.path)
+        .map_err(|e| RepoError::Io(std::io::Error::other(e.to_string())))?;
+    let meta = scan
+        .records
+        .first()
+        .ok_or_else(|| RepoError::Io(std::io::Error::other("empty mSEED file")))?;
+    let n = append_to_file(
+        &entry.path,
+        &meta.source,
+        meta.sample_rate,
+        extra_secs,
+        120.0,
+        seed,
+        meta.record_length as usize,
+        meta.encoding,
+    )
+    .map_err(|e| RepoError::Io(std::io::Error::other(e.to_string())))?;
+    repo.rescan()?;
+    Ok(n)
+}
+
+/// Add a brand-new file for `source` starting at `start`, holding
+/// `duration_secs` of synthetic waveform. Returns its repository URI.
+pub fn add_file(
+    repo: &mut Repository,
+    source: &SourceId,
+    start: Timestamp,
+    duration_secs: u32,
+    seed: u64,
+) -> Result<String, RepoError> {
+    let cfg = GeneratorConfig::default();
+    let n = (duration_secs as f64 * cfg.sample_rate) as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let samples = synthesize_segment(&mut rng, n, cfg.sample_rate, cfg.noise_amplitude, &[]);
+    let rel = file_rel_path(source, start);
+    let path = repo.root().join(&rel);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let opts = WriteOptions {
+        record_length: cfg.record_length,
+        encoding: DataEncoding::Steim2,
+        ..Default::default()
+    };
+    let bytes = write_records(source, start, cfg.sample_rate, SamplesRef::Ints(&samples), &opts)
+        .map_err(|e| RepoError::Io(std::io::Error::other(e.to_string())))?;
+    std::fs::write(&path, bytes)?;
+    repo.rescan()?;
+    Ok(rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/"))
+}
+
+/// Bump a file's mtime without changing its content.
+///
+/// Emulates tools that rewrite files in place; the cache sees a staleness
+/// signal, re-extracts, and obtains identical data — correctness must hold
+/// even for these false positives.
+pub fn touch(repo: &mut Repository, uri: &str) -> Result<(), RepoError> {
+    let entry = repo
+        .by_uri(uri)
+        .ok_or_else(|| RepoError::UnknownUri(uri.to_string()))?
+        .clone();
+    let bytes = std::fs::read(&entry.path)?;
+    // Rewrite content and ensure the mtime visibly advances even on
+    // filesystems with coarse timestamps.
+    std::fs::write(&entry.path, &bytes)?;
+    let file = std::fs::OpenOptions::new().write(true).open(&entry.path)?;
+    file.set_modified(SystemTime::now())?;
+    drop(file);
+    repo.rescan()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_mseed::gen::generate_repository;
+    use std::path::PathBuf;
+
+    fn setup(tag: &str) -> (PathBuf, Repository) {
+        let dir = std::env::temp_dir().join(format!(
+            "lazyetl_updates_{tag}_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        generate_repository(&dir, &GeneratorConfig::tiny(3)).unwrap();
+        let repo = Repository::open(&dir).unwrap();
+        (dir, repo)
+    }
+
+    #[test]
+    fn append_grows_file() {
+        let (dir, mut repo) = setup("append");
+        let uri = repo.files()[0].uri.clone();
+        let size_before = repo.by_uri(&uri).unwrap().size;
+        let n = append_records(&mut repo, &uri, 5, 42).unwrap();
+        assert_eq!(n, 200); // 5 s at 40 Hz
+        assert!(repo.by_uri(&uri).unwrap().size > size_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_file_appears_in_registry() {
+        let (dir, mut repo) = setup("add");
+        let before = repo.len();
+        let src = SourceId::new("NL", "OPLO", "", "BHZ").unwrap();
+        let uri = add_file(
+            &mut repo,
+            &src,
+            Timestamp::from_ymd_hms(2010, 2, 1, 0, 0, 0, 0),
+            20,
+            7,
+        )
+        .unwrap();
+        assert_eq!(repo.len(), before + 1);
+        let entry = repo.by_uri(&uri).expect("new file registered");
+        let scan = scan_metadata_file(&entry.path).unwrap();
+        assert_eq!(scan.total_samples(), 800);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn touch_changes_mtime_only() {
+        let (dir, mut repo) = setup("touch");
+        let uri = repo.files()[0].uri.clone();
+        let entry = repo.by_uri(&uri).unwrap().clone();
+        let content_before = std::fs::read(&entry.path).unwrap();
+        touch(&mut repo, &uri).unwrap();
+        let after = repo.by_uri(&uri).unwrap();
+        assert_eq!(std::fs::read(&after.path).unwrap(), content_before);
+        assert!(after.mtime >= entry.mtime);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_uri_errors_for_every_operation() {
+        let (dir, mut repo) = setup("unknown");
+        assert!(matches!(
+            append_records(&mut repo, "no/such.mseed", 5, 1),
+            Err(RepoError::UnknownUri(_))
+        ));
+        assert!(matches!(
+            touch(&mut repo, "no/such.mseed"),
+            Err(RepoError::UnknownUri(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_preserves_existing_records() {
+        let (dir, mut repo) = setup("append_keep");
+        let uri = repo.files()[0].uri.clone();
+        let path = repo.by_uri(&uri).unwrap().path.clone();
+        let before = scan_metadata_file(&path).unwrap();
+        let prefix_len: usize = before
+            .records
+            .iter()
+            .map(|r| r.record_length as usize)
+            .sum();
+        let bytes_before = std::fs::read(&path).unwrap();
+        append_records(&mut repo, &uri, 5, 42).unwrap();
+        let bytes_after = std::fs::read(&path).unwrap();
+        assert_eq!(
+            &bytes_after[..prefix_len],
+            &bytes_before[..prefix_len],
+            "append never rewrites the existing records"
+        );
+        let after = scan_metadata_file(&path).unwrap();
+        assert!(after.records.len() > before.records.len());
+        // Sequence numbers continue monotonically.
+        let seqs: Vec<i64> = after
+            .records
+            .iter()
+            .map(|r| r.sequence_number as i64)
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort();
+        assert_eq!(seqs, sorted, "sequence numbers stay ordered");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn appended_records_continue_the_timeline() {
+        let (dir, mut repo) = setup("append_time");
+        let uri = repo.files()[0].uri.clone();
+        let path = repo.by_uri(&uri).unwrap().path.clone();
+        let end_before = scan_metadata_file(&path).unwrap().max_end().unwrap();
+        append_records(&mut repo, &uri, 5, 42).unwrap();
+        let after = scan_metadata_file(&path).unwrap();
+        let new_first = after
+            .records
+            .iter()
+            .filter(|r| r.start >= end_before)
+            .map(|r| r.start)
+            .min()
+            .expect("appended records exist");
+        assert_eq!(new_first, end_before, "no gap and no overlap at the seam");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn add_file_uri_is_slash_separated_and_stable() {
+        let (dir, mut repo) = setup("uri_shape");
+        let src = SourceId::new("XX", "NEWST", "00", "HHZ").unwrap();
+        let uri = add_file(
+            &mut repo,
+            &src,
+            Timestamp::from_ymd_hms(2011, 3, 4, 5, 6, 7, 0),
+            10,
+            9,
+        )
+        .unwrap();
+        assert!(uri.starts_with("XX/NEWST/"), "{uri}");
+        assert!(uri.ends_with(".mseed"), "{uri}");
+        assert!(!uri.contains('\\'), "URIs are platform-independent: {uri}");
+        // The same (source, start) maps to the same URI — adding again
+        // overwrites rather than duplicating.
+        let before = repo.len();
+        let uri2 = add_file(
+            &mut repo,
+            &src,
+            Timestamp::from_ymd_hms(2011, 3, 4, 5, 6, 7, 0),
+            10,
+            10,
+        )
+        .unwrap();
+        assert_eq!(uri, uri2);
+        assert_eq!(repo.len(), before, "overwrite, not duplicate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,193 @@
+//! The warehouse catalog: named tables, non-materialized views, and
+//! foreign-key metadata.
+//!
+//! Views are stored as SQL text and expanded into query plans at
+//! optimization time — the paper's lazy-transformation mechanism: "we
+//! implement all necessary transformations as non-materialized views …
+//! view definitions are simply expanded into the query" (§3.2).
+
+use crate::error::{Result, StoreError};
+use crate::table::Table;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A foreign-key relationship recorded for documentation/validation.
+///
+/// The paper's schema derives FK constraints from mSEED file/record
+/// pointers; the catalog records them so integrity checks and the demo's
+/// metadata browser can surface them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub table: String,
+    /// Referencing columns.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns.
+    pub ref_columns: Vec<String>,
+}
+
+/// A registered non-materialized view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// `SELECT ...` text that defines the view.
+    pub sql: String,
+}
+
+/// Named collection of tables, views and constraints.
+///
+/// Tables are stored behind `Arc` so query scans are zero-copy; mutation
+/// goes through [`Catalog::table_mut`], which clones only when a scan still
+/// holds a reference.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+    views: BTreeMap<String, ViewDef>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table; fails on name collision with a table or view.
+    pub fn create_table(&mut self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(StoreError::Catalog(format!("name {name:?} already exists")));
+        }
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Replace a table's contents (e.g. after a bulk load).
+    pub fn replace_table(&mut self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            return Err(StoreError::Catalog(format!("no table named {name:?}")));
+        }
+        self.tables.insert(key, Arc::new(table));
+        Ok(())
+    }
+
+    /// Register a non-materialized view over a SQL definition.
+    pub fn create_view(&mut self, name: &str, sql: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) || self.views.contains_key(&key) {
+            return Err(StoreError::Catalog(format!("name {name:?} already exists")));
+        }
+        self.views.insert(
+            key.clone(),
+            ViewDef {
+                name: key,
+                sql: sql.to_string(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Record a foreign-key relationship.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// Immutable table lookup (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase()).map(|t| &**t)
+    }
+
+    /// Shared handle to a table (zero-copy scans).
+    pub fn table_arc(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Mutable table lookup (copy-on-write if a scan still holds the Arc).
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
+    }
+
+    /// View lookup (case-insensitive).
+    pub fn view(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(&name.to_ascii_lowercase())
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
+    }
+
+    /// Total bytes across all resident tables (warehouse footprint).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::types::DataType;
+
+    fn t() -> Table {
+        Table::empty(Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap())
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        c.create_table("Files", t()).unwrap();
+        assert!(c.table("files").is_some(), "case-insensitive");
+        assert!(c.table("FILES").is_some());
+        assert!(c.table("records").is_none());
+        assert_eq!(c.table_names(), vec!["files"]);
+    }
+
+    #[test]
+    fn name_collisions() {
+        let mut c = Catalog::new();
+        c.create_table("files", t()).unwrap();
+        assert!(c.create_table("FILES", t()).is_err());
+        assert!(c.create_view("files", "SELECT 1").is_err());
+        c.create_view("dataview", "SELECT * FROM files").unwrap();
+        assert!(c.create_table("dataview", t()).is_err());
+        assert_eq!(c.view("DATAVIEW").unwrap().sql, "SELECT * FROM files");
+    }
+
+    #[test]
+    fn replace_requires_existing() {
+        let mut c = Catalog::new();
+        assert!(c.replace_table("nope", t()).is_err());
+        c.create_table("a", t()).unwrap();
+        c.replace_table("a", t()).unwrap();
+    }
+
+    #[test]
+    fn foreign_keys_recorded() {
+        let mut c = Catalog::new();
+        c.add_foreign_key(ForeignKey {
+            table: "records".into(),
+            columns: vec!["file_id".into()],
+            ref_table: "files".into(),
+            ref_columns: vec!["file_id".into()],
+        });
+        assert_eq!(c.foreign_keys().len(), 1);
+        assert_eq!(c.foreign_keys()[0].ref_table, "files");
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the columnar store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// A value's type did not match the column's type.
+    TypeMismatch {
+        /// What the column stores.
+        expected: String,
+        /// What was supplied.
+        found: String,
+    },
+    /// Row or column index out of bounds.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Catalog name collision or miss.
+    Catalog(String),
+    /// Columns of a table disagree on length.
+    RaggedTable {
+        /// Expected row count.
+        expected: usize,
+        /// Found row count.
+        found: usize,
+        /// Column at fault.
+        column: String,
+    },
+    /// Persistence format violation.
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: column stores {expected}, got {found}")
+            }
+            StoreError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            StoreError::Catalog(msg) => write!(f, "catalog error: {msg}"),
+            StoreError::RaggedTable {
+                expected,
+                found,
+                column,
+            } => write!(
+                f,
+                "ragged table: column {column} has {found} rows, expected {expected}"
+            ),
+            StoreError::Corrupt(msg) => write!(f, "corrupt persisted data: {msg}"),
+            StoreError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,33 @@
+//! Columnar storage substrate for the Lazy ETL reproduction.
+//!
+//! The paper hosts Lazy ETL inside MonetDB, a column store. This crate is
+//! the minimal column-store core the reproduction needs:
+//!
+//! * [`types`] — logical types and scalar [`types::Value`]s with SQL
+//!   three-valued comparison semantics;
+//! * [`column`] — typed columns with validity masks (the BAT analogue);
+//! * [`schema`] / [`table`] — schemas and equal-length column collections;
+//! * [`catalog`] — named tables, **non-materialized views** (the lazy
+//!   transformation vehicle) and foreign-key metadata;
+//! * [`persist`] — hand-rolled binary table persistence (used to measure
+//!   eager-warehouse footprint);
+//! * [`stats`] — per-column min/max/null statistics.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod error;
+pub mod persist;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use catalog::{Catalog, ForeignKey, ViewDef};
+pub use column::{Column, ColumnData};
+pub use error::{Result, StoreError};
+pub use schema::{Field, Schema};
+pub use stats::{column_stats, table_stats, ColumnStats};
+pub use table::Table;
+pub use types::{DataType, GroupKey, Value};

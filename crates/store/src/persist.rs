@@ -1,0 +1,366 @@
+//! Hand-rolled binary persistence for tables.
+//!
+//! Used by the eager warehouse to materialize its load and by experiment E2
+//! to measure the on-disk footprint of an eagerly loaded database against
+//! the raw (Steim-compressed) repository — the "up to 10 times the original
+//! storage size" claim of §4.
+//!
+//! Format (all little-endian):
+//! ```text
+//! magic "LZTB" | u16 version | u32 n_cols | u64 n_rows
+//! per column: u16 name_len | name bytes | u8 type tag | u8 nullable
+//! per column: u8 has_validity | [validity as packed bits] | payload
+//! payload:    fixed-width values back-to-back; strings as u32 len + bytes
+//! ```
+
+use crate::column::{Column, ColumnData};
+use crate::error::{Result, StoreError};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::types::DataType;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LZTB";
+const VERSION: u16 = 1;
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int32 => 1,
+        DataType::Int64 => 2,
+        DataType::Float64 => 3,
+        DataType::Utf8 => 4,
+        DataType::Timestamp => 5,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int32,
+        2 => DataType::Int64,
+        3 => DataType::Float64,
+        4 => DataType::Utf8,
+        5 => DataType::Timestamp,
+        other => return Err(StoreError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bits(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+/// Serialize a table to a writer.
+pub fn write_table<W: Write>(table: &Table, w: &mut W) -> Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(table.num_columns() as u32).to_le_bytes())?;
+    w.write_all(&(table.num_rows() as u64).to_le_bytes())?;
+    for f in &table.schema.fields {
+        let name = f.name.as_bytes();
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+        w.write_all(&[type_tag(f.data_type), f.nullable as u8])?;
+    }
+    for (f, col) in table.schema.fields.iter().zip(&table.columns) {
+        let n = col.len();
+        let validity: Option<Vec<bool>> = if col.null_count() > 0 {
+            Some((0..n).map(|i| !col.is_null(i)).collect())
+        } else {
+            None
+        };
+        match &validity {
+            Some(bits) => {
+                w.write_all(&[1u8])?;
+                w.write_all(&pack_bits(bits))?;
+            }
+            None => w.write_all(&[0u8])?,
+        }
+        match col.data() {
+            ColumnData::Bool(v) => {
+                let bits: Vec<bool> = v.clone();
+                w.write_all(&pack_bits(&bits))?;
+            }
+            ColumnData::Int32(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Float64(v) => {
+                for x in v {
+                    w.write_all(&x.to_le_bytes())?;
+                }
+            }
+            ColumnData::Utf8(v) => {
+                for s in v {
+                    w.write_all(&(s.len() as u32).to_le_bytes())?;
+                    w.write_all(s.as_bytes())?;
+                }
+            }
+        }
+        let _ = f;
+    }
+    Ok(())
+}
+
+/// Read exactly `n` bytes, growing the buffer chunk by chunk.
+///
+/// `n` comes from on-disk length fields, which corruption can turn into
+/// absurd values; allocating incrementally means a short stream errors
+/// after at most one spare chunk instead of aborting the process on a
+/// multi-exabyte `vec![0; n]`.
+fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
+    const CHUNK: usize = 1 << 20;
+    let mut buf = Vec::with_capacity(n.min(CHUNK));
+    let mut remaining = n;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        let start = buf.len();
+        buf.resize(start + take, 0);
+        r.read_exact(&mut buf[start..])
+            .map_err(|e| StoreError::Corrupt(format!("short read: {e}")))?;
+        remaining -= take;
+    }
+    Ok(buf)
+}
+
+/// `count * width` with overflow reported as corruption.
+fn payload_len(count: usize, width: usize) -> Result<usize> {
+    count
+        .checked_mul(width)
+        .ok_or_else(|| StoreError::Corrupt(format!("implausible row count {count}")))
+}
+
+/// Deserialize a table from a reader.
+pub fn read_table<R: Read>(r: &mut R) -> Result<Table> {
+    let magic = read_exact_vec(r, 4)?;
+    if magic != MAGIC {
+        return Err(StoreError::Corrupt("bad magic".into()));
+    }
+    let version = u16::from_le_bytes(read_exact_vec(r, 2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+    }
+    let n_cols = u32::from_le_bytes(read_exact_vec(r, 4)?.try_into().unwrap()) as usize;
+    let n_rows = u64::from_le_bytes(read_exact_vec(r, 8)?.try_into().unwrap()) as usize;
+    if n_cols > 4096 {
+        return Err(StoreError::Corrupt(format!("implausible n_cols {n_cols}")));
+    }
+    let mut fields = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let name_len = u16::from_le_bytes(read_exact_vec(r, 2)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(read_exact_vec(r, name_len)?)
+            .map_err(|_| StoreError::Corrupt("non-UTF8 column name".into()))?;
+        let meta = read_exact_vec(r, 2)?;
+        fields.push(Field {
+            name,
+            data_type: tag_type(meta[0])?,
+            nullable: meta[1] != 0,
+        });
+    }
+    let schema = Schema::new(fields)?;
+    let mut columns = Vec::with_capacity(n_cols);
+    for f in &schema.fields {
+        let has_validity = read_exact_vec(r, 1)?[0] != 0;
+        let validity = if has_validity {
+            let packed = read_exact_vec(r, n_rows.div_ceil(8))?;
+            Some(unpack_bits(&packed, n_rows))
+        } else {
+            None
+        };
+        let data = match f.data_type {
+            DataType::Bool => {
+                let packed = read_exact_vec(r, n_rows.div_ceil(8))?;
+                ColumnData::Bool(unpack_bits(&packed, n_rows))
+            }
+            DataType::Int32 => {
+                let raw = read_exact_vec(r, payload_len(n_rows, 4)?)?;
+                ColumnData::Int32(
+                    raw.chunks_exact(4)
+                        .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            DataType::Int64 | DataType::Timestamp => {
+                let raw = read_exact_vec(r, payload_len(n_rows, 8)?)?;
+                let vals: Vec<i64> = raw
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                if f.data_type == DataType::Int64 {
+                    ColumnData::Int64(vals)
+                } else {
+                    ColumnData::Timestamp(vals)
+                }
+            }
+            DataType::Float64 => {
+                let raw = read_exact_vec(r, payload_len(n_rows, 8)?)?;
+                ColumnData::Float64(
+                    raw.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                )
+            }
+            DataType::Utf8 => {
+                let mut vals = Vec::with_capacity(n_rows.min(1 << 20));
+                for _ in 0..n_rows {
+                    let len =
+                        u32::from_le_bytes(read_exact_vec(r, 4)?.try_into().unwrap()) as usize;
+                    if len > (1 << 28) {
+                        return Err(StoreError::Corrupt(format!(
+                            "implausible string length {len}"
+                        )));
+                    }
+                    vals.push(
+                        String::from_utf8(read_exact_vec(r, len)?)
+                            .map_err(|_| StoreError::Corrupt("non-UTF8 string".into()))?,
+                    );
+                }
+                ColumnData::Utf8(vals)
+            }
+        };
+        let col = match validity {
+            Some(bits) => Column::with_validity(data, bits)?,
+            None => Column::new(data),
+        };
+        columns.push(col);
+    }
+    Table::new(schema, columns)
+}
+
+/// Save a table to a file.
+pub fn save_table(table: &Table, path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(std::fs::File::create(path)?);
+    write_table(table, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a table from a file.
+pub fn load_table(path: &Path) -> Result<Table> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    read_table(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Value;
+
+    fn mixed_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("v", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+            Field::new("t", DataType::Timestamp),
+            Field::nullable("flag", DataType::Bool),
+            Field::new("small", DataType::Int32),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..100i64 {
+            t.append_row(vec![
+                Value::Int64(i),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(i as f64 * 0.5)
+                },
+                Value::Utf8(format!("station-{i}")),
+                Value::Timestamp(1_263_000_000_000_000 + i * 1_000_000),
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Bool(i % 2 == 0)
+                },
+                Value::Int32(i as i32 - 50),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_via_memory() {
+        let t = mixed_table();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.schema, t.schema);
+        assert_eq!(back.num_rows(), t.num_rows());
+        for i in [0usize, 1, 7, 21, 99] {
+            assert_eq!(back.row(i).unwrap(), t.row(i).unwrap(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_file() {
+        let t = mixed_table();
+        let path = std::env::temp_dir().join(format!(
+            "lazyetl_persist_{}.lztb",
+            std::process::id()
+        ));
+        save_table(&t, &path).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.num_rows(), 100);
+        assert_eq!(back.row(42).unwrap(), t.row(42).unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = Table::empty(
+            Schema::new(vec![Field::new("x", DataType::Utf8)]).unwrap(),
+        );
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        let back = read_table(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.schema, t.schema);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let t = mixed_table();
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(read_table(&mut bad.as_slice()).is_err());
+        // Truncation.
+        let short = &buf[..buf.len() / 2];
+        assert!(read_table(&mut &short[..]).is_err());
+        // Bad version.
+        let mut bad = buf.clone();
+        bad[4] = 99;
+        assert!(read_table(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bit_packing_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            assert_eq!(unpack_bits(&pack_bits(&bits), n), bits, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Schemas: named, typed, nullable fields.
+
+use crate::error::{Result, StoreError};
+use crate::types::DataType;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (lower-cased by the SQL layer).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: &str, data_type: DataType) -> Field {
+        Field {
+            name: name.to_string(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: &str, data_type: DataType) -> Field {
+        Field {
+            name: name.to_string(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from a field list, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(StoreError::Catalog(format!(
+                    "duplicate column name {:?}",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Concatenate two schemas (for joins), qualifying duplicate names from
+    /// the right side with `right_prefix`.
+    pub fn join(&self, other: &Schema, right_prefix: &str) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let name = if self.index_of(&f.name).is_some() {
+                format!("{right_prefix}.{}", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field {
+                name,
+                data_type: f.data_type,
+                nullable: f.nullable,
+            });
+        }
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::new(vec![
+            Field::new("a", DataType::Int32),
+            Field::new("a", DataType::Utf8),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(vec![
+            Field::new("x", DataType::Int32),
+            Field::nullable("y", DataType::Float64),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("y"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.field("y").unwrap().nullable);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn join_qualifies_duplicates() {
+        let a = Schema::new(vec![Field::new("id", DataType::Int64)]).unwrap();
+        let b = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("v", DataType::Float64),
+        ])
+        .unwrap();
+        let j = a.join(&b, "r").unwrap();
+        assert_eq!(j.fields[1].name, "r.id");
+        assert_eq!(j.fields[2].name, "v");
+    }
+}

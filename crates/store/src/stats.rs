@@ -1,0 +1,129 @@
+//! Per-column statistics: min/max/null counts.
+//!
+//! The lazy rewriter uses record-level metadata for pruning, but the store
+//! also keeps ordinary column statistics so EXPLAIN output and the demo's
+//! metadata browser can show value ranges, and so tests can assert loaded
+//! data matches the repository's ground truth.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::types::Value;
+
+/// Summary statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Row count.
+    pub count: usize,
+    /// NULL count.
+    pub nulls: usize,
+    /// Minimum non-null value (None when all NULL or empty).
+    pub min: Option<Value>,
+    /// Maximum non-null value.
+    pub max: Option<Value>,
+}
+
+/// Compute statistics for a single column.
+pub fn column_stats(name: &str, col: &Column) -> ColumnStats {
+    let mut min: Option<Value> = None;
+    let mut max: Option<Value> = None;
+    for i in 0..col.len() {
+        let v = col.get(i).expect("index in range");
+        if v.is_null() {
+            continue;
+        }
+        match &min {
+            None => min = Some(v.clone()),
+            Some(m) => {
+                if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) {
+                    min = Some(v.clone());
+                }
+            }
+        }
+        match &max {
+            None => max = Some(v),
+            Some(m) => {
+                if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) {
+                    max = Some(v);
+                }
+            }
+        }
+    }
+    ColumnStats {
+        name: name.to_string(),
+        count: col.len(),
+        nulls: col.null_count(),
+        min,
+        max,
+    }
+}
+
+/// Compute statistics for every column of a table.
+pub fn table_stats(table: &Table) -> Vec<ColumnStats> {
+    table
+        .schema
+        .fields
+        .iter()
+        .zip(&table.columns)
+        .map(|(f, c)| column_stats(&f.name, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::types::DataType;
+
+    #[test]
+    fn stats_over_mixed_column() {
+        let col = Column::from_values(
+            DataType::Float64,
+            &[
+                Value::Float64(3.0),
+                Value::Null,
+                Value::Float64(-1.0),
+                Value::Float64(10.0),
+            ],
+        )
+        .unwrap();
+        let s = column_stats("v", &col);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.min, Some(Value::Float64(-1.0)));
+        assert_eq!(s.max, Some(Value::Float64(10.0)));
+    }
+
+    #[test]
+    fn stats_all_null_or_empty() {
+        let col =
+            Column::from_values(DataType::Int32, &[Value::Null, Value::Null]).unwrap();
+        let s = column_stats("x", &col);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+        assert_eq!(s.nulls, 2);
+        let empty = Column::empty(DataType::Utf8);
+        let s = column_stats("y", &empty);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+    }
+
+    #[test]
+    fn table_stats_cover_all_columns() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int32),
+            Field::new("b", DataType::Utf8),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        t.append_row(vec![Value::Int32(2), Value::Utf8("x".into())])
+            .unwrap();
+        t.append_row(vec![Value::Int32(1), Value::Utf8("z".into())])
+            .unwrap();
+        let stats = table_stats(&t);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].min, Some(Value::Int32(1)));
+        assert_eq!(stats[1].max, Some(Value::Utf8("z".into())));
+    }
+}

@@ -1,0 +1,347 @@
+//! Logical data types and scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical column types supported by the store.
+///
+/// `Timestamp` is microseconds since the Unix epoch — the representation
+/// the mSEED substrate produces — kept distinct from `Int64` so the SQL
+/// layer can parse time literals in comparisons against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE float.
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Microseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Name as used in `DESCRIBE`-style output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "BOOLEAN",
+            DataType::Int32 => "INTEGER",
+            DataType::Int64 => "BIGINT",
+            DataType::Float64 => "DOUBLE",
+            DataType::Utf8 => "VARCHAR",
+            DataType::Timestamp => "TIMESTAMP",
+        }
+    }
+
+    /// True for Int32/Int64/Float64.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int32 | DataType::Int64 | DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scalar value of any supported type, including SQL NULL.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer.
+    Int64(i64),
+    /// Double-precision float.
+    Float64(f64),
+    /// String.
+    Utf8(String),
+    /// Microseconds since epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The value's type, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Utf8(_) => Some(DataType::Utf8),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// True iff this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as f64 (ints widen; bools and strings do not).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view as i64 (floats do not implicitly narrow).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            Value::Timestamp(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Utf8(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison semantics: NULL compares as unknown (`None`); numeric
+    /// types compare cross-type by value; floats use IEEE total order so
+    /// NaN sorts deterministically.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Utf8(a), Utf8(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            // Timestamps also compare against plain integers (µs values).
+            (Timestamp(a), Int64(b)) | (Int64(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Int32(a), Int32(b)) => Some(a.cmp(b)),
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Int32(a), Int64(b)) => Some((*a as i64).cmp(b)),
+            (Int64(a), Int32(b)) => Some(a.cmp(&(*b as i64))),
+            (Float64(a), Float64(b)) => Some(a.total_cmp(b)),
+            (Float64(a), Int32(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Float64(a), Int64(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Int32(a), Float64(b)) => Some((*a as f64).total_cmp(b)),
+            (Int64(a), Float64(b)) => Some((*a as f64).total_cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// Equality under SQL semantics (`NULL = x` is unknown -> `None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// A hashable key for group-by/join. NULLs group together (SQL GROUP BY
+    /// semantics); floats key by bit pattern; ints and timestamps share a
+    /// normalized i64 representation so `Int32(1)` joins `Int64(1)`.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int32(v) => GroupKey::Int(*v as i64),
+            Value::Int64(v) => GroupKey::Int(*v),
+            Value::Timestamp(v) => GroupKey::Int(*v),
+            Value::Float64(v) => {
+                // Normalize -0.0 to 0.0 and all NaNs to one bit pattern so
+                // equal-comparing floats land in the same group.
+                let v = if *v == 0.0 { 0.0 } else { *v };
+                let bits = if v.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    v.to_bits()
+                };
+                GroupKey::Float(bits)
+            }
+            Value::Utf8(s) => GroupKey::Str(s.clone()),
+        }
+    }
+}
+
+/// Hashable normalization of a [`Value`] used by group-by and joins.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// NULL key (all NULLs group together).
+    Null,
+    /// Boolean key.
+    Bool(bool),
+    /// Normalized integer/timestamp key.
+    Int(i64),
+    /// Float key by bit pattern.
+    Float(u64),
+    /// String key.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Utf8(s) => write!(f, "{s}"),
+            Value::Timestamp(us) => write!(f, "{}", lazyetl_timestamp_display(*us)),
+        }
+    }
+}
+
+/// Render a timestamp without depending on the mseed crate (the store is
+/// dependency-free): simple civil conversion duplicated from first
+/// principles.
+fn lazyetl_timestamp_display(us: i64) -> String {
+    let secs = us.div_euclid(1_000_000);
+    let micros = us.rem_euclid(1_000_000);
+    let days = secs.div_euclid(86_400);
+    let sod = secs.rem_euclid(86_400);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}.{:06}",
+        y,
+        m,
+        d,
+        sod / 3600,
+        (sod % 3600) / 60,
+        sod % 60,
+        micros
+    )
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality (NULL == NULL) for use in tests and keys;
+        // SQL three-valued equality lives in `sql_eq`.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_eq(other).unwrap_or(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(
+            Value::Int32(2).sql_cmp(&Value::Float64(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Int64(3).sql_cmp(&Value::Int32(3)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float64(1.0).sql_cmp(&Value::Int64(1)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Timestamp(5).sql_cmp(&Value::Int64(6)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int32(1)), None);
+        assert_eq!(Value::Int32(1).sql_eq(&Value::Null), None);
+        // but structural equality groups NULLs
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn incompatible_types_do_not_compare() {
+        assert_eq!(Value::Utf8("a".into()).sql_cmp(&Value::Int32(1)), None);
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Utf8("t".into())), None);
+    }
+
+    #[test]
+    fn group_keys_normalize() {
+        assert_eq!(Value::Int32(7).group_key(), Value::Int64(7).group_key());
+        assert_eq!(
+            Value::Float64(0.0).group_key(),
+            Value::Float64(-0.0).group_key()
+        );
+        assert_eq!(
+            Value::Float64(f64::NAN).group_key(),
+            Value::Float64(-f64::NAN).group_key()
+        );
+        assert_ne!(
+            Value::Float64(1.0).group_key(),
+            Value::Float64(2.0).group_key()
+        );
+        assert_eq!(Value::Null.group_key(), Value::Null.group_key());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int32(-5).to_string(), "-5");
+        assert_eq!(Value::Float64(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float64(2.25).to_string(), "2.25");
+        assert_eq!(Value::Utf8("ISK".into()).to_string(), "ISK");
+        assert_eq!(
+            Value::Timestamp(1_263_334_500_000_000).to_string(),
+            "2010-01-12T22:15:00.000000"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int32(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Utf8("x".into()).as_f64(), None);
+        assert_eq!(Value::Float64(2.5).as_i64(), None);
+        assert_eq!(Value::Timestamp(9).as_i64(), Some(9));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int64(1).data_type(), Some(DataType::Int64));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(DataType::Float64.name(), "DOUBLE");
+        assert_eq!(DataType::Utf8.to_string(), "VARCHAR");
+        assert!(DataType::Int32.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+    }
+}

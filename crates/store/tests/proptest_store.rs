@@ -1,0 +1,183 @@
+//! Property tests for the storage substrate: columnar operations preserve
+//! values, persistence round-trips arbitrary tables, and SQL comparison
+//! semantics behave like an order.
+
+use lazyetl_store::persist::{read_table, write_table};
+use lazyetl_store::{Column, DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary nullable scalar of a given type.
+fn value_of(dt: DataType) -> BoxedStrategy<Value> {
+    let non_null = match dt {
+        DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        DataType::Int32 => any::<i32>().prop_map(Value::Int32).boxed(),
+        DataType::Int64 => any::<i64>().prop_map(Value::Int64).boxed(),
+        DataType::Float64 => (-1e15f64..1e15).prop_map(Value::Float64).boxed(),
+        DataType::Utf8 => "[a-zA-Z0-9_.-]{0,12}".prop_map(Value::Utf8).boxed(),
+        DataType::Timestamp => any::<i64>().prop_map(Value::Timestamp).boxed(),
+    };
+    prop_oneof![
+        9 => non_null,
+        1 => Just(Value::Null),
+    ]
+    .boxed()
+}
+
+fn any_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Bool),
+        Just(DataType::Int32),
+        Just(DataType::Int64),
+        Just(DataType::Float64),
+        Just(DataType::Utf8),
+        Just(DataType::Timestamp),
+    ]
+}
+
+/// Strategy: a small table with 1-4 nullable columns and 0-40 rows.
+fn any_table() -> impl Strategy<Value = Table> {
+    (prop::collection::vec(any_type(), 1..4), 0usize..40).prop_flat_map(|(types, n_rows)| {
+        let fields: Vec<Field> = types
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Field::nullable(&format!("c{i}"), *t))
+            .collect();
+        let row_strategies: Vec<BoxedStrategy<Value>> =
+            types.iter().map(|t| value_of(*t)).collect();
+        prop::collection::vec(row_strategies, n_rows..=n_rows).prop_map(move |rows| {
+            let schema = Schema::new(fields.clone()).unwrap();
+            let mut t = Table::empty(schema);
+            for row in rows {
+                t.append_row(row).unwrap();
+            }
+            t
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Persistence round-trips arbitrary tables exactly.
+    #[test]
+    fn persist_roundtrip(table in any_table()) {
+        let mut buf = Vec::new();
+        write_table(&table, &mut buf).unwrap();
+        let back = read_table(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&back.schema, &table.schema);
+        prop_assert_eq!(back.num_rows(), table.num_rows());
+        for i in 0..table.num_rows() {
+            prop_assert_eq!(back.row(i).unwrap(), table.row(i).unwrap());
+        }
+    }
+
+    /// filter(mask) keeps exactly the masked rows in order.
+    #[test]
+    fn filter_keeps_masked_rows(table in any_table(), seed in any::<u64>()) {
+        let n = table.num_rows();
+        let mask: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect();
+        let out = table.filter(&mask).unwrap();
+        let expected: Vec<usize> = (0..n).filter(|&i| mask[i]).collect();
+        prop_assert_eq!(out.num_rows(), expected.len());
+        for (j, &i) in expected.iter().enumerate() {
+            prop_assert_eq!(out.row(j).unwrap(), table.row(i).unwrap());
+        }
+    }
+
+    /// take(indices) gathers rows, allowing repeats.
+    #[test]
+    fn take_gathers(table in any_table(), picks in prop::collection::vec(any::<prop::sample::Index>(), 0..20)) {
+        if table.num_rows() == 0 {
+            return Ok(());
+        }
+        let indices: Vec<usize> = picks.iter().map(|p| p.index(table.num_rows())).collect();
+        let out = table.take(&indices).unwrap();
+        prop_assert_eq!(out.num_rows(), indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(out.row(j).unwrap(), table.row(i).unwrap());
+        }
+    }
+
+    /// append_column concatenates without disturbing existing rows.
+    #[test]
+    fn append_preserves_prefix(t1 in any_table()) {
+        let mut doubled = t1.clone();
+        doubled.append_table(&t1).unwrap();
+        prop_assert_eq!(doubled.num_rows(), t1.num_rows() * 2);
+        for i in 0..t1.num_rows() {
+            prop_assert_eq!(doubled.row(i).unwrap(), t1.row(i).unwrap());
+            prop_assert_eq!(doubled.row(t1.num_rows() + i).unwrap(), t1.row(i).unwrap());
+        }
+    }
+
+    /// sql_cmp is antisymmetric and consistent with sql_eq for non-null
+    /// comparable numeric values.
+    #[test]
+    fn sql_cmp_antisymmetric(a in any::<i64>(), b in any::<i64>()) {
+        let va = Value::Int64(a);
+        let vb = Value::Int64(b);
+        let ab = va.sql_cmp(&vb).unwrap();
+        let ba = vb.sql_cmp(&va).unwrap();
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(va.sql_eq(&vb), Some(a == b));
+    }
+
+    /// Cross-type numeric comparison agrees with f64 ordering where exact.
+    #[test]
+    fn cross_type_cmp(a in -1_000_000i32..1_000_000, b in -1e6f64..1e6) {
+        let va = Value::Int32(a);
+        let vb = Value::Float64(b);
+        let ord = va.sql_cmp(&vb).unwrap();
+        prop_assert_eq!(ord, (a as f64).total_cmp(&b));
+    }
+
+    /// Column byte_size is monotone in row count.
+    #[test]
+    fn byte_size_monotone(values in prop::collection::vec(any::<i64>(), 1..50)) {
+        let mut col = Column::empty(DataType::Int64);
+        let mut last = col.byte_size();
+        for v in values {
+            col.push(Value::Int64(v)).unwrap();
+            let now = col.byte_size();
+            prop_assert!(now > last);
+            last = now;
+        }
+    }
+
+    /// Arbitrary byte-level corruption of a persisted table never panics:
+    /// the reader either returns an error or a (possibly different) valid
+    /// table — a database file format must not be a crash vector.
+    #[test]
+    fn corrupted_persisted_bytes_never_panic(
+        n_rows in 0usize..40,
+        mutations in prop::collection::vec((0usize..4096, any::<u8>()), 1..16),
+        truncate_to in prop::option::of(0usize..4096),
+    ) {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::new("v", DataType::Float64),
+        ]).unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..n_rows {
+            t.append_row(vec![
+                Value::Int64(i as i64),
+                if i % 5 == 0 { Value::Null } else { Value::Utf8(format!("s{i}")) },
+                Value::Float64(i as f64 * 0.5),
+            ]).unwrap();
+        }
+        let mut buf = Vec::new();
+        write_table(&t, &mut buf).unwrap();
+        for (pos, byte) in mutations {
+            if !buf.is_empty() {
+                let idx = pos % buf.len();
+                buf[idx] = byte;
+            }
+        }
+        if let Some(cut) = truncate_to {
+            buf.truncate(cut.min(buf.len()));
+        }
+        // Must not panic; both Ok and Err are acceptable outcomes.
+        let _ = read_table(&mut buf.as_slice());
+    }
+}

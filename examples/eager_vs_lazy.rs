@@ -1,0 +1,105 @@
+//! Eager vs. lazy, side by side (demo item 3): bootstrap cost, time to
+//! first answer, storage footprint, and warm-cache behaviour.
+//!
+//! ```sh
+//! cargo run --release --example eager_vs_lazy
+//! ```
+
+use lazyetl::mseed::gen::{generate_repository, GeneratorConfig};
+use lazyetl::mseed::Timestamp;
+use lazyetl::{Warehouse, WarehouseConfig};
+use std::time::Instant;
+
+const QUERY: &str = "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) \
+                     FROM mseed.dataview \
+                     WHERE F.network = 'NL' AND F.channel = 'BHZ' \
+                     GROUP BY F.station";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join("lazyetl_compare_demo");
+    std::fs::remove_dir_all(&root).ok();
+    let config = GeneratorConfig {
+        start: Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0),
+        file_duration_secs: 900,
+        files_per_stream: 3,
+        seed: 0xC0_FF_EE,
+        ..Default::default()
+    };
+    let generated = generate_repository(&root, &config)?;
+    let raw_mib = generated.total_bytes as f64 / (1 << 20) as f64;
+    println!(
+        "repository: {} files, {raw_mib:.1} MiB raw (Steim-2 compressed), {} samples\n",
+        generated.files.len(),
+        generated.total_samples
+    );
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    };
+
+    // --- Eager: the traditional baseline. -------------------------------
+    let t0 = Instant::now();
+    let mut eager = Warehouse::open_eager(&root, cfg.clone())?;
+    let eager_load = t0.elapsed();
+    let t1 = Instant::now();
+    let eager_q = eager.query(QUERY)?;
+    let eager_query = t1.elapsed();
+
+    // --- Lazy: metadata only, extraction on demand. ---------------------
+    let t0 = Instant::now();
+    let mut lazy = Warehouse::open_lazy(&root, cfg)?;
+    let lazy_load = t0.elapsed();
+    let t1 = Instant::now();
+    let lazy_cold = lazy.query(QUERY)?;
+    let lazy_cold_t = t1.elapsed();
+    let t1 = Instant::now();
+    let lazy_warm = lazy.query(QUERY)?;
+    let lazy_warm_t = t1.elapsed();
+
+    println!("                         eager            lazy");
+    println!(
+        "initial load           {:>10.1?}    {:>10.1?}   ({:.0}x faster)",
+        eager_load,
+        lazy_load,
+        eager_load.as_secs_f64() / lazy_load.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "bytes read at load     {:>10}    {:>10}",
+        format!("{} KiB", eager.load_report().bytes_read / 1024),
+        format!("{} KiB", lazy.load_report().bytes_read / 1024),
+    );
+    println!(
+        "resident footprint     {:>10}    {:>10}   (raw files: {:.1} MiB)",
+        format!("{:.1} MiB", eager.resident_bytes() as f64 / (1 << 20) as f64),
+        format!("{:.1} MiB", lazy.resident_bytes() as f64 / (1 << 20) as f64),
+        raw_mib
+    );
+    println!(
+        "first query            {:>10.1?}    {:>10.1?}",
+        eager_query, lazy_cold_t
+    );
+    println!(
+        "  -> time to first answer  {:>10.1?}    {:>10.1?}",
+        eager_load + eager_query,
+        lazy_load + lazy_cold_t
+    );
+    println!(
+        "repeat query (warm)    {:>10.1?}    {:>10.1?}   ({} cache hits)",
+        eager_query, lazy_warm_t, lazy_warm.report.cache_hits
+    );
+    println!(
+        "\nquery answers agree: {}",
+        if eager_q.table == lazy_cold.table {
+            "yes"
+        } else {
+            "NO (bug!)"
+        }
+    );
+    println!(
+        "lazy extracted only {} of {} files for this query",
+        lazy_cold.report.files_extracted.len(),
+        generated.files.len()
+    );
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

@@ -1,0 +1,114 @@
+//! Build a network event catalog: per-station STA/LTA picks combined by
+//! coincidence triggering, end to end over a lazy warehouse.
+//!
+//! This is the workflow the paper's §4 demo gestures at ("mining
+//! interesting seismic events") taken one step further: single-station
+//! triggers are noisy, so real networks only catalog events several
+//! stations see within a short window. The repository is generated with
+//! *network-wide* ground-truth events, every NL station's BHZ stream is
+//! scanned through the SQL surface (extraction is lazy: only the scanned
+//! streams' files are ever decoded), and the per-station picks are
+//! clustered into a catalog.
+//!
+//! ```sh
+//! cargo run --release --example event_catalog
+//! ```
+
+use lazyetl::core::analysis::{coincidence_trigger, StationDetections};
+use lazyetl::mseed::gen::{generate_repository, GeneratorConfig};
+use lazyetl::mseed::Timestamp;
+use lazyetl::{hunt_events, StaLtaConfig, Warehouse, WarehouseConfig};
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let root = std::env::temp_dir().join("lazyetl_catalog_demo");
+    std::fs::remove_dir_all(&root).ok();
+    let config = GeneratorConfig {
+        start: Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0),
+        file_duration_secs: 900,
+        files_per_stream: 2,
+        events_per_file: 0.15, // sparse local (single-station) noise events
+        network_events: 3,     // the earthquakes the catalog should contain
+        seed: 0x0CA7_A106,
+        ..Default::default()
+    };
+    let generated = generate_repository(&root, &config)?;
+    let truth: BTreeSet<i64> = generated
+        .events
+        .iter()
+        .map(|e| e.onset.0 / 10_000_000) // 10 s buckets collapse per-stream jitter
+        .collect();
+    println!(
+        "repository: {} files / {:.1} MiB, {} injected event onsets\n",
+        generated.files.len(),
+        generated.total_bytes as f64 / (1 << 20) as f64,
+        generated.events.len(),
+    );
+
+    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    println!("lazy attach: {:?} — hunting starts now\n", wh.load_report().elapsed);
+
+    // Per-station hunt on the vertical (BHZ) channel of the NL network.
+    let stations: BTreeSet<String> = generated
+        .files
+        .iter()
+        .filter(|f| f.source.network == "NL")
+        .map(|f| f.source.station.clone())
+        .collect();
+    let cfg = StaLtaConfig {
+        threshold: 3.5,
+        ..Default::default()
+    };
+    let mut per_station = Vec::new();
+    let mut records_extracted = 0usize;
+    for station in &stations {
+        let hunt = hunt_events(
+            &mut wh,
+            station,
+            "BHZ",
+            "2010-01-12T00:00:00",
+            "2010-01-12T00:30:00",
+            &cfg,
+        )?;
+        println!(
+            "  {station}.BHZ: {} pick(s) over {} samples ({} records lazily extracted)",
+            hunt.detections.len(),
+            hunt.samples,
+            hunt.report.records_extracted,
+        );
+        records_extracted += hunt.report.records_extracted;
+        per_station.push(StationDetections {
+            station: station.clone(),
+            detections: hunt.detections,
+        });
+    }
+
+    // Coincidence: at least 3 stations within 10 s.
+    let catalog = coincidence_trigger(&per_station, 10.0, 3);
+    println!("\ncatalog ({} events, >=3 stations within 10 s):", catalog.len());
+    println!("{:<28} {:>6}  stations", "origin (first pick)", "ratio");
+    let mut matched = 0usize;
+    for ev in &catalog {
+        let hit = truth.contains(&(ev.time.0 / 10_000_000))
+            || truth.contains(&(ev.time.0 / 10_000_000 + 1))
+            || truth.contains(&(ev.time.0 / 10_000_000 - 1));
+        if hit {
+            matched += 1;
+        }
+        println!(
+            "{:<28} {:>6.1}  {}  [{}]",
+            ev.time.to_string(),
+            ev.mean_ratio,
+            ev.stations.join(","),
+            if hit { "matches ground truth" } else { "unverified" },
+        );
+    }
+    println!(
+        "\n{matched}/{} catalog events match injected ground truth; \
+         {records_extracted} records decoded in total — only the hunted \
+         streams' files were ever opened.",
+        catalog.len().max(1),
+    );
+    std::fs::remove_dir_all(&root).ok();
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! An interactive SQL shell over a lazy warehouse — the terminal
+//! equivalent of the demo's GUI (Figure 2). Attach a repository, fire
+//! queries, watch the lazy machinery work.
+//!
+//! ```sh
+//! # Against a generated demo repository:
+//! cargo run --release --example sql_shell
+//! # Against your own directory of .mseed/.sac files:
+//! cargo run --release --example sql_shell -- /path/to/repository
+//! ```
+//!
+//! Shell commands besides SQL:
+//! `\plans` toggles per-query plan printing, `\cache` shows the recycling
+//! cache, `\log` tails the ETL log, `\wave <file_id> <seq_no>` draws one
+//! record's waveform, `\quit` exits.
+
+use lazyetl::mseed::gen::{generate_repository, GeneratorConfig};
+use lazyetl::mseed::Timestamp;
+use lazyetl::{Warehouse, WarehouseConfig};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (root, generated_here) = match args.first() {
+        Some(path) => (std::path::PathBuf::from(path), false),
+        None => {
+            let root = std::env::temp_dir().join("lazyetl_shell_demo");
+            std::fs::remove_dir_all(&root).ok();
+            let config = GeneratorConfig {
+                start: Timestamp::from_ymd_hms(2010, 1, 12, 22, 0, 0, 0),
+                file_duration_secs: 600,
+                files_per_stream: 2,
+                ..Default::default()
+            };
+            generate_repository(&root, &config)?;
+            (root, true)
+        }
+    };
+    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    let lr = wh.load_report();
+    println!(
+        "attached {} lazily: {} files, {} records of metadata in {:?}",
+        root.display(),
+        lr.files,
+        lr.records,
+        lr.elapsed
+    );
+    println!("tables: mseed.files, mseed.records; view: mseed.dataview");
+    println!("commands: \\plans \\cache \\log \\wave <file_id> <seq_no> \\quit");
+
+    let stdin = std::io::stdin();
+    let mut show_plans = false;
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("lazyetl> ");
+        } else {
+            print!("     ... ");
+        }
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() {
+            match trimmed {
+                "" => continue,
+                "\\quit" | "\\q" | "exit" => break,
+                "\\plans" => {
+                    show_plans = !show_plans;
+                    println!("plan printing {}", if show_plans { "on" } else { "off" });
+                    continue;
+                }
+                "\\cache" => {
+                    let snap = wh.cache_snapshot();
+                    println!(
+                        "{} entries, {}/{} KiB, stats {:?}",
+                        snap.entries.len(),
+                        snap.used_bytes / 1024,
+                        snap.budget_bytes / 1024,
+                        snap.stats
+                    );
+                    for e in snap.entries.iter().take(10) {
+                        println!(
+                            "  file {} record {:>4}: {:>7} rows {:>9} bytes",
+                            e.key.0, e.key.1, e.rows, e.bytes
+                        );
+                    }
+                    continue;
+                }
+                "\\log" => {
+                    let rendered = wh.etl_log_render();
+                    for l in rendered.lines().rev().take(15).collect::<Vec<_>>().iter().rev() {
+                        println!("{l}");
+                    }
+                    continue;
+                }
+                t if t.starts_with("\\wave") => {
+                    let parts: Vec<&str> = t.split_whitespace().collect();
+                    if parts.len() != 3 {
+                        println!("usage: \\wave <file_id> <seq_no>");
+                        continue;
+                    }
+                    match (parts[1].parse::<i64>(), parts[2].parse::<i64>()) {
+                        (Ok(fid), Ok(seq)) => {
+                            match lazyetl::fetch_record_waveform(&mut wh, fid, seq) {
+                                Ok(w) => {
+                                    print!("{}", lazyetl::waveform_ascii(&w.samples, 72, 12))
+                                }
+                                Err(e) => println!("error: {e}"),
+                            }
+                        }
+                        _ => println!("usage: \\wave <file_id> <seq_no>"),
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        buffer.push_str(&line);
+        // Execute on semicolon (or single-line query without one).
+        if !trimmed.ends_with(';') && !trimmed.contains(';') && !buffer.trim().ends_with(';') {
+            // allow multi-line entry until a semicolon arrives
+            if !trimmed.is_empty() {
+                continue;
+            }
+        }
+        let sql = buffer.trim().trim_end_matches(';').to_string();
+        buffer.clear();
+        if sql.is_empty() {
+            continue;
+        }
+        match wh.query(&sql) {
+            Ok(out) => {
+                print!("{}", out.table.to_ascii(40));
+                println!(
+                    "({} rows in {:?}; extracted {} records from {} files, {} cache hits)",
+                    out.report.rows,
+                    out.report.elapsed,
+                    out.report.records_extracted,
+                    out.report.files_extracted.len(),
+                    out.report.cache_hits
+                );
+                if show_plans {
+                    for (stage, plan) in &out.report.stages {
+                        println!("--- {stage} ---\n{plan}");
+                    }
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    if generated_here {
+        std::fs::remove_dir_all(&root).ok();
+    }
+    println!("bye");
+    Ok(())
+}

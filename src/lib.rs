@@ -1,0 +1,29 @@
+//! # lazyetl — Lazy ETL for scientific data warehouses
+//!
+//! Umbrella crate re-exporting the whole reproduction of *"Lazy ETL in
+//! Action: ETL Technology Dates Scientific Data"* (PVLDB 6(12), 2013):
+//!
+//! * [`mseed`] — MiniSEED 2.4 format substrate (records, Steim codecs,
+//!   synthetic repository generator);
+//! * [`repo`] — file repository substrate (registry, change detection,
+//!   simulated remote access);
+//! * [`store`] — columnar storage substrate (columns, tables, catalog,
+//!   persistence);
+//! * [`query`] — SQL parser, logical plans, optimizer, executor;
+//! * [`core`] — the paper's contribution: the lazy/eager warehouse,
+//!   run-time plan rewriting, the recycling cache and lazy refresh.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use lazyetl_core as core;
+pub use lazyetl_mseed as mseed;
+pub use lazyetl_query as query;
+pub use lazyetl_repo as repo;
+pub use lazyetl_store as store;
+
+pub use lazyetl_core::{
+    coincidence_trigger, fetch_record_waveform, hunt_events, recursive_sta_lta, sta_lta,
+    waveform_ascii, z_detect, CoincidenceEvent, Detection, EtlError, EtlLog, EtlOp, LoadReport,
+    Mode, QueryOutput, QueryReport, RecordWaveform, RefreshSummary, ResultCacheSnapshot,
+    ResultCacheStats, StaLtaConfig, StationDetections, Warehouse, WarehouseConfig, ZDetectConfig,
+};

@@ -1,0 +1,209 @@
+//! The eight demonstrated capabilities of the paper's Figure-2 GUI
+//! (§4, numbered list), verified end to end.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1};
+use lazyetl::core::EtlOp;
+use lazyetl::repo::updates;
+use lazyetl::repo::Repository;
+use lazyetl::{Warehouse, WarehouseConfig};
+
+#[test]
+fn item1_initial_loading_of_only_metadata() {
+    let repo = figure1_repo("cap1", 4096);
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let lr = wh.load_report();
+    assert_eq!(lr.samples_loaded, 0, "no actual data loaded");
+    assert_eq!(lr.files, repo.generated.files.len());
+    assert!(lr.records > 0);
+    // All metadata-load operations present in the log, one per file.
+    assert_eq!(
+        wh.etl_log()
+            .count_matching(|op| matches!(op, EtlOp::MetadataLoad { .. })),
+        lr.files
+    );
+}
+
+#[test]
+fn item2_browsing_metadata_and_navigation() {
+    let repo = figure1_repo("cap2", 4096);
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    // Browse files, drill into records of one file — no extraction at all.
+    let files = wh
+        .query("SELECT file_id, uri, num_records FROM mseed.files ORDER BY uri LIMIT 3")
+        .unwrap();
+    assert_eq!(files.table.num_rows(), 3);
+    let fid = files.table.row(0).unwrap()[0].as_i64().unwrap();
+    let records = wh
+        .query(&format!(
+            "SELECT seq_no, start_time, num_samples FROM mseed.records \
+             WHERE file_id = {fid} ORDER BY seq_no"
+        ))
+        .unwrap();
+    assert!(records.table.num_rows() > 0);
+    assert_eq!(records.report.records_extracted, 0);
+    assert!(records.report.files_extracted.is_empty());
+}
+
+#[test]
+fn item3_comparing_performance_to_eager() {
+    let repo = figure1_repo("cap3", 4096);
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    };
+    let lazy = Warehouse::open_lazy(&repo.root, cfg.clone()).unwrap();
+    let eager = Warehouse::open_eager(&repo.root, cfg).unwrap();
+    // The comparison data the demo shows: load reports side by side.
+    assert!(lazy.load_report().bytes_read < eager.load_report().bytes_read / 5);
+    assert!(lazy.load_report().elapsed < eager.load_report().elapsed);
+}
+
+#[test]
+fn items4_and_6_observing_plans_and_their_changes() {
+    let repo = figure1_repo("cap46", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let stages = wh.explain(FIGURE1_Q1).unwrap();
+    assert_eq!(stages.len(), 3);
+    // Item 4: compile-time change — metadata predicates move below the join.
+    let logical = &stages[0].1;
+    let optimized = &stages[1].1;
+    assert!(logical.contains("Filter: (((((")); // one big conjunction on top
+    let join_pos = optimized.find("Join").unwrap();
+    let station_pos = optimized.find("station = 'ISK'").unwrap();
+    assert!(
+        station_pos > join_pos,
+        "station predicate below the join after optimization"
+    );
+    // Item 6: run-time change — the rewritten plan materializes the lazy
+    // transformation as injected data under the original operators.
+    let rewritten = &stages[2].1;
+    assert!(rewritten.contains("InlineData: metadata"));
+    assert!(rewritten.contains("InlineData: lazy-extract"));
+    // The corresponding log entries exist, in compile-then-runtime order.
+    let log = wh.etl_log();
+    let compile_seq = log
+        .entries()
+        .iter()
+        .find(|e| matches!(&e.op, EtlOp::PlanRewrite { stage, .. } if stage == "compile-time"))
+        .map(|e| e.seq)
+        .expect("compile-time rewrite logged");
+    let runtime_seq = log
+        .entries()
+        .iter()
+        .find(|e| matches!(&e.op, EtlOp::PlanRewrite { stage, .. } if stage == "run-time"))
+        .map(|e| e.seq)
+        .expect("run-time rewrite logged");
+    assert!(compile_seq < runtime_seq);
+}
+
+#[test]
+fn item5_observing_files_extracted() {
+    let repo = figure1_repo("cap5", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let out = wh.query(FIGURE1_Q1).unwrap();
+    assert_eq!(out.report.files_extracted.len(), 1);
+    let uri = &out.report.files_extracted[0];
+    assert!(uri.contains("ISK"), "query targets ISK: {uri}");
+    assert!(uri.contains("BHE"));
+    // The file covering 22:15 is the second file (22:15:00 window).
+    assert!(uri.contains("2215") || uri.contains("2210"), "{uri}");
+}
+
+#[test]
+fn item7_observing_cache_contents_and_updates() {
+    let repo = figure1_repo("cap7", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    assert!(wh.cache_snapshot().entries.is_empty());
+    wh.query(FIGURE1_Q1).unwrap();
+    let snap = wh.cache_snapshot();
+    assert_eq!(snap.entries.len(), 1, "one record cached");
+    assert!(snap.used_bytes > 0);
+    assert!(snap.used_bytes <= snap.budget_bytes);
+    // A repository update flips the entry to stale; the next query drops
+    // and repopulates it. Touch exactly the file the query reads.
+    let mut r = Repository::open(&repo.root).unwrap();
+    let warm = wh.query(FIGURE1_Q1).unwrap().report; // warm run: hits only
+    assert_eq!(warm.cache_hits, 1);
+    let first = wh.query(FIGURE1_Q1).unwrap();
+    assert!(first.report.files_extracted.is_empty(), "still warm");
+    let target = snap.entries[0].key.0; // file_id of the cached record
+    let target = r
+        .files()
+        .iter()
+        .find(|f| f.id.0 as i64 == target)
+        .unwrap()
+        .uri
+        .clone();
+    updates::touch(&mut r, &target).unwrap();
+    let out = wh.query(FIGURE1_Q1).unwrap();
+    // auto_refresh saw the mtime change and reloaded the file's metadata,
+    // invalidating the cache; the query re-extracted.
+    assert!(out.report.refresh.is_some());
+    assert_eq!(out.report.records_extracted, 1);
+}
+
+#[test]
+fn item8_operations_log_order() {
+    let repo = figure1_repo("cap8", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    wh.query(FIGURE1_Q1).unwrap();
+    let log = wh.etl_log();
+    // Expected phases in order: metadata loads, query start, compile
+    // rewrite, extraction, runtime rewrite, query finish.
+    let kinds: Vec<&'static str> = log
+        .entries()
+        .iter()
+        .map(|e| match &e.op {
+            EtlOp::MetadataLoad { .. } => "meta",
+            EtlOp::QueryStart { .. } => "qstart",
+            EtlOp::PlanRewrite { stage, .. } if stage == "compile-time" => "compile",
+            EtlOp::PlanRewrite { .. } => "runtime",
+            EtlOp::Extract { .. } => "extract",
+            EtlOp::QueryFinish { .. } => "qfinish",
+            _ => "other",
+        })
+        .collect();
+    let pos = |k: &str| kinds.iter().position(|&x| x == k).unwrap_or(usize::MAX);
+    assert!(pos("meta") < pos("qstart"), "{kinds:?}");
+    assert!(pos("qstart") < pos("compile"));
+    assert!(pos("compile") < pos("extract"));
+    assert!(pos("extract") < pos("runtime"));
+    assert!(pos("runtime") < pos("qfinish"));
+    // Rendering shows sequence numbers and timestamps.
+    let rendered = wh.etl_log_render();
+    assert!(rendered.contains("QueryFinish"));
+    assert!(rendered.contains("t+"));
+}
+
+#[test]
+fn plan_preview_shows_stages_without_extraction() {
+    let repo = figure1_repo("preview", 512);
+    let wh = Warehouse::open_lazy(
+        &repo.root,
+        WarehouseConfig {
+            auto_refresh: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let stages = wh.plan_preview(FIGURE1_Q1).unwrap();
+    assert_eq!(stages.len(), 2);
+    assert_eq!(stages[0].0, "logical");
+    assert_eq!(stages[1].0, "optimized");
+    assert!(
+        stages[1].1.contains("ExternalScan") || stages[1].1.contains("external"),
+        "the data side is still external before run time:\n{}",
+        stages[1].1
+    );
+    // Nothing happened: no cache traffic, no log entries beyond attach.
+    assert!(wh.cache_snapshot().entries.is_empty());
+    assert_eq!(
+        wh.etl_log()
+            .count_matching(|op| matches!(op, EtlOp::Extract { .. })),
+        0
+    );
+    // Bad SQL errors cleanly.
+    assert!(wh.plan_preview("SELEC nope").is_err());
+}

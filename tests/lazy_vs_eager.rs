@@ -1,0 +1,250 @@
+//! End-to-end equivalence and cost-asymmetry tests: the lazy warehouse
+//! must answer every query identically to the eager baseline, while
+//! reading far less data up front.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::store::Value;
+use lazyetl::{Mode, Warehouse, WarehouseConfig};
+
+fn no_refresh_config() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn figure1_queries_agree_between_modes() {
+    let repo = figure1_repo("agree", 512);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let mut eager = Warehouse::open_eager(&repo.root, no_refresh_config()).unwrap();
+    assert_eq!(lazy.mode(), Mode::Lazy);
+    assert_eq!(eager.mode(), Mode::Eager);
+
+    for (name, sql) in [("Q1", FIGURE1_Q1), ("Q2", FIGURE1_Q2)] {
+        let l = lazy.query(sql).unwrap();
+        let e = eager.query(sql).unwrap();
+        assert_eq!(
+            l.table.num_rows(),
+            e.table.num_rows(),
+            "{name}: row counts diverge"
+        );
+        for row in 0..l.table.num_rows() {
+            let lr = l.table.row(row).unwrap();
+            let er = e.table.row(row).unwrap();
+            for (a, b) in lr.iter().zip(&er) {
+                match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => assert!(
+                        (x - y).abs() < 1e-9,
+                        "{name} row {row}: {x} vs {y}"
+                    ),
+                    _ => assert_eq!(a, b, "{name} row {row}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn q1_produces_a_real_average() {
+    let repo = figure1_repo("avg", 512);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy.query(FIGURE1_Q1).unwrap();
+    assert_eq!(out.table.num_rows(), 1);
+    let v = out.table.row(0).unwrap()[0].clone();
+    assert!(!v.is_null(), "Q1 window must contain samples");
+    // 2 seconds at 40 Hz: candidate sample count is bounded.
+    let rewrite = out.report.rewrite.expect("lazy query rewrites");
+    assert!(rewrite.fetched_pairs >= 1);
+    assert!(!out.report.files_extracted.is_empty());
+}
+
+#[test]
+fn q2_groups_every_nl_station() {
+    let repo = figure1_repo("group", 512);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy.query(FIGURE1_Q2).unwrap();
+    // The default inventory has 4 NL stations, each with a BHZ channel.
+    assert_eq!(out.table.num_rows(), 4);
+    for row in 0..out.table.num_rows() {
+        let vals = out.table.row(row).unwrap();
+        assert!(matches!(vals[0], Value::Utf8(_)));
+        let min = vals[1].as_f64().unwrap();
+        let max = vals[2].as_f64().unwrap();
+        assert!(min < max, "min {min} < max {max}");
+    }
+}
+
+#[test]
+fn lazy_load_is_cheaper_in_bytes_and_rows() {
+    let repo = figure1_repo("cheap", 4096);
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let eager = Warehouse::open_eager(&repo.root, no_refresh_config()).unwrap();
+    let lr = lazy.load_report();
+    let er = eager.load_report();
+    assert_eq!(lr.files, er.files);
+    assert_eq!(lr.records, er.records);
+    assert_eq!(lr.samples_loaded, 0, "lazy loads no samples");
+    assert!(er.samples_loaded > 0);
+    assert!(
+        lr.bytes_read * 5 < er.bytes_read,
+        "lazy read {} bytes, eager {} bytes",
+        lr.bytes_read,
+        er.bytes_read
+    );
+    // Warehouse footprint: eager must hold the inflated D table.
+    assert!(
+        lazy.resident_bytes() * 4 < eager.resident_bytes(),
+        "lazy {} bytes resident, eager {}",
+        lazy.resident_bytes(),
+        eager.resident_bytes()
+    );
+}
+
+#[test]
+fn metadata_queries_extract_nothing() {
+    let repo = figure1_repo("meta", 4096);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy
+        .query("SELECT station, COUNT(*) AS files FROM mseed.files GROUP BY station ORDER BY station")
+        .unwrap();
+    assert!(out.table.num_rows() >= 4);
+    assert!(out.report.files_extracted.is_empty());
+    assert_eq!(out.report.records_extracted, 0);
+    assert!(out.report.rewrite.is_none(), "no external scan, no rewrite");
+
+    let out = lazy
+        .query("SELECT COUNT(*) FROM mseed.records")
+        .unwrap();
+    let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    assert_eq!(n as usize, lazy.load_report().records);
+    assert_eq!(out.report.records_extracted, 0);
+}
+
+#[test]
+fn selective_query_touches_only_matching_files() {
+    let repo = figure1_repo("selective", 512);
+    let total_files = repo.generated.files.len();
+    let isk_bhe_files: Vec<String> = repo
+        .generated
+        .files
+        .iter()
+        .filter(|f| f.source.station == "ISK" && f.source.channel == "BHE")
+        .map(|f| {
+            f.path
+                .strip_prefix(&repo.root)
+                .unwrap()
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy
+        .query(
+            "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'",
+        )
+        .unwrap();
+    assert!(out.table.row(0).unwrap()[0].as_i64().unwrap() > 0);
+    assert!(
+        out.report.files_extracted.len() < total_files,
+        "must not touch all {total_files} files"
+    );
+    for uri in &out.report.files_extracted {
+        assert!(
+            isk_bhe_files.contains(uri),
+            "extracted {uri} which is not an ISK/BHE file"
+        );
+    }
+    assert_eq!(out.report.files_extracted.len(), isk_bhe_files.len());
+}
+
+#[test]
+fn record_pruning_limits_extraction_for_narrow_windows() {
+    let repo = figure1_repo("prune", 512);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy.query(FIGURE1_Q1).unwrap();
+    let rewrite = out.report.rewrite.expect("rewrite happened");
+    assert!(
+        rewrite.pruned_pairs > 0,
+        "2-second window must prune records: {rewrite:?}"
+    );
+    assert!(rewrite.fetched_pairs < rewrite.candidate_pairs);
+
+    // Ablation: without pruning the same query extracts every candidate.
+    let mut no_prune = Warehouse::open_lazy(
+        &repo.root,
+        WarehouseConfig {
+            record_level_pruning: false,
+            auto_refresh: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let out2 = no_prune.query(FIGURE1_Q1).unwrap();
+    let rewrite2 = out2.report.rewrite.unwrap();
+    assert_eq!(rewrite2.pruned_pairs, 0);
+    assert!(rewrite2.fetched_pairs > rewrite.fetched_pairs);
+    // Same answer either way.
+    assert_eq!(
+        out.table.row(0).unwrap()[0].as_f64().unwrap(),
+        out2.table.row(0).unwrap()[0].as_f64().unwrap()
+    );
+}
+
+#[test]
+fn pushdown_ablation_degenerates_to_full_extraction() {
+    let repo = figure1_repo("ablate", 4096);
+    let mut ablated = Warehouse::open_lazy(
+        &repo.root,
+        WarehouseConfig {
+            metadata_predicate_first: false,
+            auto_refresh: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let total_records = ablated.load_report().records;
+    let out = ablated
+        .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'")
+        .unwrap();
+    let rewrite = out.report.rewrite.unwrap();
+    assert_eq!(
+        rewrite.fetched_pairs, total_records,
+        "without metadata-first, every record is extracted"
+    );
+}
+
+#[test]
+fn direct_data_query_falls_back_to_full_scan() {
+    let repo = figure1_repo("fallback", 4096);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let out = lazy.query("SELECT COUNT(*) FROM mseed.data").unwrap();
+    let rewrite = out.report.rewrite.unwrap();
+    assert!(rewrite.full_scan_fallback, "no metadata join available");
+    let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    assert_eq!(n as u64, repo.generated.total_samples);
+}
+
+#[test]
+fn explain_shows_three_stages_with_injection() {
+    let repo = figure1_repo("explain", 512);
+    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let stages = lazy.explain(FIGURE1_Q1).unwrap();
+    let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["logical", "optimized", "rewritten"]);
+    let logical = &stages[0].1;
+    let optimized = &stages[1].1;
+    let rewritten = &stages[2].1;
+    assert!(logical.contains("ExternalScan"), "{logical}");
+    assert!(
+        optimized.contains("ExternalScan"),
+        "still unresolved before runtime: {optimized}"
+    );
+    assert!(
+        rewritten.contains("InlineData: lazy-extract"),
+        "runtime injection visible: {rewritten}"
+    );
+    assert!(!rewritten.contains("ExternalScan"));
+}

@@ -1,0 +1,96 @@
+//! Parallel lazy extraction (E10): thread count must never change any
+//! observable result — only wall-clock time.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::core::warehouse::{Warehouse, WarehouseConfig};
+
+fn config_with_threads(threads: usize) -> WarehouseConfig {
+    WarehouseConfig {
+        extraction_threads: threads,
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn results_identical_across_thread_counts() {
+    let repo = figure1_repo("par_equiv", 512);
+    let mut reference: Option<(String, String)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        let q1 = wh.query(FIGURE1_Q1).unwrap().table.to_ascii(1000);
+        let q2 = wh.query(FIGURE1_Q2).unwrap().table.to_ascii(1000);
+        match &reference {
+            None => reference = Some((q1, q2)),
+            Some((r1, r2)) => {
+                assert_eq!(&q1, r1, "Q1 differs at {threads} threads");
+                assert_eq!(&q2, r2, "Q2 differs at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn extraction_stats_identical_across_thread_counts() {
+    let repo = figure1_repo("par_stats", 512);
+    let mut reference = None;
+    for threads in [1usize, 4] {
+        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        let out = wh.query(FIGURE1_Q2).unwrap();
+        let key = (
+            out.report.files_extracted.clone(),
+            out.report.records_extracted,
+            out.report.samples_extracted,
+            out.report.cache_hits,
+            out.report.cache_misses,
+            out.report.bytes_read,
+        );
+        match &reference {
+            None => reference = Some(key),
+            Some(r) => assert_eq!(&key, r, "stats differ at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn cache_contents_identical_across_thread_counts() {
+    let repo = figure1_repo("par_cache", 512);
+    let mut reference: Option<Vec<((i64, i64), usize)>> = None;
+    for threads in [1usize, 4] {
+        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        wh.query(FIGURE1_Q2).unwrap();
+        let snap: Vec<((i64, i64), usize)> = wh
+            .cache_snapshot()
+            .entries
+            .iter()
+            .map(|e| (e.key, e.rows))
+            .collect();
+        match &reference {
+            None => reference = Some(snap),
+            Some(r) => assert_eq!(&snap, r, "cache contents differ at {threads} threads"),
+        }
+    }
+}
+
+#[test]
+fn warm_cache_serves_hits_regardless_of_threads() {
+    let repo = figure1_repo("par_warm", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(4)).unwrap();
+    let cold = wh.query(FIGURE1_Q1).unwrap();
+    assert!(cold.report.records_extracted > 0);
+    let warm = wh.query(FIGURE1_Q1).unwrap();
+    assert_eq!(warm.report.records_extracted, 0, "warm run extracts nothing");
+    assert!(warm.report.cache_hits > 0);
+    assert_eq!(warm.table.to_ascii(10), cold.table.to_ascii(10));
+}
+
+#[test]
+fn zero_threads_behaves_as_sequential() {
+    // `0` is clamped to the sequential path rather than panicking.
+    let repo = figure1_repo("par_zero", 512);
+    let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(0)).unwrap();
+    let out = wh.query(FIGURE1_Q1).unwrap();
+    assert!(out.report.rows > 0);
+}

@@ -1,0 +1,138 @@
+//! Saved-warehouse lifecycle: persist, reopen without re-ETL, reconcile
+//! repository drift.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q2};
+use lazyetl::core::{save_warehouse, Mode};
+use lazyetl::repo::{updates, Repository};
+use lazyetl::{Warehouse, WarehouseConfig};
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn lazy_save_reopen_identical_answers() {
+    let repo = figure1_repo("saved_lazy", 512);
+    let saved = repo.root.join("_saved");
+    let expected = {
+        let mut wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        let out = wh.query(FIGURE1_Q2).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+        out.table
+    };
+    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(re.mode(), Mode::Lazy);
+    assert_eq!(re.load_report().files, repo.generated.files.len());
+    // Bootstrap read zero repository bytes for unchanged files.
+    assert_eq!(re.load_report().bytes_read, 0);
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table, expected);
+}
+
+#[test]
+fn eager_save_reopen_skips_extraction() {
+    let repo = figure1_repo("saved_eager", 4096);
+    let saved = repo.root.join("_saved");
+    let samples = {
+        let wh = Warehouse::open_eager(&repo.root, cfg()).unwrap();
+        let r = save_warehouse(&wh, &saved).unwrap();
+        assert_eq!(r.tables.len(), 3);
+        wh.load_report().samples_loaded
+    };
+    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(re.mode(), Mode::Eager);
+    assert_eq!(re.load_report().samples_loaded, samples);
+    // No extraction happened during reopen: the ETL log records only the
+    // bootstrap note.
+    assert_eq!(
+        re.etl_log()
+            .count_matching(|op| matches!(op, lazyetl::EtlOp::Extract { .. })),
+        0
+    );
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table.num_rows(), 4);
+}
+
+#[test]
+fn reopen_reconciles_drift() {
+    let repo = figure1_repo("saved_drift", 512);
+    let saved = repo.root.join("_saved");
+    {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+    }
+    // Drift: append to one file and add a brand-new one.
+    let mut r = Repository::open(&repo.root).unwrap();
+    let target = r
+        .files()
+        .iter()
+        .find(|f| f.uri.contains("HGN") && f.uri.contains("BHZ"))
+        .unwrap()
+        .uri
+        .clone();
+    let added_samples = updates::append_records(&mut r, &target, 30, 5).unwrap();
+    let src = lazyetl::mseed::record::SourceId::new("NL", "HGN", "", "BHZ").unwrap();
+    updates::add_file(
+        &mut r,
+        &src,
+        lazyetl::mseed::Timestamp::from_ymd_hms(2010, 1, 13, 0, 0, 0, 0),
+        60,
+        9,
+    )
+    .unwrap();
+
+    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let out = re
+        .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'")
+        .unwrap();
+    let counted = out.table.row(0).unwrap()[0].as_i64().unwrap() as u64;
+    let base: u64 = repo
+        .generated
+        .files
+        .iter()
+        .filter(|f| f.source.station == "HGN" && f.source.channel == "BHZ")
+        .map(|f| f.num_samples as u64)
+        .sum();
+    assert_eq!(
+        counted,
+        base + added_samples as u64 + 2400, // 60 s at 40 Hz new file
+        "reconciled warehouse sees appended + new data"
+    );
+}
+
+#[test]
+fn reopen_reconciles_removed_files() {
+    let repo = figure1_repo("saved_removed", 512);
+    let saved = repo.root.join("_saved");
+    {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+    }
+    // Remove every WTSB file.
+    let r = Repository::open(&repo.root).unwrap();
+    for f in r.files() {
+        if f.uri.contains("WTSB") {
+            std::fs::remove_file(&f.path).unwrap();
+        }
+    }
+    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let out = re
+        .query("SELECT COUNT(*) FROM mseed.files WHERE station = 'WTSB'")
+        .unwrap();
+    assert_eq!(out.table.row(0).unwrap()[0].as_i64().unwrap(), 0);
+    // And Figure-1 Q2 now groups only the remaining three NL stations.
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table.num_rows(), 3);
+}
+
+#[test]
+fn open_saved_rejects_bad_dir() {
+    let repo = figure1_repo("saved_bad", 4096);
+    let missing = repo.root.join("_nope");
+    assert!(Warehouse::open_saved(&repo.root, &missing, cfg()).is_err());
+}

@@ -1,0 +1,436 @@
+//! SQL conformance battery: a matrix of queries through the full lazy
+//! warehouse whose expected answers are computed independently from the
+//! generator's ground truth.
+
+mod common;
+
+use common::figure1_repo;
+use lazyetl::store::Value;
+use lazyetl::{Warehouse, WarehouseConfig};
+
+fn wh() -> (common::TestRepo, Warehouse) {
+    let repo = figure1_repo("conformance", 512);
+    let wh = Warehouse::open_lazy(
+        &repo.root,
+        WarehouseConfig {
+            auto_refresh: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    (repo, wh)
+}
+
+#[test]
+fn scalar_expressions() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query("SELECT 1 + 2 * 3, 10 / 4, 10 % 3, -5, ABS(-2.5), SQRT(16.0), POWER(2, 10)")
+        .unwrap();
+    let row = out.table.row(0).unwrap();
+    assert_eq!(row[0], Value::Int64(7));
+    assert_eq!(row[1], Value::Float64(2.5));
+    assert_eq!(row[2], Value::Int64(1));
+    assert_eq!(row[3], Value::Int64(-5));
+    assert_eq!(row[4], Value::Float64(2.5));
+    assert_eq!(row[5], Value::Float64(4.0));
+    assert_eq!(row[6], Value::Float64(1024.0));
+}
+
+#[test]
+fn string_functions_and_like() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT station, LOWER(station), LENGTH(station) FROM mseed.files \
+             WHERE station LIKE 'I%' GROUP BY station",
+        )
+        .unwrap();
+    assert_eq!(out.table.num_rows(), 1);
+    let row = out.table.row(0).unwrap();
+    assert_eq!(row[0], Value::Utf8("ISK".into()));
+    assert_eq!(row[1], Value::Utf8("isk".into()));
+    assert_eq!(row[2], Value::Int64(3));
+}
+
+#[test]
+fn aggregates_against_ground_truth() {
+    let (repo, mut wh) = wh();
+    // COUNT(*) over records must equal generator record count per file sum.
+    let out = wh.query("SELECT COUNT(*) FROM mseed.records").unwrap();
+    let total_records = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    assert!(total_records > 0);
+    // SUM of per-file num_samples equals total generated samples.
+    let out = wh
+        .query("SELECT SUM(num_samples) FROM mseed.files")
+        .unwrap();
+    assert_eq!(
+        out.table.row(0).unwrap()[0].as_i64().unwrap() as u64,
+        repo.generated.total_samples
+    );
+    // MIN/MAX/AVG relationships.
+    let out = wh
+        .query("SELECT MIN(size), MAX(size), AVG(size), COUNT(*) FROM mseed.files")
+        .unwrap();
+    let row = out.table.row(0).unwrap();
+    let (min, max, avg) = (
+        row[0].as_f64().unwrap(),
+        row[1].as_f64().unwrap(),
+        row[2].as_f64().unwrap(),
+    );
+    assert!(min <= avg && avg <= max);
+    assert_eq!(row[3].as_i64().unwrap() as usize, repo.generated.files.len());
+}
+
+#[test]
+fn group_by_having_order_limit() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT station, COUNT(*) AS files FROM mseed.files \
+             GROUP BY station HAVING COUNT(*) >= 2 \
+             ORDER BY files DESC, station ASC LIMIT 3",
+        )
+        .unwrap();
+    assert!(out.table.num_rows() <= 3);
+    // Descending counts, station ascending within ties.
+    let mut last: Option<(i64, String)> = None;
+    for i in 0..out.table.num_rows() {
+        let row = out.table.row(i).unwrap();
+        let count = row[1].as_i64().unwrap();
+        let station = row[0].as_str().unwrap().to_string();
+        assert!(count >= 2);
+        if let Some((lc, ls)) = &last {
+            assert!(count < *lc || (count == *lc && station > *ls));
+        }
+        last = Some((count, station));
+    }
+}
+
+#[test]
+fn distinct_and_in_lists() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query("SELECT DISTINCT channel FROM mseed.files ORDER BY channel")
+        .unwrap();
+    assert_eq!(out.table.num_rows(), 2); // BHZ + BHE
+    let out = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files WHERE station IN ('ISK', 'HGN') \
+             AND channel NOT IN ('BHN')",
+        )
+        .unwrap();
+    let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    assert_eq!(n, 8); // 2 stations x 2 channels x 2 files
+}
+
+#[test]
+fn between_and_timestamp_literals() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.records \
+             WHERE start_time BETWEEN '2010-01-12T22:10:00' AND '2010-01-12T22:15:00'",
+        )
+        .unwrap();
+    let in_window = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    assert!(in_window > 0);
+    let out = wh
+        .query("SELECT COUNT(*) FROM mseed.records WHERE start_time > '2031-01-01'")
+        .unwrap();
+    assert_eq!(out.table.row(0).unwrap()[0], Value::Int64(0));
+}
+
+#[test]
+fn arithmetic_on_columns_and_aliases() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT uri, size / 1024 AS kib, num_records * 2 AS doubled \
+             FROM mseed.files ORDER BY uri LIMIT 1",
+        )
+        .unwrap();
+    let row = out.table.row(0).unwrap();
+    assert!(row[1].as_f64().unwrap() > 0.0);
+    assert_eq!(
+        row[2].as_i64().unwrap() % 2,
+        0,
+        "doubling yields even numbers"
+    );
+}
+
+#[test]
+fn count_distinct_and_star() {
+    let (repo, mut wh) = wh();
+    let out = wh
+        .query("SELECT COUNT(*), COUNT(DISTINCT station), COUNT(DISTINCT network) FROM mseed.files")
+        .unwrap();
+    let row = out.table.row(0).unwrap();
+    assert_eq!(
+        row[0].as_i64().unwrap() as usize,
+        repo.generated.files.len()
+    );
+    assert_eq!(row[1], Value::Int64(5));
+    assert_eq!(row[2], Value::Int64(2)); // NL + KO
+}
+
+#[test]
+fn joins_with_explicit_syntax() {
+    let (_r, mut wh) = wh();
+    // Join F and R explicitly (not through the view).
+    let out = wh
+        .query(
+            "SELECT f.station, COUNT(*) AS recs \
+             FROM mseed.files f JOIN mseed.records r ON f.file_id = r.file_id \
+             WHERE f.channel = 'BHE' GROUP BY f.station ORDER BY f.station",
+        )
+        .unwrap();
+    assert_eq!(out.table.num_rows(), 5);
+    for i in 0..out.table.num_rows() {
+        assert!(out.table.row(i).unwrap()[1].as_i64().unwrap() > 0);
+    }
+}
+
+#[test]
+fn nulls_in_aggregates_and_filters() {
+    let (_r, mut wh) = wh();
+    // location is empty string (not NULL) in our generator; test IS NULL
+    // machinery via a NULL-producing expression instead.
+    let out = wh
+        .query("SELECT COUNT(*) FROM mseed.files WHERE size / 0 IS NULL")
+        .unwrap();
+    let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    // x/0 -> NULL for every row.
+    let out2 = wh.query("SELECT COUNT(*) FROM mseed.files").unwrap();
+    assert_eq!(n, out2.table.row(0).unwrap()[0].as_i64().unwrap());
+}
+
+#[test]
+fn error_paths_are_errors_not_panics() {
+    let (_r, mut wh) = wh();
+    for bad in [
+        "SELECT nothere FROM mseed.files",
+        "SELECT * FROM missing_table",
+        "SELECT COUNT(*) FROM mseed.files WHERE station = ", // parse error
+        "SELECT station FROM mseed.files GROUP BY", // parse error
+        "SELECT MIN(*) FROM mseed.files",
+        "SELECT station FROM mseed.files HAVING COUNT(*) > 1", // having without group by is ok-ish? we reject w/o aggregate context
+    ] {
+        let res = wh.query(bad);
+        assert!(res.is_err(), "expected error for {bad:?}");
+    }
+}
+
+#[test]
+fn dataview_wildcard_and_qualified_stars() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query("SELECT * FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE' LIMIT 5")
+        .unwrap();
+    assert_eq!(out.table.num_rows(), 5);
+    // The universal table exposes all three tables' columns.
+    let names: Vec<String> = out
+        .table
+        .schema
+        .fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    assert!(names.contains(&"f.station".to_string()));
+    assert!(names.contains(&"r.start_time".to_string()));
+    assert!(names.contains(&"d.sample_value".to_string()));
+}
+
+#[test]
+fn order_by_expression_and_desc_nulls() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query("SELECT uri, size FROM mseed.files ORDER BY size DESC, uri LIMIT 4")
+        .unwrap();
+    let mut last = i64::MAX;
+    for i in 0..out.table.num_rows() {
+        let s = out.table.row(i).unwrap()[1].as_i64().unwrap();
+        assert!(s <= last);
+        last = s;
+    }
+}
+
+#[test]
+fn or_predicates_on_metadata() {
+    // OR cannot be pushed as a simple conjunct; correctness must not
+    // depend on pushdown.
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files \
+             WHERE station = 'HGN' OR station = 'ISK'",
+        )
+        .unwrap();
+    let both = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    let hgn = wh
+        .query("SELECT COUNT(*) FROM mseed.files WHERE station = 'HGN'")
+        .unwrap()
+        .table
+        .row(0)
+        .unwrap()[0]
+        .as_i64()
+        .unwrap();
+    let isk = wh
+        .query("SELECT COUNT(*) FROM mseed.files WHERE station = 'ISK'")
+        .unwrap()
+        .table
+        .row(0)
+        .unwrap()[0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(both, hgn + isk);
+    assert!(both > 0);
+}
+
+#[test]
+fn not_and_de_morgan_agree() {
+    let (_r, mut wh) = wh();
+    let a = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files \
+             WHERE NOT (station = 'HGN' OR channel = 'BHE')",
+        )
+        .unwrap();
+    let b = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files \
+             WHERE station <> 'HGN' AND channel <> 'BHE'",
+        )
+        .unwrap();
+    assert_eq!(
+        a.table.row(0).unwrap()[0],
+        b.table.row(0).unwrap()[0],
+        "De Morgan equivalence"
+    );
+}
+
+#[test]
+fn group_by_multiple_keys() {
+    let (r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT station, channel, COUNT(*) AS files FROM mseed.files \
+             GROUP BY station, channel ORDER BY station, channel",
+        )
+        .unwrap();
+    // Ground truth: 5 stations x 2 channels, files_per_stream files each.
+    assert_eq!(out.table.num_rows(), 10);
+    for i in 0..out.table.num_rows() {
+        assert_eq!(
+            out.table.row(i).unwrap()[2],
+            Value::Int64(r.config.files_per_stream as i64)
+        );
+    }
+}
+
+#[test]
+fn having_on_aggregate_not_in_select() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT station FROM mseed.files GROUP BY station \
+             HAVING COUNT(*) >= 4 ORDER BY station",
+        )
+        .unwrap();
+    // Every station has 2 channels x 2 files = 4 files.
+    assert_eq!(out.table.num_rows(), 5);
+}
+
+#[test]
+fn limit_edge_cases() {
+    let (_r, mut wh) = wh();
+    let zero = wh.query("SELECT uri FROM mseed.files LIMIT 0").unwrap();
+    assert_eq!(zero.table.num_rows(), 0);
+    let all = wh.query("SELECT uri FROM mseed.files").unwrap();
+    let huge = wh
+        .query("SELECT uri FROM mseed.files LIMIT 1000000")
+        .unwrap();
+    assert_eq!(all.table.num_rows(), huge.table.num_rows());
+}
+
+#[test]
+fn top_n_over_data_is_lazy_and_correct() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT D.sample_time, D.sample_value FROM mseed.dataview \
+             WHERE F.station = 'ISK' AND F.channel = 'BHE' AND R.seq_no = 1 \
+             ORDER BY D.sample_value DESC LIMIT 5",
+        )
+        .unwrap();
+    assert_eq!(out.table.num_rows(), 5);
+    let mut last = f64::INFINITY;
+    for i in 0..5 {
+        let v = out.table.row(i).unwrap()[1].as_f64().unwrap();
+        assert!(v <= last, "descending order");
+        last = v;
+    }
+    // Only the one ISK.BHE stream was touched.
+    for uri in &out.report.files_extracted {
+        assert!(uri.contains("ISK"), "{uri} extracted needlessly");
+    }
+}
+
+#[test]
+fn coalesce_and_is_not_null_end_to_end() {
+    let (_r, mut wh) = wh();
+    let out = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files \
+             WHERE COALESCE(station, 'missing') IS NOT NULL",
+        )
+        .unwrap();
+    let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
+    let total = wh
+        .query("SELECT COUNT(*) FROM mseed.files")
+        .unwrap()
+        .table
+        .row(0)
+        .unwrap()[0]
+        .as_i64()
+        .unwrap();
+    assert_eq!(n, total);
+}
+
+#[test]
+fn select_without_from() {
+    let (_r, mut wh) = wh();
+    let out = wh.query("SELECT 1 + 1, 'x', ABS(-3)").unwrap();
+    assert_eq!(out.table.num_rows(), 1);
+    let row = out.table.row(0).unwrap();
+    assert_eq!(row[0], Value::Int64(2));
+    assert_eq!(row[1], Value::Utf8("x".into()));
+    assert_eq!(row[2], Value::Int64(3));
+}
+
+#[test]
+fn not_in_and_not_between() {
+    let (_r, mut wh) = wh();
+    let not_in = wh
+        .query(
+            "SELECT COUNT(*) FROM mseed.files \
+             WHERE station NOT IN ('HGN', 'ISK')",
+        )
+        .unwrap();
+    let total = wh.query("SELECT COUNT(*) FROM mseed.files").unwrap();
+    let in_list = wh
+        .query("SELECT COUNT(*) FROM mseed.files WHERE station IN ('HGN', 'ISK')")
+        .unwrap();
+    assert_eq!(
+        not_in.table.row(0).unwrap()[0].as_i64().unwrap()
+            + in_list.table.row(0).unwrap()[0].as_i64().unwrap(),
+        total.table.row(0).unwrap()[0].as_i64().unwrap()
+    );
+    let nb = wh
+        .query("SELECT COUNT(*) FROM mseed.records WHERE seq_no NOT BETWEEN 2 AND 1000000")
+        .unwrap();
+    let b1 = wh
+        .query("SELECT COUNT(*) FROM mseed.records WHERE seq_no = 1")
+        .unwrap();
+    assert_eq!(nb.table.row(0).unwrap()[0], b1.table.row(0).unwrap()[0]);
+}
