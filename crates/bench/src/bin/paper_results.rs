@@ -1,5 +1,5 @@
 //! The experiment harness: regenerates every table/series of the paper's
-//! evaluation narrative (see DESIGN.md, "Experiment inventory").
+//! evaluation narrative (see ARCHITECTURE.md, "Experiment inventory").
 //!
 //! ```sh
 //! cargo run --release -p lazyetl-bench --bin paper_results            # all, small scale
@@ -7,7 +7,7 @@
 //! cargo run --release -p lazyetl-bench --bin paper_results -- all medium
 //! ```
 //!
-//! Output is markdown-ish text; EXPERIMENTS.md embeds a captured run.
+//! Output is markdown-ish text, suitable for pasting into reports.
 
 use lazyetl_bench::*;
 use lazyetl_core::{Warehouse, WarehouseConfig};
@@ -193,7 +193,7 @@ fn e4_selectivity(scale: ScaleName) {
         &rows,
     );
 
-    // Ablations called out in DESIGN.md: metadata-predicates-first and
+    // Ablations called out in ARCHITECTURE.md: metadata-predicates-first and
     // record-level pruning, measured on the most selective query.
     let sql = FIGURE1_Q1;
     let mut ablation_rows = Vec::new();

@@ -1,6 +1,6 @@
 //! Shared infrastructure for the experiment harness.
 //!
-//! Every experiment in EXPERIMENTS.md runs against repositories built
+//! Every experiment in ARCHITECTURE.md’s inventory runs against repositories built
 //! here. Generation is deterministic, so repositories are cached on disk
 //! (keyed by their parameters) and reused across bench invocations.
 

@@ -11,9 +11,9 @@
 //! * [`encoding`] — plain big-endian codecs and the encoding registry;
 //! * [`read`] — full record iteration **and** the metadata-only scan that
 //!   makes lazy initial loading cheap;
-//! * [`write`] — serialization of sample streams into fixed-length records;
+//! * [`mod@write`] — serialization of sample streams into fixed-length records;
 //! * [`gen`] — deterministic synthetic repository generation (substitute
-//!   for the paper's ORFEUS data, see DESIGN.md);
+//!   for the paper’s ORFEUS data, see ARCHITECTURE.md);
 //! * [`inventory`] — the demo station inventory, including the streams the
 //!   paper's Figure 1 queries reference;
 //! * [`sac`] — the SAC binary waveform format (second scientific format,

@@ -204,7 +204,7 @@ pub fn scan_metadata(buf: &[u8]) -> Result<FileScan> {
 
 /// Metadata-only scan of a file on disk, seeking over payloads.
 ///
-/// Reads [`SCAN_PREFIX`] bytes per record and then `seek`s to the next
+/// Reads `SCAN_PREFIX` bytes per record and then `seek`s to the next
 /// record, so I/O is proportional to the record *count*, not the file size.
 pub fn scan_metadata_file(path: &Path) -> Result<FileScan> {
     let mut file = std::fs::File::open(path)?;

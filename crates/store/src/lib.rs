@@ -5,7 +5,7 @@
 //!
 //! * [`types`] — logical types and scalar [`types::Value`]s with SQL
 //!   three-valued comparison semantics;
-//! * [`column`] — typed columns with validity masks (the BAT analogue);
+//! * [`mod@column`] — typed columns with validity masks (the BAT analogue);
 //! * [`schema`] / [`table`] — schemas and equal-length column collections;
 //! * [`catalog`] — named tables, **non-materialized views** (the lazy
 //!   transformation vehicle) and foreign-key metadata;

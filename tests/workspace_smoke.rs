@@ -1,0 +1,62 @@
+//! Workspace-wiring smoke test: every layer of the stack is reachable
+//! through the `lazyetl` umbrella crate alone — generate a tiny synthetic
+//! mSEED repository, attach it lazily, and run the paper's Figure-1 query
+//! end to end. If crate re-exports, dependency edges, or the manifests
+//! regress, this is the test that fails first.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::core::warehouse::{Warehouse, WarehouseConfig};
+use lazyetl::store::Value;
+
+#[test]
+fn umbrella_crate_runs_figure1_end_to_end() {
+    // 1. Generate a tiny repository through `lazyetl::mseed` re-exports.
+    let repo = figure1_repo("workspace_smoke", 512);
+    assert!(
+        !repo.generated.files.is_empty(),
+        "generator produced files on disk"
+    );
+
+    // 2. Attach lazily through the umbrella facade: metadata only.
+    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default())
+        .expect("lazy attach reads only metadata");
+    let loaded = wh.load_report().clone();
+    assert_eq!(loaded.files, repo.generated.files.len());
+    assert!(
+        loaded.bytes_read < repo.generated.total_bytes,
+        "lazy attach must not read whole files ({} of {} bytes)",
+        loaded.bytes_read,
+        repo.generated.total_bytes,
+    );
+
+    // 3. Figure 1, query 1: a two-second window on one station/channel.
+    let q1 = wh.query(FIGURE1_Q1).expect("Q1 runs");
+    assert_eq!(q1.table.num_rows(), 1, "single aggregate row");
+    match q1.table.columns[0].get(0).unwrap() {
+        Value::Float64(avg) => assert!(avg.is_finite(), "AVG is a number: {avg}"),
+        other => panic!("AVG column should be Float64, got {other:?}"),
+    }
+    assert!(
+        !q1.report.files_extracted.is_empty(),
+        "the window forces extraction of at least one file"
+    );
+    assert!(
+        (q1.report.files_extracted.len() as usize) < repo.generated.files.len(),
+        "lazy extraction touches a strict subset of the repository"
+    );
+
+    // 4. Figure 1, query 2: grouped amplitude range over the NL network.
+    let q2 = wh.query(FIGURE1_Q2).expect("Q2 runs");
+    assert_eq!(q2.table.num_rows(), 4, "one row per NL station");
+
+    // 5. The recycler makes the repeated query cheaper: no new extraction.
+    let q2_again = wh.query(FIGURE1_Q2).expect("Q2 reruns");
+    assert_eq!(
+        q2_again.report.files_extracted.len(),
+        0,
+        "second run is served from cache/warehouse, not the repository"
+    );
+    assert_eq!(q2_again.table.num_rows(), q2.table.num_rows());
+}

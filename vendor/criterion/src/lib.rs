@@ -1,0 +1,379 @@
+//! Offline stand-in for the `criterion` benchmark harness (0.5 API subset).
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of criterion's API the 11 benches in `crates/bench/benches` use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`], and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! It really measures: each benchmark is warmed up once, then timed over a
+//! capped number of wall-clock-bounded samples, and a `median / mean /
+//! throughput` line is printed. There is no statistical regression
+//! analysis, plotting, or HTML report — the goal is that `cargo bench`
+//! produces honest relative numbers and `cargo bench --no-run` compiles
+//! everything, with zero external dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost (accepted for API
+/// compatibility; this harness always times routine-only, per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One fresh input per timed iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements (samples, rows, …) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, e.g. `decode/steim2`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter, e.g. `4` for a thread count.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark id is expected (`&str`, `String`,
+/// or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Render to the display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; drives the timing loop.
+pub struct Bencher {
+    samples: usize,
+    max_time: Duration,
+    /// Collected per-iteration durations.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up iteration, untimed.
+        black_box(routine());
+        let deadline = Instant::now() + self.max_time;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + self.max_time;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.times.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`] but the routine borrows the input.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        black_box(routine(&mut setup()));
+        let deadline = Instant::now() + self.max_time;
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t0 = Instant::now();
+            black_box(routine(&mut input));
+            self.times.push(t0.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, id: &str, times: &[Duration], throughput: Option<Throughput>) {
+    if times.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let mut line = format!(
+        "{group}/{id}: median {} mean {} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        sorted.len()
+    );
+    if let Some(tp) = throughput {
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" — {:.3} Melem/s", n as f64 / secs / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" — {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    max_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Declare the units processed per iteration (reported as a rate).
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            max_time: self.max_time,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id, &b.times, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterised over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            max_time: self.max_time,
+            times: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&self.name, &id, &b.times, self.throughput);
+        self
+    }
+
+    /// Finish the group (upstream emits a summary; here a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    max_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            max_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line configuration. This harness recognises none and
+    /// ignores the filter argument `cargo bench` forwards.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default number of timed samples for benches in this run.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, max_time) = (self.sample_size, self.max_time);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            max_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.benchmark_group(id.clone()).bench_function("base", f);
+        self
+    }
+
+    /// Emit the final summary (upstream prints statistics; here a no-op).
+    pub fn final_summary(&self) {}
+}
+
+/// Define a group function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_square(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function("square", |b| b.iter(|| black_box(3u64) * black_box(3u64)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * n, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_square);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("decode", "steim2").into_id(), "decode/steim2");
+        assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
+    }
+}
