@@ -36,8 +36,7 @@ fn bench_ablations(c: &mut Criterion) {
         ("no-metadata-first", false, true),
         ("no-record-pruning", true, false),
     ] {
-        let mut wh =
-            Warehouse::open_lazy(&repo, config(meta_first, pruning)).expect("attach");
+        let wh = Warehouse::open_lazy(&repo, config(meta_first, pruning)).expect("attach");
         group.bench_function(label, |b| {
             b.iter(|| {
                 let out = wh.query(black_box(FIGURE1_Q1)).expect("query");

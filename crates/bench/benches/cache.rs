@@ -5,14 +5,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lazyetl_bench::{scale_repo, selectivity_query, ScaleName};
 use lazyetl_core::{RecyclingCache, Warehouse, WarehouseConfig};
 use lazyetl_mseed::Timestamp;
-use lazyetl_store::{ColumnData, Column, Schema, Field, DataType, Table};
+use lazyetl_store::{Column, ColumnData, DataType, Field, Schema, Table};
 use std::sync::Arc;
 
 fn bench_cache_budgets(c: &mut Criterion) {
     let dir = scale_repo(ScaleName::Small);
     let sql = selectivity_query(3);
     // Size the working set once.
-    let mut probe = Warehouse::open_lazy(
+    let probe = Warehouse::open_lazy(
         &dir,
         WarehouseConfig {
             auto_refresh: false,
@@ -31,7 +31,7 @@ fn bench_cache_budgets(c: &mut Criterion) {
         ("half", working_set / 2),
         ("tenth", working_set / 10),
     ] {
-        let mut wh = Warehouse::open_lazy(
+        let wh = Warehouse::open_lazy(
             &dir,
             WarehouseConfig {
                 cache_budget_bytes: budget,
@@ -65,7 +65,7 @@ fn bench_cache_ops(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("insert_evict_cycle", |b| {
         // Budget of 100 entries: every insert past 100 evicts one.
-        let mut cache = RecyclingCache::new(entry_bytes * 100);
+        let cache = RecyclingCache::new(entry_bytes * 100);
         let mut i = 0i64;
         b.iter(|| {
             cache.insert((i, 0), table.clone(), mt);
@@ -73,7 +73,7 @@ fn bench_cache_ops(c: &mut Criterion) {
         })
     });
     group.bench_function("hit", |b| {
-        let mut cache = RecyclingCache::new(entry_bytes * 100);
+        let cache = RecyclingCache::new(entry_bytes * 100);
         for i in 0..100i64 {
             cache.insert((i, 0), table.clone(), mt);
         }

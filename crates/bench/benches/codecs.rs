@@ -34,24 +34,14 @@ fn bench_codecs(c: &mut Criterion) {
         DataEncoding::Steim2,
         DataEncoding::Int32,
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("encode", enc.name()),
-            &enc,
-            |b, &enc| {
-                b.iter(|| {
-                    encode(enc, &SamplesRef::Ints(black_box(&samples)), 0, 1 << 22).unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("encode", enc.name()), &enc, |b, &enc| {
+            b.iter(|| encode(enc, &SamplesRef::Ints(black_box(&samples)), 0, 1 << 22).unwrap())
+        });
         let encoded = encode(enc, &SamplesRef::Ints(&samples), 0, 1 << 22).unwrap();
         assert_eq!(encoded.samples_encoded, samples.len());
-        group.bench_with_input(
-            BenchmarkId::new("decode", enc.name()),
-            &enc,
-            |b, &enc| {
-                b.iter(|| decode(enc, black_box(&encoded.bytes), samples.len()).unwrap())
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("decode", enc.name()), &enc, |b, &enc| {
+            b.iter(|| decode(enc, black_box(&encoded.bytes), samples.len()).unwrap())
+        });
     }
     group.finish();
 

@@ -18,7 +18,7 @@ fn bench_figure1(c: &mut Criterion) {
     group.sample_size(10);
     for (name, sql) in [("q1", FIGURE1_Q1), ("q2", FIGURE1_Q2)] {
         // Eager: load once outside the measurement, query repeatedly.
-        let mut eager = Warehouse::open_eager(&dir, cfg()).unwrap();
+        let eager = Warehouse::open_eager(&dir, cfg()).unwrap();
         group.bench_with_input(BenchmarkId::new("eager_resident", name), &sql, |b, sql| {
             b.iter(|| eager.query(sql).unwrap())
         });
@@ -27,12 +27,12 @@ fn bench_figure1(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("lazy_cold", name), &sql, |b, sql| {
             b.iter_batched(
                 || Warehouse::open_lazy(&dir, cfg()).unwrap(),
-                |mut wh| wh.query(sql).unwrap(),
+                |wh| wh.query(sql).unwrap(),
                 BatchSize::PerIteration,
             )
         });
         // Lazy warm: one warehouse, cache populated by a warm-up query.
-        let mut warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
+        let warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
         warm.query(sql).unwrap();
         group.bench_with_input(BenchmarkId::new("lazy_warm", name), &sql, |b, sql| {
             b.iter(|| warm.query(sql).unwrap())

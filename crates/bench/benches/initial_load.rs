@@ -19,16 +19,12 @@ fn bench_initial_load(c: &mut Criterion) {
     group.sample_size(10);
     for scale in [ScaleName::Tiny, ScaleName::Small, ScaleName::Medium] {
         let dir = scale_repo(scale);
-        group.bench_with_input(
-            BenchmarkId::new("lazy", scale.label()),
-            &dir,
-            |b, dir| b.iter(|| Warehouse::open_lazy(dir, cfg()).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eager", scale.label()),
-            &dir,
-            |b, dir| b.iter(|| Warehouse::open_eager(dir, cfg()).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("lazy", scale.label()), &dir, |b, dir| {
+            b.iter(|| Warehouse::open_lazy(dir, cfg()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("eager", scale.label()), &dir, |b, dir| {
+            b.iter(|| Warehouse::open_eager(dir, cfg()).unwrap())
+        });
     }
     group.finish();
 }

@@ -15,15 +15,14 @@ use std::hint::black_box;
 
 /// Touches every file (seq_no 1 exists in each) but keeps the result and
 /// the downstream join/aggregate small.
-const SWEEP: &str =
-    "SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE R.seq_no = 1";
+const SWEEP: &str = "SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE R.seq_no = 1";
 
 fn bench_parallel(c: &mut Criterion) {
     let repo = scale_repo(ScaleName::Medium);
     let mut group = c.benchmark_group("parallel_extraction");
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
-        let mut wh = Warehouse::open_lazy(
+        let wh = Warehouse::open_lazy(
             &repo,
             WarehouseConfig {
                 auto_refresh: false,
@@ -33,16 +32,12 @@ fn bench_parallel(c: &mut Criterion) {
             },
         )
         .expect("attach");
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    let out = wh.query(black_box(SWEEP)).expect("query");
-                    black_box(out.report.samples_extracted)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let out = wh.query(black_box(SWEEP)).expect("query");
+                black_box(out.report.samples_extracted)
+            })
+        });
     }
     group.finish();
 }

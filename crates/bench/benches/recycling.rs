@@ -42,7 +42,7 @@ fn bench_recycling(c: &mut Criterion) {
         ),
     ];
     for (label, cfg) in variants {
-        let mut wh = Warehouse::open_lazy(&repo, cfg).expect("attach");
+        let wh = Warehouse::open_lazy(&repo, cfg).expect("attach");
         // Warm both cache levels before measuring.
         wh.query(FIGURE1_Q2).expect("warmup");
         group.bench_function(label, |b| {

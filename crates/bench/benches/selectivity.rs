@@ -18,7 +18,7 @@ fn bench_selectivity(c: &mut Criterion) {
     let dir = scale_repo(ScaleName::Small);
     let mut group = c.benchmark_group("selectivity");
     group.sample_size(10);
-    let mut eager = Warehouse::open_eager(&dir, cfg()).unwrap();
+    let eager = Warehouse::open_eager(&dir, cfg()).unwrap();
     for k in [1usize, 2, 3, 4, 5] {
         let sql = selectivity_query(k);
         group.bench_with_input(
@@ -27,7 +27,7 @@ fn bench_selectivity(c: &mut Criterion) {
             |b, sql| {
                 b.iter_batched(
                     || Warehouse::open_lazy(&dir, cfg()).unwrap(),
-                    |mut wh| wh.query(sql).unwrap(),
+                    |wh| wh.query(sql).unwrap(),
                     BatchSize::PerIteration,
                 )
             },

@@ -24,27 +24,39 @@ fn bench_hunt(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("end_to_end", "lazy_cold"), |b| {
         b.iter_batched(
             || Warehouse::open_lazy(&dir, cfg()).unwrap(),
-            |mut wh| {
+            |wh| {
                 hunt_events(
-                    &mut wh, "ISK", "BHE",
-                    "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+                    &wh,
+                    "ISK",
+                    "BHE",
+                    "2010-01-12T22:00:00",
+                    "2010-01-12T23:00:00",
+                    &detector,
                 )
                 .unwrap()
             },
             BatchSize::PerIteration,
         )
     });
-    let mut warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
+    let warm = Warehouse::open_lazy(&dir, cfg()).unwrap();
     hunt_events(
-        &mut warm, "ISK", "BHE",
-        "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+        &warm,
+        "ISK",
+        "BHE",
+        "2010-01-12T22:00:00",
+        "2010-01-12T23:00:00",
+        &detector,
     )
     .unwrap();
     group.bench_function(BenchmarkId::new("end_to_end", "lazy_warm"), |b| {
         b.iter(|| {
             hunt_events(
-                &mut warm, "ISK", "BHE",
-                "2010-01-12T22:00:00", "2010-01-12T23:00:00", &detector,
+                &warm,
+                "ISK",
+                "BHE",
+                "2010-01-12T22:00:00",
+                "2010-01-12T23:00:00",
+                &detector,
             )
             .unwrap()
         })

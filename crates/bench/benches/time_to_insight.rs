@@ -21,13 +21,13 @@ fn bench_time_to_insight(c: &mut Criterion) {
     for (name, sql) in [("metadata", METADATA_QUERY), ("figure1_q1", FIGURE1_Q1)] {
         group.bench_with_input(BenchmarkId::new("lazy", name), &sql, |b, sql| {
             b.iter(|| {
-                let mut wh = Warehouse::open_lazy(&dir, cfg()).unwrap();
+                let wh = Warehouse::open_lazy(&dir, cfg()).unwrap();
                 wh.query(sql).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("eager", name), &sql, |b, sql| {
             b.iter(|| {
-                let mut wh = Warehouse::open_eager(&dir, cfg()).unwrap();
+                let wh = Warehouse::open_eager(&dir, cfg()).unwrap();
                 wh.query(sql).unwrap()
             })
         });

@@ -23,8 +23,11 @@ struct Prepared {
 
 fn prepare(src: &PathBuf, eager: bool, round: &mut u64) -> Prepared {
     *round += 1;
-    let dir = mutable_copy(src, &format!("bench_{}_{round}", if eager { "e" } else { "l" }));
-    let mut wh = if eager {
+    let dir = mutable_copy(
+        src,
+        &format!("bench_{}_{round}", if eager { "e" } else { "l" }),
+    );
+    let wh = if eager {
         Warehouse::open_eager(&dir, cfg()).unwrap()
     } else {
         Warehouse::open_lazy(&dir, cfg()).unwrap()
@@ -50,7 +53,7 @@ fn bench_updates(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("refresh_query", "lazy"), |b| {
         b.iter_batched(
             || prepare(&src, false, &mut round),
-            |mut p| {
+            |p| {
                 let out = p.wh.query(METADATA_QUERY).unwrap();
                 std::fs::remove_dir_all(&p.dir).ok();
                 out
@@ -62,7 +65,7 @@ fn bench_updates(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("refresh_query", "eager"), |b| {
         b.iter_batched(
             || prepare(&src, true, &mut round),
-            |mut p| {
+            |p| {
                 let out = p.wh.query(METADATA_QUERY).unwrap();
                 std::fs::remove_dir_all(&p.dir).ok();
                 out

@@ -9,10 +9,13 @@
 //!
 //! Output is markdown-ish text, suitable for pasting into reports.
 
+use lazyetl_bench::concurrent::{run_concurrent_mix, ConcurrentConfig};
+use lazyetl_bench::json::{write_bench_file, Json};
 use lazyetl_bench::*;
 use lazyetl_core::{Warehouse, WarehouseConfig};
 use lazyetl_repo::{updates, AccessProfile, Repository};
 use lazyetl_store::persist;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn base_config() -> WarehouseConfig {
@@ -25,7 +28,12 @@ fn base_config() -> WarehouseConfig {
 /// E1: initial loading time, eager vs lazy, sweeping repository size.
 fn e1_initial_load() {
     let mut rows = Vec::new();
-    for scale in [ScaleName::Tiny, ScaleName::Small, ScaleName::Medium, ScaleName::Large] {
+    for scale in [
+        ScaleName::Tiny,
+        ScaleName::Small,
+        ScaleName::Medium,
+        ScaleName::Large,
+    ] {
         let dir = scale_repo(scale);
         let repo = Repository::open(&dir).expect("repo opens");
         let files = repo.len();
@@ -40,11 +48,18 @@ fn e1_initial_load() {
             fmt_bytes(bytes),
             fmt_dur(t_eager),
             fmt_dur(t_lazy),
-            format!("{:.0}x", t_eager.as_secs_f64() / t_lazy.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}x",
+                t_eager.as_secs_f64() / t_lazy.as_secs_f64().max(1e-9)
+            ),
             fmt_bytes(eager.load_report().bytes_read),
             fmt_bytes(lazy.load_report().bytes_read),
-            fmt_dur(wan.cost(eager.load_report().bytes_read) + Duration::from_millis(20) * files as u32),
-            fmt_dur(wan.cost(lazy.load_report().bytes_read) + Duration::from_millis(20) * files as u32),
+            fmt_dur(
+                wan.cost(eager.load_report().bytes_read) + Duration::from_millis(20) * files as u32,
+            ),
+            fmt_dur(
+                wan.cost(lazy.load_report().bytes_read) + Duration::from_millis(20) * files as u32,
+            ),
         ]);
     }
     print_table(
@@ -125,10 +140,14 @@ fn e2_storage(scale: ScaleName) {
 fn e3_figure1(scale: ScaleName) {
     let dir = scale_repo(scale);
     let mut rows = Vec::new();
-    for (name, sql) in [("Q1 (2s STA window)", FIGURE1_Q1), ("Q2 (min/max per NL station)", FIGURE1_Q2)] {
-        let mut eager = Warehouse::open_eager(&dir, base_config()).unwrap();
+    let mut json_rows = Vec::new();
+    for (name, sql) in [
+        ("Q1 (2s STA window)", FIGURE1_Q1),
+        ("Q2 (min/max per NL station)", FIGURE1_Q2),
+    ] {
+        let eager = Warehouse::open_eager(&dir, base_config()).unwrap();
         let (eo, t_eager) = time(|| eager.query(sql).unwrap());
-        let mut lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
+        let lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
         let (lo, t_cold) = time(|| lazy.query(sql).unwrap());
         let (lw, t_warm) = time(|| lazy.query(sql).unwrap());
         assert_eq!(eo.table.num_rows(), lo.table.num_rows());
@@ -141,21 +160,42 @@ fn e3_figure1(scale: ScaleName) {
             lo.report.records_extracted.to_string(),
             format!("{}", lw.report.cache_hits),
         ]);
+        json_rows.push(Json::obj([
+            ("query", Json::str(name)),
+            ("eager_us", Json::Int(t_eager.as_micros() as i64)),
+            ("lazy_cold_us", Json::Int(t_cold.as_micros() as i64)),
+            ("lazy_warm_us", Json::Int(t_warm.as_micros() as i64)),
+            (
+                "files_extracted",
+                Json::Int(lo.report.files_extracted.len() as i64),
+            ),
+            (
+                "records_extracted",
+                Json::Int(lo.report.records_extracted as i64),
+            ),
+            ("warm_cache_hits", Json::Int(lw.report.cache_hits as i64)),
+        ]));
     }
     print_table(
         &format!("E3 — Figure-1 query latency ({} scale)", scale.label()),
         &[
-            "query", "eager (resident)", "lazy cold", "lazy warm",
-            "files extracted", "records extracted", "warm cache hits",
+            "query",
+            "eager (resident)",
+            "lazy cold",
+            "lazy warm",
+            "files extracted",
+            "records extracted",
+            "warm cache hits",
         ],
         &rows,
     );
+    emit_json("e3", scale, json_rows);
 }
 
 /// E4: selectivity sweep — lazy extraction cost vs fraction touched.
 fn e4_selectivity(scale: ScaleName) {
     let dir = scale_repo(scale);
-    let mut eager = Warehouse::open_eager(&dir, base_config()).unwrap();
+    let eager = Warehouse::open_eager(&dir, base_config()).unwrap();
     let eager_load = eager.load_report().elapsed;
     let mut rows = Vec::new();
     let full_repo_sql = "SELECT COUNT(*), AVG(D.sample_value) FROM mseed.dataview \
@@ -166,7 +206,7 @@ fn e4_selectivity(scale: ScaleName) {
         .chain([("whole repository".to_string(), full_repo_sql)])
         .collect();
     for (label, sql) in sweep {
-        let mut lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
+        let lazy = Warehouse::open_lazy(&dir, base_config()).unwrap();
         let lazy_load = lazy.load_report().elapsed;
         let (lo, t_cold) = time(|| lazy.query(&sql).unwrap());
         let (_, t_warm) = time(|| lazy.query(&sql).unwrap());
@@ -202,7 +242,7 @@ fn e4_selectivity(scale: ScaleName) {
         ("no record-level pruning", true, false),
         ("no metadata-first reorganization", false, true),
     ] {
-        let mut wh = Warehouse::open_lazy(
+        let wh = Warehouse::open_lazy(
             &dir,
             WarehouseConfig {
                 metadata_predicate_first: meta_first,
@@ -223,7 +263,12 @@ fn e4_selectivity(scale: ScaleName) {
     }
     print_table(
         &format!("E4b — Ablations on Figure-1 Q1 ({} scale)", scale.label()),
-        &["configuration", "cold query", "records extracted", "files touched"],
+        &[
+            "configuration",
+            "cold query",
+            "records extracted",
+            "files touched",
+        ],
         &ablation_rows,
     );
 }
@@ -232,14 +277,15 @@ fn e4_selectivity(scale: ScaleName) {
 fn e5_time_to_insight(scale: ScaleName) {
     let dir = scale_repo(scale);
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for (label, sql) in [
         ("metadata browse", METADATA_QUERY),
         ("Figure-1 Q1", FIGURE1_Q1),
         ("Figure-1 Q2", FIGURE1_Q2),
     ] {
-        let (mut lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
+        let (lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
         let (_, t_lq) = time(|| lazy.query(sql).unwrap());
-        let (mut eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+        let (eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
         let (_, t_eq) = time(|| eager.query(sql).unwrap());
         rows.push(vec![
             label.to_string(),
@@ -250,15 +296,108 @@ fn e5_time_to_insight(scale: ScaleName) {
                 (t_eload + t_eq).as_secs_f64() / (t_lload + t_lq).as_secs_f64().max(1e-9)
             ),
         ]);
+        json_rows.push(Json::obj([
+            ("query", Json::str(label)),
+            (
+                "eager_total_us",
+                Json::Int((t_eload + t_eq).as_micros() as i64),
+            ),
+            (
+                "lazy_total_us",
+                Json::Int((t_lload + t_lq).as_micros() as i64),
+            ),
+            ("eager_load_us", Json::Int(t_eload.as_micros() as i64)),
+            ("lazy_load_us", Json::Int(t_lload.as_micros() as i64)),
+            ("eager_query_us", Json::Int(t_eq.as_micros() as i64)),
+            ("lazy_query_us", Json::Int(t_lq.as_micros() as i64)),
+        ]));
     }
     print_table(
         &format!(
             "E5 — Time from source availability to first answer ({} scale)",
             scale.label()
         ),
-        &["first query", "eager load+query", "lazy load+query", "lazy advantage"],
+        &[
+            "first query",
+            "eager load+query",
+            "lazy load+query",
+            "lazy advantage",
+        ],
         &rows,
     );
+    emit_json("e5", scale, json_rows);
+}
+
+/// E12: concurrent clients against one shared warehouse — throughput,
+/// latency percentiles and cache hit rate, swept over shard counts.
+fn e12_concurrent(scale: ScaleName) {
+    let dir = scale_repo(scale);
+    let run_cfg = ConcurrentConfig::default();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let wh = Arc::new(
+            Warehouse::open_lazy(
+                &dir,
+                WarehouseConfig {
+                    cache_shards: shards,
+                    auto_refresh: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Cold storm populates the cache; warm storm measures the shared
+        // steady state the shard sweep is about.
+        let cold = run_concurrent_mix(&wh, &run_cfg);
+        let warm = run_concurrent_mix(&wh, &run_cfg);
+        rows.push(vec![
+            shards.to_string(),
+            run_cfg.threads.to_string(),
+            format!("{:.0}", warm.throughput_qps),
+            fmt_dur(warm.p50),
+            fmt_dur(warm.p99),
+            format!("{:.0}%", 100.0 * warm.cache_hit_rate),
+            cold.records_extracted.to_string(),
+            warm.records_extracted.to_string(),
+        ]);
+        for (phase, r) in [("cold", &cold), ("warm", &warm)] {
+            json_rows.push(Json::obj([
+                ("shards", Json::Int(shards as i64)),
+                ("threads", Json::Int(run_cfg.threads as i64)),
+                ("phase", Json::str(phase)),
+                ("total_queries", Json::Int(r.total_queries as i64)),
+                ("elapsed_us", Json::Int(r.elapsed.as_micros() as i64)),
+                ("throughput_qps", Json::Num(r.throughput_qps)),
+                ("p50_us", Json::Int(r.p50.as_micros() as i64)),
+                ("p99_us", Json::Int(r.p99.as_micros() as i64)),
+                ("max_us", Json::Int(r.max.as_micros() as i64)),
+                ("cache_hit_rate", Json::Num(r.cache_hit_rate)),
+                ("records_extracted", Json::Int(r.records_extracted as i64)),
+            ]));
+        }
+    }
+    print_table(
+        &format!(
+            "E12 — Concurrent clients ({} scale): {} threads x Figure-1 mix, warm storm vs shard count",
+            scale.label(),
+            run_cfg.threads
+        ),
+        &[
+            "shards", "threads", "qps", "p50", "p99",
+            "hit rate", "cold extractions", "warm extractions",
+        ],
+        &rows,
+    );
+    emit_json("e12", scale, json_rows);
+}
+
+/// Write `BENCH_<experiment>.json` and tell the operator where it went.
+fn emit_json(experiment: &str, scale: ScaleName, rows: Vec<Json>) {
+    match write_bench_file(experiment, scale.label(), rows) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_{experiment}.json: {e}"),
+    }
 }
 
 /// E6: repository updates — cost of staying fresh.
@@ -271,8 +410,8 @@ fn e6_updates(scale: ScaleName) {
             auto_refresh: true,
             ..Default::default()
         };
-        let mut lazy = Warehouse::open_lazy(&dir, cfg.clone()).unwrap();
-        let mut eager = Warehouse::open_eager(&dir, cfg).unwrap();
+        let lazy = Warehouse::open_lazy(&dir, cfg.clone()).unwrap();
+        let eager = Warehouse::open_eager(&dir, cfg).unwrap();
         // Warm both with a metadata query.
         lazy.query(METADATA_QUERY).unwrap();
         eager.query(METADATA_QUERY).unwrap();
@@ -307,7 +446,10 @@ fn e6_updates(scale: ScaleName) {
             scale.label()
         ),
         &[
-            "change", "lazy refresh+query", "eager refresh+query", "eager full reload",
+            "change",
+            "lazy refresh+query",
+            "eager refresh+query",
+            "eager full reload",
         ],
         &rows,
     );
@@ -328,7 +470,7 @@ fn e7_cache(scale: ScaleName) {
         let budget = match label {
             "unbounded (256 MiB)" => budget,
             _ => {
-                let mut probe = Warehouse::open_lazy(
+                let probe = Warehouse::open_lazy(
                     &dir,
                     WarehouseConfig {
                         auto_refresh: false,
@@ -345,7 +487,7 @@ fn e7_cache(scale: ScaleName) {
                 }
             }
         };
-        let mut wh = Warehouse::open_lazy(
+        let wh = Warehouse::open_lazy(
             &dir,
             WarehouseConfig {
                 cache_budget_bytes: budget,
@@ -362,14 +504,27 @@ fn e7_cache(scale: ScaleName) {
             fmt_bytes(budget as u64),
             fmt_dur(t_cold),
             fmt_dur(t_warm),
-            format!("{:.0}%", 100.0 * o2.report.cache_hits as f64
-                / (o2.report.cache_hits + o2.report.cache_misses).max(1) as f64),
+            format!(
+                "{:.0}%",
+                100.0 * o2.report.cache_hits as f64
+                    / (o2.report.cache_hits + o2.report.cache_misses).max(1) as f64
+            ),
             snap.stats.evictions.to_string(),
         ]);
     }
     print_table(
-        &format!("E7 — Recycling cache under budget pressure ({} scale)", scale.label()),
-        &["budget", "bytes", "cold query", "repeat query", "repeat hit rate", "evictions"],
+        &format!(
+            "E7 — Recycling cache under budget pressure ({} scale)",
+            scale.label()
+        ),
+        &[
+            "budget",
+            "bytes",
+            "cold query",
+            "repeat query",
+            "repeat hit rate",
+            "evictions",
+        ],
         &rows,
     );
 }
@@ -382,19 +537,27 @@ fn e9_sta_lta(scale: ScaleName) {
         ..Default::default()
     };
     let mut rows = Vec::new();
-    let (mut lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
+    let (lazy, t_lload) = time(|| Warehouse::open_lazy(&dir, base_config()).unwrap());
     let (hunt_l, t_lq) = time(|| {
         lazyetl_core::hunt_events(
-            &mut lazy, "ISK", "BHE",
-            "2010-01-12T22:00:00", "2010-01-12T23:00:00", &cfg,
+            &lazy,
+            "ISK",
+            "BHE",
+            "2010-01-12T22:00:00",
+            "2010-01-12T23:00:00",
+            &cfg,
         )
         .unwrap()
     });
-    let (mut eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
+    let (eager, t_eload) = time(|| Warehouse::open_eager(&dir, base_config()).unwrap());
     let (hunt_e, t_eq) = time(|| {
         lazyetl_core::hunt_events(
-            &mut eager, "ISK", "BHE",
-            "2010-01-12T22:00:00", "2010-01-12T23:00:00", &cfg,
+            &eager,
+            "ISK",
+            "BHE",
+            "2010-01-12T22:00:00",
+            "2010-01-12T23:00:00",
+            &cfg,
         )
         .unwrap()
     });
@@ -420,7 +583,14 @@ fn e9_sta_lta(scale: ScaleName) {
             "E9 — STA/LTA event hunt on KO.ISK BHE, one hour ({} scale)",
             scale.label()
         ),
-        &["mode", "load", "hunt", "total", "samples scanned", "detections"],
+        &[
+            "mode",
+            "load",
+            "hunt",
+            "total",
+            "samples scanned",
+            "detections",
+        ],
         &rows,
     );
 }
@@ -433,7 +603,7 @@ fn e10_parallel(scale: ScaleName) {
     let mut rows = Vec::new();
     let mut base = Duration::ZERO;
     for threads in [1usize, 2, 4, 8] {
-        let mut wh = Warehouse::open_lazy(
+        let wh = Warehouse::open_lazy(
             &dir,
             WarehouseConfig {
                 auto_refresh: false,
@@ -502,7 +672,7 @@ fn e11_recycling(scale: ScaleName) {
         ),
     ];
     for (label, cfg) in variants {
-        let mut wh = Warehouse::open_lazy(&dir, cfg).unwrap();
+        let wh = Warehouse::open_lazy(&dir, cfg).unwrap();
         let (_, t_cold) = time(|| wh.query(FIGURE1_Q2).unwrap());
         let mut warms: Vec<Duration> = (0..3)
             .map(|_| time(|| wh.query(FIGURE1_Q2).unwrap()).1)
@@ -528,7 +698,13 @@ fn e11_recycling(scale: ScaleName) {
             "E11 — Recycler levels on Figure-1 Q2 ({} scale): warm repeats",
             scale.label()
         ),
-        &["configuration", "cold query", "warm query", "warm re-extractions", "reused"],
+        &[
+            "configuration",
+            "cold query",
+            "warm query",
+            "warm re-extractions",
+            "reused",
+        ],
         &rows,
     );
 }
@@ -537,9 +713,12 @@ fn e11_recycling(scale: ScaleName) {
 /// print the plans once for the record.
 fn e8_observability(scale: ScaleName) {
     let dir = scale_repo(scale);
-    let mut wh = Warehouse::open_lazy(&dir, base_config()).unwrap();
+    let wh = Warehouse::open_lazy(&dir, base_config()).unwrap();
     let out = wh.query(FIGURE1_Q1).unwrap();
-    println!("\n### E8 — Plan observability (Figure-1 Q1, {} scale)\n", scale.label());
+    println!(
+        "\n### E8 — Plan observability (Figure-1 Q1, {} scale)\n",
+        scale.label()
+    );
     for (stage, plan) in &out.report.stages {
         println!("--- {stage} ---\n{plan}");
     }
@@ -563,10 +742,12 @@ fn main() {
         }
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
-        wanted = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = [
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     println!("# Lazy ETL experiment harness — scale: {}", scale.label());
     for w in &wanted {
@@ -582,7 +763,8 @@ fn main() {
             "e9" => e9_sta_lta(scale),
             "e10" => e10_parallel(scale),
             "e11" => e11_recycling(scale),
-            other => eprintln!("unknown experiment {other:?} (want e1..e11 or all)"),
+            "e12" => e12_concurrent(scale),
+            other => eprintln!("unknown experiment {other:?} (want e1..e12 or all)"),
         }
     }
 }

@@ -1,0 +1,183 @@
+//! Concurrent-client load generation (experiment E12).
+//!
+//! The paper's demo serves one analyst; the roadmap's warehouse serves
+//! many. E12 measures what the `&self` query path and the lock-striped
+//! record cache buy under concurrent load: K client threads each run a
+//! closed loop over the Figure-1 query mix against **one shared
+//! [`Warehouse`]**, and the harness reports throughput, p50/p99 latency
+//! and the aggregate cache hit rate, swept over shard counts.
+//!
+//! Each thread starts at a different offset in the mix so the threads
+//! overlap on different queries (and therefore different cache shards)
+//! rather than marching in lockstep.
+
+use crate::{FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY};
+use lazyetl_core::Warehouse;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Client threads issuing queries.
+    pub threads: usize,
+    /// Queries each thread issues (round-robin over the mix).
+    pub queries_per_thread: usize,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            threads: 4,
+            queries_per_thread: 12,
+        }
+    }
+}
+
+/// The query mix one client loops over: the two Figure-1 data queries
+/// plus a metadata browse, the shape of an interactive analysis session.
+pub fn query_mix() -> Vec<&'static str> {
+    vec![FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY]
+}
+
+/// Aggregate result of one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentResult {
+    /// Total queries completed (threads × queries_per_thread).
+    pub total_queries: usize,
+    /// Wall-clock duration of the whole storm.
+    pub elapsed: Duration,
+    /// Completed queries per wall-clock second.
+    pub throughput_qps: f64,
+    /// Median per-query latency.
+    pub p50: Duration,
+    /// 99th-percentile per-query latency.
+    pub p99: Duration,
+    /// Worst per-query latency.
+    pub max: Duration,
+    /// Aggregate record-cache hit rate over the run
+    /// (hits / (hits + misses + stale drops)).
+    pub cache_hit_rate: f64,
+    /// Records extracted across all threads (duplicates only from benign
+    /// shard races).
+    pub records_extracted: usize,
+}
+
+/// Percentile by nearest-rank over a **sorted** latency slice.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Run `cfg.threads` closed-loop clients over [`query_mix`] against one
+/// shared warehouse and aggregate the results.
+///
+/// Panics if any query fails — a correctness failure under concurrency is
+/// exactly what this harness exists to surface.
+pub fn run_concurrent_mix(warehouse: &Arc<Warehouse>, cfg: &ConcurrentConfig) -> ConcurrentResult {
+    let mix = query_mix();
+    let stats_before = warehouse.cache_snapshot().stats;
+    let t0 = Instant::now();
+    let per_thread: Vec<(Vec<Duration>, usize)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|t| {
+                let wh = Arc::clone(warehouse);
+                let mix = mix.clone();
+                let iters = cfg.queries_per_thread;
+                s.spawn(move || {
+                    let mut latencies = Vec::with_capacity(iters);
+                    let mut extracted = 0usize;
+                    for i in 0..iters {
+                        let sql = mix[(t + i) % mix.len()];
+                        let q0 = Instant::now();
+                        let out = wh.query(sql).expect("concurrent query failed");
+                        latencies.push(q0.elapsed());
+                        extracted += out.report.records_extracted;
+                    }
+                    (latencies, extracted)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut latencies: Vec<Duration> = per_thread.iter().flat_map(|(l, _)| l.clone()).collect();
+    latencies.sort();
+    let records_extracted = per_thread.iter().map(|&(_, e)| e).sum();
+    let total_queries = latencies.len();
+
+    let stats_after = warehouse.cache_snapshot().stats;
+    let hits = stats_after.hits - stats_before.hits;
+    let misses = stats_after.misses - stats_before.misses;
+    let stale = stats_after.stale_drops - stats_before.stale_drops;
+    let lookups = hits + misses + stale;
+    ConcurrentResult {
+        total_queries,
+        elapsed,
+        throughput_qps: total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        max: latencies.last().copied().unwrap_or(Duration::ZERO),
+        cache_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        records_extracted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{scale_config, ScaleName};
+    use lazyetl_core::WarehouseConfig;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms = |n: u64| Duration::from_millis(n);
+        let sorted: Vec<Duration> = (1..=100).map(ms).collect();
+        assert_eq!(percentile(&sorted, 50.0), ms(50));
+        assert_eq!(percentile(&sorted, 99.0), ms(99));
+        assert_eq!(percentile(&sorted, 100.0), ms(100));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+        assert_eq!(percentile(&[ms(7)], 99.0), ms(7));
+    }
+
+    #[test]
+    fn concurrent_mix_reports_consistent_aggregates() {
+        let dir = crate::materialize("conc_unit", &scale_config(ScaleName::Tiny));
+        let wh = Arc::new(
+            Warehouse::open_lazy(
+                &dir,
+                WarehouseConfig {
+                    auto_refresh: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let cfg = ConcurrentConfig {
+            threads: 3,
+            queries_per_thread: 4,
+        };
+        let r = run_concurrent_mix(&wh, &cfg);
+        assert_eq!(r.total_queries, 12);
+        assert!(r.throughput_qps > 0.0);
+        assert!(r.p50 <= r.p99 && r.p99 <= r.max);
+        assert!((0.0..=1.0).contains(&r.cache_hit_rate));
+        assert!(r.records_extracted > 0, "cold storm extracts data");
+        // A second storm over the warmed cache extracts nothing new and
+        // hits at a strictly higher rate.
+        let r2 = run_concurrent_mix(&wh, &cfg);
+        assert_eq!(r2.records_extracted, 0, "warm storm is extraction-free");
+        assert!(r2.cache_hit_rate > r.cache_hit_rate);
+    }
+}

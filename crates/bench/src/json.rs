@@ -1,0 +1,206 @@
+//! Minimal JSON emission for machine-readable benchmark results.
+//!
+//! The experiment harness writes one `BENCH_<experiment>.json` file per
+//! experiment so CI (and future PRs comparing perf trajectories) can parse
+//! results without scraping markdown tables. The container is offline —
+//! no serde — so this is a tiny, dependency-free value tree with correct
+//! string escaping and finite-number handling.
+//!
+//! # The `BENCH_*.json` envelope
+//!
+//! Every file emitted by [`write_bench_file`] is one object:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "e12",
+//!   "scale": "tiny",
+//!   "rows": [ { ... one object per measurement row ... } ]
+//! }
+//! ```
+//!
+//! Durations are reported as integer microseconds in `*_us` fields, rates
+//! as floats (`throughput_qps`, `hit_rate`), counts as integers. Fields
+//! never disappear between runs — consumers may rely on them once
+//! published at a given `schema_version`.
+
+use std::path::{Path, PathBuf};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (emitted without a decimal point).
+    Int(i64),
+    /// A float; non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Num(f) => {
+                if f.is_finite() {
+                    // Ensure floats stay floats on re-parse.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        out.push_str(&format!("{f:.1}"));
+                    } else {
+                        out.push_str(&format!("{f}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Directory `BENCH_*.json` files are written to: `$LAZYETL_BENCH_DIR` if
+/// set, the current working directory otherwise.
+pub fn bench_output_dir() -> PathBuf {
+    std::env::var_os("LAZYETL_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Write `BENCH_<experiment>.json` wrapping `rows` in the standard
+/// envelope (see the module docs). Returns the path written.
+pub fn write_bench_file(
+    experiment: &str,
+    scale: &str,
+    rows: Vec<Json>,
+) -> std::io::Result<PathBuf> {
+    let doc = Json::obj([
+        ("schema_version", Json::Int(1)),
+        ("experiment", Json::str(experiment)),
+        ("scale", Json::str(scale)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    let path = bench_output_dir().join(format!("BENCH_{experiment}.json"));
+    write_json_file(&path, &doc)?;
+    Ok(path)
+}
+
+/// Write any JSON value to an explicit path (trailing newline included).
+pub fn write_json_file(path: &Path, value: &Json) -> std::io::Result<()> {
+    let mut text = value.render();
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-42).render(), "-42");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(3.0).render(), "3.0", "floats keep a decimal");
+        assert_eq!(Json::Num(f64::NAN).render(), "null", "NaN is not JSON");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.render(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn nested_structure_renders_in_order() {
+        let doc = Json::obj([
+            ("z", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(1), Json::str("x")])),
+            ("o", Json::obj([("k", Json::Bool(false))])),
+        ]);
+        assert_eq!(doc.render(), r#"{"z":1,"a":[1,"x"],"o":{"k":false}}"#);
+    }
+
+    #[test]
+    fn bench_file_has_envelope_fields() {
+        let dir = std::env::temp_dir().join(format!("lazyetl_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("LAZYETL_BENCH_DIR", &dir);
+        let rows = vec![Json::obj([("p50_us", Json::Int(10))])];
+        let path = write_bench_file("etest", "tiny", rows).unwrap();
+        std::env::remove_var("LAZYETL_BENCH_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""schema_version":1"#));
+        assert!(text.contains(r#""experiment":"etest""#));
+        assert!(text.contains(r#""scale":"tiny""#));
+        assert!(text.contains(r#""rows":[{"p50_us":10}]"#));
+        assert!(text.ends_with('\n'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

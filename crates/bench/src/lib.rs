@@ -6,6 +6,9 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
+pub mod json;
+
 use lazyetl_mseed::gen::{generate_repository, GeneratorConfig};
 use lazyetl_mseed::inventory::default_inventory;
 use lazyetl_mseed::Timestamp;
@@ -96,12 +99,7 @@ pub fn scale_config(scale: ScaleName) -> GeneratorConfig {
                 4,
                 600,
             ),
-            ScaleName::Medium => (
-                inv.clone(),
-                vec!["BHZ".into(), "BHE".into()],
-                6,
-                600,
-            ),
+            ScaleName::Medium => (inv.clone(), vec!["BHZ".into(), "BHE".into()], 6, 600),
             ScaleName::Large => (
                 inv.clone(),
                 vec!["BHZ".into(), "BHE".into(), "BHN".into()],

@@ -330,13 +330,11 @@ pub fn coincidence_trigger(
             j += 1;
         }
         let cluster = &all[i..j];
-        let mut stations: Vec<String> =
-            cluster.iter().map(|&(_, s, _)| s.to_string()).collect();
+        let mut stations: Vec<String> = cluster.iter().map(|&(_, s, _)| s.to_string()).collect();
         stations.sort();
         stations.dedup();
         if stations.len() >= min_stations {
-            let mean_ratio =
-                cluster.iter().map(|&(_, _, r)| r).sum::<f64>() / cluster.len() as f64;
+            let mean_ratio = cluster.iter().map(|&(_, _, r)| r).sum::<f64>() / cluster.len() as f64;
             events.push(CoincidenceEvent {
                 time: Timestamp(start),
                 stations,
@@ -364,7 +362,7 @@ pub struct HuntResult {
 /// Hunt for events on one stream within a time window, end to end through
 /// the warehouse SQL interface (the demo's workload).
 pub fn hunt_events(
-    warehouse: &mut Warehouse,
+    warehouse: &Warehouse,
     station: &str,
     channel: &str,
     start_iso: &str,
@@ -419,7 +417,7 @@ pub struct RecordWaveform {
 /// Fetch every sample of one record through the SQL surface (lazy
 /// extraction fetches exactly this record; eager reads it from `D`).
 pub fn fetch_record_waveform(
-    warehouse: &mut Warehouse,
+    warehouse: &Warehouse,
     file_id: i64,
     seq_no: i64,
 ) -> Result<RecordWaveform> {
@@ -459,16 +457,20 @@ pub fn waveform_ascii(samples: &[(i64, f64)], width: usize, height: usize) -> St
     if samples.is_empty() || width == 0 || height == 0 {
         return String::from("(no samples)\n");
     }
-    let (vmin, vmax) = samples.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
-        (lo.min(v), hi.max(v))
-    });
+    let (vmin, vmax) = samples
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
+            (lo.min(v), hi.max(v))
+        });
     let span = (vmax - vmin).max(1e-12);
     let per_col = samples.len().div_ceil(width);
     let mut cols: Vec<(usize, usize)> = Vec::with_capacity(width);
     for chunk in samples.chunks(per_col) {
-        let (lo, hi) = chunk.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
-            (lo.min(v), hi.max(v))
-        });
+        let (lo, hi) = chunk
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, v)| {
+                (lo.min(v), hi.max(v))
+            });
         let to_row = |v: f64| -> usize {
             // Row 0 is the top of the plot.
             let frac = (v - vmin) / span;
@@ -479,7 +481,11 @@ pub fn waveform_ascii(samples: &[(i64, f64)], width: usize, height: usize) -> St
     let mut out = String::new();
     for row in 0..height {
         for &(top, bottom) in &cols {
-            out.push(if row >= top && row <= bottom { '█' } else { ' ' });
+            out.push(if row >= top && row <= bottom {
+                '█'
+            } else {
+                ' '
+            });
         }
         out.push('\n');
     }
@@ -563,8 +569,7 @@ mod tests {
         let period = (1e6 / rate) as i64;
         for (i, sample) in samples.iter_mut().enumerate().take(4000).skip(2200) {
             let t = (i - 2200) as f64 / rate;
-            sample.1 +=
-                500.0 * (-t / 3.0).exp() * (2.0 * std::f64::consts::PI * 5.0 * t).sin();
+            sample.1 += 500.0 * (-t / 3.0).exp() * (2.0 * std::f64::consts::PI * 5.0 * t).sin();
         }
         let cfg = StaLtaConfig {
             min_separation_secs: 60.0,
@@ -595,9 +600,7 @@ mod tests {
         assert!(lines[8].contains("200 samples"));
         // Every column must paint at least one cell.
         for col in 0..40 {
-            let painted = (0..8).any(|row| {
-                lines[row].chars().nth(col) == Some('█')
-            });
+            let painted = (0..8).any(|row| lines[row].chars().nth(col) == Some('█'));
             assert!(painted, "column {col} empty");
         }
         assert_eq!(waveform_ascii(&[], 10, 5), "(no samples)\n");

@@ -13,14 +13,38 @@
 //! is detected by comparing the file's modification time now against the
 //! one recorded at admission; a stale entry is dropped and re-extracted by
 //! the caller (lazy refresh).
+//!
+//! # Lock striping
+//!
+//! The cache is split into `N` independent **shards**, each its own
+//! mutex-guarded LRU with `budget / N` bytes. A key's shard is the hash of
+//! `(file_id, seq_no)`, so concurrent queries (and parallel extraction
+//! workers) touching different records rarely contend on the same lock.
+//! Every operation takes `&self`; the cache is `Send + Sync` and shared
+//! freely across query threads. Aggregate accounting (`used_bytes`,
+//! [`CacheStats`], [`CacheSnapshot`]) sums over shards, so the numbers the
+//! experiments report (E7, E11, E12) stay comparable with the previous
+//! single-shard design. Two capacity effects do change with sharding:
+//! eviction *order* under budget pressure is per-shard rather than
+//! global, and the largest admissible entry shrinks from the whole
+//! budget to one shard's slice (`budget / N`) — an entry bigger than its
+//! shard is never admitted, so it misses on every repeat lookup. With
+//! the default budget (256 MiB over 8 shards = 32 MiB per shard) that is
+//! orders of magnitude above any record's `D` rows; size budgets
+//! accordingly when shrinking them. `with_shards(budget, 1)` restores
+//! exact single-cache semantics, admission threshold included.
 
 use lazyetl_mseed::Timestamp;
 use lazyetl_store::Table;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key: one mSEED record's extracted data.
 pub type CacheKey = (i64, i64); // (file_id, seq_no)
+
+/// Default shard count of [`RecyclingCache::new`].
+pub const DEFAULT_SHARDS: usize = 8;
 
 /// Outcome of a cache lookup.
 #[derive(Debug, Clone)]
@@ -71,6 +95,14 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    fn add(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale_drops += other.stale_drops;
+        self.evictions += other.evictions;
+        self.inserted_bytes += other.inserted_bytes;
+    }
 }
 
 /// Summary of one resident entry (for the demo's cache browser).
@@ -86,7 +118,8 @@ pub struct CacheEntrySummary {
     pub file_mtime: Timestamp,
 }
 
-/// Snapshot of cache contents and occupancy (demo item 7).
+/// Snapshot of cache contents and occupancy (demo item 7), aggregated over
+/// every shard.
 #[derive(Debug, Clone)]
 pub struct CacheSnapshot {
     /// Resident entries ordered by key.
@@ -97,11 +130,13 @@ pub struct CacheSnapshot {
     pub budget_bytes: usize,
     /// Statistics so far.
     pub stats: CacheStats,
+    /// Per-shard (entries, used bytes) occupancy, for skew diagnostics.
+    pub shard_occupancy: Vec<(usize, usize)>,
 }
 
-/// Byte-budgeted LRU cache of extracted record data.
+/// One independently locked LRU shard (the previous whole-cache design).
 #[derive(Debug)]
-pub struct RecyclingCache {
+struct Shard {
     budget_bytes: usize,
     entries: HashMap<CacheKey, CacheEntry>,
     /// last_used_tick -> key index for O(log n) LRU eviction.
@@ -111,10 +146,9 @@ pub struct RecyclingCache {
     stats: CacheStats,
 }
 
-impl RecyclingCache {
-    /// A cache with the given byte budget.
-    pub fn new(budget_bytes: usize) -> RecyclingCache {
-        RecyclingCache {
+impl Shard {
+    fn new(budget_bytes: usize) -> Shard {
+        Shard {
             budget_bytes,
             entries: HashMap::new(),
             lru: BTreeMap::new(),
@@ -129,9 +163,7 @@ impl RecyclingCache {
         self.tick
     }
 
-    /// Look up one record's data, checking freshness against the file's
-    /// current modification time.
-    pub fn get(&mut self, key: CacheKey, current_file_mtime: Timestamp) -> CacheLookup {
+    fn get(&mut self, key: CacheKey, current_file_mtime: Timestamp) -> CacheLookup {
         let tick = self.next_tick();
         match self.entries.get_mut(&key) {
             None => {
@@ -158,11 +190,7 @@ impl RecyclingCache {
         }
     }
 
-    /// Insert (or replace) one record's extracted data.
-    ///
-    /// Returns the number of entries evicted to make room. Entries larger
-    /// than the whole budget are not admitted.
-    pub fn insert(&mut self, key: CacheKey, table: Arc<Table>, file_mtime: Timestamp) -> usize {
+    fn insert(&mut self, key: CacheKey, table: Arc<Table>, file_mtime: Timestamp) -> usize {
         let bytes = table.byte_size();
         // Replace any existing entry first: even if the new value turns out
         // to be inadmissible, the old value is superseded and must not be
@@ -204,78 +232,177 @@ impl RecyclingCache {
         evicted
     }
 
-    /// Drop every entry belonging to a file (metadata refresh path).
-    pub fn invalidate_file(&mut self, file_id: i64) -> usize {
-        let keys: Vec<CacheKey> = self
-            .entries
-            .keys()
-            .filter(|(f, _)| *f == file_id)
-            .copied()
-            .collect();
-        for k in &keys {
-            if let Some(old) = self.entries.remove(k) {
-                self.lru.remove(&old.last_used_tick);
-                self.used_bytes -= old.bytes;
-            }
+    fn remove(&mut self, key: &CacheKey) -> bool {
+        if let Some(old) = self.entries.remove(key) {
+            self.lru.remove(&old.last_used_tick);
+            self.used_bytes -= old.bytes;
+            true
+        } else {
+            false
         }
-        keys.len()
     }
 
-    /// Remove everything.
-    pub fn clear(&mut self) {
+    fn clear(&mut self) {
         self.entries.clear();
         self.lru.clear();
         self.used_bytes = 0;
     }
+}
 
-    /// Bytes currently resident.
-    pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+/// Byte-budgeted, lock-striped LRU cache of extracted record data.
+///
+/// All operations take `&self`; see the module docs for the sharding
+/// design.
+#[derive(Debug)]
+pub struct RecyclingCache {
+    shards: Vec<Mutex<Shard>>,
+    budget_bytes: usize,
+}
+
+impl RecyclingCache {
+    /// A cache with the given byte budget and [`DEFAULT_SHARDS`] shards.
+    pub fn new(budget_bytes: usize) -> RecyclingCache {
+        RecyclingCache::with_shards(budget_bytes, DEFAULT_SHARDS)
     }
 
-    /// Configured byte budget.
+    /// A cache with an explicit shard count (clamped to ≥ 1). The byte
+    /// budget is split evenly across shards; a shard count of 1 gives the
+    /// exact global-LRU behaviour of the pre-sharding design.
+    pub fn with_shards(budget_bytes: usize, num_shards: usize) -> RecyclingCache {
+        let n = num_shards.max(1);
+        let base = budget_bytes / n;
+        let remainder = budget_bytes % n;
+        let shards = (0..n)
+            .map(|i| Mutex::new(Shard::new(base + usize::from(i < remainder))))
+            .collect();
+        RecyclingCache {
+            shards,
+            budget_bytes,
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let idx = (hasher.finish() % self.shards.len() as u64) as usize;
+        self.shards[idx].lock().expect("cache shard poisoned")
+    }
+
+    /// Look up one record's data, checking freshness against the file's
+    /// current modification time.
+    pub fn get(&self, key: CacheKey, current_file_mtime: Timestamp) -> CacheLookup {
+        self.shard_of(&key).get(key, current_file_mtime)
+    }
+
+    /// Insert (or replace) one record's extracted data.
+    ///
+    /// Returns the number of entries evicted from the key's shard to make
+    /// room. Entries larger than the shard's budget slice (total budget /
+    /// shard count) are not admitted — they would evict the whole shard
+    /// and still not fit.
+    pub fn insert(&self, key: CacheKey, table: Arc<Table>, file_mtime: Timestamp) -> usize {
+        self.shard_of(&key).insert(key, table, file_mtime)
+    }
+
+    /// Drop every entry belonging to a file (metadata refresh path).
+    pub fn invalidate_file(&self, file_id: i64) -> usize {
+        let mut dropped = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let keys: Vec<CacheKey> = shard
+                .entries
+                .keys()
+                .filter(|(f, _)| *f == file_id)
+                .copied()
+                .collect();
+            for k in &keys {
+                if shard.remove(k) {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Remove everything.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+
+    /// Bytes currently resident, summed over shards.
+    pub fn used_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").used_bytes)
+            .sum()
+    }
+
+    /// Configured total byte budget.
     pub fn budget_bytes(&self) -> usize {
         self.budget_bytes
     }
 
-    /// Number of resident entries.
+    /// Number of resident entries, summed over shards.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
     }
 
     /// True when no entries are resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Statistics so far.
+    /// Statistics so far, summed over shards.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.add(&shard.lock().expect("cache shard poisoned").stats);
+        }
+        total
     }
 
-    /// Admission tick of an entry (test hook for LRU behaviour).
+    /// Admission tick of an entry within its shard (test hook for LRU
+    /// behaviour; ticks are only comparable within one shard).
     pub fn admitted_tick(&self, key: &CacheKey) -> Option<u64> {
-        self.entries.get(key).map(|e| e.admitted_tick)
+        self.shard_of(key).entries.get(key).map(|e| e.admitted_tick)
     }
 
-    /// Snapshot of contents for the demo's cache browser.
+    /// Snapshot of contents for the demo's cache browser, aggregated over
+    /// every shard.
     pub fn snapshot(&self) -> CacheSnapshot {
-        let mut entries: Vec<CacheEntrySummary> = self
-            .entries
-            .iter()
-            .map(|(k, e)| CacheEntrySummary {
+        let mut entries: Vec<CacheEntrySummary> = Vec::new();
+        let mut used_bytes = 0usize;
+        let mut stats = CacheStats::default();
+        let mut shard_occupancy = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            entries.extend(shard.entries.iter().map(|(k, e)| CacheEntrySummary {
                 key: *k,
                 bytes: e.bytes,
                 rows: e.table.num_rows(),
                 file_mtime: e.file_mtime,
-            })
-            .collect();
+            }));
+            used_bytes += shard.used_bytes;
+            stats.add(&shard.stats);
+            shard_occupancy.push((shard.entries.len(), shard.used_bytes));
+        }
         entries.sort_by_key(|e| e.key);
         CacheSnapshot {
             entries,
-            used_bytes: self.used_bytes,
+            used_bytes,
             budget_bytes: self.budget_bytes,
-            stats: self.stats,
+            stats,
+            shard_occupancy,
         }
     }
 }
@@ -298,7 +425,7 @@ mod tests {
 
     #[test]
     fn hit_miss_lifecycle() {
-        let mut c = RecyclingCache::new(1 << 20);
+        let c = RecyclingCache::new(1 << 20);
         assert!(matches!(c.get((1, 1), MT), CacheLookup::Miss));
         c.insert((1, 1), table_of(10), MT);
         match c.get((1, 1), MT) {
@@ -313,13 +440,10 @@ mod tests {
 
     #[test]
     fn staleness_detected_by_mtime() {
-        let mut c = RecyclingCache::new(1 << 20);
+        let c = RecyclingCache::new(1 << 20);
         c.insert((1, 1), table_of(10), MT);
         // File was touched since admission.
-        assert!(matches!(
-            c.get((1, 1), Timestamp(2000)),
-            CacheLookup::Stale
-        ));
+        assert!(matches!(c.get((1, 1), Timestamp(2000)), CacheLookup::Stale));
         // The stale entry is gone.
         assert!(matches!(c.get((1, 1), Timestamp(2000)), CacheLookup::Miss));
         assert_eq!(c.stats().stale_drops, 1);
@@ -328,8 +452,9 @@ mod tests {
 
     #[test]
     fn lru_eviction_under_budget_pressure() {
-        // Each 10-row float table is 80 bytes.
-        let mut c = RecyclingCache::new(250);
+        // Single shard: exact global-LRU semantics. Each 10-row float
+        // table is 80 bytes.
+        let c = RecyclingCache::with_shards(250, 1);
         c.insert((1, 1), table_of(10), MT);
         c.insert((1, 2), table_of(10), MT);
         c.insert((1, 3), table_of(10), MT);
@@ -346,7 +471,7 @@ mod tests {
 
     #[test]
     fn oversized_entry_not_admitted() {
-        let mut c = RecyclingCache::new(100);
+        let c = RecyclingCache::with_shards(100, 1);
         let evicted = c.insert((1, 1), table_of(1000), MT);
         assert_eq!(evicted, 0);
         assert!(c.is_empty());
@@ -355,7 +480,7 @@ mod tests {
 
     #[test]
     fn invalidate_file_drops_only_that_file() {
-        let mut c = RecyclingCache::new(1 << 20);
+        let c = RecyclingCache::new(1 << 20);
         c.insert((1, 1), table_of(5), MT);
         c.insert((1, 2), table_of(5), MT);
         c.insert((2, 1), table_of(5), MT);
@@ -366,7 +491,7 @@ mod tests {
 
     #[test]
     fn replace_same_key_updates_bytes() {
-        let mut c = RecyclingCache::new(1 << 20);
+        let c = RecyclingCache::new(1 << 20);
         c.insert((1, 1), table_of(10), MT);
         let b1 = c.used_bytes();
         c.insert((1, 1), table_of(20), MT);
@@ -376,13 +501,74 @@ mod tests {
 
     #[test]
     fn snapshot_reports_contents() {
-        let mut c = RecyclingCache::new(1 << 20);
+        let c = RecyclingCache::new(1 << 20);
         c.insert((2, 7), table_of(3), MT);
         c.insert((1, 9), table_of(4), MT);
         let snap = c.snapshot();
         assert_eq!(snap.entries.len(), 2);
         assert_eq!(snap.entries[0].key, (1, 9), "sorted by key");
         assert_eq!(snap.entries[0].rows, 4);
+        assert_eq!(snap.used_bytes, c.used_bytes());
+        assert_eq!(snap.shard_occupancy.len(), c.num_shards());
+        let (n, b): (usize, usize) = snap
+            .shard_occupancy
+            .iter()
+            .fold((0, 0), |(n, b), &(sn, sb)| (n + sn, b + sb));
+        assert_eq!(n, 2);
+        assert_eq!(b, snap.used_bytes);
+    }
+
+    #[test]
+    fn shard_budgets_sum_to_total() {
+        for (budget, shards) in [(1usize << 20, 8usize), (1003, 7), (5, 8)] {
+            let c = RecyclingCache::with_shards(budget, shards);
+            let per_shard: usize = (0..shards)
+                .map(|i| budget / shards + usize::from(i < budget % shards))
+                .sum();
+            assert_eq!(per_shard, budget);
+            assert_eq!(c.budget_bytes(), budget);
+            assert_eq!(c.num_shards(), shards);
+        }
+        // Zero shards is clamped, not a panic.
+        assert_eq!(RecyclingCache::with_shards(100, 0).num_shards(), 1);
+    }
+
+    #[test]
+    fn sharded_eviction_keeps_aggregate_within_budget() {
+        // Insert far more than the budget holds; whatever survives must
+        // respect the total budget, and every shard its slice.
+        let c = RecyclingCache::with_shards(800, 4);
+        for f in 0..10i64 {
+            for s in 0..10i64 {
+                c.insert((f, s), table_of(10), MT); // 80 bytes each
+            }
+        }
+        assert!(c.used_bytes() <= c.budget_bytes());
+        assert!(c.stats().evictions > 0);
+        assert!(!c.is_empty(), "each shard retains its most recent entries");
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let c = RecyclingCache::new(1 << 20);
+        std::thread::scope(|s| {
+            for t in 0..4i64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..50i64 {
+                        let key = (t, i % 8);
+                        c.insert(key, table_of(4), MT);
+                        assert!(matches!(c.get(key, MT), CacheLookup::Hit(_)));
+                    }
+                });
+            }
+        });
+        // 4 threads × 8 distinct keys each; all resident (budget is ample).
+        assert_eq!(c.len(), 32);
+        let s = c.stats();
+        assert_eq!(s.hits, 200, "every post-insert lookup hits");
+        let snap = c.snapshot();
+        assert_eq!(snap.entries.len(), 32);
         assert_eq!(snap.used_bytes, c.used_bytes());
     }
 }

@@ -401,10 +401,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn setup(tag: &str) -> (PathBuf, Repository) {
-        let dir = std::env::temp_dir().join(format!(
-            "lazyetl_extract_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("lazyetl_extract_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         // Small records so every file holds several (selective extraction

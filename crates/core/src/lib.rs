@@ -8,8 +8,10 @@
 //! loads only **metadata** at attach time and integrates the
 //! extract-transform-load pipeline into query execution: each query's plan
 //! is rewritten at run time so that exactly the files and records it needs
-//! are extracted, transformed and loaded — transparently, with an LRU
-//! recycling cache and mtime-based lazy refresh.
+//! are extracted, transformed and loaded — transparently, with a
+//! lock-striped LRU recycling cache and mtime-based lazy refresh. The
+//! warehouse is `Send + Sync` and [`warehouse::Warehouse::query`] takes
+//! `&self`: share one instance across any number of client threads.
 //!
 //! ## Quick start
 //!
@@ -17,7 +19,7 @@
 //! use lazyetl_core::warehouse::{Warehouse, WarehouseConfig};
 //!
 //! // Attach an mSEED repository lazily: only metadata is read.
-//! let mut wh = Warehouse::open_lazy("/data/mseed", WarehouseConfig::default()).unwrap();
+//! let wh = Warehouse::open_lazy("/data/mseed", WarehouseConfig::default()).unwrap();
 //!
 //! // Figure 1 of the paper, verbatim — extraction happens on demand.
 //! let out = wh.query(
@@ -76,5 +78,6 @@ pub use qcache::{QueryResultCache, ResultCacheSnapshot, ResultCacheStats};
 pub use rewrite::{lazy_rewrite, LocatorIndex, RewriteReport};
 pub use schema::{data_schema, dataview_sql, files_schema, records_schema};
 pub use warehouse::{
-    LoadReport, Mode, QueryOutput, QueryReport, RefreshSummary, Warehouse, WarehouseConfig,
+    CatalogRef, LoadReport, Mode, QueryOutput, QueryReport, RefreshSummary, RepositoryRef,
+    Warehouse, WarehouseConfig,
 };

@@ -3,7 +3,13 @@
 //! Demo item (8): "looking through the log to see what operations are
 //! performed and in which order". Every warehouse operation appends an
 //! entry; tests and the observability example read them back.
+//!
+//! The log is internally synchronized (a mutex around the entry list), so
+//! appending takes `&self` and concurrent queries interleave their entries
+//! in arrival order — one total order, exactly what the demo's "in which
+//! order" item needs.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// One operation category.
@@ -95,12 +101,17 @@ pub struct LogEntry {
     pub op: EtlOp,
 }
 
-/// Append-only operations log.
+#[derive(Debug)]
+struct LogInner {
+    entries: Vec<LogEntry>,
+    next_seq: u64,
+}
+
+/// Append-only operations log, safe to share between query threads.
 #[derive(Debug)]
 pub struct EtlLog {
     started: Instant,
-    entries: Vec<LogEntry>,
-    next_seq: u64,
+    inner: Mutex<LogInner>,
 }
 
 impl Default for EtlLog {
@@ -114,46 +125,52 @@ impl EtlLog {
     pub fn new() -> EtlLog {
         EtlLog {
             started: Instant::now(),
-            entries: Vec::new(),
-            next_seq: 0,
+            inner: Mutex::new(LogInner {
+                entries: Vec::new(),
+                next_seq: 0,
+            }),
         }
     }
 
-    /// Append one operation.
-    pub fn push(&mut self, op: EtlOp) {
-        let entry = LogEntry {
-            seq: self.next_seq,
-            at_us: self.started.elapsed().as_micros() as u64,
-            op,
-        };
-        self.next_seq += 1;
-        self.entries.push(entry);
+    fn locked(&self) -> std::sync::MutexGuard<'_, LogInner> {
+        self.inner.lock().expect("etl log poisoned")
     }
 
-    /// All entries, oldest first.
-    pub fn entries(&self) -> &[LogEntry] {
-        &self.entries
+    /// Append one operation.
+    pub fn push(&self, op: EtlOp) {
+        let mut inner = self.locked();
+        // Read the clock under the lock so `at_us` is monotone in `seq`
+        // even when concurrent pushers race to acquire it.
+        let at_us = self.started.elapsed().as_micros() as u64;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(LogEntry { seq, at_us, op });
+    }
+
+    /// A snapshot of all entries, oldest first.
+    pub fn entries(&self) -> Vec<LogEntry> {
+        self.locked().entries.clone()
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.locked().entries.len()
     }
 
     /// True when nothing was logged.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.locked().entries.is_empty()
     }
 
     /// Drop all entries (sequence numbers keep increasing).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        self.locked().entries.clear();
     }
 
     /// Render the log as text, one line per entry.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in &self.entries {
+        for e in self.locked().entries.iter() {
             out.push_str(&format!("[{:>6}] t+{:>9}us {:?}\n", e.seq, e.at_us, e.op));
         }
         out
@@ -161,7 +178,7 @@ impl EtlLog {
 
     /// Count entries matching a predicate.
     pub fn count_matching(&self, pred: impl Fn(&EtlOp) -> bool) -> usize {
-        self.entries.iter().filter(|e| pred(&e.op)).count()
+        self.locked().entries.iter().filter(|e| pred(&e.op)).count()
     }
 }
 
@@ -171,16 +188,19 @@ mod tests {
 
     #[test]
     fn sequence_and_ordering() {
-        let mut log = EtlLog::new();
-        log.push(EtlOp::QueryStart { sql: "SELECT 1".into() });
+        let log = EtlLog::new();
+        log.push(EtlOp::QueryStart {
+            sql: "SELECT 1".into(),
+        });
         log.push(EtlOp::QueryFinish {
             rows: 1,
             elapsed_us: 10,
         });
         assert_eq!(log.len(), 2);
-        assert_eq!(log.entries()[0].seq, 0);
-        assert_eq!(log.entries()[1].seq, 1);
-        assert!(log.entries()[0].at_us <= log.entries()[1].at_us);
+        let entries = log.entries();
+        assert_eq!(entries[0].seq, 0);
+        assert_eq!(entries[1].seq, 1);
+        assert!(entries[0].at_us <= entries[1].at_us);
         let rendered = log.render();
         assert!(rendered.contains("QueryStart"));
         assert!(rendered.lines().count() == 2);
@@ -188,7 +208,7 @@ mod tests {
 
     #[test]
     fn clear_keeps_sequence_monotone() {
-        let mut log = EtlLog::new();
+        let log = EtlLog::new();
         log.push(EtlOp::StaleDrop { uri: "x".into() });
         log.clear();
         assert!(log.is_empty());
@@ -198,7 +218,7 @@ mod tests {
 
     #[test]
     fn count_matching_filters() {
-        let mut log = EtlLog::new();
+        let log = EtlLog::new();
         for i in 0..5 {
             log.push(EtlOp::CacheHit {
                 uri: format!("f{i}"),
@@ -210,5 +230,35 @@ mod tests {
             log.count_matching(|op| matches!(op, EtlOp::CacheHit { .. })),
             5
         );
+    }
+
+    #[test]
+    fn concurrent_pushes_get_distinct_sequence_numbers() {
+        let log = EtlLog::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = &log;
+                s.spawn(move || {
+                    for i in 0..25 {
+                        log.push(EtlOp::CacheHit {
+                            uri: format!("t{t}_{i}"),
+                            records: i,
+                        });
+                    }
+                });
+            }
+        });
+        let entries = log.entries();
+        assert_eq!(entries.len(), 100);
+        let mut seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 100, "no duplicate sequence numbers");
+        // Timestamps are monotone in sequence order: the clock is read
+        // under the same lock that assigns `seq`.
+        for pair in entries.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+            assert!(pair[0].at_us <= pair[1].at_us, "at_us regressed");
+        }
     }
 }

@@ -3,16 +3,22 @@
 //! The lazy rewriter hands the warehouse a set of (file, record) pairs to
 //! materialize. Files are independent — each has its own byte ranges and
 //! codec state — so extraction parallelizes at file granularity with no
-//! shared mutable state. This module runs the *extraction phase only* in
-//! a scoped thread pool; cache lookups before and cache admission after
-//! stay sequential, so the observable warehouse state (cache contents,
-//! statistics, assembled `D` rows) is byte-identical to the sequential
-//! path regardless of thread count.
+//! shared mutable state beyond the lock-striped record cache. Workers
+//! **admit each record to the cache as soon as it is materialized**
+//! ([`extract_groups_into`]): a record's shard is the hash of its
+//! `(file_id, seq_no)` key, so concurrent workers land on different
+//! stripes and never serialize on one global lock. Cache triage before
+//! and row assembly after stay sequential in the caller, so the assembled
+//! `D` rows are byte-identical to the sequential path regardless of
+//! thread count, and the set of cached records is too (only intra-shard
+//! admission *order* can vary when workers share a stripe).
 //!
 //! This is an extension beyond the paper's single-threaded demo (its
 //! "near real-time ETL" outlook, §1); experiment E10 measures the
-//! speedup against extraction-bound queries.
+//! speedup against extraction-bound queries and E12 drives it from many
+//! client threads at once.
 
+use crate::cache::RecyclingCache;
 use crate::error::Result;
 use crate::extract::{FormatRegistry, RecordLocator};
 use lazyetl_mseed::Timestamp;
@@ -31,6 +37,9 @@ pub struct ExtractedRecord {
     pub samples: usize,
     /// The record's `D` rows, ready to append and cache.
     pub table: Arc<Table>,
+    /// Entries evicted from the record's cache shard when this record was
+    /// admitted by the extraction worker (0 when no cache was supplied).
+    pub evicted_on_admit: usize,
 }
 
 /// One file's worth of work for the fetch pipeline: the cache triage
@@ -49,19 +58,36 @@ pub struct FileGroup {
 }
 
 /// Extract every group's records and materialize their `D` rows, using up
-/// to `threads` worker threads.
-///
-/// Both decoding *and* columnar materialization run on the workers — the
-/// two per-record costs that are independent across files. Results are
-/// positionally aligned with `groups` (and within a group with its
-/// `to_extract` list); groups with nothing to extract yield an empty
-/// vector without touching the file. With `threads <= 1` the work runs on
-/// the calling thread in group order, which is the paper's sequential
-/// behaviour.
+/// to `threads` worker threads. See [`extract_groups_into`] — this variant
+/// skips cache admission.
 pub fn extract_groups(
     extractor: &FormatRegistry,
     groups: &[FileGroup],
     threads: usize,
+) -> Vec<Result<Vec<ExtractedRecord>>> {
+    extract_groups_into(extractor, groups, threads, None)
+}
+
+/// Extract every group's records, materialize their `D` rows, and — when a
+/// cache is supplied — **admit each record to its cache shard from the
+/// worker that decoded it**, using up to `threads` worker threads.
+///
+/// Decoding, columnar materialization and cache admission all run on the
+/// workers — the per-record costs that are independent across files.
+/// Admission from workers is what lets N extraction threads feed the
+/// lock-striped cache without serializing on one lock; the per-record
+/// eviction count is reported in [`ExtractedRecord::evicted_on_admit`] so
+/// the caller can keep its accounting. Results are positionally aligned
+/// with `groups` (and within a group with its `to_extract` list); groups
+/// with nothing to extract yield an empty vector without touching the
+/// file. With `threads <= 1` the work runs on the calling thread in group
+/// order, which is the paper's sequential behaviour — including admission,
+/// so cached contents match the parallel path.
+pub fn extract_groups_into(
+    extractor: &FormatRegistry,
+    groups: &[FileGroup],
+    threads: usize,
+    cache: Option<&RecyclingCache>,
 ) -> Vec<Result<Vec<ExtractedRecord>>> {
     let work: Vec<usize> = groups
         .iter()
@@ -74,7 +100,7 @@ pub fn extract_groups(
 
     if threads <= 1 || work.len() <= 1 {
         for &i in &work {
-            out[i] = Some(extract_one(extractor, &groups[i]));
+            out[i] = Some(extract_one(extractor, &groups[i], cache));
         }
     } else {
         let next = AtomicUsize::new(0);
@@ -87,7 +113,7 @@ pub fn extract_groups(
                 s.spawn(move || loop {
                     let slot = next.fetch_add(1, Ordering::Relaxed);
                     let Some(&i) = work.get(slot) else { break };
-                    let r = extract_one(extractor, &groups[i]);
+                    let r = extract_one(extractor, &groups[i], cache);
                     if tx.send((i, r)).is_err() {
                         break;
                     }
@@ -104,17 +130,27 @@ pub fn extract_groups(
         .collect()
 }
 
-fn extract_one(extractor: &FormatRegistry, group: &FileGroup) -> Result<Vec<ExtractedRecord>> {
+fn extract_one(
+    extractor: &FormatRegistry,
+    group: &FileGroup,
+    cache: Option<&RecyclingCache>,
+) -> Result<Vec<ExtractedRecord>> {
     let file_id = group.entry.id.0 as i64;
     extractor
         .for_entry(&group.entry)?
         .extract_records(&group.entry, &group.to_extract)?
         .into_iter()
         .map(|rd| {
+            let table = Arc::new(rd.to_table(file_id)?);
+            let evicted_on_admit = match cache {
+                Some(c) => c.insert((file_id, rd.seq_no), table.clone(), group.current_mtime),
+                None => 0,
+            };
             Ok(ExtractedRecord {
                 seq_no: rd.seq_no,
                 samples: rd.values.len(),
-                table: Arc::new(rd.to_table(file_id)?),
+                table,
+                evicted_on_admit,
             })
         })
         .collect()
@@ -127,10 +163,7 @@ mod tests {
     use lazyetl_repo::Repository;
 
     fn temp_repo(tag: &str) -> (std::path::PathBuf, Repository) {
-        let root = std::env::temp_dir().join(format!(
-            "lazyetl_par_{tag}_{}",
-            std::process::id()
-        ));
+        let root = std::env::temp_dir().join(format!("lazyetl_par_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&root).ok();
         std::fs::create_dir_all(&root).unwrap();
         let config = GeneratorConfig {
@@ -148,7 +181,11 @@ mod tests {
         repo.files()
             .iter()
             .map(|entry| {
-                let md = extractor.for_entry(entry).unwrap().scan_metadata(entry).unwrap();
+                let md = extractor
+                    .for_entry(entry)
+                    .unwrap()
+                    .scan_metadata(entry)
+                    .unwrap();
                 FileGroup {
                     entry: entry.clone(),
                     current_mtime: entry.mtime,
@@ -214,6 +251,33 @@ mod tests {
     }
 
     #[test]
+    fn workers_admit_records_to_the_sharded_cache() {
+        let (root, repo) = temp_repo("admit");
+        let extractor = FormatRegistry::default();
+        let groups = groups_for(&repo, &extractor);
+        let cache = RecyclingCache::new(256 << 20);
+        let results = extract_groups_into(&extractor, &groups, 4, Some(&cache));
+        let total: usize = results.iter().map(|r| r.as_ref().unwrap().len()).sum();
+        assert!(total > 0);
+        assert_eq!(cache.len(), total, "every extracted record was admitted");
+        // Every admitted record serves a hit at its triage mtime.
+        for (g, rs) in groups.iter().zip(&results) {
+            for r in rs.as_ref().unwrap() {
+                assert!(matches!(
+                    cache.get((g.entry.id.0 as i64, r.seq_no), g.current_mtime),
+                    crate::cache::CacheLookup::Hit(_)
+                ));
+                assert_eq!(r.evicted_on_admit, 0, "ample budget evicts nothing");
+            }
+        }
+        // The no-cache variant leaves the cache untouched.
+        let cache2 = RecyclingCache::new(256 << 20);
+        let _ = extract_groups(&extractor, &groups, 4);
+        assert!(cache2.is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn extraction_errors_are_reported_per_group() {
         let (root, repo) = temp_repo("err");
         let extractor = FormatRegistry::default();
@@ -221,7 +285,10 @@ mod tests {
         groups[1].entry.path = std::path::PathBuf::from("/nonexistent/file.mseed");
         let results = extract_groups(&extractor, &groups, 4);
         assert!(results[0].is_ok());
-        assert!(results[1].is_err(), "missing file surfaces as that group's error");
+        assert!(
+            results[1].is_err(),
+            "missing file surfaces as that group's error"
+        );
         if results.len() > 2 {
             assert!(results[2].is_ok(), "other groups are unaffected");
         }

@@ -37,9 +37,9 @@ pub fn save_warehouse(wh: &Warehouse, dir: &Path) -> Result<SaveReport> {
     };
     let mut bytes = 0u64;
     let mut written = Vec::new();
+    let catalog = wh.catalog();
     for name in tables {
-        let table = wh
-            .catalog()
+        let table = catalog
             .table(name)
             .ok_or_else(|| EtlError::Internal(format!("table {name} missing")))?;
         let path = dir.join(format!("{name}.lztb"));
@@ -112,10 +112,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn setup(tag: &str) -> (PathBuf, PathBuf) {
-        let root = std::env::temp_dir().join(format!(
-            "lazyetl_persist_wh_{tag}_{}",
-            std::process::id()
-        ));
+        let root =
+            std::env::temp_dir().join(format!("lazyetl_persist_wh_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&root).ok();
         let repo = root.join("repo");
         std::fs::create_dir_all(&repo).unwrap();
@@ -162,10 +160,7 @@ mod tests {
 
     #[test]
     fn missing_or_corrupt_manifest_rejected() {
-        let dir = std::env::temp_dir().join(format!(
-            "lazyetl_persist_bad_{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("lazyetl_persist_bad_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         assert!(saved_mode(&dir).is_err());

@@ -18,10 +18,15 @@
 //! ([`crate::warehouse::WarehouseConfig::recycle_query_results`]) so that
 //! per-query extraction accounting stays observable; experiment E11
 //! measures what it buys.
+//!
+//! Like the record cache, the recycler is internally synchronized: every
+//! operation takes `&self` so concurrent query threads share one recycler.
+//! A single mutex (rather than lock striping) suffices here — the recycler
+//! is touched at most twice per query, never per record.
 
 use lazyetl_store::Table;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cumulative statistics of the result recycler.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -84,10 +89,8 @@ struct ResultEntry {
     last_used_tick: u64,
 }
 
-/// Byte-budgeted LRU cache of final query results.
 #[derive(Debug)]
-pub struct QueryResultCache {
-    budget_bytes: usize,
+struct Inner {
     entries: HashMap<String, ResultEntry>,
     /// last_used_tick -> fingerprint for O(log n) LRU eviction.
     lru: BTreeMap<u64, String>,
@@ -96,80 +99,98 @@ pub struct QueryResultCache {
     stats: ResultCacheStats,
 }
 
+/// Byte-budgeted LRU cache of final query results, safe to share between
+/// query threads.
+#[derive(Debug)]
+pub struct QueryResultCache {
+    budget_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
 impl QueryResultCache {
     /// A result recycler with the given byte budget.
     pub fn new(budget_bytes: usize) -> QueryResultCache {
         QueryResultCache {
             budget_bytes,
-            entries: HashMap::new(),
-            lru: BTreeMap::new(),
-            tick: 0,
-            used_bytes: 0,
-            stats: ResultCacheStats::default(),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                lru: BTreeMap::new(),
+                tick: 0,
+                used_bytes: 0,
+                stats: ResultCacheStats::default(),
+            }),
         }
     }
 
-    fn next_tick(&mut self) -> u64 {
-        self.tick += 1;
-        self.tick
+    fn locked(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("result cache poisoned")
     }
 
     /// Look up a plan fingerprint; entries from older warehouse
     /// generations are dropped and reported as misses.
-    pub fn get(&mut self, fingerprint: &str, current_generation: u64) -> Option<Arc<Table>> {
-        let tick = self.next_tick();
-        match self.entries.get_mut(fingerprint) {
+    pub fn get(&self, fingerprint: &str, current_generation: u64) -> Option<Arc<Table>> {
+        let mut inner = self.locked();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(fingerprint) {
             None => {
-                self.stats.misses += 1;
+                inner.stats.misses += 1;
                 None
             }
             Some(entry) if entry.generation != current_generation => {
-                self.stats.generation_drops += 1;
-                let old = self
+                inner.stats.generation_drops += 1;
+                let old = inner
                     .entries
                     .remove(fingerprint)
                     .expect("entry just matched");
-                self.lru.remove(&old.last_used_tick);
-                self.used_bytes -= old.bytes;
+                inner.lru.remove(&old.last_used_tick);
+                inner.used_bytes -= old.bytes;
                 None
             }
             Some(entry) => {
-                self.stats.hits += 1;
-                self.lru.remove(&entry.last_used_tick);
+                let table = entry.table.clone();
+                let prev_tick = entry.last_used_tick;
                 entry.last_used_tick = tick;
-                self.lru.insert(tick, fingerprint.to_string());
-                Some(entry.table.clone())
+                inner.stats.hits += 1;
+                inner.lru.remove(&prev_tick);
+                inner.lru.insert(tick, fingerprint.to_string());
+                Some(table)
             }
         }
     }
 
     /// Admit (or replace) a result. Returns entries evicted to make room;
     /// results larger than the whole budget are not admitted.
-    pub fn insert(&mut self, fingerprint: String, table: Arc<Table>, generation: u64) -> usize {
+    pub fn insert(&self, fingerprint: String, table: Arc<Table>, generation: u64) -> usize {
         let bytes = table.byte_size();
-        if let Some(old) = self.entries.remove(&fingerprint) {
-            self.lru.remove(&old.last_used_tick);
-            self.used_bytes -= old.bytes;
+        let mut inner = self.locked();
+        if let Some(old) = inner.entries.remove(&fingerprint) {
+            inner.lru.remove(&old.last_used_tick);
+            inner.used_bytes -= old.bytes;
         }
         if bytes > self.budget_bytes {
             return 0;
         }
         let mut evicted = 0usize;
-        while self.used_bytes + bytes > self.budget_bytes {
-            let (&oldest_tick, oldest_key) =
-                self.lru.iter().next().expect("over budget implies entries");
+        while inner.used_bytes + bytes > self.budget_bytes {
+            let (&oldest_tick, oldest_key) = inner
+                .lru
+                .iter()
+                .next()
+                .expect("over budget implies entries");
             let oldest_key = oldest_key.clone();
-            let old = self
+            let old = inner
                 .entries
                 .remove(&oldest_key)
                 .expect("lru index consistent");
-            self.lru.remove(&oldest_tick);
-            self.used_bytes -= old.bytes;
-            self.stats.evictions += 1;
+            inner.lru.remove(&oldest_tick);
+            inner.used_bytes -= old.bytes;
+            inner.stats.evictions += 1;
             evicted += 1;
         }
-        let tick = self.next_tick();
-        self.entries.insert(
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.insert(
             fingerprint.clone(),
             ResultEntry {
                 table,
@@ -178,22 +199,23 @@ impl QueryResultCache {
                 last_used_tick: tick,
             },
         );
-        self.lru.insert(tick, fingerprint);
-        self.used_bytes += bytes;
-        self.stats.inserted_bytes += bytes as u64;
+        inner.lru.insert(tick, fingerprint);
+        inner.used_bytes += bytes;
+        inner.stats.inserted_bytes += bytes as u64;
         evicted
     }
 
     /// Drop every entry (called when invalidation cannot be scoped).
-    pub fn clear(&mut self) {
-        self.entries.clear();
-        self.lru.clear();
-        self.used_bytes = 0;
+    pub fn clear(&self) {
+        let mut inner = self.locked();
+        inner.entries.clear();
+        inner.lru.clear();
+        inner.used_bytes = 0;
     }
 
     /// Bytes currently resident.
     pub fn used_bytes(&self) -> usize {
-        self.used_bytes
+        self.locked().used_bytes
     }
 
     /// Configured byte budget.
@@ -203,22 +225,23 @@ impl QueryResultCache {
 
     /// Number of resident results.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.locked().entries.len()
     }
 
     /// True when nothing is resident.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.locked().entries.is_empty()
     }
 
     /// Statistics so far.
     pub fn stats(&self) -> ResultCacheStats {
-        self.stats
+        self.locked().stats
     }
 
     /// Snapshot of contents for the demo's cache browser.
     pub fn snapshot(&self) -> ResultCacheSnapshot {
-        let mut entries: Vec<ResultEntrySummary> = self
+        let inner = self.locked();
+        let mut entries: Vec<ResultEntrySummary> = inner
             .entries
             .iter()
             .map(|(k, e)| ResultEntrySummary {
@@ -231,9 +254,9 @@ impl QueryResultCache {
         entries.sort_by(|a, b| a.fingerprint.cmp(&b.fingerprint));
         ResultCacheSnapshot {
             entries,
-            used_bytes: self.used_bytes,
+            used_bytes: inner.used_bytes,
             budget_bytes: self.budget_bytes,
-            stats: self.stats,
+            stats: inner.stats,
         }
     }
 }
@@ -254,7 +277,7 @@ mod tests {
 
     #[test]
     fn hit_after_insert_same_generation() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         assert!(c.get("plan-a", 0).is_none());
         c.insert("plan-a".into(), table_of(4), 0);
         let hit = c.get("plan-a", 0).expect("fresh entry");
@@ -265,7 +288,7 @@ mod tests {
 
     #[test]
     fn generation_bump_invalidates() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         c.insert("plan-a".into(), table_of(4), 0);
         assert!(c.get("plan-a", 1).is_none(), "stale generation dropped");
         assert_eq!(c.stats().generation_drops, 1);
@@ -277,7 +300,7 @@ mod tests {
 
     #[test]
     fn distinct_fingerprints_do_not_collide() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         c.insert("plan-a".into(), table_of(1), 0);
         c.insert("plan-b".into(), table_of(2), 0);
         assert_eq!(c.get("plan-a", 0).unwrap().num_rows(), 1);
@@ -288,7 +311,7 @@ mod tests {
     #[test]
     fn lru_eviction_under_budget() {
         // 10-row float tables are 80 bytes each.
-        let mut c = QueryResultCache::new(250);
+        let c = QueryResultCache::new(250);
         c.insert("a".into(), table_of(10), 0);
         c.insert("b".into(), table_of(10), 0);
         c.insert("c".into(), table_of(10), 0);
@@ -302,14 +325,14 @@ mod tests {
 
     #[test]
     fn oversized_result_not_admitted() {
-        let mut c = QueryResultCache::new(64);
+        let c = QueryResultCache::new(64);
         assert_eq!(c.insert("big".into(), table_of(1000), 0), 0);
         assert!(c.is_empty());
     }
 
     #[test]
     fn replace_same_fingerprint() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         c.insert("a".into(), table_of(10), 0);
         c.insert("a".into(), table_of(20), 1);
         assert_eq!(c.len(), 1);
@@ -318,7 +341,7 @@ mod tests {
 
     #[test]
     fn snapshot_sorted_by_fingerprint() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         c.insert("zeta".into(), table_of(1), 3);
         c.insert("alpha".into(), table_of(2), 3);
         let snap = c.snapshot();
@@ -330,7 +353,7 @@ mod tests {
 
     #[test]
     fn clear_resets_occupancy_not_stats() {
-        let mut c = QueryResultCache::new(1 << 20);
+        let c = QueryResultCache::new(1 << 20);
         c.insert("a".into(), table_of(10), 0);
         let _ = c.get("a", 0);
         c.clear();

@@ -51,9 +51,10 @@ impl LocatorIndex {
     /// Build from an `R`-schema table.
     pub fn build(records: &Table) -> Result<LocatorIndex> {
         let need = |name: &str| {
-            records.schema.index_of(name).ok_or_else(|| {
-                EtlError::Internal(format!("records table lacks column {name:?}"))
-            })
+            records
+                .schema
+                .index_of(name)
+                .ok_or_else(|| EtlError::Internal(format!("records table lacks column {name:?}")))
         };
         let c_file = need("file_id")?;
         let c_seq = need("seq_no")?;
@@ -396,13 +397,13 @@ fn rewrite_node(
                         r
                     }
                 };
-                let fv = eval_row(meta_expr(file_pos), &meta_table, row)
-                    .map_err(EtlError::Query)?;
+                let fv =
+                    eval_row(meta_expr(file_pos), &meta_table, row).map_err(EtlError::Query)?;
                 let Some(file_id) = fv.as_i64() else { continue };
                 match seq_pos {
                     Some(sp) => {
-                        let sv = eval_row(meta_expr(sp), &meta_table, row)
-                            .map_err(EtlError::Query)?;
+                        let sv =
+                            eval_row(meta_expr(sp), &meta_table, row).map_err(EtlError::Query)?;
                         if let Some(seq) = sv.as_i64() {
                             pairs.insert((file_id, seq));
                         }
@@ -418,28 +419,27 @@ fn rewrite_node(
 
             // 3. Record-level pruning against sample-time predicates.
             let (lo, hi) = sample_time_interval(data_side);
-            let kept: Vec<(i64, i64)> = if ctx.record_level_pruning && (lo.is_some() || hi.is_some())
-            {
-                pairs
-                    .iter()
-                    .copied()
-                    .filter(|&(f, s)| match ctx.index.get(f, s) {
-                        Some(info) => {
-                            // `end_us` is exclusive (last sample + one
-                            // period), so a record ending exactly at the
-                            // lower bound holds no qualifying samples —
-                            // strict comparison is still conservative.
-                            // Degenerate zero-span records are kept.
-                            lo.is_none_or(|l| {
-                                info.end_us > l || info.start_us == info.end_us
-                            }) && hi.is_none_or(|h| info.start_us <= h)
-                        }
-                        None => true, // unknown record: extract conservatively
-                    })
-                    .collect()
-            } else {
-                pairs.iter().copied().collect()
-            };
+            let kept: Vec<(i64, i64)> =
+                if ctx.record_level_pruning && (lo.is_some() || hi.is_some()) {
+                    pairs
+                        .iter()
+                        .copied()
+                        .filter(|&(f, s)| match ctx.index.get(f, s) {
+                            Some(info) => {
+                                // `end_us` is exclusive (last sample + one
+                                // period), so a record ending exactly at the
+                                // lower bound holds no qualifying samples —
+                                // strict comparison is still conservative.
+                                // Degenerate zero-span records are kept.
+                                lo.is_none_or(|l| info.end_us > l || info.start_us == info.end_us)
+                                    && hi.is_none_or(|h| info.start_us <= h)
+                            }
+                            None => true, // unknown record: extract conservatively
+                        })
+                        .collect()
+                } else {
+                    pairs.iter().copied().collect()
+                };
             report.pruned_pairs = report.candidate_pairs - kept.len();
             report.fetched_pairs = kept.len();
             if lo.is_some() || hi.is_some() {
@@ -488,11 +488,7 @@ mod tests {
 
     fn r_table() -> Table {
         let mut t = Table::empty(crate::schema::records_schema());
-        for (f, s, st, en) in [
-            (0i64, 1i64, 0i64, 100i64),
-            (0, 2, 100, 200),
-            (1, 1, 0, 150),
-        ] {
+        for (f, s, st, en) in [(0i64, 1i64, 0i64, 100i64), (0, 2, 100, 200), (1, 1, 0, 150)] {
             t.append_row(vec![
                 Value::Int64(f),
                 Value::Int64(s),
@@ -572,7 +568,8 @@ mod tests {
         .unwrap();
         let mut t = Table::empty(schema);
         for &(f, s) in rows {
-            t.append_row(vec![Value::Int64(f), Value::Int64(s)]).unwrap();
+            t.append_row(vec![Value::Int64(f), Value::Int64(s)])
+                .unwrap();
         }
         Arc::new(t)
     }

@@ -14,12 +14,31 @@
 //! expansion) → optimize (metadata predicates first) → run-time lazy
 //! rewrite → execute, with every stage's plan captured for the demo's
 //! observability items (4)–(6) and every ETL operation logged (item 8).
+//!
+//! # Concurrency
+//!
+//! [`Warehouse::query`] takes `&self` and the warehouse is `Send + Sync`:
+//! one warehouse serves any number of client threads. The design is
+//! read-mostly:
+//!
+//! * the catalog, repository registry and locator index sit behind one
+//!   [`RwLock`] — queries share a read lock, only [`Warehouse::refresh`]
+//!   (folding repository changes in) takes the write lock;
+//! * the record cache is lock-striped into shards keyed by
+//!   `(file_id, seq_no)` hash ([`crate::cache`]), so concurrent
+//!   extractions feed disjoint stripes instead of serializing;
+//! * the result recycler, ETL log and refresh-generation counter are
+//!   internally synchronized (`Mutex` / atomics).
+//!
+//! Two queries racing on the same cold record may both extract it (a
+//! benign shard race — last admission wins, results are unaffected);
+//! everything else a query observes is the same as in the serial design.
 
 use crate::cache::{CacheLookup, CacheSnapshot, RecyclingCache};
 use crate::error::{EtlError, Result};
 use crate::extract::{push_file_row, push_record_row, FormatRegistry, RecordLocator};
 use crate::log::{EtlLog, EtlOp};
-use crate::parallel::{extract_groups, FileGroup};
+use crate::parallel::{extract_groups_into, FileGroup};
 use crate::qcache::{QueryResultCache, ResultCacheSnapshot};
 use crate::rewrite::{lazy_rewrite, LocatorIndex, RewriteContext, RewriteReport};
 use crate::schema::{self, DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
@@ -30,8 +49,10 @@ use lazyetl_query::{parse_select, LogicalPlan};
 use lazyetl_repo::{AccessProfile, Repository};
 use lazyetl_store::{Catalog, Table};
 use std::collections::BTreeSet;
+use std::ops::Deref;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
 /// Warehouse construction mode.
@@ -50,6 +71,11 @@ pub struct WarehouseConfig {
     /// Byte budget of the recycling cache ("not larger than the size of
     /// system's main memory", §3.3).
     pub cache_budget_bytes: usize,
+    /// Number of lock stripes of the recycling cache (clamped to ≥ 1).
+    /// More shards mean less contention between concurrent queries; `1`
+    /// restores the exact global-LRU eviction order of the serial design.
+    /// Experiment E12 sweeps this.
+    pub cache_shards: usize,
     /// Check the repository for updates at the start of every query
     /// ("refreshments are handled … when the data warehouse is queried",
     /// §3.3). Benchmarks measuring pure query latency disable this.
@@ -90,6 +116,7 @@ impl Default for WarehouseConfig {
     fn default() -> Self {
         WarehouseConfig {
             cache_budget_bytes: 256 << 20,
+            cache_shards: crate::cache::DEFAULT_SHARDS,
             auto_refresh: true,
             max_staleness: None,
             metadata_predicate_first: true,
@@ -203,24 +230,172 @@ struct FetchStats {
     simulated_io: Duration,
 }
 
-/// The scientific data warehouse.
+/// The mutable warehouse state queries read and refreshes rewrite: the
+/// repository registry, the catalog holding F/R (and D in eager mode),
+/// and the locator index derived from R.
+#[derive(Debug)]
+struct WarehouseState {
+    repo: Repository,
+    catalog: Catalog,
+    index: LocatorIndex,
+}
+
+impl WarehouseState {
+    /// Remove all rows of `file_id` from F, R (and D in eager mode).
+    fn delete_file_rows(&mut self, mode: Mode, file_id: i64) -> Result<()> {
+        let tables: &[&str] = match mode {
+            Mode::Lazy => &[FILES_TABLE, RECORDS_TABLE],
+            Mode::Eager => &[FILES_TABLE, RECORDS_TABLE, DATA_TABLE],
+        };
+        for name in tables {
+            let Some(table) = self.catalog.table_mut(name) else {
+                continue;
+            };
+            let Some(col) = table.column("file_id") else {
+                continue;
+            };
+            let mask: Vec<bool> = (0..col.len())
+                .map(|i| col.get(i).map(|v| v.as_i64() != Some(file_id)))
+                .collect::<lazyetl_store::Result<_>>()?;
+            if mask.iter().any(|&keep| !keep) {
+                *table = table.filter(&mask)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace one file's warehouse state from its current on-disk
+    /// content: metadata rows always, `D` rows in eager mode, cache
+    /// entries invalidated. Returns (record rows, samples) reloaded.
+    /// Callers must rebuild the locator index afterwards.
+    fn reload_file(
+        &mut self,
+        mode: Mode,
+        extractor: &FormatRegistry,
+        cache: &RecyclingCache,
+        log: &EtlLog,
+        uri: &str,
+    ) -> Result<(usize, u64)> {
+        let entry = self
+            .repo
+            .by_uri(uri)
+            .ok_or_else(|| EtlError::Internal(format!("repository lost {uri:?}")))?
+            .clone();
+        let fid = entry.id.0 as i64;
+        self.delete_file_rows(mode, fid)?;
+        cache.invalidate_file(fid);
+        let md = extractor.for_entry(&entry)?.scan_metadata(&entry)?;
+        {
+            let f_table = self
+                .catalog
+                .table_mut(FILES_TABLE)
+                .ok_or_else(|| EtlError::Internal("files table missing".into()))?;
+            push_file_row(f_table, &md.file)?;
+        }
+        {
+            let r_table = self
+                .catalog
+                .table_mut(RECORDS_TABLE)
+                .ok_or_else(|| EtlError::Internal("records table missing".into()))?;
+            for rr in &md.records {
+                push_record_row(r_table, rr)?;
+            }
+        }
+        log.push(EtlOp::MetadataRefresh {
+            uri: uri.to_string(),
+        });
+        log.push(EtlOp::StaleDrop {
+            uri: uri.to_string(),
+        });
+        let mut samples = 0u64;
+        if mode == Mode::Eager {
+            let locators: Vec<RecordLocator> = md
+                .records
+                .iter()
+                .map(|r| RecordLocator {
+                    seq_no: r.seq_no,
+                    byte_offset: r.byte_offset as u64,
+                    record_length: r.record_length as u32,
+                })
+                .collect();
+            let datas = extractor
+                .for_entry(&entry)?
+                .extract_records(&entry, &locators)?;
+            let mut adds = Table::empty(schema::data_schema());
+            for rd in &datas {
+                samples += rd.values.len() as u64;
+                adds.append_table(&rd.to_table(fid)?)?;
+            }
+            let d_table = self
+                .catalog
+                .table_mut(DATA_TABLE)
+                .ok_or_else(|| EtlError::Internal("data table missing".into()))?;
+            d_table.append_table(&adds)?;
+            log.push(EtlOp::Extract {
+                uri: uri.to_string(),
+                records: datas.len(),
+                samples: samples as usize,
+            });
+        }
+        Ok((md.records.len(), samples))
+    }
+
+    fn rebuild_index(&mut self) -> Result<()> {
+        self.index = LocatorIndex::build(
+            self.catalog
+                .table(RECORDS_TABLE)
+                .expect("records table present"),
+        )?;
+        Ok(())
+    }
+}
+
+/// Read guard over the warehouse catalog (shared with running queries).
+///
+/// Holds the state read lock; a concurrent [`Warehouse::refresh`] waits
+/// until it is dropped.
+pub struct CatalogRef<'a>(RwLockReadGuard<'a, WarehouseState>);
+
+impl Deref for CatalogRef<'_> {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        &self.0.catalog
+    }
+}
+
+/// Read guard over the repository registry (shared with running queries).
+pub struct RepositoryRef<'a>(RwLockReadGuard<'a, WarehouseState>);
+
+impl Deref for RepositoryRef<'_> {
+    type Target = Repository;
+    fn deref(&self) -> &Repository {
+        &self.0.repo
+    }
+}
+
+/// The scientific data warehouse. `Send + Sync`: share one instance (e.g.
+/// behind an [`Arc`]) across any number of query threads.
 pub struct Warehouse {
     mode: Mode,
     config: WarehouseConfig,
-    repo: Repository,
-    catalog: Catalog,
+    state: RwLock<WarehouseState>,
     cache: RecyclingCache,
     qcache: QueryResultCache,
     /// Bumped whenever a refresh folds repository changes into the
     /// catalog; recycled results from older generations are invalid.
-    generation: u64,
+    generation: AtomicU64,
     log: EtlLog,
-    index: LocatorIndex,
     extractor: FormatRegistry,
     load_report: LoadReport,
     /// When the repository was last rescanned (drives `max_staleness`).
-    last_rescan: Instant,
+    last_rescan: Mutex<Instant>,
 }
+
+/// Compile-time proof that the warehouse can be shared across threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Warehouse>();
+};
 
 impl Warehouse {
     /// Open a repository lazily: load only metadata; the warehouse is
@@ -241,7 +416,7 @@ impl Warehouse {
         repo.access = config.access;
         let mut catalog = Catalog::new();
         schema::install_metadata_schema(&mut catalog)?;
-        let mut log = EtlLog::new();
+        let log = EtlLog::new();
         let extractor = FormatRegistry::default();
 
         // Phase 1 (both modes): metadata into F and R.
@@ -286,7 +461,9 @@ impl Warehouse {
                     .iter()
                     .map(|&s| index.get(file_id, s).expect("index consistent").locator)
                     .collect();
-                let datas = extractor.for_entry(entry)?.extract_records(entry, &locators)?;
+                let datas = extractor
+                    .for_entry(entry)?
+                    .extract_records(entry, &locators)?;
                 let mut recs = 0usize;
                 for rd in &datas {
                     samples_loaded += rd.values.len() as u64;
@@ -315,18 +492,24 @@ impl Warehouse {
         };
         Ok(Warehouse {
             mode,
-            cache: RecyclingCache::new(config.cache_budget_bytes),
+            cache: RecyclingCache::with_shards(config.cache_budget_bytes, config.cache_shards),
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
-            generation: 0,
+            generation: AtomicU64::new(0),
             config,
-            repo,
-            catalog,
+            state: RwLock::new(WarehouseState {
+                repo,
+                catalog,
+                index,
+            }),
             log,
-            index,
             extractor,
             load_report,
-            last_rescan: Instant::now(),
+            last_rescan: Mutex::new(Instant::now()),
         })
+    }
+
+    fn read_state(&self) -> RwLockReadGuard<'_, WarehouseState> {
+        self.state.read().expect("warehouse state poisoned")
     }
 
     /// Which mode this warehouse was opened in.
@@ -339,19 +522,30 @@ impl Warehouse {
         &self.load_report
     }
 
-    /// The underlying repository.
-    pub fn repository(&self) -> &Repository {
-        &self.repo
+    /// The underlying repository (holds the state read lock while alive).
+    ///
+    /// **Do not call [`Self::refresh`] — or, with auto-refresh on,
+    /// [`Self::query`] — from the same thread while the guard is alive:**
+    /// the state lock is not reentrant, so acquiring the write lock under
+    /// a live read guard deadlocks. Drop the guard first.
+    pub fn repository(&self) -> RepositoryRef<'_> {
+        RepositoryRef(self.read_state())
     }
 
-    /// The catalog (metadata browsing, demo item 2).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The catalog (metadata browsing, demo item 2; holds the state read
+    /// lock while alive).
+    ///
+    /// **Do not call [`Self::refresh`] — or, with auto-refresh on,
+    /// [`Self::query`] — from the same thread while the guard is alive:**
+    /// the state lock is not reentrant, so acquiring the write lock under
+    /// a live read guard deadlocks. Drop the guard first.
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef(self.read_state())
     }
 
     /// Bytes resident in catalog tables (warehouse footprint, E2).
     pub fn resident_bytes(&self) -> usize {
-        self.catalog.resident_bytes()
+        self.read_state().catalog.resident_bytes()
     }
 
     /// Snapshot of the recycling cache (demo item 7).
@@ -368,7 +562,7 @@ impl Warehouse {
     /// Current invalidation generation (bumped by refreshes that fold
     /// repository changes into the catalog).
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.generation.load(Ordering::Acquire)
     }
 
     /// The ETL operations log (demo item 8).
@@ -382,7 +576,12 @@ impl Warehouse {
     }
 
     /// Run a SQL query through the full lazy/eager pipeline.
-    pub fn query(&mut self, sql: &str) -> Result<QueryOutput> {
+    ///
+    /// Takes `&self`: any number of threads may query one warehouse
+    /// concurrently. A query holds the state read lock from planning to
+    /// execution, so it sees one consistent catalog/index snapshot; the
+    /// auto-refresh rescan (when due) runs *before* that lock is taken.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
         let t0 = Instant::now();
         self.log.push(EtlOp::QueryStart {
             sql: sql.to_string(),
@@ -404,10 +603,13 @@ impl Warehouse {
             refresh: None,
             result_recycled: false,
         };
-        let within_staleness_bound = self
-            .config
-            .max_staleness
-            .is_some_and(|bound| self.last_rescan.elapsed() < bound);
+        let within_staleness_bound = self.config.max_staleness.is_some_and(|bound| {
+            self.last_rescan
+                .lock()
+                .expect("last_rescan poisoned")
+                .elapsed()
+                < bound
+        });
         if self.config.auto_refresh && !within_staleness_bound {
             let summary = self.refresh()?;
             if !summary.is_noop() {
@@ -415,12 +617,17 @@ impl Warehouse {
             }
         }
 
+        // From here on the query works against one consistent snapshot of
+        // catalog + index; concurrent refreshes wait for the read lock.
+        let state = self.read_state();
+
         // Parse and plan.
         let stmt = parse_select(sql)?;
         let source = match self.mode {
-            Mode::Lazy => TableSource::new(&self.catalog)
-                .with_external(DATA_TABLE, schema::data_schema()),
-            Mode::Eager => TableSource::new(&self.catalog),
+            Mode::Lazy => {
+                TableSource::new(&state.catalog).with_external(DATA_TABLE, schema::data_schema())
+            }
+            Mode::Eager => TableSource::new(&state.catalog),
         };
         let plan = plan_select(&stmt, &source)?;
         report.stages.push(("logical".into(), plan.display()));
@@ -444,16 +651,15 @@ impl Warehouse {
 
         // Result recycler: the optimized plan (literals included) is the
         // fingerprint; a hit skips extraction and execution entirely.
+        let generation = self.generation();
         let fingerprint = if self.config.recycle_query_results {
             let fp = plan.display();
-            if let Some(table) = self.qcache.get(&fp, self.generation) {
+            if let Some(table) = self.qcache.get(&fp, generation) {
                 report.stages.push(("recycled".into(), fp.clone()));
                 report.rows = table.num_rows();
                 report.result_recycled = true;
                 report.elapsed = t0.elapsed();
-                self.log.push(EtlOp::ResultRecycleHit {
-                    rows: report.rows,
-                });
+                self.log.push(EtlOp::ResultRecycleHit { rows: report.rows });
                 self.log.push(EtlOp::QueryFinish {
                     rows: report.rows,
                     elapsed_us: report.elapsed.as_micros() as u64,
@@ -466,37 +672,44 @@ impl Warehouse {
         };
 
         // Run-time lazy rewrite (lazy mode only).
-        let has_external =
-            plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
+        let has_external = plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
         let final_plan = if self.mode == Mode::Lazy && has_external {
             let mut rewrite_report = RewriteReport::default();
             let mut stats = FetchStats::default();
             {
-                let catalog = &self.catalog;
-                let repo = &self.repo;
-                let index = &self.index;
+                let state = &*state;
+                let cache = &self.cache;
+                let log = &self.log;
                 let extractor = &self.extractor;
-                let cache = &mut self.cache;
-                let log = &mut self.log;
                 let use_cache = self.config.use_cache;
                 let access = self.config.access;
                 let threads = self.config.extraction_threads;
                 let exec_meta = move |p: &LogicalPlan| -> Result<Arc<Table>> {
-                    execute(p, &ExecContext::new(catalog)).map_err(EtlError::Query)
+                    execute(p, &ExecContext::new(&state.catalog)).map_err(EtlError::Query)
                 };
                 let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
                     fetch_pairs(
-                        repo, index, extractor, cache, log, use_cache, access, threads,
-                        pairs, &mut stats,
+                        &state.repo,
+                        &state.index,
+                        extractor,
+                        cache,
+                        log,
+                        use_cache,
+                        access,
+                        threads,
+                        pairs,
+                        &mut stats,
                     )
                 };
                 let ctx = RewriteContext {
-                    index,
+                    index: &state.index,
                     record_level_pruning: self.config.record_level_pruning,
                 };
                 let rewritten =
                     lazy_rewrite(&plan, &ctx, &exec_meta, &mut fetch, &mut rewrite_report)?;
-                report.stages.push(("rewritten".into(), rewritten.display()));
+                report
+                    .stages
+                    .push(("rewritten".into(), rewritten.display()));
                 report.rewrite = Some(rewrite_report.clone());
                 self.log.push(EtlOp::PlanRewrite {
                     stage: "run-time".into(),
@@ -522,11 +735,11 @@ impl Warehouse {
         };
 
         // Execute.
-        let table = execute(&final_plan, &ExecContext::new(&self.catalog))
-            .map_err(EtlError::Query)?;
+        let table =
+            execute(&final_plan, &ExecContext::new(&state.catalog)).map_err(EtlError::Query)?;
         if let Some(fp) = fingerprint {
             let bytes = table.byte_size();
-            self.qcache.insert(fp, table.clone(), self.generation);
+            self.qcache.insert(fp, table.clone(), generation);
             self.log.push(EtlOp::ResultRecycleAdmit {
                 rows: table.num_rows(),
                 bytes,
@@ -545,7 +758,7 @@ impl Warehouse {
     ///
     /// In lazy mode this performs the run-time rewrite (and therefore the
     /// extraction) — exactly what the demo shows its audience.
-    pub fn explain(&mut self, sql: &str) -> Result<Vec<(String, String)>> {
+    pub fn explain(&self, sql: &str) -> Result<Vec<(String, String)>> {
         Ok(self.query(sql)?.report.stages)
     }
 
@@ -554,11 +767,13 @@ impl Warehouse {
     /// entries. Returns the `logical` and `optimized` stages; the
     /// `rewritten` stage only exists at run time (see [`Self::explain`]).
     pub fn plan_preview(&self, sql: &str) -> Result<Vec<(String, String)>> {
+        let state = self.read_state();
         let stmt = parse_select(sql)?;
         let source = match self.mode {
-            Mode::Lazy => TableSource::new(&self.catalog)
-                .with_external(DATA_TABLE, schema::data_schema()),
-            Mode::Eager => TableSource::new(&self.catalog),
+            Mode::Lazy => {
+                TableSource::new(&state.catalog).with_external(DATA_TABLE, schema::data_schema())
+            }
+            Mode::Eager => TableSource::new(&state.catalog),
         };
         let plan = plan_select(&stmt, &source)?;
         let mut stages = vec![("logical".to_string(), plan.display())];
@@ -573,20 +788,41 @@ impl Warehouse {
 
     /// Rescan the repository and fold any changes into the warehouse.
     ///
-    /// Lazy mode reloads metadata of changed/added files and invalidates
-    /// their cache entries; eager mode additionally re-extracts their
-    /// data. Removed files disappear from all tables.
-    pub fn refresh(&mut self) -> Result<RefreshSummary> {
+    /// The no-change common case (every auto-refreshing query against a
+    /// quiet repository) is detected with a read-only probe under the
+    /// **shared read lock**, so concurrent queries keep flowing. Only
+    /// when something actually changed does the fold take the state
+    /// write lock: running queries finish first, queries arriving during
+    /// the fold wait for the new state. Lazy mode reloads metadata of
+    /// changed/added files and invalidates their cache entries; eager
+    /// mode additionally re-extracts their data. Removed files disappear
+    /// from all tables.
+    pub fn refresh(&self) -> Result<RefreshSummary> {
         let t0 = Instant::now();
+        {
+            let state = self.read_state();
+            let probe = state.repo.scan_changes()?;
+            if probe.is_empty() {
+                *self.last_rescan.lock().expect("last_rescan poisoned") = Instant::now();
+                return Ok(RefreshSummary {
+                    elapsed: t0.elapsed(),
+                    ..Default::default()
+                });
+            }
+        }
+        // Something changed: escalate to the write lock. `rescan()` below
+        // recomputes authoritatively, so a concurrent refresh that beat us
+        // to the fold is harmless — our rescan then reports empty.
+        let mut state = self.state.write().expect("warehouse state poisoned");
         // Capture the pre-rescan id mapping so removed files can be purged.
-        let prev_ids: std::collections::HashMap<String, i64> = self
+        let prev_ids: std::collections::HashMap<String, i64> = state
             .repo
             .files()
             .iter()
             .map(|e| (e.uri.clone(), e.id.0 as i64))
             .collect();
-        let change = self.repo.rescan()?;
-        self.last_rescan = Instant::now();
+        let change = state.repo.rescan()?;
+        *self.last_rescan.lock().expect("last_rescan poisoned") = Instant::now();
         if change.is_empty() {
             return Ok(RefreshSummary {
                 elapsed: t0.elapsed(),
@@ -600,102 +836,28 @@ impl Warehouse {
             ..Default::default()
         };
         // Recycled results were computed against the pre-change catalog.
-        self.generation += 1;
+        self.generation.fetch_add(1, Ordering::AcqRel);
 
         // Purge removed files.
         for uri in &change.removed {
             if let Some(&fid) = prev_ids.get(uri) {
-                self.delete_file_rows(fid)?;
+                state.delete_file_rows(self.mode, fid)?;
                 self.cache.invalidate_file(fid);
             }
         }
 
         // Reload metadata (and, eagerly, data) of changed and added files.
         for uri in change.modified.iter().chain(&change.added) {
-            let (records, samples) = self.reload_file(uri)?;
+            let (records, samples) =
+                state.reload_file(self.mode, &self.extractor, &self.cache, &self.log, uri)?;
             summary.records_reloaded += records;
             summary.samples_reloaded += samples;
         }
 
         // Rebuild the locator index from the fresh R table.
-        self.rebuild_index()?;
+        state.rebuild_index()?;
         summary.elapsed = t0.elapsed();
         Ok(summary)
-    }
-
-    /// Replace one file's warehouse state from its current on-disk
-    /// content: metadata rows always, `D` rows in eager mode, cache
-    /// entries invalidated. Returns (record rows, samples) reloaded.
-    /// Callers must rebuild the locator index afterwards.
-    fn reload_file(&mut self, uri: &str) -> Result<(usize, u64)> {
-        let entry = self
-            .repo
-            .by_uri(uri)
-            .ok_or_else(|| EtlError::Internal(format!("repository lost {uri:?}")))?
-            .clone();
-        let fid = entry.id.0 as i64;
-        self.delete_file_rows(fid)?;
-        self.cache.invalidate_file(fid);
-        let md = self.extractor.for_entry(&entry)?.scan_metadata(&entry)?;
-        {
-            let f_table = self
-                .catalog
-                .table_mut(FILES_TABLE)
-                .ok_or_else(|| EtlError::Internal("files table missing".into()))?;
-            push_file_row(f_table, &md.file)?;
-        }
-        {
-            let r_table = self
-                .catalog
-                .table_mut(RECORDS_TABLE)
-                .ok_or_else(|| EtlError::Internal("records table missing".into()))?;
-            for rr in &md.records {
-                push_record_row(r_table, rr)?;
-            }
-        }
-        self.log.push(EtlOp::MetadataRefresh { uri: uri.to_string() });
-        self.log.push(EtlOp::StaleDrop { uri: uri.to_string() });
-        let mut samples = 0u64;
-        if self.mode == Mode::Eager {
-            let locators: Vec<RecordLocator> = md
-                .records
-                .iter()
-                .map(|r| RecordLocator {
-                    seq_no: r.seq_no,
-                    byte_offset: r.byte_offset as u64,
-                    record_length: r.record_length as u32,
-                })
-                .collect();
-            let datas = self
-                .extractor
-                .for_entry(&entry)?
-                .extract_records(&entry, &locators)?;
-            let mut adds = Table::empty(schema::data_schema());
-            for rd in &datas {
-                samples += rd.values.len() as u64;
-                adds.append_table(&rd.to_table(fid)?)?;
-            }
-            let d_table = self
-                .catalog
-                .table_mut(DATA_TABLE)
-                .ok_or_else(|| EtlError::Internal("data table missing".into()))?;
-            d_table.append_table(&adds)?;
-            self.log.push(EtlOp::Extract {
-                uri: uri.to_string(),
-                records: datas.len(),
-                samples: samples as usize,
-            });
-        }
-        Ok((md.records.len(), samples))
-    }
-
-    fn rebuild_index(&mut self) -> Result<()> {
-        self.index = LocatorIndex::build(
-            self.catalog
-                .table(RECORDS_TABLE)
-                .expect("records table present"),
-        )?;
-        Ok(())
     }
 
     /// Reopen a warehouse from state persisted by
@@ -723,27 +885,13 @@ impl Warehouse {
         if let Some(d) = data {
             catalog.create_table(DATA_TABLE, d)?;
         }
-        let mut wh = Warehouse {
-            mode,
-            cache: RecyclingCache::new(config.cache_budget_bytes),
-            qcache: QueryResultCache::new(config.result_cache_budget_bytes),
-            generation: 0,
-            config,
+        let cache = RecyclingCache::with_shards(config.cache_budget_bytes, config.cache_shards);
+        let log = EtlLog::new();
+        let extractor = FormatRegistry::default();
+        let mut state = WarehouseState {
             repo,
             catalog,
-            log: EtlLog::new(),
             index: LocatorIndex::default(),
-            extractor: FormatRegistry::default(),
-            load_report: LoadReport {
-                mode,
-                files: 0,
-                records: 0,
-                samples_loaded: 0,
-                bytes_read: 0,
-                elapsed: Duration::ZERO,
-                simulated_io: Duration::ZERO,
-            },
-            last_rescan: Instant::now(),
         };
 
         // Reconcile persisted rows against the live repository by URI.
@@ -756,7 +904,7 @@ impl Warehouse {
         let mut saved: std::collections::HashMap<String, SavedRow> =
             std::collections::HashMap::new();
         {
-            let f_table = wh
+            let f_table = state
                 .catalog
                 .table(FILES_TABLE)
                 .expect("files table installed");
@@ -766,8 +914,12 @@ impl Warehouse {
                     .index_of(name)
                     .ok_or_else(|| EtlError::Internal(format!("files table lacks {name}")))
             };
-            let (c_uri, c_id, c_mtime, c_size) =
-                (need("uri")?, need("file_id")?, need("mtime")?, need("size")?);
+            let (c_uri, c_id, c_mtime, c_size) = (
+                need("uri")?,
+                need("file_id")?,
+                need("mtime")?,
+                need("size")?,
+            );
             for row in 0..f_table.num_rows() {
                 let uri = f_table.columns[c_uri]
                     .get(row)?
@@ -784,11 +936,18 @@ impl Warehouse {
                 );
             }
         }
-        let entries: Vec<(String, i64, i64, i64)> = wh
+        let entries: Vec<(String, i64, i64, i64)> = state
             .repo
             .files()
             .iter()
-            .map(|e| (e.uri.clone(), e.id.0 as i64, e.mtime.micros(), e.size as i64))
+            .map(|e| {
+                (
+                    e.uri.clone(),
+                    e.id.0 as i64,
+                    e.mtime.micros(),
+                    e.size as i64,
+                )
+            })
             .collect();
         let mut reloaded = 0usize;
         for (uri, id, mtime, size) in &entries {
@@ -797,22 +956,22 @@ impl Warehouse {
                 None => true, // new file since the save
             };
             if fresh {
-                wh.reload_file(uri)?;
+                state.reload_file(mode, &extractor, &cache, &log, uri)?;
                 reloaded += 1;
             }
         }
         // Anything left in `saved` vanished from the repository.
         for (_, row) in saved {
-            wh.delete_file_rows(row.file_id)?;
+            state.delete_file_rows(mode, row.file_id)?;
         }
-        wh.rebuild_index()?;
-        wh.load_report = LoadReport {
+        state.rebuild_index()?;
+        let load_report = LoadReport {
             mode,
-            files: wh.repo.len(),
-            records: wh.index.len(),
+            files: state.repo.len(),
+            records: state.index.len(),
             samples_loaded: match mode {
                 Mode::Lazy => 0,
-                Mode::Eager => wh
+                Mode::Eager => state
                     .catalog
                     .table(DATA_TABLE)
                     .map(|t| t.num_rows() as u64)
@@ -822,37 +981,25 @@ impl Warehouse {
             elapsed: t0.elapsed(),
             simulated_io: Duration::ZERO,
         };
-        wh.log.push(EtlOp::PlanRewrite {
+        log.push(EtlOp::PlanRewrite {
             stage: "bootstrap".into(),
             detail: format!(
                 "reopened from saved state; {reloaded} of {} files reconciled",
                 entries.len()
             ),
         });
-        Ok(wh)
-    }
-
-    /// Remove all rows of `file_id` from F, R (and D in eager mode).
-    fn delete_file_rows(&mut self, file_id: i64) -> Result<()> {
-        let tables: &[&str] = match self.mode {
-            Mode::Lazy => &[FILES_TABLE, RECORDS_TABLE],
-            Mode::Eager => &[FILES_TABLE, RECORDS_TABLE, DATA_TABLE],
-        };
-        for name in tables {
-            let Some(table) = self.catalog.table_mut(name) else {
-                continue;
-            };
-            let Some(col) = table.column("file_id") else {
-                continue;
-            };
-            let mask: Vec<bool> = (0..col.len())
-                .map(|i| col.get(i).map(|v| v.as_i64() != Some(file_id)))
-                .collect::<lazyetl_store::Result<_>>()?;
-            if mask.iter().any(|&keep| !keep) {
-                *table = table.filter(&mask)?;
-            }
-        }
-        Ok(())
+        Ok(Warehouse {
+            mode,
+            cache,
+            qcache: QueryResultCache::new(config.result_cache_budget_bytes),
+            generation: AtomicU64::new(0),
+            config,
+            state: RwLock::new(state),
+            log,
+            extractor,
+            load_report,
+            last_rescan: Mutex::new(Instant::now()),
+        })
     }
 }
 
@@ -860,11 +1007,11 @@ impl Warehouse {
 ///
 /// * **triage** (sequential) — per file, look each record up in the cache,
 ///   collecting hits and the locators still needing extraction;
-/// * **extract** (parallel up to `threads`, see [`crate::parallel`]) —
-///   decode the missing records, file by file;
+/// * **extract + admit** (parallel up to `threads`, see
+///   [`crate::parallel`]) — decode the missing records file by file, each
+///   worker admitting its records straight into the lock-striped cache;
 /// * **assemble** (sequential) — per file in pair order: cached rows
-///   first, then fresh rows in byte-offset order, admitting each fresh
-///   record to the cache.
+///   first, then fresh rows in byte-offset order.
 ///
 /// The assembled table is byte-identical for every thread count.
 #[allow(clippy::too_many_arguments)]
@@ -872,8 +1019,8 @@ fn fetch_pairs(
     repo: &Repository,
     index: &LocatorIndex,
     extractor: &FormatRegistry,
-    cache: &mut RecyclingCache,
-    log: &mut EtlLog,
+    cache: &RecyclingCache,
+    log: &EtlLog,
     use_cache: bool,
     access: AccessProfile,
     threads: usize,
@@ -935,13 +1082,18 @@ fn fetch_pairs(
         groups.push(group);
     }
 
-    // Phase B: extract missing records, possibly in parallel.
-    let extracted = extract_groups(extractor, &groups, threads);
+    // Phase B: extract missing records, possibly in parallel; workers
+    // admit each record to its cache shard as soon as it materializes.
+    let extracted = extract_groups_into(
+        extractor,
+        &groups,
+        threads,
+        if use_cache { Some(cache) } else { None },
+    );
 
-    // Phase C: assemble rows in pair order and admit fresh extractions.
+    // Phase C: assemble rows in pair order.
     let mut out = Table::empty(schema::data_schema());
     for (group, datas) in groups.iter().zip(extracted) {
-        let file_id = group.entry.id.0 as i64;
         if !group.hit_tables.is_empty() {
             for t in &group.hit_tables {
                 out.append_table(t)?;
@@ -961,15 +1113,11 @@ fn fetch_pairs(
             samples += rec.samples;
             file_bytes += loc.record_length as u64;
             out.append_table(&rec.table)?;
-            if use_cache {
-                let evicted =
-                    cache.insert((file_id, rec.seq_no), rec.table.clone(), group.current_mtime);
-                if evicted > 0 {
-                    log.push(EtlOp::CacheEvict {
-                        entries: evicted,
-                        bytes: 0,
-                    });
-                }
+            if rec.evicted_on_admit > 0 {
+                log.push(EtlOp::CacheEvict {
+                    entries: rec.evicted_on_admit,
+                    bytes: 0,
+                });
             }
         }
         stats.records_extracted += datas.len();

@@ -21,8 +21,15 @@ fn table_of(rows: usize) -> Arc<Table> {
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { key: u8, rows: usize, generation: u64 },
-    Get { key: u8, generation: u64 },
+    Insert {
+        key: u8,
+        rows: usize,
+        generation: u64,
+    },
+    Get {
+        key: u8,
+        generation: u64,
+    },
     Clear,
 }
 
@@ -50,7 +57,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..120),
         budget_rows in 10usize..200,
     ) {
-        let mut cache = QueryResultCache::new(budget_rows * 8);
+        let cache = QueryResultCache::new(budget_rows * 8);
         // key -> (rows, generation); unbounded (never evicts).
         let mut model: HashMap<u8, (usize, u64)> = HashMap::new();
         for op in ops {
@@ -101,7 +108,7 @@ proptest! {
     /// regardless of operation interleaving.
     #[test]
     fn generation_bump_invalidates_all_prior(keys in prop::collection::vec(0u8..6, 1..10)) {
-        let mut cache = QueryResultCache::new(1 << 20);
+        let cache = QueryResultCache::new(1 << 20);
         for &k in &keys {
             cache.insert(fp(k), table_of(4), 0);
         }
@@ -114,7 +121,7 @@ proptest! {
     /// LRU: the most recently *used* fingerprint survives eviction waves.
     #[test]
     fn lru_respects_recency(n in 3usize..12) {
-        let mut cache = QueryResultCache::new(n * 80);
+        let cache = QueryResultCache::new(n * 80);
         for i in 0..n as u8 {
             cache.insert(fp(i), table_of(10), 0);
         }

@@ -165,9 +165,9 @@ impl Timestamp {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .ok_or_else(|| bad("missing minute"))?;
-            second = tp.next().map_or(Ok(0), |v| {
-                v.parse().map_err(|_| bad("invalid second"))
-            })?;
+            second = tp
+                .next()
+                .map_or(Ok(0), |v| v.parse().map_err(|_| bad("invalid second")))?;
             if tp.next().is_some() || hour > 23 || minute > 59 || second > 60 {
                 return Err(bad("invalid time of day"));
             }
@@ -410,8 +410,14 @@ mod tests {
     #[test]
     fn parse_iso_rejects_garbage() {
         for bad in [
-            "", "2010", "2010-13-01", "2010-01-32", "2010-01-12T25:00:00",
-            "2010-01-12T10:61:00", "abcd-01-12", "2010-01-12T10:00:00.1234567",
+            "",
+            "2010",
+            "2010-13-01",
+            "2010-01-32",
+            "2010-01-12T25:00:00",
+            "2010-01-12T10:61:00",
+            "abcd-01-12",
+            "2010-01-12T10:00:00.1234567",
             "2010-01-12T10:00:00.",
         ] {
             assert!(Timestamp::parse_iso(bad).is_err(), "accepted {bad:?}");

@@ -282,9 +282,7 @@ pub fn decode(encoding: DataEncoding, data: &[u8], n_samples: usize) -> Result<S
             Ok(Samples::Floats(
                 data.chunks_exact(8)
                     .take(n_samples)
-                    .map(|c| {
-                        f64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]])
-                    })
+                    .map(|c| f64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
                     .collect(),
             ))
         }

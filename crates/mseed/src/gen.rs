@@ -207,10 +207,12 @@ pub fn file_rel_path_ext(source: &SourceId, start: Timestamp, ext: &str) -> Path
     } else {
         &source.location
     };
-    PathBuf::from(&source.network).join(&source.station).join(format!(
-        "{}.{}.{}.{}.{:04}.{:03}.{:02}{:02}{:02}.{ext}",
-        source.network, source.station, loc, source.channel, y, doy, h, mi, s
-    ))
+    PathBuf::from(&source.network)
+        .join(&source.station)
+        .join(format!(
+            "{}.{}.{}.{}.{:04}.{:03}.{:02}{:02}{:02}.{ext}",
+            source.network, source.station, loc, source.channel, y, doy, h, mi, s
+        ))
 }
 
 /// Time-domain parameters of one network-wide event, before per-stream
@@ -234,8 +236,7 @@ fn draw_network_events(config: &GeneratorConfig) -> Vec<NetworkEventSpec> {
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
     (config.seed, "network-events").hash(&mut hasher);
     let mut rng = SmallRng::seed_from_u64(hasher.finish());
-    let span_us =
-        config.files_per_stream as i64 * config.file_duration_secs as i64 * 1_000_000;
+    let span_us = config.files_per_stream as i64 * config.file_duration_secs as i64 * 1_000_000;
     let lo = span_us / 10;
     let hi = span_us - span_us / 10;
     (0..config.network_events)
@@ -268,7 +269,13 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
             // station iteration order changes elsewhere.
             let mut hasher = std::collections::hash_map::DefaultHasher::new();
             use std::hash::{Hash, Hasher};
-            (config.seed, &source.network, &source.station, &source.channel).hash(&mut hasher);
+            (
+                config.seed,
+                &source.network,
+                &source.station,
+                &source.channel,
+            )
+                .hash(&mut hasher);
             let mut rng = SmallRng::seed_from_u64(hasher.finish());
             for file_idx in 0..config.files_per_stream {
                 let start = config.start.add_micros(file_idx as i64 * file_span_us);
@@ -279,7 +286,14 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
                 for (k, spec) in network_events.iter().enumerate() {
                     let mut hasher = std::collections::hash_map::DefaultHasher::new();
                     use std::hash::{Hash, Hasher};
-                    (config.seed, "netev", k, &source.network, &source.station, &source.channel)
+                    (
+                        config.seed,
+                        "netev",
+                        k,
+                        &source.network,
+                        &source.station,
+                        &source.channel,
+                    )
                         .hash(&mut hasher);
                     let mut ev_rng = SmallRng::seed_from_u64(hasher.finish());
                     let jitter_us = ev_rng.gen_range(-1_000_000i64..=1_000_000);
@@ -297,8 +311,7 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
                     events.push((onset, amplitude, spec.frequency, spec.decay));
                     out.events.push(InjectedEvent {
                         source: source.clone(),
-                        onset: start
-                            .add_micros((onset as f64 / config.sample_rate * 1e6) as i64),
+                        onset: start.add_micros((onset as f64 / config.sample_rate * 1e6) as i64),
                         amplitude,
                         frequency: spec.frequency,
                         decay: spec.decay,
@@ -325,8 +338,13 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
                     }
                     budget -= 1.0;
                 }
-                let samples =
-                    synthesize_segment(&mut rng, n, config.sample_rate, config.noise_amplitude, &events);
+                let samples = synthesize_segment(
+                    &mut rng,
+                    n,
+                    config.sample_rate,
+                    config.noise_amplitude,
+                    &events,
+                );
                 let rel = file_rel_path_ext(&source, start, if use_sac { "sac" } else { "mseed" });
                 let path = root.join(rel);
                 if let Some(parent) = path.parent() {
@@ -405,7 +423,13 @@ pub fn append_to_file(
         first_sequence: next_seq,
         ..Default::default()
     };
-    let bytes = write_records(source, start, sample_rate, SamplesRef::Ints(&samples), &opts)?;
+    let bytes = write_records(
+        source,
+        start,
+        sample_rate,
+        SamplesRef::Ints(&samples),
+        &opts,
+    )?;
     use std::io::Write;
     let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
     f.write_all(&bytes)?;
@@ -450,10 +474,7 @@ mod tests {
         for gf in &rep.files {
             let recs = read_file(&gf.path).unwrap();
             assert!(!recs.is_empty());
-            let total: usize = recs
-                .iter()
-                .map(|r| r.header.num_samples as usize)
-                .sum();
+            let total: usize = recs.iter().map(|r| r.header.num_samples as usize).sum();
             assert_eq!(total, gf.num_samples);
             let first = recs[0].start_timestamp().unwrap();
             assert_eq!(first, gf.start);
@@ -470,8 +491,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let quiet = synthesize_segment(&mut rng, 4000, 40.0, 100.0, &[]);
         let mut rng = SmallRng::seed_from_u64(3);
-        let eventful =
-            synthesize_segment(&mut rng, 4000, 40.0, 100.0, &[(2000, 4000.0, 3.0, 5.0)]);
+        let eventful = synthesize_segment(&mut rng, 4000, 40.0, 100.0, &[(2000, 4000.0, 3.0, 5.0)]);
         let peak_quiet = quiet.iter().map(|v| v.abs()).max().unwrap();
         let peak_event = eventful[2000..].iter().map(|v| v.abs()).max().unwrap();
         assert!(

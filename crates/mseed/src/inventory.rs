@@ -56,7 +56,13 @@ pub fn default_inventory() -> Vec<Station> {
         s("NL", "OPLO", 51.588, 5.810, "Oploo, Netherlands"),
         s("NL", "WTSB", 53.316, 6.776, "Wetsinge, Netherlands"),
         // Kandilli Observatory network (Figure 1, query 1: station = 'ISK').
-        s("KO", "ISK", 41.066, 29.060, "Kandilli Observatory, Istanbul"),
+        s(
+            "KO",
+            "ISK",
+            41.066,
+            29.060,
+            "Kandilli Observatory, Istanbul",
+        ),
         s("KO", "BALB", 39.640, 27.880, "Balikesir, Turkey"),
         // German Regional Seismic Network for variety.
         s("GR", "BFO", 48.331, 8.330, "Black Forest Observatory"),

@@ -35,6 +35,9 @@ pub mod write;
 pub use btime::{BTime, Timestamp};
 pub use encoding::{DataEncoding, Samples, SamplesRef};
 pub use error::{MseedError, Result};
-pub use read::{read_file, read_records, read_records_at, scan_metadata, scan_metadata_file, FileScan, RecordMeta};
+pub use read::{
+    read_file, read_records, read_records_at, scan_metadata, scan_metadata_file, FileScan,
+    RecordMeta,
+};
 pub use record::{Record, RecordHeader, SourceId};
 pub use write::{write_file, write_records, WriteOptions};

@@ -351,11 +351,7 @@ mod tests {
         let recs = read_records_at(&path, &picks).unwrap();
         assert_eq!(recs.len(), picks.len());
         for (rec, (off, _)) in recs.iter().zip(&picks) {
-            let expected = scan
-                .records
-                .iter()
-                .find(|m| m.byte_offset == *off)
-                .unwrap();
+            let expected = scan.records.iter().find(|m| m.byte_offset == *off).unwrap();
             assert_eq!(rec.header.sequence_number, expected.sequence_number);
             assert_eq!(
                 rec.decode_samples().unwrap().len() as u32,

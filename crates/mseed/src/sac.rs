@@ -93,7 +93,9 @@ impl SacFile {
 }
 
 fn get_f32(buf: &[u8], word: usize, order: SacByteOrder) -> f32 {
-    let b: [u8; 4] = buf[word * 4..word * 4 + 4].try_into().expect("bounds checked");
+    let b: [u8; 4] = buf[word * 4..word * 4 + 4]
+        .try_into()
+        .expect("bounds checked");
     match order {
         SacByteOrder::Little => f32::from_le_bytes(b),
         SacByteOrder::Big => f32::from_be_bytes(b),
@@ -101,7 +103,9 @@ fn get_f32(buf: &[u8], word: usize, order: SacByteOrder) -> f32 {
 }
 
 fn get_i32(buf: &[u8], word: usize, order: SacByteOrder) -> i32 {
-    let b: [u8; 4] = buf[word * 4..word * 4 + 4].try_into().expect("bounds checked");
+    let b: [u8; 4] = buf[word * 4..word * 4 + 4]
+        .try_into()
+        .expect("bounds checked");
     match order {
         SacByteOrder::Little => i32::from_le_bytes(b),
         SacByteOrder::Big => i32::from_be_bytes(b),
@@ -188,7 +192,11 @@ fn parse_header(buf: &[u8]) -> Result<SacFile> {
         (msec.max(0) * 1000) as u32,
     );
     let b = get_f32(buf, W_B, order);
-    let b_us = if b == SAC_UNDEF_F { 0 } else { (b as f64 * 1e6) as i64 };
+    let b_us = if b == SAC_UNDEF_F {
+        0
+    } else {
+        (b as f64 * 1e6) as i64
+    };
     let station = get_k(buf, K_STNM);
     let network = get_k(buf, K_NETWK);
     let channel = get_k(buf, K_CMPNM);
@@ -262,9 +270,9 @@ pub fn write_sac_bytes(
     floats[W_DELTA] = delta as f32;
     floats[W_B] = 0.0;
     floats[W_E] = (delta * samples.len() as f64) as f32;
-    let (min, max) = samples.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
-        (lo.min(v), hi.max(v))
-    });
+    let (min, max) = samples
+        .iter()
+        .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     if !samples.is_empty() {
         floats[W_DEPMIN] = min;
         floats[W_DEPMAX] = max;
@@ -368,7 +376,15 @@ mod tests {
         let path = dir.join("trace.sac");
         let src = demo_source();
         let start = Timestamp::from_ymd_hms(2011, 2, 3, 4, 5, 6, 0);
-        write_sac(&path, &src, start, 20.0, &demo_samples(10_000), SacByteOrder::Little).unwrap();
+        write_sac(
+            &path,
+            &src,
+            start,
+            20.0,
+            &demo_samples(10_000),
+            SacByteOrder::Little,
+        )
+        .unwrap();
         let header = scan_sac_header(&path).unwrap();
         assert_eq!(header.npts, 10_000);
         assert!(header.samples.is_empty(), "scan reads no data");
@@ -383,7 +399,8 @@ mod tests {
     fn end_time_spans_samples() {
         let src = demo_source();
         let start = Timestamp::from_ymd_hms(2010, 1, 1, 0, 0, 0, 0);
-        let bytes = write_sac_bytes(&src, start, 10.0, &demo_samples(100), SacByteOrder::Big).unwrap();
+        let bytes =
+            write_sac_bytes(&src, start, 10.0, &demo_samples(100), SacByteOrder::Big).unwrap();
         let f = read_sac_bytes(&bytes).unwrap();
         assert_eq!(f.end(), start.add_micros(10_000_000)); // 100 samples at 10 Hz
     }
@@ -392,7 +409,8 @@ mod tests {
     fn corrupt_headers_rejected() {
         let src = demo_source();
         let start = Timestamp::from_ymd_hms(2010, 1, 1, 0, 0, 0, 0);
-        let good = write_sac_bytes(&src, start, 10.0, &demo_samples(10), SacByteOrder::Little).unwrap();
+        let good =
+            write_sac_bytes(&src, start, 10.0, &demo_samples(10), SacByteOrder::Little).unwrap();
         // Truncated header.
         assert!(read_sac_bytes(&good[..100]).is_err());
         // Broken NVHDR (neither order matches).

@@ -222,10 +222,18 @@ const STEIM2_PACKINGS: [(usize, u32, u8, u32); 7] = [
 ];
 
 fn steim2_pack(diffs: &[i32], bits: u32, dnib: u32) -> u32 {
-    let mut w = if dnib <= 3 && bits != 8 { dnib << 30 } else { 0 };
+    let mut w = if dnib <= 3 && bits != 8 {
+        dnib << 30
+    } else {
+        0
+    };
     let n = diffs.len() as u32;
     for (i, &d) in diffs.iter().enumerate() {
-        let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         let shift = bits * (n - 1 - i as u32);
         w |= ((d as u32) & mask) << shift;
     }
@@ -505,7 +513,9 @@ mod tests {
     #[test]
     fn steim2_denser_than_steim1_on_small_diffs() {
         // Slowly-varying waveform: Steim-2 should use fewer frames.
-        let samples: Vec<i32> = (0..2000).map(|i| ((i as f64 / 10.0).sin() * 6.0) as i32).collect();
+        let samples: Vec<i32> = (0..2000)
+            .map(|i| ((i as f64 / 10.0).sin() * 6.0) as i32)
+            .collect();
         let e1 = encode_steim1(&samples, 0, 256).unwrap();
         let e2 = encode_steim2(&samples, 0, 256).unwrap();
         assert_eq!(e1.samples_encoded, samples.len());

@@ -81,7 +81,10 @@ pub fn write_records(
     if !opts.record_length.is_power_of_two() || !(128..=65536).contains(&opts.record_length) {
         return Err(MseedError::InvalidField {
             field: "record length",
-            detail: format!("{} is not a power of two in 128..=65536", opts.record_length),
+            detail: format!(
+                "{} is not a power of two in 128..=65536",
+                opts.record_length
+            ),
         });
     }
     if samples.is_empty() {
@@ -112,12 +115,18 @@ pub fn write_records(
         // which needs 256 KiB records — out of range — but stay correct).
         let encoded = if n < encoded.samples_encoded {
             let exact = match remaining {
-                SamplesRef::Ints(v) => {
-                    encoding::encode(opts.encoding, &SamplesRef::Ints(&v[..n]), prev_sample, payload_capacity)?
-                }
-                SamplesRef::Floats(v) => {
-                    encoding::encode(opts.encoding, &SamplesRef::Floats(&v[..n]), prev_sample, payload_capacity)?
-                }
+                SamplesRef::Ints(v) => encoding::encode(
+                    opts.encoding,
+                    &SamplesRef::Ints(&v[..n]),
+                    prev_sample,
+                    payload_capacity,
+                )?,
+                SamplesRef::Floats(v) => encoding::encode(
+                    opts.encoding,
+                    &SamplesRef::Floats(&v[..n]),
+                    prev_sample,
+                    payload_capacity,
+                )?,
             };
             exact
         } else {
@@ -152,13 +161,17 @@ pub fn write_records(
         out.push(1); // big-endian word order
         out.push(record_length_exp);
         out.push(0); // reserved
-        // Blockette 1001 at offset 56, end of chain.
+                     // Blockette 1001 at offset 56, end of chain.
         out.extend_from_slice(&1001u16.to_be_bytes());
         out.extend_from_slice(&0u16.to_be_bytes());
         out.push(opts.timing_quality);
         out.push(0); // micro_sec
         out.push(0); // reserved
-        out.push(if opts.encoding.is_compressed() { frame_count } else { 0 });
+        out.push(if opts.encoding.is_compressed() {
+            frame_count
+        } else {
+            0
+        });
         debug_assert_eq!(out.len() - rec_base, DATA_OFFSET);
         out.extend_from_slice(&encoded.bytes);
         // Zero-pad to the fixed record length.
@@ -231,7 +244,9 @@ mod tests {
     #[test]
     fn multi_record_split_preserves_stream() {
         // Enough samples to need several 512-byte records.
-        let samples: Vec<i32> = (0..5000).map(|i| ((i as f64 / 7.0).sin() * 1000.0) as i32).collect();
+        let samples: Vec<i32> = (0..5000)
+            .map(|i| ((i as f64 / 7.0).sin() * 1000.0) as i32)
+            .collect();
         let start = Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0);
         let opts = WriteOptions {
             record_length: 512,
@@ -246,8 +261,7 @@ mod tests {
             assert_eq!(rec.header.sequence_number, 1 + i as u32);
             assert_eq!(rec.start_timestamp().unwrap(), expect_start);
             let s = rec.decode_samples().unwrap();
-            expect_start =
-                expect_start.add_micros(25_000 * rec.header.num_samples as i64);
+            expect_start = expect_start.add_micros(25_000 * rec.header.num_samples as i64);
             reassembled.extend_from_slice(s.as_ints().unwrap());
         }
         assert_eq!(reassembled, samples);
@@ -278,14 +292,7 @@ mod tests {
             record_length: 1000,
             ..Default::default()
         };
-        assert!(write_records(
-            &src(),
-            Timestamp(0),
-            40.0,
-            SamplesRef::Ints(&s),
-            &opts
-        )
-        .is_err());
+        assert!(write_records(&src(), Timestamp(0), 40.0, SamplesRef::Ints(&s), &opts).is_err());
     }
 
     #[test]
@@ -306,8 +313,17 @@ mod tests {
         let ints: Vec<i32> = (0..200).map(|i| i % 100 - 50).collect();
         let floats: Vec<f64> = ints.iter().map(|&i| i as f64 / 3.0).collect();
         let start = Timestamp::from_ymd_hms(2012, 3, 4, 5, 6, 7, 0);
-        for enc in [DataEncoding::Int16, DataEncoding::Int32, DataEncoding::Steim1, DataEncoding::Steim2] {
-            let opts = WriteOptions { encoding: enc, record_length: 512, ..Default::default() };
+        for enc in [
+            DataEncoding::Int16,
+            DataEncoding::Int32,
+            DataEncoding::Steim1,
+            DataEncoding::Steim2,
+        ] {
+            let opts = WriteOptions {
+                encoding: enc,
+                record_length: 512,
+                ..Default::default()
+            };
             let bytes = write_records(&src(), start, 20.0, SamplesRef::Ints(&ints), &opts).unwrap();
             let mut got = Vec::new();
             for rec in read_records(&bytes) {
@@ -316,8 +332,13 @@ mod tests {
             assert_eq!(got, ints, "encoding {}", enc.name());
         }
         for enc in [DataEncoding::Float32, DataEncoding::Float64] {
-            let opts = WriteOptions { encoding: enc, record_length: 512, ..Default::default() };
-            let bytes = write_records(&src(), start, 20.0, SamplesRef::Floats(&floats), &opts).unwrap();
+            let opts = WriteOptions {
+                encoding: enc,
+                record_length: 512,
+                ..Default::default()
+            };
+            let bytes =
+                write_records(&src(), start, 20.0, SamplesRef::Floats(&floats), &opts).unwrap();
             let mut got = Vec::new();
             for rec in read_records(&bytes) {
                 got.extend(rec.unwrap().decode_samples().unwrap().to_f64());

@@ -7,13 +7,9 @@
 //! complete table that can be cached and reused.
 
 use crate::error::{QueryError, Result};
-use crate::expr::{
-    eval_expr, eval_predicate_mask, infer_type, AggFunc, Expr,
-};
+use crate::expr::{eval_expr, eval_predicate_mask, infer_type, AggFunc, Expr};
 use crate::plan::LogicalPlan;
-use lazyetl_store::{
-    Catalog, Column, DataType, Field, GroupKey, Schema, Table, Value,
-};
+use lazyetl_store::{Catalog, Column, DataType, Field, GroupKey, Schema, Table, Value};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -151,7 +147,10 @@ impl Accumulator {
         match func {
             AggFunc::Count => Accumulator::Count { n: 0 },
             AggFunc::Sum => match arg_type {
-                Some(DataType::Float64) => Accumulator::SumFloat { sum: 0.0, any: false },
+                Some(DataType::Float64) => Accumulator::SumFloat {
+                    sum: 0.0,
+                    any: false,
+                },
                 _ => Accumulator::SumInt { sum: 0, any: false },
             },
             AggFunc::Avg => Accumulator::Avg { sum: 0.0, n: 0 },
@@ -316,7 +315,13 @@ fn execute_aggregate(
             .collect(),
         distinct_seen: specs
             .iter()
-            .map(|s| if s.distinct { Some(HashSet::new()) } else { None })
+            .map(|s| {
+                if s.distinct {
+                    Some(HashSet::new())
+                } else {
+                    None
+                }
+            })
             .collect(),
     };
 
@@ -333,10 +338,7 @@ fn execute_aggregate(
         match group_cols[0].data() {
             CD::Utf8(v) => Keying::Utf8(v, &group_cols[0]),
             CD::Int64(v) | CD::Timestamp(v) => Keying::Int(v.clone(), &group_cols[0]),
-            CD::Int32(v) => Keying::Int(
-                v.iter().map(|&x| x as i64).collect(),
-                &group_cols[0],
-            ),
+            CD::Int32(v) => Keying::Int(v.iter().map(|&x| x as i64).collect(), &group_cols[0]),
             _ => Keying::Generic,
         }
     } else {
@@ -496,8 +498,7 @@ fn execute_join(
         // All keys integer-typed (the file_id/seq_no joins of the
         // warehouse schema): hash on packed native integers.
         (Some(bk), Some(pk)) => {
-            let mut build: HashMap<u128, Vec<usize>> =
-                HashMap::with_capacity(bt.num_rows());
+            let mut build: HashMap<u128, Vec<usize>> = HashMap::with_capacity(bt.num_rows());
             for (row, key) in bk.iter().enumerate() {
                 if let Some(k) = key {
                     build.entry(*k).or_default().push(row);
@@ -719,7 +720,10 @@ mod tests {
     #[test]
     fn scan_filter_project() {
         let c = demo_catalog();
-        let t = run("SELECT uri FROM files WHERE network = 'NL' AND channel = 'BHZ'", &c);
+        let t = run(
+            "SELECT uri FROM files WHERE network = 'NL' AND channel = 'BHZ'",
+            &c,
+        );
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.row(0).unwrap()[0], Value::Utf8("b.mseed".into()));
     }
@@ -847,10 +851,12 @@ mod tests {
         let mut a = Table::empty(schema.clone());
         let mut b = Table::empty(schema);
         for (n, v) in [("x", 1i64), ("y", 2), ("z", 3)] {
-            a.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)]).unwrap();
+            a.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)])
+                .unwrap();
         }
         for (n, v) in [("y", 20i64), ("z", 30), ("w", 40)] {
-            b.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)]).unwrap();
+            b.append_row(vec![Value::Utf8(n.into()), Value::Int64(v)])
+                .unwrap();
         }
         c.create_table("a", a).unwrap();
         c.create_table("b", b).unwrap();

@@ -265,9 +265,7 @@ impl Expr {
             Expr::Function { args, .. } => args.iter().any(|a| a.contains_aggregate()),
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
             }
@@ -344,17 +342,9 @@ impl Expr {
     /// A display name for an unaliased projection of this expression.
     pub fn default_name(&self) -> String {
         match self {
-            Expr::Column(name) => name
-                .rsplit('.')
-                .next()
-                .unwrap_or(name)
-                .to_string(),
+            Expr::Column(name) => name.rsplit('.').next().unwrap_or(name).to_string(),
             Expr::Aggregate { func, arg, .. } => match arg {
-                Some(a) => format!(
-                    "{}({})",
-                    func.name().to_ascii_lowercase(),
-                    a.default_name()
-                ),
+                Some(a) => format!("{}({})", func.name().to_ascii_lowercase(), a.default_name()),
                 None => format!("{}(*)", func.name().to_ascii_lowercase()),
             },
             other => other.to_string(),
@@ -426,11 +416,9 @@ impl fmt::Display for Expr {
                 "({expr} {}LIKE {pattern})",
                 if *negated { "NOT " } else { "" }
             ),
-            Expr::IsNull { expr, negated } => write!(
-                f,
-                "({expr} IS {}NULL)",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
         }
     }
 }
@@ -468,9 +456,7 @@ pub fn resolve_name<'a>(
             .enumerate()
             .filter(|(_, n)| match n.rsplit_once('.') {
                 None => *n == suffix,
-                Some((fq, fs)) => {
-                    fs == suffix && fq.rsplit('.').next() == Some(qual_tail)
-                }
+                Some((fq, fs)) => fs == suffix && fq.rsplit('.').next() == Some(qual_tail),
             })
             .map(|(i, _)| i)
             .collect()
@@ -527,9 +513,7 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
                 "lower" | "upper" => DataType::Utf8,
                 "length" => DataType::Int64,
                 "coalesce" => infer_type(&args[0], schema)?,
-                other => {
-                    return Err(QueryError::Plan(format!("unknown function {other:?}")))
-                }
+                other => return Err(QueryError::Plan(format!("unknown function {other:?}"))),
             }
         }
         Expr::Aggregate { func, arg, .. } => match func {
@@ -544,15 +528,12 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> Result<DataType> {
             },
             AggFunc::Min | AggFunc::Max => match arg {
                 Some(a) => infer_type(a, schema)?,
-                None => {
-                    return Err(QueryError::Plan("MIN/MAX need an argument".into()))
-                }
+                None => return Err(QueryError::Plan("MIN/MAX need an argument".into())),
             },
         },
-        Expr::Between { .. }
-        | Expr::InList { .. }
-        | Expr::Like { .. }
-        | Expr::IsNull { .. } => DataType::Bool,
+        Expr::Between { .. } | Expr::InList { .. } | Expr::Like { .. } | Expr::IsNull { .. } => {
+            DataType::Bool
+        }
     })
 }
 
@@ -611,9 +592,9 @@ pub fn eval_binary_values(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Null);
             }
-            let ord = l.sql_cmp(r).ok_or_else(|| {
-                QueryError::Execution(format!("cannot compare {l} with {r}"))
-            })?;
+            let ord = l
+                .sql_cmp(r)
+                .ok_or_else(|| QueryError::Execution(format!("cannot compare {l} with {r}")))?;
             let b = match op {
                 Eq => ord == std::cmp::Ordering::Equal,
                 NotEq => ord != std::cmp::Ordering::Equal,
@@ -631,19 +612,17 @@ pub fn eval_binary_values(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
             }
             // Timestamp arithmetic: ts ± integer µs, ts - ts.
             match (l, r, op) {
-                (Value::Timestamp(a), Value::Timestamp(b), Sub) => {
-                    return Ok(Value::Int64(a - b))
-                }
+                (Value::Timestamp(a), Value::Timestamp(b), Sub) => return Ok(Value::Int64(a - b)),
                 (Value::Timestamp(a), _, Add) => {
-                    let d = r.as_i64().ok_or_else(|| {
-                        QueryError::Execution("timestamp + non-integer".into())
-                    })?;
+                    let d = r
+                        .as_i64()
+                        .ok_or_else(|| QueryError::Execution("timestamp + non-integer".into()))?;
                     return Ok(Value::Timestamp(a + d));
                 }
                 (Value::Timestamp(a), _, Sub) => {
-                    let d = r.as_i64().ok_or_else(|| {
-                        QueryError::Execution("timestamp - non-integer".into())
-                    })?;
+                    let d = r
+                        .as_i64()
+                        .ok_or_else(|| QueryError::Execution("timestamp - non-integer".into()))?;
                     return Ok(Value::Timestamp(a - d));
                 }
                 _ => {}
@@ -744,9 +723,7 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
             Value::Int32(v) => Value::Int32(v.saturating_abs()),
             Value::Int64(v) => Value::Int64(v.saturating_abs()),
             Value::Float64(v) => Value::Float64(v.abs()),
-            other => {
-                return Err(QueryError::Execution(format!("abs: bad argument {other}")))
-            }
+            other => return Err(QueryError::Execution(format!("abs: bad argument {other}"))),
         },
         "round" => match num(&args[0])? {
             None => Value::Null,
@@ -789,14 +766,18 @@ fn eval_function(name: &str, args: &[Value]) -> Result<Value> {
             Value::Null => Value::Null,
             Value::Utf8(s) => Value::Utf8(s.to_lowercase()),
             other => {
-                return Err(QueryError::Execution(format!("lower: bad argument {other}")))
+                return Err(QueryError::Execution(format!(
+                    "lower: bad argument {other}"
+                )))
             }
         },
         "upper" => match &args[0] {
             Value::Null => Value::Null,
             Value::Utf8(s) => Value::Utf8(s.to_uppercase()),
             other => {
-                return Err(QueryError::Execution(format!("upper: bad argument {other}")))
+                return Err(QueryError::Execution(format!(
+                    "upper: bad argument {other}"
+                )))
             }
         },
         "length" => match &args[0] {
@@ -850,9 +831,7 @@ pub fn eval_row(expr: &Expr, table: &Table, row: usize) -> Result<Value> {
                     Value::Int32(x) => Value::Int32(-x),
                     Value::Int64(x) => Value::Int64(-x),
                     Value::Float64(x) => Value::Float64(-x),
-                    other => {
-                        return Err(QueryError::Execution(format!("cannot negate {other}")))
-                    }
+                    other => return Err(QueryError::Execution(format!("cannot negate {other}"))),
                 }),
             }
         }
@@ -1069,9 +1048,7 @@ fn eval_vectorized(expr: &Expr, table: &Table) -> Result<Option<Column>> {
                 None => Ok(None),
             }
         }
-        Expr::Binary { left, op, right }
-            if matches!(op, BinaryOp::And | BinaryOp::Or) =>
-        {
+        Expr::Binary { left, op, right } if matches!(op, BinaryOp::And | BinaryOp::Or) => {
             let Some(l) = eval_vectorized(left, table)? else {
                 return Ok(None);
             };
@@ -1209,32 +1186,18 @@ mod tests {
     fn arithmetic_types() {
         let v = eval_binary_values(BinaryOp::Add, &Value::Int32(1), &Value::Int32(2)).unwrap();
         assert_eq!(v, Value::Int32(3));
-        let v =
-            eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(2)).unwrap();
+        let v = eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(2)).unwrap();
         assert_eq!(v, Value::Float64(0.5));
-        let v =
-            eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(0)).unwrap();
+        let v = eval_binary_values(BinaryOp::Div, &Value::Int32(1), &Value::Int32(0)).unwrap();
         assert!(v.is_null(), "division by zero is NULL");
-        let v = eval_binary_values(
-            BinaryOp::Add,
-            &Value::Timestamp(10),
-            &Value::Int64(5),
-        )
-        .unwrap();
+        let v = eval_binary_values(BinaryOp::Add, &Value::Timestamp(10), &Value::Int64(5)).unwrap();
         assert_eq!(v, Value::Timestamp(15));
-        let v = eval_binary_values(
-            BinaryOp::Sub,
-            &Value::Timestamp(10),
-            &Value::Timestamp(4),
-        )
-        .unwrap();
+        let v =
+            eval_binary_values(BinaryOp::Sub, &Value::Timestamp(10), &Value::Timestamp(4)).unwrap();
         assert_eq!(v, Value::Int64(6));
-        assert!(eval_binary_values(
-            BinaryOp::Add,
-            &Value::Int64(i64::MAX),
-            &Value::Int64(1)
-        )
-        .is_err());
+        assert!(
+            eval_binary_values(BinaryOp::Add, &Value::Int64(i64::MAX), &Value::Int64(1)).is_err()
+        );
     }
 
     #[test]

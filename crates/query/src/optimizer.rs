@@ -221,10 +221,7 @@ pub fn fold_constants(plan: &LogicalPlan) -> LogicalPlan {
         },
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
             input,
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (fold_expr(&e), n))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(&e), n)).collect(),
         },
         other => other,
     })
@@ -252,8 +249,7 @@ fn all_resolve(expr: &Expr, schema: &Schema) -> bool {
 fn substitute_project(pred: &Expr, exprs: &[(Expr, String)]) -> Expr {
     pred.transform(&mut |node| {
         if let Expr::Column(name) = &node {
-            if let Some(i) =
-                crate::expr::resolve_name(exprs.iter().map(|(_, n)| n.as_str()), name)
+            if let Some(i) = crate::expr::resolve_name(exprs.iter().map(|(_, n)| n.as_str()), name)
             {
                 return exprs[i].0.clone();
             }
@@ -436,11 +432,7 @@ pub fn prune_columns(plan: &LogicalPlan, required: Required) -> Result<LogicalPl
                 .cloned()
                 .collect();
             // Never prune to zero columns.
-            let kept = if kept.is_empty() {
-                exprs.clone()
-            } else {
-                kept
-            };
+            let kept = if kept.is_empty() { exprs.clone() } else { kept };
             let mut child_req = std::collections::BTreeSet::new();
             for (e, _) in &kept {
                 add_expr_columns(&mut child_req, e);
@@ -511,9 +503,7 @@ pub fn prune_columns(plan: &LogicalPlan, required: Required) -> Result<LogicalPl
             }
             let side_req = |schema: &Schema| -> std::collections::BTreeSet<String> {
                 req.iter()
-                    .filter(|name| {
-                        crate::expr::resolve_column(schema, name).is_some()
-                    })
+                    .filter(|name| crate::expr::resolve_column(schema, name).is_some())
                     .cloned()
                     .collect()
             };
@@ -559,11 +549,7 @@ pub fn predicates_above<F: Fn(&LogicalPlan) -> bool>(
     is_target: &F,
 ) -> Vec<Expr> {
     let mut out = Vec::new();
-    fn walk<F: Fn(&LogicalPlan) -> bool>(
-        plan: &LogicalPlan,
-        is_target: &F,
-        out: &mut Vec<Expr>,
-    ) {
+    fn walk<F: Fn(&LogicalPlan) -> bool>(plan: &LogicalPlan, is_target: &F, out: &mut Vec<Expr>) {
         if let LogicalPlan::Filter { input, predicate } = plan {
             if is_target(input) {
                 split_conjunction(predicate, out);
@@ -630,8 +616,7 @@ mod tests {
 
     #[test]
     fn constants_fold() {
-        let e = Expr::lit(Value::Int64(2))
-            .binary(BinaryOp::Mul, Expr::lit(Value::Int64(21)));
+        let e = Expr::lit(Value::Int64(2)).binary(BinaryOp::Mul, Expr::lit(Value::Int64(21)));
         assert_eq!(fold_expr(&e), Expr::Literal(Value::Int64(42)));
         let e = Expr::col("x").binary(
             BinaryOp::Gt,
@@ -659,10 +644,7 @@ mod tests {
             .lines()
             .position(|l| l.contains("station = 'ISK'"))
             .unwrap();
-        let f2 = d
-            .lines()
-            .position(|l| l.contains("start_time >"))
-            .unwrap();
+        let f2 = d.lines().position(|l| l.contains("start_time >")).unwrap();
         assert!(f1 > join_line, "station predicate below join:\n{d}");
         assert!(f2 > join_line, "time predicate below join:\n{d}");
     }
@@ -696,10 +678,8 @@ mod tests {
         let inner = plan_sql("SELECT station FROM files LIMIT 5", &src).unwrap();
         let plan = LogicalPlan::Filter {
             input: Box::new(inner),
-            predicate: Expr::col("station").binary(
-                BinaryOp::Eq,
-                Expr::lit(Value::Utf8("ISK".into())),
-            ),
+            predicate: Expr::col("station")
+                .binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ISK".into()))),
         };
         let opt = optimize(&plan).unwrap();
         let d = opt.display();

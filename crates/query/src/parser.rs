@@ -425,15 +425,11 @@ impl Parser {
             }
             TokenKind::Ident(id) => {
                 const RESERVED: [&str; 19] = [
-                    "select", "from", "where", "group", "by", "having", "order", "limit",
-                    "join", "inner", "on", "as", "distinct", "and", "or", "not", "between",
-                    "asc", "desc",
+                    "select", "from", "where", "group", "by", "having", "order", "limit", "join",
+                    "inner", "on", "as", "distinct", "and", "or", "not", "between", "asc", "desc",
                 ];
                 if RESERVED.contains(&id.as_str()) {
-                    return Err(self.error(format!(
-                        "unexpected keyword {}",
-                        id.to_uppercase()
-                    )));
+                    return Err(self.error(format!("unexpected keyword {}", id.to_uppercase())));
                 }
                 match id.as_str() {
                     "true" => {
@@ -591,9 +587,8 @@ GROUP BY F.station;";
 
     #[test]
     fn parses_not_between_in() {
-        let stmt =
-            parse_select("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (1, 2)")
-                .unwrap();
+        let stmt = parse_select("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (1, 2)")
+            .unwrap();
         let w = stmt.where_clause.unwrap();
         let s = w.to_string();
         assert!(s.contains("NOT BETWEEN"));

@@ -112,9 +112,7 @@ impl LogicalPlan {
                 let in_schema = input.schema()?;
                 let fields = exprs
                     .iter()
-                    .map(|(e, name)| {
-                        Ok(Field::nullable(name, infer_type(e, &in_schema)?))
-                    })
+                    .map(|(e, name)| Ok(Field::nullable(name, infer_type(e, &in_schema)?)))
                     .collect::<Result<Vec<_>>>()?;
                 Schema::new(fields).map_err(QueryError::Store)
             }
@@ -265,10 +263,7 @@ impl LogicalPlan {
                 )
             }
             LogicalPlan::Join { on, .. } => {
-                let conds: Vec<String> = on
-                    .iter()
-                    .map(|(l, r)| format!("{l} = {r}"))
-                    .collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                 format!("Join(inner): {}", conds.join(" AND "))
             }
             LogicalPlan::Sort { keys, .. } => {
@@ -299,13 +294,7 @@ mod tests {
     fn scan(name: &str, fields: &[(&str, DataType)]) -> LogicalPlan {
         LogicalPlan::TableScan {
             table: name.to_string(),
-            schema: Schema::new(
-                fields
-                    .iter()
-                    .map(|(n, t)| Field::new(n, *t))
-                    .collect(),
-            )
-            .unwrap(),
+            schema: Schema::new(fields.iter().map(|(n, t)| Field::new(n, *t)).collect()).unwrap(),
         }
     }
 

@@ -106,11 +106,7 @@ pub fn plan_sql(sql: &str, source: &TableSource<'_>) -> Result<LogicalPlan> {
     plan_select(&stmt, source)
 }
 
-fn plan_table_ref(
-    tref: &TableRef,
-    source: &TableSource<'_>,
-    depth: usize,
-) -> Result<LogicalPlan> {
+fn plan_table_ref(tref: &TableRef, source: &TableSource<'_>, depth: usize) -> Result<LogicalPlan> {
     if depth > MAX_VIEW_DEPTH {
         return Err(QueryError::Plan(format!(
             "view nesting deeper than {MAX_VIEW_DEPTH} (cycle?)"
@@ -223,18 +219,14 @@ fn plan_joins(
                 j.on.to_string()
             )));
         }
-        let right_label = j
-            .table
-            .alias
-            .clone()
-            .unwrap_or_else(|| {
-                j.table
-                    .name
-                    .rsplit('.')
-                    .next()
-                    .unwrap_or(&j.table.name)
-                    .to_string()
-            });
+        let right_label = j.table.alias.clone().unwrap_or_else(|| {
+            j.table
+                .name
+                .rsplit('.')
+                .next()
+                .unwrap_or(&j.table.name)
+                .to_string()
+        });
         plan = LogicalPlan::Join {
             left: Box::new(plan),
             right: Box::new(right),
@@ -398,10 +390,7 @@ fn plan_select_depth(
 
     let needs_aggregate = !group_exprs.is_empty()
         || items.iter().any(|(e, _)| e.contains_aggregate())
-        || stmt
-            .having
-            .as_ref()
-            .is_some_and(|h| h.contains_aggregate());
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
     let mut having = stmt.having.clone();
     let mut order_keys: Vec<(Expr, bool)> = stmt
@@ -447,7 +436,9 @@ fn plan_select_depth(
             *e = rewrite_post_aggregate(e, &group, &aggregates);
         }
     } else if stmt.having.is_some() {
-        return Err(QueryError::Plan("HAVING requires GROUP BY or aggregates".into()));
+        return Err(QueryError::Plan(
+            "HAVING requires GROUP BY or aggregates".into(),
+        ));
     }
 
     // HAVING.
@@ -676,10 +667,13 @@ mod tests {
         .unwrap();
         let d = plan.display();
         assert!(d.contains("Filter: (r.seq_no > 5)"), "plan:\n{d}");
-        assert!(plan_sql(
-            "SELECT f.uri FROM files f JOIN records r ON r.seq_no > 5",
-            &src
-        )
-        .is_err(), "join without equi-condition rejected");
+        assert!(
+            plan_sql(
+                "SELECT f.uri FROM files f JOIN records r ON r.seq_no > 5",
+                &src
+            )
+            .is_err(),
+            "join without equi-condition rejected"
+        );
     }
 }

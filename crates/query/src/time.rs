@@ -33,7 +33,11 @@ pub fn parse_iso_micros(s: &str) -> Option<i64> {
             Some(v) => v.parse().ok()?,
             None => 0,
         };
-        if tp.next().is_some() || !(0..24).contains(&hour) || !(0..60).contains(&minute) || !(0..=60).contains(&second) {
+        if tp.next().is_some()
+            || !(0..24).contains(&hour)
+            || !(0..60).contains(&minute)
+            || !(0..=60).contains(&second)
+        {
             return None;
         }
         if let Some(frac) = frac {
@@ -88,14 +92,12 @@ mod tests {
         assert_eq!(parse_iso_micros("2000-02-29"), Some(951_782_400_000_000));
         // Day after Feb 29 lands on Mar 1.
         assert_eq!(
-            parse_iso_micros("2000-03-01").unwrap()
-                - parse_iso_micros("2000-02-29").unwrap(),
+            parse_iso_micros("2000-03-01").unwrap() - parse_iso_micros("2000-02-29").unwrap(),
             86_400_000_000
         );
         // 2012-02-29 (ordinary leap year).
         assert_eq!(
-            parse_iso_micros("2012-03-01").unwrap()
-                - parse_iso_micros("2012-02-28").unwrap(),
+            parse_iso_micros("2012-03-01").unwrap() - parse_iso_micros("2012-02-28").unwrap(),
             2 * 86_400_000_000
         );
     }
@@ -109,9 +111,18 @@ mod tests {
     #[test]
     fn fraction_digit_padding() {
         let base = parse_iso_micros("2010-01-12T00:00:00").unwrap();
-        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.1"), Some(base + 100_000));
-        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.123456"), Some(base + 123_456));
-        assert_eq!(parse_iso_micros("2010-01-12T00:00:00.000001"), Some(base + 1));
+        assert_eq!(
+            parse_iso_micros("2010-01-12T00:00:00.1"),
+            Some(base + 100_000)
+        );
+        assert_eq!(
+            parse_iso_micros("2010-01-12T00:00:00.123456"),
+            Some(base + 123_456)
+        );
+        assert_eq!(
+            parse_iso_micros("2010-01-12T00:00:00.000001"),
+            Some(base + 1)
+        );
         // Seven digits, empty fraction, non-digits: rejected.
         assert_eq!(parse_iso_micros("2010-01-12T00:00:00.1234567"), None);
         assert_eq!(parse_iso_micros("2010-01-12T00:00:00."), None);

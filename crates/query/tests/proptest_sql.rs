@@ -6,8 +6,8 @@
 use lazyetl_query::exec::{execute, ExecContext};
 use lazyetl_query::expr::{eval_expr, eval_row, like_match, BinaryOp, Expr};
 use lazyetl_query::optimizer::optimize;
-use lazyetl_query::planner::{plan_sql, TableSource};
 use lazyetl_query::parse;
+use lazyetl_query::planner::{plan_sql, TableSource};
 use lazyetl_store::{Catalog, DataType, Field, Schema, Table, Value};
 use proptest::prelude::*;
 
@@ -22,8 +22,16 @@ fn small_table(rows: &[(i64, f64, &str, bool)]) -> Table {
     let mut t = Table::empty(schema);
     for (i, (id, v, name, flag)) in rows.iter().enumerate() {
         t.append_row(vec![
-            if i % 7 == 3 { Value::Null } else { Value::Int64(*id) },
-            if i % 5 == 4 { Value::Null } else { Value::Float64(*v) },
+            if i % 7 == 3 {
+                Value::Null
+            } else {
+                Value::Int64(*id)
+            },
+            if i % 5 == 4 {
+                Value::Null
+            } else {
+                Value::Float64(*v)
+            },
             Value::Utf8(name.to_string()),
             Value::Bool(*flag),
         ])

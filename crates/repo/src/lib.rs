@@ -164,9 +164,10 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let path = entry.path();
         if path.is_dir() {
             walk(&path, out)?;
-        } else if path.extension().is_some_and(|e| {
-            e.eq_ignore_ascii_case("mseed") || e.eq_ignore_ascii_case("sac")
-        }) {
+        } else if path
+            .extension()
+            .is_some_and(|e| e.eq_ignore_ascii_case("mseed") || e.eq_ignore_ascii_case("sac"))
+        {
             out.push(path);
         }
     }
@@ -231,9 +232,8 @@ impl Repository {
         Ok(mtime_of(&e.path)?)
     }
 
-    /// Rescan the directory tree, updating the registry and returning what
-    /// changed. New files get fresh ids; unchanged URIs keep theirs.
-    pub fn rescan(&mut self) -> Result<ChangeSet, RepoError> {
+    /// Walk the root and map URI -> path for every file currently on disk.
+    fn walk_uris(&self) -> Result<BTreeMap<String, PathBuf>, RepoError> {
         let mut paths = Vec::new();
         walk(&self.root, &mut paths)?;
         let mut found: BTreeMap<String, PathBuf> = BTreeMap::new();
@@ -247,6 +247,43 @@ impl Repository {
                 .join("/");
             found.insert(rel, p);
         }
+        Ok(found)
+    }
+
+    /// Compute what a [`Self::rescan`] would report **without mutating the
+    /// registry**: the same walk and size/mtime comparison, read-only.
+    ///
+    /// Lets read-mostly callers (the warehouse's per-query auto-refresh)
+    /// detect the no-change common case under a shared lock and only
+    /// escalate to an exclusive rescan when something actually changed.
+    pub fn scan_changes(&self) -> Result<ChangeSet, RepoError> {
+        let found = self.walk_uris()?;
+        let mut change = ChangeSet::default();
+        for (uri, path) in &found {
+            let size = std::fs::metadata(path)?.len();
+            let mtime = mtime_of(path)?;
+            match self.by_uri.get(uri) {
+                Some(&idx) => {
+                    let old = &self.entries[idx];
+                    if old.size != size || old.mtime != mtime {
+                        change.modified.push(uri.clone());
+                    }
+                }
+                None => change.added.push(uri.clone()),
+            }
+        }
+        for uri in self.by_uri.keys() {
+            if !found.contains_key(uri) {
+                change.removed.push(uri.clone());
+            }
+        }
+        Ok(change)
+    }
+
+    /// Rescan the directory tree, updating the registry and returning what
+    /// changed. New files get fresh ids; unchanged URIs keep theirs.
+    pub fn rescan(&mut self) -> Result<ChangeSet, RepoError> {
+        let found = self.walk_uris()?;
         let mut change = ChangeSet::default();
         let mut new_entries: Vec<FileEntry> = Vec::with_capacity(found.len());
         for (uri, path) in &found {
@@ -359,6 +396,41 @@ mod tests {
         std::fs::remove_file(&new_path).unwrap();
         let change = repo.rescan().unwrap();
         assert_eq!(change.removed.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_changes_previews_rescan_without_mutating() {
+        let dir = tmpdir("scan_changes");
+        let cfg = GeneratorConfig::tiny(2);
+        generate_repository(&dir, &cfg).unwrap();
+        let mut repo = Repository::open(&dir).unwrap();
+        assert!(repo.scan_changes().unwrap().is_empty());
+
+        // Grow one file and add another.
+        let first_uri = repo.files()[0].uri.clone();
+        let path = repo.by_uri(&first_uri).unwrap().path.clone();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let extra = bytes[..512.min(bytes.len())].to_vec();
+        bytes.extend_from_slice(&extra);
+        std::fs::write(&path, bytes).unwrap();
+        let new_path = dir.join("XX/NEW/XX.NEW.--.BHZ.2020.001.000000.mseed");
+        std::fs::create_dir_all(new_path.parent().unwrap()).unwrap();
+        std::fs::write(&new_path, b"not-yet-real").unwrap();
+
+        let n_before = repo.len();
+        let preview = repo.scan_changes().unwrap();
+        assert_eq!(preview.modified, vec![first_uri]);
+        assert_eq!(preview.added.len(), 1);
+        assert!(preview.removed.is_empty());
+        // The registry was not touched…
+        assert_eq!(repo.len(), n_before);
+        // …and a subsequent rescan reports the identical changeset.
+        let applied = repo.rescan().unwrap();
+        assert_eq!(applied.modified, preview.modified);
+        assert_eq!(applied.added, preview.added);
+        // Once applied, the preview is clean again.
+        assert!(repo.scan_changes().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -77,8 +77,14 @@ pub fn add_file(
         encoding: DataEncoding::Steim2,
         ..Default::default()
     };
-    let bytes = write_records(source, start, cfg.sample_rate, SamplesRef::Ints(&samples), &opts)
-        .map_err(|e| RepoError::Io(std::io::Error::other(e.to_string())))?;
+    let bytes = write_records(
+        source,
+        start,
+        cfg.sample_rate,
+        SamplesRef::Ints(&samples),
+        &opts,
+    )
+    .map_err(|e| RepoError::Io(std::io::Error::other(e.to_string())))?;
     std::fs::write(&path, bytes)?;
     repo.rescan()?;
     Ok(rel
@@ -116,10 +122,8 @@ mod tests {
     use std::path::PathBuf;
 
     fn setup(tag: &str) -> (PathBuf, Repository) {
-        let dir = std::env::temp_dir().join(format!(
-            "lazyetl_updates_{tag}_{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("lazyetl_updates_{tag}_{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).unwrap();
         generate_repository(&dir, &GeneratorConfig::tiny(3)).unwrap();

@@ -397,8 +397,7 @@ mod tests {
     #[test]
     fn append_column_merges_masks() {
         let mut a = Column::from_values(DataType::Int32, &[Value::Int32(1)]).unwrap();
-        let b =
-            Column::from_values(DataType::Int32, &[Value::Null, Value::Int32(2)]).unwrap();
+        let b = Column::from_values(DataType::Int32, &[Value::Null, Value::Int32(2)]).unwrap();
         a.append_column(&b).unwrap();
         assert_eq!(a.len(), 3);
         assert!(a.get(1).unwrap().is_null());
@@ -424,8 +423,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(ints.byte_size(), 800);
-        let strs =
-            Column::from_values(DataType::Utf8, &[Value::Utf8("hello".into())]).unwrap();
+        let strs = Column::from_values(DataType::Utf8, &[Value::Utf8("hello".into())]).unwrap();
         assert!(strs.byte_size() >= 5);
     }
 

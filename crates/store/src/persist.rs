@@ -155,7 +155,9 @@ pub fn read_table<R: Read>(r: &mut R) -> Result<Table> {
     }
     let version = u16::from_le_bytes(read_exact_vec(r, 2)?.try_into().unwrap());
     if version != VERSION {
-        return Err(StoreError::Corrupt(format!("unsupported version {version}")));
+        return Err(StoreError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let n_cols = u32::from_le_bytes(read_exact_vec(r, 4)?.try_into().unwrap()) as usize;
     let n_rows = u64::from_le_bytes(read_exact_vec(r, 8)?.try_into().unwrap()) as usize;
@@ -315,10 +317,8 @@ mod tests {
     #[test]
     fn roundtrip_via_file() {
         let t = mixed_table();
-        let path = std::env::temp_dir().join(format!(
-            "lazyetl_persist_{}.lztb",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("lazyetl_persist_{}.lztb", std::process::id()));
         save_table(&t, &path).unwrap();
         let back = load_table(&path).unwrap();
         assert_eq!(back.num_rows(), 100);
@@ -328,9 +328,7 @@ mod tests {
 
     #[test]
     fn empty_table_roundtrip() {
-        let t = Table::empty(
-            Schema::new(vec![Field::new("x", DataType::Utf8)]).unwrap(),
-        );
+        let t = Table::empty(Schema::new(vec![Field::new("x", DataType::Utf8)]).unwrap());
         let mut buf = Vec::new();
         write_table(&t, &mut buf).unwrap();
         let back = read_table(&mut buf.as_slice()).unwrap();

@@ -97,8 +97,7 @@ mod tests {
 
     #[test]
     fn stats_all_null_or_empty() {
-        let col =
-            Column::from_values(DataType::Int32, &[Value::Null, Value::Null]).unwrap();
+        let col = Column::from_values(DataType::Int32, &[Value::Null, Value::Null]).unwrap();
         let s = column_stats("x", &col);
         assert_eq!(s.min, None);
         assert_eq!(s.max, None);

@@ -167,8 +167,7 @@ impl Table {
 
     /// Render as an aligned ASCII table (for the demo/examples).
     pub fn to_ascii(&self, max_rows: usize) -> String {
-        let mut header: Vec<String> =
-            self.schema.fields.iter().map(|f| f.name.clone()).collect();
+        let mut header: Vec<String> = self.schema.fields.iter().map(|f| f.name.clone()).collect();
         let shown = self.num_rows().min(max_rows);
         let mut rows: Vec<Vec<String>> = Vec::with_capacity(shown);
         for i in 0..shown {

@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Eager: the traditional baseline. -------------------------------
     let t0 = Instant::now();
-    let mut eager = Warehouse::open_eager(&root, cfg.clone())?;
+    let eager = Warehouse::open_eager(&root, cfg.clone())?;
     let eager_load = t0.elapsed();
     let t1 = Instant::now();
     let eager_q = eager.query(QUERY)?;
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Lazy: metadata only, extraction on demand. ---------------------
     let t0 = Instant::now();
-    let mut lazy = Warehouse::open_lazy(&root, cfg)?;
+    let lazy = Warehouse::open_lazy(&root, cfg)?;
     let lazy_load = t0.elapsed();
     let t1 = Instant::now();
     let lazy_cold = lazy.query(QUERY)?;
@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "resident footprint     {:>10}    {:>10}   (raw files: {:.1} MiB)",
-        format!("{:.1} MiB", eager.resident_bytes() as f64 / (1 << 20) as f64),
+        format!(
+            "{:.1} MiB",
+            eager.resident_bytes() as f64 / (1 << 20) as f64
+        ),
         format!("{:.1} MiB", lazy.resident_bytes() as f64 / (1 << 20) as f64),
         raw_mib
     );

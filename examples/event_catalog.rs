@@ -45,8 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         generated.events.len(),
     );
 
-    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
-    println!("lazy attach: {:?} — hunting starts now\n", wh.load_report().elapsed);
+    let wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    println!(
+        "lazy attach: {:?} — hunting starts now\n",
+        wh.load_report().elapsed
+    );
 
     // Per-station hunt on the vertical (BHZ) channel of the NL network.
     let stations: BTreeSet<String> = generated
@@ -63,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut records_extracted = 0usize;
     for station in &stations {
         let hunt = hunt_events(
-            &mut wh,
+            &wh,
             station,
             "BHZ",
             "2010-01-12T00:00:00",
@@ -85,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Coincidence: at least 3 stations within 10 s.
     let catalog = coincidence_trigger(&per_station, 10.0, 3);
-    println!("\ncatalog ({} events, >=3 stations within 10 s):", catalog.len());
+    println!(
+        "\ncatalog ({} events, >=3 stations within 10 s):",
+        catalog.len()
+    );
     println!("{:<28} {:>6}  stations", "origin (first pick)", "ratio");
     let mut matched = 0usize;
     for ev in &catalog {
@@ -100,7 +106,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ev.time.to_string(),
             ev.mean_ratio,
             ev.stations.join(","),
-            if hit { "matches ground truth" } else { "unverified" },
+            if hit {
+                "matches ground truth"
+            } else {
+                "unverified"
+            },
         );
     }
     println!(

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     generate_repository(&root, &config)?;
-    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    let wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
 
     let sql = "SELECT AVG(D.sample_value)
 FROM mseed.dataview
@@ -40,13 +40,19 @@ AND D.sample_time < '2010-01-12T22:15:02.000';";
     let out = wh.query(sql)?;
     for (stage, plan) in &out.report.stages {
         let caption = match stage.as_str() {
-            "logical" => "(1) logical plan after view expansion — note the ExternalScan: \
-                          the D table is not loaded",
-            "optimized" => "(2) after compile-time reorganization — metadata predicates \
+            "logical" => {
+                "(1) logical plan after view expansion — note the ExternalScan: \
+                          the D table is not loaded"
+            }
+            "optimized" => {
+                "(2) after compile-time reorganization — metadata predicates \
                             pushed onto the F/R scans, sample-time predicates onto the \
-                            external scan",
-            "rewritten" => "(3) after the RUN-TIME rewrite — metadata subplan executed, \
-                            needed records extracted and injected as InlineData",
+                            external scan"
+            }
+            "rewritten" => {
+                "(3) after the RUN-TIME rewrite — metadata subplan executed, \
+                            needed records extracted and injected as InlineData"
+            }
             other => other,
         };
         println!("=== {caption}\n{plan}");

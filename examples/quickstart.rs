@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Lazy attach: only metadata is read; the warehouse is immediately
     //    ready for queries.
-    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    let wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
     let load = wh.load_report();
     println!(
         "lazy initial load: {} files, {} record-metadata rows, {} KiB read, {:?}\n",

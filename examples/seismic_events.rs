@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         generated.events.len()
     );
 
-    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    let wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
     println!(
         "lazy attach in {:?} — ready to hunt\n",
         wh.load_report().elapsed
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut matched = 0usize;
     for (station, channel) in &streams {
         let hunt = hunt_events(
-            &mut wh,
+            &wh,
             station,
             channel,
             "2010-01-12T00:00:00",

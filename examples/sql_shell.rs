@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (root, true)
         }
     };
-    let mut wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
+    let wh = Warehouse::open_lazy(&root, WarehouseConfig::default())?;
     let lr = wh.load_report();
     println!(
         "attached {} lazily: {} files, {} records of metadata in {:?}",
@@ -91,7 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 "\\log" => {
                     let rendered = wh.etl_log_render();
-                    for l in rendered.lines().rev().take(15).collect::<Vec<_>>().iter().rev() {
+                    for l in rendered
+                        .lines()
+                        .rev()
+                        .take(15)
+                        .collect::<Vec<_>>()
+                        .iter()
+                        .rev()
+                    {
                         println!("{l}");
                     }
                     continue;
@@ -103,14 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         continue;
                     }
                     match (parts[1].parse::<i64>(), parts[2].parse::<i64>()) {
-                        (Ok(fid), Ok(seq)) => {
-                            match lazyetl::fetch_record_waveform(&mut wh, fid, seq) {
-                                Ok(w) => {
-                                    print!("{}", lazyetl::waveform_ascii(&w.samples, 72, 12))
-                                }
-                                Err(e) => println!("error: {e}"),
+                        (Ok(fid), Ok(seq)) => match lazyetl::fetch_record_waveform(&wh, fid, seq) {
+                            Ok(w) => {
+                                print!("{}", lazyetl::waveform_ascii(&w.samples, 72, 12))
                             }
-                        }
+                            Err(e) => println!("error: {e}"),
+                        },
                         _ => println!("usage: \\wave <file_id> <seq_no>"),
                     }
                     continue;

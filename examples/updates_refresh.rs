@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // auto_refresh: every query begins with a staleness sweep — the
     // paper's "refreshments are handled … when the data warehouse is
     // queried".
-    let mut wh = Warehouse::open_lazy(
+    let wh = Warehouse::open_lazy(
         &root,
         WarehouseConfig {
             auto_refresh: true,
@@ -59,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nappended {added} samples to {hgn_uri}");
 
     let after = wh.query(COUNT_HGN)?;
-    let refresh = after.report.refresh.clone().expect("refresh detected change");
+    let refresh = after
+        .report
+        .refresh
+        .clone()
+        .expect("refresh detected change");
     println!(
         "query now sees {} samples (+{added}); refresh touched {} modified file(s), \
          reloaded {} record-metadata rows, {} stale cache entr(ies) dropped",
@@ -80,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("\nadded new file {new_uri}");
     let after2 = wh.query(COUNT_HGN)?;
-    let refresh2 = after2.report.refresh.clone().expect("refresh sees addition");
+    let refresh2 = after2
+        .report
+        .refresh
+        .clone()
+        .expect("refresh sees addition");
     println!(
         "query now sees {} samples; refresh added {} file(s)",
         after2.table.row(0)?[0],

@@ -76,10 +76,7 @@ pub fn figure1_repo(tag: &str, record_length: usize) -> TestRepo {
 /// Build a repository from an explicit configuration.
 pub fn build(tag: &str, config: GeneratorConfig) -> TestRepo {
     let n = NEXT.fetch_add(1, Ordering::Relaxed);
-    let root = std::env::temp_dir().join(format!(
-        "lazyetl_it_{tag}_{}_{n}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("lazyetl_it_{tag}_{}_{n}", std::process::id()));
     std::fs::remove_dir_all(&root).ok();
     std::fs::create_dir_all(&root).unwrap();
     let generated = generate_repository(&root, &config).expect("generation succeeds");

@@ -1,0 +1,247 @@
+//! Concurrent query stress: K threads hammering one shared `Warehouse`
+//! must each get results identical to the serial eager baseline, share
+//! the lock-striped record cache (no re-extraction once a record is
+//! cached, beyond benign same-record races), and never deadlock.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::{Warehouse, WarehouseConfig};
+use std::sync::Arc;
+
+const METADATA_QUERY: &str =
+    "SELECT network, station, COUNT(*) FROM mseed.files GROUP BY network, station";
+
+fn no_refresh() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+/// The static guarantee everything else builds on.
+#[test]
+fn warehouse_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Warehouse>();
+    assert_send_sync::<Arc<Warehouse>>();
+}
+
+#[test]
+fn threads_get_results_identical_to_serial_eager_baseline() {
+    let repo = figure1_repo("conc_equiv", 512);
+    let queries = [FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY];
+
+    // Ground truth: the eager warehouse, queried serially.
+    let eager = Warehouse::open_eager(&repo.root, no_refresh()).unwrap();
+    let baseline: Vec<String> = queries
+        .iter()
+        .map(|sql| eager.query(sql).unwrap().table.to_ascii(10_000))
+        .collect();
+
+    let lazy = Arc::new(Warehouse::open_lazy(&repo.root, no_refresh()).unwrap());
+    let threads = 4;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let lazy = Arc::clone(&lazy);
+            let baseline = &baseline;
+            s.spawn(move || {
+                // Stagger starting points so threads overlap on different
+                // queries (and therefore different cache shards).
+                for round in 0..queries.len() {
+                    let qi = (t + round) % queries.len();
+                    let out = lazy.query(queries[qi]).unwrap();
+                    assert_eq!(
+                        out.table.to_ascii(10_000),
+                        baseline[qi],
+                        "thread {t} round {round} diverged from eager baseline on query {qi}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_threads_share_the_cache_without_duplicate_extraction() {
+    let repo = figure1_repo("conc_cache", 512);
+    let queries = [FIGURE1_Q1, FIGURE1_Q2];
+
+    // How many records one cold serial pass extracts (the unique working
+    // set of the query mix).
+    let probe = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let unique: usize = queries
+        .iter()
+        .map(|sql| probe.query(sql).unwrap().report.records_extracted)
+        .sum();
+    assert!(unique > 0, "mix must touch actual data");
+
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, no_refresh()).unwrap());
+    let threads = 4;
+    let per_thread: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let wh = Arc::clone(&wh);
+                s.spawn(move || {
+                    let mut extracted = 0usize;
+                    for round in 0..queries.len() {
+                        let qi = (t + round) % queries.len();
+                        extracted += wh.query(queries[qi]).unwrap().report.records_extracted;
+                    }
+                    extracted
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let total: usize = per_thread.iter().sum();
+
+    // Every needed record is extracted at least once; racing threads may
+    // each extract a record both saw as a miss (benign shard race), but
+    // never more than once per thread.
+    assert!(
+        total >= unique,
+        "storm extracted {total} < working set {unique}"
+    );
+    assert!(
+        total <= unique * threads,
+        "storm extracted {total} > {threads}x working set {unique}"
+    );
+
+    // After the storm the cache holds the whole working set: a warm pass
+    // extracts nothing, from any thread.
+    for sql in queries {
+        let warm = wh.query(sql).unwrap();
+        assert_eq!(
+            warm.report.records_extracted, 0,
+            "warm query re-extracted after concurrent storm"
+        );
+        assert!(warm.report.cache_hits > 0);
+    }
+    // And the aggregate cache accounting is consistent.
+    let snap = wh.cache_snapshot();
+    assert_eq!(
+        snap.entries.len(),
+        unique,
+        "cache holds the working set once"
+    );
+    assert!(snap.used_bytes <= snap.budget_bytes);
+    let occupancy_total: usize = snap.shard_occupancy.iter().map(|&(n, _)| n).sum();
+    assert_eq!(occupancy_total, snap.entries.len());
+}
+
+#[test]
+fn auto_refresh_default_config_supports_concurrent_queries() {
+    // The default config auto-refreshes at every query start; against a
+    // quiet repository that must stay a read-only probe (no exclusive
+    // lock, no deadlock) and results must still match the baseline.
+    let repo = figure1_repo("conc_auto", 512);
+    let eager = Warehouse::open_eager(&repo.root, no_refresh()).unwrap();
+    let expected = eager.query(FIGURE1_Q2).unwrap().table.to_ascii(10_000);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let wh = Arc::clone(&wh);
+            let expected = &expected;
+            s.spawn(move || {
+                for _ in 0..2 {
+                    let out = wh.query(FIGURE1_Q2).unwrap();
+                    assert_eq!(&out.table.to_ascii(10_000), expected);
+                    assert!(out.report.refresh.is_none(), "quiet repo: no-op refresh");
+                }
+            });
+        }
+    });
+    assert_eq!(
+        wh.generation(),
+        0,
+        "no-op auto-refreshes never bump the generation"
+    );
+}
+
+#[test]
+fn refresh_during_concurrent_queries_does_not_deadlock_or_corrupt() {
+    let repo = figure1_repo("conc_refresh", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, no_refresh()).unwrap());
+    let eager = Warehouse::open_eager(&repo.root, no_refresh()).unwrap();
+    let expected = eager.query(FIGURE1_Q2).unwrap().table.to_ascii(10_000);
+
+    std::thread::scope(|s| {
+        // Two query threads…
+        for _ in 0..2 {
+            let wh = Arc::clone(&wh);
+            let expected = &expected;
+            s.spawn(move || {
+                for _ in 0..3 {
+                    let out = wh.query(FIGURE1_Q2).unwrap();
+                    assert_eq!(&out.table.to_ascii(10_000), expected);
+                }
+            });
+        }
+        // …interleaved with explicit refreshes (no repository changes, so
+        // results must be stable; the write lock still excludes queries).
+        let wh2 = Arc::clone(&wh);
+        s.spawn(move || {
+            for _ in 0..3 {
+                let summary = wh2.refresh().unwrap();
+                assert!(summary.is_noop(), "repository did not change");
+            }
+        });
+    });
+    assert_eq!(wh.generation(), 0, "no-op refreshes do not bump generation");
+}
+
+#[test]
+fn result_recycler_is_shared_across_threads() {
+    let repo = figure1_repo("conc_recycle", 512);
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        recycle_query_results: true,
+        ..Default::default()
+    };
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, cfg).unwrap());
+    // Prime the recycler once.
+    let first = wh.query(FIGURE1_Q2).unwrap();
+    assert!(!first.report.result_recycled);
+    let expected = first.table.to_ascii(10_000);
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let wh = Arc::clone(&wh);
+            let expected = &expected;
+            s.spawn(move || {
+                let out = wh.query(FIGURE1_Q2).unwrap();
+                assert!(out.report.result_recycled, "primed result is recycled");
+                assert_eq!(&out.table.to_ascii(10_000), expected);
+            });
+        }
+    });
+    let stats = wh.result_cache_snapshot().stats;
+    assert_eq!(stats.hits, 4);
+}
+
+#[test]
+fn parallel_extraction_composes_with_concurrent_clients() {
+    // K client threads, each of whose lazy fetches fans out to worker
+    // threads feeding the sharded cache: the two levels of parallelism
+    // must compose without changing results.
+    let repo = figure1_repo("conc_par", 512);
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        extraction_threads: 4,
+        ..Default::default()
+    };
+    let eager = Warehouse::open_eager(&repo.root, no_refresh()).unwrap();
+    let expected = eager.query(FIGURE1_Q2).unwrap().table.to_ascii(10_000);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, cfg).unwrap());
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let wh = Arc::clone(&wh);
+            let expected = &expected;
+            s.spawn(move || {
+                let out = wh.query(FIGURE1_Q2).unwrap();
+                assert_eq!(&out.table.to_ascii(10_000), expected);
+            });
+        }
+    });
+}

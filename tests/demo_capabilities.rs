@@ -28,7 +28,7 @@ fn item1_initial_loading_of_only_metadata() {
 #[test]
 fn item2_browsing_metadata_and_navigation() {
     let repo = figure1_repo("cap2", 4096);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     // Browse files, drill into records of one file — no extraction at all.
     let files = wh
         .query("SELECT file_id, uri, num_records FROM mseed.files ORDER BY uri LIMIT 3")
@@ -63,7 +63,7 @@ fn item3_comparing_performance_to_eager() {
 #[test]
 fn items4_and_6_observing_plans_and_their_changes() {
     let repo = figure1_repo("cap46", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     let stages = wh.explain(FIGURE1_Q1).unwrap();
     assert_eq!(stages.len(), 3);
     // Item 4: compile-time change — metadata predicates move below the join.
@@ -101,7 +101,7 @@ fn items4_and_6_observing_plans_and_their_changes() {
 #[test]
 fn item5_observing_files_extracted() {
     let repo = figure1_repo("cap5", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     let out = wh.query(FIGURE1_Q1).unwrap();
     assert_eq!(out.report.files_extracted.len(), 1);
     let uri = &out.report.files_extracted[0];
@@ -114,7 +114,7 @@ fn item5_observing_files_extracted() {
 #[test]
 fn item7_observing_cache_contents_and_updates() {
     let repo = figure1_repo("cap7", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     assert!(wh.cache_snapshot().entries.is_empty());
     wh.query(FIGURE1_Q1).unwrap();
     let snap = wh.cache_snapshot();
@@ -147,7 +147,7 @@ fn item7_observing_cache_contents_and_updates() {
 #[test]
 fn item8_operations_log_order() {
     let repo = figure1_repo("cap8", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     wh.query(FIGURE1_Q1).unwrap();
     let log = wh.etl_log();
     // Expected phases in order: metadata loads, query start, compile

@@ -51,7 +51,7 @@ fn truncated_file_fails_attach() {
 #[test]
 fn empty_repository_attaches_and_answers() {
     let root = empty_root("empty");
-    let mut wh = Warehouse::open_lazy(&root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&root, no_refresh()).unwrap();
     assert_eq!(wh.load_report().files, 0);
     let out = wh.query("SELECT COUNT(*) FROM mseed.files").unwrap();
     assert_eq!(out.table.num_rows(), 1);
@@ -88,7 +88,7 @@ fn non_seismic_files_are_ignored_by_the_scan() {
 #[test]
 fn file_vanishing_between_attach_and_query() {
     let repo = figure1_repo("vanish", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     // Remove every ISK file from disk after the metadata was loaded.
     for f in &repo.generated.files {
         if f.source.station == "ISK" {
@@ -96,9 +96,7 @@ fn file_vanishing_between_attach_and_query() {
         }
     }
     // A query needing ISK data fails cleanly…
-    let err = wh.query(
-        "SELECT AVG(D.sample_value) FROM mseed.dataview WHERE F.station = 'ISK'",
-    );
+    let err = wh.query("SELECT AVG(D.sample_value) FROM mseed.dataview WHERE F.station = 'ISK'");
     assert!(err.is_err(), "missing file surfaces as an error");
     // …but the warehouse survives: metadata and other streams still work.
     let meta = wh.query("SELECT COUNT(*) FROM mseed.files").unwrap();
@@ -117,12 +115,15 @@ fn file_vanishing_between_attach_and_query() {
 #[test]
 fn corrupt_file_appearing_later_fails_refresh_but_not_warehouse() {
     let repo = figure1_repo("late_corrupt", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     let files_before = wh.load_report().files;
     wh.query(FIGURE1_Q2).unwrap();
 
     std::fs::write(repo.root.join("XX.BAD.mseed"), vec![0xAAu8; 2048]).unwrap();
-    assert!(wh.refresh().is_err(), "the corrupt newcomer fails the rescan");
+    assert!(
+        wh.refresh().is_err(),
+        "the corrupt newcomer fails the rescan"
+    );
 
     // Existing state still answers queries.
     let out = wh.query("SELECT COUNT(*) FROM mseed.files").unwrap();
@@ -134,7 +135,10 @@ fn corrupt_file_appearing_later_fails_refresh_but_not_warehouse() {
     let summary = wh.refresh().unwrap();
     assert!(summary.is_noop() || summary.removed <= 1);
     assert_eq!(
-        wh.query("SELECT COUNT(*) FROM mseed.files").unwrap().table.num_rows(),
+        wh.query("SELECT COUNT(*) FROM mseed.files")
+            .unwrap()
+            .table
+            .num_rows(),
         1
     );
     let _ = files_before;
@@ -143,7 +147,7 @@ fn corrupt_file_appearing_later_fails_refresh_but_not_warehouse() {
 #[test]
 fn bad_sql_leaves_warehouse_usable() {
     let repo = figure1_repo("bad_sql", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     for bad in [
         "SELEC 1",
         "SELECT FROM mseed.files",
@@ -171,7 +175,7 @@ fn in_place_shrink_is_detected_by_staleness_check() {
         ..GeneratorConfig::tiny(42)
     };
     let generated = generate_repository(&root, &config).unwrap();
-    let mut wh = Warehouse::open_lazy(&root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&root, no_refresh()).unwrap();
     wh.query("SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE F.station = 'HGN'")
         .unwrap();
 
@@ -199,9 +203,8 @@ fn in_place_shrink_is_detected_by_staleness_check() {
     // them must not serve stale cached payloads silently — the stale
     // entries get dropped, and the re-extraction of now-missing ranges
     // errors (or yields fewer rows), never panics.
-    let result = wh.query(
-        "SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE F.station = 'HGN'",
-    );
+    let result =
+        wh.query("SELECT COUNT(D.sample_value) FROM mseed.dataview WHERE F.station = 'HGN'");
     // A clean error is equally acceptable here; only a silent stale serve
     // would be a bug.
     if let Ok(out) = result {

@@ -18,8 +18,8 @@ fn no_refresh_config() -> WarehouseConfig {
 #[test]
 fn figure1_queries_agree_between_modes() {
     let repo = figure1_repo("agree", 512);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
-    let mut eager = Warehouse::open_eager(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let eager = Warehouse::open_eager(&repo.root, no_refresh_config()).unwrap();
     assert_eq!(lazy.mode(), Mode::Lazy);
     assert_eq!(eager.mode(), Mode::Eager);
 
@@ -36,10 +36,9 @@ fn figure1_queries_agree_between_modes() {
             let er = e.table.row(row).unwrap();
             for (a, b) in lr.iter().zip(&er) {
                 match (a.as_f64(), b.as_f64()) {
-                    (Some(x), Some(y)) => assert!(
-                        (x - y).abs() < 1e-9,
-                        "{name} row {row}: {x} vs {y}"
-                    ),
+                    (Some(x), Some(y)) => {
+                        assert!((x - y).abs() < 1e-9, "{name} row {row}: {x} vs {y}")
+                    }
                     _ => assert_eq!(a, b, "{name} row {row}"),
                 }
             }
@@ -50,7 +49,7 @@ fn figure1_queries_agree_between_modes() {
 #[test]
 fn q1_produces_a_real_average() {
     let repo = figure1_repo("avg", 512);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy.query(FIGURE1_Q1).unwrap();
     assert_eq!(out.table.num_rows(), 1);
     let v = out.table.row(0).unwrap()[0].clone();
@@ -64,7 +63,7 @@ fn q1_produces_a_real_average() {
 #[test]
 fn q2_groups_every_nl_station() {
     let repo = figure1_repo("group", 512);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy.query(FIGURE1_Q2).unwrap();
     // The default inventory has 4 NL stations, each with a BHZ channel.
     assert_eq!(out.table.num_rows(), 4);
@@ -106,18 +105,18 @@ fn lazy_load_is_cheaper_in_bytes_and_rows() {
 #[test]
 fn metadata_queries_extract_nothing() {
     let repo = figure1_repo("meta", 4096);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy
-        .query("SELECT station, COUNT(*) AS files FROM mseed.files GROUP BY station ORDER BY station")
+        .query(
+            "SELECT station, COUNT(*) AS files FROM mseed.files GROUP BY station ORDER BY station",
+        )
         .unwrap();
     assert!(out.table.num_rows() >= 4);
     assert!(out.report.files_extracted.is_empty());
     assert_eq!(out.report.records_extracted, 0);
     assert!(out.report.rewrite.is_none(), "no external scan, no rewrite");
 
-    let out = lazy
-        .query("SELECT COUNT(*) FROM mseed.records")
-        .unwrap();
+    let out = lazy.query("SELECT COUNT(*) FROM mseed.records").unwrap();
     let n = out.table.row(0).unwrap()[0].as_i64().unwrap();
     assert_eq!(n as usize, lazy.load_report().records);
     assert_eq!(out.report.records_extracted, 0);
@@ -140,11 +139,9 @@ fn selective_query_touches_only_matching_files() {
                 .replace('\\', "/")
         })
         .collect();
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy
-        .query(
-            "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'",
-        )
+        .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'")
         .unwrap();
     assert!(out.table.row(0).unwrap()[0].as_i64().unwrap() > 0);
     assert!(
@@ -163,7 +160,7 @@ fn selective_query_touches_only_matching_files() {
 #[test]
 fn record_pruning_limits_extraction_for_narrow_windows() {
     let repo = figure1_repo("prune", 512);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy.query(FIGURE1_Q1).unwrap();
     let rewrite = out.report.rewrite.expect("rewrite happened");
     assert!(
@@ -173,7 +170,7 @@ fn record_pruning_limits_extraction_for_narrow_windows() {
     assert!(rewrite.fetched_pairs < rewrite.candidate_pairs);
 
     // Ablation: without pruning the same query extracts every candidate.
-    let mut no_prune = Warehouse::open_lazy(
+    let no_prune = Warehouse::open_lazy(
         &repo.root,
         WarehouseConfig {
             record_level_pruning: false,
@@ -196,7 +193,7 @@ fn record_pruning_limits_extraction_for_narrow_windows() {
 #[test]
 fn pushdown_ablation_degenerates_to_full_extraction() {
     let repo = figure1_repo("ablate", 4096);
-    let mut ablated = Warehouse::open_lazy(
+    let ablated = Warehouse::open_lazy(
         &repo.root,
         WarehouseConfig {
             metadata_predicate_first: false,
@@ -219,7 +216,7 @@ fn pushdown_ablation_degenerates_to_full_extraction() {
 #[test]
 fn direct_data_query_falls_back_to_full_scan() {
     let repo = figure1_repo("fallback", 4096);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let out = lazy.query("SELECT COUNT(*) FROM mseed.data").unwrap();
     let rewrite = out.report.rewrite.unwrap();
     assert!(rewrite.full_scan_fallback, "no metadata join available");
@@ -230,7 +227,7 @@ fn direct_data_query_falls_back_to_full_scan() {
 #[test]
 fn explain_shows_three_stages_with_injection() {
     let repo = figure1_repo("explain", 512);
-    let mut lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
+    let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let stages = lazy.explain(FIGURE1_Q1).unwrap();
     let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
     assert_eq!(names, vec!["logical", "optimized", "rewritten"]);

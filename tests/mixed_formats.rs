@@ -36,7 +36,7 @@ fn no_refresh() -> WarehouseConfig {
 #[test]
 fn sac_only_repository_loads_and_queries() {
     let repo = common::build("saconly", config(RepoFormat::SacOnly, 7));
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     let lr = wh.load_report();
     assert_eq!(lr.files, repo.generated.files.len());
     assert_eq!(lr.records, lr.files, "SAC: one record per file");
@@ -71,8 +71,8 @@ fn mixed_repository_same_answers_as_mseed_only() {
     // Same seed => identical waveforms; only the container format differs.
     let mseed_repo = common::build("mix_ms", config(RepoFormat::MseedOnly, 11));
     let mixed_repo = common::build("mix_mx", config(RepoFormat::Mixed, 11));
-    let mut wh_ms = Warehouse::open_lazy(&mseed_repo.root, no_refresh()).unwrap();
-    let mut wh_mx = Warehouse::open_lazy(&mixed_repo.root, no_refresh()).unwrap();
+    let wh_ms = Warehouse::open_lazy(&mseed_repo.root, no_refresh()).unwrap();
+    let wh_mx = Warehouse::open_lazy(&mixed_repo.root, no_refresh()).unwrap();
     for sql in [
         "SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK'",
         "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) FROM mseed.dataview \
@@ -101,13 +101,7 @@ fn mixed_repository_same_answers_as_mseed_only() {
         .generated
         .files
         .iter()
-        .map(|f| {
-            f.path
-                .extension()
-                .unwrap()
-                .to_string_lossy()
-                .to_string()
-        })
+        .map(|f| f.path.extension().unwrap().to_string_lossy().to_string())
         .collect();
     assert_eq!(
         exts.into_iter().collect::<Vec<_>>(),
@@ -118,7 +112,7 @@ fn mixed_repository_same_answers_as_mseed_only() {
 #[test]
 fn lazy_extraction_is_selective_across_formats() {
     let repo = common::build("mix_sel", config(RepoFormat::Mixed, 13));
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     let out = wh
         .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'WIT'")
         .unwrap();
@@ -132,7 +126,7 @@ fn lazy_extraction_is_selective_across_formats() {
 #[test]
 fn sac_cache_and_staleness_work() {
     let repo = common::build("mix_cache", config(RepoFormat::SacOnly, 17));
-    let mut wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
     let sql = "SELECT AVG(D.sample_value) FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'";
     let cold = wh.query(sql).unwrap();
     assert!(cold.report.records_extracted > 0);

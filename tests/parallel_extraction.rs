@@ -19,7 +19,7 @@ fn results_identical_across_thread_counts() {
     let repo = figure1_repo("par_equiv", 512);
     let mut reference: Option<(String, String)> = None;
     for threads in [1usize, 2, 4, 8] {
-        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        let wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
         let q1 = wh.query(FIGURE1_Q1).unwrap().table.to_ascii(1000);
         let q2 = wh.query(FIGURE1_Q2).unwrap().table.to_ascii(1000);
         match &reference {
@@ -37,7 +37,7 @@ fn extraction_stats_identical_across_thread_counts() {
     let repo = figure1_repo("par_stats", 512);
     let mut reference = None;
     for threads in [1usize, 4] {
-        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        let wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
         let out = wh.query(FIGURE1_Q2).unwrap();
         let key = (
             out.report.files_extracted.clone(),
@@ -59,7 +59,7 @@ fn cache_contents_identical_across_thread_counts() {
     let repo = figure1_repo("par_cache", 512);
     let mut reference: Option<Vec<((i64, i64), usize)>> = None;
     for threads in [1usize, 4] {
-        let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
+        let wh = Warehouse::open_lazy(&repo.root, config_with_threads(threads)).unwrap();
         wh.query(FIGURE1_Q2).unwrap();
         let snap: Vec<((i64, i64), usize)> = wh
             .cache_snapshot()
@@ -77,11 +77,14 @@ fn cache_contents_identical_across_thread_counts() {
 #[test]
 fn warm_cache_serves_hits_regardless_of_threads() {
     let repo = figure1_repo("par_warm", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(4)).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, config_with_threads(4)).unwrap();
     let cold = wh.query(FIGURE1_Q1).unwrap();
     assert!(cold.report.records_extracted > 0);
     let warm = wh.query(FIGURE1_Q1).unwrap();
-    assert_eq!(warm.report.records_extracted, 0, "warm run extracts nothing");
+    assert_eq!(
+        warm.report.records_extracted, 0,
+        "warm run extracts nothing"
+    );
     assert!(warm.report.cache_hits > 0);
     assert_eq!(warm.table.to_ascii(10), cold.table.to_ascii(10));
 }
@@ -90,7 +93,7 @@ fn warm_cache_serves_hits_regardless_of_threads() {
 fn zero_threads_behaves_as_sequential() {
     // `0` is clamped to the sequential path rather than panicking.
     let repo = figure1_repo("par_zero", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, config_with_threads(0)).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, config_with_threads(0)).unwrap();
     let out = wh.query(FIGURE1_Q1).unwrap();
     assert!(out.report.rows > 0);
 }

@@ -39,7 +39,11 @@ fn rig() -> &'static Rig {
 /// the eager table scan by rounding.
 fn assert_tables_close(sql: &str, a: &lazyetl::store::Table, b: &lazyetl::store::Table) {
     assert_eq!(a.num_rows(), b.num_rows(), "row count for {sql}");
-    assert_eq!(a.schema.fields.len(), b.schema.fields.len(), "width for {sql}");
+    assert_eq!(
+        a.schema.fields.len(),
+        b.schema.fields.len(),
+        "width for {sql}"
+    );
     for col in 0..a.schema.fields.len() {
         for row in 0..a.num_rows() {
             let va = a.columns[col].get(row).unwrap();
@@ -47,10 +51,7 @@ fn assert_tables_close(sql: &str, a: &lazyetl::store::Table, b: &lazyetl::store:
             match (&va, &vb) {
                 (Value::Float64(x), Value::Float64(y)) => {
                     let tol = (x.abs().max(y.abs()) * 1e-9).max(1e-9);
-                    assert!(
-                        (x - y).abs() <= tol,
-                        "{sql}: cell [{row},{col}] {x} vs {y}"
-                    );
+                    assert!((x - y).abs() <= tol, "{sql}: cell [{row},{col}] {x} vs {y}");
                 }
                 _ => assert_eq!(va, vb, "{sql}: cell [{row},{col}]"),
             }
@@ -81,7 +82,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 64,
-        ..ProptestConfig::default()
     })]
 
     #[test]

@@ -100,7 +100,7 @@ fn record_payloads_stay_fresh_inside_the_bound() {
     // mtimes at fetch time, so payload queries never serve bytes from a
     // superseded file version.
     let repo = figure1_repo("stale_payload", 512);
-    let mut wh = Warehouse::open_lazy(
+    let wh = Warehouse::open_lazy(
         &repo.root,
         WarehouseConfig {
             auto_refresh: true,

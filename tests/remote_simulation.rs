@@ -55,11 +55,9 @@ fn lazy_load_models_far_less_transfer_time() {
 #[test]
 fn query_accounts_transfer_only_for_extraction() {
     let repo = figure1_repo("wan_query", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
     // Metadata-only query: no remote transfer at query time.
-    let out = wh
-        .query("SELECT COUNT(*) FROM mseed.records")
-        .unwrap();
+    let out = wh.query("SELECT COUNT(*) FROM mseed.records").unwrap();
     assert_eq!(out.report.simulated_io, Duration::ZERO);
     // Data query: transfer cost proportional to bytes of extracted records.
     let out = wh.query(FIGURE1_Q1).unwrap();
@@ -79,8 +77,8 @@ fn query_accounts_transfer_only_for_extraction() {
 #[test]
 fn transfer_cost_scales_with_selectivity() {
     let repo = figure1_repo("wan_scale", 512);
-    let mut narrow = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
-    let mut broad = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
+    let narrow = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
+    let broad = Warehouse::open_lazy(&repo.root, wan_config()).unwrap();
     let narrow_out = narrow
         .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE'")
         .unwrap();

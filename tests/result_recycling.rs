@@ -19,7 +19,7 @@ fn recycling_config() -> WarehouseConfig {
 #[test]
 fn second_run_is_recycled_and_identical() {
     let repo = figure1_repo("recycle_q2", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
 
     let first = wh.query(FIGURE1_Q2).unwrap();
     assert!(!first.report.result_recycled);
@@ -51,9 +51,10 @@ fn second_run_is_recycled_and_identical() {
 #[test]
 fn different_literals_are_different_fingerprints() {
     let repo = figure1_repo("recycle_fp", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
 
-    wh.query("SELECT COUNT(*) FROM mseed.records WHERE R.seq_no = 1").unwrap();
+    wh.query("SELECT COUNT(*) FROM mseed.records WHERE R.seq_no = 1")
+        .unwrap();
     let out = wh
         .query("SELECT COUNT(*) FROM mseed.records WHERE R.seq_no = 2")
         .unwrap();
@@ -67,7 +68,7 @@ fn different_literals_are_different_fingerprints() {
 #[test]
 fn repository_change_invalidates_recycled_results() {
     let repo = figure1_repo("recycle_inval", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
 
     let count_sql = "SELECT COUNT(*) FROM mseed.records";
     let before = wh.query(count_sql).unwrap();
@@ -95,7 +96,7 @@ fn repository_change_invalidates_recycled_results() {
 #[test]
 fn recycling_works_in_eager_mode_too() {
     let repo = figure1_repo("recycle_eager", 512);
-    let mut wh = Warehouse::open_eager(&repo.root, recycling_config()).unwrap();
+    let wh = Warehouse::open_eager(&repo.root, recycling_config()).unwrap();
     let first = wh.query(FIGURE1_Q1).unwrap();
     let second = wh.query(FIGURE1_Q1).unwrap();
     assert!(!first.report.result_recycled);
@@ -106,7 +107,7 @@ fn recycling_works_in_eager_mode_too() {
 #[test]
 fn recycler_disabled_by_default() {
     let repo = figure1_repo("recycle_off", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     wh.query(FIGURE1_Q1).unwrap();
     let second = wh.query(FIGURE1_Q1).unwrap();
     assert!(!second.report.result_recycled);
@@ -116,7 +117,7 @@ fn recycler_disabled_by_default() {
 #[test]
 fn recycle_ops_are_logged() {
     let repo = figure1_repo("recycle_log", 512);
-    let mut wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
+    let wh = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
     wh.query(FIGURE1_Q1).unwrap();
     wh.query(FIGURE1_Q1).unwrap();
     let admits = wh
@@ -133,8 +134,8 @@ fn recycle_ops_are_logged() {
 fn recycled_hit_matches_record_cache_path_results() {
     // Same query through a recycling warehouse and a plain one must agree.
     let repo = figure1_repo("recycle_equiv", 512);
-    let mut plain = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
-    let mut recycled = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
+    let plain = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
+    let recycled = Warehouse::open_lazy(&repo.root, recycling_config()).unwrap();
     for sql in [FIGURE1_Q1, FIGURE1_Q2] {
         let a = plain.query(sql).unwrap();
         recycled.query(sql).unwrap();

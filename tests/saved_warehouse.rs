@@ -20,12 +20,12 @@ fn lazy_save_reopen_identical_answers() {
     let repo = figure1_repo("saved_lazy", 512);
     let saved = repo.root.join("_saved");
     let expected = {
-        let mut wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
         let out = wh.query(FIGURE1_Q2).unwrap();
         save_warehouse(&wh, &saved).unwrap();
         out.table
     };
-    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
     assert_eq!(re.mode(), Mode::Lazy);
     assert_eq!(re.load_report().files, repo.generated.files.len());
     // Bootstrap read zero repository bytes for unchanged files.
@@ -44,7 +44,7 @@ fn eager_save_reopen_skips_extraction() {
         assert_eq!(r.tables.len(), 3);
         wh.load_report().samples_loaded
     };
-    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
     assert_eq!(re.mode(), Mode::Eager);
     assert_eq!(re.load_report().samples_loaded, samples);
     // No extraction happened during reopen: the ETL log records only the
@@ -86,7 +86,7 @@ fn reopen_reconciles_drift() {
     )
     .unwrap();
 
-    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
     let out = re
         .query("SELECT COUNT(*) FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'")
         .unwrap();
@@ -120,7 +120,7 @@ fn reopen_reconciles_removed_files() {
             std::fs::remove_file(&f.path).unwrap();
         }
     }
-    let mut re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
     let out = re
         .query("SELECT COUNT(*) FROM mseed.files WHERE station = 'WTSB'")
         .unwrap();

@@ -23,7 +23,7 @@ fn wh() -> (common::TestRepo, Warehouse) {
 
 #[test]
 fn scalar_expressions() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query("SELECT 1 + 2 * 3, 10 / 4, 10 % 3, -5, ABS(-2.5), SQRT(16.0), POWER(2, 10)")
         .unwrap();
@@ -39,7 +39,7 @@ fn scalar_expressions() {
 
 #[test]
 fn string_functions_and_like() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT station, LOWER(station), LENGTH(station) FROM mseed.files \
@@ -55,7 +55,7 @@ fn string_functions_and_like() {
 
 #[test]
 fn aggregates_against_ground_truth() {
-    let (repo, mut wh) = wh();
+    let (repo, wh) = wh();
     // COUNT(*) over records must equal generator record count per file sum.
     let out = wh.query("SELECT COUNT(*) FROM mseed.records").unwrap();
     let total_records = out.table.row(0).unwrap()[0].as_i64().unwrap();
@@ -79,12 +79,15 @@ fn aggregates_against_ground_truth() {
         row[2].as_f64().unwrap(),
     );
     assert!(min <= avg && avg <= max);
-    assert_eq!(row[3].as_i64().unwrap() as usize, repo.generated.files.len());
+    assert_eq!(
+        row[3].as_i64().unwrap() as usize,
+        repo.generated.files.len()
+    );
 }
 
 #[test]
 fn group_by_having_order_limit() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT station, COUNT(*) AS files FROM mseed.files \
@@ -109,7 +112,7 @@ fn group_by_having_order_limit() {
 
 #[test]
 fn distinct_and_in_lists() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query("SELECT DISTINCT channel FROM mseed.files ORDER BY channel")
         .unwrap();
@@ -126,7 +129,7 @@ fn distinct_and_in_lists() {
 
 #[test]
 fn between_and_timestamp_literals() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT COUNT(*) FROM mseed.records \
@@ -143,7 +146,7 @@ fn between_and_timestamp_literals() {
 
 #[test]
 fn arithmetic_on_columns_and_aliases() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT uri, size / 1024 AS kib, num_records * 2 AS doubled \
@@ -161,7 +164,7 @@ fn arithmetic_on_columns_and_aliases() {
 
 #[test]
 fn count_distinct_and_star() {
-    let (repo, mut wh) = wh();
+    let (repo, wh) = wh();
     let out = wh
         .query("SELECT COUNT(*), COUNT(DISTINCT station), COUNT(DISTINCT network) FROM mseed.files")
         .unwrap();
@@ -176,7 +179,7 @@ fn count_distinct_and_star() {
 
 #[test]
 fn joins_with_explicit_syntax() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     // Join F and R explicitly (not through the view).
     let out = wh
         .query(
@@ -193,7 +196,7 @@ fn joins_with_explicit_syntax() {
 
 #[test]
 fn nulls_in_aggregates_and_filters() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     // location is empty string (not NULL) in our generator; test IS NULL
     // machinery via a NULL-producing expression instead.
     let out = wh
@@ -207,12 +210,12 @@ fn nulls_in_aggregates_and_filters() {
 
 #[test]
 fn error_paths_are_errors_not_panics() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     for bad in [
         "SELECT nothere FROM mseed.files",
         "SELECT * FROM missing_table",
         "SELECT COUNT(*) FROM mseed.files WHERE station = ", // parse error
-        "SELECT station FROM mseed.files GROUP BY", // parse error
+        "SELECT station FROM mseed.files GROUP BY",          // parse error
         "SELECT MIN(*) FROM mseed.files",
         "SELECT station FROM mseed.files HAVING COUNT(*) > 1", // having without group by is ok-ish? we reject w/o aggregate context
     ] {
@@ -223,7 +226,7 @@ fn error_paths_are_errors_not_panics() {
 
 #[test]
 fn dataview_wildcard_and_qualified_stars() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query("SELECT * FROM mseed.dataview WHERE F.station = 'ISK' AND F.channel = 'BHE' LIMIT 5")
         .unwrap();
@@ -243,7 +246,7 @@ fn dataview_wildcard_and_qualified_stars() {
 
 #[test]
 fn order_by_expression_and_desc_nulls() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query("SELECT uri, size FROM mseed.files ORDER BY size DESC, uri LIMIT 4")
         .unwrap();
@@ -259,7 +262,7 @@ fn order_by_expression_and_desc_nulls() {
 fn or_predicates_on_metadata() {
     // OR cannot be pushed as a simple conjunct; correctness must not
     // depend on pushdown.
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT COUNT(*) FROM mseed.files \
@@ -289,7 +292,7 @@ fn or_predicates_on_metadata() {
 
 #[test]
 fn not_and_de_morgan_agree() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let a = wh
         .query(
             "SELECT COUNT(*) FROM mseed.files \
@@ -311,7 +314,7 @@ fn not_and_de_morgan_agree() {
 
 #[test]
 fn group_by_multiple_keys() {
-    let (r, mut wh) = wh();
+    let (r, wh) = wh();
     let out = wh
         .query(
             "SELECT station, channel, COUNT(*) AS files FROM mseed.files \
@@ -330,7 +333,7 @@ fn group_by_multiple_keys() {
 
 #[test]
 fn having_on_aggregate_not_in_select() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT station FROM mseed.files GROUP BY station \
@@ -343,7 +346,7 @@ fn having_on_aggregate_not_in_select() {
 
 #[test]
 fn limit_edge_cases() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let zero = wh.query("SELECT uri FROM mseed.files LIMIT 0").unwrap();
     assert_eq!(zero.table.num_rows(), 0);
     let all = wh.query("SELECT uri FROM mseed.files").unwrap();
@@ -355,7 +358,7 @@ fn limit_edge_cases() {
 
 #[test]
 fn top_n_over_data_is_lazy_and_correct() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT D.sample_time, D.sample_value FROM mseed.dataview \
@@ -378,7 +381,7 @@ fn top_n_over_data_is_lazy_and_correct() {
 
 #[test]
 fn coalesce_and_is_not_null_end_to_end() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh
         .query(
             "SELECT COUNT(*) FROM mseed.files \
@@ -399,7 +402,7 @@ fn coalesce_and_is_not_null_end_to_end() {
 
 #[test]
 fn select_without_from() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let out = wh.query("SELECT 1 + 1, 'x', ABS(-3)").unwrap();
     assert_eq!(out.table.num_rows(), 1);
     let row = out.table.row(0).unwrap();
@@ -410,7 +413,7 @@ fn select_without_from() {
 
 #[test]
 fn not_in_and_not_between() {
-    let (_r, mut wh) = wh();
+    let (_r, wh) = wh();
     let not_in = wh
         .query(
             "SELECT COUNT(*) FROM mseed.files \

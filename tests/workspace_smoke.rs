@@ -20,7 +20,7 @@ fn umbrella_crate_runs_figure1_end_to_end() {
     );
 
     // 2. Attach lazily through the umbrella facade: metadata only.
-    let mut wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default())
+    let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default())
         .expect("lazy attach reads only metadata");
     let loaded = wh.load_report().clone();
     assert_eq!(loaded.files, repo.generated.files.len());
@@ -43,7 +43,7 @@ fn umbrella_crate_runs_figure1_end_to_end() {
         "the window forces extraction of at least one file"
     );
     assert!(
-        (q1.report.files_extracted.len() as usize) < repo.generated.files.len(),
+        q1.report.files_extracted.len() < repo.generated.files.len(),
         "lazy extraction touches a strict subset of the repository"
     );
 

@@ -190,7 +190,10 @@ fn report(group: &str, id: &str, times: &[Duration], throughput: Option<Throughp
                     line.push_str(&format!(" — {:.3} Melem/s", n as f64 / secs / 1e6));
                 }
                 Throughput::Bytes(n) => {
-                    line.push_str(&format!(" — {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+                    line.push_str(&format!(
+                        " — {:.3} MiB/s",
+                        n as f64 / secs / (1 << 20) as f64
+                    ));
                 }
             }
         }
@@ -373,7 +376,10 @@ mod tests {
 
     #[test]
     fn id_formats() {
-        assert_eq!(BenchmarkId::new("decode", "steim2").into_id(), "decode/steim2");
+        assert_eq!(
+            BenchmarkId::new("decode", "steim2").into_id(),
+            "decode/steim2"
+        );
         assert_eq!(BenchmarkId::from_parameter(8).into_id(), "8");
     }
 }

@@ -258,7 +258,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter rejected 1000 candidates in a row: {}", self.whence);
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
     }
 }
 
@@ -871,7 +874,7 @@ mod tests {
             s in "[ab]{1,2}",
             opt in prop::option::of(0u8..4),
         ) {
-            prop_assert!(x >= 0 && x < 100);
+            prop_assert!((0..100).contains(&x));
             prop_assert!(v.len() < 8);
             prop_assert!(!s.is_empty() && s.len() <= 2);
             if let Some(o) = opt {

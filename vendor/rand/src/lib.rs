@@ -211,7 +211,7 @@ mod tests {
             let v = rng.gen_range(i64::MIN..=i64::MAX);
             let _ = v; // full-domain draw must not overflow
             let w = rng.gen_range(-(1i64 << 29)..(1i64 << 29));
-            assert!(w >= -(1i64 << 29) && w < (1i64 << 29));
+            assert!((-(1i64 << 29)..(1i64 << 29)).contains(&w));
         }
     }
 }
