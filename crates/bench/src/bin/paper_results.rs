@@ -392,6 +392,68 @@ fn e12_concurrent(scale: ScaleName) {
     emit_json("e12", scale, json_rows);
 }
 
+/// E13: warm restart — cold open vs. reopen-from-snapshot over the
+/// Figure-1 mix; the durable save path's headline numbers.
+fn e13_warm_restart(scale: ScaleName) {
+    use lazyetl_bench::warm_restart::run_warm_restart;
+    let dir = scale_repo(scale);
+    let r = run_warm_restart(&dir, &base_config());
+    let warm_beats_cold = r.warm.time_to_first_insight() < r.cold.time_to_first_insight();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for (phase, p) in [("cold", &r.cold), ("warm", &r.warm)] {
+        rows.push(vec![
+            phase.to_string(),
+            fmt_dur(p.open),
+            fmt_dur(p.first_query),
+            fmt_dur(p.time_to_first_insight()),
+            fmt_dur(p.mix_total),
+            format!("{:.0}%", 100.0 * p.hit_rate()),
+            p.records_extracted.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("phase", Json::str(phase)),
+            ("open_us", Json::Int(p.open.as_micros() as i64)),
+            (
+                "first_query_us",
+                Json::Int(p.first_query.as_micros() as i64),
+            ),
+            (
+                "tti_us",
+                Json::Int(p.time_to_first_insight().as_micros() as i64),
+            ),
+            ("mix_total_us", Json::Int(p.mix_total.as_micros() as i64)),
+            ("cache_hit_rate", Json::Num(p.hit_rate())),
+            ("records_extracted", Json::Int(p.records_extracted as i64)),
+            ("save_us", Json::Int(r.save.as_micros() as i64)),
+            ("saved_bytes", Json::Int(r.saved_bytes as i64)),
+            ("segments", Json::Int(r.segments as i64)),
+            ("warm_beats_cold", Json::Bool(warm_beats_cold)),
+        ]));
+    }
+    print_table(
+        &format!(
+            "E13 — Warm restart ({} scale): save {} / {} in {} segments; warm TTI beats cold: {}",
+            scale.label(),
+            fmt_dur(r.save),
+            fmt_bytes(r.saved_bytes),
+            r.segments,
+            warm_beats_cold
+        ),
+        &[
+            "restart",
+            "open",
+            "first query",
+            "time-to-first-insight",
+            "mix total",
+            "hit rate",
+            "records extracted",
+        ],
+        &rows,
+    );
+    emit_json("e13", scale, json_rows);
+}
+
 /// Write `BENCH_<experiment>.json` and tell the operator where it went.
 fn emit_json(experiment: &str, scale: ScaleName, rows: Vec<Json>) {
     match write_bench_file(experiment, scale.label(), rows) {
@@ -743,7 +805,7 @@ fn main() {
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
         wanted = [
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -764,7 +826,8 @@ fn main() {
             "e10" => e10_parallel(scale),
             "e11" => e11_recycling(scale),
             "e12" => e12_concurrent(scale),
-            other => eprintln!("unknown experiment {other:?} (want e1..e12 or all)"),
+            "e13" => e13_warm_restart(scale),
+            other => eprintln!("unknown experiment {other:?} (want e1..e13 or all)"),
         }
     }
 }

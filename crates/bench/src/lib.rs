@@ -8,6 +8,7 @@
 
 pub mod concurrent;
 pub mod json;
+pub mod warm_restart;
 
 use lazyetl_mseed::gen::{generate_repository, GeneratorConfig};
 use lazyetl_mseed::inventory::default_inventory;

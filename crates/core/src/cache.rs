@@ -33,11 +33,36 @@
 //! orders of magnitude above any record's `D` rows; size budgets
 //! accordingly when shrinking them. `with_shards(budget, 1)` restores
 //! exact single-cache semantics, admission threshold included.
+//!
+//! # Durability: segment export and lazy rehydration
+//!
+//! A saved warehouse snapshots each shard into a checksummed **segment
+//! file** ([`crate::segment`]); a reopened warehouse attaches those files
+//! back with [`RecyclingCache::attach_segments`]. Attached segments are
+//! *pending*: nothing is read until the first operation touches the
+//! shard, at which point the segment is read, verified and folded in
+//! (read-on-first-touch; an mmap fast path would slot in here but the
+//! build is dependency-free). A segment that fails its checksum — torn
+//! write, bit flip, truncation — is **rejected wholesale** and counted in
+//! [`CacheStats::segments_rejected`]: the shard simply starts cold, and
+//! correctness is unaffected because the cache only ever accelerates
+//! extraction. Each pending segment carries a validity map
+//! (`file_id → expected mtime`) built by the reopen reconciliation;
+//! entries of files that changed, vanished or were renumbered since the
+//! save are dropped during hydration, so repository drift invalidates
+//! exactly the affected records. Aggregate accessors
+//! ([`RecyclingCache::len`], [`RecyclingCache::snapshot`], …) do **not**
+//! force hydration — they describe the resident state;
+//! [`RecyclingCache::pending_segments`] says how many segments are still
+//! cold and [`RecyclingCache::hydrate_all`] forces them in.
 
+use crate::segment::SegmentEntry;
 use lazyetl_mseed::Timestamp;
+use lazyetl_store::persist::split_footer;
 use lazyetl_store::Table;
 use std::collections::{BTreeMap, HashMap};
-use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Cache key: one mSEED record's extracted data.
@@ -83,6 +108,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Total bytes ever inserted.
     pub inserted_bytes: u64,
+    /// Saved segments successfully rehydrated into this cache.
+    pub segments_loaded: u64,
+    /// Saved segments rejected at rehydration (checksum/format failure).
+    pub segments_rejected: u64,
 }
 
 impl CacheStats {
@@ -102,7 +131,24 @@ impl CacheStats {
         self.stale_drops += other.stale_drops;
         self.evictions += other.evictions;
         self.inserted_bytes += other.inserted_bytes;
+        self.segments_loaded += other.segments_loaded;
+        self.segments_rejected += other.segments_rejected;
     }
+}
+
+/// A saved segment file awaiting lazy rehydration (see the module docs).
+#[derive(Debug)]
+pub struct PendingSegment {
+    /// Segment file written by the durable save path.
+    pub path: PathBuf,
+    /// Body checksum the manifest recorded for this file.
+    pub checksum: u64,
+    /// `file_id → current mtime` of files whose saved rows survived the
+    /// reopen reconciliation; entries not matching are dropped. Shared
+    /// across every pending segment of one reopen (the reconciliation
+    /// verdict is per-file, not per-shard), so revoking a file revokes
+    /// it everywhere at once.
+    pub valid: Arc<Mutex<HashMap<i64, Timestamp>>>,
 }
 
 /// Summary of one resident entry (for the demo's cache browser).
@@ -257,6 +303,10 @@ impl Shard {
 pub struct RecyclingCache {
     shards: Vec<Mutex<Shard>>,
     budget_bytes: usize,
+    /// One pending-segment slot per shard; `None` once hydrated.
+    pending: Vec<Mutex<Option<PendingSegment>>>,
+    /// Fast path: number of slots still holding a pending segment.
+    pending_count: AtomicUsize,
 }
 
 impl RecyclingCache {
@@ -278,6 +328,8 @@ impl RecyclingCache {
         RecyclingCache {
             shards,
             budget_bytes,
+            pending: (0..n).map(|_| Mutex::new(None)).collect(),
+            pending_count: AtomicUsize::new(0),
         }
     }
 
@@ -286,11 +338,153 @@ impl RecyclingCache {
         self.shards.len()
     }
 
+    /// Which shard a key lives in. Uses the repo's own FNV-1a hash over
+    /// the key bytes — segment files assume this mapping is stable
+    /// across processes *and* toolchains, which std's `DefaultHasher`
+    /// explicitly does not promise.
+    fn shard_index(&self, key: &CacheKey) -> usize {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&key.0.to_le_bytes());
+        bytes[8..].copy_from_slice(&key.1.to_le_bytes());
+        (lazyetl_store::persist::checksum64(&bytes) % self.shards.len() as u64) as usize
+    }
+
     fn shard_of(&self, key: &CacheKey) -> MutexGuard<'_, Shard> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        let idx = (hasher.finish() % self.shards.len() as u64) as usize;
+        let idx = self.shard_index(key);
+        self.ensure_hydrated(idx);
         self.shards[idx].lock().expect("cache shard poisoned")
+    }
+
+    /// Attach saved segment files for lazy rehydration.
+    ///
+    /// `saved_shards` is the shard count of the cache that wrote the
+    /// segments; each entry pairs a shard index with its segment. When it
+    /// matches this cache's shard count, the key→shard mapping is
+    /// unchanged and each segment is read lazily on the first touch of
+    /// its shard. Any other count means keys now hash to different
+    /// shards, so every segment is folded in eagerly through the
+    /// hash-routed insert path instead.
+    pub fn attach_segments(&self, saved_shards: usize, segments: Vec<(usize, PendingSegment)>) {
+        if saved_shards == self.shards.len() {
+            for (idx, seg) in segments {
+                if idx >= self.pending.len() {
+                    continue; // manifest damage; shard simply stays cold
+                }
+                *self.pending[idx].lock().expect("pending slot poisoned") = Some(seg);
+                self.pending_count.fetch_add(1, Ordering::Release);
+            }
+        } else {
+            for (_, seg) in segments {
+                match Self::load_segment(&seg) {
+                    Ok(entries) => {
+                        self.shards[0]
+                            .lock()
+                            .expect("cache shard poisoned")
+                            .stats
+                            .segments_loaded += 1;
+                        for e in entries {
+                            self.insert(e.key, e.table, e.mtime);
+                        }
+                    }
+                    Err(_) => {
+                        self.shards[0]
+                            .lock()
+                            .expect("cache shard poisoned")
+                            .stats
+                            .segments_rejected += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read + verify one segment, keeping only entries its validity map
+    /// still vouches for.
+    fn load_segment(seg: &PendingSegment) -> crate::error::Result<Vec<SegmentEntry>> {
+        let bytes = std::fs::read(&seg.path).map_err(|e| {
+            crate::error::EtlError::Internal(format!(
+                "cannot read segment {}: {e}",
+                seg.path.display()
+            ))
+        })?;
+        let (_, sum) = split_footer(&bytes).map_err(crate::error::EtlError::Store)?;
+        if sum != seg.checksum {
+            return Err(crate::error::EtlError::Internal(format!(
+                "segment {} checksum {sum:#x} != manifest {:#x}",
+                seg.path.display(),
+                seg.checksum
+            )));
+        }
+        let entries = crate::segment::decode_segment(&bytes)?;
+        let valid = seg.valid.lock().expect("validity map poisoned");
+        Ok(entries
+            .into_iter()
+            .filter(|e| valid.get(&e.key.0) == Some(&e.mtime))
+            .collect())
+    }
+
+    /// Fold shard `idx`'s pending segment in, if it still has one. Entries
+    /// are inserted directly into the shard (they hashed there at save
+    /// time), preserving saved LRU order; a verification failure leaves
+    /// the shard cold and counts a rejection.
+    fn ensure_hydrated(&self, idx: usize) {
+        if self.pending_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut slot = self.pending[idx].lock().expect("pending slot poisoned");
+        if let Some(seg) = slot.take() {
+            self.pending_count.fetch_sub(1, Ordering::Release);
+            let loaded = Self::load_segment(&seg);
+            let mut shard = self.shards[idx].lock().expect("cache shard poisoned");
+            match loaded {
+                Ok(entries) => {
+                    shard.stats.segments_loaded += 1;
+                    for e in entries {
+                        shard.insert(e.key, e.table, e.mtime);
+                    }
+                }
+                Err(_) => shard.stats.segments_rejected += 1,
+            }
+        }
+    }
+
+    /// Force every pending segment in (save paths and tests want the
+    /// complete picture; queries hydrate shard by shard).
+    pub fn hydrate_all(&self) {
+        for idx in 0..self.shards.len() {
+            self.ensure_hydrated(idx);
+        }
+    }
+
+    /// Segments attached but not yet read.
+    pub fn pending_segments(&self) -> usize {
+        self.pending_count.load(Ordering::Acquire)
+    }
+
+    /// Every shard's resident entries in LRU order (oldest first), the
+    /// unit the durable save path writes one segment file from. Pending
+    /// segments are hydrated first so a save never silently drops a
+    /// not-yet-touched shard.
+    pub fn export_shards(&self) -> Vec<Vec<SegmentEntry>> {
+        self.hydrate_all();
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                shard
+                    .lru
+                    .values()
+                    .map(|key| {
+                        let e = shard.entries.get(key).expect("lru index consistent");
+                        SegmentEntry {
+                            key: *key,
+                            mtime: e.file_mtime,
+                            table: e.table.clone(),
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Look up one record's data, checking freshness against the file's
@@ -310,7 +504,18 @@ impl RecyclingCache {
     }
 
     /// Drop every entry belonging to a file (metadata refresh path).
+    ///
+    /// Also revokes the file from every pending segment's validity map,
+    /// so entries of an invalidated file can never hydrate in later.
     pub fn invalidate_file(&self, file_id: i64) -> usize {
+        for slot in &self.pending {
+            if let Some(seg) = slot.lock().expect("pending slot poisoned").as_ref() {
+                seg.valid
+                    .lock()
+                    .expect("validity map poisoned")
+                    .remove(&file_id);
+            }
+        }
         let mut dropped = 0usize;
         for shard in &self.shards {
             let mut shard = shard.lock().expect("cache shard poisoned");
@@ -329,8 +534,13 @@ impl RecyclingCache {
         dropped
     }
 
-    /// Remove everything.
+    /// Remove everything, pending segments included.
     pub fn clear(&self) {
+        for slot in &self.pending {
+            if slot.lock().expect("pending slot poisoned").take().is_some() {
+                self.pending_count.fetch_sub(1, Ordering::Release);
+            }
+        }
         for shard in &self.shards {
             shard.lock().expect("cache shard poisoned").clear();
         }
@@ -546,6 +756,131 @@ mod tests {
         assert!(c.used_bytes() <= c.budget_bytes());
         assert!(c.stats().evictions > 0);
         assert!(!c.is_empty(), "each shard retains its most recent entries");
+    }
+
+    fn export_to_segments(
+        c: &RecyclingCache,
+        dir: &std::path::Path,
+        valid: &HashMap<i64, Timestamp>,
+    ) -> Vec<(usize, PendingSegment)> {
+        let valid = Arc::new(Mutex::new(valid.clone()));
+        let mut segs = Vec::new();
+        for (i, entries) in c.export_shards().iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let path = dir.join(format!("shard_{i:03}.lzsg"));
+            let info = crate::segment::write_segment_atomic(&path, entries).unwrap();
+            segs.push((
+                i,
+                PendingSegment {
+                    path,
+                    checksum: info.checksum,
+                    valid: valid.clone(),
+                },
+            ));
+        }
+        segs
+    }
+
+    fn seg_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lazyetl_cacheseg_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn segment_export_and_lazy_rehydration() {
+        let dir = seg_dir("roundtrip");
+        let c = RecyclingCache::with_shards(1 << 20, 4);
+        for f in 0..3i64 {
+            for s in 0..5i64 {
+                c.insert((f, s), table_of(6), MT);
+            }
+        }
+        let valid: HashMap<i64, Timestamp> = (0..3).map(|f| (f, MT)).collect();
+        let segs = export_to_segments(&c, &dir, &valid);
+        assert!(!segs.is_empty());
+
+        let c2 = RecyclingCache::with_shards(1 << 20, 4);
+        c2.attach_segments(4, segs);
+        assert!(c2.pending_segments() > 0);
+        assert_eq!(c2.len(), 0, "nothing read before first touch");
+        for f in 0..3i64 {
+            for s in 0..5i64 {
+                assert!(
+                    matches!(c2.get((f, s), MT), CacheLookup::Hit(_)),
+                    "({f},{s}) hydrates to a hit"
+                );
+            }
+        }
+        assert_eq!(c2.pending_segments(), 0);
+        let stats = c2.stats();
+        assert!(stats.segments_loaded > 0);
+        assert_eq!(stats.segments_rejected, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn invalidation_before_hydration_filters_entries() {
+        let dir = seg_dir("invalidate");
+        let c = RecyclingCache::with_shards(1 << 20, 2);
+        c.insert((1, 1), table_of(4), MT);
+        c.insert((2, 1), table_of(4), MT);
+        let valid: HashMap<i64, Timestamp> = [(1, MT), (2, MT)].into();
+        let segs = export_to_segments(&c, &dir, &valid);
+        let c2 = RecyclingCache::with_shards(1 << 20, 2);
+        c2.attach_segments(2, segs);
+        // File 1 is invalidated while its segment is still pending.
+        c2.invalidate_file(1);
+        assert!(matches!(c2.get((1, 1), MT), CacheLookup::Miss));
+        assert!(matches!(c2.get((2, 1), MT), CacheLookup::Hit(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_shard_count_folds_eagerly() {
+        let dir = seg_dir("fold");
+        let c = RecyclingCache::with_shards(1 << 20, 4);
+        for s in 0..10i64 {
+            c.insert((7, s), table_of(3), MT);
+        }
+        let valid: HashMap<i64, Timestamp> = [(7, MT)].into();
+        let segs = export_to_segments(&c, &dir, &valid);
+        // Reopen with a different stripe count: everything folds in now.
+        let c2 = RecyclingCache::with_shards(1 << 20, 3);
+        c2.attach_segments(4, segs);
+        assert_eq!(c2.pending_segments(), 0);
+        assert_eq!(c2.len(), 10);
+        for s in 0..10i64 {
+            assert!(matches!(c2.get((7, s), MT), CacheLookup::Hit(_)));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_is_rejected_not_served() {
+        let dir = seg_dir("corrupt");
+        let c = RecyclingCache::with_shards(1 << 20, 1);
+        for s in 0..6i64 {
+            c.insert((1, s), table_of(8), MT);
+        }
+        let valid: HashMap<i64, Timestamp> = [(1, MT)].into();
+        let segs = export_to_segments(&c, &dir, &valid);
+        let path = segs[0].1.path.clone();
+        // Flip one byte in the middle of the file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+        let c2 = RecyclingCache::with_shards(1 << 20, 1);
+        c2.attach_segments(1, segs);
+        assert!(matches!(c2.get((1, 0), MT), CacheLookup::Miss));
+        assert_eq!(c2.stats().segments_rejected, 1);
+        assert!(c2.is_empty(), "no entry of a bad segment survives");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

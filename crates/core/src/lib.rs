@@ -45,6 +45,10 @@
 //!   optimized-plan fingerprint, invalidated by refresh generations;
 //! * [`parallel`] — scoped-thread extraction of independent files
 //!   (byte-identical results at any thread count);
+//! * [`persistence`] + [`segment`] — the durable save/recover path:
+//!   crash-consistent warehouse snapshots (manifest v2 + journal) that
+//!   persist the record cache as checksummed per-shard segment files,
+//!   so a reopened lazy warehouse starts warm;
 //! * [`warehouse`] — the facade tying repository, catalog, cache and query
 //!   engine together; eager mode is the paper's baseline;
 //! * [`analysis`] — STA/LTA event hunting, the demo's analysis workload;
@@ -62,6 +66,7 @@ pub mod persistence;
 pub mod qcache;
 pub mod rewrite;
 pub mod schema;
+pub mod segment;
 pub mod warehouse;
 
 pub use analysis::{
@@ -73,10 +78,15 @@ pub use cache::{CacheLookup, CacheSnapshot, CacheStats, RecyclingCache};
 pub use error::{EtlError, Result};
 pub use extract::{Extractor, MseedExtractor, RecordData, RecordLocator};
 pub use log::{EtlLog, EtlOp, LogEntry};
-pub use persistence::{load_saved_tables, save_warehouse, saved_mode, SaveReport};
+pub use persistence::{
+    load_saved_tables, read_manifest, recover_saved_dir, replay_journal, save_warehouse,
+    save_warehouse_crashing_at, save_warehouse_v1, saved_mode, stray_files, RecoveryReport,
+    SaveReport, SavedFile, SavedManifest, CRASH_MARKER, JOURNAL_NAME, MANIFEST_NAME,
+};
 pub use qcache::{QueryResultCache, ResultCacheSnapshot, ResultCacheStats};
 pub use rewrite::{lazy_rewrite, LocatorIndex, RewriteReport};
 pub use schema::{data_schema, dataview_sql, files_schema, records_schema};
+pub use segment::{SegmentEntry, SegmentInfo};
 pub use warehouse::{
     CatalogRef, LoadReport, Mode, QueryOutput, QueryReport, RefreshSummary, RepositoryRef,
     Warehouse, WarehouseConfig,

@@ -88,6 +88,129 @@ pub enum EtlOp {
         /// Elapsed microseconds.
         elapsed_us: u64,
     },
+    /// A durable save started (journaled).
+    SaveBegin {
+        /// Snapshot epoch being written.
+        epoch: u64,
+    },
+    /// A catalog table reached disk during a durable save (journaled).
+    SaveTable {
+        /// File name inside the saved directory.
+        name: String,
+        /// Bytes written (footer included).
+        bytes: u64,
+        /// Body checksum.
+        checksum: u64,
+    },
+    /// A cache shard segment reached disk during a durable save
+    /// (journaled).
+    SaveSegment {
+        /// Shard index the segment was exported from.
+        shard: usize,
+        /// Relative path inside the saved directory.
+        path: String,
+        /// Entries written.
+        entries: usize,
+        /// Bytes written (footer included).
+        bytes: u64,
+        /// Body checksum.
+        checksum: u64,
+    },
+    /// The manifest rename made a new snapshot epoch authoritative
+    /// (journaled — the commit point of a durable save).
+    SaveCommit {
+        /// Now-authoritative epoch.
+        epoch: u64,
+    },
+    /// Obsolete files of the previous epoch were removed (journaled).
+    SaveCleanup {
+        /// The epoch whose save completed cleanup.
+        epoch: u64,
+    },
+    /// Journal replay at reopen rolled back an interrupted save.
+    RecoveryRollback {
+        /// The epoch whose partial files were discarded.
+        epoch: u64,
+    },
+}
+
+impl EtlOp {
+    /// Serialize a save-related operation as one journal line, or `None`
+    /// for operations that are not journaled. The ETL log doubles as the
+    /// save path's replayable journal: these lines are appended (and
+    /// fsynced) to the `JOURNAL` file in a saved-warehouse directory, and
+    /// [`EtlOp::parse_journal_line`] replays them at recovery.
+    pub fn journal_line(&self) -> Option<String> {
+        Some(match self {
+            EtlOp::SaveBegin { epoch } => format!("begin epoch={epoch}"),
+            EtlOp::SaveTable {
+                name,
+                bytes,
+                checksum,
+            } => format!("table bytes={bytes} checksum={checksum:x} name={name}"),
+            EtlOp::SaveSegment {
+                shard,
+                path,
+                entries,
+                bytes,
+                checksum,
+            } => format!(
+                "segment shard={shard} entries={entries} bytes={bytes} \
+                 checksum={checksum:x} path={path}"
+            ),
+            EtlOp::SaveCommit { epoch } => format!("commit epoch={epoch}"),
+            EtlOp::SaveCleanup { epoch } => format!("cleanup epoch={epoch}"),
+            EtlOp::RecoveryRollback { epoch } => format!("rollback epoch={epoch}"),
+            _ => return None,
+        })
+    }
+
+    /// Parse one journal line back into its operation. Unknown or torn
+    /// lines (a crash can cut the final append short) yield `None` and
+    /// are skipped by replay.
+    pub fn parse_journal_line(line: &str) -> Option<EtlOp> {
+        let line = line.trim();
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        // `name=`/`path=` come last and may contain spaces; numeric fields
+        // are space-separated key=value pairs before them.
+        let field = |key: &str| -> Option<&str> {
+            rest.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(key).and_then(|v| v.strip_prefix('=')))
+        };
+        let tail = |key: &str| -> Option<&str> {
+            rest.split_once(&format!("{key}="))
+                .map(|(_, v)| v.trim_end())
+        };
+        let num = |key: &str| field(key).and_then(|v| v.parse::<u64>().ok());
+        let hex = |key: &str| field(key).and_then(|v| u64::from_str_radix(v, 16).ok());
+        match verb {
+            "begin" => Some(EtlOp::SaveBegin {
+                epoch: num("epoch")?,
+            }),
+            "table" => Some(EtlOp::SaveTable {
+                name: tail("name")?.to_string(),
+                bytes: num("bytes")?,
+                checksum: hex("checksum")?,
+            }),
+            "segment" => Some(EtlOp::SaveSegment {
+                shard: num("shard")? as usize,
+                path: tail("path")?.to_string(),
+                entries: num("entries")? as usize,
+                bytes: num("bytes")?,
+                checksum: hex("checksum")?,
+            }),
+            "commit" => Some(EtlOp::SaveCommit {
+                epoch: num("epoch")?,
+            }),
+            "cleanup" => Some(EtlOp::SaveCleanup {
+                epoch: num("epoch")?,
+            }),
+            "rollback" => Some(EtlOp::RecoveryRollback {
+                epoch: num("epoch")?,
+            }),
+            _ => None,
+        }
+    }
 }
 
 /// A timestamped log entry.
@@ -230,6 +353,48 @@ mod tests {
             log.count_matching(|op| matches!(op, EtlOp::CacheHit { .. })),
             5
         );
+    }
+
+    #[test]
+    fn journal_lines_roundtrip() {
+        let ops = vec![
+            EtlOp::SaveBegin { epoch: 3 },
+            EtlOp::SaveTable {
+                name: "files.e3.lztb".into(),
+                bytes: 1234,
+                checksum: 0xdead_beef,
+            },
+            EtlOp::SaveSegment {
+                shard: 2,
+                path: "segments.e3/shard_002.lzsg".into(),
+                entries: 17,
+                bytes: 999,
+                checksum: 0xff,
+            },
+            EtlOp::SaveCommit { epoch: 3 },
+            EtlOp::SaveCleanup { epoch: 3 },
+            EtlOp::RecoveryRollback { epoch: 4 },
+        ];
+        for op in &ops {
+            let line = op.journal_line().expect("save ops are journaled");
+            let back = EtlOp::parse_journal_line(&line).expect("line parses");
+            assert_eq!(&back, op, "roundtrip of {line:?}");
+        }
+        // Non-save ops are not journaled.
+        assert!(EtlOp::QueryStart { sql: "q".into() }
+            .journal_line()
+            .is_none());
+        // Torn/garbage lines are skipped, not panicked on.
+        for bad in [
+            "",
+            "beg",
+            "begin",
+            "begin epoch=",
+            "table name=x",
+            "commit epoch=zz",
+        ] {
+            assert!(EtlOp::parse_journal_line(bad).is_none(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -95,38 +95,59 @@ pub fn extract_groups_into(
         .filter(|(_, g)| !g.to_extract.is_empty())
         .map(|(i, _)| i)
         .collect();
-    let mut out: Vec<Option<Result<Vec<ExtractedRecord>>>> =
-        groups.iter().map(|_| Some(Ok(Vec::new()))).collect();
-
-    if threads <= 1 || work.len() <= 1 {
-        for &i in &work {
-            out[i] = Some(extract_one(extractor, &groups[i], cache));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, Result<Vec<ExtractedRecord>>)>();
-        std::thread::scope(|s| {
-            for _ in 0..threads.min(work.len()) {
-                let tx = tx.clone();
-                let next = &next;
-                let work = &work;
-                s.spawn(move || loop {
-                    let slot = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&i) = work.get(slot) else { break };
-                    let r = extract_one(extractor, &groups[i], cache);
-                    if tx.send((i, r)).is_err() {
-                        break;
-                    }
-                });
-            }
-            drop(tx);
-            for (i, r) in rx {
-                out[i] = Some(r);
-            }
-        });
+    let results = parallel_map(&work, threads, |&i| {
+        extract_one(extractor, &groups[i], cache)
+    });
+    let mut out: Vec<Result<Vec<ExtractedRecord>>> =
+        groups.iter().map(|_| Ok(Vec::new())).collect();
+    for (&i, r) in work.iter().zip(results) {
+        out[i] = r;
     }
+    out
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// This is the worker pool behind both lazy extraction
+/// ([`extract_groups_into`]) and the durable save path's parallel cache
+/// segment encoding (`persistence`). Work is claimed by atomic counter,
+/// so uneven item costs balance themselves; with `threads <= 1` (or one
+/// item) everything runs on the calling thread in order, which keeps
+/// sequential semantics — and deterministic crash-point numbering in the
+/// save path — intact.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
     out.into_iter()
-        .map(|o| o.expect("every group slot filled"))
+        .map(|o| o.expect("every slot filled"))
         .collect()
 }
 
@@ -275,6 +296,17 @@ mod tests {
         let _ = extract_groups(&extractor, &groups, 4);
         assert!(cache2.is_empty());
         std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 4, 16] {
+            assert_eq!(parallel_map(&items, threads, |&x| x * x), expect);
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Cache segment files: the on-disk form of one record-cache shard.
+//!
+//! A lazy warehouse's real asset after a session is the **extracted data
+//! sitting in its recycling cache** — metadata reloads in milliseconds,
+//! extraction does not. The durable save path snapshots each cache shard
+//! into one *segment file* so a reopened warehouse starts warm instead of
+//! re-paying extraction (the amortization argument of §3.3, extended
+//! across process lifetimes).
+//!
+//! Format (little-endian), wrapped by the store layer's integrity footer
+//! ([`lazyetl_store::persist::append_footer`]):
+//!
+//! ```text
+//! magic "LZSG" | u16 version=1 | u32 n_entries
+//! per entry: i64 file_id | i64 seq_no | i64 mtime_us
+//!            | u64 payload_len | payload (LZTB table bytes)
+//! footer:    u64 payload_len | u64 fnv1a-64 | "LZSF"
+//! ```
+//!
+//! Entries are written in shard LRU order (oldest first) so rehydration
+//! reproduces the shard's eviction order. Readers verify the footer over
+//! the whole body before parsing anything, so torn or bit-flipped
+//! segments are rejected wholesale — a rejected segment merely costs
+//! re-extraction, never wrong answers.
+
+use crate::cache::CacheKey;
+use crate::error::{EtlError, Result};
+use lazyetl_mseed::Timestamp;
+use lazyetl_store::persist::{append_footer, split_footer, write_file_atomic, write_table};
+use lazyetl_store::Table;
+use std::path::Path;
+use std::sync::Arc;
+
+const SEGMENT_MAGIC: &[u8; 4] = b"LZSG";
+const SEGMENT_VERSION: u16 = 1;
+
+/// One cache entry as stored in a segment.
+#[derive(Debug, Clone)]
+pub struct SegmentEntry {
+    /// Cache key `(file_id, seq_no)`.
+    pub key: CacheKey,
+    /// File modification time observed when the entry was admitted.
+    pub mtime: Timestamp,
+    /// The record's extracted `D` rows.
+    pub table: Arc<Table>,
+}
+
+/// What writing a segment produced (recorded in manifest and journal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Entries written.
+    pub entries: usize,
+    /// File size in bytes (footer included).
+    pub bytes: u64,
+    /// FNV-1a 64 checksum of the body (what the footer carries).
+    pub checksum: u64,
+}
+
+fn corrupt(msg: impl Into<String>) -> EtlError {
+    EtlError::Store(lazyetl_store::StoreError::Corrupt(msg.into()))
+}
+
+/// Serialize entries into a footered segment byte buffer.
+pub fn encode_segment(entries: &[SegmentEntry]) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(SEGMENT_MAGIC);
+    buf.extend_from_slice(&SEGMENT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        buf.extend_from_slice(&e.key.0.to_le_bytes());
+        buf.extend_from_slice(&e.key.1.to_le_bytes());
+        buf.extend_from_slice(&e.mtime.micros().to_le_bytes());
+        let mut payload = Vec::new();
+        write_table(&e.table, &mut payload)?;
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&payload);
+    }
+    append_footer(&mut buf);
+    Ok(buf)
+}
+
+/// Parse a footered segment buffer, verifying the checksum first.
+pub fn decode_segment(bytes: &[u8]) -> Result<Vec<SegmentEntry>> {
+    let (body, _) = split_footer(bytes)?;
+    if body.len() < 10 || &body[..4] != SEGMENT_MAGIC {
+        return Err(corrupt("bad segment magic"));
+    }
+    let version = u16::from_le_bytes(body[4..6].try_into().unwrap());
+    if version != SEGMENT_VERSION {
+        return Err(corrupt(format!("unsupported segment version {version}")));
+    }
+    let n = u32::from_le_bytes(body[6..10].try_into().unwrap()) as usize;
+    let mut at = 10usize;
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for i in 0..n {
+        if body.len() < at + 32 {
+            return Err(corrupt(format!("segment entry {i} header truncated")));
+        }
+        let file_id = i64::from_le_bytes(body[at..at + 8].try_into().unwrap());
+        let seq_no = i64::from_le_bytes(body[at + 8..at + 16].try_into().unwrap());
+        let mtime = i64::from_le_bytes(body[at + 16..at + 24].try_into().unwrap());
+        let len = u64::from_le_bytes(body[at + 24..at + 32].try_into().unwrap()) as usize;
+        at += 32;
+        let end = at
+            .checked_add(len)
+            .filter(|&e| e <= body.len())
+            .ok_or_else(|| corrupt(format!("segment entry {i} payload truncated")))?;
+        let table = lazyetl_store::persist::read_table(&mut &body[at..end])?;
+        at = end;
+        out.push(SegmentEntry {
+            key: (file_id, seq_no),
+            mtime: Timestamp(mtime),
+            table: Arc::new(table),
+        });
+    }
+    if at != body.len() {
+        return Err(corrupt("trailing garbage after last segment entry"));
+    }
+    Ok(out)
+}
+
+/// Write a segment atomically (temp file + fsync + rename).
+pub fn write_segment_atomic(path: &Path, entries: &[SegmentEntry]) -> Result<SegmentInfo> {
+    let buf = encode_segment(entries)?;
+    let info = segment_info(entries.len(), &buf);
+    write_file_atomic(path, &buf).map_err(EtlError::Store)?;
+    Ok(info)
+}
+
+/// The [`SegmentInfo`] of an encoded segment buffer. Reads the checksum
+/// already embedded by the encoder instead of re-hashing the body.
+pub fn segment_info(entries: usize, encoded: &[u8]) -> SegmentInfo {
+    SegmentInfo {
+        entries,
+        bytes: encoded.len() as u64,
+        checksum: lazyetl_store::persist::embedded_footer_checksum(encoded)
+            .expect("encoded segments always carry a footer"),
+    }
+}
+
+/// Read and verify a segment file.
+pub fn read_segment(path: &Path) -> Result<Vec<SegmentEntry>> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| EtlError::Internal(format!("cannot read segment {}: {e}", path.display())))?;
+    decode_segment(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_store::{DataType, Field, Schema, Value};
+
+    fn table_of(rows: usize, base: f64) -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("v", DataType::Float64),
+            Field::new("t", DataType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        for i in 0..rows {
+            t.append_row(vec![
+                Value::Float64(base + i as f64),
+                Value::Timestamp(1_263_000_000_000_000 + i as i64),
+            ])
+            .unwrap();
+        }
+        Arc::new(t)
+    }
+
+    fn sample_entries() -> Vec<SegmentEntry> {
+        vec![
+            SegmentEntry {
+                key: (1, 7),
+                mtime: Timestamp(1000),
+                table: table_of(5, 0.5),
+            },
+            SegmentEntry {
+                key: (3, 2),
+                mtime: Timestamp(2000),
+                table: table_of(12, -4.0),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_entries_and_order() {
+        let entries = sample_entries();
+        let buf = encode_segment(&entries).unwrap();
+        let back = decode_segment(&buf).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in entries.iter().zip(&back) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.mtime, b.mtime);
+            assert_eq!(*a.table, *b.table);
+        }
+    }
+
+    #[test]
+    fn empty_segment_roundtrips() {
+        let buf = encode_segment(&[]).unwrap();
+        assert!(decode_segment(&buf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_and_flipped_segments_are_rejected() {
+        let buf = encode_segment(&sample_entries()).unwrap();
+        // Any truncation fails the footer check.
+        for cut in [1usize, 10, buf.len() / 2] {
+            assert!(decode_segment(&buf[..buf.len() - cut]).is_err());
+        }
+        // Any bit flip fails the checksum.
+        for at in [0usize, 6, buf.len() / 2, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x20;
+            assert!(decode_segment(&bad).is_err(), "flip at {at} undetected");
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("lazyetl_seg_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("shard_000.lzsg");
+        let entries = sample_entries();
+        let info = write_segment_atomic(&path, &entries).unwrap();
+        assert_eq!(info.entries, 2);
+        assert_eq!(info.bytes, std::fs::metadata(&path).unwrap().len());
+        let back = read_segment(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[1].table.num_rows(), 12);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

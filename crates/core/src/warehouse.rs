@@ -517,6 +517,16 @@ impl Warehouse {
         self.mode
     }
 
+    /// The configuration this warehouse was opened with.
+    pub fn config(&self) -> &WarehouseConfig {
+        &self.config
+    }
+
+    /// The record cache (the durable save path exports its shards).
+    pub(crate) fn record_cache(&self) -> &RecyclingCache {
+        &self.cache
+    }
+
     /// The initial-load cost report.
     pub fn load_report(&self) -> &LoadReport {
         &self.load_report
@@ -864,18 +874,31 @@ impl Warehouse {
     /// [`crate::persistence::save_warehouse`], skipping the metadata scan
     /// (and, for eager saves, the full extraction).
     ///
+    /// The directory is first brought back to a consistent snapshot
+    /// ([`crate::persistence::recover_saved_dir`] replays the save
+    /// journal and sweeps any debris an interrupted save left), so
+    /// reopening after a crash lands on either the pre-save or the
+    /// post-save state — never a torn one.
+    ///
     /// The repository may have drifted since the save; every file is
     /// reconciled by URI — unchanged files keep their persisted rows,
     /// changed or renumbered files are reloaded, vanished files are
-    /// purged, and new files are scanned fresh.
+    /// purged, and new files are scanned fresh. For lazy v2 saves the
+    /// persisted record-cache segments are then attached for lazy
+    /// rehydration: each shard's segment is read on first touch, and only
+    /// entries of files that survived reconciliation unchanged are
+    /// admitted — drift invalidates exactly the affected records.
     pub fn open_saved(
         root: impl AsRef<Path>,
         saved_dir: impl AsRef<Path>,
         config: WarehouseConfig,
     ) -> Result<Warehouse> {
         let t0 = Instant::now();
-        let mode = crate::persistence::saved_mode(saved_dir.as_ref())?;
-        let (files, records, data) = crate::persistence::load_saved_tables(saved_dir.as_ref())?;
+        let saved_dir = saved_dir.as_ref();
+        let recovery = crate::persistence::recover_saved_dir(saved_dir)?;
+        let manifest = crate::persistence::read_manifest(saved_dir)?;
+        let mode = manifest.mode;
+        let (files, records, data) = crate::persistence::load_saved_tables(saved_dir)?;
         let mut repo = Repository::open(root.as_ref().to_path_buf())?;
         repo.access = config.access;
         let mut catalog = Catalog::new();
@@ -950,6 +973,10 @@ impl Warehouse {
             })
             .collect();
         let mut reloaded = 0usize;
+        // file_id → current mtime of files whose saved rows survived
+        // unchanged; the only entries cache segments may rehydrate.
+        let mut valid: std::collections::HashMap<i64, lazyetl_mseed::Timestamp> =
+            std::collections::HashMap::new();
         for (uri, id, mtime, size) in &entries {
             let fresh = match saved.remove(uri) {
                 Some(s) => s.file_id != *id || s.mtime != *mtime || s.size != *size,
@@ -958,6 +985,8 @@ impl Warehouse {
             if fresh {
                 state.reload_file(mode, &extractor, &cache, &log, uri)?;
                 reloaded += 1;
+            } else {
+                valid.insert(*id, lazyetl_mseed::Timestamp(*mtime));
             }
         }
         // Anything left in `saved` vanished from the repository.
@@ -965,6 +994,26 @@ impl Warehouse {
             state.delete_file_rows(mode, row.file_id)?;
         }
         state.rebuild_index()?;
+
+        // Attach persisted cache segments for lazy rehydration (v2 lazy
+        // saves only; v1 directories and eager saves have none).
+        let mut segments_attached = 0usize;
+        if mode == Mode::Lazy && !manifest.segments.is_empty() {
+            let (saved_shards, segs) =
+                crate::persistence::segments_to_attach(saved_dir, &manifest, valid);
+            segments_attached = segs.len();
+            cache.attach_segments(saved_shards, segs);
+        }
+
+        // Replay the save journal into the fresh log (observability: the
+        // reopened warehouse shows how its snapshot came to be), noting
+        // any rollback the recovery sweep performed.
+        for op in recovery.replayed {
+            log.push(op);
+        }
+        if let Some(epoch) = recovery.rolled_back {
+            log.push(EtlOp::RecoveryRollback { epoch });
+        }
         let load_report = LoadReport {
             mode,
             files: state.repo.len(),
@@ -984,7 +1033,9 @@ impl Warehouse {
         log.push(EtlOp::PlanRewrite {
             stage: "bootstrap".into(),
             detail: format!(
-                "reopened from saved state; {reloaded} of {} files reconciled",
+                "reopened from saved state (epoch {}); {reloaded} of {} files \
+                 reconciled; {segments_attached} cache segments attached",
+                manifest.epoch,
                 entries.len()
             ),
         });

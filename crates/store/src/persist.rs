@@ -12,6 +12,23 @@
 //! per column: u8 has_validity | [validity as packed bits] | payload
 //! payload:    fixed-width values back-to-back; strings as u32 len + bytes
 //! ```
+//!
+//! # Durable writes
+//!
+//! The saved-warehouse path (`lazyetl-core::persistence`) needs writes
+//! that either land completely or not at all, and reads that detect any
+//! torn or bit-flipped file. Two orthogonal primitives provide that:
+//!
+//! * **Atomic replacement** ([`write_file_atomic`]): the bytes go to a
+//!   `<name>.tmp` sibling, are fsynced, and are renamed over the target;
+//!   the directory is fsynced so the rename itself is durable. A crash at
+//!   any instant leaves either the old file or the new one — never a mix.
+//! * **Checksummed footer** ([`append_footer`] / [`split_footer`]): a
+//!   20-byte trailer (`payload_len | fnv1a-64 | "LZSF"`) appended after
+//!   the payload. Readers verify length and checksum before parsing, so
+//!   truncation and corruption are detected instead of mis-parsed. The
+//!   footer is *additive*: [`read_table`] ignores trailing bytes, so a
+//!   footered `.lztb` file still loads with the plain v1 reader.
 
 use crate::column::{Column, ColumnData};
 use crate::error::{Result, StoreError};
@@ -263,6 +280,142 @@ pub fn load_table(path: &Path) -> Result<Table> {
     read_table(&mut r)
 }
 
+/// Trailing magic of a checksummed footer.
+pub const FOOTER_MAGIC: &[u8; 4] = b"LZSF";
+/// Size of a checksummed footer in bytes.
+pub const FOOTER_LEN: usize = 20;
+
+/// FNV-1a 64-bit checksum — dependency-free, stable across platforms, and
+/// sensitive to every bit of the payload (the point is detecting torn
+/// writes and media corruption, not adversaries).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Append the 20-byte integrity footer to a serialized payload:
+/// `payload_len: u64 | checksum64(payload): u64 | "LZSF"`.
+pub fn append_footer(buf: &mut Vec<u8>) {
+    let len = buf.len() as u64;
+    let sum = checksum64(buf);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf.extend_from_slice(FOOTER_MAGIC);
+}
+
+/// Verify a footered byte buffer and return `(payload, checksum)`.
+///
+/// Rejects missing/garbled magic, a length field that disagrees with the
+/// file size (truncation, concatenation) and any checksum mismatch
+/// (bit flips, torn writes).
+pub fn split_footer(bytes: &[u8]) -> Result<(&[u8], u64)> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "file too short for integrity footer ({} bytes)",
+            bytes.len()
+        )));
+    }
+    let (rest, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[16..20] != FOOTER_MAGIC {
+        return Err(StoreError::Corrupt("missing integrity footer".into()));
+    }
+    let len = u64::from_le_bytes(footer[0..8].try_into().unwrap());
+    let sum = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+    if len != rest.len() as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "footer length {len} != payload length {} (truncated?)",
+            rest.len()
+        )));
+    }
+    let actual = checksum64(rest);
+    if actual != sum {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch: footer {sum:#018x}, payload {actual:#018x}"
+        )));
+    }
+    Ok((rest, sum))
+}
+
+/// Read the checksum a footered buffer carries without re-hashing the
+/// payload — for callers that just built the buffer via
+/// [`append_footer`] and would otherwise scan every byte twice.
+pub fn embedded_footer_checksum(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < FOOTER_LEN || &bytes[bytes.len() - 4..] != FOOTER_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap(),
+    ))
+}
+
+/// Write `bytes` to `path` atomically: `<path>.tmp` + fsync + rename +
+/// directory fsync. A crash leaves either the previous file or the new
+/// one, never a prefix of the new one under the final name.
+pub fn write_file_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = tmp_path(path);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// The `<path>.tmp` sibling used by [`write_file_atomic`].
+pub fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Fsync a file's parent directory so a completed rename survives a
+/// crash. Best-effort: some filesystems refuse directory fsync; the
+/// rename is still atomic there.
+pub fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+/// Serialize a table with an integrity footer.
+pub fn table_to_footered_bytes(table: &Table) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_table(table, &mut buf)?;
+    append_footer(&mut buf);
+    Ok(buf)
+}
+
+/// Save a table atomically (see [`write_file_atomic`]) with an integrity
+/// footer. Returns `(bytes_written, payload_checksum)`. The file still
+/// loads with the plain [`load_table`] reader, which ignores the footer.
+pub fn save_table_atomic(table: &Table, path: &Path) -> Result<(u64, u64)> {
+    let buf = table_to_footered_bytes(table)?;
+    let sum = checksum64(&buf[..buf.len() - FOOTER_LEN]);
+    write_file_atomic(path, &buf)?;
+    Ok((buf.len() as u64, sum))
+}
+
+/// Load a table written by [`save_table_atomic`], verifying the footer
+/// before parsing. Returns the table and its payload checksum so callers
+/// can cross-check a manifest entry.
+pub fn load_table_verified(path: &Path) -> Result<(Table, u64)> {
+    let bytes = std::fs::read(path)?;
+    let (payload, sum) = split_footer(&bytes)?;
+    let table = read_table(&mut &payload[..])?;
+    Ok((table, sum))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +505,72 @@ mod tests {
         let mut bad = buf.clone();
         bad[4] = 99;
         assert!(read_table(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn footer_roundtrip_and_detection() {
+        let mut buf = b"hello payload".to_vec();
+        append_footer(&mut buf);
+        let (payload, sum) = split_footer(&buf).unwrap();
+        assert_eq!(payload, b"hello payload");
+        assert_eq!(sum, checksum64(b"hello payload"));
+        assert_eq!(embedded_footer_checksum(&buf), Some(sum));
+        assert_eq!(embedded_footer_checksum(b"short"), None);
+        // Truncation anywhere invalidates it.
+        for cut in [1usize, FOOTER_LEN - 1, FOOTER_LEN, buf.len() - 1] {
+            assert!(split_footer(&buf[..buf.len() - cut]).is_err(), "cut={cut}");
+        }
+        // A single bit flip in the payload is caught.
+        let mut flipped = buf.clone();
+        flipped[3] ^= 0x40;
+        assert!(split_footer(&flipped).is_err());
+        // A flip inside the footer checksum is caught too.
+        let mut flipped = buf.clone();
+        let at = buf.len() - 10;
+        flipped[at] ^= 0x01;
+        assert!(split_footer(&flipped).is_err());
+    }
+
+    #[test]
+    fn atomic_save_roundtrips_and_stays_v1_readable() {
+        let t = mixed_table();
+        let dir = std::env::temp_dir().join(format!("lazyetl_atomic_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("t.lztb");
+        let (bytes, sum) = save_table_atomic(&t, &path).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        assert!(!tmp_path(&path).exists(), "tmp file renamed away");
+        let (back, sum2) = load_table_verified(&path).unwrap();
+        assert_eq!(sum, sum2);
+        assert_eq!(back.row(11).unwrap(), t.row(11).unwrap());
+        // The footer is invisible to the plain v1 reader.
+        let v1 = load_table(&path).unwrap();
+        assert_eq!(v1.num_rows(), t.num_rows());
+        // Corruption in the table payload fails the verified load.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[40] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(load_table_verified(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_file_atomic_replaces_existing() {
+        let dir = std::env::temp_dir().join(format!("lazyetl_replace_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("x.bin");
+        write_file_atomic(&path, b"old contents").unwrap();
+        write_file_atomic(&path, b"new").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum64_is_stable_and_sensitive() {
+        assert_eq!(checksum64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(checksum64(b"a"), checksum64(b"b"));
+        assert_ne!(checksum64(b"ab"), checksum64(b"ba"));
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! Crash-injection proof of the durable save path.
+//!
+//! The save protocol (`core::persistence`) claims that a process killed
+//! at **any** durable step leaves the saved directory recoverable to
+//! either the pre-save or the post-save snapshot — never a torn one.
+//! These tests do not take that on faith: [`SaveReport::crash_points`]
+//! enumerates every durable step of a save, `save_warehouse_crashing_at`
+//! aborts the save exactly there with the partial on-disk state a kill
+//! would leave (including a half-written temp file), and the suite then
+//! reopens and checks that the warehouse answers every query correctly.
+//! Torn, truncated and bit-flipped files — segments, tables, manifest,
+//! journal — are covered separately.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::core::{
+    read_manifest, replay_journal, save_warehouse, save_warehouse_crashing_at, stray_files,
+    CRASH_MARKER,
+};
+use lazyetl::repo::{updates, Repository};
+use lazyetl::{EtlOp, Warehouse, WarehouseConfig};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+fn cfg() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        cache_shards: 4,
+        ..Default::default()
+    }
+}
+
+/// The query mix answers are checked against (metadata + both Figure-1
+/// data queries, so tables *and* cache segments matter).
+const MIX: [&str; 3] = [
+    "SELECT network, station, COUNT(*) FROM mseed.files GROUP BY network, station",
+    FIGURE1_Q2,
+    FIGURE1_Q1,
+];
+
+fn answers(wh: &Warehouse) -> Vec<Arc<lazyetl::store::Table>> {
+    MIX.iter().map(|q| wh.query(q).unwrap().table).collect()
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn scratch_copy(src: &Path, tag: &str) -> PathBuf {
+    let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+    let dst = src
+        .parent()
+        .unwrap()
+        .join(format!("_scratch_{tag}_{n}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dst).ok();
+    copy_dir(src, &dst);
+    dst
+}
+
+/// Build: repo + a committed epoch-1 save made by a warm warehouse, then
+/// drift the repository so the old and new snapshots genuinely differ.
+fn epoch1_with_drift(tag: &str) -> (common::TestRepo, PathBuf) {
+    let repo = figure1_repo(tag, 4096);
+    let saved = repo.root.join("_saved");
+    {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        answers(&wh);
+        save_warehouse(&wh, &saved).unwrap();
+    }
+    let mut r = Repository::open(&repo.root).unwrap();
+    let target = r
+        .files()
+        .iter()
+        .find(|f| f.uri.contains("HGN") && f.uri.contains("BHZ"))
+        .unwrap()
+        .uri
+        .clone();
+    updates::append_records(&mut r, &target, 20, 7).unwrap();
+    (repo, saved)
+}
+
+#[test]
+fn every_crash_point_recovers_to_a_queryable_warehouse() {
+    let (repo, saved) = epoch1_with_drift("crash_sweep");
+
+    // Ground truth against the drifted repository.
+    let truth = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        answers(&wh)
+    };
+
+    // Enumerate the epoch-2 save's durable steps on a scratch copy. The
+    // step count is deterministic: same repository, same query mix, same
+    // previous epoch to clean up.
+    let n = {
+        let dir = scratch_copy(&saved, "probe");
+        let wh = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+        answers(&wh);
+        let report = save_warehouse(&wh, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(!report.segments.is_empty(), "warm save writes segments");
+        report.crash_points
+    };
+    assert!(n > 20, "expected a rich step enumeration, got {n}");
+
+    for k in 1..=n {
+        let dir = scratch_copy(&saved, "k");
+        let wh = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+        answers(&wh); // warm the cache so the save has segments to write
+        let err = save_warehouse_crashing_at(&wh, &dir, k)
+            .expect_err("save must abort at an enumerated point");
+        assert!(
+            err.to_string().contains(CRASH_MARKER),
+            "step {k}: unexpected failure {err}"
+        );
+        drop(wh);
+
+        // Reopen after the "kill": the directory must recover to the old
+        // or the new epoch, answer the whole mix correctly, and carry no
+        // debris.
+        let re = Warehouse::open_saved(&repo.root, &dir, cfg())
+            .unwrap_or_else(|e| panic!("step {k}: reopen failed: {e}"));
+        let manifest = read_manifest(&dir).unwrap();
+        assert!(
+            manifest.epoch == 1 || manifest.epoch == 2,
+            "step {k}: torn epoch {}",
+            manifest.epoch
+        );
+        let got = answers(&re);
+        assert_eq!(got, truth, "step {k}: wrong answers after recovery");
+        assert!(
+            stray_files(&dir).is_empty(),
+            "step {k}: debris left: {:?}",
+            stray_files(&dir)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn every_crash_point_recovers_for_eager_saves() {
+    let repo = figure1_repo("crash_eager", 4096);
+    let saved = repo.root.join("_saved");
+    let truth = {
+        let wh = Warehouse::open_eager(&repo.root, cfg()).unwrap();
+        let t = wh.query(FIGURE1_Q2).unwrap().table;
+        save_warehouse(&wh, &saved).unwrap();
+        t
+    };
+    let n = {
+        let dir = scratch_copy(&saved, "eprobe");
+        let wh = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+        let report = save_warehouse(&wh, &dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        report.crash_points
+    };
+    for k in 1..=n {
+        let dir = scratch_copy(&saved, "ek");
+        let wh = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+        let err = save_warehouse_crashing_at(&wh, &dir, k).expect_err("must crash");
+        assert!(err.to_string().contains(CRASH_MARKER));
+        drop(wh);
+        let re = Warehouse::open_saved(&repo.root, &dir, cfg())
+            .unwrap_or_else(|e| panic!("eager step {k}: reopen failed: {e}"));
+        assert_eq!(re.query(FIGURE1_Q2).unwrap().table, truth, "eager step {k}");
+        assert!(stray_files(&dir).is_empty(), "eager step {k}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn interrupted_save_is_rolled_back_and_journaled() {
+    let (repo, saved) = epoch1_with_drift("rollback");
+    let dir = scratch_copy(&saved, "rb");
+    let wh = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+    answers(&wh);
+    // Crash inside the first table write: epoch 2 began, never committed.
+    save_warehouse_crashing_at(&wh, &dir, 3).expect_err("crash");
+    drop(wh);
+    let ops = replay_journal(&dir);
+    assert!(
+        matches!(ops.first(), Some(EtlOp::SaveBegin { epoch: 2 })),
+        "journal records the interrupted begin: {ops:?}"
+    );
+    assert!(!ops.iter().any(|op| matches!(op, EtlOp::SaveCommit { .. })));
+    let re = Warehouse::open_saved(&repo.root, &dir, cfg()).unwrap();
+    assert_eq!(read_manifest(&dir).unwrap().epoch, 1, "old snapshot wins");
+    assert!(
+        re.etl_log()
+            .count_matching(|op| matches!(op, EtlOp::RecoveryRollback { epoch: 2 }))
+            > 0,
+        "reopened log shows the rollback"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Corrupt one on-disk file with `mutate`, reopen, and return the
+/// reopened warehouse result for inspection.
+fn reopen_after<F: FnOnce(&Path)>(tag: &str, mutate: F) -> (common::TestRepo, PathBuf) {
+    let repo = figure1_repo(tag, 4096);
+    let saved = repo.root.join("_saved");
+    let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+    answers(&wh);
+    let report = save_warehouse(&wh, &saved).unwrap();
+    assert!(!report.segments.is_empty());
+    drop(wh);
+    mutate(&saved);
+    (repo, saved)
+}
+
+#[test]
+fn truncated_segment_degrades_to_cold_cache_not_wrong_answers() {
+    let (repo, saved) = reopen_after("trunc_seg", |dir| {
+        let seg = first_segment(dir);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() / 3]).unwrap();
+    });
+    let truth = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        answers(&wh)
+    };
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(
+        answers(&re),
+        truth,
+        "truncated segment must not change answers"
+    );
+    let stats = re.cache_snapshot().stats;
+    assert_eq!(
+        stats.segments_rejected, 1,
+        "exactly the torn segment rejected"
+    );
+    assert!(stats.segments_loaded >= 1, "other segments still hydrate");
+}
+
+#[test]
+fn bit_flipped_segment_is_rejected() {
+    let (repo, saved) = reopen_after("flip_seg", |dir| {
+        let seg = first_segment(dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&seg, &bytes).unwrap();
+    });
+    let truth = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        answers(&wh)
+    };
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(answers(&re), truth);
+    assert_eq!(re.cache_snapshot().stats.segments_rejected, 1);
+}
+
+#[test]
+fn bit_flipped_checksum_footer_is_rejected() {
+    let (repo, saved) = reopen_after("flip_footer", |dir| {
+        let seg = first_segment(dir);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let at = bytes.len() - 12; // inside the footer's checksum field
+        bytes[at] ^= 0x01;
+        std::fs::write(&seg, &bytes).unwrap();
+    });
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert!(answers(&re).iter().all(|t| t.num_rows() > 0));
+    assert_eq!(re.cache_snapshot().stats.segments_rejected, 1);
+}
+
+#[test]
+fn bit_flipped_table_fails_the_reopen_loudly() {
+    let (repo, saved) = reopen_after("flip_table", |dir| {
+        let manifest = read_manifest(dir).unwrap();
+        let path = dir.join(&manifest.tables[1].name); // records table
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+    });
+    // Metadata integrity is load-bearing (it decides what exists), so a
+    // corrupt table must fail the open, not silently degrade.
+    assert!(Warehouse::open_saved(&repo.root, &saved, cfg()).is_err());
+}
+
+#[test]
+fn corrupt_manifest_fails_without_destroying_the_snapshot() {
+    let (repo, saved) = reopen_after("bad_manifest", |dir| {
+        std::fs::write(dir.join("MANIFEST"), "lazyetl-warehouse-v9\nmode=???\n").unwrap();
+    });
+    assert!(Warehouse::open_saved(&repo.root, &saved, cfg()).is_err());
+    // Recovery refused to sweep: every epoch-1 file is still there, so
+    // restoring the manifest from a backup would restore the warehouse.
+    assert!(saved.join("files.e1.lztb").exists());
+    assert!(saved.join("records.e1.lztb").exists());
+    assert!(saved.join("segments.e1").exists());
+}
+
+#[test]
+fn journal_garbage_and_torn_tail_are_ignored() {
+    let (repo, saved) = reopen_after("bad_journal", |dir| {
+        let mut journal = std::fs::read_to_string(dir.join("JOURNAL")).unwrap();
+        journal.push_str("nonsense line here\ncommit epo"); // torn final append
+        std::fs::write(dir.join("JOURNAL"), journal).unwrap();
+    });
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert!(answers(&re).iter().all(|t| t.num_rows() > 0));
+}
+
+#[test]
+fn missing_segment_file_degrades_to_cold_cache() {
+    let (repo, saved) = reopen_after("missing_seg", |dir| {
+        std::fs::remove_file(first_segment(dir)).unwrap();
+    });
+    let truth = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        answers(&wh)
+    };
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(answers(&re), truth);
+    assert_eq!(re.cache_snapshot().stats.segments_rejected, 1);
+}
+
+fn first_segment(dir: &Path) -> PathBuf {
+    let manifest = read_manifest(dir).unwrap();
+    dir.join(&manifest.segments.first().expect("save wrote segments").name)
+}

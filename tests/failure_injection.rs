@@ -220,3 +220,97 @@ fn filetime_touch(path: &std::path::Path) {
     std::thread::sleep(std::time::Duration::from_millis(5));
     std::fs::write(path, bytes).unwrap();
 }
+
+#[test]
+fn reopen_under_drift_invalidates_exactly_the_changed_records() {
+    use lazyetl::core::save_warehouse;
+    use lazyetl::repo::{updates, Repository};
+
+    let repo = figure1_repo("drift_exact", 4096);
+    let saved = repo.root.join("_saved");
+    let q_hgn = "SELECT COUNT(D.sample_value) FROM mseed.dataview \
+                 WHERE F.station = 'HGN' AND F.channel = 'BHZ'";
+    let q_wit = "SELECT COUNT(D.sample_value) FROM mseed.dataview \
+                 WHERE F.station = 'WIT' AND F.channel = 'BHZ'";
+    {
+        let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+        wh.query(q_hgn).unwrap();
+        wh.query(q_wit).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+    }
+    // Drift: append to every HGN/BHZ file; WIT is untouched.
+    let mut r = Repository::open(&repo.root).unwrap();
+    let targets: Vec<String> = r
+        .files()
+        .iter()
+        .filter(|f| f.uri.contains("HGN") && f.uri.contains("BHZ"))
+        .map(|f| f.uri.clone())
+        .collect();
+    let mut added = 0usize;
+    for (i, uri) in targets.iter().enumerate() {
+        added += updates::append_records(&mut r, uri, 10, 100 + i as u64).unwrap();
+    }
+
+    let re = Warehouse::open_saved(&repo.root, &saved, no_refresh()).unwrap();
+    // Untouched station: answered entirely from rehydrated segments.
+    let wit = re.query(q_wit).unwrap();
+    assert_eq!(
+        wit.report.records_extracted, 0,
+        "unchanged file stays cached"
+    );
+    assert!(wit.report.cache_hits > 0);
+    // Drifted station: its cached entries were invalidated, so the query
+    // re-extracts — and sees the appended data.
+    let hgn = re.query(q_hgn).unwrap();
+    assert!(hgn.report.records_extracted > 0, "changed file re-extracts");
+    let base: u64 = repo
+        .generated
+        .files
+        .iter()
+        .filter(|f| f.source.station == "HGN" && f.source.channel == "BHZ")
+        .map(|f| f.num_samples as u64)
+        .sum();
+    assert_eq!(
+        hgn.table.row(0).unwrap()[0].as_i64().unwrap() as u64,
+        base + added as u64,
+        "reopened warehouse sees the drifted content, not the stale cache"
+    );
+}
+
+#[test]
+fn concurrent_queries_during_save_serialize_correctly() {
+    use lazyetl::core::save_warehouse;
+
+    let repo = figure1_repo("save_concurrent", 4096);
+    let saved = repo.root.join("_saved");
+    let wh = Warehouse::open_lazy(&repo.root, no_refresh()).unwrap();
+    let expected = wh.query(FIGURE1_Q2).unwrap().table;
+
+    // Hammer the warehouse from several threads while two saves run.
+    let reports = std::thread::scope(|s| {
+        for _ in 0..3 {
+            let wh = &wh;
+            let expected = &expected;
+            s.spawn(move || {
+                for _ in 0..8 {
+                    let out = wh.query(FIGURE1_Q2).unwrap();
+                    assert_eq!(&out.table, expected, "queries unaffected by save");
+                }
+            });
+        }
+        let r1 = save_warehouse(&wh, &saved).unwrap();
+        let r2 = save_warehouse(&wh, &saved).unwrap();
+        (r1, r2)
+    });
+    assert_eq!(reports.0.epoch, 1);
+    assert_eq!(reports.1.epoch, 2);
+
+    // The final snapshot is committed, complete and warm.
+    let re = Warehouse::open_saved(&repo.root, &saved, no_refresh()).unwrap();
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table, expected);
+    assert_eq!(
+        out.report.records_extracted, 0,
+        "cache survived the restart"
+    );
+}

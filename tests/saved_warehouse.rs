@@ -1,12 +1,15 @@
 //! Saved-warehouse lifecycle: persist, reopen without re-ETL, reconcile
-//! repository drift.
+//! repository drift — and, with the v2 durable format, reopen *warm*:
+//! the record cache itself survives the restart as per-shard segments.
 
 mod common;
 
 use common::{figure1_repo, FIGURE1_Q2};
-use lazyetl::core::{save_warehouse, Mode};
+use lazyetl::core::{
+    read_manifest, replay_journal, save_warehouse, save_warehouse_v1, stray_files, Mode,
+};
 use lazyetl::repo::{updates, Repository};
-use lazyetl::{Warehouse, WarehouseConfig};
+use lazyetl::{EtlOp, Warehouse, WarehouseConfig};
 
 fn cfg() -> WarehouseConfig {
     WarehouseConfig {
@@ -135,4 +138,121 @@ fn open_saved_rejects_bad_dir() {
     let repo = figure1_repo("saved_bad", 4096);
     let missing = repo.root.join("_nope");
     assert!(Warehouse::open_saved(&repo.root, &missing, cfg()).is_err());
+}
+
+#[test]
+fn reopen_restores_warm_cache() {
+    let repo = figure1_repo("saved_warm", 4096);
+    let saved = repo.root.join("_saved");
+    let expected = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        let cold = wh.query(FIGURE1_Q2).unwrap();
+        assert!(cold.report.records_extracted > 0, "cold run extracts");
+        let report = save_warehouse(&wh, &saved).unwrap();
+        assert!(!report.segments.is_empty(), "warm save persists the cache");
+        cold.table
+    };
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    // Reopening attached the segments lazily: nothing was read yet.
+    assert!(re.cache_snapshot().stats.segments_loaded == 0);
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table, expected);
+    assert_eq!(
+        out.report.records_extracted, 0,
+        "reopened warehouse answers from the rehydrated cache"
+    );
+    assert!(out.report.cache_hits > 0);
+    let stats = re.cache_snapshot().stats;
+    assert!(stats.segments_loaded > 0, "touched shards hydrated");
+    assert_eq!(stats.segments_rejected, 0);
+}
+
+#[test]
+fn v1_save_still_opens_cold() {
+    let repo = figure1_repo("saved_v1", 4096);
+    let saved = repo.root.join("_saved_v1");
+    let expected = {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        let out = wh.query(FIGURE1_Q2).unwrap();
+        save_warehouse_v1(&wh, &saved).unwrap();
+        out.table
+    };
+    assert_eq!(read_manifest(&saved).unwrap().version, 1);
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(re.mode(), Mode::Lazy);
+    assert_eq!(
+        re.load_report().bytes_read,
+        0,
+        "metadata reused from v1 save"
+    );
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table, expected);
+    assert!(
+        out.report.records_extracted > 0,
+        "v1 saves carry no cache segments, so the first query re-extracts"
+    );
+}
+
+#[test]
+fn save_leaves_a_committed_journal_and_no_debris() {
+    let repo = figure1_repo("saved_clean", 4096);
+    let saved = repo.root.join("_saved");
+    let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+    wh.query(FIGURE1_Q2).unwrap();
+    let report = save_warehouse(&wh, &saved).unwrap();
+    assert!(
+        stray_files(&saved).is_empty(),
+        "no tmp/old-epoch files remain"
+    );
+    let ops = replay_journal(&saved);
+    assert!(ops
+        .iter()
+        .any(|op| matches!(op, EtlOp::SaveCommit { epoch: 1 })));
+    assert!(ops
+        .iter()
+        .any(|op| matches!(op, EtlOp::SaveCleanup { epoch: 1 })));
+    // The warehouse's own log carries the same journal entries (the log
+    // doubles as the journal).
+    assert_eq!(
+        wh.etl_log()
+            .count_matching(|op| matches!(op, EtlOp::SaveSegment { .. })),
+        report.segments.len()
+    );
+    let manifest = read_manifest(&saved).unwrap();
+    assert_eq!(manifest.version, 2);
+    assert_eq!(manifest.shards, wh.config().cache_shards);
+    assert_eq!(manifest.tables.len(), 2);
+}
+
+#[test]
+fn reopen_with_different_shard_count_still_warm() {
+    let repo = figure1_repo("saved_reshard", 4096);
+    let saved = repo.root.join("_saved");
+    let expected = {
+        let wh = Warehouse::open_lazy(
+            &repo.root,
+            WarehouseConfig {
+                cache_shards: 8,
+                ..cfg()
+            },
+        )
+        .unwrap();
+        let out = wh.query(FIGURE1_Q2).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+        out.table
+    };
+    // 8 shards saved, 3 opened: segments fold in eagerly but completely.
+    let re = Warehouse::open_saved(
+        &repo.root,
+        &saved,
+        WarehouseConfig {
+            cache_shards: 3,
+            ..cfg()
+        },
+    )
+    .unwrap();
+    let out = re.query(FIGURE1_Q2).unwrap();
+    assert_eq!(out.table, expected);
+    assert_eq!(out.report.records_extracted, 0);
+    assert!(out.report.cache_hits > 0);
 }
