@@ -1,0 +1,47 @@
+//! `mkrepo` — materialize a synthetic mSEED repository at a named scale.
+//!
+//! ```sh
+//! cargo run -p lazyetl-bench --bin mkrepo -- tiny /tmp/srv-repo
+//! ```
+//!
+//! The CI `server-smoke` job uses this to stand up a repository for
+//! `lazyetl-serve` without going through the bench cache directory.
+
+use lazyetl_bench::{scale_config, ScaleName};
+use lazyetl_mseed::gen::generate_repository;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (scale, dest) = match (args.first(), args.get(1)) {
+        (Some(s), Some(d)) => (s.as_str(), d.as_str()),
+        _ => {
+            eprintln!("usage: mkrepo <tiny|small|medium|large> <dest-dir>");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(scale) = ScaleName::parse(scale) else {
+        eprintln!("unknown scale {scale:?} (want tiny|small|medium|large)");
+        return ExitCode::from(2);
+    };
+    let config = scale_config(scale);
+    if let Err(e) = std::fs::create_dir_all(dest) {
+        eprintln!("cannot create {dest}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match generate_repository(Path::new(dest), &config) {
+        Ok(_) => {
+            println!(
+                "generated {} files ({} scale) at {dest}",
+                config.total_files(),
+                scale.label()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("generation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

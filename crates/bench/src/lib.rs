@@ -8,6 +8,7 @@
 
 pub mod concurrent;
 pub mod json;
+pub mod served;
 pub mod warm_restart;
 
 use lazyetl_mseed::gen::{generate_repository, GeneratorConfig};
@@ -16,27 +17,9 @@ use lazyetl_mseed::Timestamp;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// The paper's Figure-1 query 1, verbatim.
-pub const FIGURE1_Q1: &str = "SELECT AVG(D.sample_value)
-FROM mseed.dataview
-WHERE F.station = 'ISK'
-AND F.channel = 'BHE'
-AND R.start_time > '2010-01-12T00:00:00.000'
-AND R.start_time < '2010-01-12T23:59:59.999'
-AND D.sample_time > '2010-01-12T22:15:00.000'
-AND D.sample_time < '2010-01-12T22:15:02.000';";
-
-/// The paper's Figure-1 query 2, verbatim.
-pub const FIGURE1_Q2: &str = "SELECT F.station,
-MIN(D.sample_value), MAX(D.sample_value)
-FROM mseed.dataview
-WHERE F.network = 'NL'
-AND F.channel = 'BHZ'
-GROUP BY F.station;";
-
-/// A metadata-only query (touches F only).
-pub const METADATA_QUERY: &str =
-    "SELECT network, station, COUNT(*) FROM mseed.files GROUP BY network, station";
+// The Figure-1 mix, re-exported from its single source of truth in
+// `lazyetl-core` (the serving CLI and the tests use the same constants).
+pub use lazyetl_core::{FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY};
 
 /// Named experiment scales.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

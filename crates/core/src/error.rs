@@ -21,6 +21,22 @@ pub enum EtlError {
     Internal(String),
 }
 
+impl EtlError {
+    /// Stable machine-readable code for this error (the serving layer's
+    /// error frames carry `code` + rendered message). Query failures
+    /// forward the finer-grained [`QueryError::code`]; other layers get
+    /// one `etl.*` code each.
+    pub fn code(&self) -> &'static str {
+        match self {
+            EtlError::Mseed(_) => "etl.mseed",
+            EtlError::Repo(_) => "etl.repo",
+            EtlError::Store(_) => "etl.store",
+            EtlError::Query(e) => e.code(),
+            EtlError::Internal(_) => "etl.internal",
+        }
+    }
+}
+
 impl fmt::Display for EtlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

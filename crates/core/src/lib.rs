@@ -85,9 +85,11 @@ pub use persistence::{
 };
 pub use qcache::{QueryResultCache, ResultCacheSnapshot, ResultCacheStats};
 pub use rewrite::{lazy_rewrite, LocatorIndex, RewriteReport};
-pub use schema::{data_schema, dataview_sql, files_schema, records_schema};
+pub use schema::{
+    data_schema, dataview_sql, files_schema, records_schema, FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY,
+};
 pub use segment::{SegmentEntry, SegmentInfo};
 pub use warehouse::{
     CatalogRef, LoadReport, Mode, QueryOutput, QueryReport, RefreshSummary, RepositoryRef,
-    Warehouse, WarehouseConfig,
+    Warehouse, WarehouseConfig, WarehouseStats,
 };

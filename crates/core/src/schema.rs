@@ -18,6 +18,32 @@ pub const DATA_TABLE: &str = "data";
 /// Catalog name of the universal view.
 pub const DATAVIEW: &str = "dataview";
 
+/// The paper's Figure-1 query 1, verbatim: the 2-second STA window on
+/// KO.ISK BHE. The single source of truth — the bench harness, the
+/// serving CLI's `mix` command and the integration tests all reference
+/// these constants rather than carrying copies that could drift.
+pub const FIGURE1_Q1: &str = "SELECT AVG(D.sample_value)
+FROM mseed.dataview
+WHERE F.station = 'ISK'
+AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000';";
+
+/// The paper's Figure-1 query 2, verbatim: min/max per NL station.
+pub const FIGURE1_Q2: &str = "SELECT F.station,
+MIN(D.sample_value), MAX(D.sample_value)
+FROM mseed.dataview
+WHERE F.network = 'NL'
+AND F.channel = 'BHZ'
+GROUP BY F.station;";
+
+/// A metadata-only browse (touches `F` only) — the third leg of the
+/// interactive query mix used by the load generators and the CLI.
+pub const METADATA_QUERY: &str =
+    "SELECT network, station, COUNT(*) FROM mseed.files GROUP BY network, station";
+
 /// Schema of `F`: one row per mSEED file, keyed by `file_id`/`uri`.
 pub fn files_schema() -> Schema {
     Schema::new(vec![

@@ -209,6 +209,37 @@ pub struct QueryReport {
     pub result_recycled: bool,
 }
 
+/// Point-in-time aggregate view of a warehouse: what an operations
+/// dashboard (or the serving layer's stats frame) shows about one shared
+/// instance. Produced by [`Warehouse::stats_snapshot`]; all counters are
+/// cumulative since open.
+#[derive(Debug, Clone)]
+pub struct WarehouseStats {
+    /// Lazy or eager.
+    pub mode: Mode,
+    /// Files currently registered in the repository.
+    pub files: usize,
+    /// Record-metadata rows currently indexed.
+    pub records: usize,
+    /// Bytes resident in catalog tables.
+    pub resident_bytes: usize,
+    /// Refresh-invalidation generation.
+    pub generation: u64,
+    /// Queries served since open (successful or not).
+    pub queries: u64,
+    /// Record-cache counters (hits, misses, evictions, …).
+    pub cache: crate::cache::CacheStats,
+    /// Record-cache resident entries.
+    pub cache_entries: usize,
+    /// Record-cache resident bytes.
+    pub cache_used_bytes: usize,
+    /// Record-cache byte budget.
+    pub cache_budget_bytes: usize,
+    /// Saved cache segments attached but not yet rehydrated (warm
+    /// restarts only; 0 on cold opens and after first touch).
+    pub pending_segments: usize,
+}
+
 /// Query result: the rows plus the diagnostics.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
@@ -384,6 +415,8 @@ pub struct Warehouse {
     /// Bumped whenever a refresh folds repository changes into the
     /// catalog; recycled results from older generations are invalid.
     generation: AtomicU64,
+    /// Queries served since this warehouse opened (successful or not).
+    queries: AtomicU64,
     log: EtlLog,
     extractor: FormatRegistry,
     load_report: LoadReport,
@@ -495,6 +528,7 @@ impl Warehouse {
             cache: RecyclingCache::with_shards(config.cache_budget_bytes, config.cache_shards),
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
             generation: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
             config,
             state: RwLock::new(WarehouseState {
                 repo,
@@ -575,6 +609,42 @@ impl Warehouse {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// Aggregate stats snapshot: repository/catalog occupancy, query and
+    /// cache counters. Cheap enough to call per stats request; takes the
+    /// state read lock briefly.
+    pub fn stats_snapshot(&self) -> WarehouseStats {
+        let (files, records, resident_bytes) = {
+            let state = self.read_state();
+            (
+                state.repo.len(),
+                state.index.len(),
+                state.catalog.resident_bytes(),
+            )
+        };
+        let snap = self.cache.snapshot();
+        WarehouseStats {
+            mode: self.mode,
+            files,
+            records,
+            resident_bytes,
+            generation: self.generation(),
+            queries: self.queries.load(Ordering::Relaxed),
+            cache: snap.stats,
+            cache_entries: snap.entries.len(),
+            cache_used_bytes: snap.used_bytes,
+            cache_budget_bytes: snap.budget_bytes,
+            pending_segments: self.cache.pending_segments(),
+        }
+    }
+
+    /// Persist this warehouse to `dir` via
+    /// [`crate::persistence::save_warehouse`] — the serving layer's
+    /// graceful-shutdown hook (drain queries, then snapshot the hot cache
+    /// so the next boot warm-restarts).
+    pub fn save_to(&self, dir: impl AsRef<Path>) -> Result<crate::persistence::SaveReport> {
+        crate::persistence::save_warehouse(self, dir.as_ref())
+    }
+
     /// The ETL operations log (demo item 8).
     pub fn etl_log(&self) -> &EtlLog {
         &self.log
@@ -593,6 +663,7 @@ impl Warehouse {
     /// auto-refresh rescan (when due) runs *before* that lock is taken.
     pub fn query(&self, sql: &str) -> Result<QueryOutput> {
         let t0 = Instant::now();
+        self.queries.fetch_add(1, Ordering::Relaxed);
         self.log.push(EtlOp::QueryStart {
             sql: sql.to_string(),
         });
@@ -1044,6 +1115,7 @@ impl Warehouse {
             cache,
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
             generation: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
             config,
             state: RwLock::new(state),
             log,

@@ -23,6 +23,24 @@ pub enum QueryError {
     External(String),
 }
 
+impl QueryError {
+    /// Stable machine-readable code for this error variant.
+    ///
+    /// Codes are part of the serving wire protocol (the server's error
+    /// frame carries `code` + rendered message): once published they
+    /// never change meaning, only new codes are added. Remote clients
+    /// dispatch on the code, not on the human-readable text.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QueryError::Parse { .. } => "query.parse",
+            QueryError::Plan(_) => "query.plan",
+            QueryError::Execution(_) => "query.execution",
+            QueryError::Store(_) => "query.store",
+            QueryError::External(_) => "query.external",
+        }
+    }
+}
+
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -54,3 +72,34 @@ impl From<StoreError> for QueryError {
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, QueryError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let variants = [
+            QueryError::Parse {
+                message: "x".into(),
+                offset: 0,
+            },
+            QueryError::Plan("x".into()),
+            QueryError::Execution("x".into()),
+            QueryError::External("x".into()),
+        ];
+        let codes: Vec<&str> = variants.iter().map(|e| e.code()).collect();
+        assert_eq!(
+            codes,
+            [
+                "query.parse",
+                "query.plan",
+                "query.execution",
+                "query.external"
+            ]
+        );
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(codes, dedup);
+    }
+}

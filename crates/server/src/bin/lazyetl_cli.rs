@@ -1,0 +1,210 @@
+//! `lazyetl-cli` — talk to a running `lazyetl-serve` from a shell.
+//!
+//! ```sh
+//! lazyetl-cli --addr 127.0.0.1:7744 query "SELECT COUNT(*) FROM mseed.files"
+//! lazyetl-cli --addr-file /tmp/srv.addr mix --expect 1,4,5
+//! lazyetl-cli --addr 127.0.0.1:7744 stats
+//! lazyetl-cli --addr 127.0.0.1:7744 shutdown
+//! ```
+//!
+//! Exit codes: 0 success, 1 server/transport error, 2 usage error,
+//! 3 assertion mismatch (`mix --expect`).
+
+use lazyetl_core::{FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY};
+use lazyetl_server::{Client, ServerReply};
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// The Figure-1 interactive mix — the same constants the bench harness
+/// and the integration tests use (`lazyetl_core::schema`).
+const MIX: [(&str, &str); 3] = [
+    ("q1", FIGURE1_Q1),
+    ("q2", FIGURE1_Q2),
+    ("metadata", METADATA_QUERY),
+];
+
+fn usage() -> &'static str {
+    "usage: lazyetl-cli (--addr HOST:PORT | --addr-file PATH) COMMAND\n\
+     \n\
+     commands:\n\
+       query \"SQL\" [--delay-ms N]   run one query, print rows + metrics\n\
+       mix [--rounds N] [--expect A,B,C]\n\
+                                    run the Figure-1 mix; --expect asserts\n\
+                                    the q1,q2,metadata row counts\n\
+       stats                        print the server stats snapshot\n\
+       ping                         liveness probe\n\
+       shutdown                     graceful drain + snapshot + exit"
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect_timeout(addr, Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn run() -> Result<(), (u8, String)> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => {
+                addr = Some(
+                    argv.get(i + 1)
+                        .cloned()
+                        .ok_or((2, "--addr needs a value".to_string()))?,
+                );
+                i += 2;
+            }
+            "--addr-file" => {
+                let path = argv
+                    .get(i + 1)
+                    .cloned()
+                    .ok_or((2, "--addr-file needs a value".to_string()))?;
+                addr = Some(
+                    std::fs::read_to_string(&path)
+                        .map_err(|e| (2, format!("cannot read {path}: {e}")))?
+                        .trim()
+                        .to_string(),
+                );
+                i += 2;
+            }
+            "--help" | "-h" => return Err((2, usage().to_string())),
+            _ => {
+                rest.push(argv[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let addr = addr.ok_or((2, format!("--addr or --addr-file required\n{}", usage())))?;
+    let command = rest.first().cloned().unwrap_or_default();
+    match command.as_str() {
+        "query" => {
+            let sql = rest
+                .get(1)
+                .cloned()
+                .ok_or((2, "query needs SQL".to_string()))?;
+            let delay_ms = match rest.iter().position(|a| a == "--delay-ms") {
+                Some(p) => rest
+                    .get(p + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or((2, "--delay-ms needs an integer".to_string()))?,
+                None => 0,
+            };
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            match client
+                .query_with_delay(&sql, delay_ms)
+                .map_err(|e| (1, e.to_string()))?
+            {
+                ServerReply::Result(r) => {
+                    println!("{}", r.table.to_ascii(50));
+                    println!(
+                        "rows={} queue_wait_us={} exec_us={} extracted={} hits={} misses={} recycled={}",
+                        r.metrics.rows,
+                        r.metrics.queue_wait_us,
+                        r.metrics.exec_us,
+                        r.metrics.records_extracted,
+                        r.metrics.cache_hits,
+                        r.metrics.cache_misses,
+                        r.metrics.result_recycled,
+                    );
+                    Ok(())
+                }
+                ServerReply::Busy {
+                    queue_depth,
+                    queued,
+                } => Err((
+                    1,
+                    format!("server busy: {queued} queued (depth {queue_depth})"),
+                )),
+                ServerReply::Error { code, message } => Err((1, format!("{code}: {message}"))),
+            }
+        }
+        "mix" => {
+            let rounds: usize = match rest.iter().position(|a| a == "--rounds") {
+                Some(p) => rest
+                    .get(p + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or((2, "--rounds needs an integer".to_string()))?,
+                None => 1,
+            };
+            let expect: Option<Vec<u64>> = match rest.iter().position(|a| a == "--expect") {
+                Some(p) => Some(
+                    rest.get(p + 1)
+                        .map(|v| v.split(',').filter_map(|t| t.parse().ok()).collect())
+                        .filter(|v: &Vec<u64>| v.len() == MIX.len())
+                        .ok_or((2, "--expect needs A,B,C row counts".to_string()))?,
+                ),
+                None => None,
+            };
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            let mut mismatches = 0usize;
+            for round in 0..rounds.max(1) {
+                for (i, (name, sql)) in MIX.iter().enumerate() {
+                    let (reply, busy) = client
+                        .query_retrying(sql, 0, Duration::from_millis(5), 1000)
+                        .map_err(|e| (1, e.to_string()))?;
+                    match reply {
+                        ServerReply::Result(r) => {
+                            println!(
+                                "mix round={round} {name} rows={} exec_us={} extracted={} busy_retries={busy}",
+                                r.metrics.rows, r.metrics.exec_us, r.metrics.records_extracted,
+                            );
+                            if let Some(want) = &expect {
+                                if r.metrics.rows != want[i] {
+                                    eprintln!(
+                                        "MISMATCH {name}: got {} rows, want {}",
+                                        r.metrics.rows, want[i]
+                                    );
+                                    mismatches += 1;
+                                }
+                            }
+                        }
+                        ServerReply::Busy { .. } => {
+                            return Err((1, format!("{name}: still busy after retries")))
+                        }
+                        ServerReply::Error { code, message } => {
+                            return Err((1, format!("{name}: {code}: {message}")))
+                        }
+                    }
+                }
+            }
+            if mismatches > 0 {
+                return Err((3, format!("{mismatches} row-count mismatches")));
+            }
+            Ok(())
+        }
+        "stats" => {
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            let stats = client.stats().map_err(|e| (1, e.to_string()))?;
+            for (k, v) in stats {
+                println!("{k}={v}");
+            }
+            Ok(())
+        }
+        "ping" => {
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            client.ping().map_err(|e| (1, e.to_string()))?;
+            println!("pong");
+            Ok(())
+        }
+        "shutdown" => {
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            client.shutdown().map_err(|e| (1, e.to_string()))?;
+            println!("shutdown acknowledged");
+            Ok(())
+        }
+        "" => Err((2, usage().to_string())),
+        other => Err((2, format!("unknown command {other:?}\n{}", usage()))),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(code)
+        }
+    }
+}

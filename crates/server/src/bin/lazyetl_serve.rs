@@ -1,0 +1,264 @@
+//! `lazyetl-serve` — boot a warehouse and serve it over TCP.
+//!
+//! ```sh
+//! lazyetl-serve --root /data/mseed --addr 127.0.0.1:7744 \
+//!     --workers 4 --queue-depth 32 --save-dir /var/lib/lazyetl/snap
+//! ```
+//!
+//! When `--save-dir` holds a snapshot from a previous graceful shutdown,
+//! the warehouse **warm-restarts** from it (metadata and the hot record
+//! cache come back without rescanning); otherwise it cold-opens from
+//! `--root`. SIGTERM (or SIGINT, or a wire `Shutdown` frame) triggers the
+//! drain→snapshot sequence and the process exits 0 — so a supervisor
+//! restart loop gets warmer every cycle.
+//!
+//! `--ready-file PATH` writes the bound address to `PATH` once the
+//! listener is live (how scripts wait for boot without parsing logs).
+
+use lazyetl_core::{Mode, Warehouse, WarehouseConfig};
+use lazyetl_server::{Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handler() {
+    // `signal(2)` via the C runtime every Rust binary already links —
+    // the container policy is no new crates, and std exposes no signal
+    // API. The handler only flips an atomic (async-signal-safe).
+    extern "C" fn on_signal(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handler() {}
+
+struct Args {
+    root: PathBuf,
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    save_dir: Option<PathBuf>,
+    ready_file: Option<PathBuf>,
+    eager: bool,
+    no_auto_refresh: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: lazyetl-serve --root DIR [options]\n\
+     \n\
+     options:\n\
+       --root DIR         repository to serve (required)\n\
+       --addr HOST:PORT   listen address (default 127.0.0.1:7744; port 0 = ephemeral)\n\
+       --workers N        query worker threads (default 4)\n\
+       --queue-depth N    admission queue depth before BUSY (default 32)\n\
+       --save-dir DIR     snapshot dir: warm-restart from it when present,\n\
+                          write it on graceful shutdown\n\
+       --ready-file PATH  write the bound address here once listening\n\
+       --eager            open the warehouse eagerly (baseline mode)\n\
+       --no-auto-refresh  skip the per-query repository rescan"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::new(),
+        addr: "127.0.0.1:7744".into(),
+        workers: 4,
+        queue_depth: 32,
+        save_dir: None,
+        ready_file: None,
+        eager: false,
+        no_auto_refresh: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => {
+                args.root = PathBuf::from(value(&argv, i, "--root")?);
+                i += 2;
+            }
+            "--addr" => {
+                args.addr = value(&argv, i, "--addr")?;
+                i += 2;
+            }
+            "--workers" => {
+                args.workers = value(&argv, i, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+                i += 2;
+            }
+            "--queue-depth" => {
+                args.queue_depth = value(&argv, i, "--queue-depth")?
+                    .parse()
+                    .map_err(|_| "--queue-depth needs an integer".to_string())?;
+                i += 2;
+            }
+            "--save-dir" => {
+                args.save_dir = Some(PathBuf::from(value(&argv, i, "--save-dir")?));
+                i += 2;
+            }
+            "--ready-file" => {
+                args.ready_file = Some(PathBuf::from(value(&argv, i, "--ready-file")?));
+                i += 2;
+            }
+            "--eager" => {
+                args.eager = true;
+                i += 1;
+            }
+            "--no-auto-refresh" => {
+                args.no_auto_refresh = true;
+                i += 1;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    if args.root.as_os_str().is_empty() {
+        return Err(format!("--root is required\n{}", usage()));
+    }
+    Ok(args)
+}
+
+/// A snapshot directory is usable when its manifest commit point exists.
+fn has_snapshot(dir: &Path) -> bool {
+    dir.join(lazyetl_core::MANIFEST_NAME).exists()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    install_signal_handler();
+
+    let config = WarehouseConfig {
+        auto_refresh: !args.no_auto_refresh,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let warm_from = args
+        .save_dir
+        .as_deref()
+        .filter(|d| has_snapshot(d))
+        .map(Path::to_path_buf);
+    // A snapshot fixes the warehouse mode; booting it under the other
+    // mode's flag must fail loudly, not silently serve the wrong mode.
+    if let Some(snap) = &warm_from {
+        let requested = if args.eager { Mode::Eager } else { Mode::Lazy };
+        match lazyetl_core::saved_mode(snap) {
+            Ok(saved) if saved != requested => {
+                eprintln!(
+                    "lazyetl-serve: snapshot at {} was saved in {saved:?} mode but \
+                     {requested:?} was requested; clear the snapshot directory or \
+                     drop the conflicting flag",
+                    snap.display()
+                );
+                return ExitCode::from(2);
+            }
+            _ => {}
+        }
+    }
+    let wh = match &warm_from {
+        Some(snap) => Warehouse::open_saved(&args.root, snap, config),
+        None if args.eager => Warehouse::open_eager(&args.root, config),
+        None => Warehouse::open_lazy(&args.root, config),
+    };
+    let wh = match wh {
+        Ok(w) => Arc::new(w),
+        Err(e) => {
+            eprintln!("lazyetl-serve: cannot open warehouse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = wh.stats_snapshot();
+    println!(
+        "lazyetl-serve: mode={} files={} records={} open={:?} warm={} segments_attachable={}",
+        match stats.mode {
+            Mode::Lazy => "lazy",
+            Mode::Eager => "eager",
+        },
+        stats.files,
+        stats.records,
+        t0.elapsed(),
+        warm_from.is_some(),
+        stats.pending_segments,
+    );
+
+    let server = match Server::start(
+        Arc::clone(&wh),
+        args.addr.as_str(),
+        ServerConfig {
+            workers: args.workers,
+            queue_depth: args.queue_depth,
+            save_dir: args.save_dir.clone(),
+            ..Default::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lazyetl-serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTENING {}", server.addr());
+    if let Some(path) = &args.ready_file {
+        if let Err(e) = std::fs::write(path, server.addr().to_string()) {
+            eprintln!("lazyetl-serve: cannot write ready file: {e}");
+        }
+    }
+
+    // Serve until a signal or a wire shutdown request.
+    while !TERMINATE.load(Ordering::SeqCst) && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    println!("lazyetl-serve: shutting down (drain + snapshot)");
+    match server.stop() {
+        Ok(report) => {
+            println!(
+                "lazyetl-serve: served ok={} err={} busy={} dropped={}",
+                report.stats.queries_ok,
+                report.stats.queries_err,
+                report.stats.busy_rejections,
+                report.stats.dropped_replies,
+            );
+            if let Some(save) = report.save {
+                println!(
+                    "SNAPSHOT epoch={} bytes={} tables={} segments={}",
+                    save.epoch,
+                    save.bytes,
+                    save.tables.len(),
+                    save.segments.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lazyetl-serve: shutdown failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Blocking client for the serving wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request→response per connection; open
+//! more clients for parallelism — that is exactly what the E14 loadgen
+//! does).
+
+use crate::protocol::{
+    read_frame, write_frame, Frame, ProtoError, WireMetrics, DEFAULT_MAX_RESPONSE,
+};
+use lazyetl_store::Table;
+use std::collections::BTreeMap;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A successful served query.
+#[derive(Debug, Clone)]
+pub struct ServedResult {
+    /// The result rows.
+    pub table: Table,
+    /// What the request cost server-side.
+    pub metrics: WireMetrics,
+}
+
+/// What the server answered to a query.
+#[derive(Debug, Clone)]
+pub enum ServerReply {
+    /// Rows + metrics.
+    Result(ServedResult),
+    /// Admission control rejected the query; retry later.
+    Busy {
+        /// The server's configured queue depth.
+        queue_depth: u32,
+        /// Jobs queued when the request was rejected.
+        queued: u32,
+    },
+    /// The server answered with an error frame.
+    Error {
+        /// Stable machine-readable code (`query.*`, `etl.*`, `server.*`).
+        code: String,
+        /// Rendered message.
+        message: String,
+    },
+}
+
+/// Client-side failures (transport/protocol, not in-band server errors).
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a frame type this request cannot accept.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Unexpected(m) => write!(f, "unexpected server frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+/// One connection to a lazy-warehouse server.
+pub struct Client {
+    stream: TcpStream,
+    max_response_bytes: u32,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_response_bytes: DEFAULT_MAX_RESPONSE,
+        })
+    }
+
+    /// Like [`Client::connect`] with a connect timeout per candidate
+    /// address.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let mut last = None;
+        for a in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&a, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(Client {
+                        stream,
+                        max_response_bytes: DEFAULT_MAX_RESPONSE,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses")
+        }))
+    }
+
+    /// Cap accepted response payloads (defence against a rogue server).
+    pub fn set_max_response_bytes(&mut self, max: u32) {
+        self.max_response_bytes = max;
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.stream, frame)?;
+        Ok(read_frame(&mut self.stream, self.max_response_bytes)?)
+    }
+
+    /// Run a SQL query.
+    pub fn query(&mut self, sql: &str) -> Result<ServerReply, ClientError> {
+        self.query_with_delay(sql, 0)
+    }
+
+    /// Run a SQL query with server-side think time (the load-generation /
+    /// admission-control knob).
+    pub fn query_with_delay(
+        &mut self,
+        sql: &str,
+        delay_ms: u32,
+    ) -> Result<ServerReply, ClientError> {
+        let reply = self.roundtrip(&Frame::Query {
+            delay_ms,
+            sql: sql.to_string(),
+        })?;
+        match reply {
+            Frame::Result { metrics, table } => {
+                // Decode just built this Arc, so unwrapping is free; the
+                // clone arm only runs for a shared Arc (never on this path).
+                let table = Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone());
+                Ok(ServerReply::Result(ServedResult { table, metrics }))
+            }
+            Frame::Busy {
+                queue_depth,
+                queued,
+            } => Ok(ServerReply::Busy {
+                queue_depth,
+                queued,
+            }),
+            Frame::Error { code, message } => Ok(ServerReply::Error { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run a query, retrying on busy frames with a fixed backoff. Returns
+    /// the reply plus how many busy rejections were absorbed.
+    pub fn query_retrying(
+        &mut self,
+        sql: &str,
+        delay_ms: u32,
+        backoff: Duration,
+        max_retries: usize,
+    ) -> Result<(ServerReply, usize), ClientError> {
+        let mut busy = 0usize;
+        loop {
+            match self.query_with_delay(sql, delay_ms)? {
+                ServerReply::Busy { .. } if busy < max_retries => {
+                    busy += 1;
+                    std::thread::sleep(backoff);
+                }
+                reply => return Ok((reply, busy)),
+            }
+        }
+    }
+
+    /// Fetch the server's stats snapshot as an ordered key→value map.
+    pub fn stats(&mut self) -> Result<BTreeMap<String, String>, ClientError> {
+        match self.roundtrip(&Frame::Stats)? {
+            Frame::StatsReply { text } => Ok(text
+                .lines()
+                .filter_map(|l| {
+                    l.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                })
+                .collect()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Ping)? {
+            Frame::Pong => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Request graceful shutdown (drain, snapshot, exit). The server
+    /// acknowledges, then closes this connection.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Frame::Shutdown)? {
+            Frame::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

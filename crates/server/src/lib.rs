@@ -1,0 +1,53 @@
+//! # lazyetl-server — serve the lazy warehouse over the wire
+//!
+//! The paper's pitch is time-to-first-insight for *one* analyst; the
+//! roadmap's warehouse serves many. This crate turns the `Send + Sync`
+//! [`lazyetl_core::Warehouse`] into a network service on plain
+//! `std::net` — no async runtime, no external dependencies:
+//!
+//! * [`protocol`] — the length-prefixed, versioned, typed wire frames
+//!   (query / result / error / busy / stats / ping / shutdown);
+//! * [`server`] — the accept loop, the **bounded worker pool**, and the
+//!   admission-control queue that answers `BUSY` instead of melting
+//!   under load; graceful shutdown drains in-flight queries and
+//!   snapshots the hot cache via the PR 3 durable save path;
+//! * [`client`] — a blocking [`client::Client`] speaking the same
+//!   protocol (used by the `lazyetl-cli` binary, the E14 loadgen and the
+//!   e2e tests).
+//!
+//! Two binaries ship with the crate:
+//!
+//! * `lazyetl-serve` — boot a warehouse (cold, or warm from a snapshot)
+//!   and serve it; SIGTERM triggers the drain→snapshot sequence;
+//! * `lazyetl-cli` — query / stats / ping / shutdown from a shell.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use lazyetl_core::{Warehouse, WarehouseConfig};
+//! use lazyetl_server::{Client, Server, ServerConfig, ServerReply};
+//! use std::sync::Arc;
+//!
+//! let wh = Arc::new(Warehouse::open_lazy("/data/mseed", WarehouseConfig::default()).unwrap());
+//! let server = Server::start(wh, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! match client.query("SELECT COUNT(*) FROM mseed.files").unwrap() {
+//!     ServerReply::Result(r) => println!("{}", r.table.to_ascii(10)),
+//!     ServerReply::Busy { .. } => println!("server busy, retry"),
+//!     ServerReply::Error { code, message } => eprintln!("{code}: {message}"),
+//! }
+//!
+//! let report = server.stop().unwrap(); // drain + optional snapshot
+//! println!("served {} queries", report.stats.queries_ok);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ServedResult, ServerReply};
+pub use protocol::{Frame, ProtoError, WireMetrics};
+pub use server::{Server, ServerConfig, ServerStats, ShutdownReport};

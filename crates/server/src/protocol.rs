@@ -1,0 +1,557 @@
+//! The wire protocol: length-prefixed, versioned, typed frames.
+//!
+//! Every frame on the wire is one header plus one payload:
+//!
+//! ```text
+//! +----------+---------+--------+----------------+=================+
+//! | magic    | version | type   | payload length |     payload     |
+//! | u16 (BE) | u8      | u8     | u32 (BE)       | `length` bytes  |
+//! +----------+---------+--------+----------------+=================+
+//!   0x4C5A      0x01     see below                 frame-specific
+//! ```
+//!
+//! The magic (`"LZ"`) and version are checked on **every** frame, so a
+//! desynchronized or incompatible peer is detected at the first header.
+//! Payloads above the receiver's size limit are rejected before any
+//! allocation ([`ProtoError::Oversize`]); the server answers with a
+//! `proto.oversize` error frame and closes the connection, because a
+//! stream that large cannot be resynchronized cheaply.
+//!
+//! # Frame types
+//!
+//! | type | frame          | direction | payload |
+//! |------|----------------|-----------|---------|
+//! | 0x01 | [`Frame::Query`]       | c → s | `u32` delay_ms, `u8` flags (reserved), SQL utf-8 |
+//! | 0x02 | [`Frame::Result`]      | s → c | [`WireMetrics`] (49 bytes), then the result table in the `lazyetl-store` stream format |
+//! | 0x03 | [`Frame::Error`]       | s → c | `u16` code len + code, `u32` message len + message |
+//! | 0x04 | [`Frame::Busy`]        | s → c | `u32` configured queue depth, `u32` jobs queued at rejection |
+//! | 0x05 | [`Frame::Stats`]       | c → s | empty |
+//! | 0x06 | [`Frame::StatsReply`]  | s → c | utf-8 `key=value` lines |
+//! | 0x07 | [`Frame::Ping`]        | c → s | empty |
+//! | 0x08 | [`Frame::Pong`]        | s → c | empty |
+//! | 0x09 | [`Frame::Shutdown`]    | c → s | empty (graceful shutdown request) |
+//! | 0x0A | [`Frame::ShutdownAck`] | s → c | empty |
+//!
+//! All integers are big-endian. The protocol is symmetric enough that
+//! both [`crate::server`] and [`crate::client`] use the same
+//! [`read_frame`]/[`write_frame`] pair; direction is a convention, not a
+//! mechanism.
+//!
+//! Error frames carry a **stable machine-readable code** (see
+//! [`lazyetl_core::EtlError::code`] for warehouse errors and the
+//! `proto.*` / `server.*` families defined by the serving layer) plus the
+//! rendered human message. Clients dispatch on the code.
+
+use lazyetl_store::persist::{read_table, write_table};
+use lazyetl_store::Table;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+/// `"LZ"` — first two bytes of every frame.
+pub const MAGIC: u16 = 0x4C5A;
+/// Protocol version carried (and checked) on every frame.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload: magic + version + type + length.
+pub const HEADER_LEN: usize = 8;
+/// Default cap on a *request* payload accepted by the server.
+pub const DEFAULT_MAX_REQUEST: u32 = 1 << 20;
+/// Default cap on a *response* payload accepted by the client (result
+/// tables are bigger than queries).
+pub const DEFAULT_MAX_RESPONSE: u32 = 256 << 20;
+
+const TYPE_QUERY: u8 = 0x01;
+const TYPE_RESULT: u8 = 0x02;
+const TYPE_ERROR: u8 = 0x03;
+const TYPE_BUSY: u8 = 0x04;
+const TYPE_STATS: u8 = 0x05;
+const TYPE_STATS_REPLY: u8 = 0x06;
+const TYPE_PING: u8 = 0x07;
+const TYPE_PONG: u8 = 0x08;
+const TYPE_SHUTDOWN: u8 = 0x09;
+const TYPE_SHUTDOWN_ACK: u8 = 0x0A;
+
+/// Per-request serving metrics, returned inside every result frame so
+/// clients see what their query cost without a second round trip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireMetrics {
+    /// Time the request waited in the admission queue.
+    pub queue_wait_us: u64,
+    /// Warehouse execution time (lazy extraction included).
+    pub exec_us: u64,
+    /// Result rows.
+    pub rows: u64,
+    /// Records decoded for this query.
+    pub records_extracted: u64,
+    /// Record-cache hits for this query.
+    pub cache_hits: u64,
+    /// Record-cache misses for this query.
+    pub cache_misses: u64,
+    /// Whole result served by the result recycler.
+    pub result_recycled: bool,
+}
+
+const METRICS_LEN: usize = 6 * 8 + 1;
+
+impl WireMetrics {
+    /// Cache hit rate of this request (0 when it touched no records).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.queue_wait_us,
+            self.exec_us,
+            self.rows,
+            self.records_extracted,
+            self.cache_hits,
+            self.cache_misses,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.push(self.result_recycled as u8);
+    }
+
+    fn decode(bytes: &[u8]) -> Result<WireMetrics, ProtoError> {
+        if bytes.len() < METRICS_LEN {
+            return Err(ProtoError::Malformed("result frame too short".into()));
+        }
+        let u = |i: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..i * 8 + 8]);
+            u64::from_be_bytes(b)
+        };
+        Ok(WireMetrics {
+            queue_wait_us: u(0),
+            exec_us: u(1),
+            rows: u(2),
+            records_extracted: u(3),
+            cache_hits: u(4),
+            cache_misses: u(5),
+            result_recycled: bytes[48] != 0,
+        })
+    }
+}
+
+/// One protocol frame (see the module docs for the wire layout).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Run a SQL query. `delay_ms` adds server-side think time before
+    /// execution — the load-generation / admission-control test knob
+    /// (the server clamps it to a few seconds; it is not a scheduler).
+    Query {
+        /// Milliseconds the worker sleeps before executing (0 = none).
+        delay_ms: u32,
+        /// The SQL text.
+        sql: String,
+    },
+    /// A successful result: serving metrics plus the rows. The table is
+    /// behind an `Arc` so the server serializes straight from the
+    /// warehouse's (possibly cached/recycled) result without copying it.
+    Result {
+        /// What the request cost.
+        metrics: WireMetrics,
+        /// The result table.
+        table: Arc<Table>,
+    },
+    /// A failure with a stable machine-readable code.
+    Error {
+        /// e.g. `query.parse`, `etl.internal`, `proto.oversize`.
+        code: String,
+        /// Rendered human-readable message.
+        message: String,
+    },
+    /// Backpressure: the admission queue is full; retry later.
+    Busy {
+        /// The configured queue depth.
+        queue_depth: u32,
+        /// Jobs queued when the request was rejected.
+        queued: u32,
+    },
+    /// Request the server's stats snapshot.
+    Stats,
+    /// Stats snapshot as utf-8 `key=value` lines.
+    StatsReply {
+        /// One `key=value` per line, keys stable once published.
+        text: String,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Liveness answer.
+    Pong,
+    /// Ask the server to drain in-flight queries, snapshot and exit.
+    Shutdown,
+    /// Shutdown acknowledged; the connection closes after this frame.
+    ShutdownAck,
+}
+
+/// Protocol-level failures (distinct from in-band [`Frame::Error`]s).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Transport failure (includes clean EOF as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// First two bytes were not [`MAGIC`] — peer out of sync or foreign.
+    BadMagic(u16),
+    /// Version byte unknown to this build.
+    BadVersion(u8),
+    /// Unknown frame type byte.
+    BadType(u8),
+    /// Declared payload length exceeds the receiver's limit.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The receiver's limit.
+        max: u32,
+    },
+    /// Payload did not decode as the declared frame type.
+    Malformed(String),
+}
+
+impl ProtoError {
+    /// Stable machine-readable code (what the server puts in the error
+    /// frame it sends back before closing the connection).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Io(_) => "proto.io",
+            ProtoError::BadMagic(_) => "proto.magic",
+            ProtoError::BadVersion(_) => "proto.version",
+            ProtoError::BadType(_) => "proto.type",
+            ProtoError::Oversize { .. } => "proto.oversize",
+            ProtoError::Malformed(_) => "proto.malformed",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadType(t) => write!(f, "unknown frame type {t:#04x}"),
+            ProtoError::Oversize { len, max } => {
+                write!(f, "payload of {len} bytes exceeds limit {max}")
+            }
+            ProtoError::Malformed(m) => write!(f, "malformed payload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn type_byte(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Query { .. } => TYPE_QUERY,
+        Frame::Result { .. } => TYPE_RESULT,
+        Frame::Error { .. } => TYPE_ERROR,
+        Frame::Busy { .. } => TYPE_BUSY,
+        Frame::Stats => TYPE_STATS,
+        Frame::StatsReply { .. } => TYPE_STATS_REPLY,
+        Frame::Ping => TYPE_PING,
+        Frame::Pong => TYPE_PONG,
+        Frame::Shutdown => TYPE_SHUTDOWN,
+        Frame::ShutdownAck => TYPE_SHUTDOWN_ACK,
+    }
+}
+
+/// Serialize a frame to its full wire representation (header included).
+pub fn frame_bytes(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Query { delay_ms, sql } => {
+            payload.extend_from_slice(&delay_ms.to_be_bytes());
+            payload.push(0); // flags, reserved
+            payload.extend_from_slice(sql.as_bytes());
+        }
+        Frame::Result { metrics, table } => {
+            metrics.encode_into(&mut payload);
+            write_table(table, &mut payload)
+                .map_err(|e| ProtoError::Malformed(format!("table encode: {e}")))?;
+        }
+        Frame::Error { code, message } => {
+            payload.extend_from_slice(&(code.len() as u16).to_be_bytes());
+            payload.extend_from_slice(code.as_bytes());
+            payload.extend_from_slice(&(message.len() as u32).to_be_bytes());
+            payload.extend_from_slice(message.as_bytes());
+        }
+        Frame::Busy {
+            queue_depth,
+            queued,
+        } => {
+            payload.extend_from_slice(&queue_depth.to_be_bytes());
+            payload.extend_from_slice(&queued.to_be_bytes());
+        }
+        Frame::StatsReply { text } => payload.extend_from_slice(text.as_bytes()),
+        Frame::Stats | Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::ShutdownAck => {}
+    }
+    // The length field is u32; a larger payload must fail loudly here,
+    // not wrap and desynchronize the peer.
+    let len = u32::try_from(payload.len()).map_err(|_| ProtoError::Oversize {
+        len: u32::MAX,
+        max: u32::MAX,
+    })?;
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_be_bytes());
+    out.push(VERSION);
+    out.push(type_byte(frame));
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Write one frame (single `write_all`, so frames never interleave even
+/// on an unbuffered stream).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<(), ProtoError> {
+    w.write_all(&frame_bytes(frame)?)?;
+    w.flush()?;
+    Ok(())
+}
+
+fn str_from(bytes: &[u8], what: &str) -> Result<String, ProtoError> {
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| ProtoError::Malformed(format!("{what} is not utf-8")))
+}
+
+/// Read one frame, enforcing `max_payload` **before** allocating.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let magic = u16::from_be_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    if header[2] != VERSION {
+        return Err(ProtoError::BadVersion(header[2]));
+    }
+    let ftype = header[3];
+    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    if len > max_payload {
+        return Err(ProtoError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    match ftype {
+        TYPE_QUERY => {
+            if payload.len() < 5 {
+                return Err(ProtoError::Malformed("query frame too short".into()));
+            }
+            let delay_ms = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            // payload[4] is the reserved flags byte.
+            let sql = str_from(&payload[5..], "sql")?;
+            Ok(Frame::Query { delay_ms, sql })
+        }
+        TYPE_RESULT => {
+            let metrics = WireMetrics::decode(&payload)?;
+            let mut rest = &payload[METRICS_LEN..];
+            let table = read_table(&mut rest)
+                .map_err(|e| ProtoError::Malformed(format!("table decode: {e}")))?;
+            Ok(Frame::Result {
+                metrics,
+                table: Arc::new(table),
+            })
+        }
+        TYPE_ERROR => {
+            if payload.len() < 2 {
+                return Err(ProtoError::Malformed("error frame too short".into()));
+            }
+            let code_len = u16::from_be_bytes([payload[0], payload[1]]) as usize;
+            if payload.len() < 2 + code_len + 4 {
+                return Err(ProtoError::Malformed("error frame truncated".into()));
+            }
+            let code = str_from(&payload[2..2 + code_len], "error code")?;
+            let off = 2 + code_len;
+            let msg_len = u32::from_be_bytes([
+                payload[off],
+                payload[off + 1],
+                payload[off + 2],
+                payload[off + 3],
+            ]) as usize;
+            if payload.len() < off + 4 + msg_len {
+                return Err(ProtoError::Malformed("error message truncated".into()));
+            }
+            let message = str_from(&payload[off + 4..off + 4 + msg_len], "error message")?;
+            Ok(Frame::Error { code, message })
+        }
+        TYPE_BUSY => {
+            if payload.len() < 8 {
+                return Err(ProtoError::Malformed("busy frame too short".into()));
+            }
+            Ok(Frame::Busy {
+                queue_depth: u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]),
+                queued: u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]),
+            })
+        }
+        TYPE_STATS => Ok(Frame::Stats),
+        TYPE_STATS_REPLY => Ok(Frame::StatsReply {
+            text: str_from(&payload, "stats")?,
+        }),
+        TYPE_PING => Ok(Frame::Ping),
+        TYPE_PONG => Ok(Frame::Pong),
+        TYPE_SHUTDOWN => Ok(Frame::Shutdown),
+        TYPE_SHUTDOWN_ACK => Ok(Frame::ShutdownAck),
+        other => Err(ProtoError::BadType(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lazyetl_store::{Column, DataType, Field, Schema, Value};
+
+    fn roundtrip(frame: Frame) -> Frame {
+        let bytes = frame_bytes(&frame).unwrap();
+        read_frame(&mut bytes.as_slice(), DEFAULT_MAX_RESPONSE).unwrap()
+    }
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("station", DataType::Utf8),
+            Field::nullable("value", DataType::Float64),
+        ])
+        .unwrap();
+        let cols = vec![
+            Column::from_values(
+                DataType::Utf8,
+                &[Value::Utf8("HGN".into()), Value::Utf8("ISK".into())],
+            )
+            .unwrap(),
+            Column::from_values(DataType::Float64, &[Value::Float64(1.5), Value::Null]).unwrap(),
+        ];
+        Table::new(schema, cols).unwrap()
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        let frames = vec![
+            Frame::Query {
+                delay_ms: 25,
+                sql: "SELECT 1".into(),
+            },
+            Frame::Result {
+                metrics: WireMetrics {
+                    queue_wait_us: 1,
+                    exec_us: 2,
+                    rows: 2,
+                    records_extracted: 3,
+                    cache_hits: 4,
+                    cache_misses: 5,
+                    result_recycled: true,
+                },
+                table: Arc::new(sample_table()),
+            },
+            Frame::Error {
+                code: "query.parse".into(),
+                message: "boom".into(),
+            },
+            Frame::Busy {
+                queue_depth: 4,
+                queued: 4,
+            },
+            Frame::Stats,
+            Frame::StatsReply {
+                text: "a=1\nb=2\n".into(),
+            },
+            Frame::Ping,
+            Frame::Pong,
+            Frame::Shutdown,
+            Frame::ShutdownAck,
+        ];
+        for f in frames {
+            assert_eq!(roundtrip(f.clone()), f);
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_type_detected() {
+        let mut bytes = frame_bytes(&Frame::Ping).unwrap();
+        bytes[0] = 0xFF;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(ProtoError::BadMagic(_))
+        ));
+        let mut bytes = frame_bytes(&Frame::Ping).unwrap();
+        bytes[2] = 99;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(ProtoError::BadVersion(99))
+        ));
+        let mut bytes = frame_bytes(&Frame::Ping).unwrap();
+        bytes[3] = 0x7F;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice(), 1024),
+            Err(ProtoError::BadType(0x7F))
+        ));
+    }
+
+    #[test]
+    fn oversize_rejected_before_allocation() {
+        let mut bytes = frame_bytes(&Frame::Stats).unwrap();
+        // Claim a huge payload; nothing follows.
+        bytes[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        match read_frame(&mut bytes.as_slice(), 1024) {
+            Err(ProtoError::Oversize { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_io_error() {
+        let bytes = frame_bytes(&Frame::Query {
+            delay_ms: 0,
+            sql: "SELECT 1".into(),
+        })
+        .unwrap();
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            read_frame(&mut &cut[..], 1024),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_query_payload_detected() {
+        // A query frame whose payload is shorter than the fixed prefix.
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.push(0x01);
+        out.extend_from_slice(&2u32.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            read_frame(&mut out.as_slice(), 1024),
+            Err(ProtoError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn proto_error_codes_are_stable() {
+        assert_eq!(ProtoError::BadMagic(0).code(), "proto.magic");
+        assert_eq!(ProtoError::BadVersion(0).code(), "proto.version");
+        assert_eq!(ProtoError::BadType(0).code(), "proto.type");
+        assert_eq!(
+            ProtoError::Oversize { len: 1, max: 0 }.code(),
+            "proto.oversize"
+        );
+        assert_eq!(
+            ProtoError::Malformed(String::new()).code(),
+            "proto.malformed"
+        );
+    }
+}

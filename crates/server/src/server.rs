@@ -1,0 +1,610 @@
+//! The query server: one shared [`Warehouse`] behind a bounded worker
+//! pool with admission control.
+//!
+//! # Architecture
+//!
+//! ```text
+//!            accept loop (non-blocking poll, exits on shutdown)
+//!                 │ spawns one lightweight I/O thread per connection
+//!                 ▼
+//!   connection threads ──try_enqueue──▶ bounded queue (≤ queue_depth)
+//!        │    ▲                              │ pop
+//!        │    │ BUSY frame when full         ▼
+//!        │    └───────────────────    worker pool (N threads)
+//!        │                                   │ Warehouse::query (&self)
+//!        └──◀── reply channel ◀──────────────┘
+//! ```
+//!
+//! Connection threads only do I/O (cheap, blocked on the socket); the
+//! bounded resource is the **worker pool**, which is the only thing that
+//! touches the warehouse. Admission control happens at enqueue time: when
+//! the queue already holds `queue_depth` jobs, the connection thread
+//! answers with a [`Frame::Busy`] backpressure frame immediately instead
+//! of piling more work onto the pool — the client decides whether to
+//! retry, and the accept loop never stalls.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::stop`] (or a [`Frame::Shutdown`] request, or SIGTERM in the
+//! `lazyetl-serve` binary) runs the drain sequence:
+//!
+//! 1. the shutdown flag flips: the accept loop stops accepting, new
+//!    queries get a `server.shutdown` error frame;
+//! 2. workers drain every job already admitted to the queue and deliver
+//!    the replies, then exit;
+//! 3. connection threads notice the flag (their reads time-slice) and
+//!    close;
+//! 4. once quiesced, the warehouse is persisted to `save_dir` (when
+//!    configured) via [`Warehouse::save_to`] — the hot record cache goes
+//!    into the snapshot, so the next boot warm-restarts.
+
+use crate::protocol::{read_frame, write_frame, Frame, ProtoError, WireMetrics};
+use lazyetl_core::persistence::SaveReport;
+use lazyetl_core::{EtlError, Warehouse};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing queries against the shared warehouse.
+    pub workers: usize,
+    /// Jobs the admission queue holds before new queries get
+    /// [`Frame::Busy`]. In-flight queries (already popped by a worker) do
+    /// not count; `0` rejects every query — the chaos-testing extreme.
+    pub queue_depth: usize,
+    /// Cap on request payloads; larger frames are rejected with a
+    /// `proto.oversize` error and the connection closes.
+    pub max_request_bytes: u32,
+    /// Snapshot directory for the graceful-shutdown save; `None` skips
+    /// the save.
+    pub save_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            max_request_bytes: crate::protocol::DEFAULT_MAX_REQUEST,
+            save_dir: None,
+        }
+    }
+}
+
+/// Cumulative serving counters (all monotone; snapshot via
+/// [`Server::stats`] or the wire `Stats` frame).
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_err: AtomicU64,
+    busy_rejections: AtomicU64,
+    proto_errors: AtomicU64,
+    dropped_replies: AtomicU64,
+    queue_wait_us: AtomicU64,
+    exec_us: AtomicU64,
+    records_extracted: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+}
+
+/// Point-in-time copy of the serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Queries answered with a result frame.
+    pub queries_ok: u64,
+    /// Queries answered with an error frame.
+    pub queries_err: u64,
+    /// Queries rejected with a busy frame.
+    pub busy_rejections: u64,
+    /// Connections dropped for protocol violations.
+    pub proto_errors: u64,
+    /// Replies computed but undeliverable (client disconnected mid-query).
+    pub dropped_replies: u64,
+    /// Total admission-queue wait across all queries.
+    pub queue_wait_us: u64,
+    /// Total execution time across all queries.
+    pub exec_us: u64,
+    /// Records decoded across all queries.
+    pub records_extracted: u64,
+    /// Record-cache hits across all queries.
+    pub cache_hits: u64,
+    /// Record-cache misses across all queries.
+    pub cache_misses: u64,
+}
+
+impl ServerStats {
+    /// Aggregate cache hit rate over every served query.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Budget for receiving one frame once its first byte has arrived: long
+/// enough for slow links, short enough that a stalled sender cannot pin
+/// a connection thread (and graceful shutdown) indefinitely.
+const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Ceiling on the client-supplied per-query think time. `delay_ms` is a
+/// load-generation knob, not a scheduling primitive: uncapped, one cheap
+/// frame could pin a worker (and therefore graceful drain) for up to
+/// `u32::MAX` milliseconds.
+const MAX_QUERY_DELAY_MS: u32 = 10_000;
+
+/// One admitted query: what the worker needs, plus the reply channel back
+/// to the connection thread.
+struct Job {
+    sql: String,
+    delay_ms: u32,
+    enqueued: Instant,
+    reply: SyncSender<Frame>,
+}
+
+struct Shared {
+    wh: Arc<Warehouse>,
+    cfg: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    job_ready: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// What the drain sequence produced.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final serving counters.
+    pub stats: ServerStats,
+    /// The graceful snapshot, when `save_dir` was configured.
+    pub save: Option<SaveReport>,
+}
+
+/// A running server. Dropping without [`Server::stop`] aborts ungracefully
+/// (threads are detached); call `stop` for the drain + snapshot sequence.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `wh` with `cfg`. Returns once the listener is live;
+    /// [`Server::addr`] reports the bound address.
+    pub fn start(
+        wh: Arc<Warehouse>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            wh,
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            job_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("lazyetl-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lazyetl-accept".into())
+                .spawn(move || accept_loop(listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once a shutdown was requested (by [`Server::stop`], a wire
+    /// `Shutdown` frame, or the serve binary's signal handler).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Request shutdown without waiting (idempotent).
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.snapshot()
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// Graceful shutdown: stop accepting, drain admitted queries, join
+    /// every thread, then persist the warehouse to `save_dir` (when
+    /// configured). Returns the final counters and the save report.
+    pub fn stop(mut self) -> Result<ShutdownReport, EtlError> {
+        self.request_shutdown();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let stats = self.shared.snapshot();
+        let save = match &self.shared.cfg.save_dir {
+            Some(dir) => Some(self.shared.wh.save_to(dir)?),
+            None => None,
+        };
+        Ok(ShutdownReport { stats, save })
+    }
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStats {
+        let c = &self.counters;
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServerStats {
+            connections: g(&c.connections),
+            queries_ok: g(&c.queries_ok),
+            queries_err: g(&c.queries_err),
+            busy_rejections: g(&c.busy_rejections),
+            proto_errors: g(&c.proto_errors),
+            dropped_replies: g(&c.dropped_replies),
+            queue_wait_us: g(&c.queue_wait_us),
+            exec_us: g(&c.exec_us),
+            records_extracted: g(&c.records_extracted),
+            cache_hits: g(&c.cache_hits),
+            cache_misses: g(&c.cache_misses),
+        }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Render server + warehouse stats as the wire `key=value` text.
+    fn stats_text(&self) -> String {
+        let s = self.snapshot();
+        let w = self.wh.stats_snapshot();
+        let mut out = String::new();
+        for (k, v) in [
+            ("server.connections", s.connections),
+            ("server.queries_ok", s.queries_ok),
+            ("server.queries_err", s.queries_err),
+            ("server.busy_rejections", s.busy_rejections),
+            ("server.proto_errors", s.proto_errors),
+            ("server.dropped_replies", s.dropped_replies),
+            ("server.queue_wait_us", s.queue_wait_us),
+            ("server.exec_us", s.exec_us),
+            ("server.records_extracted", s.records_extracted),
+            ("server.cache_hits", s.cache_hits),
+            ("server.cache_misses", s.cache_misses),
+            ("server.workers", self.cfg.workers as u64),
+            ("server.queue_depth", self.cfg.queue_depth as u64),
+            ("warehouse.files", w.files as u64),
+            ("warehouse.records", w.records as u64),
+            ("warehouse.resident_bytes", w.resident_bytes as u64),
+            ("warehouse.generation", w.generation),
+            ("warehouse.queries", w.queries),
+            ("warehouse.cache_entries", w.cache_entries as u64),
+            ("warehouse.cache_used_bytes", w.cache_used_bytes as u64),
+            ("warehouse.cache_hits", w.cache.hits),
+            ("warehouse.cache_misses", w.cache.misses),
+            ("warehouse.cache_stale_drops", w.cache.stale_drops),
+            ("warehouse.cache_evictions", w.cache.evictions),
+            ("warehouse.segments_loaded", w.cache.segments_loaded),
+            ("warehouse.pending_segments", w.pending_segments as u64),
+        ] {
+            out.push_str(k);
+            out.push('=');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "server.cache_hit_rate={:.6}\n",
+            s.cache_hit_rate()
+        ));
+        out.push_str(&format!(
+            "warehouse.mode={}\n",
+            match w.mode {
+                lazyetl_core::Mode::Lazy => "lazy",
+                lazyetl_core::Mode::Eager => "eager",
+            }
+        ));
+        out
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                // Drain semantics: exit only once the queue is empty AND
+                // shutdown was requested — admitted queries always finish.
+                if shared.is_shutdown() {
+                    return;
+                }
+                let (guard, _) = shared
+                    .job_ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        };
+        let queue_wait = job.enqueued.elapsed();
+        if job.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(
+                job.delay_ms.min(MAX_QUERY_DELAY_MS) as u64
+            ));
+        }
+        let t0 = Instant::now();
+        let c = &shared.counters;
+        let reply = match shared.wh.query(&job.sql) {
+            Ok(out) => {
+                let exec = t0.elapsed();
+                let metrics = WireMetrics {
+                    queue_wait_us: queue_wait.as_micros() as u64,
+                    exec_us: exec.as_micros() as u64,
+                    rows: out.table.num_rows() as u64,
+                    records_extracted: out.report.records_extracted as u64,
+                    cache_hits: out.report.cache_hits as u64,
+                    cache_misses: out.report.cache_misses as u64,
+                    result_recycled: out.report.result_recycled,
+                };
+                c.queries_ok.fetch_add(1, Ordering::Relaxed);
+                c.queue_wait_us
+                    .fetch_add(metrics.queue_wait_us, Ordering::Relaxed);
+                c.exec_us.fetch_add(metrics.exec_us, Ordering::Relaxed);
+                c.records_extracted
+                    .fetch_add(metrics.records_extracted, Ordering::Relaxed);
+                c.cache_hits
+                    .fetch_add(metrics.cache_hits, Ordering::Relaxed);
+                c.cache_misses
+                    .fetch_add(metrics.cache_misses, Ordering::Relaxed);
+                Frame::Result {
+                    metrics,
+                    table: out.table,
+                }
+            }
+            Err(e) => {
+                c.queries_err.fetch_add(1, Ordering::Relaxed);
+                Frame::Error {
+                    code: e.code().to_string(),
+                    message: e.to_string(),
+                }
+            }
+        };
+        // The connection thread may have vanished with its client; a
+        // failed send must not take the worker down with it.
+        if job.reply.send(reply).is_err() {
+            c.dropped_replies.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                match std::thread::Builder::new()
+                    .name("lazyetl-conn".into())
+                    .spawn(move || serve_connection(stream, &shared))
+                {
+                    Ok(h) => conns.push(h),
+                    Err(_) => { /* thread spawn failed; connection drops */ }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+        // Reap finished connection threads so long-lived servers don't
+        // accumulate handles.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Read frames off one connection until EOF, protocol violation, or
+/// shutdown. Queries go through admission control; everything else is
+/// answered inline (stats and pings must work even when the pool is
+/// saturated — that is when an operator needs them most).
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut peek_buf = [0u8; 1];
+    loop {
+        // Wait for the next frame with `peek` so a timeout never consumes
+        // partial header bytes (read_exact after a successful peek only
+        // blocks while the frame is in flight).
+        match stream.peek(&mut peek_buf) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.is_shutdown() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        // The 100ms timeout exists so the idle peek loop can poll the
+        // shutdown flag; a frame in flight gets a much longer budget so a
+        // slow link's legitimate request is not dropped mid-transfer —
+        // but not an unbounded one, or a stalled sender could pin this
+        // thread (and therefore graceful shutdown) forever.
+        let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
+        let frame = read_frame(&mut (&stream), shared.cfg.max_request_bytes);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+        let frame = match frame {
+            Ok(f) => f,
+            Err(ProtoError::Io(_)) => return, // disconnect mid-frame
+            Err(e) => {
+                // Protocol violation: answer with the code, then close —
+                // the stream cannot be resynchronized.
+                shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut (&stream),
+                    &Frame::Error {
+                        code: e.code().to_string(),
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let response = match frame {
+            Frame::Query { delay_ms, sql } => match try_enqueue(shared, sql, delay_ms) {
+                Admission::Admitted(rx) => match rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => Frame::Error {
+                        code: "server.internal".into(),
+                        message: "worker dropped the query".into(),
+                    },
+                },
+                Admission::Busy { queued } => {
+                    shared
+                        .counters
+                        .busy_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    Frame::Busy {
+                        queue_depth: shared.cfg.queue_depth as u32,
+                        queued,
+                    }
+                }
+                Admission::Draining => Frame::Error {
+                    code: "server.shutdown".into(),
+                    message: "server is draining; no new queries".into(),
+                },
+            },
+            Frame::Stats => Frame::StatsReply {
+                text: shared.stats_text(),
+            },
+            Frame::Ping => Frame::Pong,
+            Frame::Shutdown => {
+                shared.shutdown.store(true, Ordering::Release);
+                shared.job_ready.notify_all();
+                let _ = write_frame(&mut (&stream), &Frame::ShutdownAck);
+                return;
+            }
+            // Response frames arriving at the server are a client bug.
+            other => Frame::Error {
+                code: "proto.unexpected".into(),
+                message: format!("server cannot handle frame {other:?}"),
+            },
+        };
+        // A client that vanished while its query ran must not poison the
+        // pool — but the undelivered answer is worth counting. The probe
+        // is needed because the first write after a peer's close often
+        // lands in the kernel buffer and only a later write sees the RST.
+        let query_reply = matches!(response, Frame::Result { .. } | Frame::Error { .. });
+        if query_reply && peer_closed(&stream) {
+            shared
+                .counters
+                .dropped_replies
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if write_frame(&mut (&stream), &response).is_err() {
+            if query_reply {
+                shared
+                    .counters
+                    .dropped_replies
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+    }
+}
+
+/// Non-blocking probe: has the peer fully closed the connection? A
+/// read-side EOF is the signal (the protocol never half-closes, so EOF
+/// while a reply is pending means the client is gone).
+fn peer_closed(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let gone = matches!(stream.peek(&mut [0u8; 1]), Ok(0));
+    let _ = stream.set_nonblocking(false);
+    gone
+}
+
+enum Admission {
+    Admitted(std::sync::mpsc::Receiver<Frame>),
+    Busy { queued: u32 },
+    Draining,
+}
+
+fn try_enqueue(shared: &Shared, sql: String, delay_ms: u32) -> Admission {
+    let (tx, rx) = sync_channel(1);
+    let mut q = shared.queue.lock().expect("queue poisoned");
+    // Re-checked under the queue lock: workers only exit after observing
+    // (empty queue ∧ shutdown) under this same lock, so a job admitted
+    // here while the flag is still down is guaranteed a live worker —
+    // without this check, a flag flip between the connection thread's
+    // lock-free check and the push could strand the job (and its blocked
+    // reply channel) in a queue nobody drains.
+    if shared.is_shutdown() {
+        return Admission::Draining;
+    }
+    if q.len() >= shared.cfg.queue_depth {
+        return Admission::Busy {
+            queued: q.len() as u32,
+        };
+    }
+    q.push_back(Job {
+        sql,
+        delay_ms,
+        enqueued: Instant::now(),
+        reply: tx,
+    });
+    drop(q);
+    shared.job_ready.notify_one();
+    Admission::Admitted(rx)
+}

@@ -11,7 +11,9 @@
 //!   persistence);
 //! * [`query`] — SQL parser, logical plans, optimizer, executor;
 //! * [`core`] — the paper's contribution: the lazy/eager warehouse,
-//!   run-time plan rewriting, the recycling cache and lazy refresh.
+//!   run-time plan rewriting, the recycling cache and lazy refresh;
+//! * [`server`] — the serving layer: wire protocol, admission-controlled
+//!   worker pool, client, and the `lazyetl-serve`/`lazyetl-cli` binaries.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -19,6 +21,7 @@ pub use lazyetl_core as core;
 pub use lazyetl_mseed as mseed;
 pub use lazyetl_query as query;
 pub use lazyetl_repo as repo;
+pub use lazyetl_server as server;
 pub use lazyetl_store as store;
 
 pub use lazyetl_core::{

@@ -1,6 +1,6 @@
 //! Shared helpers for integration tests: generated repositories with known
 //! ground truth, and the paper's Figure-1 queries verbatim.
-#![allow(dead_code)] // each integration test uses a different subset
+#![allow(dead_code, unused_imports)] // each integration test uses a different subset
 
 use lazyetl::mseed::gen::{generate_repository, GeneratedRepository, GeneratorConfig};
 use lazyetl::mseed::Timestamp;
@@ -9,23 +9,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT: AtomicU64 = AtomicU64::new(0);
 
-/// The first Figure-1 query of the paper, verbatim.
-pub const FIGURE1_Q1: &str = "SELECT AVG(D.sample_value)
-FROM mseed.dataview
-WHERE F.station = 'ISK'
-AND F.channel = 'BHE'
-AND R.start_time > '2010-01-12T00:00:00.000'
-AND R.start_time < '2010-01-12T23:59:59.999'
-AND D.sample_time > '2010-01-12T22:15:00.000'
-AND D.sample_time < '2010-01-12T22:15:02.000';";
-
-/// The second Figure-1 query of the paper, verbatim.
-pub const FIGURE1_Q2: &str = "SELECT F.station,
-MIN(D.sample_value), MAX(D.sample_value)
-FROM mseed.dataview
-WHERE F.network = 'NL'
-AND F.channel = 'BHZ'
-GROUP BY F.station;";
+// The paper's Figure-1 queries, from their single source of truth.
+pub use lazyetl::core::{FIGURE1_Q1, FIGURE1_Q2};
 
 /// A generated repository rooted in a fresh temp directory; removed on
 /// drop.

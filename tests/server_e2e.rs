@@ -1,0 +1,383 @@
+//! End-to-end tests of the serving layer: real TCP connections against a
+//! real warehouse, covering the wire protocol's failure modes, admission
+//! control, and served-vs-serial result identity.
+
+mod common;
+
+use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
+use lazyetl::core::{Warehouse, WarehouseConfig, METADATA_QUERY};
+use lazyetl::server::protocol::{self, Frame};
+use lazyetl::server::{Client, Server, ServerConfig, ServerReply};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn quiet_config() -> WarehouseConfig {
+    WarehouseConfig {
+        auto_refresh: false,
+        ..Default::default()
+    }
+}
+
+fn start_server(wh: Arc<Warehouse>, cfg: ServerConfig) -> Server {
+    Server::start(wh, "127.0.0.1:0", cfg).expect("bind loopback")
+}
+
+fn expect_rows(client: &mut Client, sql: &str) -> lazyetl::store::Table {
+    match client.query(sql).expect("transport ok") {
+        ServerReply::Result(r) => r.table,
+        other => panic!("expected rows for {sql:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn served_results_match_serial_eager_baseline() {
+    let repo = figure1_repo("srv_baseline", 512);
+    // Serial eager baseline: the ground truth the lazy served path must
+    // reproduce bit for bit.
+    let eager = Warehouse::open_eager(&repo.root, quiet_config()).unwrap();
+    let mix = [FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY];
+    let baseline: Vec<_> = mix
+        .iter()
+        .map(|sql| (*eager.query(sql).unwrap().table).clone())
+        .collect();
+
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+    let addr = server.addr();
+    std::thread::scope(|s| {
+        for t in 0..4 {
+            let baseline = &baseline;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..3 {
+                    for (i, sql) in mix.iter().enumerate() {
+                        let got = expect_rows(&mut client, sql);
+                        assert_eq!(
+                            got, baseline[i],
+                            "client {t} round {round} query {i}: served lazy result \
+                             diverged from the serial eager baseline"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.queries_ok, 4 * 3 * 3);
+    assert_eq!(report.stats.queries_err, 0);
+    assert_eq!(report.stats.proto_errors, 0);
+}
+
+#[test]
+fn malformed_frames_are_rejected_with_stable_codes() {
+    let repo = figure1_repo("srv_malformed", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            max_request_bytes: 4096,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Each malformed prelude gets an error frame with the right code,
+    // then the connection closes.
+    let cases: Vec<(Vec<u8>, &str)> = vec![
+        // Wrong magic.
+        (vec![0xFF, 0xFF, 1, 0x07, 0, 0, 0, 0], "proto.magic"),
+        // Wrong version.
+        (vec![0x4C, 0x5A, 9, 0x07, 0, 0, 0, 0], "proto.version"),
+        // Unknown frame type.
+        (vec![0x4C, 0x5A, 1, 0x6E, 0, 0, 0, 0], "proto.type"),
+        // Payload larger than the server's request cap.
+        (
+            vec![0x4C, 0x5A, 1, 0x01, 0xFF, 0xFF, 0xFF, 0xFF],
+            "proto.oversize",
+        ),
+        // Query frame whose payload is shorter than its fixed prefix.
+        (
+            vec![0x4C, 0x5A, 1, 0x01, 0, 0, 0, 2, 0, 0],
+            "proto.malformed",
+        ),
+    ];
+    for (bytes, want_code) in cases {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&bytes).unwrap();
+        raw.flush().unwrap();
+        let reply =
+            protocol::read_frame(&mut raw, protocol::DEFAULT_MAX_RESPONSE).expect("error frame");
+        match reply {
+            Frame::Error { code, .. } => assert_eq!(code, want_code, "prelude {bytes:?}"),
+            other => panic!("expected error frame for {bytes:?}, got {other:?}"),
+        }
+        // The connection is closed after a protocol violation.
+        let mut buf = [0u8; 1];
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(raw.read(&mut buf).unwrap_or(0), 0, "connection stays open");
+    }
+
+    // A truncated frame (header promises more than ever arrives) must not
+    // wedge the server: the writer disappears, the server just drops it.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&[0x4C, 0x5A, 1, 0x01, 0, 0, 0, 50, 1, 2, 3])
+            .unwrap();
+        drop(raw);
+    }
+
+    // After all that abuse the pool still answers queries.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.proto_errors, 5);
+}
+
+#[test]
+fn client_disconnect_mid_query_leaves_pool_healthy() {
+    let repo = figure1_repo("srv_disconnect", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            workers: 1,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Send a slow query, then vanish before the reply can be written.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let frame = protocol::frame_bytes(&Frame::Query {
+            delay_ms: 200,
+            sql: METADATA_QUERY.to_string(),
+        })
+        .unwrap();
+        raw.write_all(&frame).unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+    }
+
+    // The single worker digests the orphaned query and then serves this.
+    let mut client = Client::connect(addr).unwrap();
+    let t = expect_rows(&mut client, FIGURE1_Q2);
+    assert!(t.num_rows() > 0);
+
+    // Give the worker time to finish the orphan so the drop is counted.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if stats.dropped_replies >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphaned reply never recorded: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.dropped_replies, 1);
+    assert_eq!(report.stats.queries_ok, 2, "orphan + served query both ran");
+}
+
+#[test]
+fn busy_frame_fires_at_configured_queue_depth() {
+    let repo = figure1_repo("srv_busy", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    wh.query(METADATA_QUERY).unwrap(); // warm so exec time ≈ delay
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Client A occupies the single worker (600ms think time); client B
+    // fills the depth-1 queue; client C must get a BUSY frame.
+    let (a, b) = std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            let mut c = Client::connect(addr).unwrap();
+            c.query_with_delay(METADATA_QUERY, 600).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200)); // A popped by the worker
+        let b = s.spawn(|| {
+            let mut c = Client::connect(addr).unwrap();
+            c.query_with_delay(METADATA_QUERY, 0).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200)); // B sits in the queue
+        let mut c = Client::connect(addr).unwrap();
+        match c.query(METADATA_QUERY).unwrap() {
+            ServerReply::Busy {
+                queue_depth,
+                queued,
+            } => {
+                assert_eq!(queue_depth, 1);
+                assert_eq!(queued, 1);
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+        (a.join().unwrap(), b.join().unwrap())
+    });
+    for (name, reply) in [("A", a), ("B", b)] {
+        assert!(
+            matches!(reply, ServerReply::Result(_)),
+            "client {name} should have gotten rows, got {reply:?}"
+        );
+    }
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.busy_rejections, 1);
+    assert_eq!(report.stats.queries_ok, 2);
+}
+
+#[test]
+fn oversized_query_rejected_without_serving_interruption() {
+    let repo = figure1_repo("srv_oversize", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            max_request_bytes: 1024,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // A legitimate query frame that is simply too big for the cap.
+    let huge_sql = format!(
+        "SELECT network FROM mseed.files WHERE station = '{}'",
+        "x".repeat(4096)
+    );
+    let mut raw = TcpStream::connect(addr).unwrap();
+    let frame = protocol::frame_bytes(&Frame::Query {
+        delay_ms: 0,
+        sql: huge_sql,
+    })
+    .unwrap();
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+    match protocol::read_frame(&mut raw, protocol::DEFAULT_MAX_RESPONSE).unwrap() {
+        Frame::Error { code, message } => {
+            assert_eq!(code, "proto.oversize");
+            assert!(message.contains("1024"), "limit named in {message:?}");
+        }
+        other => panic!("expected oversize error, got {other:?}"),
+    }
+
+    // Under the cap still works on a fresh connection.
+    let mut client = Client::connect(addr).unwrap();
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+    server.stop().unwrap();
+}
+
+#[test]
+fn query_errors_travel_with_codes_and_connection_survives() {
+    let repo = figure1_repo("srv_errors", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    match client.query("SELEKT broken").unwrap() {
+        ServerReply::Error { code, .. } => assert_eq!(code, "query.parse"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    match client.query("SELECT nope FROM mseed.files").unwrap() {
+        ServerReply::Error { code, .. } => assert_eq!(code, "query.plan"),
+        other => panic!("expected plan error, got {other:?}"),
+    }
+    // The same connection keeps serving after in-band errors.
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.queries_err, 2);
+    assert_eq!(report.stats.queries_ok, 1);
+}
+
+#[test]
+fn graceful_shutdown_drains_saves_and_next_boot_is_warm() {
+    let repo = figure1_repo("srv_shutdown", 512);
+    let save_dir = repo.root.join("_snapshot");
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            save_dir: Some(save_dir.clone()),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+    let hot = expect_rows(&mut client, FIGURE1_Q2); // populates the cache
+
+    // Wire-initiated shutdown: ack arrives, drain runs, snapshot lands.
+    client.shutdown().unwrap();
+    let report = server.stop().unwrap();
+    let save = report.save.expect("snapshot configured");
+    assert!(!save.segments.is_empty(), "hot cache persisted");
+    assert!(save_dir.join(lazyetl::core::MANIFEST_NAME).exists());
+
+    // New queries after the shutdown request are refused.
+    let mut late = Client::connect(addr);
+    if let Ok(c) = late.as_mut() {
+        match c.query(METADATA_QUERY) {
+            Ok(ServerReply::Error { code, .. }) => assert_eq!(code, "server.shutdown"),
+            Ok(other) => panic!("late query should be refused, got {other:?}"),
+            Err(_) => {} // listener already gone — equally acceptable
+        }
+    }
+
+    // Second boot from the snapshot: warm cache, zero re-extraction.
+    let wh2 = Arc::new(Warehouse::open_saved(&repo.root, &save_dir, quiet_config()).unwrap());
+    let server2 = start_server(Arc::clone(&wh2), ServerConfig::default());
+    let mut client2 = Client::connect(server2.addr()).unwrap();
+    match client2.query(FIGURE1_Q2).unwrap() {
+        ServerReply::Result(r) => {
+            assert_eq!(r.table, hot, "warm boot answers identically");
+            assert_eq!(
+                r.metrics.records_extracted, 0,
+                "warm boot re-extracts nothing"
+            );
+            assert!(r.metrics.cache_hits > 0, "served from the rehydrated cache");
+        }
+        other => panic!("warm query failed: {other:?}"),
+    }
+    let stats = client2.stats().unwrap();
+    assert_eq!(
+        stats.get("server.records_extracted").map(String::as_str),
+        Some("0")
+    );
+    server2.stop().unwrap();
+}
+
+#[test]
+fn stats_frame_reports_serving_counters() {
+    let repo = figure1_repo("srv_stats", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    expect_rows(&mut client, FIGURE1_Q1);
+    expect_rows(&mut client, FIGURE1_Q1);
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.get("server.queries_ok").map(String::as_str),
+        Some("2")
+    );
+    assert_eq!(
+        stats.get("warehouse.mode").map(String::as_str),
+        Some("lazy")
+    );
+    let files: u64 = stats.get("warehouse.files").unwrap().parse().unwrap();
+    assert_eq!(files as usize, repo.generated.files.len());
+    let hit_rate: f64 = stats.get("server.cache_hit_rate").unwrap().parse().unwrap();
+    assert!((0.0..=1.0).contains(&hit_rate));
+    server.stop().unwrap();
+}

@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh BENCH_*.json against committed
+baselines with per-metric tolerances.
+
+Usage:
+    python3 tools/bench_gate.py [--baseline-dir bench/baselines]
+                                [--scale FACTOR] BENCH_e3.json ...
+    python3 tools/bench_gate.py --write-baselines BENCH_e3.json ...
+
+Dependency-free (stdlib json only). Exit 0 when every gate passes,
+1 on any regression, 2 on usage/schema problems.
+
+Philosophy: counters that the system fully determines (rows, re-extraction
+counts, hit-rate floors, busy-rejection presence, throughput monotonicity
+across worker counts) are gated tightly — they regress only when behaviour
+regresses. Wall-clock metrics are gated loosely (default: >25% throughput
+loss, >4x p99 blow-up) because baselines and CI runners are different
+machines; `--scale` (or BENCH_GATE_SCALE) loosens all timing tolerances
+at once for known-slow environments. The E14 warm sweep is deliberately
+sleep-dominated, so its absolute throughput IS portable and the 25% gate
+has teeth there.
+"""
+
+import json
+import os
+import sys
+
+# Per-experiment gate rules. Fields:
+#   key        row-identity fields (baseline rows matched to current rows)
+#   only       restrict gating to rows matching these field values
+#   equal      behavioural counters that must match the baseline exactly
+#   faster     higher-is-better metrics: (name, max fractional loss)
+#   slower     lower-is-better metrics: (name, max blow-up factor)
+#   floor      metric minimums: (name, min value)
+#   monotone   (metric, order-field): metric must be non-decreasing when
+#              rows are sorted by order-field (2% slack for jitter)
+GATES = {
+    "e3": dict(
+        key=("query",),
+        only={},
+        equal=("records_extracted", "files_extracted"),
+        faster=(),
+        slower=(("lazy_warm_us", 4.0),),
+        floor=(),
+        monotone=None,
+    ),
+    # E12 is CPU-bound (in-process threads, no think time), so its
+    # absolute qps is NOT portable across hosts — no `faster` gate here;
+    # the hit-rate floor and the loose p99 ceiling still catch behavioural
+    # and catastrophic regressions. E14's sweep is sleep-dominated by
+    # design, which is why *it* carries the 25% throughput gate.
+    "e12": dict(
+        key=("shards", "phase"),
+        only={"phase": "warm"},
+        equal=(),
+        faster=(),
+        slower=(("p99_us", 4.0),),
+        floor=(("cache_hit_rate", 0.95),),
+        monotone=None,
+    ),
+    "e13": dict(
+        key=("phase",),
+        only={"phase": "warm"},
+        equal=("records_extracted",),
+        faster=(),
+        slower=(("tti_us", 4.0),),
+        floor=(("cache_hit_rate", 0.99),),
+        monotone=None,
+    ),
+    "e14": dict(
+        key=("phase", "workers"),
+        only={"phase": "warm"},
+        equal=("records_extracted",),
+        faster=(("throughput_qps", 0.25),),
+        slower=(("p99_us", 4.0),),
+        floor=(("cache_hit_rate", 0.95),),
+        monotone=("throughput_qps", "workers"),
+    ),
+}
+
+# E14's admission row exists to prove backpressure fires; gate that too.
+E14_ADMISSION_MIN_BUSY = 1
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema_version") != 1:
+        raise SystemExit(f"{path}: unsupported schema_version {doc.get('schema_version')!r}")
+    return doc
+
+
+def row_key(row, fields):
+    return tuple(row.get(f) for f in fields)
+
+
+def matches(row, only):
+    return all(row.get(k) == v for k, v in only.items())
+
+
+def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
+    rules = GATES[exp]
+    cur_rows = {row_key(r, rules["key"]): r for r in current_doc["rows"] if matches(r, rules["only"])}
+    base_rows = {row_key(r, rules["key"]): r for r in baseline_doc["rows"] if matches(r, rules["only"])}
+
+    for key, base in base_rows.items():
+        cur = cur_rows.get(key)
+        if cur is None:
+            failures.append(f"{exp}{list(key)}: row present in baseline but missing from current run")
+            continue
+        for metric in rules["equal"]:
+            if cur.get(metric) != base.get(metric):
+                failures.append(
+                    f"{exp}{list(key)}.{metric}: behavioural counter changed "
+                    f"(baseline {base.get(metric)!r}, current {cur.get(metric)!r})"
+                )
+        for metric, max_loss in rules["faster"]:
+            b, c = base.get(metric), cur.get(metric)
+            if isinstance(b, (int, float)) and isinstance(c, (int, float)) and b > 0:
+                floor = b * (1.0 - min(0.95, max_loss * scale))
+                if c < floor:
+                    failures.append(
+                        f"{exp}{list(key)}.{metric}: {c:.1f} lost more than "
+                        f"{100 * max_loss * scale:.0f}% vs baseline {b:.1f}"
+                    )
+                else:
+                    notes.append(f"{exp}{list(key)}.{metric}: {c:.1f} (baseline {b:.1f}) ok")
+        for metric, max_factor in rules["slower"]:
+            b, c = base.get(metric), cur.get(metric)
+            if isinstance(b, (int, float)) and isinstance(c, (int, float)) and b > 0:
+                ceiling = b * max_factor * scale
+                if c > ceiling:
+                    failures.append(
+                        f"{exp}{list(key)}.{metric}: {c:.0f} blew past "
+                        f"{max_factor * scale:.1f}x baseline {b:.0f}"
+                    )
+                else:
+                    notes.append(f"{exp}{list(key)}.{metric}: {c:.0f} (baseline {b:.0f}) ok")
+        for metric, minimum in rules["floor"]:
+            c = cur.get(metric)
+            if isinstance(c, (int, float)) and c < minimum:
+                failures.append(f"{exp}{list(key)}.{metric}: {c} below floor {minimum}")
+
+    if rules["monotone"]:
+        metric, order = rules["monotone"]
+        swept = sorted(cur_rows.values(), key=lambda r: r.get(order, 0))
+        for prev, nxt in zip(swept, swept[1:]):
+            p, n = prev.get(metric), nxt.get(metric)
+            if isinstance(p, (int, float)) and isinstance(n, (int, float)) and n < p * 0.98:
+                failures.append(
+                    f"{exp}: {metric} not monotone over {order} "
+                    f"({order}={prev.get(order)}→{nxt.get(order)}: {p:.1f}→{n:.1f})"
+                )
+        if swept:
+            notes.append(
+                f"{exp}: {metric} over {order} " +
+                " → ".join(f"{r.get(metric):.0f}" for r in swept)
+            )
+
+    if exp == "e14":
+        admission = [r for r in current_doc["rows"] if r.get("phase") == "admission"]
+        for row in admission:
+            if row.get("busy_rejections", 0) < E14_ADMISSION_MIN_BUSY:
+                failures.append(
+                    "e14[admission]: no busy rejections — admission control did not fire"
+                )
+            else:
+                notes.append(
+                    f"e14[admission]: {row['busy_rejections']} busy rejections "
+                    f"(rate {row.get('busy_rate', 0):.2f}) ok"
+                )
+
+
+def main(argv):
+    baseline_dir = "bench/baselines"
+    scale = float(os.environ.get("BENCH_GATE_SCALE", "1.0"))
+    write_baselines = False
+    files = []
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--baseline-dir":
+            baseline_dir = argv[i + 1]
+            i += 2
+        elif arg == "--scale":
+            scale = float(argv[i + 1])
+            i += 2
+        elif arg == "--write-baselines":
+            write_baselines = True
+            i += 1
+        else:
+            files.append(arg)
+            i += 1
+    if not files:
+        print(__doc__)
+        return 2
+
+    if write_baselines:
+        os.makedirs(baseline_dir, exist_ok=True)
+        for path in files:
+            doc = load(path)
+            dest = os.path.join(baseline_dir, f"{doc['experiment']}.json")
+            with open(dest, "w") as f:
+                json.dump(doc, f, indent=1)
+                f.write("\n")
+            print(f"baseline written: {dest}")
+        return 0
+
+    failures, notes = [], []
+    for path in files:
+        doc = load(path)
+        exp = doc["experiment"]
+        if exp not in GATES:
+            print(f"(no gate rules for {exp}; skipping {path})")
+            continue
+        base_path = os.path.join(baseline_dir, f"{exp}.json")
+        if not os.path.exists(base_path):
+            failures.append(f"{exp}: baseline {base_path} missing — commit one with --write-baselines")
+            continue
+        baseline = load(base_path)
+        if doc.get("scale") != baseline.get("scale"):
+            raise SystemExit(
+                f"{path}: scale {doc.get('scale')!r} does not match baseline scale "
+                f"{baseline.get('scale')!r} — comparing across scales is meaningless; "
+                f"run the gated scale or refresh the baseline"
+            )
+        gate_experiment(exp, doc, baseline, scale, failures, notes)
+
+    for line in notes:
+        print(f"  ok: {line}")
+    if failures:
+        print(f"\nBENCH GATE FAILED ({len(failures)} regression(s)):")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print(f"\nbench gate passed: {len(notes)} checks, 0 regressions (timing scale {scale})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
