@@ -592,6 +592,86 @@ fn e14_served(scale: ScaleName) {
     emit_json("e14", scale, json_rows);
 }
 
+/// E15: kernel throughput — the identical plan through the row
+/// interpreter vs the typed kernels, plus the zone-map short-circuit.
+/// The acceptance bar (vectorized ≥2x at tiny scale, `rows_pruned` > 0)
+/// is enforced by CI via `tools/bench_gate.py` over `BENCH_e15.json`.
+fn e15_kernels(scale: ScaleName) {
+    use lazyetl_bench::kernels::{bench_rows, run_kernel_bench};
+    let rows = bench_rows(scale);
+    let r = run_kernel_bench(rows, 3);
+    let mut table_rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for k in &r.kernels {
+        table_rows.push(vec![
+            k.kernel.to_string(),
+            rows.to_string(),
+            k.out_rows.to_string(),
+            fmt_dur(k.scalar),
+            fmt_dur(k.vectorized),
+            format!("{:.1}x", k.speedup()),
+            format!("{:.1}M", k.rows_per_sec(k.vectorized) / 1e6),
+            k.results_match.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("kernel", Json::str(k.kernel)),
+            ("rows", Json::Int(k.rows as i64)),
+            ("out_rows", Json::Int(k.out_rows as i64)),
+            ("scalar_us", Json::Int(k.scalar.as_micros() as i64)),
+            ("vectorized_us", Json::Int(k.vectorized.as_micros() as i64)),
+            ("speedup", Json::Num(k.speedup())),
+            ("rows_per_sec_scalar", Json::Num(k.rows_per_sec(k.scalar))),
+            (
+                "rows_per_sec_vectorized",
+                Json::Num(k.rows_per_sec(k.vectorized)),
+            ),
+            ("results_match", Json::Bool(k.results_match)),
+        ]));
+    }
+    let z = &r.zone_map;
+    table_rows.push(vec![
+        "zonemap".to_string(),
+        rows.to_string(),
+        "0".to_string(),
+        fmt_dur(z.unpruned),
+        fmt_dur(z.pruned),
+        format!(
+            "{:.0}x",
+            z.unpruned.as_secs_f64() / z.pruned.as_secs_f64().max(1e-9)
+        ),
+        format!("pruned {}", z.rows_pruned),
+        z.results_match.to_string(),
+    ]);
+    json_rows.push(Json::obj([
+        ("kernel", Json::str("zonemap")),
+        ("rows", Json::Int(z.rows as i64)),
+        ("rows_pruned", Json::Int(z.rows_pruned as i64)),
+        ("pruned_us", Json::Int(z.pruned.as_micros() as i64)),
+        ("unpruned_us", Json::Int(z.unpruned.as_micros() as i64)),
+        ("results_match", Json::Bool(z.results_match)),
+    ]));
+    print_table(
+        &format!(
+            "E15 — Kernel throughput ({} scale, {} rows): scalar interpreter vs typed kernels; \
+             zonemap row = provably-empty filter with pruning off vs on",
+            scale.label(),
+            rows
+        ),
+        &[
+            "kernel",
+            "rows",
+            "out rows",
+            "scalar",
+            "vectorized",
+            "speedup",
+            "Mrows/s vec",
+            "match",
+        ],
+        &table_rows,
+    );
+    emit_json("e15", scale, json_rows);
+}
+
 /// Write `BENCH_<experiment>.json` and tell the operator where it went.
 fn emit_json(experiment: &str, scale: ScaleName, rows: Vec<Json>) {
     match write_bench_file(experiment, scale.label(), rows) {
@@ -931,8 +1011,8 @@ fn e8_observability(scale: ScaleName) {
 }
 
 /// Every experiment the harness knows, in run order.
-const KNOWN_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+const KNOWN_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 fn main() {
@@ -979,6 +1059,7 @@ fn main() {
             "e12" => e12_concurrent(scale),
             "e13" => e13_warm_restart(scale),
             "e14" => e14_served(scale),
+            "e15" => e15_kernels(scale),
             _ => unreachable!("validated above"),
         }
     }

@@ -8,6 +8,7 @@
 
 pub mod concurrent;
 pub mod json;
+pub mod kernels;
 pub mod served;
 pub mod warm_restart;
 

@@ -22,8 +22,8 @@ use crate::error::{EtlError, Result};
 use crate::extract::RecordLocator;
 use lazyetl_query::expr::eval_row;
 use lazyetl_query::plan::LogicalPlan;
-use lazyetl_query::{BinaryOp, Expr};
-use lazyetl_store::{Table, Value};
+use lazyetl_query::Expr;
+use lazyetl_store::Table;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -148,84 +148,22 @@ fn contains_external(plan: &LogicalPlan) -> bool {
 /// Extract a closed sample-time interval implied by the predicates within
 /// the data-side subtree (conjuncts over a `sample_time` column against
 /// timestamp literals).
+///
+/// The bound extraction is [`lazyetl_query::prune::TimeInterval`] — the
+/// same interval logic the executor's zone-map pruning uses — applied to
+/// every `Filter` predicate of the subtree.
 fn sample_time_interval(plan: &LogicalPlan) -> (Option<i64>, Option<i64>) {
-    let mut lo: Option<i64> = None;
-    let mut hi: Option<i64> = None;
-    let mut tighten_lo = |v: i64| lo = Some(lo.map_or(v, |c: i64| c.max(v)));
-    let mut tighten_hi = |v: i64| hi = Some(hi.map_or(v, |c: i64| c.min(v)));
-
-    fn is_sample_time(e: &Expr) -> bool {
-        matches!(e, Expr::Column(name) if name.rsplit('.').next() == Some("sample_time"))
-    }
-    fn ts_lit(e: &Expr) -> Option<i64> {
-        match e {
-            Expr::Literal(Value::Timestamp(us)) => Some(*us),
-            Expr::Literal(Value::Int64(us)) => Some(*us),
-            _ => None,
-        }
-    }
-
-    let mut visit = |pred: &Expr| {
-        let mut conjuncts = Vec::new();
-        lazyetl_query::planner::split_conjunction(pred, &mut conjuncts);
-        for c in conjuncts {
-            match &c {
-                Expr::Binary { left, op, right } => {
-                    if is_sample_time(left) {
-                        if let Some(v) = ts_lit(right) {
-                            match op {
-                                BinaryOp::Gt | BinaryOp::GtEq => tighten_lo(v),
-                                BinaryOp::Lt | BinaryOp::LtEq => tighten_hi(v),
-                                BinaryOp::Eq => {
-                                    tighten_lo(v);
-                                    tighten_hi(v);
-                                }
-                                _ => {}
-                            }
-                        }
-                    } else if is_sample_time(right) {
-                        if let Some(v) = ts_lit(left) {
-                            match op {
-                                // literal OP column: directions flip
-                                BinaryOp::Gt | BinaryOp::GtEq => tighten_hi(v),
-                                BinaryOp::Lt | BinaryOp::LtEq => tighten_lo(v),
-                                BinaryOp::Eq => {
-                                    tighten_lo(v);
-                                    tighten_hi(v);
-                                }
-                                _ => {}
-                            }
-                        }
-                    }
-                }
-                Expr::Between {
-                    expr,
-                    low,
-                    high,
-                    negated: false,
-                } if is_sample_time(expr) => {
-                    if let Some(v) = ts_lit(low) {
-                        tighten_lo(v);
-                    }
-                    if let Some(v) = ts_lit(high) {
-                        tighten_hi(v);
-                    }
-                }
-                _ => {}
-            }
-        }
-    };
-
-    fn walk(plan: &LogicalPlan, visit: &mut impl FnMut(&Expr)) {
+    let mut interval = lazyetl_query::prune::TimeInterval::unconstrained();
+    fn walk(plan: &LogicalPlan, interval: &mut lazyetl_query::prune::TimeInterval) {
         if let LogicalPlan::Filter { predicate, .. } = plan {
-            visit(predicate);
+            interval.tighten_from_predicate(predicate, "sample_time");
         }
         for c in plan.children() {
-            walk(c, visit);
+            walk(c, interval);
         }
     }
-    walk(plan, &mut visit);
-    (lo, hi)
+    walk(plan, &mut interval);
+    (interval.lo, interval.hi)
 }
 
 /// Map the data-side join expressions onto (file_id, seq_no) positions.
@@ -484,7 +422,8 @@ fn rewrite_node(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lazyetl_store::{DataType, Field, Schema};
+    use lazyetl_query::BinaryOp;
+    use lazyetl_store::{DataType, Field, Schema, Value};
 
     fn r_table() -> Table {
         let mut t = Table::empty(crate::schema::records_schema());

@@ -238,6 +238,9 @@ pub struct WarehouseStats {
     /// Saved cache segments attached but not yet rehydrated (warm
     /// restarts only; 0 on cold opens and after first touch).
     pub pending_segments: usize,
+    /// Executor counters: rows scanned/pruned, vectorized batches and
+    /// scalar fallbacks, cumulative across every query this warehouse ran.
+    pub exec: lazyetl_query::ExecCounters,
 }
 
 /// Query result: the rows plus the diagnostics.
@@ -417,6 +420,9 @@ pub struct Warehouse {
     generation: AtomicU64,
     /// Queries served since this warehouse opened (successful or not).
     queries: AtomicU64,
+    /// Executor counters (rows scanned/pruned, vectorized batches),
+    /// shared by reference with every query's execution context.
+    exec_metrics: lazyetl_query::ExecMetrics,
     log: EtlLog,
     extractor: FormatRegistry,
     load_report: LoadReport,
@@ -529,6 +535,7 @@ impl Warehouse {
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
             generation: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            exec_metrics: lazyetl_query::ExecMetrics::new(),
             config,
             state: RwLock::new(WarehouseState {
                 repo,
@@ -634,6 +641,7 @@ impl Warehouse {
             cache_used_bytes: snap.used_bytes,
             cache_budget_bytes: snap.budget_bytes,
             pending_segments: self.cache.pending_segments(),
+            exec: self.exec_metrics.snapshot(),
         }
     }
 
@@ -765,8 +773,10 @@ impl Warehouse {
                 let use_cache = self.config.use_cache;
                 let access = self.config.access;
                 let threads = self.config.extraction_threads;
+                let metrics = &self.exec_metrics;
                 let exec_meta = move |p: &LogicalPlan| -> Result<Arc<Table>> {
-                    execute(p, &ExecContext::new(&state.catalog)).map_err(EtlError::Query)
+                    execute(p, &ExecContext::new(&state.catalog).with_metrics(metrics))
+                        .map_err(EtlError::Query)
                 };
                 let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
                     fetch_pairs(
@@ -816,8 +826,11 @@ impl Warehouse {
         };
 
         // Execute.
-        let table =
-            execute(&final_plan, &ExecContext::new(&state.catalog)).map_err(EtlError::Query)?;
+        let table = execute(
+            &final_plan,
+            &ExecContext::new(&state.catalog).with_metrics(&self.exec_metrics),
+        )
+        .map_err(EtlError::Query)?;
         if let Some(fp) = fingerprint {
             let bytes = table.byte_size();
             self.qcache.insert(fp, table.clone(), generation);
@@ -1116,6 +1129,7 @@ impl Warehouse {
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
             generation: AtomicU64::new(0),
             queries: AtomicU64::new(0),
+            exec_metrics: lazyetl_query::ExecMetrics::new(),
             config,
             state: RwLock::new(state),
             log,

@@ -7,7 +7,10 @@
 //! complete table that can be cached and reused.
 
 use crate::error::{QueryError, Result};
-use crate::expr::{eval_expr, eval_predicate_mask, infer_type, AggFunc, Expr};
+use crate::expr::{
+    eval_expr_opts, eval_predicate_mask_opts, infer_type, AggFunc, EvalOptions, Expr,
+};
+use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
 use lazyetl_store::{Catalog, Column, DataType, Field, GroupKey, Schema, Table, Value};
 use std::collections::hash_map::Entry;
@@ -26,20 +29,57 @@ pub trait ExternalTableProvider {
     fn full_scan(&self, name: &str) -> Result<Arc<Table>>;
 }
 
-/// Execution context: the catalog plus an optional external-table provider.
+/// Execution context: the catalog, an optional external-table provider,
+/// and the execution-mode knobs (vectorization, zone-map pruning,
+/// counters).
 pub struct ExecContext<'a> {
     /// Catalog with resident tables.
     pub catalog: &'a Catalog,
     /// Provider for external scans (lazy ETL), if any.
     pub external: Option<&'a dyn ExternalTableProvider>,
+    /// Cumulative counters to update while executing (shared across
+    /// queries by the warehouse). `None` executes uncounted.
+    pub metrics: Option<&'a ExecMetrics>,
+    /// Run expression batches through the typed kernels (with scalar
+    /// fallback) and pack integer join keys. `false` pins the
+    /// row-at-a-time reference paths — the E15 ablation baseline.
+    pub vectorized: bool,
+    /// Short-circuit a filter directly above a table scan when the
+    /// table's zone map proves the predicate empty.
+    pub zone_map_pruning: bool,
 }
 
 impl<'a> ExecContext<'a> {
-    /// Context over a catalog with no external tables.
+    /// Context over a catalog with no external tables; vectorized
+    /// execution and zone-map pruning are on, counters off.
     pub fn new(catalog: &'a Catalog) -> ExecContext<'a> {
         ExecContext {
             catalog,
             external: None,
+            metrics: None,
+            vectorized: true,
+            zone_map_pruning: true,
+        }
+    }
+
+    /// Attach cumulative executor counters.
+    pub fn with_metrics(mut self, metrics: &'a ExecMetrics) -> ExecContext<'a> {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The expression-evaluation options implied by this context.
+    fn eval_opts(&self) -> EvalOptions<'a> {
+        EvalOptions {
+            vectorized: self.vectorized,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Count rows produced by a leaf scan.
+    fn count_scan(&self, rows: usize) {
+        if let Some(m) = self.metrics {
+            m.add_rows_scanned(rows as u64);
         }
     }
 }
@@ -47,18 +87,29 @@ impl<'a> ExecContext<'a> {
 /// Execute a logical plan to a materialized table.
 pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> {
     match plan {
-        LogicalPlan::TableScan { table, .. } => ctx
-            .catalog
-            .table_arc(table)
-            .ok_or_else(|| QueryError::Execution(format!("table {table:?} disappeared"))),
+        LogicalPlan::TableScan { table, .. } => {
+            let t = ctx
+                .catalog
+                .table_arc(table)
+                .ok_or_else(|| QueryError::Execution(format!("table {table:?} disappeared")))?;
+            ctx.count_scan(t.num_rows());
+            Ok(t)
+        }
         LogicalPlan::ExternalScan { name, .. } => match ctx.external {
-            Some(p) => p.full_scan(name),
+            Some(p) => {
+                let t = p.full_scan(name)?;
+                ctx.count_scan(t.num_rows());
+                Ok(t)
+            }
             None => Err(QueryError::Execution(format!(
                 "external table {name:?} reached the executor without a provider \
                  (lazy rewriter not engaged)"
             ))),
         },
-        LogicalPlan::InlineData { table, .. } => Ok(table.clone()),
+        LogicalPlan::InlineData { table, .. } => {
+            ctx.count_scan(table.num_rows());
+            Ok(table.clone())
+        }
         LogicalPlan::OneRow => {
             let schema = Schema::new(vec![Field::new("__onerow", DataType::Bool)])
                 .map_err(QueryError::Store)?;
@@ -68,8 +119,29 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> 
             Ok(Arc::new(t))
         }
         LogicalPlan::Filter { input, predicate } => {
+            // Zone-map pruning: a filter directly above a resident scan
+            // whose predicate provably excludes the table's [min, max]
+            // range short-circuits to an empty result — the rows are
+            // never touched. `predicate_excludes` is conservative, so
+            // results never change, only the work done.
+            // The shape check comes first: predicates with no decidable
+            // conjunct can never prune, so their tables never pay the
+            // zone-map statistics pass.
+            if ctx.zone_map_pruning && crate::prune::has_prunable_conjunct(predicate) {
+                if let LogicalPlan::TableScan { table, schema } = &**input {
+                    if let Some(stats) = ctx.catalog.zone_map(table) {
+                        if crate::prune::predicate_excludes(predicate, &stats) {
+                            let pruned: usize = stats.first().map_or(0, |s| s.count);
+                            if let Some(m) = ctx.metrics {
+                                m.add_rows_pruned(pruned as u64);
+                            }
+                            return Ok(Arc::new(Table::empty(schema.clone())));
+                        }
+                    }
+                }
+            }
             let table = execute(input, ctx)?;
-            let mask = eval_predicate_mask(predicate, &table)?;
+            let mask = eval_predicate_mask_opts(predicate, &table, &ctx.eval_opts())?;
             Ok(Arc::new(table.filter(&mask).map_err(QueryError::Store)?))
         }
         LogicalPlan::Project { input, exprs } => {
@@ -77,7 +149,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> 
             let mut fields = Vec::with_capacity(exprs.len());
             let mut columns = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
-                let col = eval_expr(e, &table)?;
+                let col = eval_expr_opts(e, &table, &ctx.eval_opts())?;
                 fields.push(Field::nullable(name, col.data_type()));
                 columns.push(col);
             }
@@ -99,7 +171,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> 
         } => execute_join(left, right, on, right_label, ctx),
         LogicalPlan::Sort { input, keys } => {
             let table = execute(input, ctx)?;
-            let indices = sort_indices(&table, keys)?;
+            let indices = sort_indices(&table, keys, &ctx.eval_opts())?;
             Ok(Arc::new(table.take(&indices).map_err(QueryError::Store)?))
         }
         LogicalPlan::Limit { input, n } => {
@@ -212,6 +284,107 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Typed update for a non-NULL integer-family value (`dt` distinguishes
+    /// `Int32`/`Int64`/`Timestamp` so MIN/MAX reproduce the input type).
+    /// Semantics match [`Accumulator::update`] with the boxed `Value`:
+    /// integers feed SUM/AVG both ways; no allocation anywhere.
+    #[inline]
+    fn update_i64(&mut self, x: i64, dt: DataType) -> Result<()> {
+        let make = |x: i64| match dt {
+            DataType::Int32 => Value::Int32(x as i32),
+            DataType::Timestamp => Value::Timestamp(x),
+            _ => Value::Int64(x),
+        };
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::SumInt { sum, any } => {
+                *sum = sum
+                    .checked_add(x)
+                    .ok_or_else(|| QueryError::Execution("SUM overflow".into()))?;
+                *any = true;
+            }
+            Accumulator::SumFloat { sum, any } => {
+                *sum += x as f64;
+                *any = true;
+            }
+            Accumulator::Avg { sum, n } => {
+                *sum += x as f64;
+                *n += 1;
+            }
+            Accumulator::Min { best } => {
+                if best.as_ref().and_then(|b| b.as_i64()).is_none_or(|b| x < b) {
+                    *best = Some(make(x));
+                }
+            }
+            Accumulator::Max { best } => {
+                if best.as_ref().and_then(|b| b.as_i64()).is_none_or(|b| x > b) {
+                    *best = Some(make(x));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Typed update for a non-NULL float. SUM over an integer-typed
+    /// accumulator skips floats, exactly like the boxed path
+    /// (`Value::as_i64` answers `None` for `Float64`).
+    #[inline]
+    fn update_f64(&mut self, x: f64) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::SumInt { .. } => {}
+            Accumulator::SumFloat { sum, any } => {
+                *sum += x;
+                *any = true;
+            }
+            Accumulator::Avg { sum, n } => {
+                *sum += x;
+                *n += 1;
+            }
+            Accumulator::Min { best } => {
+                let replace = match best.as_ref().and_then(|b| b.as_f64()) {
+                    None => true,
+                    Some(b) => x.total_cmp(&b).is_lt(),
+                };
+                if replace {
+                    *best = Some(Value::Float64(x));
+                }
+            }
+            Accumulator::Max { best } => {
+                let replace = match best.as_ref().and_then(|b| b.as_f64()) {
+                    None => true,
+                    Some(b) => x.total_cmp(&b).is_gt(),
+                };
+                if replace {
+                    *best = Some(Value::Float64(x));
+                }
+            }
+        }
+    }
+
+    /// Typed update for a non-NULL string: MIN/MAX compare the **borrowed**
+    /// `&str` and clone only when the champion actually changes — the boxed
+    /// path had to clone every row's string just to look at it.
+    #[inline]
+    fn update_str(&mut self, s: &str) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            // Strings feed neither SUM nor AVG (as_i64/as_f64 are None).
+            Accumulator::SumInt { .. } | Accumulator::SumFloat { .. } | Accumulator::Avg { .. } => {
+            }
+            Accumulator::Min { best } => {
+                if best.as_ref().and_then(|b| b.as_str()).is_none_or(|b| s < b) {
+                    *best = Some(Value::Utf8(s.to_string()));
+                }
+            }
+            Accumulator::Max { best } => {
+                if best.as_ref().and_then(|b| b.as_str()).is_none_or(|b| s > b) {
+                    *best = Some(Value::Utf8(s.to_string()));
+                }
+            }
+        }
+    }
+
     fn finish(&self) -> Value {
         match self {
             Accumulator::Count { n } => Value::Int64(*n),
@@ -295,11 +468,16 @@ fn execute_aggregate(
     // whole columns once, then fold rows over the materialized columns.
     let group_cols: Vec<Column> = group
         .iter()
-        .map(|(ge, _)| eval_expr(ge, &table))
+        .map(|(ge, _)| eval_expr_opts(ge, &table, &ctx.eval_opts()))
         .collect::<Result<_>>()?;
     let arg_cols: Vec<Option<Column>> = specs
         .iter()
-        .map(|s| s.arg.as_ref().map(|a| eval_expr(a, &table)).transpose())
+        .map(|s| {
+            s.arg
+                .as_ref()
+                .map(|a| eval_expr_opts(a, &table, &ctx.eval_opts()))
+                .transpose()
+        })
         .collect::<Result<_>>()?;
 
     // Assign each row to a group id. Specialized keying paths avoid
@@ -421,27 +599,90 @@ fn execute_aggregate(
         }
     }
 
-    // Accumulate.
-    for row in 0..n_rows {
-        let state = &mut states[group_of_row[row] as usize];
-        for (i, arg_col) in arg_cols.iter().enumerate() {
-            let v = match arg_col {
-                Some(col) => col.get(row).map_err(QueryError::Store)?,
-                None => Value::Int64(1), // COUNT(*) counts every row
-            };
-            if let Some(seen) = &mut state.distinct_seen[i] {
-                if v.is_null() || !seen.insert(v.group_key()) {
-                    continue;
+    // Accumulate, one aggregate (= one argument column) at a time. With
+    // vectorized execution on, a typed column sweeps through the matching
+    // `update_*` method — the accumulator reads raw slice values and never
+    // boxes a `Value` per row (the old path cloned every `Utf8` cell just
+    // to compare it for MIN/MAX). DISTINCT aggregates and kernel-less
+    // types keep the boxed reference loop.
+    for (i, arg_col) in arg_cols.iter().enumerate() {
+        match arg_col {
+            None => {
+                // COUNT(*): every row counts one.
+                for row in 0..n_rows {
+                    let state = &mut states[group_of_row[row] as usize];
+                    let v = Value::Int64(1);
+                    if let Some(seen) = &mut state.distinct_seen[i] {
+                        if !seen.insert(v.group_key()) {
+                            continue;
+                        }
+                    }
+                    state.accs[i].update(&v)?;
                 }
             }
-            state.accs[i].update(&v)?;
+            Some(col) => {
+                use lazyetl_store::ColumnData as CD;
+                let typed = !specs[i].distinct && ctx.vectorized;
+                match col.data() {
+                    CD::Int64(data) | CD::Timestamp(data) if typed => {
+                        let dt = col.data_type();
+                        for (row, &x) in data.iter().enumerate() {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            states[group_of_row[row] as usize].accs[i].update_i64(x, dt)?;
+                        }
+                    }
+                    CD::Int32(data) if typed => {
+                        for (row, &x) in data.iter().enumerate() {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            states[group_of_row[row] as usize].accs[i]
+                                .update_i64(x as i64, DataType::Int32)?;
+                        }
+                    }
+                    CD::Float64(data) if typed => {
+                        for (row, &x) in data.iter().enumerate() {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            states[group_of_row[row] as usize].accs[i].update_f64(x);
+                        }
+                    }
+                    CD::Utf8(data) if typed => {
+                        for (row, s) in data.iter().enumerate() {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            states[group_of_row[row] as usize].accs[i].update_str(s);
+                        }
+                    }
+                    _ => {
+                        // Boxed reference loop: DISTINCT bookkeeping, Bool
+                        // columns, and the non-vectorized ablation.
+                        for row in 0..n_rows {
+                            let state = &mut states[group_of_row[row] as usize];
+                            let v = col.get(row).map_err(QueryError::Store)?;
+                            if let Some(seen) = &mut state.distinct_seen[i] {
+                                if v.is_null() || !seen.insert(v.group_key()) {
+                                    continue;
+                                }
+                            }
+                            state.accs[i].update(&v)?;
+                        }
+                    }
+                }
+            }
         }
     }
 
     // Global aggregate over empty input still yields one row (created
     // above by Keying::Global even when n_rows == 0).
 
-    // Build output table.
+    // Build output table: one single-pass typed constructor per column
+    // instead of a per-row `append_row` (which re-checks types cell by
+    // cell).
     let mut fields = Vec::with_capacity(group.len() + aggregates.len());
     for (e, name) in group {
         fields.push(Field::nullable(name, infer_type(e, in_schema)?));
@@ -450,13 +691,28 @@ fn execute_aggregate(
         fields.push(Field::nullable(name, infer_type(e, in_schema)?));
     }
     let schema = Schema::new(fields).map_err(QueryError::Store)?;
-    let mut out = Table::empty(schema);
+    let n_cols = group.len() + aggregates.len();
+    let mut col_vals: Vec<Vec<Value>> = (0..n_cols)
+        .map(|_| Vec::with_capacity(states.len()))
+        .collect();
     for state in &states {
-        let mut row = state.group_values.clone();
-        row.extend(state.accs.iter().map(|a| a.finish()));
-        out.append_row(row).map_err(QueryError::Store)?;
+        for (j, v) in state.group_values.iter().enumerate() {
+            col_vals[j].push(v.clone());
+        }
+        for (j, a) in state.accs.iter().enumerate() {
+            col_vals[group.len() + j].push(a.finish());
+        }
     }
-    Ok(Arc::new(out))
+    let columns: Vec<Column> = schema
+        .fields
+        .iter()
+        .zip(&col_vals)
+        .map(|(f, vals)| Column::from_values(f.data_type, vals))
+        .collect::<lazyetl_store::Result<_>>()
+        .map_err(QueryError::Store)?;
+    Ok(Arc::new(
+        Table::new(schema, columns).map_err(QueryError::Store)?,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -475,11 +731,11 @@ fn execute_join(
     // Column-at-a-time: materialize the key columns of both sides once.
     let right_keys: Vec<Column> = on
         .iter()
-        .map(|(_, re)| eval_expr(re, &rt))
+        .map(|(_, re)| eval_expr_opts(re, &rt, &ctx.eval_opts()))
         .collect::<Result<_>>()?;
     let left_keys: Vec<Column> = on
         .iter()
-        .map(|(le, _)| eval_expr(le, &lt))
+        .map(|(le, _)| eval_expr_opts(le, &lt, &ctx.eval_opts()))
         .collect::<Result<_>>()?;
 
     // Build on the smaller input, probe the larger; emitted index pairs
@@ -491,13 +747,15 @@ fn execute_join(
         (&rt, &right_keys, &lt, &left_keys)
     };
     let (mut probe_idx, mut build_idx) = (Vec::new(), Vec::new());
-    match (
-        int_key_rows(bkeys, bt.num_rows()),
-        int_key_rows(pkeys, pt.num_rows()),
-    ) {
+    let packed = if ctx.vectorized {
+        pack_int_keys(bkeys, pkeys)
+    } else {
+        None
+    };
+    match packed {
         // All keys integer-typed (the file_id/seq_no joins of the
         // warehouse schema): hash on packed native integers.
-        (Some(bk), Some(pk)) => {
+        Some((bk, pk)) => {
             let mut build: HashMap<u128, Vec<usize>> = HashMap::with_capacity(bt.num_rows());
             for (row, key) in bk.iter().enumerate() {
                 if let Some(k) = key {
@@ -516,7 +774,7 @@ fn execute_join(
             }
         }
         // Generic path: normalized GroupKey vectors.
-        _ => {
+        None => {
             let mut build: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
             'rows: for row in 0..bt.num_rows() {
                 let mut key = Vec::with_capacity(on.len());
@@ -566,48 +824,116 @@ fn execute_join(
     ))
 }
 
-/// Pack up to two integer-typed join key columns into one `u128` per row
-/// (`None` = a NULL key, which never joins). Returns `None` when any key
-/// column is not integer-typed or more than two keys are present.
-fn int_key_rows(keys: &[Column], n_rows: usize) -> Option<Vec<Option<u128>>> {
-    use lazyetl_store::ColumnData as CD;
-    if keys.is_empty() || keys.len() > 2 {
+/// One packed `u128` per row; `None` marks a row with a NULL key.
+type PackedKeys = Vec<Option<u128>>;
+
+/// Pack the integer-typed join keys of **both** sides into one `u128` per
+/// row (`None` = a row with a NULL key, which never joins).
+///
+/// One or two keys pack as fixed 64-bit lanes. Three or more keys use a
+/// shared range encoding: per key, the min/max across *both* sides fixes
+/// an offset and a bit width (`ceil(log2(range + 1))`); the per-row
+/// deltas then concatenate into the `u128`. Because build and probe rows
+/// encode with the same parameters, the packing is a bijection over the
+/// observed key space — equal tuples collide exactly, distinct tuples
+/// never do. Returns `None` (→ generic `GroupKey` hashing) when any key
+/// column is non-integer or the widths exceed 128 bits.
+/// Borrowed-or-widened i64 views of one side's key columns.
+type KeySlices<'a> = [std::borrow::Cow<'a, [i64]>];
+
+fn pack_int_keys(build: &[Column], probe: &[Column]) -> Option<(PackedKeys, PackedKeys)> {
+    use std::borrow::Cow;
+    if build.is_empty() {
         return None;
     }
-    let as_i64 = |col: &Column| -> Option<Vec<i64>> {
-        match col.data() {
-            CD::Int64(v) | CD::Timestamp(v) => Some(v.clone()),
-            CD::Int32(v) => Some(v.iter().map(|&x| x as i64).collect()),
-            _ => None,
-        }
+    let as_i64 = lazyetl_store::kernels::as_i64_slice;
+    let bvals: Vec<Cow<'_, [i64]>> = build.iter().map(as_i64).collect::<Option<_>>()?;
+    let pvals: Vec<Cow<'_, [i64]>> = probe.iter().map(as_i64).collect::<Option<_>>()?;
+    let k = build.len();
+
+    let rows = |cols: &[Column],
+                vals: &KeySlices<'_>,
+                pack: &dyn Fn(&KeySlices<'_>, usize) -> u128|
+     -> Vec<Option<u128>> {
+        let n = vals.first().map_or(0, |v| v.len());
+        (0..n)
+            .map(|row| {
+                if cols.iter().any(|c| c.is_null(row)) {
+                    None
+                } else {
+                    Some(pack(vals, row))
+                }
+            })
+            .collect()
     };
-    let first = as_i64(&keys[0])?;
-    let second = match keys.get(1) {
-        Some(col) => Some(as_i64(col)?),
-        None => None,
-    };
-    let mut out = Vec::with_capacity(n_rows);
-    for row in 0..n_rows {
-        let null = keys.iter().any(|k| k.is_null(row));
-        if null {
-            out.push(None);
-            continue;
-        }
-        let hi = first[row] as u64 as u128;
-        let lo = second.as_ref().map_or(0, |s| s[row] as u64 as u128);
-        out.push(Some(hi << 64 | lo));
+
+    if k <= 2 {
+        // Fixed lanes: each i64 keeps its full 64 bits.
+        let pack = |vals: &KeySlices<'_>, row: usize| -> u128 {
+            let hi = vals[0][row] as u64 as u128;
+            let lo = vals.get(1).map_or(0, |v| v[row] as u64 as u128);
+            hi << 64 | lo
+        };
+        return Some((rows(build, &bvals, &pack), rows(probe, &pvals, &pack)));
     }
-    Some(out)
+
+    // ≥3 keys: range-encode. Min/max per key across both sides; a key's
+    // lane is exactly wide enough for (max - min). NULL rows are skipped
+    // in the fold — they never pack (and never join), and their padded
+    // zero payloads would otherwise drag lanes wide enough to spuriously
+    // overflow the 128-bit budget.
+    let mut offsets = Vec::with_capacity(k);
+    let mut widths = Vec::with_capacity(k);
+    let mut total = 0u32;
+    for i in 0..k {
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        let mut fold = |col: &Column, vals: &[i64]| {
+            for (row, &v) in vals.iter().enumerate() {
+                if col.is_null(row) {
+                    continue;
+                }
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        };
+        fold(&build[i], &bvals[i]);
+        fold(&probe[i], &pvals[i]);
+        if lo > hi {
+            // No non-NULL values on either side: nothing will join.
+            (lo, hi) = (0, 0);
+        }
+        let range = (hi as i128 - lo as i128) as u128;
+        let width = 128 - range.leading_zeros(); // bits to hold `range`
+        offsets.push(lo);
+        widths.push(width);
+        total += width;
+    }
+    if total > 128 {
+        return None; // key space too wide for one u128: generic path
+    }
+    let pack = move |vals: &KeySlices<'_>, row: usize| -> u128 {
+        let mut acc = 0u128;
+        for i in 0..k {
+            let delta = (vals[i][row] as i128 - offsets[i] as i128) as u128;
+            acc = (acc << widths[i]) | delta;
+        }
+        acc
+    };
+    Some((rows(build, &bvals, &pack), rows(probe, &pvals, &pack)))
 }
 
 // ---------------------------------------------------------------------------
 // Sort
 // ---------------------------------------------------------------------------
 
-fn sort_indices(table: &Table, keys: &[(Expr, bool)]) -> Result<Vec<usize>> {
+fn sort_indices(
+    table: &Table,
+    keys: &[(Expr, bool)],
+    opts: &EvalOptions<'_>,
+) -> Result<Vec<usize>> {
     let mut key_cols: Vec<Column> = Vec::with_capacity(keys.len());
     for (e, _) in keys {
-        key_cols.push(eval_expr(e, table)?);
+        key_cols.push(eval_expr_opts(e, table, opts)?);
     }
     let mut indices: Vec<usize> = (0..table.num_rows()).collect();
     let mut fail: Option<QueryError> = None;
@@ -871,7 +1197,10 @@ mod tests {
     }
 
     #[test]
-    fn three_key_join_falls_back_to_generic() {
+    fn three_key_join_packs_integers() {
+        // ≥3 integer keys take the range-encoded u128 packing (the
+        // Figure-1 mix must never hit the generic path); results are
+        // identical to the generic GroupKey build either way.
         let mut c = Catalog::new();
         let schema = Schema::new(vec![
             Field::new("k1", DataType::Int64),
@@ -885,24 +1214,154 @@ mod tests {
             a.append_row(vec![
                 Value::Int64(i % 2),
                 Value::Int64(i % 3),
-                Value::Int64(i),
+                Value::Int64(i - 1_000_000), // exercise the offset encoding
             ])
             .unwrap();
             b.append_row(vec![
                 Value::Int64(i % 2),
                 Value::Int64(i % 3),
-                Value::Int64(i),
+                Value::Int64(i - 1_000_000),
             ])
             .unwrap();
         }
         c.create_table("a", a).unwrap();
         c.create_table("b", b).unwrap();
-        let t = run(
-            "SELECT COUNT(*) FROM a JOIN b ON a.k1 = b.k1 AND a.k2 = b.k2 AND a.k3 = b.k3",
-            &c,
-        );
-        // Exact triple matches only: 6 rows.
+        let sql = "SELECT COUNT(*) FROM a JOIN b ON a.k1 = b.k1 AND a.k2 = b.k2 AND a.k3 = b.k3";
+        // Exact triple matches only: 6 rows — on both paths.
+        let t = run(sql, &c);
         assert_eq!(t.row(0).unwrap()[0], Value::Int64(6));
+        let src = TableSource::new(&c);
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let scalar_ctx = ExecContext {
+            vectorized: false,
+            ..ExecContext::new(&c)
+        };
+        let t2 = execute(&plan, &scalar_ctx).unwrap();
+        assert_eq!(t2.row(0).unwrap()[0], Value::Int64(6));
+    }
+
+    #[test]
+    fn pack_int_keys_shapes() {
+        let col = |vals: &[i64]| {
+            Column::from_values(
+                DataType::Int64,
+                &vals.iter().map(|&v| Value::Int64(v)).collect::<Vec<_>>(),
+            )
+            .unwrap()
+        };
+        // Three keys with extreme-ish ranges still pack (≤128 bits total).
+        let b = vec![col(&[1, 2]), col(&[10, 20]), col(&[-5, 5])];
+        let p = vec![col(&[2]), col(&[20]), col(&[5])];
+        let (bk, pk) = pack_int_keys(&b, &p).unwrap();
+        assert_eq!(bk[1], pk[0], "equal tuples collide");
+        assert_ne!(bk[0], bk[1], "distinct tuples do not");
+        // Three full-range i64 keys exceed 128 bits: generic fallback.
+        let wide = vec![
+            col(&[i64::MIN, i64::MAX]),
+            col(&[i64::MIN, i64::MAX]),
+            col(&[i64::MIN, i64::MAX]),
+        ];
+        assert!(pack_int_keys(&wide, &wide).is_none());
+        // NULL keys never pack.
+        let withnull =
+            Column::from_values(DataType::Int64, &[Value::Int64(1), Value::Null]).unwrap();
+        let b = vec![withnull.clone(), col(&[7, 8]), col(&[0, 0])];
+        let (bk, _) = pack_int_keys(&b, &b).unwrap();
+        assert!(bk[0].is_some());
+        assert!(bk[1].is_none());
+        // Non-integer key type: no packing.
+        let s = Column::from_values(DataType::Utf8, &[Value::Utf8("x".into())]).unwrap();
+        assert!(pack_int_keys(&[s.clone(), s.clone(), s], &[]).is_none());
+        // NULL rows' zero padding must not widen lanes: three
+        // large-magnitude keys still fit the 128-bit budget because the
+        // NULL row is skipped when folding min/max.
+        let big = 1_200_000_000_000_000i64;
+        let nullable_big = |off: i64| {
+            Column::from_values(DataType::Int64, &[Value::Int64(big + off), Value::Null]).unwrap()
+        };
+        let b = vec![nullable_big(0), nullable_big(1), nullable_big(2)];
+        let p = vec![nullable_big(0), nullable_big(1), nullable_big(2)];
+        let (bk, pk) = pack_int_keys(&b, &p).expect("null padding must not widen lanes");
+        assert_eq!(bk[0], pk[0]);
+        assert!(bk[1].is_none(), "the NULL row still never packs");
+    }
+
+    #[test]
+    fn zone_map_pruning_short_circuits_scan() {
+        use crate::metrics::ExecMetrics;
+        let c = demo_catalog();
+        let metrics = ExecMetrics::new();
+        let src = TableSource::new(&c);
+        // samples.sample_value spans [0, 39]; > 1000 is provably empty.
+        let sql = "SELECT sample_value FROM samples WHERE sample_value > 1000.0";
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let ctx = ExecContext::new(&c).with_metrics(&metrics);
+        let t = execute(&plan, &ctx).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.rows_pruned, 40, "whole scan skipped");
+        assert_eq!(snap.rows_scanned, 0, "pruned scan never produced rows");
+        // Pruning off: same rows, but the scan actually runs.
+        let metrics2 = ExecMetrics::new();
+        let ctx = ExecContext {
+            zone_map_pruning: false,
+            ..ExecContext::new(&c).with_metrics(&metrics2)
+        };
+        let t2 = execute(&plan, &ctx).unwrap();
+        assert_eq!(t2.num_rows(), 0);
+        let snap2 = metrics2.snapshot();
+        assert_eq!(snap2.rows_pruned, 0);
+        assert_eq!(snap2.rows_scanned, 40);
+        // A satisfiable predicate is never pruned.
+        let sql = "SELECT sample_value FROM samples WHERE sample_value > 29.0";
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let t3 = execute(&plan, &ExecContext::new(&c).with_metrics(&metrics)).unwrap();
+        assert!(t3.num_rows() > 0);
+    }
+
+    #[test]
+    fn pruning_never_masks_sibling_errors() {
+        // `v > t` (Float64 vs Timestamp) is unorderable and must raise
+        // the same execution error whether or not the provably-empty
+        // sibling conjunct could have pruned the scan.
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("v", DataType::Float64),
+            Field::new("t", DataType::Timestamp),
+        ])
+        .unwrap();
+        let mut t = Table::empty(schema);
+        t.append_row(vec![Value::Float64(1.0), Value::Timestamp(100)])
+            .unwrap();
+        c.create_table("s", t).unwrap();
+        let src = TableSource::new(&c);
+        let sql = "SELECT v FROM s WHERE v > t AND t > '2030-01-01T00:00:00.000'";
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let pruned = execute(&plan, &ExecContext::new(&c));
+        let unpruned = execute(
+            &plan,
+            &ExecContext {
+                zone_map_pruning: false,
+                ..ExecContext::new(&c)
+            },
+        );
+        assert!(unpruned.is_err(), "unorderable comparison must error");
+        assert!(pruned.is_err(), "pruning must not swallow the error");
+    }
+
+    #[test]
+    fn vectorized_batches_are_counted() {
+        use crate::metrics::ExecMetrics;
+        let c = demo_catalog();
+        let metrics = ExecMetrics::new();
+        let src = TableSource::new(&c);
+        let sql = "SELECT uri FROM files WHERE network = 'NL' AND channel = 'BHZ'";
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let t = execute(&plan, &ExecContext::new(&c).with_metrics(&metrics)).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        let snap = metrics.snapshot();
+        assert!(snap.vectorized_batches > 0, "filter ran on the kernels");
+        assert_eq!(snap.rows_scanned, 4, "files table scanned once");
     }
 
     #[test]

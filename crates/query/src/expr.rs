@@ -908,15 +908,59 @@ pub fn eval_row(expr: &Expr, table: &Table, row: usize) -> Result<Value> {
     }
 }
 
+/// Knobs for the columnar evaluator: whether the typed kernel fast paths
+/// run, and where to report what happened.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions<'a> {
+    /// Try the store's typed kernels before the row interpreter. `false`
+    /// forces the scalar reference path (the E15 ablation baseline).
+    pub vectorized: bool,
+    /// Counters to bump (vectorized batches / scalar fallbacks).
+    pub metrics: Option<&'a crate::metrics::ExecMetrics>,
+}
+
+impl Default for EvalOptions<'_> {
+    fn default() -> Self {
+        EvalOptions {
+            vectorized: true,
+            metrics: None,
+        }
+    }
+}
+
 /// Evaluate an expression over all rows, producing a column.
 ///
-/// Common shapes (bare column references, column-vs-literal comparisons,
-/// boolean combinations of those) run as tight typed loops; everything else
-/// falls back to row-at-a-time interpretation.
+/// Expression shapes with typed kernels (column/literal and
+/// column/column comparisons and arithmetic, Kleene AND/OR/NOT, BETWEEN,
+/// literal IN lists, IS NULL) run batch-at-a-time on the store's
+/// [`kernels`](lazyetl_store::kernels); everything else — and any batch a
+/// kernel declines (unsupported type pairing, integer overflow) — falls
+/// back to row-at-a-time interpretation, which remains the semantic
+/// reference.
 pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
-    if let Some(col) = eval_vectorized(expr, table)? {
-        return Ok(col);
+    eval_expr_opts(expr, table, &EvalOptions::default())
+}
+
+/// [`eval_expr`] with explicit [`EvalOptions`].
+pub fn eval_expr_opts(expr: &Expr, table: &Table, opts: &EvalOptions<'_>) -> Result<Column> {
+    if opts.vectorized {
+        if let Some(col) = eval_vectorized(expr, table)? {
+            if let Some(m) = opts.metrics {
+                m.add_vectorized_batch();
+            }
+            return Ok(col);
+        }
+        if let Some(m) = opts.metrics {
+            m.add_scalar_fallback();
+        }
     }
+    eval_expr_scalar(expr, table)
+}
+
+/// The row-at-a-time reference evaluator (no kernels). Public so the
+/// kernel-throughput bench and the proptest oracle can pin the scalar
+/// baseline explicitly.
+pub fn eval_expr_scalar(expr: &Expr, table: &Table) -> Result<Column> {
     let out_type = infer_type(expr, &table.schema)?;
     let mut col = Column::empty(out_type);
     for row in 0..table.num_rows() {
@@ -929,97 +973,69 @@ pub fn eval_expr(expr: &Expr, table: &Table) -> Result<Column> {
     Ok(col)
 }
 
-/// Tri-state vector used by the vectorized boolean kernels:
-/// `Some(bool)` = definite, `None` = SQL NULL.
-type BoolVec = Vec<Option<bool>>;
-
-fn bools_to_column(bools: BoolVec) -> Result<Column> {
-    let mut values = Vec::with_capacity(bools.len());
-    let mut validity = Vec::with_capacity(bools.len());
-    let mut has_null = false;
-    for b in bools {
-        match b {
-            Some(v) => {
-                values.push(v);
-                validity.push(true);
-            }
-            None => {
-                values.push(false);
-                validity.push(false);
-                has_null = true;
-            }
-        }
-    }
-    let data = lazyetl_store::ColumnData::Bool(values);
-    if has_null {
-        Column::with_validity(data, validity).map_err(QueryError::Store)
-    } else {
-        Ok(Column::new(data))
-    }
+/// Map a comparison [`BinaryOp`] onto the store's kernel operator.
+fn cmp_op(op: BinaryOp) -> Option<lazyetl_store::CmpOp> {
+    use lazyetl_store::CmpOp as K;
+    Some(match op {
+        BinaryOp::Eq => K::Eq,
+        BinaryOp::NotEq => K::NotEq,
+        BinaryOp::Lt => K::Lt,
+        BinaryOp::LtEq => K::LtEq,
+        BinaryOp::Gt => K::Gt,
+        BinaryOp::GtEq => K::GtEq,
+        _ => return None,
+    })
 }
 
-/// Vectorized comparison of a column against a literal. Returns `None`
-/// when the type pairing has no fast kernel.
-fn compare_column_literal(
-    col: &Column,
-    op: BinaryOp,
-    lit: &Value,
-    literal_on_left: bool,
-) -> Option<BoolVec> {
-    use lazyetl_store::ColumnData as CD;
-    use std::cmp::Ordering;
-    let decide = |ord: Ordering| -> bool {
-        let ord = if literal_on_left { ord.reverse() } else { ord };
-        match op {
-            BinaryOp::Eq => ord == Ordering::Equal,
-            BinaryOp::NotEq => ord != Ordering::Equal,
-            BinaryOp::Lt => ord == Ordering::Less,
-            BinaryOp::LtEq => ord != Ordering::Greater,
-            BinaryOp::Gt => ord == Ordering::Greater,
-            BinaryOp::GtEq => ord != Ordering::Less,
-            _ => unreachable!("caller checks is_comparison"),
-        }
-    };
-    let n = col.len();
-    let nullable = col.null_count() > 0;
-    macro_rules! kernel {
-        ($data:expr, $target:expr, $cmp:expr) => {{
-            let mut out: BoolVec = Vec::with_capacity(n);
-            for (i, v) in $data.iter().enumerate() {
-                if nullable && col.is_null(i) {
-                    out.push(None);
-                } else {
-                    out.push(Some(decide($cmp(v, $target))));
-                }
-            }
-            Some(out)
-        }};
+/// Map an arithmetic [`BinaryOp`] onto the store's kernel operator.
+fn arith_op(op: BinaryOp) -> Option<lazyetl_store::ArithOp> {
+    use lazyetl_store::ArithOp as K;
+    Some(match op {
+        BinaryOp::Add => K::Add,
+        BinaryOp::Sub => K::Sub,
+        BinaryOp::Mul => K::Mul,
+        BinaryOp::Div => K::Div,
+        BinaryOp::Mod => K::Mod,
+        _ => return None,
+    })
+}
+
+/// Evaluate a boolean-typed sub-expression to a [`BoolMask`], vectorized.
+fn eval_mask(expr: &Expr, table: &Table) -> Result<Option<lazyetl_store::BoolMask>> {
+    Ok(eval_vectorized(expr, table)?.and_then(|col| lazyetl_store::BoolMask::from_column(&col)))
+}
+
+/// Evaluate an operand to a column for a kernel, borrowing the table's
+/// storage when the operand is a bare column reference (no data copy) and
+/// materializing otherwise. `None` = no vectorized path for this operand.
+fn operand<'t>(expr: &Expr, table: &'t Table) -> Result<Option<std::borrow::Cow<'t, Column>>> {
+    use std::borrow::Cow;
+    if let Expr::Column(name) = expr {
+        return Ok(
+            resolve_column(&table.schema, name).map(|idx| Cow::Borrowed(&table.columns[idx]))
+        );
     }
-    match (col.data(), lit) {
-        (CD::Int64(d), _) | (CD::Timestamp(d), _) => {
-            let t = lit.as_i64()?;
-            kernel!(d, &t, |a: &i64, b: &i64| a.cmp(b))
-        }
-        (CD::Int32(d), Value::Int32(_) | Value::Int64(_)) => {
-            let t = lit.as_i64()?;
-            kernel!(d, &t, |a: &i32, b: &i64| (*a as i64).cmp(b))
-        }
-        (CD::Int32(d), Value::Float64(t)) => {
-            kernel!(d, t, |a: &i32, b: &f64| (*a as f64).total_cmp(b))
-        }
-        (CD::Float64(d), _) => {
-            let t = lit.as_f64()?;
-            kernel!(d, &t, |a: &f64, b: &f64| a.total_cmp(b))
-        }
-        (CD::Utf8(d), Value::Utf8(t)) => {
-            kernel!(d, t, |a: &String, b: &String| a.as_str().cmp(b.as_str()))
-        }
-        _ => None,
-    }
+    Ok(eval_vectorized(expr, table)?.map(Cow::Owned))
 }
 
 /// Fast-path evaluation; `Ok(None)` means "no kernel, use the interpreter".
+///
+/// The dispatch table (each arm declines to the scalar path when its
+/// kernel has no coverage for the concrete types):
+///
+/// | expression shape                 | kernel                         |
+/// |----------------------------------|--------------------------------|
+/// | `col`                            | zero-copy column clone         |
+/// | `col CMP lit` / `lit CMP col`    | `kernels::compare_scalar`      |
+/// | `expr CMP expr`                  | `kernels::compare_columns`     |
+/// | `expr ARITH lit` (either side)   | `kernels::arith_scalar`        |
+/// | `expr ARITH expr`                | `kernels::arith_columns`       |
+/// | `expr AND/OR expr`, `NOT expr`   | Kleene mask combinators        |
+/// | `expr BETWEEN lit AND lit`       | two compares + AND (+ NOT)     |
+/// | `expr [NOT] IN (literals)`       | `kernels::in_list_scalar`      |
+/// | `expr IS [NOT] NULL`             | `kernels::is_null_mask`        |
 fn eval_vectorized(expr: &Expr, table: &Table) -> Result<Option<Column>> {
+    use lazyetl_store::kernels;
     match expr {
         Expr::Column(name) => {
             let idx = match resolve_column(&table.schema, name) {
@@ -1029,61 +1045,130 @@ fn eval_vectorized(expr: &Expr, table: &Table) -> Result<Option<Column>> {
             Ok(Some(table.columns[idx].clone()))
         }
         Expr::Binary { left, op, right } if op.is_comparison() => {
-            let (col_expr, lit, literal_on_left) = match (&**left, &**right) {
-                (Expr::Column(_), Expr::Literal(v)) => (&**left, v, false),
-                (Expr::Literal(v), Expr::Column(_)) => (&**right, v, true),
-                _ => return Ok(None),
-            };
-            if lit.is_null() {
-                return Ok(None); // NULL comparisons: interpreter handles 3VL
-            }
-            let Expr::Column(name) = col_expr else {
-                return Ok(None);
-            };
-            let Some(idx) = resolve_column(&table.schema, name) else {
-                return Ok(None);
-            };
-            match compare_column_literal(&table.columns[idx], *op, lit, literal_on_left) {
-                Some(bools) => Ok(Some(bools_to_column(bools)?)),
-                None => Ok(None),
+            let k = cmp_op(*op).expect("comparison checked");
+            // One-literal shapes run the scalar-comparand kernel against
+            // the other side (borrowed when it's a bare column).
+            match (&**left, &**right) {
+                (l_expr, Expr::Literal(lit)) if !matches!(l_expr, Expr::Literal(_)) => {
+                    let Some(col) = operand(l_expr, table)? else {
+                        return Ok(None);
+                    };
+                    Ok(kernels::compare_scalar(&col, k, lit).map(|m| m.into_column()))
+                }
+                (Expr::Literal(lit), r_expr) => {
+                    let Some(col) = operand(r_expr, table)? else {
+                        return Ok(None);
+                    };
+                    // lit CMP col ⇔ col CMP' lit with the operator flipped.
+                    Ok(kernels::compare_scalar(&col, k.flip(), lit).map(|m| m.into_column()))
+                }
+                _ => {
+                    let Some(l) = operand(left, table)? else {
+                        return Ok(None);
+                    };
+                    let Some(r) = operand(right, table)? else {
+                        return Ok(None);
+                    };
+                    Ok(kernels::compare_columns(&l, &r, k).map(|m| m.into_column()))
+                }
             }
         }
         Expr::Binary { left, op, right } if matches!(op, BinaryOp::And | BinaryOp::Or) => {
-            let Some(l) = eval_vectorized(left, table)? else {
+            let Some(l) = eval_mask(left, table)? else {
                 return Ok(None);
             };
-            let Some(r) = eval_vectorized(right, table)? else {
+            let Some(r) = eval_mask(right, table)? else {
                 return Ok(None);
             };
-            if l.data_type() != DataType::Bool || r.data_type() != DataType::Bool {
-                return Ok(None);
-            }
-            let (lazyetl_store::ColumnData::Bool(ld), lazyetl_store::ColumnData::Bool(rd)) =
-                (l.data(), r.data())
-            else {
-                return Ok(None);
+            let out = if *op == BinaryOp::And {
+                l.and(&r)
+            } else {
+                l.or(&r)
             };
-            let is_and = *op == BinaryOp::And;
-            let mut out: BoolVec = Vec::with_capacity(ld.len());
-            for i in 0..ld.len() {
-                let a = if l.is_null(i) { None } else { Some(ld[i]) };
-                let b = if r.is_null(i) { None } else { Some(rd[i]) };
-                out.push(if is_and {
-                    match (a, b) {
-                        (Some(false), _) | (_, Some(false)) => Some(false),
-                        (Some(true), Some(true)) => Some(true),
-                        _ => None,
-                    }
-                } else {
-                    match (a, b) {
-                        (Some(true), _) | (_, Some(true)) => Some(true),
-                        (Some(false), Some(false)) => Some(false),
-                        _ => None,
-                    }
-                });
-            }
-            Ok(Some(bools_to_column(out)?))
+            Ok(Some(out.into_column()))
         }
+        Expr::Binary { left, op, right } => {
+            let Some(k) = arith_op(*op) else {
+                return Ok(None);
+            };
+            match (&**left, &**right) {
+                (l_expr, Expr::Literal(lit)) if !matches!(l_expr, Expr::Literal(_)) => {
+                    let Some(col) = operand(l_expr, table)? else {
+                        return Ok(None);
+                    };
+                    Ok(kernels::arith_scalar(&col, k, lit, false))
+                }
+                (Expr::Literal(lit), r_expr) => {
+                    let Some(col) = operand(r_expr, table)? else {
+                        return Ok(None);
+                    };
+                    Ok(kernels::arith_scalar(&col, k, lit, true))
+                }
+                _ => {
+                    let Some(l) = operand(left, table)? else {
+                        return Ok(None);
+                    };
+                    let Some(r) = operand(right, table)? else {
+                        return Ok(None);
+                    };
+                    Ok(kernels::arith_columns(&l, &r, k))
+                }
+            }
+        }
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => Ok(eval_mask(expr, table)?.map(|m| m.not().into_column())),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let Some(col) = operand(expr, table)? else {
+                return Ok(None);
+            };
+            let bound =
+                |b: &Expr, op: lazyetl_store::CmpOp| -> Result<Option<lazyetl_store::BoolMask>> {
+                    match b {
+                        Expr::Literal(lit) => Ok(kernels::compare_scalar(&col, op, lit)),
+                        other => Ok(operand(other, table)?
+                            .and_then(|bc| kernels::compare_columns(&col, &bc, op))),
+                    }
+                };
+            let Some(ge) = bound(low, lazyetl_store::CmpOp::GtEq)? else {
+                return Ok(None);
+            };
+            let Some(le) = bound(high, lazyetl_store::CmpOp::LtEq)? else {
+                return Ok(None);
+            };
+            let both = ge.and(&le);
+            let out = if *negated { both.not() } else { both };
+            Ok(Some(out.into_column()))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let lits: Option<Vec<Value>> = list
+                .iter()
+                .map(|e| match e {
+                    Expr::Literal(v) => Some(v.clone()),
+                    _ => None,
+                })
+                .collect();
+            let Some(lits) = lits else {
+                return Ok(None);
+            };
+            let Some(col) = operand(expr, table)? else {
+                return Ok(None);
+            };
+            Ok(kernels::in_list_scalar(&col, &lits, *negated).map(|m| m.into_column()))
+        }
+        Expr::IsNull { expr, negated } => Ok(
+            operand(expr, table)?.map(|col| kernels::is_null_mask(&col, *negated).into_column())
+        ),
         _ => Ok(None),
     }
 }
@@ -1101,15 +1186,33 @@ fn coerce_value(v: Value, target: DataType) -> Value {
 
 /// Evaluate a predicate to a boolean selection mask (NULL -> false).
 pub fn eval_predicate_mask(expr: &Expr, table: &Table) -> Result<Vec<bool>> {
-    if let Some(col) = eval_vectorized(expr, table)? {
-        if let lazyetl_store::ColumnData::Bool(d) = col.data() {
-            return Ok(d
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| b && !col.is_null(i))
-                .collect());
+    eval_predicate_mask_opts(expr, table, &EvalOptions::default())
+}
+
+/// [`eval_predicate_mask`] with explicit [`EvalOptions`]. The vectorized
+/// path collapses the kernel mask straight to a packed `Vec<bool>`
+/// without materializing a boolean column.
+pub fn eval_predicate_mask_opts(
+    expr: &Expr,
+    table: &Table,
+    opts: &EvalOptions<'_>,
+) -> Result<Vec<bool>> {
+    if opts.vectorized {
+        if let Some(mask) = eval_mask(expr, table)? {
+            if let Some(m) = opts.metrics {
+                m.add_vectorized_batch();
+            }
+            return Ok(mask.into_selection());
+        }
+        if let Some(m) = opts.metrics {
+            m.add_scalar_fallback();
         }
     }
+    eval_predicate_mask_scalar(expr, table)
+}
+
+/// Row-at-a-time reference for [`eval_predicate_mask`].
+pub fn eval_predicate_mask_scalar(expr: &Expr, table: &Table) -> Result<Vec<bool>> {
     let mut mask = Vec::with_capacity(table.num_rows());
     for row in 0..table.num_rows() {
         let v = eval_row(expr, table, row)?;

@@ -16,7 +16,13 @@
 //!   predicate pushdown (the compile-time plan reorganization that puts
 //!   metadata predicates first);
 //! * [`exec`] — column-at-a-time execution with full materialization
-//!   (MonetDB's model, which makes intermediate-result recycling natural).
+//!   (MonetDB's model, which makes intermediate-result recycling natural),
+//!   running on the store's typed kernels with a scalar-interpreter
+//!   fallback, plus zone-map pruning of scans;
+//! * [`prune`] — the interval logic behind zone-map and record-level
+//!   pruning (shared with the core rewriter);
+//! * [`metrics`] — executor counters (rows scanned/pruned, vectorized
+//!   batches) surfaced through warehouse stats.
 
 #![warn(missing_docs)]
 
@@ -25,17 +31,21 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod metrics;
 pub mod optimizer;
 pub mod parser;
 pub mod plan;
 pub mod planner;
+pub mod prune;
 pub mod time;
 
 pub use ast::{SelectItem, SelectStmt, Statement};
 pub use error::{QueryError, Result};
 pub use exec::{execute, ExecContext, ExternalTableProvider};
 pub use expr::{AggFunc, BinaryOp, Expr, UnaryOp};
+pub use metrics::{ExecCounters, ExecMetrics};
 pub use optimizer::{optimize, predicates_above};
 pub use parser::{parse, parse_select};
 pub use plan::LogicalPlan;
 pub use planner::{plan_select, plan_sql, Resolved, TableSource};
+pub use prune::{predicate_excludes, TimeInterval};

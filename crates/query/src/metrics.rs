@@ -1,0 +1,94 @@
+//! Execution counters: how much work the executor did, and how it did it.
+//!
+//! One [`ExecMetrics`] instance is typically owned by a warehouse and
+//! shared (by reference) across every query it runs; the counters are
+//! atomics, so concurrent queries update them without synchronization
+//! beyond the hardware's. [`ExecMetrics::snapshot`] produces the plain
+//! [`ExecCounters`] struct surfaced through warehouse stats and the
+//! serving layer's stats frame.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative executor counters (all monotone).
+#[derive(Debug, Default)]
+pub struct ExecMetrics {
+    /// Rows produced by leaf scans (resident tables, injected extraction
+    /// results, external full scans).
+    pub rows_scanned: AtomicU64,
+    /// Rows skipped because a scan's zone map proved its filter empty.
+    pub rows_pruned: AtomicU64,
+    /// Expression batches evaluated through the vectorized kernel path.
+    pub vectorized_batches: AtomicU64,
+    /// Expression batches the kernels declined (row-at-a-time fallback).
+    pub scalar_fallbacks: AtomicU64,
+}
+
+impl ExecMetrics {
+    /// A fresh all-zero counter set.
+    pub fn new() -> ExecMetrics {
+        ExecMetrics::default()
+    }
+
+    #[inline]
+    pub(crate) fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_rows_pruned(&self, n: u64) {
+        self.rows_pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_vectorized_batch(&self) {
+        self.vectorized_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_scalar_fallback(&self) {
+        self.scalar_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ExecCounters {
+        ExecCounters {
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_pruned: self.rows_pruned.load(Ordering::Relaxed),
+            vectorized_batches: self.vectorized_batches.load(Ordering::Relaxed),
+            scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain copy of [`ExecMetrics`] for reports and stats frames.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    /// Rows produced by leaf scans.
+    pub rows_scanned: u64,
+    /// Rows skipped by zone-map pruning.
+    pub rows_pruned: u64,
+    /// Expression batches evaluated vectorized.
+    pub vectorized_batches: u64,
+    /// Expression batches that fell back to the scalar evaluator.
+    pub scalar_fallbacks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ExecMetrics::new();
+        m.add_rows_scanned(10);
+        m.add_rows_scanned(5);
+        m.add_rows_pruned(7);
+        m.add_vectorized_batch();
+        m.add_scalar_fallback();
+        let s = m.snapshot();
+        assert_eq!(s.rows_scanned, 15);
+        assert_eq!(s.rows_pruned, 7);
+        assert_eq!(s.vectorized_batches, 1);
+        assert_eq!(s.scalar_fallbacks, 1);
+    }
+}

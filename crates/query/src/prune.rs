@@ -1,0 +1,567 @@
+//! Interval logic for scan pruning.
+//!
+//! Two consumers share this module:
+//!
+//! * the **executor** asks [`predicate_excludes`] whether a filter sitting
+//!   directly on a table scan provably rejects every row of the table's
+//!   zone map (`[min, max]` per column) — if so, the scan short-circuits
+//!   to an empty result;
+//! * the **core rewriter** uses [`TimeInterval`] to derive the closed
+//!   sample-time window implied by a query's data-side predicates, then
+//!   intersects it with each candidate record's `[start, end)` coverage
+//!   (the paper's record-level pruning, §3.1).
+//!
+//! Everything here is *conservative*: a `false`/unconstrained answer is
+//! always safe; `true`/a tightened bound is only produced when the
+//! predicate provably cannot match. Pruning therefore never changes query
+//! results, only the work done to produce them.
+
+use crate::expr::{resolve_name, BinaryOp, Expr};
+use crate::planner::split_conjunction;
+use lazyetl_store::{ColumnStats, Value};
+use std::cmp::Ordering;
+
+/// A closed integer interval `[lo, hi]` built by intersecting predicate
+/// bounds; `None` on a side means unconstrained.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeInterval {
+    /// Inclusive lower bound (µs for timestamps).
+    pub lo: Option<i64>,
+    /// Inclusive upper bound.
+    pub hi: Option<i64>,
+}
+
+impl TimeInterval {
+    /// The unconstrained interval.
+    pub fn unconstrained() -> TimeInterval {
+        TimeInterval::default()
+    }
+
+    /// Intersect with `v` as a lower bound (keeps the larger).
+    pub fn tighten_lo(&mut self, v: i64) {
+        self.lo = Some(self.lo.map_or(v, |c| c.max(v)));
+    }
+
+    /// Intersect with `v` as an upper bound (keeps the smaller).
+    pub fn tighten_hi(&mut self, v: i64) {
+        self.hi = Some(self.hi.map_or(v, |c| c.min(v)));
+    }
+
+    /// True when at least one side is bounded.
+    pub fn is_constrained(&self) -> bool {
+        self.lo.is_some() || self.hi.is_some()
+    }
+
+    /// Tighten from every conjunct of `pred` that compares the column
+    /// whose unqualified name is `column` against an integer or timestamp
+    /// literal. Handles both operand orders and non-negated `BETWEEN`;
+    /// anything else leaves the interval untouched (conservative).
+    pub fn tighten_from_predicate(&mut self, pred: &Expr, column: &str) {
+        fn is_col(e: &Expr, column: &str) -> bool {
+            matches!(e, Expr::Column(name) if name.rsplit('.').next() == Some(column))
+        }
+        fn int_lit(e: &Expr) -> Option<i64> {
+            match e {
+                Expr::Literal(Value::Timestamp(us)) => Some(*us),
+                Expr::Literal(Value::Int64(us)) => Some(*us),
+                Expr::Literal(Value::Int32(us)) => Some(*us as i64),
+                _ => None,
+            }
+        }
+        let mut conjuncts = Vec::new();
+        split_conjunction(pred, &mut conjuncts);
+        for c in conjuncts {
+            match &c {
+                Expr::Binary { left, op, right } => {
+                    let (lit, flipped) = if is_col(left, column) {
+                        (int_lit(right), false)
+                    } else if is_col(right, column) {
+                        (int_lit(left), true)
+                    } else {
+                        continue;
+                    };
+                    let Some(v) = lit else { continue };
+                    // `flipped` means literal OP column: directions swap.
+                    match (op, flipped) {
+                        (BinaryOp::Gt | BinaryOp::GtEq, false)
+                        | (BinaryOp::Lt | BinaryOp::LtEq, true) => self.tighten_lo(v),
+                        (BinaryOp::Lt | BinaryOp::LtEq, false)
+                        | (BinaryOp::Gt | BinaryOp::GtEq, true) => self.tighten_hi(v),
+                        (BinaryOp::Eq, _) => {
+                            self.tighten_lo(v);
+                            self.tighten_hi(v);
+                        }
+                        _ => {}
+                    }
+                }
+                Expr::Between {
+                    expr,
+                    low,
+                    high,
+                    negated: false,
+                } if is_col(expr, column) => {
+                    if let Some(v) = int_lit(low) {
+                        self.tighten_lo(v);
+                    }
+                    if let Some(v) = int_lit(high) {
+                        self.tighten_hi(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Statistics entry matching a (possibly qualified) column reference,
+/// using the same resolution rules as schema lookup.
+fn stat_of<'a>(stats: &'a [ColumnStats], name: &str) -> Option<&'a ColumnStats> {
+    resolve_name(stats.iter().map(|s| s.name.as_str()), name).map(|i| &stats[i])
+}
+
+fn cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    a.sql_cmp(b)
+}
+
+/// Does `pred` have at least one conjunct of a shape zone-map exclusion
+/// can decide (column-vs-literal comparison, literal `BETWEEN`/`IN`, or
+/// a constant)? The executor checks this **before** asking the catalog
+/// for a zone map, so tables never pay a statistics pass for predicates
+/// that could not prune anyway.
+pub fn has_prunable_conjunct(pred: &Expr) -> bool {
+    fn prunable(c: &Expr) -> bool {
+        match c {
+            Expr::Literal(_) => true,
+            Expr::Binary {
+                left,
+                op: BinaryOp::Or,
+                right,
+            } => prunable(left) && prunable(right),
+            Expr::Binary { left, op, right } if op.is_comparison() => matches!(
+                (&**left, &**right),
+                (Expr::Column(_), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(_))
+            ),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated: false,
+            } => {
+                matches!(&**expr, Expr::Column(_))
+                    && matches!(&**low, Expr::Literal(_))
+                    && matches!(&**high, Expr::Literal(_))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated: false,
+            } => {
+                matches!(&**expr, Expr::Column(_))
+                    && list.iter().all(|e| matches!(e, Expr::Literal(_)))
+            }
+            _ => false,
+        }
+    }
+    let mut conjuncts = Vec::new();
+    split_conjunction(pred, &mut conjuncts);
+    conjuncts.iter().any(prunable)
+}
+
+/// Does `pred` provably reject every row of a table with these column
+/// statistics — **and** is skipping its evaluation observationally safe?
+///
+/// Two conditions must hold:
+///
+/// 1. some conjunct is individually unsatisfiable over the zone map
+///    (only shapes decidable from `[min, max]` are inspected:
+///    column-vs-literal comparisons, non-negated literal `BETWEEN` and
+///    `IN`; any comparison `sql_cmp` cannot order answers `false`);
+/// 2. **every** conjunct is of a shape whose evaluation cannot raise a
+///    runtime error — otherwise pruning would turn an `Err` (e.g. an
+///    unorderable comparison in a *sibling* conjunct) into a silent
+///    empty result.
+///
+/// The one exception: an empty table excludes trivially — filtering zero
+/// rows evaluates nothing, so skipping is always identical.
+pub fn predicate_excludes(pred: &Expr, stats: &[ColumnStats]) -> bool {
+    if stats.first().is_some_and(|s| s.count == 0) {
+        return true;
+    }
+    let mut conjuncts = Vec::new();
+    split_conjunction(pred, &mut conjuncts);
+    conjuncts.iter().any(|c| conjunct_excludes(c, stats))
+        && conjuncts.iter().all(|c| conjunct_infallible(c, stats))
+}
+
+/// Can evaluating this conjunct possibly raise a runtime error, for any
+/// row of a table described by `stats`? Conservative: `false` unless the
+/// shape is provably error-free. Comparisons are infallible when the
+/// literal orders against the column's value type (witnessed by `min`)
+/// or the column holds no non-NULL values at all; `IN` over literals and
+/// `IS NULL` on a column never error by construction.
+fn conjunct_infallible(c: &Expr, stats: &[ColumnStats]) -> bool {
+    match c {
+        Expr::Literal(_) => true,
+        // A bare boolean column: errors only if the reference is
+        // unresolvable, so require a matching statistics entry.
+        Expr::Column(n) => stat_of(stats, n).is_some(),
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => conjunct_infallible(left, stats) && conjunct_infallible(right, stats),
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let (name, lit) = match (&**left, &**right) {
+                (Expr::Column(n), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(n)) => (n, v),
+                _ => return false,
+            };
+            if lit.is_null() {
+                return true; // NULL comparisons answer NULL, never Err
+            }
+            let Some(s) = stat_of(stats, name) else {
+                return false;
+            };
+            if s.nulls == s.count {
+                return true; // every row is NULL → every row answers NULL
+            }
+            // A literal that orders against min orders against every
+            // value of the column's type (sql_cmp is type-driven).
+            s.min.as_ref().is_some_and(|m| cmp(lit, m).is_some())
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            let Expr::Column(name) = &**expr else {
+                return false;
+            };
+            let (Expr::Literal(lo), Expr::Literal(hi)) = (&**low, &**high) else {
+                return false;
+            };
+            let Some(s) = stat_of(stats, name) else {
+                return false;
+            };
+            if s.nulls == s.count {
+                return true;
+            }
+            let orders =
+                |v: &Value| v.is_null() || s.min.as_ref().is_some_and(|m| cmp(v, m).is_some());
+            orders(lo) && orders(hi)
+        }
+        // sql_eq never errors: an unorderable pair just answers NULL.
+        Expr::InList { expr, list, .. } => match &**expr {
+            Expr::Column(n) => {
+                stat_of(stats, n).is_some() && list.iter().all(|e| matches!(e, Expr::Literal(_)))
+            }
+            _ => false,
+        },
+        Expr::IsNull { expr, .. } => {
+            matches!(&**expr, Expr::Column(n) if stat_of(stats, n).is_some())
+        }
+        _ => false,
+    }
+}
+
+fn conjunct_excludes(c: &Expr, stats: &[ColumnStats]) -> bool {
+    match c {
+        // A constant conjunct that is not definitely TRUE filters out
+        // every row (NULL and FALSE both fail `WHERE`).
+        Expr::Literal(v) => v.as_bool() != Some(true),
+        // Both OR arms unsatisfiable ⇒ the disjunction is too.
+        Expr::Binary {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => conjunct_excludes(left, stats) && conjunct_excludes(right, stats),
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            let (name, lit, flipped) = match (&**left, &**right) {
+                (Expr::Column(n), Expr::Literal(v)) => (n, v, false),
+                (Expr::Literal(v), Expr::Column(n)) => (n, v, true),
+                _ => return false,
+            };
+            if lit.is_null() {
+                return true; // `col OP NULL` is never TRUE
+            }
+            let Some(s) = stat_of(stats, name) else {
+                return false;
+            };
+            if s.count == 0 || s.nulls == s.count {
+                return true; // no non-NULL value can satisfy a comparison
+            }
+            let (Some(min), Some(max)) = (&s.min, &s.max) else {
+                return false;
+            };
+            // Orient as `col OP lit`.
+            let op = if flipped { flip(*op) } else { *op };
+            match op {
+                BinaryOp::Eq => {
+                    cmp(lit, min) == Some(Ordering::Less)
+                        || cmp(lit, max) == Some(Ordering::Greater)
+                }
+                BinaryOp::NotEq => {
+                    cmp(min, max) == Some(Ordering::Equal) && cmp(lit, min) == Some(Ordering::Equal)
+                }
+                BinaryOp::Lt => matches!(cmp(min, lit), Some(Ordering::Greater | Ordering::Equal)),
+                BinaryOp::LtEq => cmp(min, lit) == Some(Ordering::Greater),
+                BinaryOp::Gt => matches!(cmp(max, lit), Some(Ordering::Less | Ordering::Equal)),
+                BinaryOp::GtEq => cmp(max, lit) == Some(Ordering::Less),
+                _ => false,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let Expr::Column(name) = &**expr else {
+                return false;
+            };
+            let (Expr::Literal(lo), Expr::Literal(hi)) = (&**low, &**high) else {
+                return false;
+            };
+            if lo.is_null() || hi.is_null() {
+                return true; // `BETWEEN NULL AND …` is never TRUE
+            }
+            let Some(s) = stat_of(stats, name) else {
+                return false;
+            };
+            if s.count == 0 || s.nulls == s.count {
+                return true;
+            }
+            let (Some(min), Some(max)) = (&s.min, &s.max) else {
+                return false;
+            };
+            cmp(lo, max) == Some(Ordering::Greater) || cmp(hi, min) == Some(Ordering::Less)
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let Expr::Column(name) = &**expr else {
+                return false;
+            };
+            let Some(s) = stat_of(stats, name) else {
+                return false;
+            };
+            if s.count == 0 || s.nulls == s.count {
+                return true;
+            }
+            let (Some(min), Some(max)) = (&s.min, &s.max) else {
+                return false;
+            };
+            // Excluded when every candidate is a literal outside
+            // [min, max] (NULL candidates never match anything).
+            list.iter().all(|e| match e {
+                Expr::Literal(v) if v.is_null() => true,
+                Expr::Literal(v) => {
+                    cmp(v, min) == Some(Ordering::Less) || cmp(v, max) == Some(Ordering::Greater)
+                }
+                _ => false,
+            })
+        }
+        _ => false,
+    }
+}
+
+fn flip(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(min: Value, max: Value, count: usize, nulls: usize) -> Vec<ColumnStats> {
+        vec![ColumnStats {
+            name: "t".into(),
+            count,
+            nulls,
+            min: Some(min),
+            max: Some(max),
+        }]
+    }
+
+    fn pred(op: BinaryOp, v: i64) -> Expr {
+        Expr::col("t").binary(op, Expr::lit(Value::Int64(v)))
+    }
+
+    #[test]
+    fn range_exclusion_rules() {
+        let s = stats(Value::Int64(10), Value::Int64(20), 5, 0);
+        assert!(predicate_excludes(&pred(BinaryOp::Gt, 20), &s));
+        assert!(!predicate_excludes(&pred(BinaryOp::Gt, 19), &s));
+        assert!(predicate_excludes(&pred(BinaryOp::GtEq, 21), &s));
+        assert!(!predicate_excludes(&pred(BinaryOp::GtEq, 20), &s));
+        assert!(predicate_excludes(&pred(BinaryOp::Lt, 10), &s));
+        assert!(!predicate_excludes(&pred(BinaryOp::Lt, 11), &s));
+        assert!(predicate_excludes(&pred(BinaryOp::LtEq, 9), &s));
+        assert!(predicate_excludes(&pred(BinaryOp::Eq, 9), &s));
+        assert!(predicate_excludes(&pred(BinaryOp::Eq, 21), &s));
+        assert!(!predicate_excludes(&pred(BinaryOp::Eq, 15), &s));
+        assert!(!predicate_excludes(&pred(BinaryOp::NotEq, 15), &s));
+        let point = stats(Value::Int64(7), Value::Int64(7), 3, 0);
+        assert!(predicate_excludes(&pred(BinaryOp::NotEq, 7), &point));
+    }
+
+    #[test]
+    fn flipped_operand_order() {
+        let s = stats(Value::Int64(10), Value::Int64(20), 5, 0);
+        // 5 > t  ⇔  t < 5: excluded (min is 10).
+        let p = Expr::lit(Value::Int64(5)).binary(BinaryOp::Gt, Expr::col("t"));
+        assert!(predicate_excludes(&p, &s));
+        let p = Expr::lit(Value::Int64(15)).binary(BinaryOp::Gt, Expr::col("t"));
+        assert!(!predicate_excludes(&p, &s));
+    }
+
+    #[test]
+    fn conjunction_or_and_special_values() {
+        let s = stats(Value::Int64(10), Value::Int64(20), 5, 0);
+        // Satisfiable AND unsatisfiable ⇒ excluded.
+        let p = pred(BinaryOp::Eq, 15).and(pred(BinaryOp::Gt, 30));
+        assert!(predicate_excludes(&p, &s));
+        // OR needs both arms dead.
+        let p = pred(BinaryOp::Gt, 30).binary(BinaryOp::Or, pred(BinaryOp::Lt, 5));
+        assert!(predicate_excludes(&p, &s));
+        let p = pred(BinaryOp::Gt, 30).binary(BinaryOp::Or, pred(BinaryOp::Eq, 15));
+        assert!(!predicate_excludes(&p, &s));
+        // NULL literal comparison is never true.
+        let p = Expr::col("t").binary(BinaryOp::Eq, Expr::lit(Value::Null));
+        assert!(predicate_excludes(&p, &s));
+        // All-NULL column: comparisons can't match.
+        let all_null = vec![ColumnStats {
+            name: "t".into(),
+            count: 4,
+            nulls: 4,
+            min: None,
+            max: None,
+        }];
+        assert!(predicate_excludes(&pred(BinaryOp::Eq, 1), &all_null));
+        // Unknown column: conservative keep.
+        let p = Expr::col("other").binary(BinaryOp::Gt, Expr::lit(Value::Int64(99)));
+        assert!(!predicate_excludes(&p, &s));
+    }
+
+    #[test]
+    fn between_and_in_list() {
+        let s = stats(Value::Int64(10), Value::Int64(20), 5, 0);
+        let between = |lo: i64, hi: i64| Expr::Between {
+            expr: Box::new(Expr::col("t")),
+            low: Box::new(Expr::lit(Value::Int64(lo))),
+            high: Box::new(Expr::lit(Value::Int64(hi))),
+            negated: false,
+        };
+        assert!(predicate_excludes(&between(21, 30), &s));
+        assert!(predicate_excludes(&between(1, 9), &s));
+        assert!(!predicate_excludes(&between(15, 30), &s));
+        let in_list = |vals: Vec<i64>| Expr::InList {
+            expr: Box::new(Expr::col("t")),
+            list: vals
+                .into_iter()
+                .map(|v| Expr::lit(Value::Int64(v)))
+                .collect(),
+            negated: false,
+        };
+        assert!(predicate_excludes(&in_list(vec![1, 2, 30]), &s));
+        assert!(!predicate_excludes(&in_list(vec![1, 15]), &s));
+    }
+
+    #[test]
+    fn fallible_sibling_conjunct_blocks_pruning() {
+        // `t > 30` is provably empty, but the sibling `t > other` is a
+        // column-vs-column comparison whose evaluation could raise
+        // "cannot compare" — skipping it would turn that error into a
+        // silent empty result, so the predicate must not exclude.
+        let s = stats(Value::Int64(10), Value::Int64(20), 5, 0);
+        let dead = pred(BinaryOp::Gt, 30);
+        assert!(predicate_excludes(&dead, &s), "alone it prunes");
+        let fallible = Expr::col("t").binary(BinaryOp::Gt, Expr::col("other"));
+        assert!(
+            !predicate_excludes(&dead.clone().and(fallible), &s),
+            "a fallible sibling blocks pruning"
+        );
+        // An infallible sibling (orderable col-vs-lit) does not.
+        let safe = Expr::col("t").binary(BinaryOp::Lt, Expr::lit(Value::Int64(15)));
+        assert!(predicate_excludes(&dead.and(safe), &s));
+        // Empty tables exclude trivially: zero rows evaluate nothing.
+        let empty = stats(Value::Int64(0), Value::Int64(0), 0, 0);
+        let anything = Expr::col("t").binary(BinaryOp::Gt, Expr::col("other"));
+        assert!(predicate_excludes(&anything, &empty));
+    }
+
+    #[test]
+    fn prunable_shape_gate() {
+        // Shapes the zone map can decide…
+        assert!(has_prunable_conjunct(&pred(BinaryOp::Gt, 1)));
+        assert!(has_prunable_conjunct(
+            &Expr::col("x")
+                .binary(BinaryOp::Add, Expr::col("y"))
+                .and(pred(BinaryOp::Eq, 2))
+        ));
+        // …and ones it cannot: no zone-map (= no stats pass) for these.
+        assert!(!has_prunable_conjunct(
+            &Expr::col("t").binary(BinaryOp::Gt, Expr::col("u"))
+        ));
+        assert!(!has_prunable_conjunct(&Expr::IsNull {
+            expr: Box::new(Expr::col("t")),
+            negated: false,
+        }));
+    }
+
+    #[test]
+    fn utf8_and_qualified_names() {
+        let s = vec![ColumnStats {
+            name: "station".into(),
+            count: 4,
+            nulls: 0,
+            min: Some(Value::Utf8("HGN".into())),
+            max: Some(Value::Utf8("WIT".into())),
+        }];
+        let p = Expr::col("f.station").binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ZZZ".into())));
+        assert!(predicate_excludes(&p, &s));
+        let p = Expr::col("station").binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ISK".into())));
+        assert!(!predicate_excludes(&p, &s));
+    }
+
+    #[test]
+    fn interval_tightens_like_the_rewriter() {
+        let mut iv = TimeInterval::unconstrained();
+        assert!(!iv.is_constrained());
+        let p = Expr::col("d.sample_time")
+            .binary(BinaryOp::Gt, Expr::lit(Value::Timestamp(50)))
+            .and(Expr::col("sample_time").binary(BinaryOp::Lt, Expr::lit(Value::Timestamp(80))));
+        iv.tighten_from_predicate(&p, "sample_time");
+        assert_eq!((iv.lo, iv.hi), (Some(50), Some(80)));
+        // Reversed operand order flips directions; bounds only tighten.
+        let p2 = Expr::lit(Value::Timestamp(70)).binary(BinaryOp::Gt, Expr::col("sample_time"));
+        iv.tighten_from_predicate(&p2, "sample_time");
+        assert_eq!((iv.lo, iv.hi), (Some(50), Some(70)));
+        // Unrelated columns don't contribute.
+        let p3 = Expr::col("other").binary(BinaryOp::Gt, Expr::lit(Value::Timestamp(99)));
+        iv.tighten_from_predicate(&p3, "sample_time");
+        assert_eq!((iv.lo, iv.hi), (Some(50), Some(70)));
+        // BETWEEN tightens both sides; Eq pins the point.
+        let mut iv2 = TimeInterval::unconstrained();
+        iv2.tighten_from_predicate(
+            &Expr::Between {
+                expr: Box::new(Expr::col("sample_time")),
+                low: Box::new(Expr::lit(Value::Timestamp(10))),
+                high: Box::new(Expr::lit(Value::Timestamp(90))),
+                negated: false,
+            },
+            "sample_time",
+        );
+        assert_eq!((iv2.lo, iv2.hi), (Some(10), Some(90)));
+        iv2.tighten_from_predicate(
+            &Expr::col("sample_time").binary(BinaryOp::Eq, Expr::lit(Value::Timestamp(42))),
+            "sample_time",
+        );
+        assert_eq!((iv2.lo, iv2.hi), (Some(42), Some(42)));
+    }
+}

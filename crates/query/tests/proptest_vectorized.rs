@@ -1,0 +1,335 @@
+//! Property tests for vectorized execution: the typed kernels are
+//! checked against the row-at-a-time interpreter as the semantic oracle,
+//! on arbitrary typed/NULL-mixed tables.
+//!
+//! Four properties:
+//!
+//! * every kernel-covered expression shape evaluates identically on both
+//!   paths (values, NULLs, and errors);
+//! * predicate masks agree bit for bit;
+//! * the ≥3-integer-key join packing answers exactly like the generic
+//!   `GroupKey` hash join;
+//! * zone-map pruning never changes a query's result, only whether the
+//!   scan runs.
+
+use lazyetl_query::exec::{execute, ExecContext};
+use lazyetl_query::expr::{
+    eval_expr_opts, eval_expr_scalar, eval_predicate_mask_opts, eval_predicate_mask_scalar,
+    BinaryOp, EvalOptions, Expr, UnaryOp,
+};
+use lazyetl_query::optimizer::optimize;
+use lazyetl_query::planner::{plan_sql, TableSource};
+use lazyetl_store::{Catalog, DataType, Field, Schema, Table, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One generated row: every column independently nullable.
+type Row = (
+    Option<i64>,    // id   BIGINT
+    Option<i32>,    // q    INTEGER
+    Option<f64>,    // v    DOUBLE
+    Option<String>, // name VARCHAR
+    Option<i64>,    // t    TIMESTAMP
+    Option<bool>,   // flag BOOLEAN
+);
+
+fn row_strategy() -> impl Strategy<Value = Row> {
+    (
+        prop::option::of(-1000i64..1000),
+        prop::option::of(-50i32..50),
+        prop::option::of(-1e6f64..1e6),
+        prop::option::of("[a-d]{0,3}"),
+        prop::option::of(0i64..5_000_000),
+        prop::option::of(any::<bool>()),
+    )
+}
+
+fn table_of(rows: &[Row]) -> Table {
+    let schema = Schema::new(vec![
+        Field::nullable("id", DataType::Int64),
+        Field::nullable("q", DataType::Int32),
+        Field::nullable("v", DataType::Float64),
+        Field::nullable("name", DataType::Utf8),
+        Field::nullable("t", DataType::Timestamp),
+        Field::nullable("flag", DataType::Bool),
+    ])
+    .unwrap();
+    let mut t = Table::empty(schema);
+    for (id, q, v, name, ts, flag) in rows {
+        t.append_row(vec![
+            id.map_or(Value::Null, Value::Int64),
+            q.map_or(Value::Null, Value::Int32),
+            v.map_or(Value::Null, Value::Float64),
+            name.clone().map_or(Value::Null, Value::Utf8),
+            ts.map_or(Value::Null, Value::Timestamp),
+            flag.map_or(Value::Null, Value::Bool),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+/// The kernel-covered expression zoo, parameterized by generated
+/// literals so min/max relationships vary per case.
+fn expr_zoo(a: i64, b: i32, f: f64, s: &str) -> Vec<Expr> {
+    let lit_i = Expr::lit(Value::Int64(a));
+    let lit_q = Expr::lit(Value::Int32(b));
+    let lit_f = Expr::lit(Value::Float64(f));
+    let lit_s = Expr::lit(Value::Utf8(s.to_string()));
+    vec![
+        // Column-vs-literal comparisons, every column type, both orders.
+        Expr::col("id").binary(BinaryOp::Gt, lit_i.clone()),
+        lit_i.clone().binary(BinaryOp::GtEq, Expr::col("id")),
+        Expr::col("q").binary(BinaryOp::LtEq, lit_q.clone()),
+        Expr::col("q").binary(BinaryOp::NotEq, lit_i.clone()),
+        Expr::col("v").binary(BinaryOp::Lt, lit_f.clone()),
+        Expr::col("v").binary(BinaryOp::Eq, lit_i.clone()),
+        Expr::col("name").binary(BinaryOp::Gt, lit_s.clone()),
+        Expr::col("t").binary(BinaryOp::Lt, Expr::lit(Value::Timestamp(a.abs() * 1000))),
+        // Pairings sql_cmp cannot order: both paths must error alike.
+        Expr::col("t").binary(BinaryOp::Gt, lit_f.clone()),
+        Expr::col("t").binary(BinaryOp::Gt, lit_q.clone()),
+        Expr::col("flag").binary(BinaryOp::Eq, Expr::lit(Value::Bool(a % 2 == 0))),
+        // Column-vs-column comparison and arithmetic (mixed widths).
+        Expr::col("id").binary(BinaryOp::Lt, Expr::col("q")),
+        Expr::col("v").binary(BinaryOp::GtEq, Expr::col("id")),
+        Expr::col("id").binary(BinaryOp::Add, Expr::col("q")),
+        Expr::col("v").binary(BinaryOp::Sub, Expr::col("q")),
+        // Column-vs-literal arithmetic incl. the NULL-producing cases.
+        Expr::col("id").binary(BinaryOp::Mul, lit_q.clone()),
+        Expr::col("v").binary(BinaryOp::Div, lit_f.clone()),
+        Expr::col("id").binary(BinaryOp::Div, Expr::lit(Value::Int64(0))),
+        Expr::col("q").binary(BinaryOp::Mod, lit_q.clone()),
+        lit_i.clone().binary(BinaryOp::Sub, Expr::col("id")),
+        // Nested arithmetic feeding a comparison.
+        Expr::col("v")
+            .binary(BinaryOp::Mul, Expr::lit(Value::Float64(2.0)))
+            .binary(BinaryOp::Add, Expr::lit(Value::Float64(1.0)))
+            .binary(BinaryOp::Gt, lit_f.clone()),
+        // Kleene combinators over nullable comparisons.
+        Expr::col("id")
+            .binary(BinaryOp::Gt, lit_i.clone())
+            .and(Expr::col("v").binary(BinaryOp::Lt, lit_f.clone())),
+        Expr::col("id").binary(BinaryOp::Gt, lit_i.clone()).binary(
+            BinaryOp::Or,
+            Expr::col("name").binary(BinaryOp::Eq, lit_s.clone()),
+        ),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::col("q").binary(BinaryOp::Gt, lit_q.clone())),
+        },
+        // BETWEEN (both polarities), IN lists, IS NULL.
+        Expr::Between {
+            expr: Box::new(Expr::col("id")),
+            low: Box::new(Expr::lit(Value::Int64(a.min(0)))),
+            high: Box::new(Expr::lit(Value::Int64(a.max(0)))),
+            negated: false,
+        },
+        Expr::Between {
+            expr: Box::new(Expr::col("v")),
+            low: Box::new(Expr::lit(Value::Float64(-f.abs()))),
+            high: Box::new(lit_f.clone()),
+            negated: true,
+        },
+        Expr::InList {
+            expr: Box::new(Expr::col("name")),
+            list: vec![lit_s.clone(), Expr::lit(Value::Utf8("ab".into()))],
+            negated: false,
+        },
+        Expr::InList {
+            expr: Box::new(Expr::col("id")),
+            list: vec![lit_i.clone(), Expr::lit(Value::Int64(0)), lit_q.clone()],
+            negated: true,
+        },
+        Expr::IsNull {
+            expr: Box::new(Expr::col("v")),
+            negated: false,
+        },
+        Expr::IsNull {
+            expr: Box::new(Expr::col("name")),
+            negated: true,
+        },
+    ]
+}
+
+/// Cell-wise equality of two evaluation outputs (cross-width numeric
+/// equality is fine: `Value`'s `PartialEq` goes through `sql_eq`).
+fn columns_agree(
+    vec_col: &lazyetl_store::Column,
+    sca_col: &lazyetl_store::Column,
+) -> std::result::Result<(), String> {
+    if vec_col.len() != sca_col.len() {
+        return Err(format!("lengths {} vs {}", vec_col.len(), sca_col.len()));
+    }
+    for i in 0..vec_col.len() {
+        let a = vec_col.get(i).map_err(|e| e.to_string())?;
+        let b = sca_col.get(i).map_err(|e| e.to_string())?;
+        if a.is_null() != b.is_null() || (!a.is_null() && a != b) {
+            return Err(format!("row {i}: vectorized {a} vs scalar {b}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Vectorized evaluation ≡ the scalar interpreter, values and errors.
+    #[test]
+    fn kernels_match_scalar_oracle(
+        rows in prop::collection::vec(row_strategy(), 0..48),
+        a in -100i64..100,
+        b in -10i32..10,
+        f in -100.0f64..100.0,
+        s in "[a-d]{0,2}",
+    ) {
+        let t = table_of(&rows);
+        let opts = EvalOptions::default();
+        for e in expr_zoo(a, b, f, &s) {
+            let vectorized = eval_expr_opts(&e, &t, &opts);
+            let scalar = eval_expr_scalar(&e, &t);
+            match (vectorized, scalar) {
+                (Ok(vc), Ok(sc)) => {
+                    if let Err(msg) = columns_agree(&vc, &sc) {
+                        prop_assert!(false, "expr {}: {}", e, msg);
+                    }
+                }
+                (Err(_), Err(_)) => {} // both reject identically-shaped input
+                (v, s) => prop_assert!(
+                    false,
+                    "expr {}: one path failed ({:?} vs {:?})",
+                    e,
+                    v.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// Predicate masks agree bit for bit (NULL → not selected).
+    #[test]
+    fn predicate_masks_match(
+        rows in prop::collection::vec(row_strategy(), 0..48),
+        a in -100i64..100,
+        b in -10i32..10,
+        f in -100.0f64..100.0,
+        s in "[a-d]{0,2}",
+    ) {
+        let t = table_of(&rows);
+        let opts = EvalOptions::default();
+        for e in expr_zoo(a, b, f, &s) {
+            let vectorized = eval_predicate_mask_opts(&e, &t, &opts);
+            let scalar = eval_predicate_mask_scalar(&e, &t);
+            match (vectorized, scalar) {
+                (Ok(v), Ok(s)) => prop_assert_eq!(v, s, "expr {}", e),
+                (Err(_), Err(_)) => {}
+                (v, s) => prop_assert!(
+                    false,
+                    "expr {}: one path failed ({:?} vs {:?})",
+                    e,
+                    v.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
+    }
+
+    /// The ≥3-integer-key packed hash join ≡ the generic GroupKey join,
+    /// including NULL keys (which never match) and negative key ranges
+    /// (which exercise the offset encoding).
+    #[test]
+    fn multi_key_join_packing_matches_generic(
+        left in prop::collection::vec(
+            (prop::option::of(-3i64..3), 0i64..4, -1_000_000i64..-999_990, 0i64..100),
+            0..24,
+        ),
+        right in prop::collection::vec(
+            (prop::option::of(-3i64..3), 0i64..4, -1_000_000i64..-999_990, 100i64..200),
+            0..24,
+        ),
+    ) {
+        let schema = Schema::new(vec![
+            Field::nullable("k1", DataType::Int64),
+            Field::new("k2", DataType::Int64),
+            Field::new("k3", DataType::Int64),
+            Field::new("payload", DataType::Int64),
+        ])
+        .unwrap();
+        let fill = |rows: &[(Option<i64>, i64, i64, i64)]| {
+            let mut t = Table::empty(schema.clone());
+            for &(k1, k2, k3, p) in rows {
+                t.append_row(vec![
+                    k1.map_or(Value::Null, Value::Int64),
+                    Value::Int64(k2),
+                    Value::Int64(k3),
+                    Value::Int64(p),
+                ])
+                .unwrap();
+            }
+            t
+        };
+        let mut catalog = Catalog::new();
+        catalog.create_table("a", fill(&left)).unwrap();
+        catalog.create_table("b", fill(&right)).unwrap();
+        let src = TableSource::new(&catalog);
+        let sql = "SELECT a.payload, b.payload FROM a JOIN b \
+                   ON a.k1 = b.k1 AND a.k2 = b.k2 AND a.k3 = b.k3";
+        let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+        let packed = execute(&plan, &ExecContext::new(&catalog)).unwrap();
+        let generic_ctx = ExecContext {
+            vectorized: false,
+            ..ExecContext::new(&catalog)
+        };
+        let generic = execute(&plan, &generic_ctx).unwrap();
+        prop_assert_eq!(packed.num_rows(), generic.num_rows());
+        for i in 0..packed.num_rows() {
+            prop_assert_eq!(
+                packed.row(i).unwrap(),
+                generic.row(i).unwrap(),
+                "row {} diverged",
+                i
+            );
+        }
+    }
+
+    /// Zone-map pruning ≡ no pruning, on predicates straddling, inside,
+    /// and fully outside the generated value ranges.
+    #[test]
+    fn zone_map_pruning_preserves_results(
+        rows in prop::collection::vec(row_strategy(), 0..48),
+        bound in -2000i64..2000,
+        fbound in -2e6f64..2e6,
+        sbound in "[a-e]{0,2}",
+    ) {
+        let mut catalog = Catalog::new();
+        catalog.create_table("t", table_of(&rows)).unwrap();
+        let src = TableSource::new(&catalog);
+        let queries = [
+            format!("SELECT id, v FROM t WHERE id > {bound}"),
+            format!("SELECT id, v FROM t WHERE id <= {bound} AND v < {fbound}"),
+            format!("SELECT name FROM t WHERE name = '{sbound}'"),
+            format!("SELECT id FROM t WHERE id BETWEEN {bound} AND {}", bound + 40),
+            format!("SELECT id FROM t WHERE id IN ({bound}, {}, 0)", bound + 1),
+            format!("SELECT q FROM t WHERE q <> {bound}"),
+        ];
+        for sql in &queries {
+            let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+            let pruned = execute(&plan, &ExecContext::new(&catalog)).unwrap();
+            let unpruned_ctx = ExecContext {
+                zone_map_pruning: false,
+                ..ExecContext::new(&catalog)
+            };
+            let unpruned: Arc<Table> = execute(&plan, &unpruned_ctx).unwrap();
+            prop_assert_eq!(pruned.num_rows(), unpruned.num_rows(), "{}", sql);
+            for i in 0..pruned.num_rows() {
+                prop_assert_eq!(
+                    pruned.row(i).unwrap(),
+                    unpruned.row(i).unwrap(),
+                    "{} row {}",
+                    sql,
+                    i
+                );
+            }
+        }
+    }
+}

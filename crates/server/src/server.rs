@@ -327,6 +327,10 @@ impl Shared {
             ("warehouse.cache_evictions", w.cache.evictions),
             ("warehouse.segments_loaded", w.cache.segments_loaded),
             ("warehouse.pending_segments", w.pending_segments as u64),
+            ("warehouse.rows_scanned", w.exec.rows_scanned),
+            ("warehouse.rows_pruned", w.exec.rows_pruned),
+            ("warehouse.vectorized_batches", w.exec.vectorized_batches),
+            ("warehouse.scalar_fallbacks", w.exec.scalar_fallbacks),
         ] {
             out.push_str(k);
             out.push('=');

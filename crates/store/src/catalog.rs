@@ -7,9 +7,10 @@
 //! view definitions are simply expanded into the query" (§3.2).
 
 use crate::error::{Result, StoreError};
+use crate::stats::{table_stats, ColumnStats};
 use crate::table::Table;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A foreign-key relationship recorded for documentation/validation.
 ///
@@ -47,7 +48,17 @@ pub struct Catalog {
     tables: BTreeMap<String, Arc<Table>>,
     views: BTreeMap<String, ViewDef>,
     foreign_keys: Vec<ForeignKey>,
+    /// Per-table mutation counters: any path that can change a table's
+    /// rows bumps its version, invalidating the memoized zone map below.
+    versions: BTreeMap<String, u64>,
+    /// Memoized per-table column statistics (the zone maps), keyed by the
+    /// version they were computed at. Interior mutability lets read-only
+    /// query execution fill the cache under the warehouse's shared lock.
+    zone_maps: Mutex<ZoneMapCache>,
 }
+
+/// Table name → (version it was computed at, its column statistics).
+type ZoneMapCache = BTreeMap<String, (u64, Arc<Vec<ColumnStats>>)>;
 
 impl Catalog {
     /// An empty catalog.
@@ -61,6 +72,7 @@ impl Catalog {
         if self.tables.contains_key(&key) || self.views.contains_key(&key) {
             return Err(StoreError::Catalog(format!("name {name:?} already exists")));
         }
+        self.bump_version(&key);
         self.tables.insert(key, Arc::new(table));
         Ok(())
     }
@@ -71,8 +83,13 @@ impl Catalog {
         if !self.tables.contains_key(&key) {
             return Err(StoreError::Catalog(format!("no table named {name:?}")));
         }
+        self.bump_version(&key);
         self.tables.insert(key, Arc::new(table));
         Ok(())
+    }
+
+    fn bump_version(&mut self, key: &str) {
+        *self.versions.entry(key.to_string()).or_insert(0) += 1;
     }
 
     /// Register a non-materialized view over a SQL definition.
@@ -113,9 +130,44 @@ impl Catalog {
 
     /// Mutable table lookup (copy-on-write if a scan still holds the Arc).
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables
-            .get_mut(&name.to_ascii_lowercase())
-            .map(Arc::make_mut)
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            // Handing out `&mut Table` invalidates the memoized zone map.
+            self.bump_version(&key);
+        }
+        self.tables.get_mut(&key).map(Arc::make_mut)
+    }
+
+    /// Per-column min/max/null statistics of a table — its zone map.
+    ///
+    /// Computed on first request at the table's current version and
+    /// memoized; any mutation path ([`Catalog::replace_table`],
+    /// [`Catalog::table_mut`]) invalidates the entry, so a returned map is
+    /// always consistent with the rows a concurrent scan sees. The
+    /// executor consults this to skip scans whose filter provably excludes
+    /// the whole `[min, max]` range.
+    pub fn zone_map(&self, name: &str) -> Option<Arc<Vec<ColumnStats>>> {
+        let key = name.to_ascii_lowercase();
+        let table = self.tables.get(&key)?;
+        let version = self.versions.get(&key).copied().unwrap_or(0);
+        {
+            let maps = self.zone_maps.lock().expect("zone map cache poisoned");
+            if let Some((v, stats)) = maps.get(&key) {
+                if *v == version {
+                    return Some(stats.clone());
+                }
+            }
+        }
+        // Compute outside the lock: the statistics pass is O(rows ×
+        // columns) and must not serialize other queries' (warm) lookups.
+        // Two racing threads at most duplicate the computation; the table
+        // itself cannot change underneath — mutation requires `&mut self`.
+        let stats = Arc::new(table_stats(table));
+        self.zone_maps
+            .lock()
+            .expect("zone map cache poisoned")
+            .insert(key, (version, stats.clone()));
+        Some(stats)
     }
 
     /// View lookup (case-insensitive).
@@ -176,6 +228,31 @@ mod tests {
         assert!(c.replace_table("nope", t()).is_err());
         c.create_table("a", t()).unwrap();
         c.replace_table("a", t()).unwrap();
+    }
+
+    #[test]
+    fn zone_map_memoizes_and_invalidates() {
+        use crate::types::Value;
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int32)]).unwrap();
+        let mut table = Table::empty(schema);
+        table.append_row(vec![Value::Int32(3)]).unwrap();
+        table.append_row(vec![Value::Int32(9)]).unwrap();
+        c.create_table("t", table).unwrap();
+        let zm = c.zone_map("t").unwrap();
+        assert_eq!(zm[0].min, Some(Value::Int32(3)));
+        assert_eq!(zm[0].max, Some(Value::Int32(9)));
+        // Memoized: same Arc returned while the table is untouched.
+        let again = c.zone_map("T").unwrap();
+        assert!(Arc::ptr_eq(&zm, &again), "unchanged table reuses the map");
+        // Mutation invalidates.
+        c.table_mut("t")
+            .unwrap()
+            .append_row(vec![Value::Int32(-1)])
+            .unwrap();
+        let fresh = c.zone_map("t").unwrap();
+        assert_eq!(fresh[0].min, Some(Value::Int32(-1)));
+        assert!(c.zone_map("missing").is_none());
     }
 
     #[test]

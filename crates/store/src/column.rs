@@ -104,13 +104,65 @@ impl Column {
         Column::new(data)
     }
 
-    /// Build a column from scalar values, inferring NULLs from the mask.
+    /// Build a column from scalar values in a single typed pass.
+    ///
+    /// Dispatches on `dt` once, then appends raw payloads directly —
+    /// no per-`Value` [`Column::push`] type check. The widening rules are
+    /// the same as `push`: `Int32` loads into `Int64`/`Float64` columns,
+    /// `Int64` into `Float64` and `Timestamp`.
     pub fn from_values(dt: DataType, values: &[Value]) -> Result<Column> {
-        let mut col = Column::empty(dt);
-        for v in values {
-            col.push(v.clone())?;
+        let n = values.len();
+        let mut validity: Option<Vec<bool>> = None;
+        let mismatch = |value: &Value| StoreError::TypeMismatch {
+            expected: dt.name().to_string(),
+            found: value
+                .data_type()
+                .map(|d| d.name().to_string())
+                .unwrap_or_else(|| "NULL".to_string()),
+        };
+        macro_rules! build {
+            ($variant:ident, $zero:expr, |$v:ident| $extract:expr) => {{
+                let mut out = Vec::with_capacity(n);
+                for (i, $v) in values.iter().enumerate() {
+                    match $extract {
+                        Some(x) => out.push(x),
+                        None if $v.is_null() => {
+                            validity.get_or_insert_with(|| vec![true; n])[i] = false;
+                            out.push($zero);
+                        }
+                        None => return Err(mismatch($v)),
+                    }
+                }
+                ColumnData::$variant(out)
+            }};
         }
-        Ok(col)
+        let data = match dt {
+            DataType::Bool => build!(Bool, false, |v| v.as_bool()),
+            DataType::Int32 => build!(Int32, 0i32, |v| match v {
+                Value::Int32(x) => Some(*x),
+                _ => None,
+            }),
+            DataType::Int64 => build!(Int64, 0i64, |v| match v {
+                Value::Int64(x) => Some(*x),
+                Value::Int32(x) => Some(*x as i64),
+                _ => None,
+            }),
+            DataType::Float64 => build!(Float64, 0.0f64, |v| match v {
+                Value::Float64(x) => Some(*x),
+                Value::Int32(x) => Some(*x as f64),
+                Value::Int64(x) => Some(*x as f64),
+                _ => None,
+            }),
+            DataType::Utf8 => build!(Utf8, String::new(), |v| match v {
+                Value::Utf8(s) => Some(s.clone()),
+                _ => None,
+            }),
+            DataType::Timestamp => build!(Timestamp, 0i64, |v| match v {
+                Value::Timestamp(x) | Value::Int64(x) => Some(*x),
+                _ => None,
+            }),
+        };
+        Ok(Column { data, validity })
     }
 
     /// Number of rows.
@@ -131,6 +183,12 @@ impl Column {
     /// Raw data access.
     pub fn data(&self) -> &ColumnData {
         &self.data
+    }
+
+    /// Raw validity access (`None` = all rows valid). Kernel loops pair
+    /// this with [`Column::data`] to stay off the boxed-`Value` path.
+    pub fn validity(&self) -> Option<&Vec<bool>> {
+        self.validity.as_ref()
     }
 
     /// True when row `i` is NULL.
@@ -215,6 +273,10 @@ impl Column {
     }
 
     /// New column keeping rows where `mask` is true.
+    ///
+    /// One type dispatch, then a bulk copy into a pre-sized buffer —
+    /// primitive payloads move as plain `Copy` loads, never through a
+    /// boxed [`Value`].
     pub fn filter(&self, mask: &[bool]) -> Result<Column> {
         if mask.len() != self.len() {
             return Err(StoreError::RaggedTable {
@@ -223,62 +285,70 @@ impl Column {
                 column: "<filter mask>".into(),
             });
         }
-        macro_rules! filt {
+        let kept = mask.iter().filter(|&&m| m).count();
+        macro_rules! filt_copy {
             ($v:expr, $variant:ident) => {{
-                let kept: Vec<_> = $v
-                    .iter()
-                    .zip(mask)
-                    .filter(|(_, &m)| m)
-                    .map(|(x, _)| x.clone())
-                    .collect();
-                ColumnData::$variant(kept)
+                let mut out = Vec::with_capacity(kept);
+                out.extend($v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x));
+                ColumnData::$variant(out)
             }};
         }
         let data = match &self.data {
-            ColumnData::Bool(v) => filt!(v, Bool),
-            ColumnData::Int32(v) => filt!(v, Int32),
-            ColumnData::Int64(v) => filt!(v, Int64),
-            ColumnData::Float64(v) => filt!(v, Float64),
-            ColumnData::Utf8(v) => filt!(v, Utf8),
-            ColumnData::Timestamp(v) => filt!(v, Timestamp),
+            ColumnData::Bool(v) => filt_copy!(v, Bool),
+            ColumnData::Int32(v) => filt_copy!(v, Int32),
+            ColumnData::Int64(v) => filt_copy!(v, Int64),
+            ColumnData::Float64(v) => filt_copy!(v, Float64),
+            ColumnData::Timestamp(v) => filt_copy!(v, Timestamp),
+            ColumnData::Utf8(v) => {
+                let mut out = Vec::with_capacity(kept);
+                out.extend(
+                    v.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(x, _)| x.clone()),
+                );
+                ColumnData::Utf8(out)
+            }
         };
         let validity = self.validity.as_ref().map(|val| {
-            val.iter()
-                .zip(mask)
-                .filter(|(_, &m)| m)
-                .map(|(&ok, _)| ok)
-                .collect()
+            let mut out = Vec::with_capacity(kept);
+            out.extend(val.iter().zip(mask).filter(|(_, &m)| m).map(|(&ok, _)| ok));
+            out
         });
         Ok(Column { data, validity })
     }
 
-    /// New column of the rows at `indices` (gather).
+    /// New column of the rows at `indices` (gather), with the same
+    /// dispatch-once bulk-copy shape as [`Column::filter`].
     pub fn take(&self, indices: &[usize]) -> Result<Column> {
-        for &i in indices {
-            if i >= self.len() {
-                return Err(StoreError::OutOfBounds {
-                    index: i,
-                    len: self.len(),
-                });
-            }
+        let len = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(StoreError::OutOfBounds { index: bad, len });
         }
-        macro_rules! gather {
-            ($v:expr, $variant:ident) => {
-                ColumnData::$variant(indices.iter().map(|&i| $v[i].clone()).collect())
-            };
+        macro_rules! gather_copy {
+            ($v:expr, $variant:ident) => {{
+                let mut out = Vec::with_capacity(indices.len());
+                out.extend(indices.iter().map(|&i| $v[i]));
+                ColumnData::$variant(out)
+            }};
         }
         let data = match &self.data {
-            ColumnData::Bool(v) => gather!(v, Bool),
-            ColumnData::Int32(v) => gather!(v, Int32),
-            ColumnData::Int64(v) => gather!(v, Int64),
-            ColumnData::Float64(v) => gather!(v, Float64),
-            ColumnData::Utf8(v) => gather!(v, Utf8),
-            ColumnData::Timestamp(v) => gather!(v, Timestamp),
+            ColumnData::Bool(v) => gather_copy!(v, Bool),
+            ColumnData::Int32(v) => gather_copy!(v, Int32),
+            ColumnData::Int64(v) => gather_copy!(v, Int64),
+            ColumnData::Float64(v) => gather_copy!(v, Float64),
+            ColumnData::Timestamp(v) => gather_copy!(v, Timestamp),
+            ColumnData::Utf8(v) => {
+                let mut out = Vec::with_capacity(indices.len());
+                out.extend(indices.iter().map(|&i| v[i].clone()));
+                ColumnData::Utf8(out)
+            }
         };
-        let validity = self
-            .validity
-            .as_ref()
-            .map(|val| indices.iter().map(|&i| val[i]).collect());
+        let validity = self.validity.as_ref().map(|val| {
+            let mut out = Vec::with_capacity(indices.len());
+            out.extend(indices.iter().map(|&i| val[i]));
+            out
+        });
         Ok(Column { data, validity })
     }
 

@@ -1,0 +1,837 @@
+//! Typed batch kernels — the vectorized execution primitives.
+//!
+//! MonetDB's speed comes from column-at-a-time *primitives*: tight typed
+//! loops over contiguous arrays, one operator invocation per column
+//! instead of one interpreter dispatch per value. This module is that
+//! layer for the reproduction. Every kernel:
+//!
+//! * consumes [`Column`]s (typed vectors + optional validity masks),
+//! * dispatches **once** on the type pairing, then runs a branch-light
+//!   loop over the raw slices,
+//! * is null-mask-aware (SQL three-valued semantics for booleans, NULL-in
+//!   → NULL-out for arithmetic),
+//! * returns `None` when it has no fast path for the requested shape —
+//!   callers fall back to the scalar evaluator, which remains the
+//!   semantic reference.
+//!
+//! Boolean results are [`BoolMask`]s: a packed `Vec<bool>` plus an
+//! optional validity vector, combinable with Kleene AND/OR/NOT without
+//! re-boxing into `Value`s.
+
+use crate::column::{Column, ColumnData};
+use crate::types::Value;
+use std::cmp::Ordering;
+
+/// The six comparison operators, decoupled from the SQL expression tree so
+/// the store can implement them without depending on the query crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl CmpOp {
+    /// Does `ord` (of left vs right) satisfy this operator?
+    #[inline]
+    pub fn matches(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::NotEq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::LtEq => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::GtEq => ord != Ordering::Less,
+        }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+}
+
+/// The five arithmetic operators the kernels cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (always DOUBLE, `x / 0` → NULL)
+    Div,
+    /// `%` (`x % 0` → NULL)
+    Mod,
+}
+
+/// A packed boolean vector with SQL NULL tracking.
+///
+/// `bits[i]` is the value of row `i` (`false` where NULL); a row is NULL
+/// when `validity` is present and `validity[i]` is `false`. `validity:
+/// None` means every row is definite — the common all-valid case stays
+/// allocation-free and combines with plain slice loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolMask {
+    /// Packed values (`false` where the row is NULL).
+    pub bits: Vec<bool>,
+    /// `false` marks a NULL row; `None` = all rows definite.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl BoolMask {
+    /// An all-definite mask.
+    pub fn from_bits(bits: Vec<bool>) -> BoolMask {
+        BoolMask {
+            bits,
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when the mask covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// View a `Bool` column as a mask (shares SQL NULL semantics).
+    /// Returns `None` for non-boolean columns.
+    pub fn from_column(col: &Column) -> Option<BoolMask> {
+        match col.data() {
+            ColumnData::Bool(v) => Some(BoolMask {
+                bits: v.clone(),
+                validity: col.validity().cloned(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Tri-state view of row `i`: `Some(bool)` definite, `None` = NULL.
+    #[inline]
+    fn tri(&self, i: usize) -> Option<bool> {
+        if self.validity.as_ref().is_none_or(|v| v[i]) {
+            Some(self.bits[i])
+        } else {
+            None
+        }
+    }
+
+    /// Kleene AND: `false` dominates NULL.
+    pub fn and(&self, other: &BoolMask) -> BoolMask {
+        debug_assert_eq!(self.len(), other.len());
+        let n = self.len();
+        let bits: Vec<bool> = (0..n).map(|i| self.bits[i] && other.bits[i]).collect();
+        let validity = match (&self.validity, &other.validity) {
+            (None, None) => None,
+            _ => {
+                // Row is definite when both sides are definite, or one
+                // side is a definite false.
+                let mut valid = Vec::with_capacity(n);
+                for i in 0..n {
+                    let a = self.tri(i);
+                    let b = other.tri(i);
+                    // Definite when both sides are, or either is a
+                    // definite false (false dominates NULL).
+                    valid.push(matches!(
+                        (a, b),
+                        (Some(false), _) | (_, Some(false)) | (Some(_), Some(_))
+                    ));
+                }
+                Some(valid)
+            }
+        };
+        BoolMask { bits, validity }.normalized()
+    }
+
+    /// Kleene OR: `true` dominates NULL.
+    pub fn or(&self, other: &BoolMask) -> BoolMask {
+        debug_assert_eq!(self.len(), other.len());
+        let n = self.len();
+        let bits: Vec<bool> = (0..n).map(|i| self.bits[i] || other.bits[i]).collect();
+        let validity = match (&self.validity, &other.validity) {
+            (None, None) => None,
+            _ => {
+                let mut valid = Vec::with_capacity(n);
+                for i in 0..n {
+                    let a = self.tri(i);
+                    let b = other.tri(i);
+                    // Definite when both sides are, or either is a
+                    // definite true (true dominates NULL).
+                    valid.push(matches!(
+                        (a, b),
+                        (Some(true), _) | (_, Some(true)) | (Some(_), Some(_))
+                    ));
+                }
+                Some(valid)
+            }
+        };
+        BoolMask { bits, validity }.normalized()
+    }
+
+    /// Three-valued NOT: definite values flip, NULL stays NULL.
+    pub fn not(&self) -> BoolMask {
+        let bits = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let definite = self.validity.as_ref().is_none_or(|v| v[i]);
+                definite && !b
+            })
+            .collect();
+        BoolMask {
+            bits,
+            validity: self.validity.clone(),
+        }
+    }
+
+    /// Collapse to a selection vector: NULL rows select nothing (the SQL
+    /// `WHERE` rule).
+    pub fn into_selection(self) -> Vec<bool> {
+        match self.validity {
+            None => self.bits,
+            Some(valid) => self
+                .bits
+                .into_iter()
+                .zip(valid)
+                .map(|(b, ok)| b && ok)
+                .collect(),
+        }
+    }
+
+    /// Convert to a nullable `Bool` column.
+    pub fn into_column(self) -> Column {
+        match self.validity {
+            None => Column::new(ColumnData::Bool(self.bits)),
+            Some(valid) => Column::with_validity(ColumnData::Bool(self.bits), valid)
+                .expect("mask vectors are equal length"),
+        }
+    }
+
+    /// Drop an all-true validity vector (keeps the all-valid case cheap
+    /// for downstream combinators).
+    fn normalized(mut self) -> BoolMask {
+        if let Some(v) = &self.validity {
+            if v.iter().all(|&ok| ok) {
+                self.validity = None;
+            }
+        }
+        self
+    }
+}
+
+/// Wrap packed bits with an optional validity vector, zeroing the bit of
+/// every NULL row so padded payloads never leak into the mask. The one
+/// NULL-normalization point for all boolean kernels.
+fn masked(bits: Vec<bool>, validity: Option<Vec<bool>>) -> BoolMask {
+    match validity {
+        None => BoolMask::from_bits(bits),
+        Some(valid) => BoolMask {
+            bits: bits
+                .into_iter()
+                .zip(&valid)
+                .map(|(b, &ok)| b && ok)
+                .collect(),
+            validity: Some(valid),
+        },
+    }
+}
+
+/// [`masked`] against one column's own validity.
+#[inline]
+fn mask_of(col: &Column, bits: Vec<bool>) -> BoolMask {
+    masked(bits, col.validity().cloned())
+}
+
+/// Compare every row of `col` against one literal.
+///
+/// Covered pairings — exactly the ones `Value::sql_cmp` orders, so a
+/// kernel answer and the scalar reference can never disagree; every
+/// other pairing (notably `Timestamp` vs `Int32`/`Float64`, which
+/// `sql_cmp` rejects) returns `None` and the scalar evaluator owns the
+/// semantics, error included:
+///
+/// | column        | literal               | loop compares      |
+/// |---------------|-----------------------|--------------------|
+/// | `Int64`       | int-like / `Float64`  | `i64` / widened f64|
+/// | `Timestamp`   | `Int64` / `Timestamp` | `i64` vs `i64`     |
+/// | `Int32`       | `Int32`/`Int64`/`Float64` | widened        |
+/// | `Float64`     | `Int32`/`Int64`/`Float64` | `total_cmp`    |
+/// | `Utf8`        | `Utf8`                | `&str` (no clones) |
+/// | `Bool`        | `Bool`                | `bool`             |
+pub fn compare_scalar(col: &Column, op: CmpOp, lit: &Value) -> Option<BoolMask> {
+    if lit.is_null() {
+        return None; // NULL comparisons: let the scalar evaluator do 3VL
+    }
+    macro_rules! kernel {
+        ($data:expr, $target:expr, $cmp:expr) => {{
+            let target = $target;
+            let bits: Vec<bool> = $data.iter().map(|v| op.matches($cmp(v, &target))).collect();
+            Some(mask_of(col, bits))
+        }};
+    }
+    match (col.data(), lit) {
+        (ColumnData::Int64(d), Value::Int32(_) | Value::Int64(_) | Value::Timestamp(_))
+        | (ColumnData::Timestamp(d), Value::Int64(_) | Value::Timestamp(_)) => {
+            kernel!(d, lit.as_i64()?, |a: &i64, b: &i64| a.cmp(b))
+        }
+        (ColumnData::Int32(d), Value::Int32(_) | Value::Int64(_)) => {
+            kernel!(d, lit.as_i64()?, |a: &i32, b: &i64| (*a as i64).cmp(b))
+        }
+        (ColumnData::Int32(d), Value::Float64(t)) => {
+            kernel!(d, *t, |a: &i32, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (ColumnData::Int64(d), Value::Float64(t)) => {
+            kernel!(d, *t, |a: &i64, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (ColumnData::Float64(d), Value::Int32(_) | Value::Int64(_) | Value::Float64(_)) => {
+            kernel!(d, lit.as_f64()?, |a: &f64, b: &f64| a.total_cmp(b))
+        }
+        (ColumnData::Utf8(d), Value::Utf8(t)) => {
+            kernel!(d, t.as_str(), |a: &String, b: &&str| a.as_str().cmp(b))
+        }
+        (ColumnData::Bool(d), Value::Bool(t)) => {
+            kernel!(d, *t, |a: &bool, b: &bool| a.cmp(b))
+        }
+        _ => None,
+    }
+}
+
+/// Compare two columns row-by-row (same pairings as [`compare_scalar`],
+/// plus mixed integer widths). Lengths must agree; `None` when the type
+/// pairing has no kernel.
+pub fn compare_columns(left: &Column, right: &Column, op: CmpOp) -> Option<BoolMask> {
+    if left.len() != right.len() {
+        return None;
+    }
+    // A row is NULL when either input is NULL.
+    let n = left.len();
+    let validity = validity_union(left.validity(), right.validity(), n);
+    macro_rules! kernel {
+        ($l:expr, $r:expr, $cmp:expr) => {{
+            let bits: Vec<bool> = $l
+                .iter()
+                .zip($r.iter())
+                .map(|(a, b)| op.matches($cmp(a, b)))
+                .collect();
+            Some(masked(bits, validity))
+        }};
+    }
+    use ColumnData as CD;
+    match (left.data(), right.data()) {
+        (CD::Int64(l), CD::Int64(r))
+        | (CD::Int64(l), CD::Timestamp(r))
+        | (CD::Timestamp(l), CD::Int64(r))
+        | (CD::Timestamp(l), CD::Timestamp(r)) => kernel!(l, r, |a: &i64, b: &i64| a.cmp(b)),
+        (CD::Int32(l), CD::Int32(r)) => kernel!(l, r, |a: &i32, b: &i32| a.cmp(b)),
+        (CD::Int32(l), CD::Int64(r)) => kernel!(l, r, |a: &i32, b: &i64| (*a as i64).cmp(b)),
+        (CD::Int64(l), CD::Int32(r)) => kernel!(l, r, |a: &i64, b: &i32| a.cmp(&(*b as i64))),
+        (CD::Float64(l), CD::Float64(r)) => kernel!(l, r, |a: &f64, b: &f64| a.total_cmp(b)),
+        (CD::Float64(l), CD::Int32(r)) => {
+            kernel!(l, r, |a: &f64, b: &i32| a.total_cmp(&(*b as f64)))
+        }
+        (CD::Float64(l), CD::Int64(r)) => {
+            kernel!(l, r, |a: &f64, b: &i64| a.total_cmp(&(*b as f64)))
+        }
+        (CD::Int32(l), CD::Float64(r)) => {
+            kernel!(l, r, |a: &i32, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (CD::Int64(l), CD::Float64(r)) => {
+            kernel!(l, r, |a: &i64, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (CD::Utf8(l), CD::Utf8(r)) => kernel!(l, r, |a: &String, b: &String| a.cmp(b)),
+        (CD::Bool(l), CD::Bool(r)) => kernel!(l, r, |a: &bool, b: &bool| a.cmp(b)),
+        _ => None,
+    }
+}
+
+/// Union of two optional validity vectors (row valid when both are).
+fn validity_union(l: Option<&Vec<bool>>, r: Option<&Vec<bool>>, n: usize) -> Option<Vec<bool>> {
+    match (l, r) {
+        (None, None) => None,
+        (l, r) => Some(
+            (0..n)
+                .map(|i| l.is_none_or(|v| v[i]) && r.is_none_or(|v| v[i]))
+                .collect(),
+        ),
+    }
+}
+
+/// Wrap typed output data with a validity vector, dropping all-true masks.
+fn column_with(data: ColumnData, validity: Option<Vec<bool>>) -> Column {
+    match validity {
+        Some(v) if !v.iter().all(|&ok| ok) => {
+            Column::with_validity(data, v).expect("kernel output lengths agree")
+        }
+        _ => Column::new(data),
+    }
+}
+
+/// Integer arithmetic loop shared by the scalar and column-column
+/// kernels. Returns `None` on overflow or on a would-be `Int32`-typed
+/// result that no longer fits `i32` — the scalar evaluator then owns the
+/// (error) semantics.
+fn int_arith(
+    op: ArithOp,
+    pairs: impl Iterator<Item = (i64, i64)>,
+    n: usize,
+    validity: Option<Vec<bool>>,
+    narrow_to_i32: bool,
+) -> Option<Column> {
+    let mut out: Vec<i64> = Vec::with_capacity(n);
+    let mut nulls = validity;
+    for (i, (a, b)) in pairs.enumerate() {
+        if nulls.as_ref().is_some_and(|v| !v[i]) {
+            out.push(0);
+            continue;
+        }
+        let v = match op {
+            ArithOp::Add => a.checked_add(b)?,
+            ArithOp::Sub => a.checked_sub(b)?,
+            ArithOp::Mul => a.checked_mul(b)?,
+            ArithOp::Mod => {
+                if b == 0 {
+                    // SQL: x % 0 -> NULL.
+                    nulls.get_or_insert_with(|| vec![true; n])[i] = false;
+                    out.push(0);
+                    continue;
+                }
+                a.checked_rem(b)?
+            }
+            ArithOp::Div => unreachable!("division always takes the float kernel"),
+        };
+        if narrow_to_i32 && i32::try_from(v).is_err() {
+            return None; // scalar path reports the narrowing failure
+        }
+        out.push(v);
+    }
+    let data = if narrow_to_i32 {
+        ColumnData::Int32(out.into_iter().map(|v| v as i32).collect())
+    } else {
+        ColumnData::Int64(out)
+    };
+    Some(column_with(data, nulls))
+}
+
+/// Float arithmetic loop (`/ 0` and `% 0` yield NULL).
+fn float_arith(
+    op: ArithOp,
+    pairs: impl Iterator<Item = (f64, f64)>,
+    n: usize,
+    validity: Option<Vec<bool>>,
+) -> Column {
+    let mut out: Vec<f64> = Vec::with_capacity(n);
+    let mut nulls = validity;
+    for (i, (a, b)) in pairs.enumerate() {
+        if nulls.as_ref().is_some_and(|v| !v[i]) {
+            out.push(0.0);
+            continue;
+        }
+        let v = match op {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div | ArithOp::Mod => {
+                if b == 0.0 {
+                    nulls.get_or_insert_with(|| vec![true; n])[i] = false;
+                    out.push(0.0);
+                    continue;
+                }
+                if op == ArithOp::Div {
+                    a / b
+                } else {
+                    a % b
+                }
+            }
+        };
+        out.push(v);
+    }
+    column_with(ColumnData::Float64(out), nulls)
+}
+
+/// Integer view of a numeric column's raw slice, widened to `i64`.
+/// Borrows when the physical type already is `i64`; only `Int32`
+/// widening allocates. Shared with the executor's join-key packing.
+pub fn as_i64_slice(col: &Column) -> Option<std::borrow::Cow<'_, [i64]>> {
+    use std::borrow::Cow;
+    match col.data() {
+        ColumnData::Int64(v) | ColumnData::Timestamp(v) => Some(Cow::Borrowed(v.as_slice())),
+        ColumnData::Int32(v) => Some(Cow::Owned(v.iter().map(|&x| x as i64).collect())),
+        _ => None,
+    }
+}
+
+/// Float view of a numeric column's raw slice (borrowed for `Float64`,
+/// widened copies for the integer types).
+fn as_f64_slice(col: &Column) -> Option<std::borrow::Cow<'_, [f64]>> {
+    use std::borrow::Cow;
+    match col.data() {
+        ColumnData::Float64(v) => Some(Cow::Borrowed(v.as_slice())),
+        ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+            Some(Cow::Owned(v.iter().map(|&x| x as f64).collect()))
+        }
+        ColumnData::Int32(v) => Some(Cow::Owned(v.iter().map(|&x| x as f64).collect())),
+        _ => None,
+    }
+}
+
+/// Arithmetic of a column against one literal.
+///
+/// Dispatch mirrors the scalar evaluator's type rules: integer ⊗ integer
+/// stays integral (with `Int32` narrowing when both sides are `Int32`),
+/// division and any float operand go through `f64`, `Timestamp ± integer`
+/// keeps the timestamp type, `Timestamp - Timestamp` yields `Int64`.
+/// Integer overflow declines to the scalar path.
+pub fn arith_scalar(col: &Column, op: ArithOp, lit: &Value, lit_on_left: bool) -> Option<Column> {
+    if lit.is_null() {
+        return None; // NULL ⊗ x: scalar path materializes the NULL column
+    }
+    let n = col.len();
+    let validity = col.validity().cloned();
+    use ColumnData as CD;
+    // Timestamp special cases (only the shapes the scalar path types as
+    // timestamp arithmetic; everything else declines).
+    match (col.data(), lit, op, lit_on_left) {
+        (
+            CD::Timestamp(d),
+            Value::Int32(_) | Value::Int64(_),
+            ArithOp::Add | ArithOp::Sub,
+            false,
+        ) => {
+            let delta = lit.as_i64()?;
+            let out: Vec<i64> = d
+                .iter()
+                .map(|&a| {
+                    if op == ArithOp::Add {
+                        a + delta
+                    } else {
+                        a - delta
+                    }
+                })
+                .collect();
+            return Some(column_with(CD::Timestamp(out), validity));
+        }
+        (CD::Timestamp(d), Value::Timestamp(t), ArithOp::Sub, false) => {
+            let out: Vec<i64> = d.iter().map(|&a| a - t).collect();
+            return Some(column_with(CD::Int64(out), validity));
+        }
+        (CD::Timestamp(_), _, _, _) => return None,
+        (_, Value::Timestamp(_), _, _) => return None,
+        _ => {}
+    }
+    let col_is_int = matches!(col.data(), CD::Int32(_) | CD::Int64(_));
+    let lit_is_int = matches!(lit, Value::Int32(_) | Value::Int64(_));
+    if col_is_int && lit_is_int && op != ArithOp::Div {
+        let narrow = matches!(col.data(), CD::Int32(_)) && matches!(lit, Value::Int32(_));
+        let a = as_i64_slice(col)?;
+        let b = lit.as_i64()?;
+        let pairs = a
+            .iter()
+            .map(move |&x| if lit_on_left { (b, x) } else { (x, b) });
+        return int_arith(op, pairs, n, validity, narrow);
+    }
+    // Float path: any numeric pairing, and all division.
+    let a = as_f64_slice(col)?;
+    let b = lit.as_f64()?;
+    let pairs = a
+        .iter()
+        .map(move |&x| if lit_on_left { (b, x) } else { (x, b) });
+    Some(float_arith(op, pairs, n, validity))
+}
+
+/// Arithmetic of two equal-length columns (same type rules as
+/// [`arith_scalar`]).
+pub fn arith_columns(left: &Column, right: &Column, op: ArithOp) -> Option<Column> {
+    if left.len() != right.len() {
+        return None;
+    }
+    let n = left.len();
+    let validity = validity_union(left.validity(), right.validity(), n);
+    use ColumnData as CD;
+    match (left.data(), right.data(), op) {
+        (CD::Timestamp(l), CD::Timestamp(r), ArithOp::Sub) => {
+            let out: Vec<i64> = l.iter().zip(r).map(|(&a, &b)| a - b).collect();
+            return Some(column_with(CD::Int64(out), validity));
+        }
+        (CD::Timestamp(l), CD::Int32(_) | CD::Int64(_), ArithOp::Add | ArithOp::Sub) => {
+            let r = as_i64_slice(right)?;
+            let out: Vec<i64> = l
+                .iter()
+                .zip(r.iter())
+                .map(|(&a, &b)| if op == ArithOp::Add { a + b } else { a - b })
+                .collect();
+            return Some(column_with(CD::Timestamp(out), validity));
+        }
+        (CD::Timestamp(_), _, _) | (_, CD::Timestamp(_), _) => return None,
+        _ => {}
+    }
+    let both_int = matches!(left.data(), CD::Int32(_) | CD::Int64(_))
+        && matches!(right.data(), CD::Int32(_) | CD::Int64(_));
+    if both_int && op != ArithOp::Div {
+        let narrow = matches!(left.data(), CD::Int32(_)) && matches!(right.data(), CD::Int32(_));
+        let a = as_i64_slice(left)?;
+        let b = as_i64_slice(right)?;
+        return int_arith(
+            op,
+            a.iter().copied().zip(b.iter().copied()),
+            n,
+            validity,
+            narrow,
+        );
+    }
+    let a = as_f64_slice(left)?;
+    let b = as_f64_slice(right)?;
+    Some(float_arith(
+        op,
+        a.iter().copied().zip(b.iter().copied()),
+        n,
+        validity,
+    ))
+}
+
+/// `expr IS [NOT] NULL` as a definite (never-NULL) mask.
+pub fn is_null_mask(col: &Column, negated: bool) -> BoolMask {
+    let bits = match col.validity() {
+        None => vec![negated; col.len()],
+        Some(valid) => valid.iter().map(|&ok| ok == negated).collect(),
+    };
+    BoolMask::from_bits(bits)
+}
+
+/// `col [NOT] IN (literals)` for `Utf8` and integer-typed columns.
+///
+/// Preconditions (else `None`): every list element is a non-NULL literal
+/// of a type `Value::sql_cmp` orders against the column — an element it
+/// *cannot* order would make the scalar reference answer NULL instead of
+/// FALSE, so those lists decline wholesale. NULL rows of the column
+/// yield NULL (SQL semantics); matched rows yield `!negated`, unmatched
+/// rows `negated` — `mask_of` restores the NULL rows at the end.
+pub fn in_list_scalar(col: &Column, list: &[Value], negated: bool) -> Option<BoolMask> {
+    if list.iter().any(|v| v.is_null()) {
+        return None; // NULL list elements need 3VL; scalar path owns it
+    }
+    // Per column family, the element types sql_cmp can order.
+    let int_elems = |ok: fn(&Value) -> bool| -> Option<std::collections::HashSet<i64>> {
+        list.iter()
+            .map(|v| if ok(v) { v.as_i64() } else { None })
+            .collect()
+    };
+    let bits: Vec<bool> = match col.data() {
+        ColumnData::Utf8(d) => {
+            let set: std::collections::HashSet<&str> =
+                list.iter().map(|v| v.as_str()).collect::<Option<_>>()?;
+            d.iter()
+                .map(|s| set.contains(s.as_str()) != negated)
+                .collect()
+        }
+        ColumnData::Int64(d) => {
+            let set = int_elems(|v| {
+                matches!(v, Value::Int32(_) | Value::Int64(_) | Value::Timestamp(_))
+            })?;
+            d.iter().map(|v| set.contains(v) != negated).collect()
+        }
+        ColumnData::Timestamp(d) => {
+            let set = int_elems(|v| matches!(v, Value::Int64(_) | Value::Timestamp(_)))?;
+            d.iter().map(|v| set.contains(v) != negated).collect()
+        }
+        ColumnData::Int32(d) => {
+            let set = int_elems(|v| matches!(v, Value::Int32(_) | Value::Int64(_)))?;
+            d.iter()
+                .map(|&v| set.contains(&(v as i64)) != negated)
+                .collect()
+        }
+        _ => return None,
+    };
+    Some(mask_of(col, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn int_col(vals: &[Option<i64>]) -> Column {
+        let values: Vec<Value> = vals
+            .iter()
+            .map(|v| v.map_or(Value::Null, Value::Int64))
+            .collect();
+        Column::from_values(DataType::Int64, &values).unwrap()
+    }
+
+    #[test]
+    fn compare_scalar_int_with_nulls() {
+        let col = int_col(&[Some(1), None, Some(5), Some(3)]);
+        let m = compare_scalar(&col, CmpOp::Gt, &Value::Int64(2)).unwrap();
+        assert_eq!(m.bits, vec![false, false, true, true]);
+        assert_eq!(m.validity.as_deref(), Some(&[true, false, true, true][..]));
+        assert_eq!(m.into_selection(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn compare_scalar_utf8_borrows() {
+        let col = Column::from_values(
+            DataType::Utf8,
+            &[Value::Utf8("HGN".into()), Value::Utf8("ISK".into())],
+        )
+        .unwrap();
+        let m = compare_scalar(&col, CmpOp::Eq, &Value::Utf8("ISK".into())).unwrap();
+        assert_eq!(m.bits, vec![false, true]);
+        assert!(m.validity.is_none());
+    }
+
+    #[test]
+    fn compare_columns_mixed_widths() {
+        let a = Column::from_values(DataType::Int32, &[Value::Int32(1), Value::Int32(7)]).unwrap();
+        let b = int_col(&[Some(5), Some(7)]);
+        let m = compare_columns(&a, &b, CmpOp::LtEq).unwrap();
+        assert_eq!(m.bits, vec![true, true]);
+        let m = compare_columns(&a, &b, CmpOp::Eq).unwrap();
+        assert_eq!(m.bits, vec![false, true]);
+    }
+
+    #[test]
+    fn kleene_combinators() {
+        // a = [T, N, F], b = [N, N, T]
+        let a = BoolMask {
+            bits: vec![true, false, false],
+            validity: Some(vec![true, false, true]),
+        };
+        let b = BoolMask {
+            bits: vec![false, false, true],
+            validity: Some(vec![false, false, true]),
+        };
+        let and = a.and(&b);
+        // T∧N=N, N∧N=N, F∧T=F
+        assert_eq!(and.into_selection(), vec![false, false, false]);
+        let or = a.or(&b);
+        // T∨N=T, N∨N=N, F∨T=T
+        assert_eq!(or.bits, vec![true, false, true]);
+        assert_eq!(or.validity.as_deref(), Some(&[true, false, true][..]));
+        let not_a = a.not();
+        assert_eq!(not_a.bits, vec![false, false, true]);
+        assert_eq!(not_a.validity.as_deref(), Some(&[true, false, true][..]));
+    }
+
+    #[test]
+    fn arith_scalar_int_and_float() {
+        let col = int_col(&[Some(2), None, Some(4)]);
+        let out = arith_scalar(&col, ArithOp::Mul, &Value::Int64(3), false).unwrap();
+        assert_eq!(out.get(0).unwrap(), Value::Int64(6));
+        assert!(out.get(1).unwrap().is_null());
+        assert_eq!(out.get(2).unwrap(), Value::Int64(12));
+        // Division always floats, and /0 is NULL.
+        let out = arith_scalar(&col, ArithOp::Div, &Value::Int64(0), false).unwrap();
+        assert!(out.get(0).unwrap().is_null());
+        let out = arith_scalar(&col, ArithOp::Div, &Value::Int64(2), false).unwrap();
+        assert_eq!(out.get(0).unwrap(), Value::Float64(1.0));
+        // Literal-on-left subtraction orients correctly.
+        let out = arith_scalar(&col, ArithOp::Sub, &Value::Int64(10), true).unwrap();
+        assert_eq!(out.get(0).unwrap(), Value::Int64(8));
+    }
+
+    #[test]
+    fn arith_overflow_declines() {
+        let col = int_col(&[Some(i64::MAX)]);
+        assert!(arith_scalar(&col, ArithOp::Add, &Value::Int64(1), false).is_none());
+        let narrow = Column::from_values(DataType::Int32, &[Value::Int32(i32::MAX)]).unwrap();
+        assert!(arith_scalar(&narrow, ArithOp::Add, &Value::Int32(1), false).is_none());
+    }
+
+    #[test]
+    fn timestamp_arith() {
+        let col = Column::from_values(
+            DataType::Timestamp,
+            &[Value::Timestamp(100), Value::Timestamp(200)],
+        )
+        .unwrap();
+        let out = arith_scalar(&col, ArithOp::Add, &Value::Int64(5), false).unwrap();
+        assert_eq!(out.get(0).unwrap(), Value::Timestamp(105));
+        let out = arith_scalar(&col, ArithOp::Sub, &Value::Timestamp(40), false).unwrap();
+        assert_eq!(out.get(1).unwrap(), Value::Int64(160));
+        let other = Column::from_values(
+            DataType::Timestamp,
+            &[Value::Timestamp(90), Value::Timestamp(50)],
+        )
+        .unwrap();
+        let out = arith_columns(&col, &other, ArithOp::Sub).unwrap();
+        assert_eq!(out.get(1).unwrap(), Value::Int64(150));
+    }
+
+    #[test]
+    fn mod_by_zero_is_null() {
+        let col = int_col(&[Some(7)]);
+        let out = arith_scalar(&col, ArithOp::Mod, &Value::Int64(0), false).unwrap();
+        assert!(out.get(0).unwrap().is_null());
+        let f = Column::from_values(DataType::Float64, &[Value::Float64(7.0)]).unwrap();
+        let out = arith_scalar(&f, ArithOp::Mod, &Value::Float64(0.0), false).unwrap();
+        assert!(out.get(0).unwrap().is_null());
+    }
+
+    #[test]
+    fn is_null_and_in_list() {
+        let col = int_col(&[Some(1), None, Some(3)]);
+        let m = is_null_mask(&col, false);
+        assert_eq!(m.bits, vec![false, true, false]);
+        assert!(m.validity.is_none(), "IS NULL is never NULL itself");
+        let m = in_list_scalar(&col, &[Value::Int64(1), Value::Int64(3)], false).unwrap();
+        assert_eq!(m.into_selection(), vec![true, false, true]);
+        let m = in_list_scalar(&col, &[Value::Int64(1)], true).unwrap();
+        // NOT IN: row 0 matched -> false; NULL row stays NULL -> false in
+        // selection; row 2 unmatched -> true.
+        assert_eq!(m.into_selection(), vec![false, false, true]);
+        assert!(
+            in_list_scalar(&col, &[Value::Null], false).is_none(),
+            "NULL list elements decline"
+        );
+    }
+
+    #[test]
+    fn unorderable_pairings_decline() {
+        // Pairings Value::sql_cmp refuses to order must decline to the
+        // scalar path (which raises "cannot compare") instead of
+        // answering — otherwise the two paths diverge.
+        let ts = Column::from_values(DataType::Timestamp, &[Value::Timestamp(100)]).unwrap();
+        assert!(compare_scalar(&ts, CmpOp::Gt, &Value::Float64(50.0)).is_none());
+        assert!(compare_scalar(&ts, CmpOp::Gt, &Value::Int32(50)).is_none());
+        assert!(compare_scalar(&ts, CmpOp::Gt, &Value::Int64(50)).is_some());
+        let f = Column::from_values(DataType::Float64, &[Value::Float64(1.0)]).unwrap();
+        assert!(compare_scalar(&f, CmpOp::Lt, &Value::Timestamp(5)).is_none());
+        assert!(compare_scalar(&f, CmpOp::Lt, &Value::Int64(5)).is_some());
+        // Same rule for IN lists: an unorderable element would make the
+        // scalar reference answer NULL where the kernel answers FALSE.
+        assert!(in_list_scalar(&ts, &[Value::Int32(100)], false).is_none());
+        assert!(in_list_scalar(&ts, &[Value::Int64(100)], false).is_some());
+        let i32c = Column::from_values(DataType::Int32, &[Value::Int32(7)]).unwrap();
+        assert!(in_list_scalar(&i32c, &[Value::Timestamp(7)], false).is_none());
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::LtEq.flip(), CmpOp::GtEq);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert!(CmpOp::NotEq.matches(Ordering::Less));
+        assert!(!CmpOp::NotEq.matches(Ordering::Equal));
+    }
+}

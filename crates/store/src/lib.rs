@@ -6,6 +6,8 @@
 //! * [`types`] — logical types and scalar [`types::Value`]s with SQL
 //!   three-valued comparison semantics;
 //! * [`mod@column`] — typed columns with validity masks (the BAT analogue);
+//! * [`kernels`] — vectorized batch primitives: typed compare/arith/
+//!   boolean kernels over column slices, the execution layer's fast path;
 //! * [`schema`] / [`table`] — schemas and equal-length column collections;
 //! * [`catalog`] — named tables, **non-materialized views** (the lazy
 //!   transformation vehicle) and foreign-key metadata;
@@ -18,6 +20,7 @@
 pub mod catalog;
 pub mod column;
 pub mod error;
+pub mod kernels;
 pub mod persist;
 pub mod schema;
 pub mod stats;
@@ -27,6 +30,7 @@ pub mod types;
 pub use catalog::{Catalog, ForeignKey, ViewDef};
 pub use column::{Column, ColumnData};
 pub use error::{Result, StoreError};
+pub use kernels::{ArithOp, BoolMask, CmpOp};
 pub use schema::{Field, Schema};
 pub use stats::{column_stats, table_stats, ColumnStats};
 pub use table::Table;

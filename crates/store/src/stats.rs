@@ -25,31 +25,106 @@ pub struct ColumnStats {
 }
 
 /// Compute statistics for a single column.
+///
+/// Runs as one typed pass over the raw slice (the zone-map build path —
+/// [`crate::catalog::Catalog::zone_map`] — calls this per catalog table,
+/// so it must not box a [`Value`] per row).
 pub fn column_stats(name: &str, col: &Column) -> ColumnStats {
-    let mut min: Option<Value> = None;
-    let mut max: Option<Value> = None;
-    for i in 0..col.len() {
-        let v = col.get(i).expect("index in range");
-        if v.is_null() {
-            continue;
-        }
-        match &min {
-            None => min = Some(v.clone()),
-            Some(m) => {
-                if v.sql_cmp(m) == Some(std::cmp::Ordering::Less) {
-                    min = Some(v.clone());
+    use crate::column::ColumnData as CD;
+    let valid = |i: usize| !col.is_null(i);
+    // Fold (min, max) over the valid rows of a typed slice.
+    fn minmax<T: PartialOrd + Copy>(data: &[T], valid: impl Fn(usize) -> bool) -> Option<(T, T)> {
+        let mut best: Option<(T, T)> = None;
+        for (i, &x) in data.iter().enumerate() {
+            if !valid(i) {
+                continue;
+            }
+            match &mut best {
+                None => best = Some((x, x)),
+                Some((lo, hi)) => {
+                    if x < *lo {
+                        *lo = x;
+                    }
+                    if x > *hi {
+                        *hi = x;
+                    }
                 }
             }
         }
-        match &max {
-            None => max = Some(v),
-            Some(m) => {
-                if v.sql_cmp(m) == Some(std::cmp::Ordering::Greater) {
-                    max = Some(v);
-                }
-            }
-        }
+        best
     }
+    let (min, max) = match col.data() {
+        CD::Bool(v) => match minmax(v, valid) {
+            Some((lo, hi)) => (Some(Value::Bool(lo)), Some(Value::Bool(hi))),
+            None => (None, None),
+        },
+        CD::Int32(v) => match minmax(v, valid) {
+            Some((lo, hi)) => (Some(Value::Int32(lo)), Some(Value::Int32(hi))),
+            None => (None, None),
+        },
+        CD::Int64(v) => match minmax(v, valid) {
+            Some((lo, hi)) => (Some(Value::Int64(lo)), Some(Value::Int64(hi))),
+            None => (None, None),
+        },
+        CD::Timestamp(v) => match minmax(v, valid) {
+            Some((lo, hi)) => (Some(Value::Timestamp(lo)), Some(Value::Timestamp(hi))),
+            None => (None, None),
+        },
+        // f64: PartialOrd comparisons against NaN are always false, so a
+        // NaN neither replaces a min/max nor survives as one unless it is
+        // the only value — match the old sql_cmp/total_cmp behaviour by
+        // folding with total_cmp explicitly.
+        CD::Float64(v) => {
+            let mut best: Option<(f64, f64)> = None;
+            for (i, &x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                match &mut best {
+                    None => best = Some((x, x)),
+                    Some((lo, hi)) => {
+                        if x.total_cmp(lo).is_lt() {
+                            *lo = x;
+                        }
+                        if x.total_cmp(hi).is_gt() {
+                            *hi = x;
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((lo, hi)) => (Some(Value::Float64(lo)), Some(Value::Float64(hi))),
+                None => (None, None),
+            }
+        }
+        // Strings: track best by reference, clone exactly twice at the end.
+        CD::Utf8(v) => {
+            let mut best: Option<(&str, &str)> = None;
+            for (i, x) in v.iter().enumerate() {
+                if col.is_null(i) {
+                    continue;
+                }
+                match &mut best {
+                    None => best = Some((x, x)),
+                    Some((lo, hi)) => {
+                        if x.as_str() < *lo {
+                            *lo = x;
+                        }
+                        if x.as_str() > *hi {
+                            *hi = x;
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((lo, hi)) => (
+                    Some(Value::Utf8(lo.to_string())),
+                    Some(Value::Utf8(hi.to_string())),
+                ),
+                None => (None, None),
+            }
+        }
+    };
     ColumnStats {
         name: name.to_string(),
         count: col.len(),

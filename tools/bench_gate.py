@@ -76,6 +76,22 @@ GATES = {
         floor=(("cache_hit_rate", 0.95),),
         monotone=("throughput_qps", "workers"),
     ),
+    # E15 gates the vectorized execution path. `results_match` and the
+    # row counts are behavioural (the kernels must agree with the scalar
+    # reference); the speedup floor is the acceptance bar that keeps the
+    # fast path from silently rotting (≥2x at tiny scale is conservative —
+    # release builds measure ~3-11x); `rows_pruned` (zonemap row only)
+    # proves the zone-map short-circuit fires. Floors are deliberately
+    # NOT scaled by BENCH_GATE_SCALE: a speedup is a ratio on one host.
+    "e15": dict(
+        key=("kernel",),
+        only={},
+        equal=("rows", "out_rows", "results_match"),
+        faster=(),
+        slower=(("vectorized_us", 4.0),),
+        floor=(("speedup", 2.0), ("rows_pruned", 1)),
+        monotone=None,
+    ),
 }
 
 # E14's admission row exists to prove backpressure fires; gate that too.
