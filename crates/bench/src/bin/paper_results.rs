@@ -597,7 +597,7 @@ fn e14_served(scale: ScaleName) {
 /// The acceptance bar (vectorized ≥2x at tiny scale, `rows_pruned` > 0)
 /// is enforced by CI via `tools/bench_gate.py` over `BENCH_e15.json`.
 fn e15_kernels(scale: ScaleName) {
-    use lazyetl_bench::kernels::{bench_rows, run_kernel_bench};
+    use lazyetl_bench::kernels::{bench_rows, run_kernel_bench, run_parallel_sweep};
     let rows = bench_rows(scale);
     let r = run_kernel_bench(rows, 3);
     let mut table_rows = Vec::new();
@@ -650,6 +650,30 @@ fn e15_kernels(scale: ScaleName) {
         ("unpruned_us", Json::Int(z.unpruned.as_micros() as i64)),
         ("results_match", Json::Bool(z.results_match)),
     ]));
+    // Cores-vs-speedup sweep: the aggregate kernel at 1/2/4 execution
+    // workers. `cores` rides along so the gate can skip the scaling
+    // floor on single-core hosts (speedup there is meaningless).
+    for p in run_parallel_sweep(rows, 3) {
+        table_rows.push(vec![
+            "agg_parallel".to_string(),
+            rows.to_string(),
+            p.workers.to_string(),
+            fmt_dur(p.elapsed),
+            String::new(),
+            format!("{:.2}x", p.speedup),
+            format!("{} cores", p.cores),
+            p.results_match.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("kernel", Json::str("agg_parallel")),
+            ("rows", Json::Int(p.rows as i64)),
+            ("workers", Json::Int(p.workers as i64)),
+            ("elapsed_us", Json::Int(p.elapsed.as_micros() as i64)),
+            ("parallel_speedup", Json::Num(p.speedup)),
+            ("cores", Json::Int(p.cores as i64)),
+            ("results_match", Json::Bool(p.results_match)),
+        ]));
+    }
     print_table(
         &format!(
             "E15 — Kernel throughput ({} scale, {} rows): scalar interpreter vs typed kernels; \

@@ -84,6 +84,26 @@ pub struct KernelBenchResult {
     pub zone_map: ZoneMapResult,
 }
 
+/// One point of the cores-vs-speedup sweep: the aggregate kernel at a
+/// fixed worker count.
+#[derive(Debug, Clone)]
+pub struct ParallelSweepResult {
+    /// `ExecContext::parallelism` for this point.
+    pub workers: usize,
+    /// Input rows.
+    pub rows: usize,
+    /// Best wall-clock at this worker count.
+    pub elapsed: Duration,
+    /// 1-worker time / this time.
+    pub speedup: f64,
+    /// Result table is identical to the 1-worker run.
+    pub results_match: bool,
+    /// Logical cores of the measuring host — speedup floors only mean
+    /// anything when the hardware can actually run 2 workers at once, so
+    /// the gate reads this before applying them.
+    pub cores: usize,
+}
+
 /// Deterministic synthetic table: `station` (5 distinct strings), `v`
 /// (float), `qual` (int, ~7% NULL), `t` (increasing timestamp).
 pub fn build_bench_catalog(rows: usize) -> Catalog {
@@ -252,6 +272,45 @@ pub fn run_kernel_bench(rows: usize, reps: usize) -> KernelBenchResult {
     KernelBenchResult { kernels, zone_map }
 }
 
+/// The E15 cores-vs-speedup sweep: the aggregate kernel (the heaviest of
+/// the three, and the one morsel-driven aggregation targets) at 1, 2 and
+/// 4 execution workers over an identical plan. Every point's result must
+/// be byte-identical to the 1-worker run — the sweep measures scaling,
+/// the determinism harness in the query crate proves the equivalence.
+pub fn run_parallel_sweep(rows: usize, reps: usize) -> Vec<ParallelSweepResult> {
+    let catalog = build_bench_catalog(rows);
+    let src = TableSource::new(&catalog);
+    // Every aggregate here is association-free, so parallel output is
+    // bit-identical to serial: integer SUM totals in i128, integer AVG
+    // sums exactly in f64 (totals stay far below 2^53), and MIN/MAX are
+    // pure comparisons. SUM/AVG over `v` (multiples of 0.1, inexact in
+    // binary) would differ from serial in the last ULPs when partial
+    // sums merge — the equivalence suites pin float behaviour with
+    // dyadic inputs instead.
+    let sql = "SELECT qual % 4 AS g, COUNT(*) AS c, SUM(qual) AS s, AVG(qual) AS a, \
+                      MIN(station) AS lo, MAX(v) AS hi \
+               FROM samples GROUP BY qual % 4";
+    let plan = optimize(&plan_sql(sql, &src).expect("bench SQL parses")).expect("plan optimizes");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut out = Vec::new();
+    let mut baseline: Option<(Arc<Table>, Duration)> = None;
+    for workers in [1usize, 2, 4] {
+        let ctx = ExecContext::new(&catalog).with_parallelism(workers);
+        let (table, elapsed) =
+            best_of(reps, || execute(&plan, &ctx).expect("sweep point executes"));
+        let (serial_table, serial_elapsed) = baseline.get_or_insert((table.clone(), elapsed));
+        out.push(ParallelSweepResult {
+            workers,
+            rows,
+            elapsed,
+            speedup: serial_elapsed.as_secs_f64() / elapsed.as_secs_f64().max(1e-9),
+            results_match: tables_equal(serial_table, &table),
+            cores,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +327,23 @@ mod tests {
         }
         assert_eq!(r.zone_map.rows_pruned, 4_000, "whole scan pruned");
         assert!(r.zone_map.results_match);
+    }
+
+    #[test]
+    fn parallel_sweep_points_agree_with_serial() {
+        let sweep = run_parallel_sweep(10_000, 1);
+        assert_eq!(
+            sweep.iter().map(|p| p.workers).collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        for p in &sweep {
+            assert!(
+                p.results_match,
+                "{} workers disagree with the serial run",
+                p.workers
+            );
+            assert!(p.cores >= 1);
+        }
+        assert!((sweep[0].speedup - 1.0).abs() < 1e-9, "baseline is itself");
     }
 }

@@ -19,14 +19,14 @@
 //! client threads at once.
 
 use crate::cache::RecyclingCache;
-use crate::error::Result;
+use crate::error::{EtlError, Result};
 use crate::extract::{FormatRegistry, RecordLocator};
 use lazyetl_mseed::Timestamp;
 use lazyetl_repo::FileEntry;
 use lazyetl_store::Table;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::Arc;
+
+pub use lazyetl_store::parallel::{parallel_map, try_parallel_map, WorkerPanic};
 
 /// One record decoded and materialized into its `D`-schema rows.
 #[derive(Debug, Clone)]
@@ -95,60 +95,22 @@ pub fn extract_groups_into(
         .filter(|(_, g)| !g.to_extract.is_empty())
         .map(|(i, _)| i)
         .collect();
-    let results = parallel_map(&work, threads, |&i| {
+    // Panics in a worker are contained per file: one poisoned record
+    // fails that group with an `EtlError` instead of unwinding through
+    // the pool and killing every other group (and the serving worker
+    // that issued the query).
+    let results = try_parallel_map(&work, threads, |&i| {
         extract_one(extractor, &groups[i], cache)
     });
     let mut out: Vec<Result<Vec<ExtractedRecord>>> =
         groups.iter().map(|_| Ok(Vec::new())).collect();
     for (&i, r) in work.iter().zip(results) {
-        out[i] = r;
+        out[i] = match r {
+            Ok(r) => r,
+            Err(p) => Err(EtlError::Internal(format!("extraction {p}"))),
+        };
     }
     out
-}
-
-/// Map `f` over `items` on up to `threads` scoped worker threads,
-/// returning results in input order.
-///
-/// This is the worker pool behind both lazy extraction
-/// ([`extract_groups_into`]) and the durable save path's parallel cache
-/// segment encoding (`persistence`). Work is claimed by atomic counter,
-/// so uneven item costs balance themselves; with `threads <= 1` (or one
-/// item) everything runs on the calling thread in order, which keeps
-/// sequential semantics — and deterministic crash-point numbering in the
-/// save path — intact.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(items.len()) {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                if tx.send((i, f(item))).is_err() {
-                    break;
-                }
-            });
-        }
-        drop(tx);
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-    });
-    out.into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
 }
 
 fn extract_one(

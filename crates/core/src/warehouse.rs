@@ -108,6 +108,11 @@ pub struct WarehouseConfig {
     /// behaviour; higher values overlap decoding of independent files
     /// without changing any observable result.
     pub extraction_threads: usize,
+    /// Worker threads for one query's execution pipelines (morsel-driven
+    /// scan/filter/aggregate/join parallelism). `1` is the serial
+    /// reference executor; the determinism harness in the query crate
+    /// proves higher values never change observable results.
+    pub parallelism: usize,
     /// Simulated remote-access cost model for experiment accounting.
     pub access: AccessProfile,
 }
@@ -125,6 +130,7 @@ impl Default for WarehouseConfig {
             recycle_query_results: false,
             result_cache_budget_bytes: 64 << 20,
             extraction_threads: 1,
+            parallelism: 1,
             access: AccessProfile::local(),
         }
     }
@@ -773,10 +779,13 @@ impl Warehouse {
                 let use_cache = self.config.use_cache;
                 let access = self.config.access;
                 let threads = self.config.extraction_threads;
+                let parallelism = self.config.parallelism;
                 let metrics = &self.exec_metrics;
                 let exec_meta = move |p: &LogicalPlan| -> Result<Arc<Table>> {
-                    execute(p, &ExecContext::new(&state.catalog).with_metrics(metrics))
-                        .map_err(EtlError::Query)
+                    let ctx = ExecContext::new(&state.catalog)
+                        .with_metrics(metrics)
+                        .with_parallelism(parallelism);
+                    execute(p, &ctx).map_err(EtlError::Query)
                 };
                 let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
                     fetch_pairs(
@@ -828,7 +837,9 @@ impl Warehouse {
         // Execute.
         let table = execute(
             &final_plan,
-            &ExecContext::new(&state.catalog).with_metrics(&self.exec_metrics),
+            &ExecContext::new(&state.catalog)
+                .with_metrics(&self.exec_metrics)
+                .with_parallelism(self.config.parallelism),
         )
         .map_err(EtlError::Query)?;
         if let Some(fp) = fingerprint {

@@ -1,10 +1,37 @@
-//! Plan execution: column-at-a-time operators with full materialization.
+//! Plan execution: column-at-a-time operators with full materialization,
+//! parallelized morsel-at-a-time.
 //!
 //! Every operator consumes whole tables and produces a whole table — the
 //! execution model of MonetDB, the paper's host system. Full
 //! materialization is what makes *intermediate result recycling* (the
 //! paper's lazy-loading cache, §3.3) a natural fit: any intermediate is a
 //! complete table that can be cached and reused.
+//!
+//! With [`ExecContext::parallelism`] > 1 the load-bearing operators go
+//! morsel-driven: inputs split into fixed-size row ranges
+//! ([`ExecContext::morsel_rows`] each), workers claim morsels from the
+//! shared pool ([`lazyetl_store::parallel`]), and a serial merge step
+//! reassembles the partial results **in morsel order**. The decomposition
+//! depends only on the input row count and the morsel size — never on the
+//! thread count — so a configuration is deterministic at any parallelism,
+//! and the merge rules are chosen so parallel output ≡ serial output
+//! row-for-row (`tests/parallel_exec.rs` and `tests/proptest_parallel.rs`
+//! pin this):
+//!
+//! - **Filter/Project** chains are elementwise, so filtering/projecting
+//!   each morsel and concatenating equals the whole-table pass exactly.
+//! - **Aggregation** keeps per-morsel accumulators and merges them in
+//!   morsel order; groups enter the output in first-appearance order
+//!   across morsels, which is the serial scan's first-appearance order.
+//!   Integer SUM accumulates in `i128` so overflow is detected at finish
+//!   time from the true total — the same answer for any decomposition.
+//! - **Join** partitions both sides by deterministic key hash,
+//!   builds/probes per partition, and stable-sorts the matched index
+//!   pairs back into the serial probe order.
+//! - Sort, Limit and Distinct stay serial — they are merge-dominated.
+//!
+//! An erroring or panicking morsel surfaces the **first** error in morsel
+//! (= row) order and discards the rest, never a partial table.
 
 use crate::error::{QueryError, Result};
 use crate::expr::{
@@ -12,10 +39,17 @@ use crate::expr::{
 };
 use crate::metrics::ExecMetrics;
 use crate::plan::LogicalPlan;
+use lazyetl_store::parallel::{try_parallel_map, WorkerPanic};
 use lazyetl_store::{Catalog, Column, DataType, Field, GroupKey, Schema, Table, Value};
-use std::collections::hash_map::Entry;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Default rows per morsel: large enough to amortize dispatch, small
+/// enough that a 100k-row extraction still fans out across a few cores.
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 
 /// Serves external tables when the executor reaches an [`LogicalPlan::ExternalScan`]
 /// that no runtime rewrite replaced.
@@ -24,7 +58,7 @@ use std::sync::Arc;
 /// paper's §3.1 worst case ("the required subset … is the entire
 /// repository") — because the lazy rewriter normally intercepts the scan
 /// first and injects only the needed subset.
-pub trait ExternalTableProvider {
+pub trait ExternalTableProvider: Sync {
     /// Materialize the entire external table.
     fn full_scan(&self, name: &str) -> Result<Arc<Table>>;
 }
@@ -47,6 +81,15 @@ pub struct ExecContext<'a> {
     /// Short-circuit a filter directly above a table scan when the
     /// table's zone map proves the predicate empty.
     pub zone_map_pruning: bool,
+    /// Worker threads available to one query's pipelines. `1` (the
+    /// default) pins the serial reference path; higher values enable the
+    /// morsel-driven operators.
+    pub parallelism: usize,
+    /// Rows per morsel for the parallel operators. The morsel
+    /// decomposition depends only on this and the input row count —
+    /// never on `parallelism` — so results are deterministic at any
+    /// thread count.
+    pub morsel_rows: usize,
 }
 
 impl<'a> ExecContext<'a> {
@@ -59,12 +102,26 @@ impl<'a> ExecContext<'a> {
             metrics: None,
             vectorized: true,
             zone_map_pruning: true,
+            parallelism: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         }
     }
 
     /// Attach cumulative executor counters.
     pub fn with_metrics(mut self, metrics: &'a ExecMetrics) -> ExecContext<'a> {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Set the worker-thread budget for this query's pipelines.
+    pub fn with_parallelism(mut self, threads: usize) -> ExecContext<'a> {
+        self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Override the morsel size (rows per parallel work unit).
+    pub fn with_morsel_rows(mut self, rows: usize) -> ExecContext<'a> {
+        self.morsel_rows = rows.max(1);
         self
     }
 
@@ -82,6 +139,45 @@ impl<'a> ExecContext<'a> {
             m.add_rows_scanned(rows as u64);
         }
     }
+
+    /// Count one operator going parallel with `n` dispatched morsels.
+    fn count_parallel(&self, n: usize) {
+        if let Some(m) = self.metrics {
+            m.add_parallel_pipeline();
+            m.add_morsels_dispatched(n as u64);
+        }
+    }
+
+    /// Account the serial merge tail of a parallel operator.
+    fn count_merge(&self, started: Instant) {
+        if let Some(m) = self.metrics {
+            m.add_merge_ns(started.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Fixed-size row ranges `(offset, len)` covering `rows`; the last morsel
+/// holds the remainder. A function of `(rows, morsel_rows)` only.
+fn morsel_ranges(rows: usize, morsel_rows: usize) -> Vec<(usize, usize)> {
+    let step = morsel_rows.max(1);
+    (0..rows)
+        .step_by(step)
+        .map(|off| (off, step.min(rows - off)))
+        .collect()
+}
+
+/// Collapse per-morsel outcomes to the **first** failure in morsel order
+/// — the same error the serial left-to-right pass would raise first — or
+/// all results. A caught worker panic surfaces as a `QueryError` so one
+/// poisoned morsel fails one query, never the pool or the process.
+fn join_morsels<T>(results: Vec<std::result::Result<Result<T>, WorkerPanic>>) -> Result<Vec<T>> {
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => r,
+            Err(p) => Err(QueryError::Execution(p.to_string())),
+        })
+        .collect()
 }
 
 /// Execute a logical plan to a materialized table.
@@ -118,46 +214,7 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> 
                 .map_err(QueryError::Store)?;
             Ok(Arc::new(t))
         }
-        LogicalPlan::Filter { input, predicate } => {
-            // Zone-map pruning: a filter directly above a resident scan
-            // whose predicate provably excludes the table's [min, max]
-            // range short-circuits to an empty result — the rows are
-            // never touched. `predicate_excludes` is conservative, so
-            // results never change, only the work done.
-            // The shape check comes first: predicates with no decidable
-            // conjunct can never prune, so their tables never pay the
-            // zone-map statistics pass.
-            if ctx.zone_map_pruning && crate::prune::has_prunable_conjunct(predicate) {
-                if let LogicalPlan::TableScan { table, schema } = &**input {
-                    if let Some(stats) = ctx.catalog.zone_map(table) {
-                        if crate::prune::predicate_excludes(predicate, &stats) {
-                            let pruned: usize = stats.first().map_or(0, |s| s.count);
-                            if let Some(m) = ctx.metrics {
-                                m.add_rows_pruned(pruned as u64);
-                            }
-                            return Ok(Arc::new(Table::empty(schema.clone())));
-                        }
-                    }
-                }
-            }
-            let table = execute(input, ctx)?;
-            let mask = eval_predicate_mask_opts(predicate, &table, &ctx.eval_opts())?;
-            Ok(Arc::new(table.filter(&mask).map_err(QueryError::Store)?))
-        }
-        LogicalPlan::Project { input, exprs } => {
-            let table = execute(input, ctx)?;
-            let mut fields = Vec::with_capacity(exprs.len());
-            let mut columns = Vec::with_capacity(exprs.len());
-            for (e, name) in exprs {
-                let col = eval_expr_opts(e, &table, &ctx.eval_opts())?;
-                fields.push(Field::nullable(name, col.data_type()));
-                columns.push(col);
-            }
-            let schema = Schema::new(fields).map_err(QueryError::Store)?;
-            Ok(Arc::new(
-                Table::new(schema, columns).map_err(QueryError::Store)?,
-            ))
-        }
+        LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => execute_pipeline(plan, ctx),
         LogicalPlan::Aggregate {
             input,
             group,
@@ -201,17 +258,153 @@ pub fn execute(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> 
 }
 
 // ---------------------------------------------------------------------------
+// Filter/Project pipelines
+// ---------------------------------------------------------------------------
+
+/// One elementwise operator in a Filter/Project chain.
+enum PipeOp<'p> {
+    Filter(&'p Expr),
+    Project(&'p [(Expr, String)]),
+}
+
+/// Apply a chain of elementwise ops (innermost first) to one table — a
+/// whole input or a single morsel of it. Because every op maps row `i` of
+/// its input from row `i` alone, applying the chain per morsel and
+/// concatenating in morsel order is exactly the whole-table pass.
+fn apply_pipe_ops(
+    mut table: Arc<Table>,
+    ops: &[PipeOp<'_>],
+    ctx: &ExecContext<'_>,
+) -> Result<Arc<Table>> {
+    for op in ops {
+        table = match op {
+            PipeOp::Filter(predicate) => {
+                let mask = eval_predicate_mask_opts(predicate, &table, &ctx.eval_opts())?;
+                Arc::new(table.filter(&mask).map_err(QueryError::Store)?)
+            }
+            PipeOp::Project(exprs) => {
+                let mut fields = Vec::with_capacity(exprs.len());
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (e, name) in *exprs {
+                    let col = eval_expr_opts(e, &table, &ctx.eval_opts())?;
+                    fields.push(Field::nullable(name, col.data_type()));
+                    columns.push(col);
+                }
+                let schema = Schema::new(fields).map_err(QueryError::Store)?;
+                Arc::new(Table::new(schema, columns).map_err(QueryError::Store)?)
+            }
+        };
+    }
+    Ok(table)
+}
+
+/// Execute a maximal Filter/Project chain as one pipeline: evaluate the
+/// chain's source once, then run the whole op chain over each morsel so
+/// intermediate results stay morsel-sized and never materialize whole
+/// between chained operators.
+fn execute_pipeline(plan: &LogicalPlan, ctx: &ExecContext<'_>) -> Result<Arc<Table>> {
+    // Collect the chain outermost-first; `source` is the first non-chain
+    // node below it.
+    let mut ops: Vec<PipeOp<'_>> = Vec::new();
+    let mut source = plan;
+    loop {
+        match source {
+            LogicalPlan::Filter { input, predicate } => {
+                ops.push(PipeOp::Filter(predicate));
+                source = input;
+            }
+            LogicalPlan::Project { input, exprs } => {
+                ops.push(PipeOp::Project(exprs));
+                source = input;
+            }
+            _ => break,
+        }
+    }
+
+    // Zone-map pruning: a filter directly above a resident scan — the
+    // innermost op of the chain — whose predicate provably excludes the
+    // table's [min, max] range short-circuits to an empty scan result;
+    // the rows are never touched. `predicate_excludes` is conservative,
+    // so results never change, only the work done. The shape check comes
+    // first: predicates with no decidable conjunct can never prune, so
+    // their tables never pay the zone-map statistics pass.
+    let mut pruned_scan: Option<Arc<Table>> = None;
+    if let Some(PipeOp::Filter(predicate)) = ops.last() {
+        if ctx.zone_map_pruning && crate::prune::has_prunable_conjunct(predicate) {
+            if let LogicalPlan::TableScan { table, schema } = source {
+                if let Some(stats) = ctx.catalog.zone_map(table) {
+                    if crate::prune::predicate_excludes(predicate, &stats) {
+                        let pruned: usize = stats.first().map_or(0, |s| s.count);
+                        if let Some(m) = ctx.metrics {
+                            m.add_rows_pruned(pruned as u64);
+                        }
+                        ops.pop(); // the pruned filter is already answered
+                        pruned_scan = Some(Arc::new(Table::empty(schema.clone())));
+                    }
+                }
+            }
+        }
+    }
+    let table = match pruned_scan {
+        Some(t) => t,
+        None => execute(source, ctx)?,
+    };
+    ops.reverse(); // apply innermost first
+
+    let rows = table.num_rows();
+    if ctx.parallelism <= 1 || rows <= ctx.morsel_rows {
+        return apply_pipe_ops(table, &ops, ctx);
+    }
+    let ranges = morsel_ranges(rows, ctx.morsel_rows);
+    ctx.count_parallel(ranges.len());
+    let results = try_parallel_map(&ranges, ctx.parallelism, |&(off, len)| -> Result<Table> {
+        let morsel = table.slice(off, len).map_err(QueryError::Store)?;
+        let out = apply_pipe_ops(Arc::new(morsel), &ops, ctx)?;
+        Ok(Arc::try_unwrap(out).unwrap_or_else(|a| (*a).clone()))
+    });
+    let parts = join_morsels(results)?;
+    let merge_started = Instant::now();
+    let mut iter = parts.into_iter();
+    let mut out = iter.next().expect("rows > morsel_rows implies >= 1 morsel");
+    for p in iter {
+        out.append_table(&p).map_err(QueryError::Store)?;
+    }
+    ctx.count_merge(merge_started);
+    Ok(Arc::new(out))
+}
+
+// ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
 enum Accumulator {
-    Count { n: i64 },
-    SumInt { sum: i64, any: bool },
-    SumFloat { sum: f64, any: bool },
-    Avg { sum: f64, n: i64 },
-    Min { best: Option<Value> },
-    Max { best: Option<Value> },
+    Count {
+        n: i64,
+    },
+    /// Integer SUM accumulates in `i128` and range-checks once at
+    /// [`Accumulator::finish`]: overflow is decided by the **true total**,
+    /// so serial, morselized and merged runs all agree on whether a sum
+    /// overflows (a running `i64` would make it depend on evaluation
+    /// order — an intermediate may overflow even when the total fits).
+    SumInt {
+        sum: i128,
+        any: bool,
+    },
+    SumFloat {
+        sum: f64,
+        any: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min {
+        best: Option<Value>,
+    },
+    Max {
+        best: Option<Value>,
+    },
 }
 
 impl Accumulator {
@@ -240,9 +433,7 @@ impl Accumulator {
             }
             Accumulator::SumInt { sum, any } => {
                 if let Some(x) = v.as_i64() {
-                    *sum = sum
-                        .checked_add(x)
-                        .ok_or_else(|| QueryError::Execution("SUM overflow".into()))?;
+                    *sum += x as i128;
                     *any = true;
                 }
             }
@@ -298,9 +489,7 @@ impl Accumulator {
         match self {
             Accumulator::Count { n } => *n += 1,
             Accumulator::SumInt { sum, any } => {
-                *sum = sum
-                    .checked_add(x)
-                    .ok_or_else(|| QueryError::Execution("SUM overflow".into()))?;
+                *sum += x as i128;
                 *any = true;
             }
             Accumulator::SumFloat { sum, any } => {
@@ -385,12 +574,50 @@ impl Accumulator {
         }
     }
 
-    fn finish(&self) -> Value {
-        match self {
+    /// Fold one morsel's partial state (`other`, same variant) into
+    /// `self`, in morsel order. `vectorized` selects the same float
+    /// comparison the per-morsel sweep used (total order), so the merged
+    /// MIN/MAX is bit-identical to the serial sweep; integer and string
+    /// comparisons agree between the typed and boxed paths already.
+    fn merge(&mut self, other: &Accumulator, vectorized: bool) -> Result<()> {
+        match (self, other) {
+            (Accumulator::Count { n }, Accumulator::Count { n: m }) => *n += m,
+            (Accumulator::SumInt { sum, any }, Accumulator::SumInt { sum: s, any: a }) => {
+                *sum += s;
+                *any |= a;
+            }
+            (Accumulator::SumFloat { sum, any }, Accumulator::SumFloat { sum: s, any: a }) => {
+                *sum += s;
+                *any |= a;
+            }
+            (Accumulator::Avg { sum, n }, Accumulator::Avg { sum: s, n: m }) => {
+                *sum += s;
+                *n += m;
+            }
+            (me @ Accumulator::Min { .. }, Accumulator::Min { best: Some(v) })
+            | (me @ Accumulator::Max { .. }, Accumulator::Max { best: Some(v) }) => match v {
+                Value::Float64(x) if vectorized => me.update_f64(*x),
+                _ => me.update(v)?,
+            },
+            (Accumulator::Min { .. }, Accumulator::Min { best: None })
+            | (Accumulator::Max { .. }, Accumulator::Max { best: None }) => {}
+            _ => {
+                return Err(QueryError::Execution(
+                    "accumulator variant mismatch in parallel merge".into(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<Value> {
+        Ok(match self {
             Accumulator::Count { n } => Value::Int64(*n),
             Accumulator::SumInt { sum, any } => {
                 if *any {
-                    Value::Int64(*sum)
+                    let total = i64::try_from(*sum)
+                        .map_err(|_| QueryError::Execution("SUM overflow".into()))?;
+                    Value::Int64(total)
                 } else {
                     Value::Null
                 }
@@ -412,7 +639,7 @@ impl Accumulator {
             Accumulator::Min { best } | Accumulator::Max { best } => {
                 best.clone().unwrap_or(Value::Null)
             }
-        }
+        })
     }
 }
 
@@ -421,6 +648,34 @@ struct GroupState {
     accs: Vec<Accumulator>,
     /// Per-aggregate seen-set for DISTINCT aggregates.
     distinct_seen: Vec<Option<HashSet<GroupKey>>>,
+}
+
+/// One aggregate call, decomposed.
+struct AggSpec {
+    func: AggFunc,
+    arg: Option<Expr>,
+    distinct: bool,
+    arg_type: Option<DataType>,
+}
+
+fn new_group_state(specs: &[AggSpec], gvals: Vec<Value>) -> GroupState {
+    GroupState {
+        group_values: gvals,
+        accs: specs
+            .iter()
+            .map(|s| Accumulator::new(s.func, s.arg_type))
+            .collect(),
+        distinct_seen: specs
+            .iter()
+            .map(|s| {
+                if s.distinct {
+                    Some(HashSet::new())
+                } else {
+                    None
+                }
+            })
+            .collect(),
+    }
 }
 
 fn execute_aggregate(
@@ -433,12 +688,6 @@ fn execute_aggregate(
     let in_schema = &table.schema;
 
     // Decompose aggregate expressions.
-    struct AggSpec {
-        func: AggFunc,
-        arg: Option<Expr>,
-        distinct: bool,
-        arg_type: Option<DataType>,
-    }
     let specs: Vec<AggSpec> = aggregates
         .iter()
         .map(|(e, _)| match e {
@@ -480,28 +729,62 @@ fn execute_aggregate(
         })
         .collect::<Result<_>>()?;
 
-    // Assign each row to a group id. Specialized keying paths avoid
-    // per-row Value boxing for the common single-column cases.
     let n_rows = table.num_rows();
+    let states: Vec<GroupState> = if ctx.parallelism > 1 && n_rows > ctx.morsel_rows {
+        aggregate_morselized(&group_cols, &arg_cols, &specs, n_rows, ctx)?
+    } else {
+        aggregate_serial(group, &group_cols, &arg_cols, &specs, n_rows, ctx)?
+    };
+
+    // Build output table: one single-pass typed constructor per column
+    // instead of a per-row `append_row` (which re-checks types cell by
+    // cell).
+    let mut fields = Vec::with_capacity(group.len() + aggregates.len());
+    for (e, name) in group {
+        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
+    }
+    for (e, name) in aggregates {
+        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
+    }
+    let schema = Schema::new(fields).map_err(QueryError::Store)?;
+    let n_cols = group.len() + aggregates.len();
+    let mut col_vals: Vec<Vec<Value>> = (0..n_cols)
+        .map(|_| Vec::with_capacity(states.len()))
+        .collect();
+    for state in &states {
+        for (j, v) in state.group_values.iter().enumerate() {
+            col_vals[j].push(v.clone());
+        }
+        for (j, a) in state.accs.iter().enumerate() {
+            col_vals[group.len() + j].push(a.finish()?);
+        }
+    }
+    let columns: Vec<Column> = schema
+        .fields
+        .iter()
+        .zip(&col_vals)
+        .map(|(f, vals)| Column::from_values(f.data_type, vals))
+        .collect::<lazyetl_store::Result<_>>()
+        .map_err(QueryError::Store)?;
+    Ok(Arc::new(
+        Table::new(schema, columns).map_err(QueryError::Store)?,
+    ))
+}
+
+/// The serial reference aggregation: one left-to-right pass over the
+/// whole input. Specialized keying paths avoid per-row Value boxing for
+/// the common single-column cases.
+fn aggregate_serial(
+    group: &[(Expr, String)],
+    group_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    specs: &[AggSpec],
+    n_rows: usize,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<GroupState>> {
     let mut states: Vec<GroupState> = Vec::new();
     let mut group_of_row: Vec<u32> = Vec::with_capacity(n_rows);
-    let new_state = |gvals: Vec<Value>| GroupState {
-        group_values: gvals,
-        accs: specs
-            .iter()
-            .map(|s| Accumulator::new(s.func, s.arg_type))
-            .collect(),
-        distinct_seen: specs
-            .iter()
-            .map(|s| {
-                if s.distinct {
-                    Some(HashSet::new())
-                } else {
-                    None
-                }
-            })
-            .collect(),
-    };
+    let new_state = |gvals: Vec<Value>| new_group_state(specs, gvals);
 
     enum Keying<'a> {
         Global,
@@ -582,7 +865,7 @@ fn execute_aggregate(
             for row in 0..n_rows {
                 let mut key = Vec::with_capacity(group.len());
                 let mut gvals = Vec::with_capacity(group.len());
-                for col in &group_cols {
+                for col in group_cols {
                     let v = col.get(row).map_err(QueryError::Store)?;
                     key.push(v.group_key());
                     gvals.push(v);
@@ -679,40 +962,213 @@ fn execute_aggregate(
 
     // Global aggregate over empty input still yields one row (created
     // above by Keying::Global even when n_rows == 0).
+    Ok(states)
+}
 
-    // Build output table: one single-pass typed constructor per column
-    // instead of a per-row `append_row` (which re-checks types cell by
-    // cell).
-    let mut fields = Vec::with_capacity(group.len() + aggregates.len());
-    for (e, name) in group {
-        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
-    }
-    for (e, name) in aggregates {
-        fields.push(Field::nullable(name, infer_type(e, in_schema)?));
-    }
-    let schema = Schema::new(fields).map_err(QueryError::Store)?;
-    let n_cols = group.len() + aggregates.len();
-    let mut col_vals: Vec<Vec<Value>> = (0..n_cols)
-        .map(|_| Vec::with_capacity(states.len()))
-        .collect();
-    for state in &states {
-        for (j, v) in state.group_values.iter().enumerate() {
-            col_vals[j].push(v.clone());
+/// Per-morsel partial aggregation state: local groups in first-appearance
+/// order, each with its group key, group values, partial accumulators,
+/// and — for DISTINCT aggregates — the values first seen in this morsel,
+/// in encounter order.
+struct MorselAgg {
+    keys: Vec<Vec<GroupKey>>,
+    gvals: Vec<Vec<Value>>,
+    accs: Vec<Vec<Accumulator>>,
+    distinct_firsts: Vec<Vec<Vec<Value>>>,
+}
+
+/// Morsel-driven aggregation: accumulate each fixed-size row range into
+/// thread-local states on the worker pool, then merge the partials **in
+/// morsel order** on the calling thread.
+///
+/// Equivalence with [`aggregate_serial`]:
+/// - groups are created in first-appearance order per morsel and merged
+///   in morsel order, so global group order equals the serial scan's
+///   first-appearance order;
+/// - COUNT/MIN/MAX/SUM-over-int merges are associative over ordered
+///   partials ([`Accumulator::merge`]); float SUM/AVG merge partial sums
+///   in morsel order, so the decomposition (fixed by `morsel_rows`, not
+///   by the thread count) fully determines rounding;
+/// - DISTINCT aggregates replay each morsel's first-seen values through
+///   a global seen-set in morsel order — exactly the serial update order.
+fn aggregate_morselized(
+    group_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    specs: &[AggSpec],
+    n_rows: usize,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<GroupState>> {
+    let ranges = morsel_ranges(n_rows, ctx.morsel_rows);
+    ctx.count_parallel(ranges.len());
+    let vectorized = ctx.vectorized;
+    let results = try_parallel_map(&ranges, ctx.parallelism, |&(off, len)| {
+        accumulate_morsel(off, len, group_cols, arg_cols, specs, vectorized)
+    });
+    let morsels = join_morsels(results)?;
+
+    let merge_started = Instant::now();
+    let mut states: Vec<GroupState> = Vec::new();
+    let mut gid_of: HashMap<Vec<GroupKey>, u32> = HashMap::new();
+    for m in &morsels {
+        for (li, key) in m.keys.iter().enumerate() {
+            let gid = match gid_of.entry(key.clone()) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    states.push(new_group_state(specs, m.gvals[li].clone()));
+                    *e.insert((states.len() - 1) as u32)
+                }
+            } as usize;
+            let state = &mut states[gid];
+            for (i, spec) in specs.iter().enumerate() {
+                if spec.distinct {
+                    let seen = state.distinct_seen[i].as_mut().expect("distinct seen-set");
+                    for v in &m.distinct_firsts[li][i] {
+                        if seen.insert(v.group_key()) {
+                            state.accs[i].update(v)?;
+                        }
+                    }
+                } else {
+                    state.accs[i].merge(&m.accs[li][i], vectorized)?;
+                }
+            }
         }
-        for (j, a) in state.accs.iter().enumerate() {
-            col_vals[group.len() + j].push(a.finish());
+    }
+    ctx.count_merge(merge_started);
+    Ok(states)
+}
+
+/// Accumulate rows `[off, off + len)` into fresh local group states.
+/// Group values and first-appearance order match the serial keying paths
+/// (which only specialize the representation, not the semantics), and the
+/// typed accumulation sweeps mirror [`aggregate_serial`]'s dispatch so a
+/// morsel's partial state is exactly what the serial pass would have
+/// accumulated over the same rows.
+fn accumulate_morsel(
+    off: usize,
+    len: usize,
+    group_cols: &[Column],
+    arg_cols: &[Option<Column>],
+    specs: &[AggSpec],
+    vectorized: bool,
+) -> Result<MorselAgg> {
+    let end = off + len;
+    let mut m = MorselAgg {
+        keys: Vec::new(),
+        gvals: Vec::new(),
+        accs: Vec::new(),
+        distinct_firsts: Vec::new(),
+    };
+    // Local seen-sets keep `distinct_firsts` deduplicated within the
+    // morsel; cross-morsel dedup happens at merge time.
+    let mut local_seen: Vec<Vec<HashSet<GroupKey>>> = Vec::new();
+    let mut gid_of: HashMap<Vec<GroupKey>, u32> = HashMap::new();
+    let mut group_of_row: Vec<u32> = Vec::with_capacity(len);
+    for row in off..end {
+        let mut key = Vec::with_capacity(group_cols.len());
+        let mut gvals = Vec::with_capacity(group_cols.len());
+        for col in group_cols {
+            let v = col.get(row).map_err(QueryError::Store)?;
+            key.push(v.group_key());
+            gvals.push(v);
+        }
+        let gid = match gid_of.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                m.keys.push(e.key().clone());
+                m.gvals.push(gvals);
+                m.accs.push(
+                    specs
+                        .iter()
+                        .map(|s| Accumulator::new(s.func, s.arg_type))
+                        .collect(),
+                );
+                m.distinct_firsts.push(vec![Vec::new(); specs.len()]);
+                local_seen.push(vec![HashSet::new(); specs.len()]);
+                *e.insert((m.keys.len() - 1) as u32)
+            }
+        };
+        group_of_row.push(gid);
+    }
+
+    for (i, arg_col) in arg_cols.iter().enumerate() {
+        match arg_col {
+            None => {
+                // COUNT(*): every row counts one.
+                for &gid in &group_of_row {
+                    let g = gid as usize;
+                    let v = Value::Int64(1);
+                    if specs[i].distinct {
+                        if local_seen[g][i].insert(v.group_key()) {
+                            m.distinct_firsts[g][i].push(v);
+                        }
+                        continue;
+                    }
+                    m.accs[g][i].update(&v)?;
+                }
+            }
+            Some(col) => {
+                use lazyetl_store::ColumnData as CD;
+                let typed = !specs[i].distinct && vectorized;
+                match col.data() {
+                    CD::Int64(data) | CD::Timestamp(data) if typed => {
+                        let dt = col.data_type();
+                        for row in off..end {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            let g = group_of_row[row - off] as usize;
+                            m.accs[g][i].update_i64(data[row], dt)?;
+                        }
+                    }
+                    CD::Int32(data) if typed => {
+                        for row in off..end {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            let g = group_of_row[row - off] as usize;
+                            m.accs[g][i].update_i64(data[row] as i64, DataType::Int32)?;
+                        }
+                    }
+                    CD::Float64(data) if typed => {
+                        for row in off..end {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            let g = group_of_row[row - off] as usize;
+                            m.accs[g][i].update_f64(data[row]);
+                        }
+                    }
+                    CD::Utf8(data) if typed => {
+                        for row in off..end {
+                            if col.is_null(row) {
+                                continue;
+                            }
+                            let g = group_of_row[row - off] as usize;
+                            m.accs[g][i].update_str(&data[row]);
+                        }
+                    }
+                    _ => {
+                        // Boxed reference loop: DISTINCT bookkeeping, Bool
+                        // columns, and the non-vectorized ablation.
+                        for row in off..end {
+                            let g = group_of_row[row - off] as usize;
+                            let v = col.get(row).map_err(QueryError::Store)?;
+                            if specs[i].distinct {
+                                if v.is_null() {
+                                    continue;
+                                }
+                                if local_seen[g][i].insert(v.group_key()) {
+                                    m.distinct_firsts[g][i].push(v);
+                                }
+                                continue;
+                            }
+                            m.accs[g][i].update(&v)?;
+                        }
+                    }
+                }
+            }
         }
     }
-    let columns: Vec<Column> = schema
-        .fields
-        .iter()
-        .zip(&col_vals)
-        .map(|(f, vals)| Column::from_values(f.data_type, vals))
-        .collect::<lazyetl_store::Result<_>>()
-        .map_err(QueryError::Store)?;
-    Ok(Arc::new(
-        Table::new(schema, columns).map_err(QueryError::Store)?,
-    ))
+    Ok(m)
 }
 
 // ---------------------------------------------------------------------------
@@ -746,66 +1202,22 @@ fn execute_join(
     } else {
         (&rt, &right_keys, &lt, &left_keys)
     };
-    let (mut probe_idx, mut build_idx) = (Vec::new(), Vec::new());
     let packed = if ctx.vectorized {
         pack_int_keys(bkeys, pkeys)
     } else {
         None
     };
-    match packed {
+    let (probe_idx, build_idx) = match packed {
         // All keys integer-typed (the file_id/seq_no joins of the
         // warehouse schema): hash on packed native integers.
-        Some((bk, pk)) => {
-            let mut build: HashMap<u128, Vec<usize>> = HashMap::with_capacity(bt.num_rows());
-            for (row, key) in bk.iter().enumerate() {
-                if let Some(k) = key {
-                    build.entry(*k).or_default().push(row);
-                }
-            }
-            for (row, key) in pk.iter().enumerate() {
-                if let Some(k) = key {
-                    if let Some(matches) = build.get(k) {
-                        for &r in matches {
-                            probe_idx.push(row);
-                            build_idx.push(r);
-                        }
-                    }
-                }
-            }
-        }
+        Some((bk, pk)) => hash_join_pairs(&bk, &pk, ctx)?,
         // Generic path: normalized GroupKey vectors.
         None => {
-            let mut build: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
-            'rows: for row in 0..bt.num_rows() {
-                let mut key = Vec::with_capacity(on.len());
-                for col in bkeys {
-                    let v = col.get(row).map_err(QueryError::Store)?;
-                    if v.is_null() {
-                        continue 'rows; // NULL never joins
-                    }
-                    key.push(v.group_key());
-                }
-                build.entry(key).or_default().push(row);
-            }
-            let mut key = Vec::with_capacity(on.len());
-            'probe: for row in 0..pt.num_rows() {
-                key.clear();
-                for col in pkeys {
-                    let v = col.get(row).map_err(QueryError::Store)?;
-                    if v.is_null() {
-                        continue 'probe;
-                    }
-                    key.push(v.group_key());
-                }
-                if let Some(matches) = build.get(&key) {
-                    for &r in matches {
-                        probe_idx.push(row);
-                        build_idx.push(r);
-                    }
-                }
-            }
+            let bk = group_key_rows(bkeys, bt.num_rows())?;
+            let pk = group_key_rows(pkeys, pt.num_rows())?;
+            hash_join_pairs(&bk, &pk, ctx)?
         }
-    }
+    };
     let (left_idx, right_idx) = if build_is_left {
         (build_idx, probe_idx)
     } else {
@@ -822,6 +1234,117 @@ fn execute_join(
     Ok(Arc::new(
         Table::new(schema, columns).map_err(QueryError::Store)?,
     ))
+}
+
+/// Per-row normalized join keys for one side; `None` marks a row with a
+/// NULL key component (which never joins).
+fn group_key_rows(cols: &[Column], rows: usize) -> Result<Vec<Option<Vec<GroupKey>>>> {
+    (0..rows)
+        .map(|row| {
+            let mut key = Vec::with_capacity(cols.len());
+            for col in cols {
+                let v = col.get(row).map_err(QueryError::Store)?;
+                if v.is_null() {
+                    return Ok(None);
+                }
+                key.push(v.group_key());
+            }
+            Ok(Some(key))
+        })
+        .collect()
+}
+
+/// Hash-join two sides' per-row keys into matched `(probe row, build
+/// row)` index vectors, in **probe order** (and build-row order within a
+/// probe row) — the canonical serial emission order.
+///
+/// With parallelism, both sides partition by a deterministic key hash;
+/// each worker builds and probes one partition independently (a key
+/// lands in exactly one partition, so no matches are lost or
+/// duplicated), and the merged pairs are sorted back into the serial
+/// emission order — the output is identical to the serial loop for any
+/// partition count.
+fn hash_join_pairs<K: Hash + Eq + Sync>(
+    bk: &[Option<K>],
+    pk: &[Option<K>],
+    ctx: &ExecContext<'_>,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    if ctx.parallelism <= 1 || pk.len().max(bk.len()) <= ctx.morsel_rows {
+        // Serial reference path.
+        let mut build: HashMap<&K, Vec<usize>> = HashMap::with_capacity(bk.len());
+        for (row, key) in bk.iter().enumerate() {
+            if let Some(k) = key {
+                build.entry(k).or_default().push(row);
+            }
+        }
+        let (mut probe_idx, mut build_idx) = (Vec::new(), Vec::new());
+        for (row, key) in pk.iter().enumerate() {
+            if let Some(k) = key {
+                if let Some(matches) = build.get(k) {
+                    for &r in matches {
+                        probe_idx.push(row);
+                        build_idx.push(r);
+                    }
+                }
+            }
+        }
+        return Ok((probe_idx, build_idx));
+    }
+
+    // `DefaultHasher::new()` hashes with fixed keys, so the partition of
+    // a key is stable across threads, runs and machines.
+    let parts = ctx.parallelism;
+    let part_of = |k: &K| {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        (h.finish() % parts as u64) as usize
+    };
+    let mut bparts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (row, key) in bk.iter().enumerate() {
+        if let Some(k) = key {
+            bparts[part_of(k)].push(row);
+        }
+    }
+    let mut pparts: Vec<Vec<usize>> = vec![Vec::new(); parts];
+    for (row, key) in pk.iter().enumerate() {
+        if let Some(k) = key {
+            pparts[part_of(k)].push(row);
+        }
+    }
+    ctx.count_parallel(parts);
+    let ids: Vec<usize> = (0..parts).collect();
+    let results = try_parallel_map(&ids, ctx.parallelism, |&j| {
+        let mut build: HashMap<&K, Vec<usize>> = HashMap::with_capacity(bparts[j].len());
+        for &row in &bparts[j] {
+            let k = bk[row].as_ref().expect("partitioned rows have keys");
+            build.entry(k).or_default().push(row);
+        }
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &row in &pparts[j] {
+            let k = pk[row].as_ref().expect("partitioned rows have keys");
+            if let Some(matches) = build.get(k) {
+                for &r in matches {
+                    pairs.push((row, r));
+                }
+            }
+        }
+        pairs
+    });
+    let merge_started = Instant::now();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for r in results {
+        match r {
+            Ok(p) => pairs.extend(p),
+            Err(p) => return Err(QueryError::Execution(p.to_string())),
+        }
+    }
+    // Per partition, pairs are already (probe ascending, build ascending)
+    // and a probe row's matches live in exactly one partition, so this
+    // sort restores precisely the serial emission order.
+    pairs.sort_unstable();
+    let (probe_idx, build_idx) = pairs.into_iter().unzip();
+    ctx.count_merge(merge_started);
+    Ok((probe_idx, build_idx))
 }
 
 /// One packed `u128` per row; `None` marks a row with a NULL key.

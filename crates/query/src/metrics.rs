@@ -21,6 +21,14 @@ pub struct ExecMetrics {
     pub vectorized_batches: AtomicU64,
     /// Expression batches the kernels declined (row-at-a-time fallback).
     pub scalar_fallbacks: AtomicU64,
+    /// Morsels handed to the worker pool by parallel operators.
+    pub morsels_dispatched: AtomicU64,
+    /// Operator pipelines that actually ran on more than one thread.
+    pub parallel_pipelines: AtomicU64,
+    /// Nanoseconds spent merging per-morsel/per-partition results back
+    /// into one ordered table (the serial tail of every parallel
+    /// operator).
+    pub merge_ns: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -49,6 +57,21 @@ impl ExecMetrics {
         self.scalar_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn add_morsels_dispatched(&self, n: u64) {
+        self.morsels_dispatched.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_parallel_pipeline(&self) {
+        self.parallel_pipelines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn add_merge_ns(&self, ns: u64) {
+        self.merge_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> ExecCounters {
         ExecCounters {
@@ -56,6 +79,9 @@ impl ExecMetrics {
             rows_pruned: self.rows_pruned.load(Ordering::Relaxed),
             vectorized_batches: self.vectorized_batches.load(Ordering::Relaxed),
             scalar_fallbacks: self.scalar_fallbacks.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            parallel_pipelines: self.parallel_pipelines.load(Ordering::Relaxed),
+            merge_ns: self.merge_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -71,6 +97,12 @@ pub struct ExecCounters {
     pub vectorized_batches: u64,
     /// Expression batches that fell back to the scalar evaluator.
     pub scalar_fallbacks: u64,
+    /// Morsels handed to the worker pool by parallel operators.
+    pub morsels_dispatched: u64,
+    /// Operator pipelines that ran on more than one thread.
+    pub parallel_pipelines: u64,
+    /// Nanoseconds spent in ordered result merges.
+    pub merge_ns: u64,
 }
 
 #[cfg(test)]
@@ -85,10 +117,16 @@ mod tests {
         m.add_rows_pruned(7);
         m.add_vectorized_batch();
         m.add_scalar_fallback();
+        m.add_morsels_dispatched(3);
+        m.add_parallel_pipeline();
+        m.add_merge_ns(250);
         let s = m.snapshot();
         assert_eq!(s.rows_scanned, 15);
         assert_eq!(s.rows_pruned, 7);
         assert_eq!(s.vectorized_batches, 1);
         assert_eq!(s.scalar_fallbacks, 1);
+        assert_eq!(s.morsels_dispatched, 3);
+        assert_eq!(s.parallel_pipelines, 1);
+        assert_eq!(s.merge_ns, 250);
     }
 }

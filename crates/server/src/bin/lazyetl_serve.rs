@@ -53,6 +53,7 @@ struct Args {
     addr: String,
     workers: usize,
     queue_depth: usize,
+    parallelism: usize,
     save_dir: Option<PathBuf>,
     ready_file: Option<PathBuf>,
     eager: bool,
@@ -67,6 +68,8 @@ fn usage() -> &'static str {
        --addr HOST:PORT   listen address (default 127.0.0.1:7744; port 0 = ephemeral)\n\
        --workers N        query worker threads (default 4)\n\
        --queue-depth N    admission queue depth before BUSY (default 32)\n\
+       --parallelism N    worker threads per query's execution pipelines\n\
+                          (default 1 = serial executor)\n\
        --save-dir DIR     snapshot dir: warm-restart from it when present,\n\
                           write it on graceful shutdown\n\
        --ready-file PATH  write the bound address here once listening\n\
@@ -80,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7744".into(),
         workers: 4,
         queue_depth: 32,
+        parallelism: 1,
         save_dir: None,
         ready_file: None,
         eager: false,
@@ -112,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_depth = value(&argv, i, "--queue-depth")?
                     .parse()
                     .map_err(|_| "--queue-depth needs an integer".to_string())?;
+                i += 2;
+            }
+            "--parallelism" => {
+                args.parallelism = value(&argv, i, "--parallelism")?
+                    .parse()
+                    .map_err(|_| "--parallelism needs an integer".to_string())?;
                 i += 2;
             }
             "--save-dir" => {
@@ -157,6 +167,7 @@ fn main() -> ExitCode {
 
     let config = WarehouseConfig {
         auto_refresh: !args.no_auto_refresh,
+        parallelism: args.parallelism.max(1),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();

@@ -331,6 +331,9 @@ impl Shared {
             ("warehouse.rows_pruned", w.exec.rows_pruned),
             ("warehouse.vectorized_batches", w.exec.vectorized_batches),
             ("warehouse.scalar_fallbacks", w.exec.scalar_fallbacks),
+            ("warehouse.morsels_dispatched", w.exec.morsels_dispatched),
+            ("warehouse.parallel_pipelines", w.exec.parallel_pipelines),
+            ("warehouse.merge_ns", w.exec.merge_ns),
         ] {
             out.push_str(k);
             out.push('=');

@@ -352,6 +352,33 @@ impl Column {
         Ok(Column { data, validity })
     }
 
+    /// New column holding rows `[offset, offset + len)` — the unit of
+    /// morsel-driven execution. One type dispatch, then a bulk range
+    /// copy; `offset + len` must stay in bounds.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Column> {
+        let end = offset.checked_add(len).filter(|&e| e <= self.len()).ok_or(
+            StoreError::OutOfBounds {
+                index: offset + len,
+                len: self.len(),
+            },
+        )?;
+        macro_rules! range_copy {
+            ($v:expr, $variant:ident) => {
+                ColumnData::$variant($v[offset..end].to_vec())
+            };
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => range_copy!(v, Bool),
+            ColumnData::Int32(v) => range_copy!(v, Int32),
+            ColumnData::Int64(v) => range_copy!(v, Int64),
+            ColumnData::Float64(v) => range_copy!(v, Float64),
+            ColumnData::Timestamp(v) => range_copy!(v, Timestamp),
+            ColumnData::Utf8(v) => ColumnData::Utf8(v[offset..end].to_vec()),
+        };
+        let validity = self.validity.as_ref().map(|v| v[offset..end].to_vec());
+        Ok(Column { data, validity })
+    }
+
     /// Append all rows of `other` (types must match exactly).
     pub fn append_column(&mut self, other: &Column) -> Result<()> {
         if self.data_type() != other.data_type() {

@@ -8,6 +8,9 @@
 //! * [`mod@column`] — typed columns with validity masks (the BAT analogue);
 //! * [`kernels`] — vectorized batch primitives: typed compare/arith/
 //!   boolean kernels over column slices, the execution layer's fast path;
+//! * [`parallel`] — the scoped worker pool (ordered results, per-item
+//!   panic containment) behind morsel-driven execution and parallel
+//!   extraction;
 //! * [`schema`] / [`table`] — schemas and equal-length column collections;
 //! * [`catalog`] — named tables, **non-materialized views** (the lazy
 //!   transformation vehicle) and foreign-key metadata;
@@ -21,6 +24,7 @@ pub mod catalog;
 pub mod column;
 pub mod error;
 pub mod kernels;
+pub mod parallel;
 pub mod persist;
 pub mod schema;
 pub mod stats;
@@ -31,6 +35,7 @@ pub use catalog::{Catalog, ForeignKey, ViewDef};
 pub use column::{Column, ColumnData};
 pub use error::{Result, StoreError};
 pub use kernels::{ArithOp, BoolMask, CmpOp};
+pub use parallel::{parallel_map, try_parallel_map, WorkerPanic};
 pub use schema::{Field, Schema};
 pub use stats::{column_stats, table_stats, ColumnStats};
 pub use table::Table;

@@ -1,0 +1,166 @@
+//! Scoped worker pool: the one thread-fanning primitive every layer
+//! shares.
+//!
+//! This lives in the store crate — the bottom of the workspace graph — so
+//! both the query executor (morsel-driven pipelines) and the warehouse
+//! (parallel lazy extraction, parallel segment encoding) can use the same
+//! pool without a dependency cycle; `lazyetl_core::parallel` re-exports
+//! it under its historical path.
+//!
+//! Work is claimed by atomic counter, so uneven item costs balance
+//! themselves; results always return in **input order**, which is what
+//! keeps every parallel caller semantically identical to its serial
+//! path. [`try_parallel_map`] additionally catches panics per item, so
+//! one poisoned morsel fails one query instead of unwinding through the
+//! pool and killing the serving worker that ran it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// A worker panic caught by [`try_parallel_map`], rendered to text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic payload (`&str`/`String` payloads verbatim, anything
+    /// else a placeholder).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn render_panic(payload: Box<dyn std::any::Any + Send>) -> WorkerPanic {
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    WorkerPanic { message }
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// returning results in input order.
+///
+/// With `threads <= 1` (or one item) everything runs on the calling
+/// thread in order, which keeps sequential semantics — and deterministic
+/// crash-point numbering in the durable save path — intact. A panicking
+/// item panics the caller (after the other workers drain), exactly like
+/// the serial loop would; use [`try_parallel_map`] to keep panics
+/// contained per item.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map(items, threads, f)
+        .into_iter()
+        .map(|r| match r {
+            Ok(r) => r,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+/// [`parallel_map`] with per-item panic containment: each item's result
+/// is `Ok(R)` or the caught [`WorkerPanic`], in input order.
+///
+/// A panic in one item never tears down the pool — the worker that
+/// caught it moves on to the next item, and every other item still
+/// completes. The caller decides what a panic means (the executor turns
+/// the first one, in input order, into a `QueryError`; extraction turns
+/// it into that file's `EtlError`).
+pub fn try_parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let run_one = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item))).map_err(render_panic);
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(run_one).collect();
+    }
+    let mut out: Vec<Option<Result<R, WorkerPanic>>> = items.iter().map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            let run_one = &run_one;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, run_one(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0usize, 1, 2, 4, 16] {
+            assert_eq!(parallel_map(&items, threads, |&x| x * x), expect);
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn panics_are_contained_per_item() {
+        let items: Vec<u64> = (0..16).collect();
+        for threads in [1usize, 4] {
+            let out = try_parallel_map(&items, threads, |&x| {
+                if x % 5 == 3 {
+                    panic!("bad morsel {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.message, format!("bad morsel {i}"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u64) * 2, "item {i} survived");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_repanics_like_the_serial_loop() {
+        let items: Vec<u64> = (0..8).collect();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, 4, |&x| {
+                if x == 5 {
+                    panic!("boom");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must still propagate to the caller");
+    }
+}

@@ -160,6 +160,22 @@ impl Table {
         })
     }
 
+    /// Copy of rows `[offset, offset + len)` — one morsel of this table.
+    /// Morsel-driven operators slice their input into fixed-size row
+    /// ranges, run each morsel independently, and concatenate the
+    /// results in morsel order.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<Table> {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| c.slice(offset, len))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Table {
+            schema: self.schema.clone(),
+            columns,
+        })
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn byte_size(&self) -> usize {
         self.columns.iter().map(|c| c.byte_size()).sum()

@@ -221,6 +221,48 @@ fn result_recycler_is_shared_across_threads() {
 }
 
 #[test]
+fn intra_query_parallelism_composes_with_concurrent_clients() {
+    // K client threads × morsel-driven execution inside each query: the
+    // executor spawns scoped workers per operator, so clients outnumbering
+    // cores merely oversubscribes the machine — no shared pool to
+    // deadlock, and every result must still equal the serial eager
+    // baseline byte for byte.
+    let repo = figure1_repo("conc_morsel", 512);
+    let queries = [FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY];
+
+    let eager = Warehouse::open_eager(&repo.root, no_refresh()).unwrap();
+    let baseline: Vec<String> = queries
+        .iter()
+        .map(|sql| eager.query(sql).unwrap().table.to_ascii(10_000))
+        .collect();
+
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        parallelism: 4, // deliberately above most CI hosts' core counts
+        ..Default::default()
+    };
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, cfg).unwrap());
+    let clients = 8;
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            let wh = Arc::clone(&wh);
+            let baseline = &baseline;
+            s.spawn(move || {
+                for round in 0..queries.len() {
+                    let qi = (t + round) % queries.len();
+                    let out = wh.query(queries[qi]).unwrap();
+                    assert_eq!(
+                        out.table.to_ascii(10_000),
+                        baseline[qi],
+                        "client {t} round {round}: parallel execution diverged on query {qi}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
 fn parallel_extraction_composes_with_concurrent_clients() {
     // K client threads, each of whose lazy fetches fans out to worker
     // threads feeding the sharded cache: the two levels of parallelism

@@ -83,8 +83,10 @@ GATES = {
     # release builds measure ~3-11x); `rows_pruned` (zonemap row only)
     # proves the zone-map short-circuit fires. Floors are deliberately
     # NOT scaled by BENCH_GATE_SCALE: a speedup is a ratio on one host.
+    # The agg_parallel sweep rows (keyed by workers) are gated by the
+    # custom block below, not by these floors.
     "e15": dict(
-        key=("kernel",),
+        key=("kernel", "workers"),
         only={},
         equal=("rows", "out_rows", "results_match"),
         faster=(),
@@ -96,6 +98,13 @@ GATES = {
 
 # E14's admission row exists to prove backpressure fires; gate that too.
 E14_ADMISSION_MIN_BUSY = 1
+
+# E15's agg_parallel sweep: 2 execution workers must beat 1 by this factor.
+# Loose on purpose (perfect scaling would be 2.0) and only applied when the
+# measuring host reports >= 2 cores — on a single-core runner the workers
+# time-slice one CPU and the ratio is meaningless (the equivalence gate
+# `results_match` still applies there).
+E15_PARALLEL_MIN_SPEEDUP = 1.3
 
 
 def load(path):
@@ -172,6 +181,36 @@ def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
                 f"{exp}: {metric} over {order} " +
                 " → ".join(f"{r.get(metric):.0f}" for r in swept)
             )
+
+    if exp == "e15":
+        sweep = [r for r in current_doc["rows"] if r.get("kernel") == "agg_parallel"]
+        if not sweep:
+            failures.append("e15: agg_parallel sweep rows missing from current run")
+        for row in sweep:
+            if row.get("results_match") is not True:
+                failures.append(
+                    f"e15[agg_parallel workers={row.get('workers')}]: parallel result "
+                    "diverged from the serial run"
+                )
+        two = next((r for r in sweep if r.get("workers") == 2), None)
+        if two is not None:
+            cores = two.get("cores", 1)
+            speedup = two.get("parallel_speedup", 0.0)
+            if cores >= 2 and isinstance(speedup, (int, float)) and speedup < E15_PARALLEL_MIN_SPEEDUP:
+                failures.append(
+                    f"e15[agg_parallel workers=2]: speedup {speedup:.2f} below "
+                    f"{E15_PARALLEL_MIN_SPEEDUP}x floor on a {cores}-core host"
+                )
+            elif cores < 2:
+                notes.append(
+                    f"e15[agg_parallel workers=2]: speedup floor skipped on a "
+                    f"{cores}-core host (equivalence still gated)"
+                )
+            else:
+                notes.append(
+                    f"e15[agg_parallel workers=2]: speedup {speedup:.2f} "
+                    f"(floor {E15_PARALLEL_MIN_SPEEDUP}) ok"
+                )
 
     if exp == "e14":
         admission = [r for r in current_doc["rows"] if r.get("phase") == "admission"]
