@@ -8,16 +8,19 @@
 //! `lazyetl-serve` without going through the bench cache directory.
 
 use lazyetl_bench::{scale_config, ScaleName};
-use lazyetl_mseed::gen::generate_repository;
+use lazyetl_mseed::gen::{generate_repository, RepoFormat};
 use std::path::Path;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: mkrepo <tiny|small|medium|large> <dest-dir> [--format mseed|sac|csv|mixed]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (scale, dest) = match (args.first(), args.get(1)) {
         (Some(s), Some(d)) => (s.as_str(), d.as_str()),
         _ => {
-            eprintln!("usage: mkrepo <tiny|small|medium|large> <dest-dir>");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -25,7 +28,33 @@ fn main() -> ExitCode {
         eprintln!("unknown scale {scale:?} (want tiny|small|medium|large)");
         return ExitCode::from(2);
     };
-    let config = scale_config(scale);
+    let mut format = RepoFormat::MseedOnly;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                format = match args.get(i + 1).map(String::as_str) {
+                    Some("mseed") => RepoFormat::MseedOnly,
+                    Some("sac") => RepoFormat::SacOnly,
+                    Some("csv") => RepoFormat::CsvOnly,
+                    Some("mixed") => RepoFormat::Mixed,
+                    other => {
+                        eprintln!("unknown format {other:?}\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let config = lazyetl_mseed::gen::GeneratorConfig {
+        format,
+        ..scale_config(scale)
+    };
     if let Err(e) = std::fs::create_dir_all(dest) {
         eprintln!("cannot create {dest}: {e}");
         return ExitCode::FAILURE;

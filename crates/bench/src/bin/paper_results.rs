@@ -696,6 +696,99 @@ fn e15_kernels(scale: ScaleName) {
     emit_json("e15", scale, json_rows);
 }
 
+/// E16: federated lazy extraction — three disjoint sources (local mSEED
+/// archive, CSV survey drop, latency-injected simulated remote) behind
+/// one warehouse; the federated answer must equal the eager union, the
+/// warm re-query must extract nothing, and per-source accounting is the
+/// acceptance bar CI gates via `tools/bench_gate.py` over `BENCH_e16.json`.
+fn e16_federated(scale: ScaleName) {
+    use lazyetl_bench::federated::run_federated;
+    let r = run_federated(scale, true);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for s in &r.sources {
+        let st = &s.stats;
+        rows.push(vec![
+            st.name.clone(),
+            st.kind.to_string(),
+            st.files.to_string(),
+            st.files_extracted.to_string(),
+            st.records_extracted.to_string(),
+            fmt_bytes(st.bytes_read),
+            st.fetch_requests.to_string(),
+            fmt_dur(st.simulated_io),
+            s.warm_files_extracted.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("source", Json::str(st.name.clone())),
+            ("kind", Json::str(st.kind)),
+            ("files", Json::Int(st.files as i64)),
+            ("files_extracted", Json::Int(st.files_extracted as i64)),
+            ("records_extracted", Json::Int(st.records_extracted as i64)),
+            ("samples_extracted", Json::Int(st.samples_extracted as i64)),
+            ("bytes_read", Json::Int(st.bytes_read as i64)),
+            (
+                "simulated_io_us",
+                Json::Int(st.simulated_io.as_micros() as i64),
+            ),
+            ("fetch_requests", Json::Int(st.fetch_requests as i64)),
+            ("fetched_bytes", Json::Int(st.fetched_bytes as i64)),
+            (
+                "warm_files_extracted",
+                Json::Int(s.warm_files_extracted as i64),
+            ),
+        ]));
+    }
+    json_rows.push(Json::obj([
+        ("source", Json::str("_query")),
+        ("rows", Json::Int(r.rows as i64)),
+        ("union_matches", Json::Bool(r.union_matches)),
+        (
+            "federated_open_us",
+            Json::Int(r.federated_open.as_micros() as i64),
+        ),
+        ("union_open_us", Json::Int(r.union_open.as_micros() as i64)),
+        ("cold_us", Json::Int(r.cold.as_micros() as i64)),
+        ("warm_us", Json::Int(r.warm.as_micros() as i64)),
+        (
+            "union_query_us",
+            Json::Int(r.union_query.as_micros() as i64),
+        ),
+        (
+            "warm_records_extracted",
+            Json::Int(r.warm_records_extracted as i64),
+        ),
+        ("warm_cache_hits", Json::Int(r.warm_cache_hits as i64)),
+    ]));
+    print_table(
+        &format!(
+            "E16 — Federated lazy extraction ({} scale): open {} (vs eager union {}), \
+             cold {} / warm {} (union query {}), {} rows, union match: {}",
+            scale.label(),
+            fmt_dur(r.federated_open),
+            fmt_dur(r.union_open),
+            fmt_dur(r.cold),
+            fmt_dur(r.warm),
+            fmt_dur(r.union_query),
+            r.rows,
+            r.union_matches,
+        ),
+        &[
+            "mount",
+            "kind",
+            "files",
+            "extracted",
+            "records",
+            "bytes",
+            "fetches",
+            "sim IO",
+            "warm re-extractions",
+        ],
+        &rows,
+    );
+    emit_json("e16", scale, json_rows);
+}
+
 /// Write `BENCH_<experiment>.json` and tell the operator where it went.
 fn emit_json(experiment: &str, scale: ScaleName, rows: Vec<Json>) {
     match write_bench_file(experiment, scale.label(), rows) {
@@ -1035,8 +1128,9 @@ fn e8_observability(scale: ScaleName) {
 }
 
 /// Every experiment the harness knows, in run order.
-const KNOWN_EXPERIMENTS: [&str; 15] = [
+const KNOWN_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 fn main() {
@@ -1084,6 +1178,7 @@ fn main() {
             "e13" => e13_warm_restart(scale),
             "e14" => e14_served(scale),
             "e15" => e15_kernels(scale),
+            "e16" => e16_federated(scale),
             _ => unreachable!("validated above"),
         }
     }

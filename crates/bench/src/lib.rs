@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod federated;
 pub mod json;
 pub mod kernels;
 pub mod served;
@@ -151,7 +152,7 @@ pub fn mutable_copy(src: &PathBuf, tag: &str) -> PathBuf {
     dst
 }
 
-fn copy_dir(src: &PathBuf, dst: &PathBuf) -> std::io::Result<()> {
+pub(crate) fn copy_dir(src: &PathBuf, dst: &PathBuf) -> std::io::Result<()> {
     std::fs::create_dir_all(dst)?;
     for entry in std::fs::read_dir(src)? {
         let entry = entry?;

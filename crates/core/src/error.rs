@@ -23,13 +23,13 @@ pub enum EtlError {
 
 impl EtlError {
     /// Stable machine-readable code for this error (the serving layer's
-    /// error frames carry `code` + rendered message). Query failures
-    /// forward the finer-grained [`QueryError::code`]; other layers get
-    /// one `etl.*` code each.
+    /// error frames carry `code` + rendered message). Query and
+    /// repository failures forward the finer-grained [`QueryError::code`]
+    /// / [`RepoError::code`]; other layers get one `etl.*` code each.
     pub fn code(&self) -> &'static str {
         match self {
             EtlError::Mseed(_) => "etl.mseed",
-            EtlError::Repo(_) => "etl.repo",
+            EtlError::Repo(e) => e.code(),
             EtlError::Store(_) => "etl.store",
             EtlError::Query(e) => e.code(),
             EtlError::Internal(_) => "etl.internal",

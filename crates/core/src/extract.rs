@@ -12,14 +12,25 @@
 //!   f64 widening, per-sample timestamping) that §3.2 attaches to the end of
 //!   the extraction phase.
 //!
+//! Both take the [`LazySource`] the entry came from. Sources that are
+//! plain local directories expose a path
+//! ([`LazySource::local_path`]) and extraction reads it directly; remote
+//! sources return `None` and every read is routed through
+//! [`LazySource::fetch_range`] — header scans via the buffering
+//! [`RangedReader`], payload decodes via coalesced byte-range fetches —
+//! so transfers stay observable and costed.
+//!
 //! Adding a new scientific format (the paper mentions GeoTIFF) means
 //! implementing this trait; nothing else in the warehouse changes.
+//! [`CsvExtractor`] is the worked example: a text format with no binary
+//! index, lazily fetchable in fixed-size record groups.
 
 use crate::error::{EtlError, Result};
 use crate::schema;
 use lazyetl_mseed::{read_records_at, scan_metadata_file, Timestamp};
-use lazyetl_repo::FileEntry;
+use lazyetl_repo::{FileEntry, LazySource};
 use lazyetl_store::{Table, Value};
+use std::io::{Read, Seek, SeekFrom};
 
 /// One `F`-table row in typed form.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,23 +150,159 @@ impl RecordData {
 /// Format-specific extraction boundary.
 pub trait Extractor: Send + Sync {
     /// Header-only scan: produce the file's metadata rows.
-    fn scan_metadata(&self, entry: &FileEntry) -> Result<FileMetadata>;
+    fn scan_metadata(&self, src: &dyn LazySource, entry: &FileEntry) -> Result<FileMetadata>;
 
     /// Decode the payloads of the given records.
     fn extract_records(
         &self,
+        src: &dyn LazySource,
         entry: &FileEntry,
         locators: &[RecordLocator],
     ) -> Result<Vec<RecordData>>;
+}
+
+/// Read-ahead granularity of [`RangedReader`]: small enough that a
+/// header-hopping metadata scan over a remote source doesn't transfer
+/// whole files, large enough to amortize per-request latency.
+pub const RANGED_READ_AHEAD: u64 = 64 * 1024;
+
+/// Buffered [`Read`] + [`Seek`] adapter over [`LazySource::fetch_range`].
+///
+/// Lets byte-stream parsers (the MiniSEED metadata scan) run unchanged
+/// against path-less sources. Fetches [`RANGED_READ_AHEAD`]-sized chunks
+/// and serves small reads from the buffer; [`Self::fetched_bytes`] is the
+/// honest transfer cost, which can exceed the parser's own byte count.
+pub struct RangedReader<'a> {
+    src: &'a dyn LazySource,
+    entry: &'a FileEntry,
+    pos: u64,
+    buf: Vec<u8>,
+    buf_start: u64,
+    fetched: u64,
+}
+
+impl<'a> RangedReader<'a> {
+    /// A reader positioned at byte 0 of `entry`.
+    pub fn new(src: &'a dyn LazySource, entry: &'a FileEntry) -> RangedReader<'a> {
+        RangedReader {
+            src,
+            entry,
+            pos: 0,
+            buf: Vec::new(),
+            buf_start: 0,
+            fetched: 0,
+        }
+    }
+
+    /// Total bytes transferred from the source so far.
+    pub fn fetched_bytes(&self) -> u64 {
+        self.fetched
+    }
+}
+
+impl Read for RangedReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if out.is_empty() || self.pos >= self.entry.size {
+            return Ok(0);
+        }
+        let in_buf =
+            self.pos >= self.buf_start && self.pos < self.buf_start + self.buf.len() as u64;
+        if !in_buf {
+            let want = RANGED_READ_AHEAD.max(out.len() as u64);
+            let chunk = self
+                .src
+                .fetch_range(self.entry, self.pos, want)
+                .map_err(std::io::Error::other)?;
+            if chunk.is_empty() {
+                return Ok(0);
+            }
+            self.fetched += chunk.len() as u64;
+            self.buf_start = self.pos;
+            self.buf = chunk;
+        }
+        let off = (self.pos - self.buf_start) as usize;
+        let n = out.len().min(self.buf.len() - off);
+        out[..n].copy_from_slice(&self.buf[off..off + n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+impl Seek for RangedReader<'_> {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        let target = match pos {
+            SeekFrom::Start(n) => n as i64,
+            SeekFrom::Current(d) => self.pos as i64 + d,
+            SeekFrom::End(d) => self.entry.size as i64 + d,
+        };
+        if target < 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "seek before start",
+            ));
+        }
+        self.pos = target as u64;
+        Ok(self.pos)
+    }
+}
+
+/// Read `len` bytes at `offset`, via the local path when the source has
+/// one and via a ranged fetch otherwise. Truncates at EOF.
+fn read_bytes(src: &dyn LazySource, entry: &FileEntry, offset: u64, len: u64) -> Result<Vec<u8>> {
+    match src.local_path(entry) {
+        Some(path) => Ok(lazyetl_repo::read_file_range(path, offset, len)?),
+        None => Ok(src.fetch_range(entry, offset, len)?),
+    }
 }
 
 /// The MiniSEED extractor.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct MseedExtractor;
 
+impl MseedExtractor {
+    /// Apply the record-level transformation to one parsed record,
+    /// validating it against the locator that found it.
+    fn record_to_data(
+        rec: &lazyetl_mseed::Record,
+        loc: &RecordLocator,
+        uri: &str,
+    ) -> Result<RecordData> {
+        if rec.header.sequence_number as i64 != loc.seq_no {
+            return Err(EtlError::Internal(format!(
+                "record at offset {} of {} has sequence {} but metadata says {} \
+                 (file changed without refresh?)",
+                loc.byte_offset, uri, rec.header.sequence_number, loc.seq_no
+            )));
+        }
+        let samples = rec.decode_samples()?;
+        let rate = rec.sample_rate();
+        let period_us = if rate <= 0.0 {
+            0
+        } else {
+            (1_000_000.0 / rate).round() as i64
+        };
+        Ok(RecordData {
+            seq_no: loc.seq_no,
+            start: rec.start_timestamp()?,
+            period_us,
+            values: samples.to_f64(),
+        })
+    }
+}
+
 impl Extractor for MseedExtractor {
-    fn scan_metadata(&self, entry: &FileEntry) -> Result<FileMetadata> {
-        let scan = scan_metadata_file(&entry.path)?;
+    fn scan_metadata(&self, src: &dyn LazySource, entry: &FileEntry) -> Result<FileMetadata> {
+        let scan = match src.local_path(entry) {
+            Some(path) => scan_metadata_file(path)?,
+            None => {
+                let mut reader = RangedReader::new(src, entry);
+                let mut scan = lazyetl_mseed::scan_metadata_reader(&mut reader, entry.size)?;
+                // Report what was actually transferred, not what the
+                // parser consumed: read-ahead is real I/O.
+                scan.bytes_read = reader.fetched_bytes();
+                scan
+            }
+        };
         let first = scan.records.first();
         let file = FileMetaRow {
             file_id: entry.id.0 as i64,
@@ -199,36 +346,51 @@ impl Extractor for MseedExtractor {
 
     fn extract_records(
         &self,
+        src: &dyn LazySource,
         entry: &FileEntry,
         locators: &[RecordLocator],
     ) -> Result<Vec<RecordData>> {
-        let offsets: Vec<(u64, u32)> = locators
-            .iter()
-            .map(|l| (l.byte_offset, l.record_length))
-            .collect();
-        let records = read_records_at(&entry.path, &offsets)?;
-        let mut out = Vec::with_capacity(records.len());
-        for (rec, loc) in records.iter().zip(locators) {
-            if rec.header.sequence_number as i64 != loc.seq_no {
+        if let Some(path) = src.local_path(entry) {
+            let offsets: Vec<(u64, u32)> = locators
+                .iter()
+                .map(|l| (l.byte_offset, l.record_length))
+                .collect();
+            let records = read_records_at(path, &offsets)?;
+            let mut out = Vec::with_capacity(records.len());
+            for (rec, loc) in records.iter().zip(locators) {
+                out.push(Self::record_to_data(rec, loc, &entry.uri)?);
+            }
+            return Ok(out);
+        }
+        // Remote: coalesce byte-adjacent locators into single ranged
+        // fetches so a run of touched records costs one request.
+        let mut out = Vec::with_capacity(locators.len());
+        let mut i = 0;
+        while i < locators.len() {
+            let start = locators[i].byte_offset;
+            let mut end = start + locators[i].record_length as u64;
+            let mut j = i + 1;
+            while j < locators.len() && locators[j].byte_offset == end {
+                end += locators[j].record_length as u64;
+                j += 1;
+            }
+            let bytes = src.fetch_range(entry, start, end - start)?;
+            if (bytes.len() as u64) < end - start {
                 return Err(EtlError::Internal(format!(
-                    "record at offset {} of {} has sequence {} but metadata says {} \
+                    "ranged fetch of {} at {start}..{end} returned {} bytes \
                      (file changed without refresh?)",
-                    loc.byte_offset, entry.uri, rec.header.sequence_number, loc.seq_no
+                    entry.uri,
+                    bytes.len()
                 )));
             }
-            let samples = rec.decode_samples()?;
-            let rate = rec.sample_rate();
-            let period_us = if rate <= 0.0 {
-                0
-            } else {
-                (1_000_000.0 / rate).round() as i64
-            };
-            out.push(RecordData {
-                seq_no: loc.seq_no,
-                start: rec.start_timestamp()?,
-                period_us,
-                values: samples.to_f64(),
-            });
+            let mut off = 0usize;
+            for loc in &locators[i..j] {
+                let rec =
+                    lazyetl_mseed::Record::parse(&bytes[off..off + loc.record_length as usize])?;
+                off += loc.record_length as usize;
+                out.push(Self::record_to_data(&rec, loc, &entry.uri)?);
+            }
+            i = j;
         }
         Ok(out)
     }
@@ -243,8 +405,15 @@ impl Extractor for MseedExtractor {
 pub struct SacExtractor;
 
 impl Extractor for SacExtractor {
-    fn scan_metadata(&self, entry: &FileEntry) -> Result<FileMetadata> {
-        let header = lazyetl_mseed::sac::scan_sac_header(&entry.path)?;
+    fn scan_metadata(&self, src: &dyn LazySource, entry: &FileEntry) -> Result<FileMetadata> {
+        let header = match src.local_path(entry) {
+            Some(path) => lazyetl_mseed::sac::scan_sac_header(path)?,
+            None => {
+                let bytes =
+                    src.fetch_range(entry, 0, lazyetl_mseed::sac::SAC_HEADER_SIZE as u64)?;
+                lazyetl_mseed::sac::scan_sac_header_bytes(&bytes)?
+            }
+        };
         let encoding = "SAC-F32".to_string();
         let file = FileMetaRow {
             file_id: entry.id.0 as i64,
@@ -284,6 +453,7 @@ impl Extractor for SacExtractor {
 
     fn extract_records(
         &self,
+        src: &dyn LazySource,
         entry: &FileEntry,
         locators: &[RecordLocator],
     ) -> Result<Vec<RecordData>> {
@@ -299,7 +469,11 @@ impl Extractor for SacExtractor {
                 )));
             }
         }
-        let file = lazyetl_mseed::sac::read_sac(&entry.path)?;
+        let file = match src.local_path(entry) {
+            Some(path) => lazyetl_mseed::sac::read_sac(path)?,
+            // One record per file: the whole payload is the fetch unit.
+            None => lazyetl_mseed::sac::read_sac_bytes(&src.fetch_range(entry, 0, entry.size)?)?,
+        };
         let period_us = if file.sample_rate() > 0.0 {
             (1e6 / file.sample_rate()).round() as i64
         } else {
@@ -314,6 +488,102 @@ impl Extractor for SacExtractor {
     }
 }
 
+/// The CSV waveform extractor: text samples in fixed-size record groups.
+///
+/// The worked "new format" example for the pluggable-source boundary: no
+/// binary record index exists, so the metadata scan walks the whole text
+/// once (its honest cost) and each [`lazyetl_mseed::csv::CSV_GROUP_SAMPLES`]-row
+/// group becomes one lazily-fetchable record.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CsvExtractor;
+
+impl Extractor for CsvExtractor {
+    fn scan_metadata(&self, src: &dyn LazySource, entry: &FileEntry) -> Result<FileMetadata> {
+        let bytes = read_bytes(src, entry, 0, entry.size)?;
+        let scan = lazyetl_mseed::csv::scan_csv_bytes(&bytes)?;
+        let encoding = "CSV-I64".to_string();
+        let nonempty = scan.total_samples > 0;
+        let file = FileMetaRow {
+            file_id: entry.id.0 as i64,
+            uri: entry.uri.clone(),
+            size: entry.size as i64,
+            mtime: entry.mtime,
+            network: Some(scan.source.network.clone()),
+            station: Some(scan.source.station.clone()),
+            location: Some(scan.source.location.clone()),
+            channel: Some(scan.source.channel.clone()),
+            start_time: nonempty.then_some(scan.start),
+            end_time: nonempty.then_some(scan.end()),
+            num_records: scan.groups.len() as i64,
+            num_samples: scan.total_samples as i64,
+            sample_rate: Some(scan.sample_rate),
+            encoding: Some(encoding.clone()),
+        };
+        let records = scan
+            .groups
+            .iter()
+            .map(|g| RecordMetaRow {
+                file_id: entry.id.0 as i64,
+                seq_no: g.seq_no,
+                start_time: g.start,
+                end_time: g.end,
+                num_samples: g.num_samples as i64,
+                sample_rate: scan.sample_rate,
+                byte_offset: g.byte_offset as i64,
+                record_length: g.byte_len as i64,
+                quality: "D".to_string(),
+                timing_quality: 255,
+                encoding: encoding.clone(),
+            })
+            .collect();
+        Ok(FileMetadata {
+            file,
+            records,
+            // The whole text is walked: CSV metadata is not cheaper than
+            // the file, and the accounting says so.
+            bytes_read: entry.size,
+        })
+    }
+
+    fn extract_records(
+        &self,
+        src: &dyn LazySource,
+        entry: &FileEntry,
+        locators: &[RecordLocator],
+    ) -> Result<Vec<RecordData>> {
+        if locators.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One small header fetch recovers the rate; each group's start
+        // time comes from its own first row.
+        let header_len = (lazyetl_mseed::csv::CSV_HEADER_FETCH).min(entry.size);
+        let header = lazyetl_mseed::csv::scan_csv_header(&read_bytes(src, entry, 0, header_len)?)?;
+        let period_us = if header.sample_rate > 0.0 {
+            (1_000_000.0 / header.sample_rate).round() as i64
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(locators.len());
+        for loc in locators {
+            let bytes = read_bytes(src, entry, loc.byte_offset, loc.record_length as u64)?;
+            let rows = lazyetl_mseed::csv::parse_csv_group_rows(&bytes)?;
+            let first = rows.first().ok_or_else(|| {
+                EtlError::Internal(format!(
+                    "CSV group {} of {} has no rows (file changed without refresh?)",
+                    loc.seq_no, entry.uri
+                ))
+            })?;
+            out.push(RecordData {
+                seq_no: loc.seq_no,
+                start: Timestamp(first.0),
+                period_us,
+                values: rows.iter().map(|&(_, v)| v).collect(),
+            });
+        }
+        Ok(out)
+    }
+}
+
 /// Chooses an extractor per file, by extension.
 ///
 /// The registry is the warehouse's only knowledge of file formats; adding
@@ -322,6 +592,7 @@ impl Extractor for SacExtractor {
 pub struct FormatRegistry {
     mseed: MseedExtractor,
     sac: SacExtractor,
+    csv: CsvExtractor,
 }
 
 impl FormatRegistry {
@@ -335,11 +606,31 @@ impl FormatRegistry {
         match ext.as_str() {
             "mseed" | "miniseed" | "msd" => Ok(&self.mseed),
             "sac" => Ok(&self.sac),
+            "csv" => Ok(&self.csv),
             other => Err(EtlError::Internal(format!(
                 "no extractor registered for extension {other:?} ({})",
                 entry.uri
             ))),
         }
+    }
+
+    /// Whether the scan should attach this entry at all. `.csv` is a
+    /// generic extension, so a CSV file must open with the
+    /// [`lazyetl_mseed::csv::CSV_MAGIC`] line to count as waveform data;
+    /// foreign CSVs (catalogs, spreadsheets) are skipped like any other
+    /// non-seismic file instead of failing the whole open.
+    pub fn claims(&self, src: &dyn LazySource, entry: &FileEntry) -> Result<bool> {
+        let ext = entry
+            .path
+            .extension()
+            .map(|e| e.to_string_lossy().to_ascii_lowercase())
+            .unwrap_or_default();
+        if ext != "csv" {
+            return Ok(true);
+        }
+        let magic = lazyetl_mseed::csv::CSV_MAGIC.as_bytes();
+        let head = read_bytes(src, entry, 0, (magic.len() as u64).min(entry.size))?;
+        Ok(head == magic)
     }
 }
 
@@ -421,7 +712,7 @@ mod tests {
         let (dir, repo) = setup("meta");
         let x = MseedExtractor;
         for entry in repo.files() {
-            let md = x.scan_metadata(entry).unwrap();
+            let md = x.scan_metadata(&repo, entry).unwrap();
             assert_eq!(md.file.file_id, entry.id.0 as i64);
             assert_eq!(md.file.uri, entry.uri);
             assert_eq!(md.file.num_records as usize, md.records.len());
@@ -442,7 +733,7 @@ mod tests {
         let (dir, repo) = setup("extract");
         let x = MseedExtractor;
         let entry = &repo.files()[0];
-        let md = x.scan_metadata(entry).unwrap();
+        let md = x.scan_metadata(&repo, entry).unwrap();
         assert!(md.records.len() >= 2, "need multiple records");
         let pick = &md.records[1];
         let loc = RecordLocator {
@@ -450,7 +741,7 @@ mod tests {
             byte_offset: pick.byte_offset as u64,
             record_length: pick.record_length as u32,
         };
-        let data = x.extract_records(entry, &[loc]).unwrap();
+        let data = x.extract_records(&repo, entry, &[loc]).unwrap();
         assert_eq!(data.len(), 1);
         assert_eq!(data[0].values.len() as i64, pick.num_samples);
         assert_eq!(data[0].start, pick.start_time);
@@ -467,7 +758,7 @@ mod tests {
         let (dir, repo) = setup("mismatch");
         let x = MseedExtractor;
         let entry = &repo.files()[0];
-        let md = x.scan_metadata(entry).unwrap();
+        let md = x.scan_metadata(&repo, entry).unwrap();
         let pick = &md.records[0];
         let loc = RecordLocator {
             seq_no: pick.seq_no + 999, // wrong expectation
@@ -475,7 +766,7 @@ mod tests {
             record_length: pick.record_length as u32,
         };
         assert!(matches!(
-            x.extract_records(entry, &[loc]),
+            x.extract_records(&repo, entry, &[loc]),
             Err(EtlError::Internal(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
@@ -485,7 +776,7 @@ mod tests {
     fn meta_rows_fit_warehouse_schemas() {
         let (dir, repo) = setup("rows");
         let x = MseedExtractor;
-        let md = x.scan_metadata(&repo.files()[0]).unwrap();
+        let md = x.scan_metadata(&repo, &repo.files()[0]).unwrap();
         let mut f = Table::empty(schema::files_schema());
         push_file_row(&mut f, &md.file).unwrap();
         assert_eq!(f.num_rows(), 1);
@@ -494,6 +785,86 @@ mod tests {
             push_record_row(&mut r, row).unwrap();
         }
         assert_eq!(r.num_rows(), md.records.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_scan_and_extract_match_local() {
+        let (dir, repo) = setup("remote");
+        let remote = lazyetl_repo::RemoteSource::open(&dir).unwrap();
+        let x = MseedExtractor;
+        for (local_entry, remote_entry) in repo.files().iter().zip(remote.files()) {
+            let local = x.scan_metadata(&repo, local_entry).unwrap();
+            let over_wire = x.scan_metadata(&remote, remote_entry).unwrap();
+            assert_eq!(local.file.num_records, over_wire.file.num_records);
+            assert_eq!(local.records, over_wire.records);
+            assert!(
+                over_wire.bytes_read >= local.bytes_read,
+                "read-ahead is honest"
+            );
+            let locs: Vec<RecordLocator> = local
+                .records
+                .iter()
+                .map(|r| RecordLocator {
+                    seq_no: r.seq_no,
+                    byte_offset: r.byte_offset as u64,
+                    record_length: r.record_length as u32,
+                })
+                .collect();
+            let a = x.extract_records(&repo, local_entry, &locs).unwrap();
+            let b = x.extract_records(&remote, remote_entry, &locs).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (ra, rb) in a.iter().zip(&b) {
+                assert_eq!(ra.start, rb.start);
+                assert_eq!(ra.values, rb.values);
+            }
+        }
+        assert!(remote.io_stats().fetch_requests > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csv_extractor_roundtrips_groups() {
+        use lazyetl_mseed::csv::write_csv_bytes;
+        use lazyetl_mseed::SourceId;
+        let dir = std::env::temp_dir().join(format!("lazyetl_extract_csv_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let src_id = SourceId::new("NL", "HGN", "", "BHZ").unwrap();
+        let start = Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0);
+        let samples: Vec<i32> = (0..1300).map(|i| (i * 37) % 911 - 455).collect();
+        let bytes = write_csv_bytes(&src_id, start, 40.0, &samples).unwrap();
+        std::fs::write(dir.join("a.csv"), &bytes).unwrap();
+        let repo = Repository::open(&dir).unwrap();
+        let x = CsvExtractor;
+        let entry = &repo.files()[0];
+        let md = x.scan_metadata(&repo, entry).unwrap();
+        assert_eq!(md.file.station.as_deref(), Some("HGN"));
+        assert_eq!(md.file.num_samples, 1300);
+        assert_eq!(md.records.len(), 3, "1300 samples at 512/group");
+        let locs: Vec<RecordLocator> = md
+            .records
+            .iter()
+            .map(|r| RecordLocator {
+                seq_no: r.seq_no,
+                byte_offset: r.byte_offset as u64,
+                record_length: r.record_length as u32,
+            })
+            .collect();
+        // Local and remote extraction agree and reproduce the samples.
+        let remote = lazyetl_repo::RemoteSource::open(&dir).unwrap();
+        let local = x.extract_records(&repo, entry, &locs).unwrap();
+        let wire = x
+            .extract_records(&remote, remote.files().first().unwrap(), &locs)
+            .unwrap();
+        let flat: Vec<f64> = local.iter().flat_map(|r| r.values.clone()).collect();
+        let expect: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        assert_eq!(flat, expect);
+        assert_eq!(local[1].start, md.records[1].start_time);
+        for (a, b) in local.iter().zip(&wire) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.values, b.values);
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -76,7 +76,9 @@ pub use analysis::{
 };
 pub use cache::{CacheLookup, CacheSnapshot, CacheStats, RecyclingCache};
 pub use error::{EtlError, Result};
-pub use extract::{Extractor, MseedExtractor, RecordData, RecordLocator};
+pub use extract::{
+    CsvExtractor, Extractor, MseedExtractor, RangedReader, RecordData, RecordLocator, SacExtractor,
+};
 pub use log::{EtlLog, EtlOp, LogEntry};
 pub use persistence::{
     load_saved_tables, read_manifest, recover_saved_dir, replay_journal, save_warehouse,
@@ -90,6 +92,6 @@ pub use schema::{
 };
 pub use segment::{SegmentEntry, SegmentInfo};
 pub use warehouse::{
-    CatalogRef, LoadReport, Mode, QueryOutput, QueryReport, RefreshSummary, RepositoryRef,
-    Warehouse, WarehouseConfig, WarehouseStats,
+    global_file_id, split_file_id, CatalogRef, LoadReport, Mode, QueryOutput, QueryReport,
+    RefreshSummary, SourceStats, Warehouse, WarehouseBuilder, WarehouseConfig, WarehouseStats,
 };

@@ -22,7 +22,7 @@ use crate::cache::RecyclingCache;
 use crate::error::{EtlError, Result};
 use crate::extract::{FormatRegistry, RecordLocator};
 use lazyetl_mseed::Timestamp;
-use lazyetl_repo::FileEntry;
+use lazyetl_repo::{FileEntry, LazySource};
 use lazyetl_store::Table;
 use std::sync::Arc;
 
@@ -44,8 +44,18 @@ pub struct ExtractedRecord {
 
 /// One file's worth of work for the fetch pipeline: the cache triage
 /// result (phase A) and the extraction input (phase B).
+///
+/// Carries the [`LazySource`] the entry came from — extraction workers
+/// route reads through it — and the **warehouse-global** file id, which
+/// in a federated warehouse differs from `entry.id` (the mount-local id).
 #[derive(Debug)]
-pub struct FileGroup {
+pub struct FileGroup<'a> {
+    /// The source the entry belongs to (reads go through it).
+    pub source: &'a dyn LazySource,
+    /// Warehouse-global file id: the cache key and `D.file_id` value.
+    pub file_id: i64,
+    /// Mount-qualified URI for logs and accounting.
+    pub display_uri: String,
     /// The repository entry to extract from.
     pub entry: FileEntry,
     /// The file's modification time observed at triage; extracted records
@@ -62,7 +72,7 @@ pub struct FileGroup {
 /// skips cache admission.
 pub fn extract_groups(
     extractor: &FormatRegistry,
-    groups: &[FileGroup],
+    groups: &[FileGroup<'_>],
     threads: usize,
 ) -> Vec<Result<Vec<ExtractedRecord>>> {
     extract_groups_into(extractor, groups, threads, None)
@@ -85,7 +95,7 @@ pub fn extract_groups(
 /// so cached contents match the parallel path.
 pub fn extract_groups_into(
     extractor: &FormatRegistry,
-    groups: &[FileGroup],
+    groups: &[FileGroup<'_>],
     threads: usize,
     cache: Option<&RecyclingCache>,
 ) -> Vec<Result<Vec<ExtractedRecord>>> {
@@ -115,13 +125,13 @@ pub fn extract_groups_into(
 
 fn extract_one(
     extractor: &FormatRegistry,
-    group: &FileGroup,
+    group: &FileGroup<'_>,
     cache: Option<&RecyclingCache>,
 ) -> Result<Vec<ExtractedRecord>> {
-    let file_id = group.entry.id.0 as i64;
+    let file_id = group.file_id;
     extractor
         .for_entry(&group.entry)?
-        .extract_records(&group.entry, &group.to_extract)?
+        .extract_records(group.source, &group.entry, &group.to_extract)?
         .into_iter()
         .map(|rd| {
             let table = Arc::new(rd.to_table(file_id)?);
@@ -160,16 +170,19 @@ mod tests {
         (root, repo)
     }
 
-    fn groups_for(repo: &Repository, extractor: &FormatRegistry) -> Vec<FileGroup> {
+    fn groups_for<'a>(repo: &'a Repository, extractor: &FormatRegistry) -> Vec<FileGroup<'a>> {
         repo.files()
             .iter()
             .map(|entry| {
                 let md = extractor
                     .for_entry(entry)
                     .unwrap()
-                    .scan_metadata(entry)
+                    .scan_metadata(repo, entry)
                     .unwrap();
                 FileGroup {
+                    source: repo,
+                    file_id: entry.id.0 as i64,
+                    display_uri: entry.uri.clone(),
                     entry: entry.clone(),
                     current_mtime: entry.mtime,
                     hit_tables: Vec::new(),

@@ -33,6 +33,22 @@
 //! Two queries racing on the same cold record may both extract it (a
 //! benign shard race — last admission wins, results are unaffected);
 //! everything else a query observes is the same as in the serial design.
+//!
+//! # Federation
+//!
+//! A warehouse mounts one or more **named** [`LazySource`]s (built with
+//! [`WarehouseBuilder`]): local directories, CSV trees, simulated-remote
+//! servers. One catalog spans them all — file ids are made warehouse-
+//! global by packing the mount index into the high half
+//! (`(mount << 32) | local_id`), and with more than one mount every URI
+//! is displayed mount-qualified (`name://relative/path`). Queries are
+//! unaware of the split: the lazy rewriter hands back global pairs and
+//! the fetch pipeline routes each file's reads through its own source,
+//! accounting extraction work per mount ([`SourceStats`]). The classic
+//! single-directory constructors ([`Warehouse::open_lazy`] /
+//! [`Warehouse::open_eager`] / [`Warehouse::open_saved`]) are thin shims
+//! over the builder with one mount named `repo`, and keep today's bare
+//! URIs and ids.
 
 use crate::cache::{CacheLookup, CacheSnapshot, RecyclingCache};
 use crate::error::{EtlError, Result};
@@ -46,7 +62,7 @@ use lazyetl_query::exec::{execute, ExecContext};
 use lazyetl_query::optimizer::{coerce_timestamp_literals, fold_constants, optimize};
 use lazyetl_query::planner::{plan_select, TableSource};
 use lazyetl_query::{parse_select, LogicalPlan};
-use lazyetl_repo::{AccessProfile, Repository};
+use lazyetl_repo::{AccessProfile, FileEntry, FileId, LazySource, Repository};
 use lazyetl_store::{Catalog, Table};
 use std::collections::BTreeSet;
 use std::ops::Deref;
@@ -54,6 +70,19 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
+
+/// Pack a mount index and a mount-local file id into the warehouse-global
+/// file id used in F/R/D rows, cache keys and rewrite pairs. Mount 0
+/// yields ids identical to the local ones, so single-source warehouses
+/// (and everything persisted by them) are unchanged.
+pub fn global_file_id(mount: usize, local: FileId) -> i64 {
+    ((mount as i64) << 32) | local.0 as i64
+}
+
+/// Invert [`global_file_id`].
+pub fn split_file_id(fid: i64) -> (usize, FileId) {
+    ((fid >> 32) as usize, FileId((fid & 0xFFFF_FFFF) as u32))
+}
 
 /// Warehouse construction mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,6 +276,8 @@ pub struct WarehouseStats {
     /// Executor counters: rows scanned/pruned, vectorized batches and
     /// scalar fallbacks, cumulative across every query this warehouse ran.
     pub exec: lazyetl_query::ExecCounters,
+    /// Per-mount extraction accounting, in mount order.
+    pub sources: Vec<SourceStats>,
 }
 
 /// Query result: the rows plus the diagnostics.
@@ -270,17 +301,92 @@ struct FetchStats {
     simulated_io: Duration,
 }
 
+/// One named source mounted into a warehouse.
+#[derive(Debug)]
+struct Mount {
+    name: String,
+    source: Box<dyn LazySource>,
+}
+
+/// Cumulative per-mount extraction counters (updated by the sequential
+/// assembly phase of fetches; atomics because the warehouse is shared).
+#[derive(Debug, Default)]
+struct SourceCounters {
+    files_extracted: AtomicU64,
+    records_extracted: AtomicU64,
+    samples_extracted: AtomicU64,
+    bytes_read: AtomicU64,
+    simulated_io_us: AtomicU64,
+}
+
+/// Point-in-time extraction accounting for one mounted source, as
+/// reported by [`Warehouse::stats_snapshot`] (and the serving layer's
+/// stats frame). Counters are cumulative since open.
+#[derive(Debug, Clone)]
+pub struct SourceStats {
+    /// Mount name (`repo` for the single-directory shims).
+    pub name: String,
+    /// Source backend kind (`local`, `csv`, `remote`, …).
+    pub kind: &'static str,
+    /// Files currently registered under this mount.
+    pub files: usize,
+    /// Files actual data was extracted from (file touches, not uniqued).
+    pub files_extracted: u64,
+    /// Records decoded from this source.
+    pub records_extracted: u64,
+    /// Samples decoded from this source.
+    pub samples_extracted: u64,
+    /// Payload bytes read from this source for extraction.
+    pub bytes_read: u64,
+    /// Modeled remote-access time under the source's access profile.
+    pub simulated_io: Duration,
+    /// Ranged-fetch requests the source itself served (0 for sources
+    /// read via a local path).
+    pub fetch_requests: u64,
+    /// Bytes those ranged fetches transferred.
+    pub fetched_bytes: u64,
+}
+
 /// The mutable warehouse state queries read and refreshes rewrite: the
-/// repository registry, the catalog holding F/R (and D in eager mode),
-/// and the locator index derived from R.
+/// mounted source registry, the catalog holding F/R (and D in eager
+/// mode), and the locator index derived from R.
 #[derive(Debug)]
 struct WarehouseState {
-    repo: Repository,
+    mounts: Vec<Mount>,
     catalog: Catalog,
     index: LocatorIndex,
 }
 
 impl WarehouseState {
+    /// Display form of a mount-local URI: bare for single-mount
+    /// warehouses (compatibility), `name://uri` when federated.
+    fn full_uri(&self, mount: usize, uri: &str) -> String {
+        if self.mounts.len() == 1 {
+            uri.to_string()
+        } else {
+            format!("{}://{}", self.mounts[mount].name, uri)
+        }
+    }
+
+    /// Resolve a display URI back to its mount and entry.
+    fn resolve_uri(&self, full: &str) -> Option<(usize, &FileEntry)> {
+        if self.mounts.len() == 1 {
+            return self.mounts[0].source.by_uri(full).map(|e| (0, e));
+        }
+        let (name, rest) = full.split_once("://")?;
+        let idx = self.mounts.iter().position(|m| m.name == name)?;
+        self.mounts[idx].source.by_uri(rest).map(|e| (idx, e))
+    }
+
+    /// Total files registered across every mount.
+    /// Files *attached* to the warehouse (F rows) — foreign files a
+    /// source lists but the scan skipped are not counted.
+    fn total_files(&self) -> usize {
+        self.catalog
+            .table(FILES_TABLE)
+            .map(|t| t.num_rows())
+            .unwrap_or(0)
+    }
     /// Remove all rows of `file_id` from F, R (and D in eager mode).
     fn delete_file_rows(&mut self, mode: Mode, file_id: i64) -> Result<()> {
         let tables: &[&str] = match mode {
@@ -304,10 +410,11 @@ impl WarehouseState {
         Ok(())
     }
 
-    /// Replace one file's warehouse state from its current on-disk
+    /// Replace one file's warehouse state from its current source
     /// content: metadata rows always, `D` rows in eager mode, cache
-    /// entries invalidated. Returns (record rows, samples) reloaded.
-    /// Callers must rebuild the locator index afterwards.
+    /// entries invalidated. `uri` is the display (mount-qualified) form.
+    /// Returns (record rows, samples) reloaded. Callers must rebuild the
+    /// locator index afterwards.
     fn reload_file(
         &mut self,
         mode: Mode,
@@ -316,15 +423,25 @@ impl WarehouseState {
         log: &EtlLog,
         uri: &str,
     ) -> Result<(usize, u64)> {
-        let entry = self
-            .repo
-            .by_uri(uri)
-            .ok_or_else(|| EtlError::Internal(format!("repository lost {uri:?}")))?
-            .clone();
-        let fid = entry.id.0 as i64;
+        let (mount, entry) = self
+            .resolve_uri(uri)
+            .ok_or_else(|| EtlError::Internal(format!("sources lost {uri:?}")))?;
+        let entry = entry.clone();
+        let fid = global_file_id(mount, entry.id);
         self.delete_file_rows(mode, fid)?;
         cache.invalidate_file(fid);
-        let md = extractor.for_entry(&entry)?.scan_metadata(&entry)?;
+        let src = self.mounts[mount].source.as_ref();
+        if !extractor.claims(src, &entry)? {
+            // A foreign file (e.g. a CSV without the magic line) stays
+            // detached; its stale rows are already gone.
+            return Ok((0, 0));
+        }
+        let mut md = extractor.for_entry(&entry)?.scan_metadata(src, &entry)?;
+        md.file.file_id = fid;
+        md.file.uri = uri.to_string();
+        for rr in &mut md.records {
+            rr.file_id = fid;
+        }
         {
             let f_table = self
                 .catalog
@@ -358,9 +475,10 @@ impl WarehouseState {
                     record_length: r.record_length as u32,
                 })
                 .collect();
+            let src = self.mounts[mount].source.as_ref();
             let datas = extractor
                 .for_entry(&entry)?
-                .extract_records(&entry, &locators)?;
+                .extract_records(src, &entry, &locators)?;
             let mut adds = Table::empty(schema::data_schema());
             for rd in &datas {
                 samples += rd.values.len() as u64;
@@ -403,16 +521,6 @@ impl Deref for CatalogRef<'_> {
     }
 }
 
-/// Read guard over the repository registry (shared with running queries).
-pub struct RepositoryRef<'a>(RwLockReadGuard<'a, WarehouseState>);
-
-impl Deref for RepositoryRef<'_> {
-    type Target = Repository;
-    fn deref(&self) -> &Repository {
-        &self.0.repo
-    }
-}
-
 /// The scientific data warehouse. `Send + Sync`: share one instance (e.g.
 /// behind an [`Arc`]) across any number of query threads.
 pub struct Warehouse {
@@ -421,6 +529,8 @@ pub struct Warehouse {
     state: RwLock<WarehouseState>,
     cache: RecyclingCache,
     qcache: QueryResultCache,
+    /// Per-mount extraction counters, index-aligned with the mounts.
+    source_counters: Vec<SourceCounters>,
     /// Bumped whenever a refresh folds repository changes into the
     /// catalog; recycled results from older generations are invalid.
     generation: AtomicU64,
@@ -442,112 +552,263 @@ const _: fn() = || {
     assert_send_sync::<Warehouse>();
 };
 
+/// Single construction path for warehouses: name sources, pick the mode,
+/// open. The `Warehouse::open*` constructors are thin shims over this.
+///
+/// ```no_run
+/// # use lazyetl_core::{WarehouseBuilder, WarehouseConfig, Mode};
+/// # use lazyetl_repo::{CsvSource, RemoteSource};
+/// # fn main() -> lazyetl_core::Result<()> {
+/// let wh = WarehouseBuilder::new()
+///     .config(WarehouseConfig::default())
+///     .mode(Mode::Lazy)
+///     .local_dir("archive", "/data/mseed")?
+///     .source("surveys", Box::new(CsvSource::open("/data/csv")?))
+///     .source("orfeus", Box::new(RemoteSource::open("/mnt/mirror")?))
+///     .open()?;
+/// # Ok(()) }
+/// ```
+///
+/// Mount order is part of the warehouse identity: global file ids embed
+/// the mount index, so saved state reopens correctly only under the same
+/// names in the same order (drifted mounts degrade to a fresh reload).
+/// The builder never touches a source's [`AccessProfile`] — each backend
+/// keeps the profile it was constructed with.
+#[derive(Default)]
+pub struct WarehouseBuilder {
+    config: WarehouseConfig,
+    mode: Option<Mode>,
+    mounts: Vec<Mount>,
+}
+
+impl WarehouseBuilder {
+    /// A builder with default config, lazy mode and no sources.
+    pub fn new() -> WarehouseBuilder {
+        WarehouseBuilder::default()
+    }
+
+    /// Set the warehouse configuration.
+    pub fn config(mut self, config: WarehouseConfig) -> WarehouseBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Set the construction mode (default: [`Mode::Lazy`]).
+    pub fn mode(mut self, mode: Mode) -> WarehouseBuilder {
+        self.mode = Some(mode);
+        self
+    }
+
+    /// Mount a source under `name`. Order matters (see type docs).
+    pub fn source(
+        mut self,
+        name: impl Into<String>,
+        source: Box<dyn LazySource>,
+    ) -> WarehouseBuilder {
+        self.mounts.push(Mount {
+            name: name.into(),
+            source,
+        });
+        self
+    }
+
+    /// Convenience: mount a plain local directory under `name`.
+    pub fn local_dir(
+        self,
+        name: impl Into<String>,
+        root: impl AsRef<Path>,
+    ) -> Result<WarehouseBuilder> {
+        let repo = Repository::open(root.as_ref().to_path_buf())?;
+        Ok(self.source(name, Box::new(repo)))
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.mounts.is_empty() {
+            return Err(EtlError::Internal(
+                "warehouse needs at least one source".into(),
+            ));
+        }
+        for (i, m) in self.mounts.iter().enumerate() {
+            if m.name.is_empty() || m.name.contains("://") {
+                return Err(EtlError::Internal(format!(
+                    "invalid mount name {:?}",
+                    m.name
+                )));
+            }
+            if self.mounts[..i].iter().any(|p| p.name == m.name) {
+                return Err(EtlError::Internal(format!(
+                    "duplicate mount name {:?}",
+                    m.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Open the warehouse: scan metadata of every mount (and, eagerly,
+    /// extract everything).
+    pub fn open(self) -> Result<Warehouse> {
+        self.validate()?;
+        let mode = self.mode.unwrap_or(Mode::Lazy);
+        Warehouse::open_from(self.mounts, self.config, mode)
+    }
+
+    /// Reopen from state persisted by [`Warehouse::save_to`], reconciling
+    /// every mount's files by URI. The persisted mode wins; a mode set on
+    /// the builder is ignored.
+    pub fn open_saved(self, saved_dir: impl AsRef<Path>) -> Result<Warehouse> {
+        self.validate()?;
+        Warehouse::open_saved_from(self.mounts, saved_dir.as_ref(), self.config)
+    }
+}
+
 impl Warehouse {
     /// Open a repository lazily: load only metadata; the warehouse is
     /// ready for queries immediately.
+    ///
+    /// Shim over [`WarehouseBuilder`]: one local mount named `repo`,
+    /// accessed under [`WarehouseConfig::access`].
     pub fn open_lazy(root: impl AsRef<Path>, config: WarehouseConfig) -> Result<Warehouse> {
-        Self::open(root, config, Mode::Lazy)
+        Self::open_dir(root, config, Mode::Lazy)
     }
 
     /// Open a repository eagerly: full traditional ETL before the first
-    /// query can run.
+    /// query can run. Shim over [`WarehouseBuilder`] (see
+    /// [`Self::open_lazy`]).
     pub fn open_eager(root: impl AsRef<Path>, config: WarehouseConfig) -> Result<Warehouse> {
-        Self::open(root, config, Mode::Eager)
+        Self::open_dir(root, config, Mode::Eager)
     }
 
-    fn open(root: impl AsRef<Path>, config: WarehouseConfig, mode: Mode) -> Result<Warehouse> {
-        let t0 = Instant::now();
+    fn open_dir(root: impl AsRef<Path>, config: WarehouseConfig, mode: Mode) -> Result<Warehouse> {
         let mut repo = Repository::open(root.as_ref().to_path_buf())?;
         repo.access = config.access;
+        WarehouseBuilder::new()
+            .config(config)
+            .mode(mode)
+            .source("repo", Box::new(repo))
+            .open()
+    }
+
+    fn open_from(mounts: Vec<Mount>, config: WarehouseConfig, mode: Mode) -> Result<Warehouse> {
+        let t0 = Instant::now();
         let mut catalog = Catalog::new();
         schema::install_metadata_schema(&mut catalog)?;
         let log = EtlLog::new();
         let extractor = FormatRegistry::default();
+        let mut state = WarehouseState {
+            mounts,
+            catalog,
+            index: LocatorIndex::default(),
+        };
 
-        // Phase 1 (both modes): metadata into F and R.
+        // Phase 1 (both modes): every mount's metadata into F and R.
         let mut bytes_read = 0u64;
         let mut simulated_io = Duration::ZERO;
         let mut n_records = 0usize;
         {
             let mut f_table = Table::empty(schema::files_schema());
             let mut r_table = Table::empty(schema::records_schema());
-            for entry in repo.files() {
-                let md = extractor.for_entry(entry)?.scan_metadata(entry)?;
-                push_file_row(&mut f_table, &md.file)?;
-                for rr in &md.records {
-                    push_record_row(&mut r_table, rr)?;
+            for mi in 0..state.mounts.len() {
+                let src = state.mounts[mi].source.as_ref();
+                let access = src.access();
+                for entry in src.files() {
+                    if !extractor.claims(src, entry)? {
+                        continue;
+                    }
+                    let fid = global_file_id(mi, entry.id);
+                    let uri = state.full_uri(mi, &entry.uri);
+                    let mut md = extractor.for_entry(entry)?.scan_metadata(src, entry)?;
+                    md.file.file_id = fid;
+                    md.file.uri = uri.clone();
+                    push_file_row(&mut f_table, &md.file)?;
+                    for rr in &mut md.records {
+                        rr.file_id = fid;
+                        push_record_row(&mut r_table, rr)?;
+                    }
+                    n_records += md.records.len();
+                    bytes_read += md.bytes_read;
+                    simulated_io += access.cost(md.bytes_read);
+                    log.push(EtlOp::MetadataLoad {
+                        uri,
+                        records: md.records.len(),
+                        bytes_read: md.bytes_read,
+                    });
                 }
-                n_records += md.records.len();
-                bytes_read += md.bytes_read;
-                simulated_io += config.access.cost(md.bytes_read);
-                log.push(EtlOp::MetadataLoad {
-                    uri: entry.uri.clone(),
-                    records: md.records.len(),
-                    bytes_read: md.bytes_read,
-                });
             }
-            catalog.replace_table(FILES_TABLE, f_table)?;
-            catalog.replace_table(RECORDS_TABLE, r_table)?;
+            state.catalog.replace_table(FILES_TABLE, f_table)?;
+            state.catalog.replace_table(RECORDS_TABLE, r_table)?;
         }
-        let index = LocatorIndex::build(
-            catalog
-                .table(RECORDS_TABLE)
-                .expect("records table installed"),
-        )?;
+        state.rebuild_index()?;
 
         // Phase 2 (eager only): extract and load every record into D.
         let mut samples_loaded = 0u64;
         if mode == Mode::Eager {
             let mut d_table = Table::empty(schema::data_schema());
-            for entry in repo.files() {
-                let file_id = entry.id.0 as i64;
-                let locators: Vec<RecordLocator> = index
-                    .seqs_of_file(file_id)
-                    .iter()
-                    .map(|&s| index.get(file_id, s).expect("index consistent").locator)
-                    .collect();
-                let datas = extractor
-                    .for_entry(entry)?
-                    .extract_records(entry, &locators)?;
-                let mut recs = 0usize;
-                for rd in &datas {
-                    samples_loaded += rd.values.len() as u64;
-                    recs += 1;
-                    d_table.append_table(&rd.to_table(file_id)?)?;
+            for mi in 0..state.mounts.len() {
+                let src = state.mounts[mi].source.as_ref();
+                let access = src.access();
+                for entry in src.files() {
+                    if !extractor.claims(src, entry)? {
+                        continue;
+                    }
+                    let file_id = global_file_id(mi, entry.id);
+                    let locators: Vec<RecordLocator> = state
+                        .index
+                        .seqs_of_file(file_id)
+                        .iter()
+                        .map(|&s| {
+                            state
+                                .index
+                                .get(file_id, s)
+                                .expect("index consistent")
+                                .locator
+                        })
+                        .collect();
+                    let datas = extractor
+                        .for_entry(entry)?
+                        .extract_records(src, entry, &locators)?;
+                    let mut recs = 0usize;
+                    for rd in &datas {
+                        samples_loaded += rd.values.len() as u64;
+                        recs += 1;
+                        d_table.append_table(&rd.to_table(file_id)?)?;
+                    }
+                    bytes_read += entry.size;
+                    simulated_io += access.cost(entry.size);
+                    log.push(EtlOp::Extract {
+                        uri: state.full_uri(mi, &entry.uri),
+                        records: recs,
+                        samples: datas.iter().map(|d| d.values.len()).sum(),
+                    });
                 }
-                bytes_read += entry.size;
-                simulated_io += config.access.cost(entry.size);
-                log.push(EtlOp::Extract {
-                    uri: entry.uri.clone(),
-                    records: recs,
-                    samples: datas.iter().map(|d| d.values.len()).sum(),
-                });
             }
-            catalog.create_table(DATA_TABLE, d_table)?;
+            state.catalog.create_table(DATA_TABLE, d_table)?;
         }
 
         let load_report = LoadReport {
             mode,
-            files: repo.len(),
+            files: state.total_files(),
             records: n_records,
             samples_loaded,
             bytes_read,
             elapsed: t0.elapsed(),
             simulated_io,
         };
+        let source_counters = state
+            .mounts
+            .iter()
+            .map(|_| SourceCounters::default())
+            .collect();
         Ok(Warehouse {
             mode,
             cache: RecyclingCache::with_shards(config.cache_budget_bytes, config.cache_shards),
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
+            source_counters,
             generation: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             exec_metrics: lazyetl_query::ExecMetrics::new(),
             config,
-            state: RwLock::new(WarehouseState {
-                repo,
-                catalog,
-                index,
-            }),
+            state: RwLock::new(state),
             log,
             extractor,
             load_report,
@@ -579,14 +840,13 @@ impl Warehouse {
         &self.load_report
     }
 
-    /// The underlying repository (holds the state read lock while alive).
-    ///
-    /// **Do not call [`Self::refresh`] — or, with auto-refresh on,
-    /// [`Self::query`] — from the same thread while the guard is alive:**
-    /// the state lock is not reentrant, so acquiring the write lock under
-    /// a live read guard deadlocks. Drop the guard first.
-    pub fn repository(&self) -> RepositoryRef<'_> {
-        RepositoryRef(self.read_state())
+    /// Names and backend kinds of the mounted sources, in mount order.
+    pub fn sources(&self) -> Vec<(String, &'static str)> {
+        self.read_state()
+            .mounts
+            .iter()
+            .map(|m| (m.name.clone(), m.source.kind()))
+            .collect()
     }
 
     /// The catalog (metadata browsing, demo item 2; holds the state read
@@ -626,12 +886,35 @@ impl Warehouse {
     /// cache counters. Cheap enough to call per stats request; takes the
     /// state read lock briefly.
     pub fn stats_snapshot(&self) -> WarehouseStats {
-        let (files, records, resident_bytes) = {
+        let (files, records, resident_bytes, sources) = {
             let state = self.read_state();
+            let sources = state
+                .mounts
+                .iter()
+                .zip(&self.source_counters)
+                .map(|(m, c)| {
+                    let io = m.source.io_stats();
+                    SourceStats {
+                        name: m.name.clone(),
+                        kind: m.source.kind(),
+                        files: m.source.files().len(),
+                        files_extracted: c.files_extracted.load(Ordering::Relaxed),
+                        records_extracted: c.records_extracted.load(Ordering::Relaxed),
+                        samples_extracted: c.samples_extracted.load(Ordering::Relaxed),
+                        bytes_read: c.bytes_read.load(Ordering::Relaxed),
+                        simulated_io: Duration::from_micros(
+                            c.simulated_io_us.load(Ordering::Relaxed),
+                        ),
+                        fetch_requests: io.fetch_requests,
+                        fetched_bytes: io.fetched_bytes,
+                    }
+                })
+                .collect();
             (
-                state.repo.len(),
+                state.total_files(),
                 state.index.len(),
                 state.catalog.resident_bytes(),
+                sources,
             )
         };
         let snap = self.cache.snapshot();
@@ -640,6 +923,7 @@ impl Warehouse {
             files,
             records,
             resident_bytes,
+            sources,
             generation: self.generation(),
             queries: self.queries.load(Ordering::Relaxed),
             cache: snap.stats,
@@ -777,10 +1061,10 @@ impl Warehouse {
                 let log = &self.log;
                 let extractor = &self.extractor;
                 let use_cache = self.config.use_cache;
-                let access = self.config.access;
                 let threads = self.config.extraction_threads;
                 let parallelism = self.config.parallelism;
                 let metrics = &self.exec_metrics;
+                let counters = &self.source_counters;
                 let exec_meta = move |p: &LogicalPlan| -> Result<Arc<Table>> {
                     let ctx = ExecContext::new(&state.catalog)
                         .with_metrics(metrics)
@@ -789,15 +1073,7 @@ impl Warehouse {
                 };
                 let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
                     fetch_pairs(
-                        &state.repo,
-                        &state.index,
-                        extractor,
-                        cache,
-                        log,
-                        use_cache,
-                        access,
-                        threads,
-                        pairs,
+                        state, counters, extractor, cache, log, use_cache, threads, pairs,
                         &mut stats,
                     )
                 };
@@ -906,8 +1182,14 @@ impl Warehouse {
         let t0 = Instant::now();
         {
             let state = self.read_state();
-            let probe = state.repo.scan_changes()?;
-            if probe.is_empty() {
+            let quiet = state
+                .mounts
+                .iter()
+                .map(|m| m.source.scan_changes().map(|c| c.is_empty()))
+                .collect::<std::result::Result<Vec<bool>, _>>()?
+                .into_iter()
+                .all(|empty| empty);
+            if quiet {
                 *self.last_rescan.lock().expect("last_rescan poisoned") = Instant::now();
                 return Ok(RefreshSummary {
                     elapsed: t0.elapsed(),
@@ -919,40 +1201,56 @@ impl Warehouse {
         // recomputes authoritatively, so a concurrent refresh that beat us
         // to the fold is harmless — our rescan then reports empty.
         let mut state = self.state.write().expect("warehouse state poisoned");
-        // Capture the pre-rescan id mapping so removed files can be purged.
-        let prev_ids: std::collections::HashMap<String, i64> = state
-            .repo
-            .files()
-            .iter()
-            .map(|e| (e.uri.clone(), e.id.0 as i64))
-            .collect();
-        let change = state.repo.rescan()?;
-        *self.last_rescan.lock().expect("last_rescan poisoned") = Instant::now();
-        if change.is_empty() {
-            return Ok(RefreshSummary {
-                elapsed: t0.elapsed(),
-                ..Default::default()
-            });
+        let mut summary = RefreshSummary::default();
+        let mut removed_fids: Vec<i64> = Vec::new();
+        let mut to_reload: Vec<String> = Vec::new();
+        let multi = state.mounts.len() > 1;
+        for mi in 0..state.mounts.len() {
+            // Capture the pre-rescan id mapping so removed files can be
+            // purged after the source forgets them.
+            let prev_ids: std::collections::HashMap<String, i64> = state.mounts[mi]
+                .source
+                .files()
+                .iter()
+                .map(|e| (e.uri.clone(), global_file_id(mi, e.id)))
+                .collect();
+            let change = state.mounts[mi].source.rescan()?;
+            if change.is_empty() {
+                continue;
+            }
+            summary.added += change.added.len();
+            summary.modified += change.modified.len();
+            summary.removed += change.removed.len();
+            for uri in &change.removed {
+                if let Some(&fid) = prev_ids.get(uri) {
+                    removed_fids.push(fid);
+                }
+            }
+            let name = &state.mounts[mi].name;
+            for uri in change.modified.iter().chain(&change.added) {
+                to_reload.push(if multi {
+                    format!("{name}://{uri}")
+                } else {
+                    uri.clone()
+                });
+            }
         }
-        let mut summary = RefreshSummary {
-            added: change.added.len(),
-            modified: change.modified.len(),
-            removed: change.removed.len(),
-            ..Default::default()
-        };
+        *self.last_rescan.lock().expect("last_rescan poisoned") = Instant::now();
+        if summary.is_noop() {
+            summary.elapsed = t0.elapsed();
+            return Ok(summary);
+        }
         // Recycled results were computed against the pre-change catalog.
         self.generation.fetch_add(1, Ordering::AcqRel);
 
         // Purge removed files.
-        for uri in &change.removed {
-            if let Some(&fid) = prev_ids.get(uri) {
-                state.delete_file_rows(self.mode, fid)?;
-                self.cache.invalidate_file(fid);
-            }
+        for fid in removed_fids {
+            state.delete_file_rows(self.mode, fid)?;
+            self.cache.invalidate_file(fid);
         }
 
         // Reload metadata (and, eagerly, data) of changed and added files.
-        for uri in change.modified.iter().chain(&change.added) {
+        for uri in &to_reload {
             let (records, samples) =
                 state.reload_file(self.mode, &self.extractor, &self.cache, &self.log, uri)?;
             summary.records_reloaded += records;
@@ -988,14 +1286,24 @@ impl Warehouse {
         saved_dir: impl AsRef<Path>,
         config: WarehouseConfig,
     ) -> Result<Warehouse> {
+        let mut repo = Repository::open(root.as_ref().to_path_buf())?;
+        repo.access = config.access;
+        WarehouseBuilder::new()
+            .config(config)
+            .source("repo", Box::new(repo))
+            .open_saved(saved_dir)
+    }
+
+    fn open_saved_from(
+        mounts: Vec<Mount>,
+        saved_dir: &Path,
+        config: WarehouseConfig,
+    ) -> Result<Warehouse> {
         let t0 = Instant::now();
-        let saved_dir = saved_dir.as_ref();
         let recovery = crate::persistence::recover_saved_dir(saved_dir)?;
         let manifest = crate::persistence::read_manifest(saved_dir)?;
         let mode = manifest.mode;
         let (files, records, data) = crate::persistence::load_saved_tables(saved_dir)?;
-        let mut repo = Repository::open(root.as_ref().to_path_buf())?;
-        repo.access = config.access;
         let mut catalog = Catalog::new();
         schema::install_metadata_schema(&mut catalog)?;
         catalog.replace_table(FILES_TABLE, files)?;
@@ -1007,7 +1315,7 @@ impl Warehouse {
         let log = EtlLog::new();
         let extractor = FormatRegistry::default();
         let mut state = WarehouseState {
-            repo,
+            mounts,
             catalog,
             index: LocatorIndex::default(),
         };
@@ -1054,17 +1362,21 @@ impl Warehouse {
                 );
             }
         }
-        let entries: Vec<(String, i64, i64, i64)> = state
-            .repo
-            .files()
-            .iter()
-            .map(|e| {
-                (
-                    e.uri.clone(),
-                    e.id.0 as i64,
-                    e.mtime.micros(),
-                    e.size as i64,
-                )
+        let entries: Vec<(String, i64, i64, i64)> = (0..state.mounts.len())
+            .flat_map(|mi| {
+                state.mounts[mi]
+                    .source
+                    .files()
+                    .iter()
+                    .map(|e| {
+                        (
+                            state.full_uri(mi, &e.uri),
+                            global_file_id(mi, e.id),
+                            e.mtime.micros(),
+                            e.size as i64,
+                        )
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect();
         let mut reloaded = 0usize;
@@ -1111,7 +1423,7 @@ impl Warehouse {
         }
         let load_report = LoadReport {
             mode,
-            files: state.repo.len(),
+            files: state.total_files(),
             records: state.index.len(),
             samples_loaded: match mode {
                 Mode::Lazy => 0,
@@ -1134,10 +1446,16 @@ impl Warehouse {
                 entries.len()
             ),
         });
+        let source_counters = state
+            .mounts
+            .iter()
+            .map(|_| SourceCounters::default())
+            .collect();
         Ok(Warehouse {
             mode,
             cache,
             qcache: QueryResultCache::new(config.result_cache_budget_bytes),
+            source_counters,
             generation: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             exec_metrics: lazyetl_query::ExecMetrics::new(),
@@ -1161,22 +1479,24 @@ impl Warehouse {
 /// * **assemble** (sequential) — per file in pair order: cached rows
 ///   first, then fresh rows in byte-offset order.
 ///
-/// The assembled table is byte-identical for every thread count.
+/// The assembled table is byte-identical for every thread count. Each
+/// file's reads go through its own mounted source; extraction work is
+/// costed under that source's access profile and tallied into its
+/// [`SourceCounters`].
 #[allow(clippy::too_many_arguments)]
 fn fetch_pairs(
-    repo: &Repository,
-    index: &LocatorIndex,
+    state: &WarehouseState,
+    counters: &[SourceCounters],
     extractor: &FormatRegistry,
     cache: &RecyclingCache,
     log: &EtlLog,
     use_cache: bool,
-    access: AccessProfile,
     threads: usize,
     pairs: &[(i64, i64)],
     stats: &mut FetchStats,
 ) -> Result<Arc<Table>> {
     // Phase A: group pairs by file and triage against the cache.
-    let mut groups: Vec<FileGroup> = Vec::new();
+    let mut groups: Vec<FileGroup<'_>> = Vec::new();
     let mut i = 0usize;
     while i < pairs.len() {
         let file_id = pairs[i].0;
@@ -1185,21 +1505,34 @@ fn fetch_pairs(
             seqs.push(pairs[i].1);
             i += 1;
         }
-        let entry = repo
-            .by_id(lazyetl_repo::FileId(file_id as u32))
+        let (mount, local_id) = split_file_id(file_id);
+        let source = state
+            .mounts
+            .get(mount)
             .ok_or_else(|| {
-                EtlError::Internal(format!("file id {file_id} not in repository registry"))
+                EtlError::Internal(format!(
+                    "file id {file_id} names mount {mount}, which does not exist"
+                ))
             })?
+            .source
+            .as_ref();
+        let entry = source
+            .by_id(local_id)
+            .ok_or_else(|| EtlError::Internal(format!("file id {file_id} not in source registry")))?
             .clone();
-        let current_mtime = repo.current_mtime(&entry.uri)?;
+        let current_mtime = source.current_mtime(&entry.uri)?;
+        let display_uri = state.full_uri(mount, &entry.uri);
         let mut group = FileGroup {
+            source,
+            file_id,
+            display_uri,
             entry,
             current_mtime,
             hit_tables: Vec::new(),
             to_extract: Vec::new(),
         };
         for &seq in &seqs {
-            let info = index.get(file_id, seq).ok_or_else(|| {
+            let info = state.index.get(file_id, seq).ok_or_else(|| {
                 EtlError::Internal(format!(
                     "record ({file_id}, {seq}) missing from locator index"
                 ))
@@ -1214,7 +1547,7 @@ fn fetch_pairs(
                     CacheLookup::Stale => {
                         stats.stale_drops += 1;
                         log.push(EtlOp::StaleDrop {
-                            uri: group.entry.uri.clone(),
+                            uri: group.display_uri.clone(),
                         });
                     }
                     CacheLookup::Miss => {
@@ -1247,7 +1580,7 @@ fn fetch_pairs(
                 out.append_table(t)?;
             }
             log.push(EtlOp::CacheHit {
-                uri: group.entry.uri.clone(),
+                uri: group.display_uri.clone(),
                 records: group.hit_tables.len(),
             });
         }
@@ -1268,13 +1601,25 @@ fn fetch_pairs(
                 });
             }
         }
+        let simulated = group.source.access().cost(file_bytes);
         stats.records_extracted += datas.len();
         stats.samples_extracted += samples as u64;
         stats.bytes_read += file_bytes;
-        stats.simulated_io += access.cost(file_bytes);
-        stats.files_extracted.insert(group.entry.uri.clone());
+        stats.simulated_io += simulated;
+        stats.files_extracted.insert(group.display_uri.clone());
+        let (mount, _) = split_file_id(group.file_id);
+        if let Some(c) = counters.get(mount) {
+            c.files_extracted.fetch_add(1, Ordering::Relaxed);
+            c.records_extracted
+                .fetch_add(datas.len() as u64, Ordering::Relaxed);
+            c.samples_extracted
+                .fetch_add(samples as u64, Ordering::Relaxed);
+            c.bytes_read.fetch_add(file_bytes, Ordering::Relaxed);
+            c.simulated_io_us
+                .fetch_add(simulated.as_micros() as u64, Ordering::Relaxed);
+        }
         log.push(EtlOp::Extract {
-            uri: group.entry.uri.clone(),
+            uri: group.display_uri.clone(),
             records: datas.len(),
             samples,
         });

@@ -1,0 +1,432 @@
+//! CSV waveform format: the text twin of a single-stream MiniSEED file.
+//!
+//! Proves the pluggable-source boundary format-agnostic with the simplest
+//! possible scientific format: a `#`-commented header carrying the stream
+//! identity, then one `time_us,value` sample per line. Layout:
+//!
+//! ```text
+//! # lazyetl-csv v1
+//! # source=NL.HGN..BHZ
+//! # sample_rate_hz=40
+//! # start_us=1263254400000000
+//! time_us,value
+//! 1263254400000000,12
+//! 1263254400025000,-3
+//! ```
+//!
+//! Values are written as **integer counts** — the same i32 counts a
+//! MiniSEED Steim payload carries — so CSV decoding widens to exactly the
+//! f64s mSEED extraction produces and federated query results can be
+//! byte-identical across backends.
+//!
+//! Samples are split into fixed-size **record groups** of
+//! [`CSV_GROUP_SAMPLES`] rows. A group is the CSV unit of lazy fetch: the
+//! metadata scan ([`scan_csv_bytes`]) reports each group's byte range,
+//! and extraction re-reads only the touched groups' line ranges
+//! ([`parse_csv_group`]) — record-granular laziness without a binary
+//! index.
+
+use crate::btime::Timestamp;
+use crate::error::{MseedError, Result};
+use crate::record::SourceId;
+
+/// First header line of every lazyetl CSV waveform file.
+pub const CSV_MAGIC: &str = "# lazyetl-csv v1";
+
+/// Samples per CSV record group (the unit of lazy fetch and caching).
+pub const CSV_GROUP_SAMPLES: usize = 512;
+
+/// One record group's metadata: where its lines live and what they cover.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvGroup {
+    /// Group sequence number (0-based, unique within the file).
+    pub seq_no: i64,
+    /// First sample time of the group.
+    pub start: Timestamp,
+    /// Exclusive end time (last sample + one period).
+    pub end: Timestamp,
+    /// Samples in the group.
+    pub num_samples: usize,
+    /// Byte offset of the group's first line.
+    pub byte_offset: u64,
+    /// Byte length of the group's lines.
+    pub byte_len: u64,
+}
+
+/// Result of scanning one CSV file's header and group layout.
+#[derive(Debug, Clone)]
+pub struct CsvScan {
+    /// Stream identity from the header.
+    pub source: SourceId,
+    /// Sample rate in Hz from the header.
+    pub sample_rate: f64,
+    /// First sample time from the header.
+    pub start: Timestamp,
+    /// Record groups in file order.
+    pub groups: Vec<CsvGroup>,
+    /// Total samples across all groups.
+    pub total_samples: u64,
+}
+
+impl CsvScan {
+    /// Sample period in µs implied by the header rate.
+    pub fn period_us(&self) -> i64 {
+        period_us(self.sample_rate)
+    }
+
+    /// Exclusive end time of the last group (equals `start` when empty).
+    pub fn end(&self) -> Timestamp {
+        self.groups.last().map_or(self.start, |g| g.end)
+    }
+}
+
+fn period_us(rate: f64) -> i64 {
+    if rate <= 0.0 {
+        0
+    } else {
+        (1_000_000.0 / rate).round() as i64
+    }
+}
+
+fn invalid(field: &'static str, detail: impl Into<String>) -> MseedError {
+    MseedError::InvalidField {
+        field,
+        detail: detail.into(),
+    }
+}
+
+/// Render a single-stream waveform as lazyetl CSV bytes.
+///
+/// The inverse of [`scan_csv_bytes`] + [`parse_csv_group`]: integer
+/// counts, one sample per line, timestamps spaced by the rate's period.
+pub fn write_csv_bytes(
+    source: &SourceId,
+    start: Timestamp,
+    sample_rate: f64,
+    samples: &[i32],
+) -> Result<Vec<u8>> {
+    if sample_rate <= 0.0 {
+        return Err(invalid("sample_rate_hz", format!("{sample_rate} not > 0")));
+    }
+    let period = period_us(sample_rate);
+    let mut out = String::with_capacity(32 * samples.len() + 128);
+    out.push_str(CSV_MAGIC);
+    out.push('\n');
+    out.push_str(&format!(
+        "# source={}.{}.{}.{}\n",
+        source.network, source.station, source.location, source.channel
+    ));
+    out.push_str(&format!("# sample_rate_hz={sample_rate}\n"));
+    out.push_str(&format!("# start_us={}\n", start.micros()));
+    out.push_str("time_us,value\n");
+    for (i, v) in samples.iter().enumerate() {
+        out.push_str(&format!("{},{v}\n", start.micros() + period * i as i64));
+    }
+    Ok(out.into_bytes())
+}
+
+/// The `#`-commented header of a CSV waveform file.
+#[derive(Debug, Clone)]
+pub struct CsvHeader {
+    /// Stream identity.
+    pub source: SourceId,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+    /// First sample time.
+    pub start: Timestamp,
+    /// Byte offset of the first sample line (just past `time_us,value`).
+    pub data_offset: u64,
+}
+
+/// Parse the header of a CSV waveform file from a byte **prefix**.
+///
+/// Only the header lines need to be present — any prefix that reaches
+/// past the `time_us,value` column header parses, so a remote source can
+/// resolve the stream identity and rate from one small ranged fetch
+/// ([`CSV_HEADER_FETCH`] bytes is always enough for files this library
+/// writes).
+pub fn scan_csv_header(bytes: &[u8]) -> Result<CsvHeader> {
+    let text = match std::str::from_utf8(bytes) {
+        Ok(t) => t,
+        // A prefix may end mid-UTF-8-sequence; parse the valid prefix.
+        Err(e) => std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("valid prefix"),
+    };
+    let mut lines = text.split_inclusive('\n');
+    let mut offset = 0u64;
+    let mut source: Option<SourceId> = None;
+    let mut sample_rate: Option<f64> = None;
+    let mut start: Option<i64> = None;
+    let mut found_columns = false;
+
+    // Header: the magic, `# key=value` lines, then the column header.
+    let magic = lines
+        .next()
+        .ok_or_else(|| invalid("csv header", "empty file"))?;
+    if magic.trim_end() != CSV_MAGIC {
+        return Err(invalid(
+            "csv magic",
+            format!("first line {:?} is not {CSV_MAGIC:?}", magic.trim_end()),
+        ));
+    }
+    offset += magic.len() as u64;
+    for line in lines {
+        offset += line.len() as u64;
+        let trimmed = line.trim_end();
+        if let Some(rest) = trimmed.strip_prefix("# ") {
+            if let Some((key, value)) = rest.split_once('=') {
+                match key {
+                    "source" => {
+                        let parts: Vec<&str> = value.split('.').collect();
+                        if parts.len() != 4 {
+                            return Err(invalid(
+                                "csv source",
+                                format!("{value:?} is not NET.STA.LOC.CHA"),
+                            ));
+                        }
+                        source = Some(SourceId::new(parts[0], parts[1], parts[2], parts[3])?);
+                    }
+                    "sample_rate_hz" => {
+                        sample_rate = Some(value.parse().map_err(|_| {
+                            invalid("csv sample_rate_hz", format!("{value:?} not a number"))
+                        })?);
+                    }
+                    "start_us" => {
+                        start = Some(value.parse().map_err(|_| {
+                            invalid("csv start_us", format!("{value:?} not an integer"))
+                        })?);
+                    }
+                    _ => {} // unknown header keys are ignored, forward-compatibly
+                }
+            }
+        } else if trimmed == "time_us,value" {
+            found_columns = true;
+            break;
+        } else {
+            return Err(invalid(
+                "csv header",
+                format!("unexpected line {trimmed:?} before column header"),
+            ));
+        }
+    }
+    if !found_columns {
+        return Err(invalid(
+            "csv header",
+            "missing `time_us,value` column header",
+        ));
+    }
+    let source = source.ok_or_else(|| invalid("csv source", "missing `# source=` line"))?;
+    let rate = sample_rate
+        .ok_or_else(|| invalid("csv sample_rate_hz", "missing `# sample_rate_hz=` line"))?;
+    if rate <= 0.0 {
+        return Err(invalid("csv sample_rate_hz", format!("{rate} not > 0")));
+    }
+    let start =
+        Timestamp(start.ok_or_else(|| invalid("csv start_us", "missing `# start_us=` line"))?);
+    Ok(CsvHeader {
+        source,
+        sample_rate: rate,
+        start,
+        data_offset: offset,
+    })
+}
+
+/// Ranged-fetch size that always covers a lazyetl CSV header.
+pub const CSV_HEADER_FETCH: u64 = 256;
+
+/// Scan a whole CSV file's bytes: parse the header, then walk the sample
+/// lines counting group boundaries and byte ranges **without parsing the
+/// values** — the CSV analogue of a header-only MiniSEED scan (the text
+/// still has to be walked once, which is the honest cost of a format
+/// with no record index).
+pub fn scan_csv_bytes(bytes: &[u8]) -> Result<CsvScan> {
+    let header = scan_csv_header(bytes)?;
+    let mut offset = header.data_offset;
+    let period = period_us(header.sample_rate);
+    let lines = std::str::from_utf8(bytes)
+        .map_err(|e| invalid("csv encoding", format!("not utf-8: {e}")))?[offset as usize..]
+        .split_inclusive('\n');
+
+    // Sample lines: count them into groups, tracking byte ranges only.
+    let mut scan = CsvScan {
+        source: header.source,
+        sample_rate: header.sample_rate,
+        start: header.start,
+        groups: Vec::new(),
+        total_samples: 0,
+    };
+    let mut group_offset = offset;
+    let mut group_len = 0u64;
+    let mut group_samples = 0usize;
+    let flush = |offset: u64, len: u64, samples: usize, scan: &mut CsvScan| {
+        if samples == 0 {
+            return;
+        }
+        let seq_no = scan.groups.len() as i64;
+        let first = scan.start.micros() + period * scan.total_samples as i64;
+        scan.groups.push(CsvGroup {
+            seq_no,
+            start: Timestamp(first),
+            end: Timestamp(first + period * samples as i64),
+            num_samples: samples,
+            byte_offset: offset,
+            byte_len: len,
+        });
+        scan.total_samples += samples as u64;
+    };
+    for line in lines {
+        let len = line.len() as u64;
+        if line.trim_end().is_empty() {
+            offset += len;
+            continue;
+        }
+        group_len += len;
+        group_samples += 1;
+        offset += len;
+        if group_samples == CSV_GROUP_SAMPLES {
+            flush(group_offset, group_len, group_samples, &mut scan);
+            group_offset = offset;
+            group_len = 0;
+            group_samples = 0;
+        }
+    }
+    flush(group_offset, group_len, group_samples, &mut scan);
+    Ok(scan)
+}
+
+/// Parse one record group's line bytes into `(time_us, value)` rows.
+///
+/// The extract-time twin of [`parse_csv_group`]: used when the caller has
+/// only a byte range (a record locator) and recovers the group's start
+/// time from its first row instead of from file-level metadata.
+pub fn parse_csv_group_rows(bytes: &[u8]) -> Result<Vec<(i64, f64)>> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| invalid("csv group", format!("not utf-8: {e}")))?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (time, value) = line
+            .split_once(',')
+            .ok_or_else(|| invalid("csv group", format!("line {line:?} lacks a comma")))?;
+        let t = time
+            .trim()
+            .parse::<i64>()
+            .map_err(|_| invalid("csv group", format!("time {time:?} not an integer")))?;
+        let v = value
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| invalid("csv group", format!("value {value:?} not a number")))?;
+        rows.push((t, v));
+    }
+    Ok(rows)
+}
+
+/// Parse one record group's line bytes (as located by [`scan_csv_bytes`])
+/// into f64 sample values, validating the line count.
+pub fn parse_csv_group(bytes: &[u8], expected_samples: usize) -> Result<Vec<f64>> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| invalid("csv group", format!("not utf-8: {e}")))?;
+    let mut values = Vec::with_capacity(expected_samples);
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (_, value) = line
+            .split_once(',')
+            .ok_or_else(|| invalid("csv group", format!("line {line:?} lacks a comma")))?;
+        values.push(
+            value
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| invalid("csv group", format!("value {value:?} not a number")))?,
+        );
+    }
+    if values.len() != expected_samples {
+        return Err(invalid(
+            "csv group",
+            format!("{} lines, metadata said {expected_samples}", values.len()),
+        ));
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> (SourceId, Timestamp, Vec<i32>) {
+        let src = SourceId::new("NL", "HGN", "", "BHZ").unwrap();
+        let start = Timestamp::from_ymd_hms(2010, 1, 12, 0, 0, 0, 0);
+        let samples: Vec<i32> = (0..1300).map(|i| (i * 31) % 797 - 400).collect();
+        (src, start, samples)
+    }
+
+    #[test]
+    fn roundtrip_scan_and_extract() {
+        let (src, start, samples) = demo();
+        let bytes = write_csv_bytes(&src, start, 40.0, &samples).unwrap();
+        let scan = scan_csv_bytes(&bytes).unwrap();
+        assert_eq!(scan.source, src);
+        assert_eq!(scan.sample_rate, 40.0);
+        assert_eq!(scan.start, start);
+        assert_eq!(scan.total_samples, samples.len() as u64);
+        assert_eq!(scan.groups.len(), 3, "1300 samples at 512/group");
+        assert_eq!(scan.groups[0].num_samples, 512);
+        assert_eq!(scan.groups[2].num_samples, 1300 - 2 * 512);
+        let mut all = Vec::new();
+        for g in &scan.groups {
+            let range = &bytes[g.byte_offset as usize..(g.byte_offset + g.byte_len) as usize];
+            let vals = parse_csv_group(range, g.num_samples).unwrap();
+            assert_eq!(vals.len(), g.num_samples);
+            all.extend(vals);
+        }
+        let expect: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        assert_eq!(all, expect, "integer counts widen losslessly");
+    }
+
+    #[test]
+    fn groups_tile_the_file_and_the_timeline() {
+        let (src, start, samples) = demo();
+        let bytes = write_csv_bytes(&src, start, 40.0, &samples).unwrap();
+        let scan = scan_csv_bytes(&bytes).unwrap();
+        for w in scan.groups.windows(2) {
+            assert_eq!(w[0].byte_offset + w[0].byte_len, w[1].byte_offset);
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let last = scan.groups.last().unwrap();
+        assert_eq!(last.byte_offset + last.byte_len, bytes.len() as u64);
+        assert_eq!(
+            scan.end().micros() - scan.start.micros(),
+            25_000 * samples.len() as i64
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(scan_csv_bytes(b"").is_err());
+        assert!(scan_csv_bytes(b"station,value\n").is_err());
+        assert!(
+            scan_csv_bytes(b"# lazyetl-csv v1\ntime_us,value\n").is_err(),
+            "missing header keys"
+        );
+        let no_rate = "# lazyetl-csv v1\n# source=NL.HGN..BHZ\n# start_us=0\ntime_us,value\n";
+        assert!(scan_csv_bytes(no_rate.as_bytes()).is_err());
+        let bad_source =
+            "# lazyetl-csv v1\n# source=oops\n# sample_rate_hz=40\n# start_us=0\ntime_us,value\n";
+        assert!(scan_csv_bytes(bad_source.as_bytes()).is_err());
+        assert!(parse_csv_group(b"12,", 1).is_err());
+        assert!(parse_csv_group(b"no comma here\n", 1).is_err());
+        assert!(parse_csv_group(b"0,1\n", 2).is_err(), "count mismatch");
+    }
+
+    #[test]
+    fn empty_waveform_scans_to_zero_groups() {
+        let (src, start, _) = demo();
+        let bytes = write_csv_bytes(&src, start, 40.0, &[]).unwrap();
+        let scan = scan_csv_bytes(&bytes).unwrap();
+        assert!(scan.groups.is_empty());
+        assert_eq!(scan.total_samples, 0);
+        assert_eq!(scan.end(), start);
+    }
+}

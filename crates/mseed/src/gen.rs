@@ -47,6 +47,8 @@ pub enum RepoFormat {
     MseedOnly,
     /// Every stream as SAC.
     SacOnly,
+    /// Every stream as lazyetl CSV (see [`crate::csv`]).
+    CsvOnly,
     /// Alternate formats per stream (exercises the format registry).
     Mixed,
 }
@@ -259,10 +261,17 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
     for station in &config.stations {
         for channel in &config.channels {
             let source = station.source(channel);
-            let use_sac = match config.format {
-                RepoFormat::MseedOnly => false,
-                RepoFormat::SacOnly => true,
-                RepoFormat::Mixed => stream_index % 2 == 1,
+            let ext = match config.format {
+                RepoFormat::MseedOnly => "mseed",
+                RepoFormat::SacOnly => "sac",
+                RepoFormat::CsvOnly => "csv",
+                RepoFormat::Mixed => {
+                    if stream_index % 2 == 1 {
+                        "sac"
+                    } else {
+                        "mseed"
+                    }
+                }
             };
             stream_index += 1;
             // Stream-specific deterministic RNG: stable regardless of
@@ -345,33 +354,39 @@ pub fn generate_repository(root: &Path, config: &GeneratorConfig) -> Result<Gene
                     config.noise_amplitude,
                     &events,
                 );
-                let rel = file_rel_path_ext(&source, start, if use_sac { "sac" } else { "mseed" });
+                let rel = file_rel_path_ext(&source, start, ext);
                 let path = root.join(rel);
                 if let Some(parent) = path.parent() {
                     std::fs::create_dir_all(parent)?;
                 }
-                let bytes = if use_sac {
-                    let floats: Vec<f32> = samples.iter().map(|&v| v as f32).collect();
-                    crate::sac::write_sac_bytes(
-                        &source,
-                        start,
-                        config.sample_rate,
-                        &floats,
-                        crate::sac::SacByteOrder::Little,
-                    )?
-                } else {
-                    let opts = WriteOptions {
-                        record_length: config.record_length,
-                        encoding: config.encoding,
-                        ..Default::default()
-                    };
-                    write_records(
-                        &source,
-                        start,
-                        config.sample_rate,
-                        SamplesRef::Ints(&samples),
-                        &opts,
-                    )?
+                let bytes = match ext {
+                    "sac" => {
+                        let floats: Vec<f32> = samples.iter().map(|&v| v as f32).collect();
+                        crate::sac::write_sac_bytes(
+                            &source,
+                            start,
+                            config.sample_rate,
+                            &floats,
+                            crate::sac::SacByteOrder::Little,
+                        )?
+                    }
+                    "csv" => {
+                        crate::csv::write_csv_bytes(&source, start, config.sample_rate, &samples)?
+                    }
+                    _ => {
+                        let opts = WriteOptions {
+                            record_length: config.record_length,
+                            encoding: config.encoding,
+                            ..Default::default()
+                        };
+                        write_records(
+                            &source,
+                            start,
+                            config.sample_rate,
+                            SamplesRef::Ints(&samples),
+                            &opts,
+                        )?
+                    }
                 };
                 std::fs::write(&path, &bytes)?;
                 out.total_bytes += bytes.len() as u64;

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod btime;
+pub mod csv;
 pub mod encoding;
 pub mod error;
 pub mod gen;
@@ -36,8 +37,8 @@ pub use btime::{BTime, Timestamp};
 pub use encoding::{DataEncoding, Samples, SamplesRef};
 pub use error::{MseedError, Result};
 pub use read::{
-    read_file, read_records, read_records_at, scan_metadata, scan_metadata_file, FileScan,
-    RecordMeta,
+    read_file, read_records, read_records_at, scan_metadata, scan_metadata_file,
+    scan_metadata_reader, FileScan, RecordMeta,
 };
 pub use record::{Record, RecordHeader, SourceId};
 pub use write::{write_file, write_records, WriteOptions};

@@ -209,6 +209,17 @@ pub fn scan_metadata(buf: &[u8]) -> Result<FileScan> {
 pub fn scan_metadata_file(path: &Path) -> Result<FileScan> {
     let mut file = std::fs::File::open(path)?;
     let file_size = file.metadata()?.len();
+    scan_metadata_reader(&mut file, file_size)
+}
+
+/// Metadata-only scan over any seekable byte stream of known size.
+///
+/// The generalization behind [`scan_metadata_file`]: remote sources hand
+/// the warehouse a range-fetching reader instead of a path, and the same
+/// header-hopping scan (read `SCAN_PREFIX` bytes, seek over the payload)
+/// runs against it — I/O stays proportional to the record *count*.
+pub fn scan_metadata_reader<R: Read + Seek>(reader: &mut R, file_size: u64) -> Result<FileScan> {
+    let file = reader;
     let mut scan = FileScan {
         file_size,
         ..Default::default()

@@ -219,6 +219,20 @@ pub fn scan_sac_header(path: &Path) -> Result<SacFile> {
     parse_header(&header)
 }
 
+/// Header-only scan of an in-memory SAC byte prefix (at least
+/// [`SAC_HEADER_SIZE`] bytes) — what a remote source's ranged header
+/// fetch hands the extractor.
+pub fn scan_sac_header_bytes(bytes: &[u8]) -> Result<SacFile> {
+    if bytes.len() < SAC_HEADER_SIZE {
+        return Err(MseedError::Truncated {
+            context: "SAC header",
+            needed: SAC_HEADER_SIZE,
+            available: bytes.len(),
+        });
+    }
+    parse_header(&bytes[..SAC_HEADER_SIZE])
+}
+
 /// Read a whole SAC file, header and samples.
 pub fn read_sac(path: &Path) -> Result<SacFile> {
     let bytes = std::fs::read(path)?;

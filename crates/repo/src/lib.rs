@@ -15,7 +15,14 @@
 
 #![warn(missing_docs)]
 
+pub mod csv_source;
+pub mod remote;
+pub mod source;
 pub mod updates;
+
+pub use csv_source::CsvSource;
+pub use remote::RemoteSource;
+pub use source::{read_file_range, LazySource, SourceIoStats};
 
 use lazyetl_mseed::Timestamp;
 use std::collections::BTreeMap;
@@ -77,6 +84,31 @@ pub enum RepoError {
     Io(std::io::Error),
     /// A URI was requested that the registry does not contain.
     UnknownUri(String),
+    /// A ranged fetch against a source failed (remote transfer error,
+    /// range beyond the advertised file, backend-specific failure).
+    Fetch {
+        /// URI the fetch targeted.
+        uri: String,
+        /// What went wrong, in backend terms.
+        detail: String,
+    },
+    /// The operation is not supported by this source backend.
+    Unsupported(String),
+}
+
+impl RepoError {
+    /// Stable machine-readable code for this error, following the same
+    /// convention as `QueryError::code` / `EtlError::code`: the serving
+    /// layer's error frames carry `code` + rendered message, so
+    /// source-fetch failures arrive typed instead of stringly.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RepoError::Io(_) => "repo.io",
+            RepoError::UnknownUri(_) => "repo.unknown_uri",
+            RepoError::Fetch { .. } => "repo.fetch",
+            RepoError::Unsupported(_) => "repo.unsupported",
+        }
+    }
 }
 
 impl std::fmt::Display for RepoError {
@@ -84,6 +116,10 @@ impl std::fmt::Display for RepoError {
         match self {
             RepoError::Io(e) => write!(f, "repository I/O error: {e}"),
             RepoError::UnknownUri(u) => write!(f, "unknown repository URI: {u}"),
+            RepoError::Fetch { uri, detail } => {
+                write!(f, "source fetch failed for {uri}: {detail}")
+            }
+            RepoError::Unsupported(what) => write!(f, "unsupported source operation: {what}"),
         }
     }
 }
@@ -137,13 +173,18 @@ impl AccessProfile {
     }
 }
 
-/// A rooted directory of MiniSEED files with a stable file registry.
+/// File extensions a default [`Repository`] scan registers: every format
+/// the warehouse's extractor registry understands.
+pub const DEFAULT_EXTENSIONS: &[&str] = &["mseed", "miniseed", "msd", "sac", "csv"];
+
+/// A rooted directory of source files with a stable file registry.
 #[derive(Debug)]
 pub struct Repository {
     root: PathBuf,
     entries: Vec<FileEntry>,
     by_uri: BTreeMap<String, usize>,
     next_id: u32,
+    extensions: Vec<String>,
     /// Access-cost model for reads against this repository.
     pub access: AccessProfile,
 }
@@ -158,15 +199,15 @@ fn mtime_of(path: &Path) -> std::io::Result<Timestamp> {
     Ok(Timestamp(micros))
 }
 
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+fn walk(dir: &Path, extensions: &[String], out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
         if path.is_dir() {
-            walk(&path, out)?;
+            walk(&path, extensions, out)?;
         } else if path
             .extension()
-            .is_some_and(|e| e.eq_ignore_ascii_case("mseed") || e.eq_ignore_ascii_case("sac"))
+            .is_some_and(|e| extensions.iter().any(|x| e.eq_ignore_ascii_case(x)))
         {
             out.push(path);
         }
@@ -175,13 +216,24 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 }
 
 impl Repository {
-    /// Open a repository rooted at `root`, scanning it immediately.
+    /// Open a repository rooted at `root`, scanning it immediately for
+    /// every extension in [`DEFAULT_EXTENSIONS`].
     pub fn open(root: impl Into<PathBuf>) -> Result<Repository, RepoError> {
+        Self::open_with_extensions(root, DEFAULT_EXTENSIONS)
+    }
+
+    /// Open a repository registering only files with the given extensions
+    /// (case-insensitive, without the leading dot).
+    pub fn open_with_extensions(
+        root: impl Into<PathBuf>,
+        extensions: &[&str],
+    ) -> Result<Repository, RepoError> {
         let mut repo = Repository {
             root: root.into(),
             entries: Vec::new(),
             by_uri: BTreeMap::new(),
             next_id: 0,
+            extensions: extensions.iter().map(|s| s.to_string()).collect(),
             access: AccessProfile::local(),
         };
         repo.rescan()?;
@@ -235,7 +287,7 @@ impl Repository {
     /// Walk the root and map URI -> path for every file currently on disk.
     fn walk_uris(&self) -> Result<BTreeMap<String, PathBuf>, RepoError> {
         let mut paths = Vec::new();
-        walk(&self.root, &mut paths)?;
+        walk(&self.root, &self.extensions, &mut paths)?;
         let mut found: BTreeMap<String, PathBuf> = BTreeMap::new();
         for p in paths {
             let rel = p

@@ -15,7 +15,8 @@
 //! `--ready-file PATH` writes the bound address to `PATH` once the
 //! listener is live (how scripts wait for boot without parsing logs).
 
-use lazyetl_core::{Mode, Warehouse, WarehouseConfig};
+use lazyetl_core::{Mode, Warehouse, WarehouseBuilder, WarehouseConfig};
+use lazyetl_repo::{CsvSource, LazySource, RemoteSource, Repository};
 use lazyetl_server::{Server, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -50,6 +51,7 @@ fn install_signal_handler() {}
 
 struct Args {
     root: PathBuf,
+    mounts: Vec<(String, String)>,
     addr: String,
     workers: usize,
     queue_depth: usize,
@@ -61,10 +63,13 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: lazyetl-serve --root DIR [options]\n\
+    "usage: lazyetl-serve (--root DIR | --mount NAME=SPEC ...) [options]\n\
      \n\
      options:\n\
-       --root DIR         repository to serve (required)\n\
+       --root DIR         repository to serve (single local mount)\n\
+       --mount NAME=SPEC  mount a named lazy source; repeatable. SPEC is\n\
+                          DIR (local), csv:DIR (CSV waveforms only) or\n\
+                          remote:DIR (simulated remote, range fetches)\n\
        --addr HOST:PORT   listen address (default 127.0.0.1:7744; port 0 = ephemeral)\n\
        --workers N        query worker threads (default 4)\n\
        --queue-depth N    admission queue depth before BUSY (default 32)\n\
@@ -80,6 +85,7 @@ fn usage() -> &'static str {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::new(),
+        mounts: Vec::new(),
         addr: "127.0.0.1:7744".into(),
         workers: 4,
         queue_depth: 32,
@@ -100,6 +106,14 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--root" => {
                 args.root = PathBuf::from(value(&argv, i, "--root")?);
+                i += 2;
+            }
+            "--mount" => {
+                let spec = value(&argv, i, "--mount")?;
+                let (name, src) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--mount wants NAME=SPEC, got {spec:?}"))?;
+                args.mounts.push((name.to_string(), src.to_string()));
                 i += 2;
             }
             "--addr" => {
@@ -144,10 +158,23 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
     }
-    if args.root.as_os_str().is_empty() {
-        return Err(format!("--root is required\n{}", usage()));
+    if args.root.as_os_str().is_empty() && args.mounts.is_empty() {
+        return Err(format!("--root or --mount is required\n{}", usage()));
+    }
+    if !args.root.as_os_str().is_empty() && !args.mounts.is_empty() {
+        return Err(format!("--root and --mount are exclusive\n{}", usage()));
     }
     Ok(args)
+}
+
+/// Build the lazy source a `--mount` SPEC names.
+fn open_source(spec: &str) -> Result<Box<dyn LazySource>, lazyetl_repo::RepoError> {
+    Ok(match spec.split_once(':') {
+        Some(("csv", dir)) => Box::new(CsvSource::open(dir)?),
+        Some(("remote", dir)) => Box::new(RemoteSource::open(dir)?),
+        Some(("local", dir)) => Box::new(Repository::open(dir)?),
+        _ => Box::new(Repository::open(spec)?),
+    })
 }
 
 /// A snapshot directory is usable when its manifest commit point exists.
@@ -193,10 +220,40 @@ fn main() -> ExitCode {
             _ => {}
         }
     }
-    let wh = match &warm_from {
-        Some(snap) => Warehouse::open_saved(&args.root, snap, config),
-        None if args.eager => Warehouse::open_eager(&args.root, config),
-        None => Warehouse::open_lazy(&args.root, config),
+    let wh = if args.mounts.is_empty() {
+        // Classic single-root serving: the builder shims, bare URIs.
+        match &warm_from {
+            Some(snap) => Warehouse::open_saved(&args.root, snap, config),
+            None if args.eager => Warehouse::open_eager(&args.root, config),
+            None => Warehouse::open_lazy(&args.root, config),
+        }
+    } else {
+        // Federated serving: every --mount becomes a named source.
+        let mut builder = WarehouseBuilder::new().config(config).mode(if args.eager {
+            Mode::Eager
+        } else {
+            Mode::Lazy
+        });
+        let mut failed = None;
+        for (name, spec) in &args.mounts {
+            match open_source(spec) {
+                Ok(src) => builder = builder.source(name.clone(), src),
+                Err(e) => {
+                    failed = Some(format!("mount {name}={spec}: {e}"));
+                    break;
+                }
+            }
+        }
+        match failed {
+            Some(msg) => {
+                eprintln!("lazyetl-serve: cannot open warehouse: {msg}");
+                return ExitCode::FAILURE;
+            }
+            None => match &warm_from {
+                Some(snap) => builder.open_saved(snap),
+                None => builder.open(),
+            },
+        }
     };
     let wh = match wh {
         Ok(w) => Arc::new(w),

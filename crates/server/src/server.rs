@@ -351,6 +351,22 @@ impl Shared {
                 lazyetl_core::Mode::Eager => "eager",
             }
         ));
+        // Per-mount extraction accounting (one block per lazy source).
+        for src in &w.sources {
+            out.push_str(&format!("source.{}.kind={}\n", src.name, src.kind));
+            for (k, v) in [
+                ("files", src.files as u64),
+                ("files_extracted", src.files_extracted),
+                ("records_extracted", src.records_extracted),
+                ("samples_extracted", src.samples_extracted),
+                ("bytes_read", src.bytes_read),
+                ("simulated_io_us", src.simulated_io.as_micros() as u64),
+                ("fetch_requests", src.fetch_requests),
+                ("fetched_bytes", src.fetched_bytes),
+            ] {
+                out.push_str(&format!("source.{}.{k}={v}\n", src.name));
+            }
+        }
         out
     }
 }

@@ -28,5 +28,6 @@ pub use lazyetl_core::{
     coincidence_trigger, fetch_record_waveform, hunt_events, recursive_sta_lta, sta_lta,
     waveform_ascii, z_detect, CoincidenceEvent, Detection, EtlError, EtlLog, EtlOp, LoadReport,
     Mode, QueryOutput, QueryReport, RecordWaveform, RefreshSummary, ResultCacheSnapshot,
-    ResultCacheStats, StaLtaConfig, StationDetections, Warehouse, WarehouseConfig, ZDetectConfig,
+    ResultCacheStats, SourceStats, StaLtaConfig, StationDetections, Warehouse, WarehouseBuilder,
+    WarehouseConfig, ZDetectConfig,
 };

@@ -1,12 +1,16 @@
 //! Mixed-format repositories: MiniSEED and SAC files side by side behind
 //! one warehouse, one schema and one query interface — the format-agnostic
-//! extraction boundary the paper's §2 calls for.
+//! extraction boundary the paper's §2 calls for. The federation suite
+//! below mounts three *separate* sources (local mSEED, CSV, simulated
+//! remote) into one warehouse and proves the combined lazy answer equals
+//! an eager warehouse over the union directory.
 
 mod common;
 
 use lazyetl::mseed::gen::{GeneratorConfig, RepoFormat};
 use lazyetl::mseed::Timestamp;
-use lazyetl::{Warehouse, WarehouseConfig};
+use lazyetl::repo::{CsvSource, RemoteSource, Repository};
+use lazyetl::{Warehouse, WarehouseBuilder, WarehouseConfig};
 
 fn config(format: RepoFormat, seed: u64) -> GeneratorConfig {
     let inv = lazyetl::mseed::inventory::default_inventory();
@@ -121,6 +125,171 @@ fn lazy_extraction_is_selective_across_formats() {
         assert!(uri.contains("WIT"), "only WIT files touched: {uri}");
     }
     assert_eq!(out.report.files_extracted.len(), 4); // 2 channels x 2 files
+}
+
+/// Three disjoint slices of the inventory, one per backend kind:
+/// NL → local mSEED, GR → CSV, KO → simulated remote (over mSEED).
+fn federation_slices(tag: &str) -> (common::TestRepo, common::TestRepo, common::TestRepo) {
+    let inv = lazyetl::mseed::inventory::default_inventory();
+    let slice = |network: &str, format: RepoFormat| GeneratorConfig {
+        stations: inv
+            .iter()
+            .filter(|s| s.network == network)
+            .cloned()
+            .collect(),
+        channels: vec!["BHZ".into(), "BHE".into()],
+        start: Timestamp::from_ymd_hms(2010, 1, 12, 22, 10, 0, 0),
+        file_duration_secs: 120,
+        files_per_stream: 2,
+        format,
+        seed: 0xFED,
+        ..Default::default()
+    };
+    (
+        common::build(&format!("{tag}_nl"), slice("NL", RepoFormat::MseedOnly)),
+        common::build(&format!("{tag}_gr"), slice("GR", RepoFormat::CsvOnly)),
+        common::build(&format!("{tag}_ko"), slice("KO", RepoFormat::MseedOnly)),
+    )
+}
+
+/// Mount the three slices into one lazy federated warehouse.
+fn federated_warehouse(
+    slices: &(common::TestRepo, common::TestRepo, common::TestRepo),
+) -> Warehouse {
+    WarehouseBuilder::new()
+        .config(no_refresh())
+        .source(
+            "archive",
+            Box::new(Repository::open(&slices.0.root).unwrap()),
+        )
+        .source(
+            "surveys",
+            Box::new(CsvSource::open(&slices.1.root).unwrap()),
+        )
+        .source(
+            "orfeus",
+            Box::new(RemoteSource::open(&slices.2.root).unwrap()),
+        )
+        .open()
+        .unwrap()
+}
+
+/// Copy every slice's files into one flat directory (the eager baseline's
+/// input: what a classic warehouse would ingest after `scp`-ing all three
+/// archives into one place).
+fn union_of(slices: &(common::TestRepo, common::TestRepo, common::TestRepo)) -> std::path::PathBuf {
+    fn copy_tree(src: &std::path::Path, dst: &std::path::Path) {
+        std::fs::create_dir_all(dst).unwrap();
+        for f in std::fs::read_dir(src).unwrap() {
+            let f = f.unwrap();
+            if f.path().is_dir() {
+                copy_tree(&f.path(), &dst.join(f.file_name()));
+            } else {
+                std::fs::copy(f.path(), dst.join(f.file_name())).unwrap();
+            }
+        }
+    }
+    let dst = std::env::temp_dir().join(format!("lazyetl_it_union_{}", std::process::id()));
+    std::fs::remove_dir_all(&dst).ok();
+    for repo in [&slices.0, &slices.1, &slices.2] {
+        copy_tree(&repo.root, &dst);
+    }
+    dst
+}
+
+const SPANNING_QUERY: &str = "SELECT F.station, COUNT(*), MIN(D.sample_value), \
+     MAX(D.sample_value) FROM mseed.dataview WHERE F.channel = 'BHZ' \
+     GROUP BY F.station ORDER BY F.station";
+
+#[test]
+fn federated_query_equals_eager_union() {
+    let slices = federation_slices("fed_eq");
+    let fed = federated_warehouse(&slices);
+    let union = union_of(&slices);
+    let eager = Warehouse::open_eager(&union, no_refresh()).unwrap();
+
+    let f = fed.query(SPANNING_QUERY).unwrap();
+    let e = eager.query(SPANNING_QUERY).unwrap();
+    // Byte-identical answers: same rendering, cell for cell.
+    assert_eq!(
+        f.table.to_ascii(1000),
+        e.table.to_ascii(1000),
+        "federated lazy answer must equal the eager union"
+    );
+    // All eight stations answered — the query really spanned every mount.
+    assert_eq!(f.table.num_rows(), 8);
+    // Extraction touched all three mounts, under their display names.
+    let touched: Vec<&str> = f
+        .report
+        .files_extracted
+        .iter()
+        .filter_map(|u| u.split_once("://").map(|(m, _)| m))
+        .collect();
+    for mount in ["archive", "surveys", "orfeus"] {
+        assert!(touched.contains(&mount), "{mount} never extracted");
+    }
+    std::fs::remove_dir_all(&union).ok();
+}
+
+#[test]
+fn federated_requery_extracts_nothing() {
+    let slices = federation_slices("fed_warm");
+    let fed = federated_warehouse(&slices);
+    let cold = fed.query(SPANNING_QUERY).unwrap();
+    assert!(cold.report.records_extracted > 0);
+    let after_cold = fed.stats_snapshot();
+    let warm = fed.query(SPANNING_QUERY).unwrap();
+    assert_eq!(warm.report.records_extracted, 0, "warm re-extraction");
+    assert_eq!(warm.report.cache_hits, cold.report.records_extracted);
+    assert_eq!(warm.table.to_ascii(1000), cold.table.to_ascii(1000));
+    // No per-source counter moved during the warm query — not one mount
+    // was touched again.
+    let after_warm = fed.stats_snapshot();
+    for (c, w) in after_cold.sources.iter().zip(&after_warm.sources) {
+        assert_eq!(c.files_extracted, w.files_extracted, "{}", c.name);
+        assert_eq!(c.records_extracted, w.records_extracted, "{}", c.name);
+        assert_eq!(c.bytes_read, w.bytes_read, "{}", c.name);
+        assert_eq!(c.fetch_requests, w.fetch_requests, "{}", c.name);
+    }
+}
+
+#[test]
+fn federated_accounting_is_exact_per_source() {
+    let slices = federation_slices("fed_acct");
+    let fed = federated_warehouse(&slices);
+    fed.query(SPANNING_QUERY).unwrap();
+    let snap = fed.stats_snapshot();
+    assert_eq!(snap.sources.len(), 3);
+    let by_name: std::collections::BTreeMap<&str, &lazyetl::SourceStats> =
+        snap.sources.iter().map(|s| (s.name.as_str(), s)).collect();
+
+    // Ground truth per slice: BHZ files and their record/sample counts.
+    for (mount, repo, kind) in [
+        ("archive", &slices.0, "local"),
+        ("surveys", &slices.1, "csv"),
+        ("orfeus", &slices.2, "remote"),
+    ] {
+        let s = by_name[mount];
+        assert_eq!(s.kind, kind, "{mount}");
+        assert_eq!(s.files, repo.generated.files.len(), "{mount}: files");
+        let bhz: Vec<_> = repo
+            .generated
+            .files
+            .iter()
+            .filter(|f| f.source.channel == "BHZ")
+            .collect();
+        assert_eq!(s.files_extracted, bhz.len() as u64, "{mount}: extractions");
+        let samples: u64 = bhz.iter().map(|f| f.num_samples as u64).sum();
+        assert_eq!(s.samples_extracted, samples, "{mount}: samples");
+        assert!(s.records_extracted > 0, "{mount}: records");
+        assert!(s.bytes_read > 0, "{mount}: bytes");
+    }
+    // Only the remote mount range-fetches; the locals read their paths.
+    assert!(by_name["orfeus"].fetch_requests > 0);
+    assert!(by_name["orfeus"].fetched_bytes > 0);
+    assert!(by_name["orfeus"].simulated_io > std::time::Duration::ZERO);
+    assert_eq!(by_name["archive"].fetch_requests, 0);
+    assert_eq!(by_name["surveys"].fetch_requests, 0);
 }
 
 #[test]

@@ -94,6 +94,27 @@ GATES = {
         floor=(("speedup", 2.0), ("rows_pruned", 1)),
         monotone=None,
     ),
+    # E16 gates the federation story. The per-source rows carry fully
+    # deterministic extraction counters (same generated repositories,
+    # same pruning) — gated exactly; `warm_files_extracted == 0` is the
+    # zero-re-extraction acceptance bar per mount. The `_query` row's
+    # `union_matches` is the correctness bar (federated ≡ eager union);
+    # its timings get the usual loose cross-machine ceilings. The
+    # remote-specific checks (fetches actually happened, WAN time
+    # modeled) live in the custom block below.
+    "e16": dict(
+        key=("source",),
+        only={},
+        equal=(
+            "kind", "files", "files_extracted", "records_extracted",
+            "samples_extracted", "warm_files_extracted", "rows",
+            "union_matches", "warm_records_extracted",
+        ),
+        faster=(),
+        slower=(("cold_us", 4.0), ("warm_us", 4.0)),
+        floor=(),
+        monotone=None,
+    ),
 }
 
 # E14's admission row exists to prove backpressure fires; gate that too.
@@ -210,6 +231,30 @@ def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
                 notes.append(
                     f"e15[agg_parallel workers=2]: speedup {speedup:.2f} "
                     f"(floor {E15_PARALLEL_MIN_SPEEDUP}) ok"
+                )
+
+    if exp == "e16":
+        query = next((r for r in current_doc["rows"] if r.get("source") == "_query"), None)
+        if query is None:
+            failures.append("e16: _query summary row missing from current run")
+        elif query.get("union_matches") is not True:
+            failures.append("e16[_query]: federated answer diverged from the eager union")
+        remotes = [r for r in current_doc["rows"] if r.get("kind") == "remote"]
+        if not remotes:
+            failures.append("e16: no remote mount in current run")
+        for row in remotes:
+            if row.get("fetch_requests", 0) < 1:
+                failures.append(
+                    f"e16[{row.get('source')}]: remote mount never range-fetched"
+                )
+            elif row.get("simulated_io_us", 0) < 1:
+                failures.append(
+                    f"e16[{row.get('source')}]: remote extraction has no modeled WAN time"
+                )
+            else:
+                notes.append(
+                    f"e16[{row.get('source')}]: {row['fetch_requests']} fetches, "
+                    f"{row.get('fetched_bytes', 0)} bytes over the simulated WAN ok"
                 )
 
     if exp == "e14":
