@@ -789,6 +789,58 @@ fn e16_federated(scale: ScaleName) {
     emit_json("e16", scale, json_rows);
 }
 
+/// E17: cost-based planner & ordered time index — the same window-query
+/// mix under the full pipeline, the linear-sweep ablation and the
+/// heuristic (no-cost) ablation. Equal answers, strictly fewer index
+/// entries examined under the seek, and estimate accounting are the
+/// acceptance bars CI gates via `tools/bench_gate.py` over `BENCH_e17.json`.
+fn e17_planner(scale: ScaleName) {
+    use lazyetl_bench::planner::run_planner_bench;
+    let dir = scale_repo(scale);
+    let results = run_planner_bench(&dir);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for r in &results {
+        rows.push(vec![
+            r.config.to_string(),
+            r.queries.to_string(),
+            fmt_dur(r.cold),
+            r.index_seeks.to_string(),
+            r.entries_examined.to_string(),
+            r.fetched_pairs.to_string(),
+            r.pruned_pairs.to_string(),
+            r.plans_estimated.to_string(),
+            r.estimate_abs_error.to_string(),
+            r.results_match.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("config", Json::str(r.config)),
+            ("queries", Json::Int(r.queries as i64)),
+            ("rows", Json::Int(r.rows as i64)),
+            ("cold_us", Json::Int(r.cold.as_micros() as i64)),
+            ("index_seeks", Json::Int(r.index_seeks as i64)),
+            ("entries_examined", Json::Int(r.entries_examined as i64)),
+            ("fetched_pairs", Json::Int(r.fetched_pairs as i64)),
+            ("pruned_pairs", Json::Int(r.pruned_pairs as i64)),
+            ("plans_estimated", Json::Int(r.plans_estimated as i64)),
+            ("estimate_abs_error", Json::Int(r.estimate_abs_error as i64)),
+            ("results_match", Json::Bool(r.results_match)),
+        ]));
+    }
+    print_table(
+        &format!(
+            "E17 — Cost-based planning & time index ({} scale): window mix under seek / linear sweep / heuristic planner",
+            scale.label()
+        ),
+        &[
+            "config", "queries", "cold mix", "index seeks", "entries examined",
+            "fetched", "pruned", "plans estimated", "abs error", "match",
+        ],
+        &rows,
+    );
+    emit_json("e17", scale, json_rows);
+}
+
 /// Write `BENCH_<experiment>.json` and tell the operator where it went.
 fn emit_json(experiment: &str, scale: ScaleName, rows: Vec<Json>) {
     match write_bench_file(experiment, scale.label(), rows) {
@@ -1128,9 +1180,9 @@ fn e8_observability(scale: ScaleName) {
 }
 
 /// Every experiment the harness knows, in run order.
-const KNOWN_EXPERIMENTS: [&str; 16] = [
+const KNOWN_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 fn main() {
@@ -1179,6 +1231,7 @@ fn main() {
             "e14" => e14_served(scale),
             "e15" => e15_kernels(scale),
             "e16" => e16_federated(scale),
+            "e17" => e17_planner(scale),
             _ => unreachable!("validated above"),
         }
     }

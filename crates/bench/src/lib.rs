@@ -10,6 +10,7 @@ pub mod concurrent;
 pub mod federated;
 pub mod json;
 pub mod kernels;
+pub mod planner;
 pub mod served;
 pub mod warm_restart;
 

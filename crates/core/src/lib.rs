@@ -81,9 +81,10 @@ pub use extract::{
 };
 pub use log::{EtlLog, EtlOp, LogEntry};
 pub use persistence::{
-    load_saved_tables, read_manifest, recover_saved_dir, replay_journal, save_warehouse,
-    save_warehouse_crashing_at, save_warehouse_v1, saved_mode, stray_files, RecoveryReport,
-    SaveReport, SavedFile, SavedManifest, CRASH_MARKER, JOURNAL_NAME, MANIFEST_NAME,
+    load_saved_stats, load_saved_tables, load_saved_time_index, read_manifest, recover_saved_dir,
+    replay_journal, save_warehouse, save_warehouse_crashing_at, save_warehouse_v1, saved_mode,
+    stray_files, RecoveryReport, SaveReport, SavedFile, SavedManifest, CRASH_MARKER, JOURNAL_NAME,
+    MANIFEST_NAME,
 };
 pub use qcache::{QueryResultCache, ResultCacheSnapshot, ResultCacheStats};
 pub use rewrite::{lazy_rewrite, LocatorIndex, RewriteReport};
@@ -94,4 +95,5 @@ pub use segment::{SegmentEntry, SegmentInfo};
 pub use warehouse::{
     global_file_id, split_file_id, CatalogRef, LoadReport, Mode, QueryOutput, QueryReport,
     RefreshSummary, SourceStats, Warehouse, WarehouseBuilder, WarehouseConfig, WarehouseStats,
+    MAX_MOUNT_INDEX,
 };

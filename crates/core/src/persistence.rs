@@ -15,8 +15,16 @@
 //! files.e<N>.lztb              F table, footered (epoch N)
 //! records.e<N>.lztb            R table, footered
 //! data.e<N>.lztb               D table, footered (eager saves only)
+//! stats.e<N>.lzst              per-table column statistics, footered
+//! timeindex.e<N>.lztb          ordered record time-range index, footered
 //! segments.e<N>/shard_KKK.lzsg one record-cache shard each (lazy saves)
 //! ```
+//!
+//! The `stats` and `timeindex` sections feed cost-based planning and the
+//! record-level pruning seek on reopen; manifests written before they
+//! existed simply lack the lines, and such snapshots open **statless** —
+//! zone maps recompute on demand and the optimizer falls back to its
+//! heuristics, exactly as before the upgrade.
 //!
 //! # Crash consistency
 //!
@@ -43,13 +51,15 @@ use crate::cache::PendingSegment;
 use crate::error::{EtlError, Result};
 use crate::log::{EtlLog, EtlOp};
 use crate::parallel::parallel_map;
+use crate::rewrite::LocatorIndex;
 use crate::schema::{DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
 use crate::segment::{encode_segment, segment_info, SegmentEntry};
 use crate::warehouse::{Mode, Warehouse};
 use lazyetl_store::persist::{
-    embedded_footer_checksum, load_table, load_table_verified, sync_parent_dir,
-    table_to_footered_bytes, tmp_path,
+    append_footer, embedded_footer_checksum, load_table, load_table_verified, split_footer,
+    sync_parent_dir, table_to_footered_bytes, tmp_path,
 };
+use lazyetl_store::stats::{stats_from_bytes, stats_to_bytes, table_stats, ColumnStats};
 use lazyetl_store::Table;
 use std::io::Write;
 use std::path::Path;
@@ -60,6 +70,10 @@ pub const MANIFEST_NAME: &str = "MANIFEST";
 pub const JOURNAL_NAME: &str = "JOURNAL";
 const MANIFEST_V1: &str = "lazyetl-warehouse-v1";
 const MANIFEST_V2: &str = "lazyetl-warehouse-v2";
+/// Base name of the persisted statistics file (`stats.e<N>.lzst`).
+const STATS_BASE: &str = "stats";
+/// Base name of the persisted time index (`timeindex.e<N>.lztb`).
+const TIMEINDEX_BASE: &str = "timeindex";
 /// Error-message marker of an injected crash (test hook).
 pub const CRASH_MARKER: &str = "crash-injected";
 
@@ -78,6 +92,10 @@ pub struct SaveReport {
     pub tables: Vec<String>,
     /// Cache segment files written (lazy saves; empty shards skipped).
     pub segments: Vec<String>,
+    /// Column-statistics file written alongside the tables.
+    pub stats_file: Option<String>,
+    /// Ordered time-range index file written alongside the tables.
+    pub index_file: Option<String>,
     /// Snapshot epoch this save committed.
     pub epoch: u64,
     /// Number of durable steps the save performed — the domain of
@@ -115,6 +133,11 @@ pub struct SavedManifest {
     pub tables: Vec<SavedFile>,
     /// Cache segment files.
     pub segments: Vec<SavedFile>,
+    /// Persisted column statistics (absent in v1 and pre-upgrade v2
+    /// snapshots — those open statless).
+    pub stats: Option<SavedFile>,
+    /// Persisted ordered time-range index (absent pre-upgrade).
+    pub time_index: Option<SavedFile>,
 }
 
 fn mode_str(mode: Mode) -> &'static str {
@@ -155,6 +178,8 @@ pub fn read_manifest(dir: &Path) -> Result<SavedManifest> {
             shards: 0,
             tables,
             segments: Vec::new(),
+            stats: None,
+            time_index: None,
         });
     }
     let epoch = kv_line(lines.next(), "epoch")?
@@ -165,9 +190,29 @@ pub fn read_manifest(dir: &Path) -> Result<SavedManifest> {
         .map_err(|e| internal(format!("bad manifest shards: {e}")))?;
     let mut tables = Vec::new();
     let mut segments = Vec::new();
+    let mut stats = None;
+    let mut time_index = None;
     for line in lines {
         let mut parts = line.split_whitespace();
         match parts.next() {
+            Some(kind @ ("stats" | "index")) => {
+                // stats|index <bytes> <checksum-hex> <name>
+                let bytes = parse_num(parts.next(), "stats bytes")?;
+                let checksum = parse_hex(parts.next(), "stats checksum")?;
+                let name = parts.collect::<Vec<_>>().join(" ");
+                let file = SavedFile {
+                    name,
+                    bytes,
+                    checksum,
+                    entries: 0,
+                    shard: 0,
+                };
+                if kind == "stats" {
+                    stats = Some(file);
+                } else {
+                    time_index = Some(file);
+                }
+            }
             Some("table") => {
                 // table <bytes> <checksum-hex> <name>
                 let bytes = parse_num(parts.next(), "table bytes")?;
@@ -210,6 +255,8 @@ pub fn read_manifest(dir: &Path) -> Result<SavedManifest> {
         shards,
         tables,
         segments,
+        stats,
+        time_index,
     })
 }
 
@@ -336,9 +383,16 @@ pub struct RecoveryReport {
 }
 
 fn epoch_of_table_file(name: &str) -> Option<u64> {
-    let rest = name.strip_suffix(".lztb")?;
+    let rest = name
+        .strip_suffix(".lztb")
+        .or_else(|| name.strip_suffix(".lzst"))?;
     let (base, epoch) = rest.rsplit_once(".e")?;
-    if !matches!(base, FILES_TABLE | RECORDS_TABLE | DATA_TABLE) {
+    if base != FILES_TABLE
+        && base != RECORDS_TABLE
+        && base != DATA_TABLE
+        && base != STATS_BASE
+        && base != TIMEINDEX_BASE
+    {
         return None;
     }
     epoch.parse().ok()
@@ -629,6 +683,66 @@ fn save_inner(wh: &Warehouse, dir: &Path, stop_at: Option<usize>) -> Result<Save
         tables.push(fname);
     }
 
+    // Column statistics + the ordered time index ride along with every
+    // save, computed from the very snapshots written above so they can
+    // never describe different rows. Reopen seeds zone maps and the
+    // pruning seek from them instead of recomputing.
+    let stats_payload: Vec<(String, Vec<ColumnStats>)> = snapshots
+        .iter()
+        .map(|(name, table)| (name.clone(), table_stats(table)))
+        .collect();
+    let mut stats_buf = stats_to_bytes(&stats_payload);
+    append_footer(&mut stats_buf);
+    let stats_name = format!("{STATS_BASE}.e{epoch}.lzst");
+    let stats_checksum = embedded_footer_checksum(&stats_buf).expect("footer appended just above");
+    ctx.write_atomic(&dir.join(&stats_name), &stats_buf)?;
+    ctx.step()?;
+    journal.append(
+        log,
+        EtlOp::SaveTable {
+            name: stats_name.clone(),
+            bytes: stats_buf.len() as u64,
+            checksum: stats_checksum,
+        },
+    )?;
+    bytes_total += stats_buf.len() as u64;
+    let manifest_stats = SavedFile {
+        name: stats_name,
+        bytes: stats_buf.len() as u64,
+        checksum: stats_checksum,
+        entries: 0,
+        shard: 0,
+    };
+
+    let records_snapshot = snapshots
+        .iter()
+        .find(|(n, _)| n == RECORDS_TABLE)
+        .map(|(_, t)| t)
+        .ok_or_else(|| internal("records snapshot missing"))?;
+    let index_table = LocatorIndex::build(records_snapshot)?.to_time_index_table()?;
+    let index_buf = table_to_footered_bytes(&index_table)?;
+    let index_name = format!("{TIMEINDEX_BASE}.e{epoch}.lztb");
+    let index_checksum =
+        embedded_footer_checksum(&index_buf).expect("footered tables always carry a footer");
+    ctx.write_atomic(&dir.join(&index_name), &index_buf)?;
+    ctx.step()?;
+    journal.append(
+        log,
+        EtlOp::SaveTable {
+            name: index_name.clone(),
+            bytes: index_buf.len() as u64,
+            checksum: index_checksum,
+        },
+    )?;
+    bytes_total += index_buf.len() as u64;
+    let manifest_index = SavedFile {
+        name: index_name,
+        bytes: index_buf.len() as u64,
+        checksum: index_checksum,
+        entries: 0,
+        shard: 0,
+    };
+
     // Cache segments (lazy mode): encode shards in parallel on the same
     // worker pool as extraction, write sequentially (ordered crash
     // points). Empty shards produce no file.
@@ -686,6 +800,14 @@ fn save_inner(wh: &Warehouse, dir: &Path, stop_at: Option<usize>) -> Result<Save
     for t in &manifest_tables {
         manifest.push_str(&format!("table {} {:x} {}\n", t.bytes, t.checksum, t.name));
     }
+    manifest.push_str(&format!(
+        "stats {} {:x} {}\n",
+        manifest_stats.bytes, manifest_stats.checksum, manifest_stats.name
+    ));
+    manifest.push_str(&format!(
+        "index {} {:x} {}\n",
+        manifest_index.bytes, manifest_index.checksum, manifest_index.name
+    ));
     for s in &manifest_segments {
         manifest.push_str(&format!(
             "segment {} {} {} {:x} {}\n",
@@ -699,7 +821,13 @@ fn save_inner(wh: &Warehouse, dir: &Path, stop_at: Option<usize>) -> Result<Save
     // Cleanup: the previous epoch's files are now unreachable.
     let mut removed = 0u64;
     if let Some(prev) = &prev {
-        for f in prev.tables.iter().chain(&prev.segments) {
+        for f in prev
+            .tables
+            .iter()
+            .chain(&prev.segments)
+            .chain(&prev.stats)
+            .chain(&prev.time_index)
+        {
             ctx.remove(&dir.join(&f.name), &mut removed)?;
         }
         if prev.version == 2 {
@@ -714,9 +842,50 @@ fn save_inner(wh: &Warehouse, dir: &Path, stop_at: Option<usize>) -> Result<Save
         bytes: bytes_total,
         tables,
         segments,
+        stats_file: Some(manifest_stats.name.clone()),
+        index_file: Some(manifest_index.name.clone()),
         epoch,
         crash_points: ctx.steps,
     })
+}
+
+/// Per-table column statistics as persisted in the snapshot's stats
+/// section: one `(table name, per-column stats)` entry per saved table.
+pub type SavedStats = Vec<(String, Vec<ColumnStats>)>;
+
+/// Load the persisted column statistics of a saved warehouse, verified
+/// against both the embedded footer and the manifest checksum. Returns
+/// `Ok(None)` for snapshots that predate the stats section.
+pub fn load_saved_stats(dir: &Path, manifest: &SavedManifest) -> Result<Option<SavedStats>> {
+    let Some(f) = &manifest.stats else {
+        return Ok(None);
+    };
+    let bytes = std::fs::read(dir.join(&f.name)).map_err(internal)?;
+    let (payload, sum) = split_footer(&bytes)?;
+    if sum != f.checksum {
+        return Err(internal(format!(
+            "stats {} checksum {sum:#x} != manifest {:#x}",
+            f.name, f.checksum
+        )));
+    }
+    Ok(Some(stats_from_bytes(payload)?))
+}
+
+/// Load the persisted ordered time index of a saved warehouse, verified
+/// against the manifest checksum. Returns `Ok(None)` for snapshots that
+/// predate the index section.
+pub fn load_saved_time_index(dir: &Path, manifest: &SavedManifest) -> Result<Option<Table>> {
+    let Some(f) = &manifest.time_index else {
+        return Ok(None);
+    };
+    let (table, sum) = load_table_verified(&dir.join(&f.name))?;
+    if sum != f.checksum {
+        return Err(internal(format!(
+            "time index {} checksum {sum:#x} != manifest {:#x}",
+            f.name, f.checksum
+        )));
+    }
+    Ok(Some(table))
 }
 
 /// The segments a reopening warehouse should attach for rehydration:
@@ -778,6 +947,8 @@ pub fn save_warehouse_v1(wh: &Warehouse, dir: &Path) -> Result<SaveReport> {
         bytes,
         tables,
         segments: Vec::new(),
+        stats_file: None,
+        index_file: None,
         epoch: 0,
         crash_points: 0,
     })
@@ -839,7 +1010,49 @@ mod tests {
         assert_eq!(files.num_rows(), wh.load_report().files);
         assert_eq!(records.num_rows(), wh.load_report().records);
         assert!(data.is_none());
+        // Stats + time index ride along with every v2 save.
+        assert_eq!(report.stats_file.as_deref(), Some("stats.e1.lzst"));
+        assert_eq!(report.index_file.as_deref(), Some("timeindex.e1.lztb"));
+        let manifest = read_manifest(&saved).unwrap();
+        let stats = load_saved_stats(&saved, &manifest)
+            .unwrap()
+            .expect("stats persisted");
+        assert!(stats.iter().any(|(n, _)| n == FILES_TABLE));
+        assert!(stats.iter().any(|(n, _)| n == RECORDS_TABLE));
+        let idx = load_saved_time_index(&saved, &manifest)
+            .unwrap()
+            .expect("time index persisted");
+        assert_eq!(idx.num_rows(), wh.load_report().records);
         assert!(stray_files(&saved).is_empty());
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn pre_upgrade_v2_manifest_opens_statless() {
+        let (root, repo) = setup("statless");
+        let wh = Warehouse::open_lazy(&repo, cfg()).unwrap();
+        let saved = root.join("saved");
+        save_warehouse(&wh, &saved).unwrap();
+        // Rewrite the manifest without its stats/index lines — exactly
+        // what a snapshot written before the sections existed looks like
+        // — and delete the now-unreferenced files.
+        let text = std::fs::read_to_string(saved.join(MANIFEST_NAME)).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("stats ") && !l.starts_with("index "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        lazyetl_store::persist::write_file_atomic(&saved.join(MANIFEST_NAME), stripped.as_bytes())
+            .unwrap();
+        std::fs::remove_file(saved.join("stats.e1.lzst")).unwrap();
+        std::fs::remove_file(saved.join("timeindex.e1.lztb")).unwrap();
+        let manifest = read_manifest(&saved).unwrap();
+        assert!(manifest.stats.is_none());
+        assert!(manifest.time_index.is_none());
+        assert!(load_saved_stats(&saved, &manifest).unwrap().is_none());
+        assert!(load_saved_time_index(&saved, &manifest).unwrap().is_none());
+        // The tables themselves still load: the snapshot is usable.
+        assert!(load_saved_tables(&saved).is_ok());
         std::fs::remove_dir_all(&root).ok();
     }
 
@@ -889,6 +1102,10 @@ mod tests {
         assert!(!r2.segments.is_empty(), "warm cache produced segments");
         assert!(saved.join("files.e2.lztb").exists());
         assert!(!saved.join("files.e1.lztb").exists(), "old epoch swept");
+        assert!(saved.join("stats.e2.lzst").exists());
+        assert!(!saved.join("stats.e1.lzst").exists(), "old stats swept");
+        assert!(saved.join("timeindex.e2.lztb").exists());
+        assert!(!saved.join("timeindex.e1.lztb").exists());
         assert!(stray_files(&saved).is_empty());
         let manifest = read_manifest(&saved).unwrap();
         assert_eq!(manifest.epoch, 2);

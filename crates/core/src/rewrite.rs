@@ -23,17 +23,48 @@ use crate::extract::RecordLocator;
 use lazyetl_query::expr::eval_row;
 use lazyetl_query::plan::LogicalPlan;
 use lazyetl_query::Expr;
-use lazyetl_store::Table;
+use lazyetl_store::{DataType, Field, Schema, Table, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Locators and time ranges for every record the warehouse knows about.
 ///
 /// Built from the resident `R` table; rebuilt whenever metadata changes.
+/// Besides the hash lookups, it carries an **ordered secondary index**
+/// over record time coverage (`by_time`, sorted by start time), so a
+/// sample-time interval resolves to the qualifying records with one
+/// binary-search seek instead of a sweep over every candidate
+/// ([`LocatorIndex::seek_time_range`]). The sorted order is persistable
+/// ([`LocatorIndex::to_time_index_table`]) and a snapshot's persisted
+/// order is adopted on reopen ([`LocatorIndex::build_seeded`]).
 #[derive(Debug, Default)]
 pub struct LocatorIndex {
     by_key: HashMap<(i64, i64), RecordInfo>,
     by_file: BTreeMap<i64, Vec<i64>>,
+    /// Every record, sorted by `(start_us, file_id, seq_no)`.
+    by_time: Vec<TimeEntry>,
+    /// Ascending positions of zero-span records inside `by_time`: they
+    /// qualify under any lower bound, so seeks must re-admit the ones
+    /// sitting below the seek floor.
+    degenerate_pos: Vec<usize>,
+    /// Longest positive record span (µs); widens the lower-bound seek so
+    /// no record straddling the bound is missed.
+    max_span_us: i64,
+}
+
+/// One entry of the ordered time index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimeEntry {
+    start_us: i64,
+    end_us: i64,
+    file_id: i64,
+    seq_no: i64,
+}
+
+impl TimeEntry {
+    fn sort_key(&self) -> (i64, i64, i64) {
+        (self.start_us, self.file_id, self.seq_no)
+    }
 }
 
 /// Locator plus time coverage of one record.
@@ -50,6 +81,24 @@ pub struct RecordInfo {
 impl LocatorIndex {
     /// Build from an `R`-schema table.
     pub fn build(records: &Table) -> Result<LocatorIndex> {
+        Self::build_seeded(records, None)
+    }
+
+    /// Build from an `R`-schema table, adopting a persisted time-index
+    /// ordering when one is supplied and still describes exactly these
+    /// records (saving the O(n log n) sort); any mismatch falls back to
+    /// sorting fresh, so a stale snapshot can never corrupt the index.
+    pub fn build_seeded(records: &Table, persisted: Option<&Table>) -> Result<LocatorIndex> {
+        let mut idx = Self::build_keys(records)?;
+        let adopted = persisted.is_some_and(|t| idx.adopt_persisted_order(t));
+        if !adopted {
+            idx.by_time.sort_unstable_by_key(TimeEntry::sort_key);
+        }
+        idx.finish_time_index();
+        Ok(idx)
+    }
+
+    fn build_keys(records: &Table) -> Result<LocatorIndex> {
         let need = |name: &str| {
             records
                 .schema
@@ -89,8 +138,148 @@ impl LocatorIndex {
                 },
             );
             idx.by_file.entry(file_id).or_default().push(seq_no);
+            idx.by_time.push(TimeEntry {
+                start_us,
+                end_us,
+                file_id,
+                seq_no,
+            });
         }
         Ok(idx)
+    }
+
+    /// Try to adopt a persisted `(file_id, seq_no, start_time, end_time)`
+    /// table as the sorted time index. Succeeds only if it lists exactly
+    /// the indexed records, in sorted order, with matching time ranges.
+    fn adopt_persisted_order(&mut self, t: &Table) -> bool {
+        if t.num_rows() != self.by_key.len() {
+            return false;
+        }
+        let col = |name: &str| t.schema.index_of(name);
+        let (Some(cf), Some(cs), Some(ca), Some(cb)) = (
+            col("file_id"),
+            col("seq_no"),
+            col("start_time"),
+            col("end_time"),
+        ) else {
+            return false;
+        };
+        let mut out = Vec::with_capacity(t.num_rows());
+        let mut prev = (i64::MIN, i64::MIN, i64::MIN);
+        for row in 0..t.num_rows() {
+            let get = |c: usize| t.columns[c].get(row).ok().and_then(|v| v.as_i64());
+            let (Some(file_id), Some(seq_no), Some(start_us), Some(end_us)) =
+                (get(cf), get(cs), get(ca), get(cb))
+            else {
+                return false;
+            };
+            let e = TimeEntry {
+                start_us,
+                end_us,
+                file_id,
+                seq_no,
+            };
+            if e.sort_key() < prev {
+                return false;
+            }
+            prev = e.sort_key();
+            match self.by_key.get(&(file_id, seq_no)) {
+                Some(info) if info.start_us == start_us && info.end_us == end_us => out.push(e),
+                _ => return false,
+            }
+        }
+        self.by_time = out;
+        true
+    }
+
+    /// Derive the seek acceleration structures from the sorted `by_time`.
+    fn finish_time_index(&mut self) {
+        self.degenerate_pos = self
+            .by_time
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.start_us == e.end_us)
+            .map(|(p, _)| p)
+            .collect();
+        self.max_span_us = self
+            .by_time
+            .iter()
+            .map(|e| (e.end_us - e.start_us).max(0))
+            .max()
+            .unwrap_or(0);
+    }
+
+    /// Binary-search seek over the ordered time index: the set of
+    /// `(file_id, seq_no)` whose `[start, end)` coverage may intersect the
+    /// query interval `[lo, hi]`, plus how many index entries the seek
+    /// examined. Exactly equivalent to sweeping every record with the
+    /// record-level pruning predicate (proven by the exhaustive test
+    /// below), but only entries inside the seeked slice — `start ∈
+    /// (lo − max_span, hi]` — are ever touched.
+    pub fn seek_time_range(
+        &self,
+        lo: Option<i64>,
+        hi: Option<i64>,
+    ) -> (BTreeSet<(i64, i64)>, usize) {
+        let hi_idx = match hi {
+            Some(h) => self.by_time.partition_point(|e| e.start_us <= h),
+            None => self.by_time.len(),
+        };
+        let lo_idx = match lo {
+            Some(l) => {
+                // Records below the floor start so early that even the
+                // longest span cannot reach past `lo`.
+                let floor = l.saturating_sub(self.max_span_us);
+                self.by_time.partition_point(|e| e.start_us <= floor)
+            }
+            None => 0,
+        }
+        .min(hi_idx);
+        let mut out = BTreeSet::new();
+        let mut examined = 0usize;
+        for e in &self.by_time[lo_idx..hi_idx] {
+            examined += 1;
+            // `start_us <= hi` already holds for everything below hi_idx;
+            // the lower bound uses the same exclusive-end / zero-span
+            // convention as the linear sweep.
+            if lo.is_none_or(|l| e.end_us > l || e.start_us == e.end_us) {
+                out.insert((e.file_id, e.seq_no));
+            }
+        }
+        if lo.is_some() {
+            // Zero-span records below the seek floor qualify under any
+            // lower bound (kept conservatively, like the sweep keeps them).
+            let cut = self.degenerate_pos.partition_point(|&p| p < lo_idx);
+            for &p in &self.degenerate_pos[..cut] {
+                examined += 1;
+                let e = self.by_time[p];
+                out.insert((e.file_id, e.seq_no));
+            }
+        }
+        (out, examined)
+    }
+
+    /// The ordered time index as a persistable table (rows in `by_time`
+    /// order), the inverse of [`LocatorIndex::build_seeded`]'s seed.
+    pub fn to_time_index_table(&self) -> Result<Table> {
+        let schema = Schema::new(vec![
+            Field::new("file_id", DataType::Int64),
+            Field::new("seq_no", DataType::Int64),
+            Field::new("start_time", DataType::Timestamp),
+            Field::new("end_time", DataType::Timestamp),
+        ])
+        .map_err(EtlError::Store)?;
+        let mut t = Table::empty(schema);
+        for e in &self.by_time {
+            t.append_row(vec![
+                Value::Int64(e.file_id),
+                Value::Int64(e.seq_no),
+                Value::Timestamp(e.start_us),
+                Value::Timestamp(e.end_us),
+            ])
+            .map_err(EtlError::Store)?;
+        }
+        Ok(t)
     }
 
     /// Info for one (file, record) pair.
@@ -137,6 +326,12 @@ pub struct RewriteReport {
     pub fetched_pairs: usize,
     /// Whether the full-repository fallback was taken.
     pub full_scan_fallback: bool,
+    /// Whether record-level pruning was served by a binary-search seek of
+    /// the ordered time index (vs. a linear sweep over every candidate).
+    pub index_seek: bool,
+    /// Time-index entries whose ranges pruning examined: the seeked slice
+    /// width under index seek, every candidate under the linear sweep.
+    pub index_entries_examined: usize,
     /// Human-readable notes, in order.
     pub notes: Vec<String>,
 }
@@ -209,6 +404,10 @@ pub struct RewriteContext<'a> {
     pub index: &'a LocatorIndex,
     /// Apply record-level sample-time pruning (ablation flag).
     pub record_level_pruning: bool,
+    /// Serve record-level pruning with the ordered time index's
+    /// binary-search seek; `false` is the E17 baseline's linear sweep
+    /// (identical kept set, every candidate examined).
+    pub time_index_seek: bool,
 }
 
 /// Run-time plan rewrite: replace every external-data scan with the
@@ -355,10 +554,28 @@ fn rewrite_node(
             }
             report.candidate_pairs = pairs.len();
 
-            // 3. Record-level pruning against sample-time predicates.
+            // 3. Record-level pruning against sample-time predicates:
+            //    either a binary-search seek of the ordered time index or
+            //    the baseline linear sweep. Both keep exactly the same
+            //    pairs; only the number of examined entries differs.
             let (lo, hi) = sample_time_interval(data_side);
-            let kept: Vec<(i64, i64)> =
-                if ctx.record_level_pruning && (lo.is_some() || hi.is_some()) {
+            let kept: Vec<(i64, i64)> = if ctx.record_level_pruning
+                && (lo.is_some() || hi.is_some())
+            {
+                if ctx.time_index_seek {
+                    let (qualifying, examined) = ctx.index.seek_time_range(lo, hi);
+                    report.index_seek = true;
+                    report.index_entries_examined += examined;
+                    pairs
+                        .iter()
+                        .copied()
+                        .filter(|&(f, s)| {
+                            // Unknown records extract conservatively.
+                            qualifying.contains(&(f, s)) || ctx.index.get(f, s).is_none()
+                        })
+                        .collect()
+                } else {
+                    report.index_entries_examined += pairs.len();
                     pairs
                         .iter()
                         .copied()
@@ -375,9 +592,10 @@ fn rewrite_node(
                             None => true, // unknown record: extract conservatively
                         })
                         .collect()
-                } else {
-                    pairs.iter().copied().collect()
-                };
+                }
+            } else {
+                pairs.iter().copied().collect()
+            };
             report.pruned_pairs = report.candidate_pairs - kept.len();
             report.fetched_pairs = kept.len();
             if lo.is_some() || hi.is_some() {
@@ -551,6 +769,7 @@ mod tests {
         let ctx = RewriteContext {
             index: &idx,
             record_level_pruning: pruning,
+            time_index_seek: true,
         };
         let exec_meta = |p: &LogicalPlan| -> Result<Arc<Table>> {
             match p {
@@ -668,6 +887,178 @@ mod tests {
         assert_eq!(requested.len(), 3, "entire repository fetched");
         assert!(!contains_external(&rewritten));
         assert!(report.notes.iter().any(|n| n.contains("file_id")));
+    }
+
+    /// Index whose records exercise every shape: normal spans, a long
+    /// straddler, zero-span degenerates (early and late), and a malformed
+    /// end < start record.
+    fn time_grid_index() -> LocatorIndex {
+        let mut t = Table::empty(crate::schema::records_schema());
+        let ranges = [
+            (0i64, 1i64, 0i64, 100i64),
+            (0, 2, 100, 200),
+            (0, 3, 0, 500),   // long straddler drives max_span
+            (1, 1, 50, 50),   // early degenerate
+            (1, 2, 400, 400), // late degenerate
+            (1, 3, 300, 250), // malformed end < start
+            (2, 1, 250, 300),
+        ];
+        for (f, s, st, en) in ranges {
+            t.append_row(vec![
+                Value::Int64(f),
+                Value::Int64(s),
+                Value::Timestamp(st),
+                Value::Timestamp(en),
+                Value::Int64(10),
+                Value::Float64(40.0),
+                Value::Int64(0),
+                Value::Int64(512),
+                Value::Utf8("D".into()),
+                Value::Int64(100),
+                Value::Utf8("STEIM2".into()),
+            ])
+            .unwrap();
+        }
+        LocatorIndex::build(&t).unwrap()
+    }
+
+    /// The linear-sweep pruning predicate, verbatim.
+    fn sweep_keeps(info: &RecordInfo, lo: Option<i64>, hi: Option<i64>) -> bool {
+        lo.is_none_or(|l| info.end_us > l || info.start_us == info.end_us)
+            && hi.is_none_or(|h| info.start_us <= h)
+    }
+
+    #[test]
+    fn time_index_seek_equals_linear_sweep_exhaustively() {
+        let idx = time_grid_index();
+        let all = idx.all_pairs();
+        let mut bounds: Vec<Option<i64>> = vec![None];
+        bounds.extend((-50..=550).step_by(25).map(Some));
+        for &lo in &bounds {
+            for &hi in &bounds {
+                let (seek, examined) = idx.seek_time_range(lo, hi);
+                let sweep: BTreeSet<(i64, i64)> = all
+                    .iter()
+                    .copied()
+                    .filter(|&(f, s)| sweep_keeps(idx.get(f, s).unwrap(), lo, hi))
+                    .collect();
+                assert_eq!(seek, sweep, "lo={lo:?} hi={hi:?}");
+                assert!(examined <= all.len(), "seek never examines extra entries");
+            }
+        }
+        // A narrow window examines strictly fewer entries than the sweep.
+        let (_, examined) = idx.seek_time_range(Some(90), Some(110));
+        assert!(
+            examined < all.len(),
+            "narrow window: {examined} < {}",
+            all.len()
+        );
+    }
+
+    #[test]
+    fn seek_ablation_takes_linear_sweep_with_identical_results() {
+        let filtered = LogicalPlan::Filter {
+            input: Box::new(data_scan()),
+            predicate: Expr::col("sample_time")
+                .binary(BinaryOp::Gt, Expr::lit(Value::Timestamp(120))),
+        };
+        let plan = join_plan(&[(0, 1), (0, 2)], true, filtered);
+        let idx = LocatorIndex::build(&r_table()).unwrap();
+        let exec_meta = |p: &LogicalPlan| -> Result<Arc<Table>> {
+            match p {
+                LogicalPlan::InlineData { table, .. } => Ok(table.clone()),
+                other => Err(EtlError::Internal(format!("{other:?}"))),
+            }
+        };
+        let run = |seek: bool| {
+            let ctx = RewriteContext {
+                index: &idx,
+                record_level_pruning: true,
+                time_index_seek: seek,
+            };
+            let mut requested = Vec::new();
+            let mut report = RewriteReport::default();
+            let mut fetch = |pairs: &[(i64, i64)]| -> Result<Arc<Table>> {
+                requested.extend_from_slice(pairs);
+                Ok(Arc::new(Table::empty(crate::schema::data_schema())))
+            };
+            lazy_rewrite(&plan, &ctx, &exec_meta, &mut fetch, &mut report).unwrap();
+            (requested, report)
+        };
+        let (with_seek, r_seek) = run(true);
+        let (with_sweep, r_sweep) = run(false);
+        assert_eq!(with_seek, with_sweep, "seek and sweep keep the same pairs");
+        assert!(r_seek.index_seek);
+        assert!(!r_sweep.index_seek);
+        assert_eq!(
+            r_sweep.index_entries_examined, 2,
+            "sweep examines all candidates"
+        );
+    }
+
+    #[test]
+    fn persisted_time_index_roundtrips_and_rejects_drift() {
+        let idx = time_grid_index();
+        let persisted = idx.to_time_index_table().unwrap();
+        // Rows come out sorted by (start, file, seq).
+        let c_start = persisted.schema.index_of("start_time").unwrap();
+        let starts: Vec<i64> = (0..persisted.num_rows())
+            .map(|r| persisted.columns[c_start].get(r).unwrap().as_i64().unwrap())
+            .collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+        // Rebuilding seeded with the persisted order adopts it and seeks
+        // identically.
+        let mut r = Table::empty(crate::schema::records_schema());
+        for (f, s, st, en) in [
+            (0i64, 1i64, 0i64, 100i64),
+            (0, 2, 100, 200),
+            (0, 3, 0, 500),
+            (1, 1, 50, 50),
+            (1, 2, 400, 400),
+            (1, 3, 300, 250),
+            (2, 1, 250, 300),
+        ] {
+            r.append_row(vec![
+                Value::Int64(f),
+                Value::Int64(s),
+                Value::Timestamp(st),
+                Value::Timestamp(en),
+                Value::Int64(10),
+                Value::Float64(40.0),
+                Value::Int64(0),
+                Value::Int64(512),
+                Value::Utf8("D".into()),
+                Value::Int64(100),
+                Value::Utf8("STEIM2".into()),
+            ])
+            .unwrap();
+        }
+        let seeded = LocatorIndex::build_seeded(&r, Some(&persisted)).unwrap();
+        assert_eq!(
+            seeded.seek_time_range(Some(90), Some(260)),
+            idx.seek_time_range(Some(90), Some(260))
+        );
+        // A drifted snapshot (extra record in R) is rejected, not adopted:
+        // the rebuilt index still covers the new record.
+        r.append_row(vec![
+            Value::Int64(9),
+            Value::Int64(1),
+            Value::Timestamp(95),
+            Value::Timestamp(105),
+            Value::Int64(10),
+            Value::Float64(40.0),
+            Value::Int64(0),
+            Value::Int64(512),
+            Value::Utf8("D".into()),
+            Value::Int64(100),
+            Value::Utf8("STEIM2".into()),
+        ])
+        .unwrap();
+        let drifted = LocatorIndex::build_seeded(&r, Some(&persisted)).unwrap();
+        let (qual, _) = drifted.seek_time_range(Some(90), Some(110));
+        assert!(qual.contains(&(9, 1)), "stale persisted order not adopted");
     }
 
     #[test]

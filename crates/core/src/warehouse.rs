@@ -59,10 +59,12 @@ use crate::qcache::{QueryResultCache, ResultCacheSnapshot};
 use crate::rewrite::{lazy_rewrite, LocatorIndex, RewriteContext, RewriteReport};
 use crate::schema::{self, DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
 use lazyetl_query::exec::{execute, ExecContext};
-use lazyetl_query::optimizer::{coerce_timestamp_literals, fold_constants, optimize};
+use lazyetl_query::optimizer::{
+    coerce_timestamp_literals, fold_constants, optimize, optimize_with_cost,
+};
 use lazyetl_query::planner::{plan_select, TableSource};
-use lazyetl_query::{parse_select, LogicalPlan};
-use lazyetl_repo::{AccessProfile, FileEntry, FileId, LazySource, Repository};
+use lazyetl_query::{parse_select, CostModel, LogicalPlan};
+use lazyetl_repo::{AccessProfile, FileEntry, FileId, LazySource, RepoError, Repository};
 use lazyetl_store::{Catalog, Table};
 use std::collections::BTreeSet;
 use std::ops::Deref;
@@ -71,12 +73,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
+/// Largest mount index that fits the high half of a warehouse-global
+/// file id; packing a larger one would overflow `i64` and silently alias
+/// another mount's files.
+pub const MAX_MOUNT_INDEX: usize = (i64::MAX >> 32) as usize;
+
 /// Pack a mount index and a mount-local file id into the warehouse-global
 /// file id used in F/R/D rows, cache keys and rewrite pairs. Mount 0
 /// yields ids identical to the local ones, so single-source warehouses
 /// (and everything persisted by them) are unchanged.
-pub fn global_file_id(mount: usize, local: FileId) -> i64 {
-    ((mount as i64) << 32) | local.0 as i64
+///
+/// Checked: a mount index beyond [`MAX_MOUNT_INDEX`] is a typed
+/// [`RepoError::IdOverflow`] (stable code `repo.id_overflow`), never a
+/// wrapped-around id.
+pub fn global_file_id(mount: usize, local: FileId) -> std::result::Result<i64, RepoError> {
+    if mount > MAX_MOUNT_INDEX {
+        return Err(RepoError::IdOverflow { mount });
+    }
+    Ok(((mount as i64) << 32) | local.0 as i64)
 }
 
 /// Invert [`global_file_id`].
@@ -123,6 +137,16 @@ pub struct WarehouseConfig {
     /// Prune candidate records whose time range cannot intersect the
     /// query's sample-time predicates (ablation flag).
     pub record_level_pruning: bool,
+    /// Serve record-level pruning with the ordered time index's
+    /// binary-search seek. `false` is the E17 baseline: the same pairs are
+    /// kept, but pruning sweeps every candidate record linearly.
+    pub time_index_seek: bool,
+    /// Plan with the cost model (cardinality estimates over the catalog's
+    /// zone-map statistics, selectivity-driven join reordering, per-source
+    /// access-cost multipliers). `false` keeps the pure heuristic pipeline
+    /// — the pre-upgrade behaviour and the E17 planner ablation. Results
+    /// are identical either way; only plan shape and cost change.
+    pub cost_based_planning: bool,
     /// Use the recycling cache (ablation flag).
     pub use_cache: bool,
     /// Recycle **final query results** keyed by optimized-plan fingerprint
@@ -155,6 +179,8 @@ impl Default for WarehouseConfig {
             max_staleness: None,
             metadata_predicate_first: true,
             record_level_pruning: true,
+            time_index_seek: true,
+            cost_based_planning: true,
             use_cache: true,
             recycle_query_results: false,
             result_cache_budget_bytes: 64 << 20,
@@ -427,7 +453,7 @@ impl WarehouseState {
             .resolve_uri(uri)
             .ok_or_else(|| EtlError::Internal(format!("sources lost {uri:?}")))?;
         let entry = entry.clone();
-        let fid = global_file_id(mount, entry.id);
+        let fid = global_file_id(mount, entry.id)?;
         self.delete_file_rows(mode, fid)?;
         cache.invalidate_file(fid);
         let src = self.mounts[mount].source.as_ref();
@@ -628,6 +654,12 @@ impl WarehouseBuilder {
                 "warehouse needs at least one source".into(),
             ));
         }
+        if self.mounts.len() > MAX_MOUNT_INDEX + 1 {
+            return Err(RepoError::IdOverflow {
+                mount: self.mounts.len() - 1,
+            }
+            .into());
+        }
         for (i, m) in self.mounts.iter().enumerate() {
             if m.name.is_empty() || m.name.contains("://") {
                 return Err(EtlError::Internal(format!(
@@ -715,7 +747,7 @@ impl Warehouse {
                     if !extractor.claims(src, entry)? {
                         continue;
                     }
-                    let fid = global_file_id(mi, entry.id);
+                    let fid = global_file_id(mi, entry.id)?;
                     let uri = state.full_uri(mi, &entry.uri);
                     let mut md = extractor.for_entry(entry)?.scan_metadata(src, entry)?;
                     md.file.file_id = fid;
@@ -751,7 +783,7 @@ impl Warehouse {
                     if !extractor.claims(src, entry)? {
                         continue;
                     }
-                    let file_id = global_file_id(mi, entry.id);
+                    let file_id = global_file_id(mi, entry.id)?;
                     let locators: Vec<RecordLocator> = state
                         .index
                         .seqs_of_file(file_id)
@@ -1011,8 +1043,17 @@ impl Warehouse {
         let plan = plan_select(&stmt, &source)?;
         report.stages.push(("logical".into(), plan.display()));
 
-        // Compile-time optimization (metadata predicates first).
-        let plan = if self.config.metadata_predicate_first {
+        // Compile-time optimization (metadata predicates first), costed
+        // on the catalog's statistics when cost-based planning is on.
+        let cost_model = if self.config.metadata_predicate_first && self.config.cost_based_planning
+        {
+            Some(self.build_cost_model(&state))
+        } else {
+            None
+        };
+        let plan = if let Some(model) = &cost_model {
+            optimize_with_cost(&plan, model)?
+        } else if self.config.metadata_predicate_first {
             optimize(&plan)?
         } else {
             // Ablation: keep literal coercion and folding, skip pushdown.
@@ -1021,7 +1062,9 @@ impl Warehouse {
         report.stages.push(("optimized".into(), plan.display()));
         self.log.push(EtlOp::PlanRewrite {
             stage: "compile-time".into(),
-            detail: if self.config.metadata_predicate_first {
+            detail: if cost_model.is_some() {
+                "predicates pushed toward metadata scans; joins costed on table statistics".into()
+            } else if self.config.metadata_predicate_first {
                 "predicates pushed toward metadata scans".into()
             } else {
                 "pushdown disabled (ablation)".into()
@@ -1050,7 +1093,11 @@ impl Warehouse {
             None
         };
 
-        // Run-time lazy rewrite (lazy mode only).
+        // Run-time lazy rewrite (lazy mode only). The optimized plan is
+        // kept aside: the rewrite replaces its scans with injected data,
+        // and EXPLAIN's join-order/access report describes the plan as
+        // chosen, not as materialized.
+        let optimized_plan = cost_model.as_ref().map(|_| plan.clone());
         let has_external = plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
         let final_plan = if self.mode == Mode::Lazy && has_external {
             let mut rewrite_report = RewriteReport::default();
@@ -1080,9 +1127,16 @@ impl Warehouse {
                 let ctx = RewriteContext {
                     index: &state.index,
                     record_level_pruning: self.config.record_level_pruning,
+                    time_index_seek: self.config.time_index_seek,
                 };
                 let rewritten =
                     lazy_rewrite(&plan, &ctx, &exec_meta, &mut fetch, &mut rewrite_report)?;
+                if rewrite_report.index_seek || rewrite_report.index_entries_examined > 0 {
+                    self.exec_metrics.add_index_prune(
+                        rewrite_report.index_seek,
+                        rewrite_report.index_entries_examined as u64,
+                    );
+                }
                 report
                     .stages
                     .push(("rewritten".into(), rewritten.display()));
@@ -1110,6 +1164,14 @@ impl Warehouse {
             plan
         };
 
+        // Cost the final plan *before* executing it (post-rewrite, so
+        // injected data is estimable), proving the estimate never peeks
+        // at the result it predicts.
+        let estimated = cost_model
+            .as_ref()
+            .and_then(|m| m.estimate_rows(&final_plan))
+            .map(|r| r.round().max(0.0) as u64);
+
         // Execute.
         let table = execute(
             &final_plan,
@@ -1118,6 +1180,21 @@ impl Warehouse {
                 .with_parallelism(self.config.parallelism),
         )
         .map_err(EtlError::Query)?;
+        if let (Some(model), Some(chosen)) = (&cost_model, &optimized_plan) {
+            if let Some(est) = estimated {
+                self.exec_metrics.add_estimate(est, table.num_rows() as u64);
+            }
+            report.stages.push((
+                "explain".into(),
+                render_explain(
+                    chosen,
+                    model,
+                    estimated,
+                    table.num_rows(),
+                    report.rewrite.as_ref(),
+                ),
+            ));
+        }
         if let Some(fp) = fingerprint {
             let bytes = table.byte_size();
             self.qcache.insert(fp, table.clone(), generation);
@@ -1135,10 +1212,65 @@ impl Warehouse {
         Ok(QueryOutput { table, report })
     }
 
+    /// Build the per-query cost model: zone-map statistics of every
+    /// resident table (memoized in the catalog, so reopened snapshots
+    /// serve their persisted stats and everything else computes once), a
+    /// synthesized row count for the external `data` table (lazy mode —
+    /// its eventual size is the sum of R's per-record sample counts), and
+    /// the data table's access-cost multiplier from per-source accounting.
+    fn build_cost_model(&self, state: &WarehouseState) -> CostModel {
+        let mut model = CostModel::from_catalog(&state.catalog);
+        if self.mode == Mode::Lazy {
+            if let Some(r) = state.catalog.table(RECORDS_TABLE) {
+                if let Some(col) = r.schema.index_of("num_samples") {
+                    let mut samples = 0i64;
+                    for row in 0..r.num_rows() {
+                        samples += r.columns[col]
+                            .get(row)
+                            .ok()
+                            .and_then(|v| v.as_i64())
+                            .unwrap_or(0)
+                            .max(0);
+                    }
+                    let mut s = lazyetl_store::ColumnStats::empty("sample_value");
+                    s.count = samples as usize;
+                    model.set_table(DATA_TABLE, Arc::new(vec![s]));
+                }
+            }
+        }
+        model.set_multiplier(DATA_TABLE, self.data_access_multiplier(state));
+        model
+    }
+
+    /// Access-cost multiplier of the external data table: how much more
+    /// expensive materializing one record is than scanning a resident
+    /// row, in units of 100 µs of I/O per record above local. Observed
+    /// per-source accounting (simulated I/O over records extracted) is
+    /// preferred; a mount that has not extracted anything yet falls back
+    /// to its nominal access profile priced for a typical 4 KiB record.
+    /// The most expensive mount wins — a plan cannot choose which mount a
+    /// record lives on.
+    fn data_access_multiplier(&self, state: &WarehouseState) -> f64 {
+        let mut worst = 1.0f64;
+        for (mount, c) in state.mounts.iter().zip(&self.source_counters) {
+            let recs = c.records_extracted.load(Ordering::Relaxed);
+            let per_record_us = if recs > 0 {
+                c.simulated_io_us.load(Ordering::Relaxed) as f64 / recs as f64
+            } else {
+                mount.source.access().cost(4096).as_secs_f64() * 1e6
+            };
+            worst = worst.max(1.0 + per_record_us / 100.0);
+        }
+        worst
+    }
+
     /// Explain a query: run the pipeline and return the per-stage plans.
     ///
     /// In lazy mode this performs the run-time rewrite (and therefore the
-    /// extraction) — exactly what the demo shows its audience.
+    /// extraction) — exactly what the demo shows its audience. With
+    /// cost-based planning on, the final `explain` stage reports the
+    /// chosen join order, estimated vs. actual result rows, and whether
+    /// record pruning was an index seek or a scan.
     pub fn explain(&self, sql: &str) -> Result<Vec<(String, String)>> {
         Ok(self.query(sql)?.report.stages)
     }
@@ -1208,12 +1340,11 @@ impl Warehouse {
         for mi in 0..state.mounts.len() {
             // Capture the pre-rescan id mapping so removed files can be
             // purged after the source forgets them.
-            let prev_ids: std::collections::HashMap<String, i64> = state.mounts[mi]
-                .source
-                .files()
-                .iter()
-                .map(|e| (e.uri.clone(), global_file_id(mi, e.id)))
-                .collect();
+            let mut prev_ids: std::collections::HashMap<String, i64> =
+                std::collections::HashMap::new();
+            for e in state.mounts[mi].source.files() {
+                prev_ids.insert(e.uri.clone(), global_file_id(mi, e.id)?);
+            }
             let change = state.mounts[mi].source.rescan()?;
             if change.is_empty() {
                 continue;
@@ -1362,23 +1493,17 @@ impl Warehouse {
                 );
             }
         }
-        let entries: Vec<(String, i64, i64, i64)> = (0..state.mounts.len())
-            .flat_map(|mi| {
-                state.mounts[mi]
-                    .source
-                    .files()
-                    .iter()
-                    .map(|e| {
-                        (
-                            state.full_uri(mi, &e.uri),
-                            global_file_id(mi, e.id),
-                            e.mtime.micros(),
-                            e.size as i64,
-                        )
-                    })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+        let mut entries: Vec<(String, i64, i64, i64)> = Vec::new();
+        for mi in 0..state.mounts.len() {
+            for e in state.mounts[mi].source.files() {
+                entries.push((
+                    state.full_uri(mi, &e.uri),
+                    global_file_id(mi, e.id)?,
+                    e.mtime.micros(),
+                    e.size as i64,
+                ));
+            }
+        }
         let mut reloaded = 0usize;
         // file_id → current mtime of files whose saved rows survived
         // unchanged; the only entries cache segments may rehydrate.
@@ -1397,10 +1522,49 @@ impl Warehouse {
             }
         }
         // Anything left in `saved` vanished from the repository.
+        let mut vanished = 0usize;
         for (_, row) in saved {
             state.delete_file_rows(mode, row.file_id)?;
+            vanished += 1;
         }
-        state.rebuild_index()?;
+
+        // Rebuild the locator index, and seed the planner from the
+        // snapshot's stats/index sections — but only when reconciliation
+        // found **zero** drift: a reloaded or vanished file means the
+        // persisted statistics describe rows that no longer exist, so a
+        // drifted reopen deliberately opens statless (zone maps recompute
+        // on demand, the time index re-sorts) rather than plan on stale
+        // numbers. Damaged or pre-upgrade sections degrade the same way;
+        // neither ever fails the open.
+        let drifted = reloaded > 0 || vanished > 0;
+        let planner_seed;
+        if drifted {
+            state.rebuild_index()?;
+            planner_seed = "skipped (repository drifted)";
+        } else {
+            let persisted_index =
+                crate::persistence::load_saved_time_index(saved_dir, &manifest).unwrap_or(None);
+            let idx = {
+                let records = state
+                    .catalog
+                    .table(RECORDS_TABLE)
+                    .expect("records table present");
+                LocatorIndex::build_seeded(records, persisted_index.as_ref())?
+            };
+            state.index = idx;
+            let mut stats_seeded = false;
+            if let Ok(Some(stats)) = crate::persistence::load_saved_stats(saved_dir, &manifest) {
+                for (name, cols) in stats {
+                    stats_seeded |= state.catalog.seed_zone_map(&name, cols);
+                }
+            }
+            planner_seed = match (stats_seeded, persisted_index.is_some()) {
+                (true, true) => "stats + time index",
+                (true, false) => "stats only",
+                (false, true) => "time index only",
+                (false, false) => "none persisted (statless)",
+            };
+        }
 
         // Attach persisted cache segments for lazy rehydration (v2 lazy
         // saves only; v1 directories and eager saves have none).
@@ -1441,7 +1605,8 @@ impl Warehouse {
             stage: "bootstrap".into(),
             detail: format!(
                 "reopened from saved state (epoch {}); {reloaded} of {} files \
-                 reconciled; {segments_attached} cache segments attached",
+                 reconciled; {segments_attached} cache segments attached; \
+                 planner seed: {planner_seed}",
                 manifest.epoch,
                 entries.len()
             ),
@@ -1467,6 +1632,77 @@ impl Warehouse {
             last_rescan: Mutex::new(Instant::now()),
         })
     }
+}
+
+/// Render the `explain` stage of a costed query: the chosen join order,
+/// estimated vs. actual result rows, and how each table was accessed —
+/// resident scans with their statistics and cost multipliers, and the
+/// injected data's index-seek-vs-sweep pruning verdict.
+fn render_explain(
+    plan: &LogicalPlan,
+    model: &CostModel,
+    estimated: Option<u64>,
+    actual: usize,
+    rewrite: Option<&RewriteReport>,
+) -> String {
+    let mut names = Vec::new();
+    lazyetl_query::cost::base_tables(plan, &mut names);
+    let order: Vec<String> = names
+        .iter()
+        .map(|n| {
+            if n == DATA_TABLE && rewrite.is_some() {
+                format!("{DATA_TABLE} (injected)")
+            } else {
+                n.clone()
+            }
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "join order: {}\n",
+        if order.is_empty() {
+            "(no base tables)".to_string()
+        } else {
+            order.join(" JOIN ")
+        }
+    ));
+    match estimated {
+        Some(est) => out.push_str(&format!(
+            "estimated rows: {est} | actual rows: {actual} | abs error: {}\n",
+            est.abs_diff(actual as u64)
+        )),
+        None => out.push_str(&format!(
+            "estimated rows: n/a (statless fallback) | actual rows: {actual}\n"
+        )),
+    }
+    for n in &names {
+        if n == DATA_TABLE && rewrite.is_some() {
+            continue; // covered by the injected-data line below
+        }
+        let mult = model.table(n).map(|t| t.multiplier).unwrap_or(1.0);
+        let rows = model
+            .table_rows(n)
+            .map(|r| format!("~{} rows", r.round() as u64))
+            .unwrap_or_else(|| "rows unknown".into());
+        out.push_str(&format!("access {n}: scan, {rows}, cost x{mult:.1}\n"));
+    }
+    if let Some(rw) = rewrite {
+        let mult = model.table(DATA_TABLE).map(|t| t.multiplier).unwrap_or(1.0);
+        out.push_str(&format!(
+            "access {DATA_TABLE}: {} ({} index entries examined); \
+             {} of {} candidate records fetched, {} pruned, cost x{mult:.1}\n",
+            if rw.index_seek {
+                "time-index seek"
+            } else {
+                "linear sweep"
+            },
+            rw.index_entries_examined,
+            rw.fetched_pairs,
+            rw.candidate_pairs,
+            rw.pruned_pairs
+        ));
+    }
+    out
 }
 
 /// Materialize `D` rows for (file, record) pairs in three phases:
@@ -1625,4 +1861,31 @@ fn fetch_pairs(
         });
     }
     Ok(Arc::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_id_packing_roundtrips_in_range() {
+        let fid = global_file_id(0, FileId(7)).unwrap();
+        assert_eq!(fid, 7, "mount 0 keeps local ids");
+        assert_eq!(split_file_id(fid), (0, FileId(7)));
+        let fid = global_file_id(3, FileId(u32::MAX)).unwrap();
+        assert_eq!(split_file_id(fid), (3, FileId(u32::MAX)));
+    }
+
+    #[test]
+    fn file_id_packing_is_checked_at_the_boundary() {
+        // The largest representable mount index packs and inverts cleanly
+        // even with the largest local id.
+        let fid = global_file_id(MAX_MOUNT_INDEX, FileId(u32::MAX)).unwrap();
+        assert_eq!(fid, i64::MAX);
+        assert_eq!(split_file_id(fid), (MAX_MOUNT_INDEX, FileId(u32::MAX)));
+        // One past the boundary is a typed overflow, not a wrapped id.
+        let err = global_file_id(MAX_MOUNT_INDEX + 1, FileId(0)).unwrap_err();
+        assert_eq!(err.code(), "repo.id_overflow");
+        assert!(matches!(err, RepoError::IdOverflow { mount } if mount == MAX_MOUNT_INDEX + 1));
+    }
 }

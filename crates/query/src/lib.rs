@@ -14,7 +14,11 @@
 //!   lazy-transformation vehicle of §3.2);
 //! * [`optimizer`] — timestamp-literal coercion, constant folding and
 //!   predicate pushdown (the compile-time plan reorganization that puts
-//!   metadata predicates first);
+//!   metadata predicates first), plus cost-based join reordering when
+//!   statistics are available;
+//! * [`cost`] — cardinality/cost estimation over the store's persisted
+//!   column statistics (histograms, distinct sketches, per-source
+//!   access-cost multipliers);
 //! * [`exec`] — column-at-a-time execution with full materialization
 //!   (MonetDB's model, which makes intermediate-result recycling natural),
 //!   running on the store's typed kernels with a scalar-interpreter
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cost;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -40,11 +45,12 @@ pub mod prune;
 pub mod time;
 
 pub use ast::{SelectItem, SelectStmt, Statement};
+pub use cost::{CostModel, TableCost};
 pub use error::{QueryError, Result};
 pub use exec::{execute, ExecContext, ExternalTableProvider};
 pub use expr::{AggFunc, BinaryOp, Expr, UnaryOp};
 pub use metrics::{ExecCounters, ExecMetrics};
-pub use optimizer::{optimize, predicates_above};
+pub use optimizer::{optimize, optimize_with_cost, predicates_above};
 pub use parser::{parse, parse_select};
 pub use plan::LogicalPlan;
 pub use planner::{plan_select, plan_sql, Resolved, TableSource};

@@ -29,6 +29,21 @@ pub struct ExecMetrics {
     /// into one ordered table (the serial tail of every parallel
     /// operator).
     pub merge_ns: AtomicU64,
+    /// Record-level pruning passes served by the ordered time index's
+    /// binary-search seek (vs. a linear candidate sweep).
+    pub index_seeks: AtomicU64,
+    /// Time-index entries record-level pruning examined — the seeked
+    /// slice width under index seek, every candidate under the sweep.
+    pub index_rows_examined: AtomicU64,
+    /// Query plans the optimizer costed with table statistics.
+    pub plans_estimated: AtomicU64,
+    /// Result rows the cost model predicted, summed over costed plans.
+    pub estimated_rows: AtomicU64,
+    /// Result rows those plans actually produced.
+    pub actual_rows: AtomicU64,
+    /// Sum of |estimated − actual| over costed plans: the cumulative
+    /// cardinality-estimation error the stats frame reports.
+    pub estimate_abs_error: AtomicU64,
 }
 
 impl ExecMetrics {
@@ -72,6 +87,26 @@ impl ExecMetrics {
         self.merge_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
+    /// Record one record-level pruning pass: whether the ordered time
+    /// index served it, and how many entries it examined. Called by the
+    /// warehouse's run-time rewriter (outside this crate).
+    pub fn add_index_prune(&self, used_seek: bool, entries_examined: u64) {
+        if used_seek {
+            self.index_seeks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.index_rows_examined
+            .fetch_add(entries_examined, Ordering::Relaxed);
+    }
+
+    /// Record one costed plan's predicted vs. actual result cardinality.
+    pub fn add_estimate(&self, estimated: u64, actual: u64) {
+        self.plans_estimated.fetch_add(1, Ordering::Relaxed);
+        self.estimated_rows.fetch_add(estimated, Ordering::Relaxed);
+        self.actual_rows.fetch_add(actual, Ordering::Relaxed);
+        self.estimate_abs_error
+            .fetch_add(estimated.abs_diff(actual), Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> ExecCounters {
         ExecCounters {
@@ -82,6 +117,12 @@ impl ExecMetrics {
             morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
             parallel_pipelines: self.parallel_pipelines.load(Ordering::Relaxed),
             merge_ns: self.merge_ns.load(Ordering::Relaxed),
+            index_seeks: self.index_seeks.load(Ordering::Relaxed),
+            index_rows_examined: self.index_rows_examined.load(Ordering::Relaxed),
+            plans_estimated: self.plans_estimated.load(Ordering::Relaxed),
+            estimated_rows: self.estimated_rows.load(Ordering::Relaxed),
+            actual_rows: self.actual_rows.load(Ordering::Relaxed),
+            estimate_abs_error: self.estimate_abs_error.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +144,18 @@ pub struct ExecCounters {
     pub parallel_pipelines: u64,
     /// Nanoseconds spent in ordered result merges.
     pub merge_ns: u64,
+    /// Pruning passes served by the ordered time index.
+    pub index_seeks: u64,
+    /// Time-index entries examined by record-level pruning.
+    pub index_rows_examined: u64,
+    /// Plans costed with table statistics.
+    pub plans_estimated: u64,
+    /// Predicted result rows, summed over costed plans.
+    pub estimated_rows: u64,
+    /// Actual result rows of those plans.
+    pub actual_rows: u64,
+    /// Cumulative |estimated − actual| over costed plans.
+    pub estimate_abs_error: u64,
 }
 
 #[cfg(test)]
@@ -120,6 +173,10 @@ mod tests {
         m.add_morsels_dispatched(3);
         m.add_parallel_pipeline();
         m.add_merge_ns(250);
+        m.add_index_prune(true, 4);
+        m.add_index_prune(false, 9);
+        m.add_estimate(100, 80);
+        m.add_estimate(10, 30);
         let s = m.snapshot();
         assert_eq!(s.rows_scanned, 15);
         assert_eq!(s.rows_pruned, 7);
@@ -128,5 +185,11 @@ mod tests {
         assert_eq!(s.morsels_dispatched, 3);
         assert_eq!(s.parallel_pipelines, 1);
         assert_eq!(s.merge_ns, 250);
+        assert_eq!(s.index_seeks, 1, "only the seek-served pass counts");
+        assert_eq!(s.index_rows_examined, 13);
+        assert_eq!(s.plans_estimated, 2);
+        assert_eq!(s.estimated_rows, 110);
+        assert_eq!(s.actual_rows, 110);
+        assert_eq!(s.estimate_abs_error, 40, "errors do not cancel out");
     }
 }

@@ -15,6 +15,7 @@
 //!    directly on the external scan where the runtime rewriter collects
 //!    them.
 
+use crate::cost::CostModel;
 use crate::error::Result;
 use crate::expr::{eval_binary_values, infer_type, resolve_column, Expr, UnaryOp};
 use crate::plan::LogicalPlan;
@@ -22,11 +23,25 @@ use crate::planner::{conjoin, split_conjunction};
 use crate::time::parse_iso_micros;
 use lazyetl_store::{DataType, Schema, Value};
 
-/// Run all optimizer passes.
+/// Run all optimizer passes (heuristic join order: as written).
 pub fn optimize(plan: &LogicalPlan) -> Result<LogicalPlan> {
     let plan = coerce_timestamp_literals(plan)?;
     let plan = fold_constants(&plan);
     let plan = push_down_filters(&plan)?;
+    let plan = prune_columns(&plan, None)?;
+    Ok(plan)
+}
+
+/// Run all optimizer passes including cost-based join reordering.
+///
+/// Reordering only fires where the model can estimate every join input
+/// (statless pre-upgrade snapshots produce no estimates, so their plans
+/// keep the as-written order — the old heuristics).
+pub fn optimize_with_cost(plan: &LogicalPlan, model: &CostModel) -> Result<LogicalPlan> {
+    let plan = coerce_timestamp_literals(plan)?;
+    let plan = fold_constants(&plan);
+    let plan = push_down_filters(&plan)?;
+    let plan = reorder_joins(&plan, model)?;
     let plan = prune_columns(&plan, None)?;
     Ok(plan)
 }
@@ -200,7 +215,8 @@ pub fn try_eval_const(expr: &Expr) -> Option<Value> {
     }
 }
 
-fn fold_expr(expr: &Expr) -> Expr {
+/// Fold constant subexpressions of a single expression.
+pub fn fold_expr(expr: &Expr) -> Expr {
     expr.transform(&mut |node| {
         if matches!(node, Expr::Literal(_)) {
             return node;
@@ -385,6 +401,274 @@ fn wrap_filter(plan: LogicalPlan, conjuncts: Vec<Expr>) -> LogicalPlan {
         },
         None => plan,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3b: cost-based join reordering
+// ---------------------------------------------------------------------------
+
+/// One relation of a flattened join chain.
+struct JoinLeaf {
+    plan: LogicalPlan,
+    schema: Schema,
+    label: String,
+}
+
+/// An equi-join edge between two leaves; `a_expr` resolves against
+/// `leaves[a]`, `b_expr` against `leaves[b]`.
+struct JoinEdge {
+    a: usize,
+    b: usize,
+    a_expr: Expr,
+    b_expr: Expr,
+}
+
+/// Reorder contiguous chains of inner equi-joins by estimated cost:
+/// start from the cheapest relation (estimated rows × source access
+/// multiplier), then greedily add the connected relation minimizing the
+/// intermediate result, again weighted by the candidate's multiplier.
+/// Expensive federated mounts therefore enter the chain as late as
+/// possible — by the time their rows are touched, the accumulated
+/// selectivity of every earlier join and filter applies to them in one
+/// step. The rewritten chain is wrapped in a projection restoring the
+/// original output schema, so the rewrite is transparent to everything
+/// above it.
+///
+/// The pass is deliberately conservative — a chain keeps its as-written
+/// order whenever any of these hold:
+/// * fewer than three relations (two-way joins already pick the smaller
+///   build side at run time);
+/// * output column names are not globally unique (reordering would change
+///   the join's duplicate-renaming);
+/// * an ON-condition side spans more than one relation;
+/// * the model cannot estimate every relation (statless snapshots).
+pub fn reorder_joins(plan: &LogicalPlan, model: &CostModel) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Join { .. } => reorder_chain(plan, model)?,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(reorder_joins(input, model)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(reorder_joins(input, model)?),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            aggregates,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(reorder_joins(input, model)?),
+            group: group.clone(),
+            aggregates: aggregates.clone(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(reorder_joins(input, model)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(reorder_joins(input, model)?),
+            n: *n,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(reorder_joins(input, model)?),
+        },
+        leaf => leaf.clone(),
+    })
+}
+
+/// Flatten a maximal tree of Join nodes into its non-join leaves and raw
+/// equi-edges. Leaves keep the `right_label` they carried where known.
+fn flatten_chain(
+    plan: &LogicalPlan,
+    leaves: &mut Vec<(LogicalPlan, String)>,
+    raw_edges: &mut Vec<(Expr, Expr)>,
+) {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => {
+            flatten_chain(left, leaves, raw_edges);
+            match &**right {
+                LogicalPlan::Join { .. } => flatten_chain(right, leaves, raw_edges),
+                other => leaves.push((other.clone(), right_label.clone())),
+            }
+            raw_edges.extend(on.iter().cloned());
+        }
+        other => leaves.push((other.clone(), String::new())),
+    }
+}
+
+/// Keep a join chain's structure, recursing into its non-join subtrees.
+fn keep_order(plan: &LogicalPlan, model: &CostModel) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            right_label,
+        } => Ok(LogicalPlan::Join {
+            left: Box::new(keep_order(left, model)?),
+            right: Box::new(keep_order(right, model)?),
+            on: on.clone(),
+            right_label: right_label.clone(),
+        }),
+        other => reorder_joins(other, model),
+    }
+}
+
+fn reorder_chain(plan: &LogicalPlan, model: &CostModel) -> Result<LogicalPlan> {
+    let original_schema = plan.schema()?;
+    let mut raw_leaves = Vec::new();
+    let mut raw_edges = Vec::new();
+    flatten_chain(plan, &mut raw_leaves, &mut raw_edges);
+    let n = raw_leaves.len();
+    if n < 3 {
+        return keep_order(plan, model);
+    }
+
+    let mut leaves = Vec::with_capacity(n);
+    for (lp, label) in &raw_leaves {
+        let schema = lp.schema()?;
+        leaves.push(JoinLeaf {
+            plan: lp.clone(),
+            schema,
+            label: label.clone(),
+        });
+    }
+
+    // Output names must be globally unique, or reordering would change the
+    // join's duplicate-renaming and break references above.
+    let mut all_names = std::collections::BTreeSet::new();
+    for l in &leaves {
+        for f in &l.schema.fields {
+            if !all_names.insert(f.name.clone()) {
+                return keep_order(plan, model);
+            }
+        }
+    }
+
+    // Attribute each edge side to exactly one leaf.
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    for (le, re) in &raw_edges {
+        let owner = |e: &Expr| -> Option<usize> {
+            let mut found = None;
+            for (i, l) in leaves.iter().enumerate() {
+                if all_resolve(e, &l.schema) {
+                    if found.is_some() {
+                        return None; // ambiguous (can't happen with unique names)
+                    }
+                    found = Some(i);
+                }
+            }
+            found
+        };
+        match (owner(le), owner(re)) {
+            (Some(a), Some(b)) if a != b => edges.push(JoinEdge {
+                a,
+                b,
+                a_expr: le.clone(),
+                b_expr: re.clone(),
+            }),
+            _ => return keep_order(plan, model),
+        }
+    }
+
+    // Every relation must have an estimate and at least one edge.
+    let mut rows = Vec::with_capacity(n);
+    for l in &leaves {
+        match model.estimate_rows(&l.plan) {
+            Some(r) => rows.push(r),
+            None => return keep_order(plan, model),
+        }
+    }
+    for i in 0..n {
+        if !edges.iter().any(|e| e.a == i || e.b == i) {
+            return keep_order(plan, model);
+        }
+    }
+
+    // Greedy: cheapest relation first (rows × access multiplier), then
+    // repeatedly join the connected relation whose result — weighted by
+    // its own multiplier — is cheapest.
+    let cost = |i: usize| rows[i] * model.access_multiplier(&leaves[i].plan);
+    let start = (0..n)
+        .min_by(|&i, &j| cost(i).total_cmp(&cost(j)))
+        .expect("n >= 3");
+    let mut used = vec![false; n];
+    used[start] = true;
+    let mut order = vec![start];
+    let mut cur = reorder_joins(&leaves[start].plan, model)?;
+    for _ in 1..n {
+        let mut best: Option<(f64, usize, LogicalPlan)> = None;
+        for j in 0..n {
+            if used[j] {
+                continue;
+            }
+            // Orient every edge between the accumulated set and leaf j.
+            let mut on = Vec::new();
+            for e in &edges {
+                if e.b == j && used[e.a] {
+                    on.push((e.a_expr.clone(), e.b_expr.clone()));
+                } else if e.a == j && used[e.b] {
+                    on.push((e.b_expr.clone(), e.a_expr.clone()));
+                }
+            }
+            if on.is_empty() {
+                continue; // not yet connected
+            }
+            let label = if leaves[j].label.is_empty() {
+                format!("j{j}")
+            } else {
+                leaves[j].label.clone()
+            };
+            let candidate = LogicalPlan::Join {
+                left: Box::new(cur.clone()),
+                right: Box::new(reorder_joins(&leaves[j].plan, model)?),
+                on,
+                right_label: label,
+            };
+            let est = match model.estimate_rows(&candidate) {
+                Some(e) => e,
+                None => return keep_order(plan, model),
+            };
+            let score = est * model.access_multiplier(&leaves[j].plan);
+            let better = match &best {
+                None => true,
+                Some((s, bj, _)) => score < *s || (score == *s && j < *bj),
+            };
+            if better {
+                best = Some((score, j, candidate));
+            }
+        }
+        let (_, j, candidate) = match best {
+            Some(b) => b,
+            None => return keep_order(plan, model), // disconnected graph
+        };
+        used[j] = true;
+        order.push(j);
+        cur = candidate;
+    }
+
+    if order == (0..n).collect::<Vec<_>>() {
+        // Chosen order is the as-written order: keep the original tree
+        // (and its schema) untouched.
+        return keep_order(plan, model);
+    }
+
+    // Restore the original column order so the rewrite is invisible above.
+    let exprs: Vec<(Expr, String)> = original_schema
+        .fields
+        .iter()
+        .map(|f| (Expr::Column(f.name.clone()), f.name.clone()))
+        .collect();
+    Ok(LogicalPlan::Project {
+        input: Box::new(cur),
+        exprs,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -667,6 +951,133 @@ mod tests {
             filter_line + 1,
             scan_line,
             "filter directly above scan:\n{d}"
+        );
+    }
+
+    #[test]
+    fn cost_based_reorder_puts_smallest_first() {
+        // Three tables with skewed sizes, written largest-first. The greedy
+        // reorder must start from the smallest relation.
+        let mut c = Catalog::new();
+        let mk = |cols: Vec<(&str, Vec<i64>)>| -> Table {
+            let schema = Schema::new(
+                cols.iter()
+                    .map(|(n, _)| Field::new(n, DataType::Int64))
+                    .collect(),
+            )
+            .unwrap();
+            let columns = cols
+                .iter()
+                .map(|(_, vals)| {
+                    let values: Vec<Value> = vals.iter().map(|v| Value::Int64(*v)).collect();
+                    lazyetl_store::Column::from_values(DataType::Int64, &values).unwrap()
+                })
+                .collect();
+            Table::new(schema, columns).unwrap()
+        };
+        let big: Vec<i64> = (0..1000).map(|i| i % 100).collect();
+        let mid: Vec<i64> = (0..100).collect();
+        c.create_table("big", mk(vec![("k", big)])).unwrap();
+        c.create_table("mid", mk(vec![("k", mid.clone()), ("k2", mid.clone())]))
+            .unwrap();
+        c.create_table("small", mk(vec![("k2", (0..10).collect())]))
+            .unwrap();
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT b.k FROM big b JOIN mid m ON b.k = m.k JOIN small s ON m.k2 = s.k2",
+            &src,
+        )
+        .unwrap();
+        let model = crate::cost::CostModel::from_catalog(&c);
+        let opt = optimize_with_cost(&plan, &model).unwrap();
+        let d = opt.display();
+        let scans: Vec<&str> = d
+            .lines()
+            .filter(|l| l.contains("TableScan"))
+            .map(|l| l.trim())
+            .collect();
+        assert_eq!(
+            scans,
+            vec!["TableScan: small", "TableScan: mid", "TableScan: big"],
+            "smallest relation leads the join chain:\n{d}"
+        );
+        // The rewrite must not change the output schema.
+        let base = optimize(&plan).unwrap();
+        assert_eq!(opt.schema().unwrap(), base.schema().unwrap(), "plan:\n{d}");
+    }
+
+    #[test]
+    fn statless_model_keeps_as_written_order() {
+        let c = catalog(); // empty tables, but present stats
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT f.station FROM files f JOIN records r ON f.file_id = r.file_id",
+            &src,
+        )
+        .unwrap();
+        // Empty model: no estimates at all — identical to plain optimize().
+        let model = crate::cost::CostModel::new();
+        let opt = optimize_with_cost(&plan, &model).unwrap();
+        assert_eq!(opt, optimize(&plan).unwrap());
+    }
+
+    #[test]
+    fn remote_multiplier_biases_join_order() {
+        // Two candidate joins of identical estimated size; the one over the
+        // expensive (remote) mount must enter the chain last, so the full
+        // accumulated selectivity applies to its rows at first touch.
+        let mut c = Catalog::new();
+        let mk_keyed = |n: usize, key: &str| -> Table {
+            let schema = Schema::new(vec![Field::new(key, DataType::Int64)]).unwrap();
+            let values: Vec<Value> = (0..n).map(|v| Value::Int64(v as i64 % 50)).collect();
+            Table::new(
+                schema,
+                vec![lazyetl_store::Column::from_values(DataType::Int64, &values).unwrap()],
+            )
+            .unwrap()
+        };
+        let hub = Table::new(
+            Schema::new(vec![
+                Field::new("a", DataType::Int64),
+                Field::new("b", DataType::Int64),
+            ])
+            .unwrap(),
+            vec![
+                lazyetl_store::Column::from_values(
+                    DataType::Int64,
+                    &(0..50).map(Value::Int64).collect::<Vec<_>>(),
+                )
+                .unwrap(),
+                lazyetl_store::Column::from_values(
+                    DataType::Int64,
+                    &(0..50).map(Value::Int64).collect::<Vec<_>>(),
+                )
+                .unwrap(),
+            ],
+        )
+        .unwrap();
+        c.create_table("hub", hub).unwrap();
+        c.create_table("local_t", mk_keyed(400, "a")).unwrap();
+        c.create_table("remote_t", mk_keyed(400, "b")).unwrap();
+        let src = TableSource::new(&c);
+        // Written remote-first, so keeping the as-written order would fail.
+        let plan = plan_sql(
+            "SELECT h.a FROM hub h JOIN remote_t r ON h.b = r.b JOIN local_t l ON h.a = l.a",
+            &src,
+        )
+        .unwrap();
+        let mut model = crate::cost::CostModel::from_catalog(&c);
+        model.set_multiplier("remote_t", 10.0);
+        let opt = optimize_with_cost(&plan, &model).unwrap();
+        let d = opt.display();
+        let pos = |t: &str| {
+            d.lines()
+                .position(|l| l.trim() == format!("TableScan: {t}"))
+                .unwrap()
+        };
+        assert!(
+            pos("local_t") < pos("remote_t"),
+            "local relation joined before the equally-priced remote one:\n{d}"
         );
     }
 

@@ -7,10 +7,10 @@
 
 use crate::ast::{JoinClause, SelectItem, SelectStmt, TableRef};
 use crate::error::{QueryError, Result};
-use crate::expr::{resolve_column, BinaryOp, Expr};
+use crate::expr::{resolve_column, BinaryOp, Expr, UnaryOp};
 use crate::parser::parse_select;
 use crate::plan::LogicalPlan;
-use lazyetl_store::{Catalog, Schema};
+use lazyetl_store::{Catalog, Schema, Value};
 use std::collections::BTreeMap;
 
 /// How a table name resolves.
@@ -181,6 +181,62 @@ fn expr_resolves(expr: &Expr, schema: &Schema) -> bool {
     !cols.is_empty() && cols.iter().all(|c| resolve_column(schema, c).is_some())
 }
 
+/// Normalize one ON-clause conjunct toward a recognizable equi-join:
+/// constant-fold, strip double negation, unwrap boolean-literal
+/// comparisons (`(a = b) = TRUE`, `FALSE <> (a = b)`), and rewrite
+/// `NOT (a <> b)` to `a = b`. All rewrites preserve SQL three-valued
+/// semantics under ON (NULL and FALSE both reject the row pair).
+fn normalize_on_conjunct(c: &Expr) -> Expr {
+    let mut e = crate::optimizer::fold_expr(c);
+    loop {
+        let next = match &e {
+            // (expr = TRUE) / (TRUE = expr) / (expr <> FALSE) / (FALSE <> expr)
+            Expr::Binary { left, op, right }
+                if matches!(
+                    (op, &**right),
+                    (BinaryOp::Eq, Expr::Literal(Value::Bool(true)))
+                        | (BinaryOp::NotEq, Expr::Literal(Value::Bool(false)))
+                ) =>
+            {
+                (**left).clone()
+            }
+            Expr::Binary { left, op, right }
+                if matches!(
+                    (op, &**left),
+                    (BinaryOp::Eq, Expr::Literal(Value::Bool(true)))
+                        | (BinaryOp::NotEq, Expr::Literal(Value::Bool(false)))
+                ) =>
+            {
+                (**right).clone()
+            }
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr,
+            } => match &**expr {
+                // NOT NOT e
+                Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: inner,
+                } => (**inner).clone(),
+                // NOT (a <> b)  →  a = b
+                Expr::Binary {
+                    left,
+                    op: BinaryOp::NotEq,
+                    right,
+                } => Expr::Binary {
+                    left: left.clone(),
+                    op: BinaryOp::Eq,
+                    right: right.clone(),
+                },
+                _ => break,
+            },
+            _ => break,
+        };
+        e = next;
+    }
+    e
+}
+
 fn plan_joins(
     mut plan: LogicalPlan,
     joins: &[JoinClause],
@@ -192,10 +248,15 @@ fn plan_joins(
         let left_schema = plan.schema()?;
         let right_schema = right.schema()?;
         let mut conjuncts = Vec::new();
-        split_conjunction(&j.on, &mut conjuncts);
+        split_conjunction(&normalize_on_conjunct(&j.on), &mut conjuncts);
         let mut on_pairs = Vec::new();
         let mut residual = Vec::new();
         for c in conjuncts {
+            let c = normalize_on_conjunct(&c);
+            // A conjunct folded to literal TRUE filters nothing: drop it.
+            if matches!(c, Expr::Literal(Value::Bool(true))) {
+                continue;
+            }
             if let Expr::Binary {
                 left: a,
                 op: BinaryOp::Eq,
@@ -654,6 +715,58 @@ mod tests {
         let sort_pos = d.find("Sort").unwrap();
         let proj_pos = d.find("Project").unwrap();
         assert!(proj_pos < sort_pos, "plan:\n{d}");
+    }
+
+    #[test]
+    fn equi_join_accepted_reversed_and_wrapped() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        // Reversed: right-side column written first.
+        let plan = plan_sql(
+            "SELECT f.uri FROM files f JOIN records r ON r.file_id = f.file_id",
+            &src,
+        )
+        .unwrap();
+        assert!(plan.display().contains("Join(inner)"));
+        // Wrapped in double negation: NOT (a <> b) is the same equi-join.
+        let plan = plan_sql(
+            "SELECT f.uri FROM files f JOIN records r ON NOT (f.file_id <> r.file_id)",
+            &src,
+        )
+        .unwrap();
+        let d = plan.display();
+        assert!(
+            d.contains("Join(inner): f.file_id = r.file_id"),
+            "NOT(<>) normalized to equality:\n{d}"
+        );
+        // Wrapped in a constant-foldable boolean comparison.
+        let plan = plan_sql(
+            "SELECT f.uri FROM files f JOIN records r ON (f.file_id = r.file_id) = (1 = 1)",
+            &src,
+        )
+        .unwrap();
+        assert!(plan
+            .display()
+            .contains("Join(inner): f.file_id = r.file_id"));
+    }
+
+    #[test]
+    fn tautological_on_conjunct_dropped() {
+        let c = catalog();
+        let src = TableSource::new(&c);
+        let plan = plan_sql(
+            "SELECT f.uri FROM files f JOIN records r ON f.file_id = r.file_id AND 1 = 1",
+            &src,
+        )
+        .unwrap();
+        let d = plan.display();
+        assert!(d.contains("Join(inner): f.file_id = r.file_id"));
+        // The 1 = 1 must neither survive as a residual filter nor as an
+        // extra join condition.
+        assert!(!d.contains("Filter: true"), "plan:\n{d}");
+        // An ON clause that is nothing but tautology is still rejected —
+        // there is no equi-join condition in it.
+        assert!(plan_sql("SELECT f.uri FROM files f JOIN records r ON 1 = 1", &src).is_err());
     }
 
     #[test]

@@ -287,6 +287,14 @@ fn conjunct_excludes(c: &Expr, stats: &[ColumnStats]) -> bool {
             if s.count == 0 || s.nulls == s.count {
                 return true; // no non-NULL value can satisfy a comparison
             }
+            // NaN-tainted range: either the column holds NaNs (excluded
+            // from min/max, yet ordering as ±∞-beyond under `total_cmp`,
+            // so they can satisfy any inequality) or a bound itself is
+            // NaN (pre-fix stats). Exclusion over such a range could
+            // prune live rows — never fire.
+            if !s.range_trusted() {
+                return false;
+            }
             let (Some(min), Some(max)) = (&s.min, &s.max) else {
                 return false;
             };
@@ -328,6 +336,9 @@ fn conjunct_excludes(c: &Expr, stats: &[ColumnStats]) -> bool {
             if s.count == 0 || s.nulls == s.count {
                 return true;
             }
+            if !s.range_trusted() {
+                return false; // NaN-tainted range (see comparison arm)
+            }
             let (Some(min), Some(max)) = (&s.min, &s.max) else {
                 return false;
             };
@@ -346,6 +357,9 @@ fn conjunct_excludes(c: &Expr, stats: &[ColumnStats]) -> bool {
             };
             if s.count == 0 || s.nulls == s.count {
                 return true;
+            }
+            if !s.range_trusted() {
+                return false; // NaN-tainted range (see comparison arm)
             }
             let (Some(min), Some(max)) = (&s.min, &s.max) else {
                 return false;
@@ -380,11 +394,11 @@ mod tests {
 
     fn stats(min: Value, max: Value, count: usize, nulls: usize) -> Vec<ColumnStats> {
         vec![ColumnStats {
-            name: "t".into(),
             count,
             nulls,
             min: Some(min),
             max: Some(max),
+            ..ColumnStats::empty("t")
         }]
     }
 
@@ -436,11 +450,9 @@ mod tests {
         assert!(predicate_excludes(&p, &s));
         // All-NULL column: comparisons can't match.
         let all_null = vec![ColumnStats {
-            name: "t".into(),
             count: 4,
             nulls: 4,
-            min: None,
-            max: None,
+            ..ColumnStats::empty("t")
         }];
         assert!(predicate_excludes(&pred(BinaryOp::Eq, 1), &all_null));
         // Unknown column: conservative keep.
@@ -515,13 +527,59 @@ mod tests {
     }
 
     #[test]
+    fn nan_tainted_range_never_excludes() {
+        // A column holding NaN alongside [10, 20]: under `total_cmp` a
+        // +NaN row satisfies `t > lit` for any literal and a -NaN row
+        // satisfies `t < lit`, so range exclusion must not fire at all.
+        let mut tainted = stats(Value::Float64(10.0), Value::Float64(20.0), 5, 0);
+        tainted[0].nans = 1;
+        for op in [
+            BinaryOp::Gt,
+            BinaryOp::GtEq,
+            BinaryOp::Lt,
+            BinaryOp::LtEq,
+            BinaryOp::Eq,
+            BinaryOp::NotEq,
+        ] {
+            let p = Expr::col("t").binary(op, Expr::lit(Value::Float64(999.0)));
+            assert!(
+                !predicate_excludes(&p, &tainted),
+                "op {op:?} must not prune"
+            );
+        }
+        let between = Expr::Between {
+            expr: Box::new(Expr::col("t")),
+            low: Box::new(Expr::lit(Value::Float64(100.0))),
+            high: Box::new(Expr::lit(Value::Float64(200.0))),
+            negated: false,
+        };
+        assert!(!predicate_excludes(&between, &tainted));
+        let in_list = Expr::InList {
+            expr: Box::new(Expr::col("t")),
+            list: vec![Expr::lit(Value::Float64(999.0))],
+            negated: false,
+        };
+        assert!(!predicate_excludes(&in_list, &tainted));
+        // Stats from a pre-fix snapshot where NaN leaked into a bound:
+        // equally untrusted.
+        let mut leaked = stats(Value::Float64(10.0), Value::Float64(f64::NAN), 5, 0);
+        leaked[0].nans = 0;
+        let p = Expr::col("t").binary(BinaryOp::Lt, Expr::lit(Value::Float64(-5.0)));
+        assert!(!predicate_excludes(&p, &leaked));
+        // NaN-free float stats still prune normally.
+        let clean = stats(Value::Float64(10.0), Value::Float64(20.0), 5, 0);
+        let p = Expr::col("t").binary(BinaryOp::Gt, Expr::lit(Value::Float64(999.0)));
+        assert!(predicate_excludes(&p, &clean));
+    }
+
+    #[test]
     fn utf8_and_qualified_names() {
         let s = vec![ColumnStats {
-            name: "station".into(),
             count: 4,
             nulls: 0,
             min: Some(Value::Utf8("HGN".into())),
             max: Some(Value::Utf8("WIT".into())),
+            ..ColumnStats::empty("station")
         }];
         let p = Expr::col("f.station").binary(BinaryOp::Eq, Expr::lit(Value::Utf8("ZZZ".into())));
         assert!(predicate_excludes(&p, &s));

@@ -332,4 +332,59 @@ proptest! {
             }
         }
     }
+
+    /// NaN regression: a float column holding NaN (either sign) must
+    /// never be zone-map-pruned into a wrong answer. Under the engine's
+    /// `total_cmp` comparison semantics a +NaN row satisfies `v > lit`
+    /// for every literal and a -NaN row satisfies `v < lit`, while the
+    /// statistics pass excludes NaN from `[min, max]` — without the
+    /// taint guard, a narrow finite range would "prove" such filters
+    /// empty and silently drop the NaN rows.
+    #[test]
+    fn zone_map_pruning_is_nan_safe(
+        finite in prop::collection::vec(prop::option::of(-100.0f64..100.0), 0..24),
+        nan_rows in prop::collection::vec(any::<bool>(), 1..4),
+        bound in -1e7f64..1e7,
+    ) {
+        let schema = Schema::new(vec![Field::nullable("v", DataType::Float64)]).unwrap();
+        let mut t = Table::empty(schema);
+        for v in &finite {
+            t.append_row(vec![v.map_or(Value::Null, Value::Float64)]).unwrap();
+        }
+        for negative in &nan_rows {
+            let nan = if *negative { -f64::NAN } else { f64::NAN };
+            t.append_row(vec![Value::Float64(nan)]).unwrap();
+        }
+        let mut catalog = Catalog::new();
+        catalog.create_table("t", t).unwrap();
+        let src = TableSource::new(&catalog);
+        let queries = [
+            format!("SELECT v FROM t WHERE v > {bound}"),
+            format!("SELECT v FROM t WHERE v < {bound}"),
+            format!("SELECT v FROM t WHERE v >= {bound}"),
+            format!("SELECT v FROM t WHERE v <= {bound}"),
+            format!("SELECT v FROM t WHERE v = {bound}"),
+            format!("SELECT v FROM t WHERE v <> {bound}"),
+            format!("SELECT v FROM t WHERE v BETWEEN {bound} AND {}", bound + 1.0),
+        ];
+        for sql in &queries {
+            let plan = optimize(&plan_sql(sql, &src).unwrap()).unwrap();
+            let pruned = execute(&plan, &ExecContext::new(&catalog)).unwrap();
+            let unpruned_ctx = ExecContext {
+                zone_map_pruning: false,
+                ..ExecContext::new(&catalog)
+            };
+            let unpruned: Arc<Table> = execute(&plan, &unpruned_ctx).unwrap();
+            prop_assert_eq!(pruned.num_rows(), unpruned.num_rows(), "{}", sql);
+            for i in 0..pruned.num_rows() {
+                prop_assert_eq!(
+                    pruned.row(i).unwrap(),
+                    unpruned.row(i).unwrap(),
+                    "{} row {}",
+                    sql,
+                    i
+                );
+            }
+        }
+    }
 }

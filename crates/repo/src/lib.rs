@@ -94,6 +94,13 @@ pub enum RepoError {
     },
     /// The operation is not supported by this source backend.
     Unsupported(String),
+    /// A mount index does not fit the high half of a warehouse-global
+    /// file id (`(mount << 32) | local`): packing it would overflow i64
+    /// and silently alias another mount's files.
+    IdOverflow {
+        /// Mount index that exceeded the packing budget.
+        mount: usize,
+    },
 }
 
 impl RepoError {
@@ -107,6 +114,7 @@ impl RepoError {
             RepoError::UnknownUri(_) => "repo.unknown_uri",
             RepoError::Fetch { .. } => "repo.fetch",
             RepoError::Unsupported(_) => "repo.unsupported",
+            RepoError::IdOverflow { .. } => "repo.id_overflow",
         }
     }
 }
@@ -120,6 +128,10 @@ impl std::fmt::Display for RepoError {
                 write!(f, "source fetch failed for {uri}: {detail}")
             }
             RepoError::Unsupported(what) => write!(f, "unsupported source operation: {what}"),
+            RepoError::IdOverflow { mount } => write!(
+                f,
+                "mount index {mount} does not fit the high half of a global file id"
+            ),
         }
     }
 }

@@ -334,6 +334,12 @@ impl Shared {
             ("warehouse.morsels_dispatched", w.exec.morsels_dispatched),
             ("warehouse.parallel_pipelines", w.exec.parallel_pipelines),
             ("warehouse.merge_ns", w.exec.merge_ns),
+            ("warehouse.index_seeks", w.exec.index_seeks),
+            ("warehouse.index_rows_examined", w.exec.index_rows_examined),
+            ("warehouse.plans_estimated", w.exec.plans_estimated),
+            ("warehouse.estimated_rows", w.exec.estimated_rows),
+            ("warehouse.actual_rows", w.exec.actual_rows),
+            ("warehouse.estimate_abs_error", w.exec.estimate_abs_error),
         ] {
             out.push_str(k);
             out.push('=');

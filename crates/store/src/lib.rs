@@ -37,6 +37,9 @@ pub use error::{Result, StoreError};
 pub use kernels::{ArithOp, BoolMask, CmpOp};
 pub use parallel::{parallel_map, try_parallel_map, WorkerPanic};
 pub use schema::{Field, Schema};
-pub use stats::{column_stats, table_stats, ColumnStats};
+pub use stats::{
+    column_stats, stats_from_bytes, stats_to_bytes, table_stats, ColumnStats, DistinctSketch,
+    Histogram,
+};
 pub use table::Table;
 pub use types::{DataType, GroupKey, Value};

@@ -65,7 +65,8 @@ fn items4_and_6_observing_plans_and_their_changes() {
     let repo = figure1_repo("cap46", 512);
     let wh = Warehouse::open_lazy(&repo.root, WarehouseConfig::default()).unwrap();
     let stages = wh.explain(FIGURE1_Q1).unwrap();
-    assert_eq!(stages.len(), 3);
+    // logical, optimized, rewritten, and the costed `explain` summary.
+    assert_eq!(stages.len(), 4);
     // Item 4: compile-time change — metadata predicates move below the join.
     let logical = &stages[0].1;
     let optimized = &stages[1].1;

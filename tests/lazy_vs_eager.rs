@@ -230,7 +230,7 @@ fn explain_shows_three_stages_with_injection() {
     let lazy = Warehouse::open_lazy(&repo.root, no_refresh_config()).unwrap();
     let stages = lazy.explain(FIGURE1_Q1).unwrap();
     let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
-    assert_eq!(names, vec!["logical", "optimized", "rewritten"]);
+    assert_eq!(names, vec!["logical", "optimized", "rewritten", "explain"]);
     let logical = &stages[0].1;
     let optimized = &stages[1].1;
     let rewritten = &stages[2].1;

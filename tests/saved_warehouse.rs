@@ -134,6 +134,46 @@ fn reopen_reconciles_removed_files() {
 }
 
 #[test]
+fn reopen_seeds_planner_from_snapshot_until_drift() {
+    let is_bootstrap_with = |op: &EtlOp, needle: &str| {
+        matches!(op, EtlOp::PlanRewrite { stage, detail }
+            if stage == "bootstrap" && detail.contains(needle))
+    };
+    let repo = figure1_repo("saved_seed", 512);
+    let saved = repo.root.join("_saved");
+    {
+        let wh = Warehouse::open_lazy(&repo.root, cfg()).unwrap();
+        save_warehouse(&wh, &saved).unwrap();
+    }
+    // Undrifted reopen: both persisted sections are adopted — the
+    // planner starts with zone maps and the sorted time index already
+    // warm — and queries answer identically.
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(
+        re.etl_log()
+            .count_matching(|op| is_bootstrap_with(op, "planner seed: stats + time index")),
+        1,
+        "undrifted reopen adopts the persisted stats and time index"
+    );
+    let seeded = re.query(FIGURE1_Q2).unwrap().table;
+
+    // Drifted reopen: the persisted numbers describe rows that no longer
+    // exist, so the warehouse opens statless — and still answers right.
+    let mut r = Repository::open(&repo.root).unwrap();
+    let target = r.files()[0].uri.clone();
+    updates::append_records(&mut r, &target, 30, 2).unwrap();
+    let re = Warehouse::open_saved(&repo.root, &saved, cfg()).unwrap();
+    assert_eq!(
+        re.etl_log()
+            .count_matching(|op| is_bootstrap_with(op, "planner seed: skipped")),
+        1,
+        "drifted reopen falls back to recomputing"
+    );
+    let statless = re.query(FIGURE1_Q2).unwrap().table;
+    assert_eq!(seeded.num_columns(), statless.num_columns());
+}
+
+#[test]
 fn open_saved_rejects_bad_dir() {
     let repo = figure1_repo("saved_bad", 4096);
     let missing = repo.root.join("_nope");

@@ -102,6 +102,26 @@ GATES = {
     # its timings get the usual loose cross-machine ceilings. The
     # remote-specific checks (fetches actually happened, WAN time
     # modeled) live in the custom block below.
+    # E17 gates the cost-based planner and the ordered time index. The
+    # per-config counters are fully deterministic (same generated
+    # repository, same pruning decisions) — gated exactly; the seek-vs-
+    # sweep comparison (strictly fewer entries examined) and the
+    # estimation accounting (costed configs estimate every plan, the
+    # heuristic ablation none) live in the custom block below. Timings
+    # get the usual loose cross-machine ceiling.
+    "e17": dict(
+        key=("config",),
+        only={},
+        equal=(
+            "queries", "rows", "index_seeks", "entries_examined",
+            "fetched_pairs", "pruned_pairs", "plans_estimated",
+            "estimate_abs_error", "results_match",
+        ),
+        faster=(),
+        slower=(("cold_us", 4.0),),
+        floor=(),
+        monotone=None,
+    ),
     "e16": dict(
         key=("source",),
         only={},
@@ -255,6 +275,41 @@ def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
                 notes.append(
                     f"e16[{row.get('source')}]: {row['fetch_requests']} fetches, "
                     f"{row.get('fetched_bytes', 0)} bytes over the simulated WAN ok"
+                )
+
+    if exp == "e17":
+        by_config = {r.get("config"): r for r in current_doc["rows"]}
+        missing = [c for c in ("seek", "sweep", "heuristic") if c not in by_config]
+        if missing:
+            failures.append(f"e17: config rows missing from current run: {missing}")
+        else:
+            seek, sweep, heuristic = by_config["seek"], by_config["sweep"], by_config["heuristic"]
+            for cfg, row in by_config.items():
+                if row.get("results_match") is not True:
+                    failures.append(f"e17[{cfg}]: answers diverged from the seek reference")
+            if seek.get("entries_examined", 0) >= sweep.get("entries_examined", 0):
+                failures.append(
+                    f"e17: index seek examined {seek.get('entries_examined')} entries, "
+                    f"not strictly below the linear sweep's {sweep.get('entries_examined')}"
+                )
+            else:
+                notes.append(
+                    f"e17: seek examined {seek['entries_examined']} entries vs "
+                    f"sweep's {sweep['entries_examined']} ok"
+                )
+            if seek.get("index_seeks", 0) < 1:
+                failures.append("e17[seek]: the ordered time index never served a pruning pass")
+            if sweep.get("index_seeks", 0) != 0:
+                failures.append("e17[sweep]: seek-disabled ablation still used the index")
+            if seek.get("plans_estimated", 0) < 1:
+                failures.append("e17[seek]: cost-based pipeline produced no cardinality estimates")
+            if heuristic.get("plans_estimated", 0) != 0:
+                failures.append("e17[heuristic]: no-cost ablation still estimated plans")
+            if seek.get("fetched_pairs") != sweep.get("fetched_pairs") or \
+                    seek.get("pruned_pairs") != sweep.get("pruned_pairs"):
+                failures.append(
+                    "e17: seek and sweep disagree on extraction counts — the index "
+                    "changed pruning decisions instead of only accelerating them"
                 )
 
     if exp == "e14":
