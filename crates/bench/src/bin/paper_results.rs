@@ -493,6 +493,12 @@ fn e14_served(scale: ScaleName) {
                 ("max_us", Json::Int(r.max.as_micros() as i64)),
                 ("cache_hit_rate", Json::Num(r.cache_hit_rate)),
                 ("records_extracted", Json::Int(r.records_extracted as i64)),
+                ("cursors_opened", Json::Int(r.server.cursors_opened as i64)),
+                (
+                    "batches_streamed",
+                    Json::Int(r.server.batches_streamed as i64),
+                ),
+                ("credit_stalls", Json::Int(r.server.credit_stalls as i64)),
             ]));
         };
 
@@ -576,6 +582,71 @@ fn e14_served(scale: ScaleName) {
         format!("{:.1}%", 100.0 * tight.busy_rate()),
         format!("{:.0}%", 100.0 * tight.cache_hit_rate),
         tight.records_extracted.to_string(),
+    ]);
+
+    // Connection sweep: hundreds of warm clients against a 2-worker pool.
+    // The event-driven poller owns every connection on one thread, so the
+    // connection count is a memory knob, not a thread count — the sweep's
+    // question is how p99 degrades as connections pile onto the same pool.
+    for clients in [50usize, 100, 200] {
+        let cfg = ServedConfig {
+            clients,
+            queries_per_client: 2,
+            workers: 2,
+            queue_depth: 4096,
+            delay_ms: 0,
+        };
+        let r = run_served_mix(&wh, &cfg);
+        push_json("connsweep", &cfg, &r);
+        rows.push(vec![
+            "connsweep".into(),
+            cfg.workers.to_string(),
+            clients.to_string(),
+            format!("{:.0}", r.throughput_qps),
+            fmt_dur(r.p50),
+            fmt_dur(r.p99),
+            format!("{:.1}%", 100.0 * r.busy_rate()),
+            format!("{:.0}%", 100.0 * r.cache_hit_rate),
+            r.records_extracted.to_string(),
+        ]);
+    }
+
+    // Memory ceiling: one reader stalls mid-stream on a large scan; the
+    // credit window and outbuf ceiling must hold server memory at
+    // O(batch) where whole-frame serving would buffer the O(result)
+    // reply. `ceiling_ok` is the acceptance bar (gated by bench_gate).
+    let mc_cfg = lazyetl_bench::served::MemCeilConfig::default();
+    let mc = lazyetl_bench::served::run_memory_ceiling(&wh, &mc_cfg);
+    json_rows.push(Json::obj([
+        ("phase", Json::str("memceil")),
+        ("batch_rows", Json::Int(mc_cfg.batch_rows as i64)),
+        ("initial_credit", Json::Int(mc_cfg.initial_credit as i64)),
+        (
+            "max_outbuf_bytes",
+            Json::Int(mc_cfg.max_outbuf_bytes as i64),
+        ),
+        ("rows", Json::Int(mc.rows as i64)),
+        ("batches_streamed", Json::Int(mc.batches_streamed as i64)),
+        ("credit_stalls", Json::Int(mc.credit_stalls as i64)),
+        ("outbuf_hwm_bytes", Json::Int(mc.outbuf_hwm_bytes as i64)),
+        ("ceiling_bytes", Json::Int(mc.ceiling_bytes as i64)),
+        ("ceiling_ok", Json::Bool(mc.ceiling_ok)),
+        ("elapsed_us", Json::Int(mc.elapsed.as_micros() as i64)),
+    ]));
+    rows.push(vec![
+        "memceil".into(),
+        "1".into(),
+        "1".into(),
+        format!("{} rows", mc.rows),
+        format!("hwm {}B", mc.outbuf_hwm_bytes),
+        format!("cap {}B", mc.ceiling_bytes),
+        format!("{} stalls", mc.credit_stalls),
+        if mc.ceiling_ok {
+            "ok".into()
+        } else {
+            "BLOWN".into()
+        },
+        mc.batches_streamed.to_string(),
     ]);
 
     print_table(

@@ -16,7 +16,7 @@
 
 use crate::concurrent::{percentile, query_mix};
 use lazyetl_core::Warehouse;
-use lazyetl_server::{Client, Server, ServerConfig, ServerReply, ServerStats};
+use lazyetl_server::{Client, QueryReply, Server, ServerConfig, ServerReply, ServerStats};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -184,6 +184,137 @@ pub fn run_served_mix(wh: &Arc<Warehouse>, cfg: &ServedConfig) -> ServedRunResul
     }
 }
 
+/// One stream's full sample scan — the large-result workload for the
+/// memory-ceiling measurement. Every scale generates NL.HGN/BHZ, and at
+/// tiny scale this is already 24 000 rows: hundreds of v2 batches.
+pub const MEMCEIL_SCAN: &str =
+    "SELECT D.sample_value FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'";
+
+/// Configuration of one memory-ceiling run (experiment E14, `memceil`
+/// phase): a deliberately slow consumer against small batches, a tiny
+/// credit window, and a tight outbound-buffer ceiling.
+#[derive(Debug, Clone)]
+pub struct MemCeilConfig {
+    /// Rows per `ResultBatch` frame.
+    pub batch_rows: u32,
+    /// Credits granted at `ResultStart` (batches in flight before the
+    /// client pulls).
+    pub initial_credit: u32,
+    /// Server-side ceiling on one connection's encoded-but-unsent bytes.
+    pub max_outbuf_bytes: usize,
+    /// How long the client plays dead mid-stream.
+    pub stall: Duration,
+}
+
+impl Default for MemCeilConfig {
+    fn default() -> Self {
+        MemCeilConfig {
+            batch_rows: 256,
+            initial_credit: 2,
+            max_outbuf_bytes: 32 * 1024,
+            stall: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Result of one memory-ceiling run.
+#[derive(Debug, Clone)]
+pub struct MemCeilResult {
+    /// Rows the stream delivered (must equal the serial scan).
+    pub rows: u64,
+    /// `ResultBatch` frames streamed.
+    pub batches_streamed: u64,
+    /// Times the cursor was suspended on an empty credit window.
+    pub credit_stalls: u64,
+    /// High-water mark of the connection's outbound buffer during the
+    /// stall — the observable the ceiling assertion gates.
+    pub outbuf_hwm_bytes: u64,
+    /// The asserted bound: configured ceiling + one batch of slack (a
+    /// batch already being encoded when the ceiling trips still lands).
+    pub ceiling_bytes: u64,
+    /// `outbuf_hwm_bytes <= ceiling_bytes` — server memory stayed
+    /// `O(batch)` while the reader stalled on an `O(result)` answer.
+    pub ceiling_ok: bool,
+    /// Wall-clock duration including the deliberate stall.
+    pub elapsed: Duration,
+}
+
+/// Stream a large scan through a deliberately slow consumer and measure
+/// the server's outbound-memory high-water mark.
+///
+/// The client takes one batch, then stalls for `cfg.stall` while the
+/// cursor has thousands of rows pending: a v1-style server would buffer
+/// the whole encoded result; the v2 server must suspend the cursor once
+/// the credit window (and at most the outbuf ceiling) is exhausted. The
+/// drained stream is verified row-for-row against the serial scan.
+pub fn run_memory_ceiling(wh: &Arc<Warehouse>, cfg: &MemCeilConfig) -> MemCeilResult {
+    // Serial ground truth (also warms the cache, so the streamed run
+    // measures the serving layer, not extraction).
+    let expected = wh.query(MEMCEIL_SCAN).expect("serial scan").table;
+    assert!(
+        expected.num_rows() as u32 > cfg.batch_rows * (cfg.initial_credit + 2),
+        "scan too small to outrun the credit window"
+    );
+    let server = Server::start(
+        Arc::clone(wh),
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 1,
+            batch_rows: cfg.batch_rows,
+            initial_credit: cfg.initial_credit,
+            max_outbuf_bytes: cfg.max_outbuf_bytes,
+            ..Default::default()
+        },
+    )
+    .expect("bind loopback server");
+    let t0 = Instant::now();
+    let mut client = Client::connect(server.addr()).expect("client connects");
+    let mut stream = match client.query(MEMCEIL_SCAN).expect("transport ok") {
+        QueryReply::Stream(s) => s,
+        QueryReply::Busy { .. } => panic!("idle server rejected the scan"),
+        QueryReply::Error { code, message } => panic!("scan failed: {code}: {message}"),
+    };
+    let mut got = stream.schema().clone();
+    let first = stream
+        .next_batch()
+        .expect("first batch")
+        .expect("scan is non-empty");
+    got.append_table(&first).expect("same schema");
+
+    // Play dead: the server spends its remaining credit, then must hold
+    // the cursor. Sample the high-water mark while stalled.
+    std::thread::sleep(cfg.stall);
+    let stalled = server.stats();
+
+    // Wake up and drain; the answer must be exactly the serial scan.
+    for batch in &mut stream {
+        let batch = batch.expect("stream batch");
+        got.append_table(&batch).expect("same schema");
+    }
+    let rows = stream.rows();
+    drop(stream);
+    assert_eq!(
+        got, *expected,
+        "streamed scan diverged from the serial baseline"
+    );
+    let elapsed = t0.elapsed();
+    let final_stats = server.stats();
+    server.stop().expect("graceful server stop");
+
+    // One batch of slack: a batch already being encoded when the ceiling
+    // trips still lands in the buffer before pumping pauses.
+    let ceiling_bytes = (cfg.max_outbuf_bytes + 16 * 1024) as u64;
+    MemCeilResult {
+        rows,
+        batches_streamed: final_stats.batches_streamed,
+        credit_stalls: final_stats.credit_stalls,
+        outbuf_hwm_bytes: stalled.outbuf_hwm_bytes.max(final_stats.outbuf_hwm_bytes),
+        ceiling_bytes,
+        ceiling_ok: final_stats.outbuf_hwm_bytes.max(stalled.outbuf_hwm_bytes) <= ceiling_bytes,
+        elapsed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,5 +378,25 @@ mod tests {
              trip admission control"
         );
         assert_eq!(r.server.busy_rejections as usize, r.busy_rejections);
+    }
+
+    #[test]
+    fn memory_ceiling_holds_under_a_stalled_reader() {
+        let wh = tiny_warehouse();
+        let cfg = MemCeilConfig {
+            stall: Duration::from_millis(150),
+            ..Default::default()
+        };
+        let r = run_memory_ceiling(&wh, &cfg);
+        assert!(r.rows >= 20_000, "scan must dwarf the batch size: {r:?}");
+        assert!(
+            r.batches_streamed >= r.rows / cfg.batch_rows as u64,
+            "result must have streamed in many batches: {r:?}"
+        );
+        assert!(
+            r.credit_stalls >= 1,
+            "a stalled reader must suspend the cursor: {r:?}"
+        );
+        assert!(r.ceiling_ok, "outbuf high water blew the ceiling: {r:?}");
     }
 }

@@ -1299,6 +1299,69 @@ impl Warehouse {
         Ok(stages)
     }
 
+    /// Estimate the result cardinality of `sql` **without executing it**
+    /// — no extraction, no cache traffic, no log entries, no refresh.
+    /// This is the serving layer's cost-based-admission probe: parse,
+    /// plan, optimize with the statistics-backed cost model, and ask the
+    /// model for the optimized plan's row estimate.
+    ///
+    /// Returns `Ok(None)` when no estimate is available: cost-based
+    /// planning disabled, or the plan contains something the model cannot
+    /// cost. Callers treat `None` as "admit on queue depth alone".
+    pub fn estimate_query_rows(&self, sql: &str) -> Result<Option<u64>> {
+        if !(self.config.metadata_predicate_first && self.config.cost_based_planning) {
+            return Ok(None);
+        }
+        let state = self.read_state();
+        let stmt = parse_select(sql)?;
+        let source = match self.mode {
+            Mode::Lazy => {
+                TableSource::new(&state.catalog).with_external(DATA_TABLE, schema::data_schema())
+            }
+            Mode::Eager => TableSource::new(&state.catalog),
+        };
+        let plan = plan_select(&stmt, &source)?;
+        let model = self.build_cost_model(&state);
+        let optimized = optimize_with_cost(&plan, &model)?;
+        Ok(model
+            .estimate_rows(&optimized)
+            .map(|r| r.round().max(0.0) as u64))
+    }
+
+    /// Run a SQL query and hand the result to `sink` as fixed-size
+    /// record batches of at most `batch_rows` rows (the serving layer's
+    /// streamed-cursor source; batch boundaries line up with the morsel
+    /// size used by parallel execution when `batch_rows` matches
+    /// [`lazyetl_query::exec::DEFAULT_MORSEL_ROWS`]).
+    ///
+    /// The sink returns `true` to keep consuming and `false` to stop
+    /// early (a cancelled cursor); early stop is not an error. Batches
+    /// are zero-copy column slices of the single materialized result, so
+    /// this adds no per-batch decode cost over [`Self::query`]. A
+    /// zero-row result invokes the sink zero times — the schema travels
+    /// in the returned report's `rows == 0` case via [`Table::slice`] of
+    /// the result, which the serving layer sends as `ResultStart`.
+    pub fn query_batched(
+        &self,
+        sql: &str,
+        batch_rows: usize,
+        sink: &mut dyn FnMut(Table) -> bool,
+    ) -> Result<QueryReport> {
+        let out = self.query(sql)?;
+        let batch_rows = batch_rows.max(1);
+        let total = out.table.num_rows();
+        let mut off = 0;
+        while off < total {
+            let len = batch_rows.min(total - off);
+            let batch = out.table.slice(off, len).map_err(EtlError::Store)?;
+            if !sink(batch) {
+                break;
+            }
+            off += len;
+        }
+        Ok(out.report)
+    }
+
     /// Rescan the repository and fold any changes into the warehouse.
     ///
     /// The no-change common case (every auto-refreshing query against a

@@ -11,7 +11,7 @@
 //! 3 assertion mismatch (`mix --expect`).
 
 use lazyetl_core::{FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY};
-use lazyetl_server::{Client, ServerReply};
+use lazyetl_server::{Client, QueryReply, ServerReply};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -92,33 +92,57 @@ fn run() -> Result<(), (u8, String)> {
                 None => 0,
             };
             let mut client = connect(&addr).map_err(|m| (1, m))?;
-            match client
+            let reply = client
                 .query_with_delay(&sql, delay_ms)
-                .map_err(|e| (1, e.to_string()))?
-            {
-                ServerReply::Result(r) => {
-                    println!("{}", r.table.to_ascii(50));
+                .map_err(|e| (1, e.to_string()))?;
+            let outcome = match reply {
+                QueryReply::Stream(mut stream) => {
+                    // Stream batches as they arrive — time-to-first-row
+                    // is the point, so rows print before the query's
+                    // tail has even been produced.
+                    let mut printed = 0usize;
+                    const PRINT_CAP: usize = 50;
+                    loop {
+                        match stream.next_batch() {
+                            Ok(Some(batch)) => {
+                                if printed < PRINT_CAP {
+                                    let show = (PRINT_CAP - printed).min(batch.num_rows());
+                                    println!("{}", batch.to_ascii(show));
+                                    printed += show;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => return Err((1, e.to_string())),
+                        }
+                    }
+                    let m = stream.metrics();
                     println!(
-                        "rows={} queue_wait_us={} exec_us={} extracted={} hits={} misses={} recycled={}",
-                        r.metrics.rows,
-                        r.metrics.queue_wait_us,
-                        r.metrics.exec_us,
-                        r.metrics.records_extracted,
-                        r.metrics.cache_hits,
-                        r.metrics.cache_misses,
-                        r.metrics.result_recycled,
+                        "rows={} batches={} queue_wait_us={} exec_us={} extracted={} hits={} misses={} recycled={}",
+                        stream.rows(),
+                        stream.batches(),
+                        m.queue_wait_us,
+                        m.exec_us,
+                        m.records_extracted,
+                        m.cache_hits,
+                        m.cache_misses,
+                        m.result_recycled,
                     );
                     Ok(())
                 }
-                ServerReply::Busy {
+                QueryReply::Busy {
                     queue_depth,
                     queued,
+                    estimated_rows,
+                    ..
                 } => Err((
                     1,
-                    format!("server busy: {queued} queued (depth {queue_depth})"),
+                    format!(
+                        "server busy: {queued} queued (depth {queue_depth}, est {estimated_rows} rows)"
+                    ),
                 )),
-                ServerReply::Error { code, message } => Err((1, format!("{code}: {message}"))),
-            }
+                QueryReply::Error { code, message } => Err((1, format!("{code}: {message}"))),
+            };
+            outcome
         }
         "mix" => {
             let rounds: usize = match rest.iter().position(|a| a == "--rounds") {

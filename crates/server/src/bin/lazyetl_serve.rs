@@ -56,6 +56,10 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     parallelism: usize,
+    batch_rows: u32,
+    initial_credit: u32,
+    max_outbuf_kib: usize,
+    cost_budget_rows: Option<u64>,
     save_dir: Option<PathBuf>,
     ready_file: Option<PathBuf>,
     eager: bool,
@@ -75,6 +79,13 @@ fn usage() -> &'static str {
        --queue-depth N    admission queue depth before BUSY (default 32)\n\
        --parallelism N    worker threads per query's execution pipelines\n\
                           (default 1 = serial executor)\n\
+       --batch-rows N     rows per streamed v2 result batch (default 4096)\n\
+       --initial-credit N batches a cursor streams before the client must\n\
+                          grant credit (default 4)\n\
+       --max-outbuf-kib N per-connection outbound buffer ceiling in KiB\n\
+                          (default 256); cursor pumping pauses above it\n\
+       --cost-budget N    admission cost budget in estimated rows\n\
+                          (default off = queue-depth admission only)\n\
        --save-dir DIR     snapshot dir: warm-restart from it when present,\n\
                           write it on graceful shutdown\n\
        --ready-file PATH  write the bound address here once listening\n\
@@ -90,6 +101,10 @@ fn parse_args() -> Result<Args, String> {
         workers: 4,
         queue_depth: 32,
         parallelism: 1,
+        batch_rows: 4096,
+        initial_credit: 4,
+        max_outbuf_kib: 256,
+        cost_budget_rows: None,
         save_dir: None,
         ready_file: None,
         eager: false,
@@ -136,6 +151,32 @@ fn parse_args() -> Result<Args, String> {
                 args.parallelism = value(&argv, i, "--parallelism")?
                     .parse()
                     .map_err(|_| "--parallelism needs an integer".to_string())?;
+                i += 2;
+            }
+            "--batch-rows" => {
+                args.batch_rows = value(&argv, i, "--batch-rows")?
+                    .parse()
+                    .map_err(|_| "--batch-rows needs an integer".to_string())?;
+                i += 2;
+            }
+            "--initial-credit" => {
+                args.initial_credit = value(&argv, i, "--initial-credit")?
+                    .parse()
+                    .map_err(|_| "--initial-credit needs an integer".to_string())?;
+                i += 2;
+            }
+            "--max-outbuf-kib" => {
+                args.max_outbuf_kib = value(&argv, i, "--max-outbuf-kib")?
+                    .parse()
+                    .map_err(|_| "--max-outbuf-kib needs an integer".to_string())?;
+                i += 2;
+            }
+            "--cost-budget" => {
+                args.cost_budget_rows = Some(
+                    value(&argv, i, "--cost-budget")?
+                        .parse()
+                        .map_err(|_| "--cost-budget needs an integer".to_string())?,
+                );
                 i += 2;
             }
             "--save-dir" => {
@@ -282,6 +323,10 @@ fn main() -> ExitCode {
         ServerConfig {
             workers: args.workers,
             queue_depth: args.queue_depth,
+            batch_rows: args.batch_rows.max(1),
+            initial_credit: args.initial_credit.max(1),
+            max_outbuf_bytes: args.max_outbuf_kib.max(1) * 1024,
+            cost_budget_rows: args.cost_budget_rows,
             save_dir: args.save_dir.clone(),
             ..Default::default()
         },
@@ -307,11 +352,14 @@ fn main() -> ExitCode {
     match server.stop() {
         Ok(report) => {
             println!(
-                "lazyetl-serve: served ok={} err={} busy={} dropped={}",
+                "lazyetl-serve: served ok={} err={} busy={} dropped={} cursors={} batches={} stalls={}",
                 report.stats.queries_ok,
                 report.stats.queries_err,
                 report.stats.busy_rejections,
                 report.stats.dropped_replies,
+                report.stats.cursors_opened,
+                report.stats.batches_streamed,
+                report.stats.credit_stalls,
             );
             if let Some(save) = report.save {
                 println!(

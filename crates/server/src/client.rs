@@ -1,20 +1,60 @@
-//! Blocking client for the serving wire protocol.
+//! Blocking client for the serving wire protocol (v2 streamed cursors,
+//! with transparent v1 fallback).
 //!
 //! One [`Client`] owns one TCP connection and issues one request at a
 //! time (the protocol is strictly request→response per connection; open
 //! more clients for parallelism — that is exactly what the E14 loadgen
-//! does).
+//! does). [`Client::connect`] performs the `Hello` version handshake, so
+//! queries stream: [`Client::query`] returns a [`QueryStream`] that
+//! pulls [`ResultBatch`](crate::protocol::Frame::ResultBatch) frames on
+//! demand, granting the server one credit per consumed batch — a client
+//! that stops reading suspends its cursor server-side instead of forcing
+//! the server to buffer the table.
+//!
+//! # Migrating from the v1 `Client`
+//!
+//! The v1 API's `query()` returned a fully-collected `ServerReply`. That
+//! shape survives as [`Client::query_all`]:
+//!
+//! * `client.query(sql)? → ServerReply::Result(r)` (old) becomes either
+//!   `client.query_all(sql)?` (identical semantics, now streamed and
+//!   reassembled under the hood) or, preferably, the streaming form:
+//!
+//! ```no_run
+//! # use lazyetl_server::{Client, QueryReply};
+//! # let mut client = Client::connect("127.0.0.1:4242").unwrap();
+//! match client.query("SELECT COUNT(*) FROM mseed.files").unwrap() {
+//!     QueryReply::Stream(mut stream) => {
+//!         while let Some(batch) = stream.next_batch().unwrap() {
+//!             println!("{} rows", batch.num_rows());
+//!         }
+//!     }
+//!     QueryReply::Busy { estimated_rows, .. } => { /* back off */ }
+//!     QueryReply::Error { code, message } => eprintln!("{code}: {message}"),
+//! };
+//! ```
+//!
+//! * `query_retrying` keeps its exact signature and still returns the
+//!   collected `ServerReply`.
+//! * Dropping a [`QueryStream`] mid-result cancels the cursor
+//!   server-side (best effort); [`QueryStream::cancel`] does it
+//!   explicitly and synchronously.
+//! * [`Client::connect_v1`] skips the handshake entirely and speaks the
+//!   original whole-frame protocol — for talking to old servers, and for
+//!   proving v1 compatibility in tests.
 
 use crate::protocol::{
-    read_frame, write_frame, Frame, ProtoError, WireMetrics, DEFAULT_MAX_RESPONSE,
+    frame_bytes_checked, read_frame, Frame, ProtoError, WireMetrics, DEFAULT_MAX_REQUEST,
+    DEFAULT_MAX_RESPONSE, MAX_VERSION,
 };
 use lazyetl_store::Table;
 use std::collections::BTreeMap;
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A successful served query.
+/// A successful served query, fully collected ([`Client::query_all`]).
 #[derive(Debug, Clone)]
 pub struct ServedResult {
     /// The result rows.
@@ -23,7 +63,8 @@ pub struct ServedResult {
     pub metrics: WireMetrics,
 }
 
-/// What the server answered to a query.
+/// What the server answered to a fully-collected query
+/// ([`Client::query_all`] / [`Client::query_retrying`]).
 #[derive(Debug, Clone)]
 pub enum ServerReply {
     /// Rows + metrics.
@@ -34,6 +75,11 @@ pub enum ServerReply {
         queue_depth: u32,
         /// Jobs queued when the request was rejected.
         queued: u32,
+        /// The planner's row estimate for the rejected query (0 = not
+        /// estimated) — back off proportionally.
+        estimated_rows: u64,
+        /// The server's admission cost budget (0 = queue-depth-only).
+        cost_budget: u64,
     },
     /// The server answered with an error frame.
     Error {
@@ -44,13 +90,52 @@ pub enum ServerReply {
     },
 }
 
+/// What the server answered to a streaming query ([`Client::query`]).
+pub enum QueryReply<'a> {
+    /// The cursor opened: pull batches from the stream.
+    Stream(QueryStream<'a>),
+    /// Admission control rejected the query; retry later.
+    Busy {
+        /// The server's configured queue depth.
+        queue_depth: u32,
+        /// Jobs queued when the request was rejected.
+        queued: u32,
+        /// The planner's row estimate for the rejected query (0 = not
+        /// estimated).
+        estimated_rows: u64,
+        /// The server's admission cost budget (0 = queue-depth-only).
+        cost_budget: u64,
+    },
+    /// The server answered with an error frame.
+    Error {
+        /// Stable machine-readable code.
+        code: String,
+        /// Rendered message.
+        message: String,
+    },
+}
+
 /// Client-side failures (transport/protocol, not in-band server errors).
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport or framing failure.
+    /// Transport or framing failure (including a request this client
+    /// refused to send because it exceeds its own `max_request_bytes` —
+    /// code `proto.oversize`, enforced symmetrically with the server).
     Proto(ProtoError),
     /// The server answered with a frame type this request cannot accept.
     Unexpected(String),
+}
+
+impl ClientError {
+    /// Stable machine-readable code for this failure (`proto.*` for
+    /// transport/framing, `client.unexpected` for a protocol-confused
+    /// server).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ClientError::Proto(e) => e.code(),
+            ClientError::Unexpected(_) => "client.unexpected",
+        }
+    }
 }
 
 impl std::fmt::Display for ClientError {
@@ -76,21 +161,34 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Budget for the `Hello`/`HelloAck` handshake — a server that accepted
+/// the TCP connection but will never answer (e.g. mid-drain backlog)
+/// must fail the connect, not hang it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// One connection to a lazy-warehouse server.
 pub struct Client {
     stream: TcpStream,
     max_response_bytes: u32,
+    max_request_bytes: u32,
+    /// Negotiated protocol version (2 after a successful handshake, 1
+    /// for [`Client::connect_v1`]).
+    version: u8,
+    /// Server-announced rows per batch (informational).
+    batch_rows: u32,
+    next_cursor: u32,
+    /// A dropped-mid-stream cursor whose tail frames (pending batches +
+    /// the cancel acknowledgement) must be drained before the next
+    /// request can use the connection.
+    pending_drain: Option<u32>,
 }
 
 impl Client {
-    /// Connect to a server.
+    /// Connect and negotiate protocol v2 (streamed cursors). Fails if
+    /// the server does not complete the handshake.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            stream,
-            max_response_bytes: DEFAULT_MAX_RESPONSE,
-        })
+        Self::handshake(stream)
     }
 
     /// Like [`Client::connect`] with a connect timeout per candidate
@@ -99,13 +197,7 @@ impl Client {
         let mut last = None;
         for a in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&a, timeout) {
-                Ok(stream) => {
-                    stream.set_nodelay(true)?;
-                    return Ok(Client {
-                        stream,
-                        max_response_bytes: DEFAULT_MAX_RESPONSE,
-                    });
-                }
+                Ok(stream) => return Self::handshake(stream),
                 Err(e) => last = Some(e),
             }
         }
@@ -114,53 +206,245 @@ impl Client {
         }))
     }
 
+    /// Connect **without** the version handshake: the original v1
+    /// whole-frame protocol. Queries on this connection return their
+    /// entire result in one frame (the server's compatibility path).
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self::from_stream(stream, 1))
+    }
+
+    fn from_stream(stream: TcpStream, version: u8) -> Client {
+        Client {
+            stream,
+            max_response_bytes: DEFAULT_MAX_RESPONSE,
+            max_request_bytes: DEFAULT_MAX_REQUEST,
+            version,
+            batch_rows: 0,
+            next_cursor: 1,
+            pending_drain: None,
+        }
+    }
+
+    fn handshake(stream: TcpStream) -> std::io::Result<Client> {
+        stream.set_nodelay(true)?;
+        let mut client = Self::from_stream(stream, 1);
+        let io_err = |e: ClientError| std::io::Error::new(std::io::ErrorKind::ConnectionAborted, e);
+        client.stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+        client
+            .send(&Frame::Hello {
+                max_version: MAX_VERSION,
+            })
+            .map_err(io_err)?;
+        let ack = read_frame(&mut client.stream, client.max_response_bytes)
+            .map_err(|e| io_err(e.into()))?;
+        client.stream.set_read_timeout(None)?;
+        match ack {
+            Frame::HelloAck {
+                version,
+                batch_rows,
+                ..
+            } => {
+                client.version = version.clamp(1, MAX_VERSION);
+                client.batch_rows = batch_rows;
+                Ok(client)
+            }
+            other => Err(io_err(ClientError::Unexpected(format!("{other:?}")))),
+        }
+    }
+
+    /// Negotiated protocol version of this connection.
+    pub fn protocol_version(&self) -> u8 {
+        self.version
+    }
+
+    /// Rows per streamed batch, as announced by the server (0 on v1
+    /// connections).
+    pub fn batch_rows(&self) -> u32 {
+        self.batch_rows
+    }
+
     /// Cap accepted response payloads (defence against a rogue server).
     pub fn set_max_response_bytes(&mut self, max: u32) {
         self.max_response_bytes = max;
     }
 
-    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
-        write_frame(&mut self.stream, frame)?;
+    /// Cap outgoing request payloads. The check is enforced **locally**,
+    /// symmetric with the server's request cap: an oversized query fails
+    /// fast with the stable `proto.oversize` code instead of a raw I/O
+    /// error after the server slams the connection.
+    pub fn set_max_request_bytes(&mut self, max: u32) {
+        self.max_request_bytes = max;
+    }
+
+    /// Send one frame, enforcing the client-side request cap.
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        let bytes = frame_bytes_checked(frame, self.max_request_bytes)?;
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Frame, ClientError> {
         Ok(read_frame(&mut self.stream, self.max_response_bytes)?)
     }
 
-    /// Run a SQL query.
-    pub fn query(&mut self, sql: &str) -> Result<ServerReply, ClientError> {
+    /// Consume the tail of a dropped-mid-stream cursor so the
+    /// connection is clean for the next request.
+    fn drain_pending(&mut self) -> Result<(), ClientError> {
+        while let Some(cursor) = self.pending_drain {
+            match self.recv()? {
+                Frame::ResultBatch { cursor: c, .. } if c == cursor => {}
+                Frame::ResultEnd { cursor: c, .. } if c == cursor => {
+                    self.pending_drain = None;
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, frame: &Frame) -> Result<Frame, ClientError> {
+        self.drain_pending()?;
+        self.send(frame)?;
+        self.recv()
+    }
+
+    /// Run a SQL query, streaming the result. On a v2 connection the
+    /// returned [`QueryStream`] pulls batches on demand; on a v1
+    /// connection the whole result arrives up front and the stream
+    /// yields it as a single batch (same API either way).
+    pub fn query(&mut self, sql: &str) -> Result<QueryReply<'_>, ClientError> {
         self.query_with_delay(sql, 0)
     }
 
-    /// Run a SQL query with server-side think time (the load-generation /
-    /// admission-control knob).
+    /// [`Client::query`] with server-side think time (the
+    /// load-generation / admission-control knob).
     pub fn query_with_delay(
         &mut self,
         sql: &str,
         delay_ms: u32,
-    ) -> Result<ServerReply, ClientError> {
-        let reply = self.roundtrip(&Frame::Query {
+    ) -> Result<QueryReply<'_>, ClientError> {
+        self.drain_pending()?;
+        if self.version < 2 {
+            return self.query_v1(sql, delay_ms);
+        }
+        let cursor = self.next_cursor;
+        self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
+        self.send(&Frame::QueryV2 {
+            cursor,
             delay_ms,
             sql: sql.to_string(),
         })?;
-        match reply {
-            Frame::Result { metrics, table } => {
-                // Decode just built this Arc, so unwrapping is free; the
-                // clone arm only runs for a shared Arc (never on this path).
-                let table = Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone());
-                Ok(ServerReply::Result(ServedResult { table, metrics }))
-            }
+        match self.recv()? {
+            Frame::ResultStart {
+                cursor: c,
+                metrics,
+                schema,
+            } if c == cursor => Ok(QueryReply::Stream(QueryStream {
+                client: self,
+                cursor,
+                metrics,
+                schema: Arc::try_unwrap(schema).unwrap_or_else(|shared| (*shared).clone()),
+                inline: None,
+                batches: 0,
+                rows: 0,
+                done: false,
+                cancelled: false,
+            })),
             Frame::Busy {
                 queue_depth,
                 queued,
-            } => Ok(ServerReply::Busy {
+                estimated_rows,
+                cost_budget,
+            } => Ok(QueryReply::Busy {
                 queue_depth,
                 queued,
+                estimated_rows,
+                cost_budget,
             }),
-            Frame::Error { code, message } => Ok(ServerReply::Error { code, message }),
+            Frame::Error { code, message } => Ok(QueryReply::Error { code, message }),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
 
-    /// Run a query, retrying on busy frames with a fixed backoff. Returns
-    /// the reply plus how many busy rejections were absorbed.
+    fn query_v1(&mut self, sql: &str, delay_ms: u32) -> Result<QueryReply<'_>, ClientError> {
+        self.send(&Frame::Query {
+            delay_ms,
+            sql: sql.to_string(),
+        })?;
+        match self.recv()? {
+            Frame::Result { metrics, table } => {
+                let table = Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone());
+                let schema = table
+                    .slice(0, 0)
+                    .map_err(|e| ClientError::Unexpected(format!("schema slice: {e}")))?;
+                Ok(QueryReply::Stream(QueryStream {
+                    client: self,
+                    cursor: 0,
+                    metrics,
+                    schema,
+                    inline: Some(table),
+                    batches: 0,
+                    rows: 0,
+                    done: false,
+                    cancelled: false,
+                }))
+            }
+            Frame::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            } => Ok(QueryReply::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            }),
+            Frame::Error { code, message } => Ok(QueryReply::Error { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Run a query and collect the whole result — the v1-shaped
+    /// convenience (the old `query()` contract, kept for callers that
+    /// want the table, not the stream).
+    pub fn query_all(&mut self, sql: &str) -> Result<ServerReply, ClientError> {
+        self.query_all_with_delay(sql, 0)
+    }
+
+    /// [`Client::query_all`] with server-side think time.
+    pub fn query_all_with_delay(
+        &mut self,
+        sql: &str,
+        delay_ms: u32,
+    ) -> Result<ServerReply, ClientError> {
+        match self.query_with_delay(sql, delay_ms)? {
+            QueryReply::Stream(mut stream) => {
+                let metrics = stream.metrics();
+                let table = stream.collect_table()?;
+                Ok(ServerReply::Result(ServedResult { table, metrics }))
+            }
+            QueryReply::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            } => Ok(ServerReply::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            }),
+            QueryReply::Error { code, message } => Ok(ServerReply::Error { code, message }),
+        }
+    }
+
+    /// Run a query (collected), retrying on busy frames with a fixed
+    /// backoff. Returns the reply plus how many busy rejections were
+    /// absorbed.
     pub fn query_retrying(
         &mut self,
         sql: &str,
@@ -170,7 +454,7 @@ impl Client {
     ) -> Result<(ServerReply, usize), ClientError> {
         let mut busy = 0usize;
         loop {
-            match self.query_with_delay(sql, delay_ms)? {
+            match self.query_all_with_delay(sql, delay_ms)? {
                 ServerReply::Busy { .. } if busy < max_retries => {
                     busy += 1;
                     std::thread::sleep(backoff);
@@ -209,5 +493,161 @@ impl Client {
             Frame::ShutdownAck => Ok(()),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+}
+
+/// A streamed query result: batches on demand, with credit granted back
+/// to the server as each batch is consumed (pull-based flow control — a
+/// stream nobody reads grants no credit, so the server suspends the
+/// cursor after its initial window instead of buffering the result).
+///
+/// Dropping the stream mid-result cancels the cursor (best effort);
+/// [`QueryStream::cancel`] does it synchronously. The stream borrows its
+/// [`Client`] — one request at a time per connection, enforced by the
+/// borrow checker.
+pub struct QueryStream<'a> {
+    client: &'a mut Client,
+    cursor: u32,
+    metrics: WireMetrics,
+    schema: Table,
+    /// v1 compatibility: the whole result arrived up front and streams
+    /// as one batch.
+    inline: Option<Table>,
+    batches: u32,
+    rows: u64,
+    done: bool,
+    cancelled: bool,
+}
+
+impl QueryStream<'_> {
+    /// What the request cost server-side.
+    pub fn metrics(&self) -> WireMetrics {
+        self.metrics
+    }
+
+    /// Zero-row table carrying the result schema (available before any
+    /// batch arrives).
+    pub fn schema(&self) -> &Table {
+        &self.schema
+    }
+
+    /// Batches consumed so far.
+    pub fn batches(&self) -> u32 {
+        self.batches
+    }
+
+    /// Rows consumed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// True once the stream ended because of [`QueryStream::cancel`] (or
+    /// a server-side cancellation), not exhaustion.
+    pub fn was_cancelled(&self) -> bool {
+        self.cancelled
+    }
+
+    /// Pull the next batch, granting the server one credit for it.
+    /// `Ok(None)` once the stream is exhausted (or was cancelled).
+    pub fn next_batch(&mut self) -> Result<Option<Table>, ClientError> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(table) = self.inline.take() {
+            // v1 path: the single pre-collected batch.
+            self.done = true;
+            self.batches = 1;
+            self.rows = table.num_rows() as u64;
+            return Ok(Some(table));
+        }
+        match self.client.recv()? {
+            Frame::ResultBatch {
+                cursor, table, seq, ..
+            } if cursor == self.cursor => {
+                debug_assert_eq!(seq, self.batches, "batch sequence gap");
+                self.batches += 1;
+                self.rows += table.num_rows() as u64;
+                // Credit *after* receiving: the grant is the signal that
+                // this consumer is keeping up.
+                self.client.send(&Frame::Credit { cursor, n: 1 })?;
+                let table = Arc::try_unwrap(table).unwrap_or_else(|shared| (*shared).clone());
+                Ok(Some(table))
+            }
+            Frame::ResultEnd {
+                cursor, cancelled, ..
+            } if cursor == self.cursor => {
+                self.done = true;
+                self.cancelled = cancelled;
+                Ok(None)
+            }
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Collect every remaining batch into one table (plus the schema
+    /// when the result is empty) — the streamed equivalent of the v1
+    /// whole-frame result.
+    pub fn collect_table(&mut self) -> Result<Table, ClientError> {
+        let mut out = self.schema.clone();
+        while let Some(batch) = self.next_batch()? {
+            out.append_table(&batch)
+                .map_err(|e| ClientError::Unexpected(format!("batch append: {e}")))?;
+        }
+        Ok(out)
+    }
+
+    /// Cancel the cursor and synchronously drain to the server's
+    /// acknowledgement. Idempotent; a no-op once the stream ended.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        if self.done || self.inline.is_some() {
+            self.done = true;
+            return Ok(());
+        }
+        self.client.send(&Frame::Cancel {
+            cursor: self.cursor,
+        })?;
+        loop {
+            match self.client.recv()? {
+                Frame::ResultBatch { cursor, .. } if cursor == self.cursor => {
+                    // In-flight batches sent before the cancel landed.
+                }
+                Frame::ResultEnd {
+                    cursor, cancelled, ..
+                } if cursor == self.cursor => {
+                    self.done = true;
+                    self.cancelled = cancelled;
+                    return Ok(());
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+}
+
+impl Drop for QueryStream<'_> {
+    fn drop(&mut self) {
+        if self.done || self.inline.is_some() {
+            return;
+        }
+        // Best-effort abort; the tail (in-flight batches + the cancel
+        // acknowledgement) is drained lazily by the next request on this
+        // connection.
+        if self
+            .client
+            .send(&Frame::Cancel {
+                cursor: self.cursor,
+            })
+            .is_ok()
+        {
+            self.client.pending_drain = Some(self.cursor);
+        }
+    }
+}
+
+impl Iterator for QueryStream<'_> {
+    type Item = Result<Table, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_batch().transpose()
     }
 }

@@ -5,15 +5,28 @@
 //! [`lazyetl_core::Warehouse`] into a network service on plain
 //! `std::net` — no async runtime, no external dependencies:
 //!
-//! * [`protocol`] — the length-prefixed, versioned, typed wire frames
-//!   (query / result / error / busy / stats / ping / shutdown);
-//! * [`server`] — the accept loop, the **bounded worker pool**, and the
-//!   admission-control queue that answers `BUSY` instead of melting
-//!   under load; graceful shutdown drains in-flight queries and
-//!   snapshots the hot cache via the PR 3 durable save path;
-//! * [`client`] — a blocking [`client::Client`] speaking the same
-//!   protocol (used by the `lazyetl-cli` binary, the E14 loadgen and the
-//!   e2e tests).
+//! * [`protocol`] — the length-prefixed, versioned, typed wire frames.
+//!   Protocol **v2** streams results as credit-gated record-batch frames
+//!   over client-chosen cursors (`Hello` handshake, `ResultStart` /
+//!   `ResultBatch` / `ResultEnd` / `Credit` / `Cancel`); v1 peers are
+//!   still served whole-frame results, bit for bit;
+//! * [`server`] — an **event-driven connection layer**: one poller
+//!   thread owns every connection on nonblocking sockets (connection
+//!   count bounded by memory, not threads), parses frames incrementally,
+//!   and multiplexes admitted queries onto the bounded worker pool.
+//!   Admission control rejects with `BUSY` on queue depth **and** on
+//!   estimated cost (the PR 8 cardinality estimates); credit-based
+//!   backpressure bounds per-connection memory by `O(batch)` — a slow
+//!   reader suspends its cursor instead of buffering its result.
+//!   Graceful shutdown drains in-flight queries, finishes open cursors
+//!   and snapshots the hot cache via the PR 3 durable save path;
+//! * [`client`] — a blocking [`client::Client`] whose
+//!   [`query`](client::Client::query) returns a
+//!   [`client::QueryStream`]: batches on demand, `cancel()`, drop-aborts.
+//!   [`query_all`](client::Client::query_all) keeps the old collect-to-a-
+//!   table contract (see the [`client`] docs for the v1→v2 migration
+//!   notes); [`connect_v1`](client::Client::connect_v1) speaks the
+//!   original protocol.
 //!
 //! Two binaries ship with the crate:
 //!
@@ -25,17 +38,23 @@
 //!
 //! ```no_run
 //! use lazyetl_core::{Warehouse, WarehouseConfig};
-//! use lazyetl_server::{Client, Server, ServerConfig, ServerReply};
+//! use lazyetl_server::{Client, QueryReply, Server, ServerConfig};
 //! use std::sync::Arc;
 //!
 //! let wh = Arc::new(Warehouse::open_lazy("/data/mseed", WarehouseConfig::default()).unwrap());
 //! let server = Server::start(wh, "127.0.0.1:0", ServerConfig::default()).unwrap();
 //!
-//! let mut client = Client::connect(server.addr()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap(); // v2 handshake
 //! match client.query("SELECT COUNT(*) FROM mseed.files").unwrap() {
-//!     ServerReply::Result(r) => println!("{}", r.table.to_ascii(10)),
-//!     ServerReply::Busy { .. } => println!("server busy, retry"),
-//!     ServerReply::Error { code, message } => eprintln!("{code}: {message}"),
+//!     QueryReply::Stream(mut stream) => {
+//!         // Batches arrive on demand; each pull grants the server one
+//!         // credit. Stop pulling and the server suspends the cursor.
+//!         while let Some(batch) = stream.next_batch().unwrap() {
+//!             println!("{}", batch.to_ascii(10));
+//!         }
+//!     }
+//!     QueryReply::Busy { estimated_rows, .. } => println!("busy (est {estimated_rows} rows)"),
+//!     QueryReply::Error { code, message } => eprintln!("{code}: {message}"),
 //! }
 //!
 //! let report = server.stop().unwrap(); // drain + optional snapshot
@@ -48,6 +67,6 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ServedResult, ServerReply};
+pub use client::{Client, ClientError, QueryReply, QueryStream, ServedResult, ServerReply};
 pub use protocol::{Frame, ProtoError, WireMetrics};
 pub use server::{Server, ServerConfig, ServerStats, ShutdownReport};

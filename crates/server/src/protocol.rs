@@ -1,4 +1,5 @@
-//! The wire protocol: length-prefixed, versioned, typed frames.
+//! The wire protocol: length-prefixed, versioned, typed frames — v1
+//! (whole-frame results) and v2 (streamed result cursors).
 //!
 //! Every frame on the wire is one header plus one payload:
 //!
@@ -7,35 +8,65 @@
 //! | magic    | version | type   | payload length |     payload     |
 //! | u16 (BE) | u8      | u8     | u32 (BE)       | `length` bytes  |
 //! +----------+---------+--------+----------------+=================+
-//!   0x4C5A      0x01     see below                 frame-specific
+//!   0x4C5A     1 or 2    see below                 frame-specific
 //! ```
 //!
-//! The magic (`"LZ"`) and version are checked on **every** frame, so a
-//! desynchronized or incompatible peer is detected at the first header.
-//! Payloads above the receiver's size limit are rejected before any
-//! allocation ([`ProtoError::Oversize`]); the server answers with a
-//! `proto.oversize` error frame and closes the connection, because a
-//! stream that large cannot be resynchronized cheaply.
+//! The magic (`"LZ"`) is checked on **every** frame, so a desynchronized
+//! or foreign peer is detected at the first header. The version byte
+//! names the **minimum protocol revision that can parse the frame**:
+//! every v1 frame still carries `1` (v1 peers keep working bit for bit),
+//! the streaming frames introduced by protocol v2 carry `2`. Payloads
+//! above the receiver's size limit are rejected before any allocation
+//! ([`ProtoError::Oversize`], stable code `proto.oversize`) — **on both
+//! sides**: the server guards its request cap, the client guards its
+//! response cap, and [`frame_bytes_checked`] lets a sender refuse to emit
+//! an oversized frame locally instead of surfacing a raw I/O error after
+//! the peer slams the connection.
 //!
 //! # Frame types
 //!
-//! | type | frame          | direction | payload |
-//! |------|----------------|-----------|---------|
-//! | 0x01 | [`Frame::Query`]       | c → s | `u32` delay_ms, `u8` flags (reserved), SQL utf-8 |
-//! | 0x02 | [`Frame::Result`]      | s → c | [`WireMetrics`] (49 bytes), then the result table in the `lazyetl-store` stream format |
-//! | 0x03 | [`Frame::Error`]       | s → c | `u16` code len + code, `u32` message len + message |
-//! | 0x04 | [`Frame::Busy`]        | s → c | `u32` configured queue depth, `u32` jobs queued at rejection |
-//! | 0x05 | [`Frame::Stats`]       | c → s | empty |
-//! | 0x06 | [`Frame::StatsReply`]  | s → c | utf-8 `key=value` lines |
-//! | 0x07 | [`Frame::Ping`]        | c → s | empty |
-//! | 0x08 | [`Frame::Pong`]        | s → c | empty |
-//! | 0x09 | [`Frame::Shutdown`]    | c → s | empty (graceful shutdown request) |
-//! | 0x0A | [`Frame::ShutdownAck`] | s → c | empty |
+//! | type | frame          | dir   | since | payload |
+//! |------|----------------|-------|-------|---------|
+//! | 0x01 | [`Frame::Query`]       | c → s | v1 | `u32` delay_ms, `u8` flags (reserved), SQL utf-8 |
+//! | 0x02 | [`Frame::Result`]      | s → c | v1 | [`WireMetrics`] (49 bytes), then the result table in the `lazyetl-store` stream format |
+//! | 0x03 | [`Frame::Error`]       | s → c | v1 | `u16` code len + code, `u32` message len + message |
+//! | 0x04 | [`Frame::Busy`]        | s → c | v1 | `u32` queue depth, `u32` queued; v2 appends `u64` estimated rows + `u64` cost budget (v1 decoders ignore the tail) |
+//! | 0x05 | [`Frame::Stats`]       | c → s | v1 | empty |
+//! | 0x06 | [`Frame::StatsReply`]  | s → c | v1 | utf-8 `key=value` lines |
+//! | 0x07 | [`Frame::Ping`]        | c → s | v1 | empty |
+//! | 0x08 | [`Frame::Pong`]        | s → c | v1 | empty |
+//! | 0x09 | [`Frame::Shutdown`]    | c → s | v1 | empty (graceful shutdown request) |
+//! | 0x0A | [`Frame::ShutdownAck`] | s → c | v1 | empty |
+//! | 0x0B | [`Frame::Hello`]       | c → s | v2 | `u8` max protocol version the client speaks |
+//! | 0x0C | [`Frame::HelloAck`]    | s → c | v2 | `u8` negotiated version, `u32` batch rows, `u32` initial credit |
+//! | 0x0D | [`Frame::QueryV2`]     | c → s | v2 | `u32` cursor id, `u32` delay_ms, `u8` flags, SQL utf-8 |
+//! | 0x0E | [`Frame::ResultStart`] | s → c | v2 | `u32` cursor, [`WireMetrics`], then an **empty** table carrying the result schema |
+//! | 0x0F | [`Frame::ResultBatch`] | s → c | v2 | `u32` cursor, `u32` seq, then one record batch in the store stream format |
+//! | 0x10 | [`Frame::ResultEnd`]   | s → c | v2 | `u32` cursor, `u32` batches, `u64` rows, `u8` cancelled |
+//! | 0x11 | [`Frame::Credit`]      | c → s | v2 | `u32` cursor, `u32` batches granted |
+//! | 0x12 | [`Frame::Cancel`]      | c → s | v2 | `u32` cursor |
 //!
-//! All integers are big-endian. The protocol is symmetric enough that
-//! both [`crate::server`] and [`crate::client`] use the same
-//! [`read_frame`]/[`write_frame`] pair; direction is a convention, not a
-//! mechanism.
+//! All integers are big-endian. Both [`crate::server`] and
+//! [`crate::client`] use the same encode/decode pair; direction is a
+//! convention, not a mechanism.
+//!
+//! # The v2 cursor lifecycle
+//!
+//! A v2 connection opens with `Hello`/`HelloAck` version negotiation (a
+//! peer whose first frame is anything else is served protocol v1,
+//! whole-frame results included — that is the compatibility path). A
+//! `QueryV2` carries a **client-chosen cursor id**; the server answers
+//! with exactly one of `Busy`, `Error`, or a `ResultStart` followed by
+//! zero or more `ResultBatch` frames and one `ResultEnd`. Batches only
+//! flow while the cursor has **credit**: the server spends one credit per
+//! batch, the client replenishes with `Credit` as it consumes. A stalled
+//! reader therefore suspends its cursor server-side instead of forcing
+//! the server to buffer the encoded result — server memory per connection
+//! is bounded by the outbound-buffer ceiling, not by result size.
+//! `Cancel` ends a cursor early; the server acknowledges with a
+//! `ResultEnd` whose `cancelled` flag is set (a cancel can race the
+//! natural end of stream — a non-cancelled `ResultEnd` for the same
+//! cursor is the benign outcome of that race).
 //!
 //! Error frames carry a **stable machine-readable code** (see
 //! [`lazyetl_core::EtlError::code`] for warehouse errors and the
@@ -49,14 +80,22 @@ use std::sync::Arc;
 
 /// `"LZ"` — first two bytes of every frame.
 pub const MAGIC: u16 = 0x4C5A;
-/// Protocol version carried (and checked) on every frame.
+/// Protocol version of the original whole-frame protocol. Carried on
+/// every frame type that already existed in v1.
 pub const VERSION: u8 = 1;
+/// Protocol version that introduced streamed result cursors. Carried on
+/// the v2-only frame types.
+pub const VERSION_V2: u8 = 2;
+/// Highest protocol revision this build speaks.
+pub const MAX_VERSION: u8 = VERSION_V2;
 /// Bytes before the payload: magic + version + type + length.
 pub const HEADER_LEN: usize = 8;
-/// Default cap on a *request* payload accepted by the server.
+/// Default cap on a *request* payload accepted by the server — and, since
+/// the cap is symmetric, the default cap a [`crate::client::Client`]
+/// enforces on its own outgoing requests.
 pub const DEFAULT_MAX_REQUEST: u32 = 1 << 20;
-/// Default cap on a *response* payload accepted by the client (result
-/// tables are bigger than queries).
+/// Default cap on a *response* payload accepted by the client (v1 result
+/// frames carry whole tables; v2 batches are far smaller).
 pub const DEFAULT_MAX_RESPONSE: u32 = 256 << 20;
 
 const TYPE_QUERY: u8 = 0x01;
@@ -69,6 +108,14 @@ const TYPE_PING: u8 = 0x07;
 const TYPE_PONG: u8 = 0x08;
 const TYPE_SHUTDOWN: u8 = 0x09;
 const TYPE_SHUTDOWN_ACK: u8 = 0x0A;
+const TYPE_HELLO: u8 = 0x0B;
+const TYPE_HELLO_ACK: u8 = 0x0C;
+const TYPE_QUERY_V2: u8 = 0x0D;
+const TYPE_RESULT_START: u8 = 0x0E;
+const TYPE_RESULT_BATCH: u8 = 0x0F;
+const TYPE_RESULT_END: u8 = 0x10;
+const TYPE_CREDIT: u8 = 0x11;
+const TYPE_CANCEL: u8 = 0x12;
 
 /// Per-request serving metrics, returned inside every result frame so
 /// clients see what their query cost without a second round trip.
@@ -141,7 +188,8 @@ impl WireMetrics {
 /// One protocol frame (see the module docs for the wire layout).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
-    /// Run a SQL query. `delay_ms` adds server-side think time before
+    /// Run a SQL query, v1 style: the whole result comes back in one
+    /// `Result` frame. `delay_ms` adds server-side think time before
     /// execution — the load-generation / admission-control test knob
     /// (the server clamps it to a few seconds; it is not a scheduler).
     Query {
@@ -150,8 +198,8 @@ pub enum Frame {
         /// The SQL text.
         sql: String,
     },
-    /// A successful result: serving metrics plus the rows. The table is
-    /// behind an `Arc` so the server serializes straight from the
+    /// A successful v1 result: serving metrics plus the rows. The table
+    /// is behind an `Arc` so the server serializes straight from the
     /// warehouse's (possibly cached/recycled) result without copying it.
     Result {
         /// What the request cost.
@@ -166,12 +214,22 @@ pub enum Frame {
         /// Rendered human-readable message.
         message: String,
     },
-    /// Backpressure: the admission queue is full; retry later.
+    /// Backpressure: admission control rejected the query; retry later.
+    /// The estimate fields are meaningful on v2 connections with
+    /// cost-based admission configured (0 = unknown/not costed) — they
+    /// let a client back off proportionally to how expensive its query
+    /// looked, instead of blind fixed backoff.
     Busy {
         /// The configured queue depth.
         queue_depth: u32,
         /// Jobs queued when the request was rejected.
         queued: u32,
+        /// The planner's row estimate for the rejected query (0 = not
+        /// estimated).
+        estimated_rows: u64,
+        /// The server's configured admission cost budget in estimated
+        /// rows (0 = queue-depth-only admission).
+        cost_budget: u64,
     },
     /// Request the server's stats snapshot.
     Stats,
@@ -188,6 +246,77 @@ pub enum Frame {
     Shutdown,
     /// Shutdown acknowledged; the connection closes after this frame.
     ShutdownAck,
+    /// Version negotiation: the first frame a v2-capable client sends.
+    Hello {
+        /// Highest protocol version the client speaks.
+        max_version: u8,
+    },
+    /// The server's half of negotiation: the agreed version plus the
+    /// streaming parameters every cursor on this connection will use.
+    HelloAck {
+        /// Negotiated protocol version (min of both peers' maximums).
+        version: u8,
+        /// Rows per `ResultBatch` frame.
+        batch_rows: u32,
+        /// Batches the server will send per cursor before waiting for
+        /// `Credit`.
+        initial_credit: u32,
+    },
+    /// Run a SQL query on a v2 connection, opening a streamed cursor.
+    QueryV2 {
+        /// Client-chosen cursor id (unique among this connection's live
+        /// cursors).
+        cursor: u32,
+        /// Milliseconds the worker sleeps before executing (0 = none).
+        delay_ms: u32,
+        /// The SQL text.
+        sql: String,
+    },
+    /// The cursor opened: metrics plus an **empty** table carrying the
+    /// result schema (so a zero-row result still tells the client its
+    /// shape, and a collecting client has something to append into).
+    ResultStart {
+        /// The cursor this stream belongs to.
+        cursor: u32,
+        /// What the request cost.
+        metrics: WireMetrics,
+        /// Zero-row table with the result schema.
+        schema: Arc<Table>,
+    },
+    /// One record batch of a streamed result.
+    ResultBatch {
+        /// The cursor this batch belongs to.
+        cursor: u32,
+        /// Batch sequence number, 0-based.
+        seq: u32,
+        /// The rows.
+        table: Arc<Table>,
+    },
+    /// End of a streamed result (or the acknowledgement of a `Cancel`).
+    ResultEnd {
+        /// The cursor that ended.
+        cursor: u32,
+        /// Batches streamed before the end.
+        batches: u32,
+        /// Total rows streamed.
+        rows: u64,
+        /// True when the stream ended because of a `Cancel` (or the
+        /// connection began closing), not because it was exhausted.
+        cancelled: bool,
+    },
+    /// Flow control: grant the server `n` more batches on a cursor.
+    Credit {
+        /// The cursor being replenished.
+        cursor: u32,
+        /// Additional batches the server may send.
+        n: u32,
+    },
+    /// Abort a cursor. The server frees it (and skips the query if it is
+    /// still queued) and answers with a cancelled `ResultEnd`.
+    Cancel {
+        /// The cursor to abort.
+        cursor: u32,
+    },
 }
 
 /// Protocol-level failures (distinct from in-band [`Frame::Error`]s).
@@ -197,15 +326,17 @@ pub enum ProtoError {
     Io(std::io::Error),
     /// First two bytes were not [`MAGIC`] — peer out of sync or foreign.
     BadMagic(u16),
-    /// Version byte unknown to this build.
+    /// Version byte above anything this build speaks.
     BadVersion(u8),
     /// Unknown frame type byte.
     BadType(u8),
-    /// Declared payload length exceeds the receiver's limit.
+    /// Declared payload length exceeds the receiver's limit — or, on the
+    /// send side, the frame a caller asked to emit exceeds the limit it
+    /// configured for itself.
     Oversize {
         /// Declared payload length.
         len: u32,
-        /// The receiver's limit.
+        /// The receiver's (or sender's) limit.
         max: u32,
     },
     /// Payload did not decode as the declared frame type.
@@ -214,7 +345,8 @@ pub enum ProtoError {
 
 impl ProtoError {
     /// Stable machine-readable code (what the server puts in the error
-    /// frame it sends back before closing the connection).
+    /// frame it sends back before closing the connection, and what
+    /// [`crate::client::ClientError::code`] reports for local failures).
     pub fn code(&self) -> &'static str {
         match self {
             ProtoError::Io(_) => "proto.io",
@@ -262,6 +394,30 @@ fn type_byte(frame: &Frame) -> u8 {
         Frame::Pong => TYPE_PONG,
         Frame::Shutdown => TYPE_SHUTDOWN,
         Frame::ShutdownAck => TYPE_SHUTDOWN_ACK,
+        Frame::Hello { .. } => TYPE_HELLO,
+        Frame::HelloAck { .. } => TYPE_HELLO_ACK,
+        Frame::QueryV2 { .. } => TYPE_QUERY_V2,
+        Frame::ResultStart { .. } => TYPE_RESULT_START,
+        Frame::ResultBatch { .. } => TYPE_RESULT_BATCH,
+        Frame::ResultEnd { .. } => TYPE_RESULT_END,
+        Frame::Credit { .. } => TYPE_CREDIT,
+        Frame::Cancel { .. } => TYPE_CANCEL,
+    }
+}
+
+/// The version byte a frame carries: the minimum protocol revision that
+/// can parse it. v1 peers never receive (or send) a frame stamped 2.
+fn version_byte(frame: &Frame) -> u8 {
+    match frame {
+        Frame::Hello { .. }
+        | Frame::HelloAck { .. }
+        | Frame::QueryV2 { .. }
+        | Frame::ResultStart { .. }
+        | Frame::ResultBatch { .. }
+        | Frame::ResultEnd { .. }
+        | Frame::Credit { .. }
+        | Frame::Cancel { .. } => VERSION_V2,
+        _ => VERSION,
     }
 }
 
@@ -288,11 +444,68 @@ pub fn frame_bytes(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
         Frame::Busy {
             queue_depth,
             queued,
+            estimated_rows,
+            cost_budget,
         } => {
             payload.extend_from_slice(&queue_depth.to_be_bytes());
             payload.extend_from_slice(&queued.to_be_bytes());
+            // v2 tail; a v1 decoder reads the first 8 bytes and ignores it.
+            payload.extend_from_slice(&estimated_rows.to_be_bytes());
+            payload.extend_from_slice(&cost_budget.to_be_bytes());
         }
         Frame::StatsReply { text } => payload.extend_from_slice(text.as_bytes()),
+        Frame::Hello { max_version } => payload.push(*max_version),
+        Frame::HelloAck {
+            version,
+            batch_rows,
+            initial_credit,
+        } => {
+            payload.push(*version);
+            payload.extend_from_slice(&batch_rows.to_be_bytes());
+            payload.extend_from_slice(&initial_credit.to_be_bytes());
+        }
+        Frame::QueryV2 {
+            cursor,
+            delay_ms,
+            sql,
+        } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(&delay_ms.to_be_bytes());
+            payload.push(0); // flags, reserved
+            payload.extend_from_slice(sql.as_bytes());
+        }
+        Frame::ResultStart {
+            cursor,
+            metrics,
+            schema,
+        } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            metrics.encode_into(&mut payload);
+            write_table(schema, &mut payload)
+                .map_err(|e| ProtoError::Malformed(format!("schema encode: {e}")))?;
+        }
+        Frame::ResultBatch { cursor, seq, table } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(&seq.to_be_bytes());
+            write_table(table, &mut payload)
+                .map_err(|e| ProtoError::Malformed(format!("batch encode: {e}")))?;
+        }
+        Frame::ResultEnd {
+            cursor,
+            batches,
+            rows,
+            cancelled,
+        } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(&batches.to_be_bytes());
+            payload.extend_from_slice(&rows.to_be_bytes());
+            payload.push(*cancelled as u8);
+        }
+        Frame::Credit { cursor, n } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(&n.to_be_bytes());
+        }
+        Frame::Cancel { cursor } => payload.extend_from_slice(&cursor.to_be_bytes()),
         Frame::Stats | Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::ShutdownAck => {}
     }
     // The length field is u32; a larger payload must fail loudly here,
@@ -303,11 +516,28 @@ pub fn frame_bytes(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
     })?;
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
     out.extend_from_slice(&MAGIC.to_be_bytes());
-    out.push(VERSION);
+    out.push(version_byte(frame));
     out.push(type_byte(frame));
     out.extend_from_slice(&len.to_be_bytes());
     out.extend_from_slice(&payload);
     Ok(out)
+}
+
+/// Like [`frame_bytes`], but refuse to build a frame whose payload
+/// exceeds `max_payload` — the **sender-side** half of the size cap, so
+/// an oversized request fails locally with the stable `proto.oversize`
+/// code instead of as a raw I/O error when the receiver closes the
+/// connection.
+pub fn frame_bytes_checked(frame: &Frame, max_payload: u32) -> Result<Vec<u8>, ProtoError> {
+    let bytes = frame_bytes(frame)?;
+    let len = (bytes.len() - HEADER_LEN) as u32;
+    if len > max_payload {
+        return Err(ProtoError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    Ok(bytes)
 }
 
 /// Write one frame (single `write_all`, so frames never interleave even
@@ -323,39 +553,39 @@ fn str_from(bytes: &[u8], what: &str) -> Result<String, ProtoError> {
         .map_err(|_| ProtoError::Malformed(format!("{what} is not utf-8")))
 }
 
-/// Read one frame, enforcing `max_payload` **before** allocating.
-pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, ProtoError> {
-    let mut header = [0u8; HEADER_LEN];
-    r.read_exact(&mut header)?;
-    let magic = u16::from_be_bytes([header[0], header[1]]);
-    if magic != MAGIC {
-        return Err(ProtoError::BadMagic(magic));
-    }
-    if header[2] != VERSION {
-        return Err(ProtoError::BadVersion(header[2]));
-    }
-    let ftype = header[3];
-    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
-    if len > max_payload {
-        return Err(ProtoError::Oversize {
-            len,
-            max: max_payload,
-        });
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+fn u32_at(payload: &[u8], off: usize, what: &str) -> Result<u32, ProtoError> {
+    payload
+        .get(off..off + 4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+        .ok_or_else(|| ProtoError::Malformed(format!("{what} frame too short")))
+}
+
+fn u64_at(payload: &[u8], off: usize, what: &str) -> Result<u64, ProtoError> {
+    payload
+        .get(off..off + 8)
+        .map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_be_bytes(a)
+        })
+        .ok_or_else(|| ProtoError::Malformed(format!("{what} frame too short")))
+}
+
+/// Decode one payload of the given frame type. Shared by the blocking
+/// reader ([`read_frame`]) and the incremental parser ([`decode_frame`]).
+fn decode_payload(ftype: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
     match ftype {
         TYPE_QUERY => {
             if payload.len() < 5 {
                 return Err(ProtoError::Malformed("query frame too short".into()));
             }
-            let delay_ms = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+            let delay_ms = u32_at(payload, 0, "query")?;
             // payload[4] is the reserved flags byte.
             let sql = str_from(&payload[5..], "sql")?;
             Ok(Frame::Query { delay_ms, sql })
         }
         TYPE_RESULT => {
-            let metrics = WireMetrics::decode(&payload)?;
+            let metrics = WireMetrics::decode(payload)?;
             let mut rest = &payload[METRICS_LEN..];
             let table = read_table(&mut rest)
                 .map_err(|e| ProtoError::Malformed(format!("table decode: {e}")))?;
@@ -374,12 +604,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, ProtoEr
             }
             let code = str_from(&payload[2..2 + code_len], "error code")?;
             let off = 2 + code_len;
-            let msg_len = u32::from_be_bytes([
-                payload[off],
-                payload[off + 1],
-                payload[off + 2],
-                payload[off + 3],
-            ]) as usize;
+            let msg_len = u32_at(payload, off, "error")? as usize;
             if payload.len() < off + 4 + msg_len {
                 return Err(ProtoError::Malformed("error message truncated".into()));
             }
@@ -390,21 +615,176 @@ pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, ProtoEr
             if payload.len() < 8 {
                 return Err(ProtoError::Malformed("busy frame too short".into()));
             }
+            // The estimate tail only exists on v2 frames; default 0.
+            let (estimated_rows, cost_budget) = if payload.len() >= 24 {
+                (u64_at(payload, 8, "busy")?, u64_at(payload, 16, "busy")?)
+            } else {
+                (0, 0)
+            };
             Ok(Frame::Busy {
-                queue_depth: u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]),
-                queued: u32::from_be_bytes([payload[4], payload[5], payload[6], payload[7]]),
+                queue_depth: u32_at(payload, 0, "busy")?,
+                queued: u32_at(payload, 4, "busy")?,
+                estimated_rows,
+                cost_budget,
             })
         }
         TYPE_STATS => Ok(Frame::Stats),
         TYPE_STATS_REPLY => Ok(Frame::StatsReply {
-            text: str_from(&payload, "stats")?,
+            text: str_from(payload, "stats")?,
         }),
         TYPE_PING => Ok(Frame::Ping),
         TYPE_PONG => Ok(Frame::Pong),
         TYPE_SHUTDOWN => Ok(Frame::Shutdown),
         TYPE_SHUTDOWN_ACK => Ok(Frame::ShutdownAck),
+        TYPE_HELLO => {
+            let max_version = *payload
+                .first()
+                .ok_or_else(|| ProtoError::Malformed("hello frame too short".into()))?;
+            Ok(Frame::Hello { max_version })
+        }
+        TYPE_HELLO_ACK => {
+            if payload.len() < 9 {
+                return Err(ProtoError::Malformed("hello-ack frame too short".into()));
+            }
+            Ok(Frame::HelloAck {
+                version: payload[0],
+                batch_rows: u32_at(payload, 1, "hello-ack")?,
+                initial_credit: u32_at(payload, 5, "hello-ack")?,
+            })
+        }
+        TYPE_QUERY_V2 => {
+            if payload.len() < 9 {
+                return Err(ProtoError::Malformed("query-v2 frame too short".into()));
+            }
+            let cursor = u32_at(payload, 0, "query-v2")?;
+            let delay_ms = u32_at(payload, 4, "query-v2")?;
+            // payload[8] is the reserved flags byte.
+            let sql = str_from(&payload[9..], "sql")?;
+            Ok(Frame::QueryV2 {
+                cursor,
+                delay_ms,
+                sql,
+            })
+        }
+        TYPE_RESULT_START => {
+            if payload.len() < 4 + METRICS_LEN {
+                return Err(ProtoError::Malformed("result-start frame too short".into()));
+            }
+            let cursor = u32_at(payload, 0, "result-start")?;
+            let metrics = WireMetrics::decode(&payload[4..])?;
+            let mut rest = &payload[4 + METRICS_LEN..];
+            let schema = read_table(&mut rest)
+                .map_err(|e| ProtoError::Malformed(format!("schema decode: {e}")))?;
+            Ok(Frame::ResultStart {
+                cursor,
+                metrics,
+                schema: Arc::new(schema),
+            })
+        }
+        TYPE_RESULT_BATCH => {
+            if payload.len() < 8 {
+                return Err(ProtoError::Malformed("result-batch frame too short".into()));
+            }
+            let cursor = u32_at(payload, 0, "result-batch")?;
+            let seq = u32_at(payload, 4, "result-batch")?;
+            let mut rest = &payload[8..];
+            let table = read_table(&mut rest)
+                .map_err(|e| ProtoError::Malformed(format!("batch decode: {e}")))?;
+            Ok(Frame::ResultBatch {
+                cursor,
+                seq,
+                table: Arc::new(table),
+            })
+        }
+        TYPE_RESULT_END => {
+            if payload.len() < 17 {
+                return Err(ProtoError::Malformed("result-end frame too short".into()));
+            }
+            Ok(Frame::ResultEnd {
+                cursor: u32_at(payload, 0, "result-end")?,
+                batches: u32_at(payload, 4, "result-end")?,
+                rows: u64_at(payload, 8, "result-end")?,
+                cancelled: payload[16] != 0,
+            })
+        }
+        TYPE_CREDIT => {
+            if payload.len() < 8 {
+                return Err(ProtoError::Malformed("credit frame too short".into()));
+            }
+            Ok(Frame::Credit {
+                cursor: u32_at(payload, 0, "credit")?,
+                n: u32_at(payload, 4, "credit")?,
+            })
+        }
+        TYPE_CANCEL => {
+            if payload.len() < 4 {
+                return Err(ProtoError::Malformed("cancel frame too short".into()));
+            }
+            Ok(Frame::Cancel {
+                cursor: u32_at(payload, 0, "cancel")?,
+            })
+        }
         other => Err(ProtoError::BadType(other)),
     }
+}
+
+/// Validate a header's magic + version and extract (type, payload len).
+fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u32), ProtoError> {
+    let magic = u16::from_be_bytes([header[0], header[1]]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    if header[2] == 0 || header[2] > MAX_VERSION {
+        return Err(ProtoError::BadVersion(header[2]));
+    }
+    let len = u32::from_be_bytes([header[4], header[5], header[6], header[7]]);
+    Ok((header[3], len))
+}
+
+/// Read one frame from a blocking stream, enforcing `max_payload`
+/// **before** allocating.
+pub fn read_frame<R: Read>(r: &mut R, max_payload: u32) -> Result<Frame, ProtoError> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let (ftype, len) = parse_header(&header)?;
+    if len > max_payload {
+        return Err(ProtoError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    decode_payload(ftype, &payload)
+}
+
+/// Incrementally decode one frame from the front of `buf` (the
+/// event-driven server's per-connection read buffer).
+///
+/// Returns `Ok(None)` while the buffer holds only part of a frame,
+/// `Ok(Some((frame, consumed)))` once a whole frame is available (the
+/// caller drains `consumed` bytes), or an error the moment the *header*
+/// is provably bad — a hostile length field is rejected from 8 buffered
+/// bytes, before any payload accumulates.
+pub fn decode_frame(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, ProtoError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let (ftype, len) = parse_header(&header)?;
+    if len > max_payload {
+        return Err(ProtoError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = decode_payload(ftype, &buf[HEADER_LEN..total])?;
+    Ok(Some((frame, total)))
 }
 
 #[cfg(test)]
@@ -434,6 +814,18 @@ mod tests {
         Table::new(schema, cols).unwrap()
     }
 
+    fn sample_metrics() -> WireMetrics {
+        WireMetrics {
+            queue_wait_us: 1,
+            exec_us: 2,
+            rows: 2,
+            records_extracted: 3,
+            cache_hits: 4,
+            cache_misses: 5,
+            result_recycled: true,
+        }
+    }
+
     #[test]
     fn every_frame_type_roundtrips() {
         let frames = vec![
@@ -442,15 +834,7 @@ mod tests {
                 sql: "SELECT 1".into(),
             },
             Frame::Result {
-                metrics: WireMetrics {
-                    queue_wait_us: 1,
-                    exec_us: 2,
-                    rows: 2,
-                    records_extracted: 3,
-                    cache_hits: 4,
-                    cache_misses: 5,
-                    result_recycled: true,
-                },
+                metrics: sample_metrics(),
                 table: Arc::new(sample_table()),
             },
             Frame::Error {
@@ -460,6 +844,8 @@ mod tests {
             Frame::Busy {
                 queue_depth: 4,
                 queued: 4,
+                estimated_rows: 1_000_000,
+                cost_budget: 50_000,
             },
             Frame::Stats,
             Frame::StatsReply {
@@ -469,10 +855,133 @@ mod tests {
             Frame::Pong,
             Frame::Shutdown,
             Frame::ShutdownAck,
+            Frame::Hello { max_version: 2 },
+            Frame::HelloAck {
+                version: 2,
+                batch_rows: 4096,
+                initial_credit: 4,
+            },
+            Frame::QueryV2 {
+                cursor: 7,
+                delay_ms: 25,
+                sql: "SELECT 1".into(),
+            },
+            Frame::ResultStart {
+                cursor: 7,
+                metrics: sample_metrics(),
+                // Table::empty is the canonical wire form: the encoder drops
+                // all-valid validity bitmaps, so a `Some([])` validity from
+                // `slice(0, 0)` would not round-trip bit-identically.
+                schema: Arc::new(Table::empty(sample_table().schema.clone())),
+            },
+            Frame::ResultBatch {
+                cursor: 7,
+                seq: 3,
+                table: Arc::new(sample_table()),
+            },
+            Frame::ResultEnd {
+                cursor: 7,
+                batches: 4,
+                rows: 8192,
+                cancelled: true,
+            },
+            Frame::Credit { cursor: 7, n: 2 },
+            Frame::Cancel { cursor: 7 },
         ];
         for f in frames {
             assert_eq!(roundtrip(f.clone()), f);
         }
+    }
+
+    #[test]
+    fn v2_frames_carry_version_2_and_v1_frames_stay_v1() {
+        let v1 = frame_bytes(&Frame::Ping).unwrap();
+        assert_eq!(v1[2], VERSION);
+        let v2 = frame_bytes(&Frame::Cancel { cursor: 1 }).unwrap();
+        assert_eq!(v2[2], VERSION_V2);
+        // A v1-only decoder (version must equal 1) would reject the v2
+        // frame at the header — which is exactly why the server never
+        // sends one before a Hello negotiated the upgrade.
+    }
+
+    #[test]
+    fn busy_tail_is_optional_for_v1_peers() {
+        // A v1 sender emits only depth + queued; the estimates default 0.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC.to_be_bytes());
+        bytes.push(VERSION);
+        bytes.push(0x04);
+        bytes.extend_from_slice(&8u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        match read_frame(&mut bytes.as_slice(), 1024).unwrap() {
+            Frame::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            } => {
+                assert_eq!((queue_depth, queued), (3, 2));
+                assert_eq!((estimated_rows, cost_budget), (0, 0));
+            }
+            other => panic!("expected busy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incremental_decode_handles_partial_and_concatenated_frames() {
+        let a = frame_bytes(&Frame::Credit { cursor: 9, n: 1 }).unwrap();
+        let b = frame_bytes(&Frame::Query {
+            delay_ms: 0,
+            sql: "SELECT 1".into(),
+        })
+        .unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b);
+        // Byte-by-byte arrival: every prefix short of frame A is None.
+        for cut in 0..a.len() {
+            assert!(decode_frame(&buf[..cut], 1024).unwrap().is_none());
+        }
+        let (f1, used1) = decode_frame(&buf, 1024).unwrap().unwrap();
+        assert_eq!(f1, Frame::Credit { cursor: 9, n: 1 });
+        assert_eq!(used1, a.len());
+        let (f2, used2) = decode_frame(&buf[used1..], 1024).unwrap().unwrap();
+        assert!(matches!(f2, Frame::Query { .. }));
+        assert_eq!(used2, b.len());
+    }
+
+    #[test]
+    fn incremental_decode_rejects_hostile_header_before_payload() {
+        // 8 header bytes claiming a 4 GiB payload: rejected immediately,
+        // with nothing buffered beyond the header.
+        let mut bytes = frame_bytes(&Frame::Stats).unwrap();
+        bytes[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        match decode_frame(&bytes[..HEADER_LEN], 1024) {
+            Err(ProtoError::Oversize { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected oversize, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sender_side_cap_rejects_with_stable_code() {
+        let frame = Frame::Query {
+            delay_ms: 0,
+            sql: "x".repeat(2048),
+        };
+        match frame_bytes_checked(&frame, 1024) {
+            Err(e @ ProtoError::Oversize { .. }) => assert_eq!(e.code(), "proto.oversize"),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        // Under the cap the bytes are identical to the unchecked path.
+        let small = Frame::Ping;
+        assert_eq!(
+            frame_bytes_checked(&small, 1024).unwrap(),
+            frame_bytes(&small).unwrap()
+        );
     }
 
     #[test]

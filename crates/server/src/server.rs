@@ -1,51 +1,91 @@
-//! The query server: one shared [`Warehouse`] behind a bounded worker
-//! pool with admission control.
+//! The query server: an event-driven connection layer multiplexing all
+//! clients onto one shared [`Warehouse`] behind a bounded worker pool.
 //!
 //! # Architecture
 //!
 //! ```text
-//!            accept loop (non-blocking poll, exits on shutdown)
-//!                 │ spawns one lightweight I/O thread per connection
-//!                 ▼
-//!   connection threads ──try_enqueue──▶ bounded queue (≤ queue_depth)
-//!        │    ▲                              │ pop
-//!        │    │ BUSY frame when full         ▼
-//!        │    └───────────────────    worker pool (N threads)
-//!        │                                   │ Warehouse::query (&self)
-//!        └──◀── reply channel ◀──────────────┘
+//!                        poller thread (owns listener + every connection)
+//!   nonblocking accept ──▶ per-conn read buffer ──incremental parse──▶ frames
+//!        │                                                              │
+//!        │                 admission control (queue depth + est. cost)  │
+//!        │                              │ admitted                      ▼ Busy/Error
+//!        │                              ▼                         per-conn outbound
+//!        │                  bounded queue (≤ queue_depth)         queue (credit-gated
+//!        │                              │ pop                     batch frames)
+//!        │                              ▼                               ▲
+//!        │                   worker pool (N threads)                    │
+//!        │                      Warehouse::query (&self)                │
+//!        │                              │                               │
+//!        └───────◀─ completions ◀───────┘───────────────────────────────┘
 //! ```
 //!
-//! Connection threads only do I/O (cheap, blocked on the socket); the
-//! bounded resource is the **worker pool**, which is the only thing that
-//! touches the warehouse. Admission control happens at enqueue time: when
-//! the queue already holds `queue_depth` jobs, the connection thread
-//! answers with a [`Frame::Busy`] backpressure frame immediately instead
-//! of piling more work onto the pool — the client decides whether to
-//! retry, and the accept loop never stalls.
+//! One **poller thread** owns the nonblocking listener and every live
+//! connection: it accepts, reads whatever bytes are ready into
+//! per-connection buffers, parses frames incrementally
+//! ([`crate::protocol::decode_frame`]), runs admission control, and
+//! writes queued outbound bytes back until the socket would block. No
+//! thread ever blocks on a socket, so connection count is bounded by file
+//! descriptors and memory — not by threads. The bounded resource remains
+//! the **worker pool**, the only thing that touches the warehouse;
+//! workers post finished queries to a completion list the poller drains.
+//!
+//! # Streamed cursors and backpressure (protocol v2)
+//!
+//! A v2 connection's query result never materializes on the wire as one
+//! frame. The poller holds the result table behind an `Arc` and slices
+//! `batch_rows`-row [`Frame::ResultBatch`]es from it on demand — but only
+//! while the cursor has **credit** (each batch spends one; the client
+//! replenishes with [`Frame::Credit`] as it consumes) and only while the
+//! connection's outbound queue is under `max_outbuf_bytes`. A slow or
+//! stalled reader therefore *suspends its cursor* — server memory for the
+//! encoded stream is `O(connections × batch)`, never
+//! `O(connections × result)`. (The result table itself is a single
+//! shared `Arc`, usually aliasing the warehouse's result-recycler entry.)
+//! [`Frame::Cancel`] frees a cursor mid-stream; if the query is still
+//! queued, a cancel flag makes the worker skip it entirely.
+//!
+//! v1 clients (no [`Frame::Hello`] handshake) are still served
+//! whole-frame results, bit-compatible with the previous protocol.
+//!
+//! # Admission control
+//!
+//! Admission happens at frame-handling time on the poller: when the
+//! queue already holds `queue_depth` jobs the client gets an immediate
+//! [`Frame::Busy`]. With `cost_budget_rows` configured, admission also
+//! consults the planner: the query is costed with
+//! [`Warehouse::estimate_query_rows`] (statistics-backed, no execution),
+//! and a query whose estimate would push the *currently admitted* total
+//! over the budget is rejected with a `Busy` frame carrying the estimate
+//! and the budget — clients back off proportionally instead of blind. A
+//! query too big for the budget on its own still runs when the server is
+//! otherwise idle (admission never starves a query forever), and queries
+//! the planner cannot estimate admit on queue depth alone.
 //!
 //! # Graceful shutdown
 //!
 //! [`Server::stop`] (or a [`Frame::Shutdown`] request, or SIGTERM in the
 //! `lazyetl-serve` binary) runs the drain sequence:
 //!
-//! 1. the shutdown flag flips: the accept loop stops accepting, new
-//!    queries get a `server.shutdown` error frame;
-//! 2. workers drain every job already admitted to the queue and deliver
-//!    the replies, then exit;
-//! 3. connection threads notice the flag (their reads time-slice) and
-//!    close;
+//! 1. the shutdown flag flips: the poller drops the listener (new
+//!    connects are refused), new queries get a `server.shutdown` error;
+//! 2. workers drain every admitted job and post the completions, then
+//!    exit;
+//! 3. the poller keeps serving until open cursors finish streaming and
+//!    outbound buffers flush (bounded by a drain deadline), then closes
+//!    every connection;
 //! 4. once quiesced, the warehouse is persisted to `save_dir` (when
 //!    configured) via [`Warehouse::save_to`] — the hot record cache goes
 //!    into the snapshot, so the next boot warm-restarts.
 
-use crate::protocol::{read_frame, write_frame, Frame, ProtoError, WireMetrics};
+use crate::protocol::{decode_frame, frame_bytes, Frame, WireMetrics};
 use lazyetl_core::persistence::SaveReport;
 use lazyetl_core::{EtlError, Warehouse};
-use std::collections::VecDeque;
+use lazyetl_store::Table;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +102,20 @@ pub struct ServerConfig {
     /// Cap on request payloads; larger frames are rejected with a
     /// `proto.oversize` error and the connection closes.
     pub max_request_bytes: u32,
+    /// Rows per [`Frame::ResultBatch`] on v2 connections. The default
+    /// matches the executor's morsel size, so streamed batch boundaries
+    /// line up with parallel-execution partitions.
+    pub batch_rows: u32,
+    /// Batches a fresh cursor may stream before the client must grant
+    /// [`Frame::Credit`].
+    pub initial_credit: u32,
+    /// Ceiling on one connection's encoded-but-unsent outbound bytes;
+    /// cursor pumping pauses above it (v1 whole-frame replies are exempt
+    /// — that is precisely the O(result) behavior v2 exists to replace).
+    pub max_outbuf_bytes: usize,
+    /// Cost-based admission budget in estimated result rows; `None`
+    /// admits on queue depth alone.
+    pub cost_budget_rows: Option<u64>,
     /// Snapshot directory for the graceful-shutdown save; `None` skips
     /// the save.
     pub save_dir: Option<PathBuf>,
@@ -73,19 +127,24 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 32,
             max_request_bytes: crate::protocol::DEFAULT_MAX_REQUEST,
+            batch_rows: 4096,
+            initial_credit: 4,
+            max_outbuf_bytes: 256 * 1024,
+            cost_budget_rows: None,
             save_dir: None,
         }
     }
 }
 
-/// Cumulative serving counters (all monotone; snapshot via
-/// [`Server::stats`] or the wire `Stats` frame).
+/// Cumulative serving counters (monotone except the `cursors_open`
+/// gauge; snapshot via [`Server::stats`] or the wire `Stats` frame).
 #[derive(Debug, Default)]
 struct Counters {
     connections: AtomicU64,
     queries_ok: AtomicU64,
     queries_err: AtomicU64,
     busy_rejections: AtomicU64,
+    cost_rejections: AtomicU64,
     proto_errors: AtomicU64,
     dropped_replies: AtomicU64,
     queue_wait_us: AtomicU64,
@@ -93,6 +152,11 @@ struct Counters {
     records_extracted: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    cursors_opened: AtomicU64,
+    cursors_open: AtomicU64,
+    batches_streamed: AtomicU64,
+    credit_stalls: AtomicU64,
+    outbuf_hwm_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of the serving counters.
@@ -100,12 +164,14 @@ struct Counters {
 pub struct ServerStats {
     /// Connections accepted.
     pub connections: u64,
-    /// Queries answered with a result frame.
+    /// Queries answered with a result frame (or a streamed cursor).
     pub queries_ok: u64,
     /// Queries answered with an error frame.
     pub queries_err: u64,
-    /// Queries rejected with a busy frame.
+    /// Queries rejected with a busy frame (queue depth + cost together).
     pub busy_rejections: u64,
+    /// Busy rejections due to the estimated-cost budget specifically.
+    pub cost_rejections: u64,
     /// Connections dropped for protocol violations.
     pub proto_errors: u64,
     /// Replies computed but undeliverable (client disconnected mid-query).
@@ -120,6 +186,19 @@ pub struct ServerStats {
     pub cache_hits: u64,
     /// Record-cache misses across all queries.
     pub cache_misses: u64,
+    /// Streamed cursors opened (v2 queries that produced a result).
+    pub cursors_opened: u64,
+    /// Cursors currently live (gauge; 0 on a quiesced server).
+    pub cursors_open: u64,
+    /// `ResultBatch` frames streamed.
+    pub batches_streamed: u64,
+    /// Times a cursor ran out of credit with rows still pending — each
+    /// is a slow reader suspended instead of buffered.
+    pub credit_stalls: u64,
+    /// High-water mark of any single connection's encoded-but-unsent
+    /// outbound bytes — the memory-ceiling observable: with v2 streaming
+    /// it stays `O(batch)` no matter how large the result.
+    pub outbuf_hwm_bytes: u64,
 }
 
 impl ServerStats {
@@ -134,24 +213,58 @@ impl ServerStats {
     }
 }
 
-/// Budget for receiving one frame once its first byte has arrived: long
-/// enough for slow links, short enough that a stalled sender cannot pin
-/// a connection thread (and graceful shutdown) indefinitely.
-const FRAME_READ_TIMEOUT: Duration = Duration::from_secs(10);
-
 /// Ceiling on the client-supplied per-query think time. `delay_ms` is a
 /// load-generation knob, not a scheduling primitive: uncapped, one cheap
 /// frame could pin a worker (and therefore graceful drain) for up to
 /// `u32::MAX` milliseconds.
 const MAX_QUERY_DELAY_MS: u32 = 10_000;
 
-/// One admitted query: what the worker needs, plus the reply channel back
-/// to the connection thread.
+/// How long the drain sequence waits for open cursors to finish
+/// streaming and outbound buffers to flush before closing connections
+/// anyway (a reader that stays stalled must not pin shutdown forever).
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Poller sleep when a full tick made no progress: short enough that
+/// queue-admission and first-byte latency stay sub-millisecond, long
+/// enough that an idle server burns no CPU.
+const IDLE_TICK: Duration = Duration::from_micros(500);
+
+/// One admitted query: what the worker needs, plus where the completion
+/// goes. `token` names the connection (tokens are never reused, so a
+/// completion can never be delivered to a successor connection).
 struct Job {
     sql: String,
     delay_ms: u32,
     enqueued: Instant,
-    reply: SyncSender<Frame>,
+    token: u64,
+    /// `Some` = v2 streamed cursor; `None` = v1 whole-frame reply.
+    cursor: Option<u32>,
+    /// Set by `Cancel` (or connection death on v2): the worker skips the
+    /// query entirely if it has not started yet.
+    cancel: Arc<AtomicBool>,
+    /// Estimated rows charged against the admission cost budget;
+    /// released when the completion posts.
+    cost: u64,
+}
+
+/// What a worker produced for one job.
+enum Done {
+    Ok {
+        metrics: WireMetrics,
+        table: Arc<Table>,
+    },
+    Err {
+        code: String,
+        message: String,
+    },
+    /// The job was cancelled before execution started.
+    Skipped,
+}
+
+struct Completion {
+    token: u64,
+    cursor: Option<u32>,
+    done: Done,
 }
 
 struct Shared {
@@ -159,6 +272,14 @@ struct Shared {
     cfg: ServerConfig,
     queue: Mutex<VecDeque<Job>>,
     job_ready: Condvar,
+    completions: Mutex<Vec<Completion>>,
+    /// Jobs popped by a worker but not yet posted as completions
+    /// (incremented under the queue lock, so `queue empty ∧ running == 0`
+    /// is a consistent quiescence check).
+    running: AtomicU64,
+    /// Estimated rows of every currently admitted (queued or running)
+    /// costed query.
+    admitted_cost: AtomicU64,
     shutdown: AtomicBool,
     counters: Counters,
 }
@@ -177,7 +298,7 @@ pub struct ShutdownReport {
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    poller: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -198,6 +319,9 @@ impl Server {
             cfg,
             queue: Mutex::new(VecDeque::new()),
             job_ready: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            running: AtomicU64::new(0),
+            admitted_cost: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
         });
@@ -210,17 +334,17 @@ impl Server {
                     .expect("spawn worker")
             })
             .collect();
-        let acceptor = {
+        let poller = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("lazyetl-accept".into())
-                .spawn(move || accept_loop(listener, &shared))
-                .expect("spawn acceptor")
+                .name("lazyetl-poller".into())
+                .spawn(move || poller_loop(listener, &shared))
+                .expect("spawn poller")
         };
         Ok(Server {
             shared,
             addr,
-            acceptor: Some(acceptor),
+            poller: Some(poller),
             workers,
         })
     }
@@ -252,12 +376,13 @@ impl Server {
         self.shared.queue.lock().expect("queue poisoned").len()
     }
 
-    /// Graceful shutdown: stop accepting, drain admitted queries, join
-    /// every thread, then persist the warehouse to `save_dir` (when
+    /// Graceful shutdown: stop accepting, drain admitted queries, finish
+    /// streaming open cursors (bounded by the drain deadline), join every
+    /// thread, then persist the warehouse to `save_dir` (when
     /// configured). Returns the final counters and the save report.
     pub fn stop(mut self) -> Result<ShutdownReport, EtlError> {
         self.request_shutdown();
-        if let Some(h) = self.acceptor.take() {
+        if let Some(h) = self.poller.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
@@ -281,6 +406,7 @@ impl Shared {
             queries_ok: g(&c.queries_ok),
             queries_err: g(&c.queries_err),
             busy_rejections: g(&c.busy_rejections),
+            cost_rejections: g(&c.cost_rejections),
             proto_errors: g(&c.proto_errors),
             dropped_replies: g(&c.dropped_replies),
             queue_wait_us: g(&c.queue_wait_us),
@@ -288,6 +414,11 @@ impl Shared {
             records_extracted: g(&c.records_extracted),
             cache_hits: g(&c.cache_hits),
             cache_misses: g(&c.cache_misses),
+            cursors_opened: g(&c.cursors_opened),
+            cursors_open: g(&c.cursors_open),
+            batches_streamed: g(&c.batches_streamed),
+            credit_stalls: g(&c.credit_stalls),
+            outbuf_hwm_bytes: g(&c.outbuf_hwm_bytes),
         }
     }
 
@@ -305,6 +436,7 @@ impl Shared {
             ("server.queries_ok", s.queries_ok),
             ("server.queries_err", s.queries_err),
             ("server.busy_rejections", s.busy_rejections),
+            ("server.cost_rejections", s.cost_rejections),
             ("server.proto_errors", s.proto_errors),
             ("server.dropped_replies", s.dropped_replies),
             ("server.queue_wait_us", s.queue_wait_us),
@@ -312,8 +444,19 @@ impl Shared {
             ("server.records_extracted", s.records_extracted),
             ("server.cache_hits", s.cache_hits),
             ("server.cache_misses", s.cache_misses),
+            ("server.cursors_opened", s.cursors_opened),
+            ("server.cursors_open", s.cursors_open),
+            ("server.batches_streamed", s.batches_streamed),
+            ("server.credit_stalls", s.credit_stalls),
+            ("server.outbuf_hwm_bytes", s.outbuf_hwm_bytes),
             ("server.workers", self.cfg.workers as u64),
             ("server.queue_depth", self.cfg.queue_depth as u64),
+            ("server.batch_rows", self.cfg.batch_rows as u64),
+            ("server.initial_credit", self.cfg.initial_credit as u64),
+            (
+                "server.cost_budget_rows",
+                self.cfg.cost_budget_rows.unwrap_or(0),
+            ),
             ("warehouse.files", w.files as u64),
             ("warehouse.records", w.records as u64),
             ("warehouse.resident_bytes", w.resident_bytes as u64),
@@ -383,6 +526,10 @@ fn worker_loop(shared: &Shared) {
             let mut q = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(job) = q.pop_front() {
+                    // Counted under the queue lock so the poller's
+                    // quiescence check (`queue empty ∧ running == 0`)
+                    // never sees the gap between pop and increment.
+                    shared.running.fetch_add(1, Ordering::SeqCst);
                     break job;
                 }
                 // Drain semantics: exit only once the queue is empty AND
@@ -397,243 +544,770 @@ fn worker_loop(shared: &Shared) {
                 q = guard;
             }
         };
-        let queue_wait = job.enqueued.elapsed();
-        if job.delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(
-                job.delay_ms.min(MAX_QUERY_DELAY_MS) as u64
-            ));
+        let done = run_job(shared, &job);
+        shared
+            .completions
+            .lock()
+            .expect("completions poisoned")
+            .push(Completion {
+                token: job.token,
+                cursor: job.cursor,
+                done,
+            });
+        if job.cost > 0 {
+            shared.admitted_cost.fetch_sub(job.cost, Ordering::SeqCst);
         }
-        let t0 = Instant::now();
-        let c = &shared.counters;
-        let reply = match shared.wh.query(&job.sql) {
-            Ok(out) => {
-                let exec = t0.elapsed();
-                let metrics = WireMetrics {
-                    queue_wait_us: queue_wait.as_micros() as u64,
-                    exec_us: exec.as_micros() as u64,
-                    rows: out.table.num_rows() as u64,
-                    records_extracted: out.report.records_extracted as u64,
-                    cache_hits: out.report.cache_hits as u64,
-                    cache_misses: out.report.cache_misses as u64,
-                    result_recycled: out.report.result_recycled,
-                };
-                c.queries_ok.fetch_add(1, Ordering::Relaxed);
-                c.queue_wait_us
-                    .fetch_add(metrics.queue_wait_us, Ordering::Relaxed);
-                c.exec_us.fetch_add(metrics.exec_us, Ordering::Relaxed);
-                c.records_extracted
-                    .fetch_add(metrics.records_extracted, Ordering::Relaxed);
-                c.cache_hits
-                    .fetch_add(metrics.cache_hits, Ordering::Relaxed);
-                c.cache_misses
-                    .fetch_add(metrics.cache_misses, Ordering::Relaxed);
-                Frame::Result {
-                    metrics,
-                    table: out.table,
-                }
+        // Order matters: the completion is visible before `running`
+        // drops, so quiescence implies every completion was posted.
+        shared.running.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job) -> Done {
+    if job.cancel.load(Ordering::Acquire) {
+        return Done::Skipped;
+    }
+    let queue_wait = job.enqueued.elapsed();
+    if job.delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(
+            job.delay_ms.min(MAX_QUERY_DELAY_MS) as u64
+        ));
+        // A cancel that lands during the think time still spares the
+        // warehouse the execution.
+        if job.cancel.load(Ordering::Acquire) {
+            return Done::Skipped;
+        }
+    }
+    let t0 = Instant::now();
+    let c = &shared.counters;
+    match shared.wh.query(&job.sql) {
+        Ok(out) => {
+            let exec = t0.elapsed();
+            let metrics = WireMetrics {
+                queue_wait_us: queue_wait.as_micros() as u64,
+                exec_us: exec.as_micros() as u64,
+                rows: out.table.num_rows() as u64,
+                records_extracted: out.report.records_extracted as u64,
+                cache_hits: out.report.cache_hits as u64,
+                cache_misses: out.report.cache_misses as u64,
+                result_recycled: out.report.result_recycled,
+            };
+            c.queries_ok.fetch_add(1, Ordering::Relaxed);
+            c.queue_wait_us
+                .fetch_add(metrics.queue_wait_us, Ordering::Relaxed);
+            c.exec_us.fetch_add(metrics.exec_us, Ordering::Relaxed);
+            c.records_extracted
+                .fetch_add(metrics.records_extracted, Ordering::Relaxed);
+            c.cache_hits
+                .fetch_add(metrics.cache_hits, Ordering::Relaxed);
+            c.cache_misses
+                .fetch_add(metrics.cache_misses, Ordering::Relaxed);
+            Done::Ok {
+                metrics,
+                table: out.table,
             }
-            Err(e) => {
-                c.queries_err.fetch_add(1, Ordering::Relaxed);
-                Frame::Error {
-                    code: e.code().to_string(),
-                    message: e.to_string(),
-                }
+        }
+        Err(e) => {
+            c.queries_err.fetch_add(1, Ordering::Relaxed);
+            Done::Err {
+                code: e.code().to_string(),
+                message: e.to_string(),
             }
-        };
-        // The connection thread may have vanished with its client; a
-        // failed send must not take the worker down with it.
-        if job.reply.send(reply).is_err() {
-            c.dropped_replies.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
-    while !shared.is_shutdown() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(shared);
-                match std::thread::Builder::new()
-                    .name("lazyetl-conn".into())
-                    .spawn(move || serve_connection(stream, &shared))
-                {
-                    Ok(h) => conns.push(h),
-                    Err(_) => { /* thread spawn failed; connection drops */ }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-        // Reap finished connection threads so long-lived servers don't
-        // accumulate handles.
-        conns.retain(|h| !h.is_finished());
-    }
-    for h in conns {
-        let _ = h.join();
-    }
+/// A live streamed cursor: the materialized result (one shared `Arc`)
+/// plus the read position and remaining credit.
+struct Cursor {
+    table: Arc<Table>,
+    next_row: usize,
+    credit: u32,
+    seq: u32,
+    /// True while suspended on zero credit (so one stall counts once).
+    stalled: bool,
 }
 
-/// Read frames off one connection until EOF, protocol violation, or
-/// shutdown. Queries go through admission control; everything else is
-/// answered inline (stats and pings must work even when the pool is
-/// saturated — that is when an operator needs them most).
-fn serve_connection(stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let mut peek_buf = [0u8; 1];
-    loop {
-        // Wait for the next frame with `peek` so a timeout never consumes
-        // partial header bytes (read_exact after a successful peek only
-        // blocks while the frame is in flight).
-        match stream.peek(&mut peek_buf) {
-            Ok(0) => return, // clean EOF
-            Ok(_) => {}
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shared.is_shutdown() {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
+/// A v2 query admitted but not yet completed by a worker.
+struct Inflight {
+    cancel: Arc<AtomicBool>,
+    /// The client cancelled while the query was queued/running; the
+    /// completion turns into a cancelled `ResultEnd`.
+    cancelled: bool,
+}
+
+/// Per-connection outbound queue: encoded frames waiting for the socket
+/// to accept them. `bytes` is the backpressure observable.
+#[derive(Default)]
+struct OutQueue {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written.
+    front_off: usize,
+    /// Total unsent bytes across all queued frames.
+    bytes: usize,
+}
+
+/// Everything the poller knows about one connection. Owned exclusively
+/// by the poller thread — no locks anywhere in the per-connection state.
+struct Conn {
+    stream: TcpStream,
+    /// Negotiated protocol version; 1 until a `Hello` upgrades it.
+    version: u8,
+    rbuf: Vec<u8>,
+    out: OutQueue,
+    cursors: HashMap<u32, Cursor>,
+    inflight: HashMap<u32, Inflight>,
+    /// Flush the outbound queue, then close (protocol error or
+    /// shutdown-ack); no further reads.
+    closing: bool,
+}
+
+enum ReadOutcome {
+    /// Bytes arrived (or none were ready); connection healthy.
+    Open { progress: bool },
+    /// EOF or transport error — parse what is buffered, then drop.
+    Closed { progress: bool },
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            version: 1,
+            rbuf: Vec::new(),
+            out: OutQueue::default(),
+            cursors: HashMap::new(),
+            inflight: HashMap::new(),
+            closing: false,
         }
-        // The 100ms timeout exists so the idle peek loop can poll the
-        // shutdown flag; a frame in flight gets a much longer budget so a
-        // slow link's legitimate request is not dropped mid-transfer —
-        // but not an unbounded one, or a stalled sender could pin this
-        // thread (and therefore graceful shutdown) forever.
-        let _ = stream.set_read_timeout(Some(FRAME_READ_TIMEOUT));
-        let frame = read_frame(&mut (&stream), shared.cfg.max_request_bytes);
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-        let frame = match frame {
-            Ok(f) => f,
-            Err(ProtoError::Io(_)) => return, // disconnect mid-frame
-            Err(e) => {
-                // Protocol violation: answer with the code, then close —
-                // the stream cannot be resynchronized.
-                shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = write_frame(
-                    &mut (&stream),
-                    &Frame::Error {
-                        code: e.code().to_string(),
-                        message: e.to_string(),
-                    },
-                );
-                return;
+    }
+
+    /// Queue one frame for writing. Encoding failures (pathological —
+    /// a table that cannot serialize) close the connection.
+    fn push(&mut self, frame: &Frame, counters: &Counters) {
+        match frame_bytes(frame) {
+            Ok(bytes) => {
+                self.out.bytes += bytes.len();
+                self.out.frames.push_back(bytes);
+                counters
+                    .outbuf_hwm_bytes
+                    .fetch_max(self.out.bytes as u64, Ordering::Relaxed);
             }
-        };
-        let response = match frame {
-            Frame::Query { delay_ms, sql } => match try_enqueue(shared, sql, delay_ms) {
-                Admission::Admitted(rx) => match rx.recv() {
-                    Ok(reply) => reply,
-                    Err(_) => Frame::Error {
-                        code: "server.internal".into(),
-                        message: "worker dropped the query".into(),
-                    },
-                },
-                Admission::Busy { queued } => {
-                    shared
-                        .counters
-                        .busy_rejections
-                        .fetch_add(1, Ordering::Relaxed);
-                    Frame::Busy {
-                        queue_depth: shared.cfg.queue_depth as u32,
-                        queued,
+            Err(_) => self.closing = true,
+        }
+    }
+
+    /// Drain whatever the socket has ready into the read buffer.
+    fn read_ready(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut progress = false;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed { progress },
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Closed { progress },
+            }
+        }
+        ReadOutcome::Open { progress }
+    }
+
+    /// Write queued outbound bytes until the socket would block.
+    /// Returns `(progress, dead)`.
+    fn write_ready(&mut self) -> (bool, bool) {
+        let mut progress = false;
+        while let Some(front) = self.out.frames.front() {
+            match self.stream.write(&front[self.out.front_off..]) {
+                Ok(0) => return (progress, true),
+                Ok(n) => {
+                    progress = true;
+                    self.out.front_off += n;
+                    self.out.bytes -= n;
+                    if self.out.front_off == front.len() {
+                        self.out.frames.pop_front();
+                        self.out.front_off = 0;
                     }
                 }
-                Admission::Draining => Frame::Error {
-                    code: "server.shutdown".into(),
-                    message: "server is draining; no new queries".into(),
-                },
-            },
-            Frame::Stats => Frame::StatsReply {
-                text: shared.stats_text(),
-            },
-            Frame::Ping => Frame::Pong,
-            Frame::Shutdown => {
-                shared.shutdown.store(true, Ordering::Release);
-                shared.job_ready.notify_all();
-                let _ = write_frame(&mut (&stream), &Frame::ShutdownAck);
-                return;
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return (progress, true),
             }
-            // Response frames arriving at the server are a client bug.
-            other => Frame::Error {
-                code: "proto.unexpected".into(),
-                message: format!("server cannot handle frame {other:?}"),
-            },
+        }
+        (progress, false)
+    }
+}
+
+fn poller_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let mut listener = Some(listener);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let mut progress = false;
+        let draining = shared.is_shutdown();
+        if draining {
+            // Refuse new connects the moment drain starts: dropping the
+            // listener resets anything still in the accept backlog.
+            if listener.take().is_some() {
+                progress = true;
+            }
+            if drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+            }
+        }
+
+        // 1. Accept everything ready.
+        if let Some(l) = &listener {
+            loop {
+                match l.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                        conns.insert(next_token, Conn::new(stream));
+                        next_token += 1;
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        // 2. Read + parse + handle, per connection.
+        let mut dead: Vec<u64> = Vec::new();
+        for (&token, conn) in conns.iter_mut() {
+            if conn.closing {
+                continue;
+            }
+            let (read_progress, eof) = match conn.read_ready() {
+                ReadOutcome::Open { progress } => (progress, false),
+                ReadOutcome::Closed { progress } => (progress, true),
+            };
+            progress |= read_progress;
+            // Parse every complete frame — including frames that raced
+            // ahead of an EOF (a client may legally send a query and
+            // close its write side in one burst).
+            loop {
+                match decode_frame(&conn.rbuf, shared.cfg.max_request_bytes) {
+                    Ok(Some((frame, used))) => {
+                        conn.rbuf.drain(..used);
+                        progress = true;
+                        handle_frame(shared, token, conn, frame, draining);
+                        if conn.closing {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // Protocol violation: answer with the code, then
+                        // close — the stream cannot be resynchronized.
+                        shared.counters.proto_errors.fetch_add(1, Ordering::Relaxed);
+                        conn.push(
+                            &Frame::Error {
+                                code: e.code().to_string(),
+                                message: e.to_string(),
+                            },
+                            &shared.counters,
+                        );
+                        conn.closing = true;
+                        break;
+                    }
+                }
+            }
+            if eof {
+                dead.push(token);
+            }
+        }
+
+        // 3. Deliver worker completions.
+        let finished: Vec<Completion> = {
+            let mut c = shared.completions.lock().expect("completions poisoned");
+            std::mem::take(&mut *c)
         };
-        // A client that vanished while its query ran must not poison the
-        // pool — but the undelivered answer is worth counting. The probe
-        // is needed because the first write after a peer's close often
-        // lands in the kernel buffer and only a later write sees the RST.
-        let query_reply = matches!(response, Frame::Result { .. } | Frame::Error { .. });
-        if query_reply && peer_closed(&stream) {
-            shared
-                .counters
-                .dropped_replies
-                .fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        if write_frame(&mut (&stream), &response).is_err() {
-            if query_reply {
-                shared
-                    .counters
-                    .dropped_replies
-                    .fetch_add(1, Ordering::Relaxed);
+        for comp in finished {
+            progress = true;
+            match conns.get_mut(&comp.token) {
+                Some(conn) => deliver_completion(shared, conn, comp),
+                None => {
+                    // The connection vanished while its query ran. The
+                    // computed-but-undeliverable answer is worth counting
+                    // (a skipped job produced nothing to drop).
+                    if !matches!(comp.done, Done::Skipped) {
+                        shared
+                            .counters
+                            .dropped_replies
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
-            return;
+        }
+
+        // 4. Pump cursors (credit- and outbuf-gated), then flush sockets.
+        for (&token, conn) in conns.iter_mut() {
+            pump_cursors(shared, conn);
+            let (write_progress, write_dead) = conn.write_ready();
+            progress |= write_progress;
+            if write_dead || (conn.closing && conn.out.bytes == 0) {
+                dead.push(token);
+            }
+        }
+
+        // 5. Reap dead connections: free their cursors, flag their
+        // still-queued queries so workers skip them.
+        for token in dead {
+            if let Some(conn) = conns.remove(&token) {
+                let open = conn.cursors.len() as u64;
+                if open > 0 {
+                    shared
+                        .counters
+                        .cursors_open
+                        .fetch_sub(open, Ordering::Relaxed);
+                }
+                for inflight in conn.inflight.values() {
+                    inflight.cancel.store(true, Ordering::Release);
+                }
+                progress = true;
+            }
+        }
+
+        // 6. Drain-exit check: every admitted job completed and
+        // delivered, every cursor finished, every outbound byte flushed
+        // — or the deadline passed (a stalled reader cannot pin
+        // shutdown).
+        if draining {
+            let quiesced = {
+                let q = shared.queue.lock().expect("queue poisoned");
+                let queue_empty = q.is_empty();
+                drop(q);
+                let running = shared.running.load(Ordering::SeqCst);
+                let completions_empty = shared
+                    .completions
+                    .lock()
+                    .expect("completions poisoned")
+                    .is_empty();
+                queue_empty
+                    && running == 0
+                    && completions_empty
+                    && conns
+                        .values()
+                        .all(|c| c.out.bytes == 0 && c.cursors.is_empty() && c.inflight.is_empty())
+            };
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if quiesced || expired {
+                return; // conns drop here, closing every socket
+            }
+        }
+
+        if !progress {
+            std::thread::sleep(IDLE_TICK);
         }
     }
 }
 
-/// Non-blocking probe: has the peer fully closed the connection? A
-/// read-side EOF is the signal (the protocol never half-closes, so EOF
-/// while a reply is pending means the client is gone).
-fn peer_closed(stream: &TcpStream) -> bool {
-    if stream.set_nonblocking(true).is_err() {
-        return false;
-    }
-    let gone = matches!(stream.peek(&mut [0u8; 1]), Ok(0));
-    let _ = stream.set_nonblocking(false);
-    gone
-}
-
-enum Admission {
-    Admitted(std::sync::mpsc::Receiver<Frame>),
-    Busy { queued: u32 },
+/// Admission verdict for one query frame.
+enum Admit {
+    Admitted,
+    Busy {
+        queued: u32,
+        estimated_rows: u64,
+        by_cost: bool,
+    },
     Draining,
 }
 
-fn try_enqueue(shared: &Shared, sql: String, delay_ms: u32) -> Admission {
-    let (tx, rx) = sync_channel(1);
+/// Admission control: queue depth first, then the estimated-cost budget.
+/// On `Admitted` the job is already queued and a worker notified.
+fn try_admit(
+    shared: &Shared,
+    token: u64,
+    cursor: Option<u32>,
+    sql: String,
+    delay_ms: u32,
+    cancel: Arc<AtomicBool>,
+) -> Admit {
+    // Cost the query before taking the queue lock (planning is pure
+    // CPU but not free). Unestimable queries admit on depth alone —
+    // including unparseable ones, which must reach a worker so the
+    // client gets its `query.parse` error rather than a nonsense BUSY.
+    let estimate = match shared.cfg.cost_budget_rows {
+        Some(_) => shared
+            .wh
+            .estimate_query_rows(&sql)
+            .ok()
+            .flatten()
+            .unwrap_or(0),
+        None => 0,
+    };
     let mut q = shared.queue.lock().expect("queue poisoned");
     // Re-checked under the queue lock: workers only exit after observing
     // (empty queue ∧ shutdown) under this same lock, so a job admitted
-    // here while the flag is still down is guaranteed a live worker —
-    // without this check, a flag flip between the connection thread's
-    // lock-free check and the push could strand the job (and its blocked
-    // reply channel) in a queue nobody drains.
+    // here while the flag is still down is guaranteed a live worker.
     if shared.is_shutdown() {
-        return Admission::Draining;
+        return Admit::Draining;
     }
     if q.len() >= shared.cfg.queue_depth {
-        return Admission::Busy {
+        return Admit::Busy {
             queued: q.len() as u32,
+            estimated_rows: estimate,
+            by_cost: false,
         };
+    }
+    let mut cost = 0;
+    if let Some(budget) = shared.cfg.cost_budget_rows {
+        if estimate > 0 {
+            let admitted = shared.admitted_cost.load(Ordering::SeqCst);
+            // A query over budget on its own still runs when nothing
+            // else is admitted — admission must never starve forever.
+            if admitted > 0 && admitted.saturating_add(estimate) > budget {
+                return Admit::Busy {
+                    queued: q.len() as u32,
+                    estimated_rows: estimate,
+                    by_cost: true,
+                };
+            }
+            shared.admitted_cost.fetch_add(estimate, Ordering::SeqCst);
+            cost = estimate;
+        }
     }
     q.push_back(Job {
         sql,
         delay_ms,
         enqueued: Instant::now(),
-        reply: tx,
+        token,
+        cursor,
+        cancel,
+        cost,
     });
     drop(q);
     shared.job_ready.notify_one();
-    Admission::Admitted(rx)
+    Admit::Admitted
+}
+
+/// React to one parsed frame on the poller thread. Queries go through
+/// admission; everything else is answered inline (stats and pings must
+/// work even when the pool is saturated — that is when an operator needs
+/// them most).
+fn handle_frame(shared: &Shared, token: u64, conn: &mut Conn, frame: Frame, draining: bool) {
+    let counters = &shared.counters;
+    match frame {
+        Frame::Hello { max_version } => {
+            conn.version = max_version.clamp(1, crate::protocol::MAX_VERSION);
+            conn.push(
+                &Frame::HelloAck {
+                    version: conn.version,
+                    batch_rows: shared.cfg.batch_rows,
+                    initial_credit: shared.cfg.initial_credit,
+                },
+                counters,
+            );
+        }
+        Frame::Query { delay_ms, sql } => {
+            admit_or_reject(shared, token, conn, None, sql, delay_ms, draining)
+        }
+        Frame::QueryV2 {
+            cursor,
+            delay_ms,
+            sql,
+        } => {
+            if conn.version < 2 {
+                conn.push(
+                    &Frame::Error {
+                        code: "proto.unexpected".into(),
+                        message: "QueryV2 before a v2 Hello handshake".into(),
+                    },
+                    counters,
+                );
+            } else if conn.cursors.contains_key(&cursor) || conn.inflight.contains_key(&cursor) {
+                conn.push(
+                    &Frame::Error {
+                        code: "server.cursor".into(),
+                        message: format!("cursor {cursor} is already in use"),
+                    },
+                    counters,
+                );
+            } else {
+                admit_or_reject(shared, token, conn, Some(cursor), sql, delay_ms, draining)
+            }
+        }
+        Frame::Credit { cursor, n } => {
+            if let Some(cur) = conn.cursors.get_mut(&cursor) {
+                cur.credit = cur.credit.saturating_add(n);
+                cur.stalled = false;
+            }
+            // Unknown cursor: the grant raced the stream's end — ignore.
+        }
+        Frame::Cancel { cursor } => {
+            if let Some(cur) = conn.cursors.remove(&cursor) {
+                counters.cursors_open.fetch_sub(1, Ordering::Relaxed);
+                conn.push(
+                    &Frame::ResultEnd {
+                        cursor,
+                        batches: cur.seq,
+                        rows: cur.next_row as u64,
+                        cancelled: true,
+                    },
+                    counters,
+                );
+            } else if let Some(inflight) = conn.inflight.get_mut(&cursor) {
+                // Queued or executing: flag it (a queued job is skipped
+                // outright) and acknowledge when the completion posts.
+                inflight.cancel.store(true, Ordering::Release);
+                inflight.cancelled = true;
+            }
+            // Unknown cursor: the cancel raced the stream's end — ignore.
+        }
+        Frame::Stats => conn.push(
+            &Frame::StatsReply {
+                text: shared.stats_text(),
+            },
+            counters,
+        ),
+        Frame::Ping => conn.push(&Frame::Pong, counters),
+        Frame::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.job_ready.notify_all();
+            conn.push(&Frame::ShutdownAck, counters);
+            conn.closing = true;
+        }
+        // Response frames arriving at the server are a client bug.
+        other => conn.push(
+            &Frame::Error {
+                code: "proto.unexpected".into(),
+                message: format!("server cannot handle frame {other:?}"),
+            },
+            counters,
+        ),
+    }
+}
+
+fn admit_or_reject(
+    shared: &Shared,
+    token: u64,
+    conn: &mut Conn,
+    cursor: Option<u32>,
+    sql: String,
+    delay_ms: u32,
+    draining: bool,
+) {
+    let counters = &shared.counters;
+    if draining {
+        conn.push(
+            &Frame::Error {
+                code: "server.shutdown".into(),
+                message: "server is draining; no new queries".into(),
+            },
+            counters,
+        );
+        return;
+    }
+    let cancel = Arc::new(AtomicBool::new(false));
+    match try_admit(shared, token, cursor, sql, delay_ms, Arc::clone(&cancel)) {
+        Admit::Admitted => {
+            if let Some(id) = cursor {
+                conn.inflight.insert(
+                    id,
+                    Inflight {
+                        cancel,
+                        cancelled: false,
+                    },
+                );
+            }
+        }
+        Admit::Busy {
+            queued,
+            estimated_rows,
+            by_cost,
+        } => {
+            counters.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            if by_cost {
+                counters.cost_rejections.fetch_add(1, Ordering::Relaxed);
+            }
+            conn.push(
+                &Frame::Busy {
+                    queue_depth: shared.cfg.queue_depth as u32,
+                    queued,
+                    estimated_rows,
+                    cost_budget: shared.cfg.cost_budget_rows.unwrap_or(0),
+                },
+                counters,
+            );
+        }
+        Admit::Draining => conn.push(
+            &Frame::Error {
+                code: "server.shutdown".into(),
+                message: "server is draining; no new queries".into(),
+            },
+            counters,
+        ),
+    }
+}
+
+/// Route one worker completion to its connection: v1 gets the whole
+/// result frame, v2 opens a cursor (or acknowledges its cancellation).
+fn deliver_completion(shared: &Shared, conn: &mut Conn, comp: Completion) {
+    let counters = &shared.counters;
+    match comp.cursor {
+        None => match comp.done {
+            Done::Ok { metrics, table } => conn.push(&Frame::Result { metrics, table }, counters),
+            Done::Err { code, message } => conn.push(&Frame::Error { code, message }, counters),
+            Done::Skipped => {} // v1 jobs are never cancelled
+        },
+        Some(cursor) => {
+            let cancelled = conn
+                .inflight
+                .remove(&cursor)
+                .map(|f| f.cancelled || f.cancel.load(Ordering::Acquire))
+                .unwrap_or(false);
+            match comp.done {
+                _ if cancelled => {
+                    // Cancelled while queued/executing: the result (if
+                    // any) is discarded; acknowledge the cancel.
+                    conn.push(
+                        &Frame::ResultEnd {
+                            cursor,
+                            batches: 0,
+                            rows: 0,
+                            cancelled: true,
+                        },
+                        counters,
+                    );
+                }
+                Done::Ok { metrics, table } => {
+                    // Schema travels on ResultStart as a zero-row slice,
+                    // so even an empty result tells the client its shape.
+                    let schema = match table.slice(0, 0) {
+                        Ok(t) => Arc::new(t),
+                        Err(_) => {
+                            conn.push(
+                                &Frame::Error {
+                                    code: "server.internal".into(),
+                                    message: "result schema slice failed".into(),
+                                },
+                                counters,
+                            );
+                            return;
+                        }
+                    };
+                    counters.cursors_opened.fetch_add(1, Ordering::Relaxed);
+                    counters.cursors_open.fetch_add(1, Ordering::Relaxed);
+                    conn.push(
+                        &Frame::ResultStart {
+                            cursor,
+                            metrics,
+                            schema,
+                        },
+                        counters,
+                    );
+                    conn.cursors.insert(
+                        cursor,
+                        Cursor {
+                            table,
+                            next_row: 0,
+                            credit: shared.cfg.initial_credit,
+                            seq: 0,
+                            stalled: false,
+                        },
+                    );
+                }
+                Done::Err { code, message } => conn.push(&Frame::Error { code, message }, counters),
+                Done::Skipped => {
+                    // Skipped without a recorded cancel only happens when
+                    // the connection died and was reborn — impossible
+                    // (tokens are unique) — or a cancel raced delivery;
+                    // either way a cancelled end is the honest answer.
+                    conn.push(
+                        &Frame::ResultEnd {
+                            cursor,
+                            batches: 0,
+                            rows: 0,
+                            cancelled: true,
+                        },
+                        counters,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Stream batches for every cursor that has credit, stopping at the
+/// outbound-buffer ceiling — the mechanism that bounds per-connection
+/// memory by `O(batch)` instead of `O(result)`.
+fn pump_cursors(shared: &Shared, conn: &mut Conn) {
+    let counters = &shared.counters;
+    let batch_rows = shared.cfg.batch_rows.max(1) as usize;
+    let ids: Vec<u32> = conn.cursors.keys().copied().collect();
+    for id in ids {
+        // Take the cursor out for the duration of the pump so batches
+        // can be queued (updating `out.bytes`) as they are sliced — the
+        // ceiling check must see every byte already produced this tick.
+        let mut cur = conn.cursors.remove(&id).expect("cursor vanished");
+        let mut finished = false;
+        loop {
+            let total = cur.table.num_rows();
+            if cur.next_row >= total {
+                conn.push(
+                    &Frame::ResultEnd {
+                        cursor: id,
+                        batches: cur.seq,
+                        rows: cur.next_row as u64,
+                        cancelled: false,
+                    },
+                    counters,
+                );
+                finished = true;
+                break;
+            }
+            if cur.credit == 0 {
+                if !cur.stalled {
+                    cur.stalled = true;
+                    counters.credit_stalls.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            if conn.out.bytes >= shared.cfg.max_outbuf_bytes {
+                break; // socket backlogged; resume next tick
+            }
+            let len = batch_rows.min(total - cur.next_row);
+            match cur.table.slice(cur.next_row, len) {
+                Ok(batch) => {
+                    conn.push(
+                        &Frame::ResultBatch {
+                            cursor: id,
+                            seq: cur.seq,
+                            table: Arc::new(batch),
+                        },
+                        counters,
+                    );
+                    cur.seq += 1;
+                    cur.next_row += len;
+                    cur.credit -= 1;
+                    counters.batches_streamed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    conn.push(
+                        &Frame::ResultEnd {
+                            cursor: id,
+                            batches: cur.seq,
+                            rows: cur.next_row as u64,
+                            cancelled: true,
+                        },
+                        counters,
+                    );
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        if finished {
+            counters.cursors_open.fetch_sub(1, Ordering::Relaxed);
+        } else {
+            conn.cursors.insert(id, cur);
+        }
+    }
 }

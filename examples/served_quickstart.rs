@@ -6,14 +6,15 @@
 //! ```
 //!
 //! Boots a server on an ephemeral loopback port, drives the Figure-1
-//! queries through a [`lazyetl::server::Client`], prints the per-request
-//! serving metrics, then shuts down gracefully — draining in-flight
-//! queries and snapshotting the hot cache so a second boot would
-//! warm-restart.
+//! queries through a [`lazyetl::server::Client`] — results arrive as a
+//! credit-gated **batch stream** (protocol v2), so rows print before the
+//! query's tail is even on the wire — prints the per-request serving
+//! metrics, then shuts down gracefully: draining in-flight queries and
+//! snapshotting the hot cache so a second boot would warm-restart.
 
 use lazyetl::mseed::gen::{generate_repository, GeneratorConfig};
 use lazyetl::mseed::Timestamp;
-use lazyetl::server::{Client, Server, ServerConfig, ServerReply};
+use lazyetl::server::{Client, QueryReply, Server, ServerConfig};
 use lazyetl::{Warehouse, WarehouseConfig};
 use std::sync::Arc;
 
@@ -46,29 +47,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("serving on {}\n", server.addr());
 
-    // 3. A client on the other side of the socket.
+    // 3. A client on the other side of the socket. `connect` runs the
+    //    v2 Hello handshake, so `query` returns a QueryStream: batches
+    //    on demand, one credit granted back per batch consumed.
     let mut client = Client::connect(server.addr())?;
+    println!(
+        "negotiated protocol v{}, {} rows/batch\n",
+        client.protocol_version(),
+        client.batch_rows()
+    );
     for sql in [
         "SELECT network, station, COUNT(*) FROM mseed.files GROUP BY network, station",
         "SELECT F.station, MIN(D.sample_value), MAX(D.sample_value) \
          FROM mseed.dataview WHERE F.network = 'NL' AND F.channel = 'BHZ' \
          GROUP BY F.station",
     ] {
-        match client.query(sql)? {
-            ServerReply::Result(r) => {
-                println!("{}", r.table.to_ascii(10));
+        let reply = client.query(sql)?;
+        match reply {
+            QueryReply::Stream(mut stream) => {
+                while let Some(batch) = stream.next_batch()? {
+                    println!("{}", batch.to_ascii(10));
+                }
+                let m = stream.metrics();
                 println!(
-                    "rows={} queue_wait={}us exec={}us extracted={} hits={}/{}\n",
-                    r.metrics.rows,
-                    r.metrics.queue_wait_us,
-                    r.metrics.exec_us,
-                    r.metrics.records_extracted,
-                    r.metrics.cache_hits,
-                    r.metrics.cache_hits + r.metrics.cache_misses,
+                    "rows={} batches={} queue_wait={}us exec={}us extracted={} hits={}/{}\n",
+                    stream.rows(),
+                    stream.batches(),
+                    m.queue_wait_us,
+                    m.exec_us,
+                    m.records_extracted,
+                    m.cache_hits,
+                    m.cache_hits + m.cache_misses,
                 );
             }
-            ServerReply::Busy { queued, .. } => println!("busy ({queued} queued), retry later"),
-            ServerReply::Error { code, message } => println!("{code}: {message}"),
+            QueryReply::Busy { queued, .. } => println!("busy ({queued} queued), retry later"),
+            QueryReply::Error { code, message } => println!("{code}: {message}"),
         }
     }
 

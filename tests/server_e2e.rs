@@ -1,17 +1,23 @@
 //! End-to-end tests of the serving layer: real TCP connections against a
 //! real warehouse, covering the wire protocol's failure modes, admission
-//! control, and served-vs-serial result identity.
+//! control, streamed cursors (credit flow, cancel, backpressure), v1
+//! compatibility, and served-vs-serial result identity.
 
 mod common;
 
 use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
 use lazyetl::core::{Warehouse, WarehouseConfig, METADATA_QUERY};
 use lazyetl::server::protocol::{self, Frame};
-use lazyetl::server::{Client, Server, ServerConfig, ServerReply};
+use lazyetl::server::{Client, QueryReply, Server, ServerConfig, ServerReply};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A full-scan projection over one stream: 2 files × 300 s × 40 Hz =
+/// 24 000 rows — big enough that v2 streams it as many record batches.
+const WIDE_SCAN: &str =
+    "SELECT D.sample_value FROM mseed.dataview WHERE F.station = 'HGN' AND F.channel = 'BHZ'";
 
 fn quiet_config() -> WarehouseConfig {
     WarehouseConfig {
@@ -25,9 +31,25 @@ fn start_server(wh: Arc<Warehouse>, cfg: ServerConfig) -> Server {
 }
 
 fn expect_rows(client: &mut Client, sql: &str) -> lazyetl::store::Table {
-    match client.query(sql).expect("transport ok") {
+    match client.query_all(sql).expect("transport ok") {
         ServerReply::Result(r) => r.table,
         other => panic!("expected rows for {sql:?}, got {other:?}"),
+    }
+}
+
+/// Poll a stats predicate until it holds or a 10 s deadline passes.
+fn wait_for(server: &Server, what: &str, pred: impl Fn(&lazyetl::server::ServerStats) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = server.stats();
+        if pred(&stats) {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
     }
 }
 
@@ -51,6 +73,7 @@ fn served_results_match_serial_eager_baseline() {
             let baseline = &baseline;
             s.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
+                assert_eq!(client.protocol_version(), 2, "handshake negotiates v2");
                 for round in 0..3 {
                     for (i, sql) in mix.iter().enumerate() {
                         let got = expect_rows(&mut client, sql);
@@ -68,6 +91,12 @@ fn served_results_match_serial_eager_baseline() {
     assert_eq!(report.stats.queries_ok, 4 * 3 * 3);
     assert_eq!(report.stats.queries_err, 0);
     assert_eq!(report.stats.proto_errors, 0);
+    // Every v2 query opened (and closed) a streamed cursor.
+    assert_eq!(report.stats.cursors_opened, 4 * 3 * 3);
+    assert_eq!(
+        report.stats.cursors_open, 0,
+        "quiesced server holds no cursors"
+    );
 }
 
 #[test]
@@ -150,7 +179,7 @@ fn client_disconnect_mid_query_leaves_pool_healthy() {
     );
     let addr = server.addr();
 
-    // Send a slow query, then vanish before the reply can be written.
+    // Send a slow v1 query, then vanish before the reply can be written.
     {
         let mut raw = TcpStream::connect(addr).unwrap();
         let frame = protocol::frame_bytes(&Frame::Query {
@@ -169,18 +198,9 @@ fn client_disconnect_mid_query_leaves_pool_healthy() {
     assert!(t.num_rows() > 0);
 
     // Give the worker time to finish the orphan so the drop is counted.
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    loop {
-        let stats = server.stats();
-        if stats.dropped_replies >= 1 {
-            break;
-        }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "orphaned reply never recorded: {stats:?}"
-        );
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    wait_for(&server, "orphaned reply recorded", |s| {
+        s.dropped_replies >= 1
+    });
     let report = server.stop().unwrap();
     assert_eq!(report.stats.dropped_replies, 1);
     assert_eq!(report.stats.queries_ok, 2, "orphan + served query both ran");
@@ -206,19 +226,20 @@ fn busy_frame_fires_at_configured_queue_depth() {
     let (a, b) = std::thread::scope(|s| {
         let a = s.spawn(|| {
             let mut c = Client::connect(addr).unwrap();
-            c.query_with_delay(METADATA_QUERY, 600).unwrap()
+            c.query_all_with_delay(METADATA_QUERY, 600).unwrap()
         });
         std::thread::sleep(Duration::from_millis(200)); // A popped by the worker
         let b = s.spawn(|| {
             let mut c = Client::connect(addr).unwrap();
-            c.query_with_delay(METADATA_QUERY, 0).unwrap()
+            c.query_all_with_delay(METADATA_QUERY, 0).unwrap()
         });
         std::thread::sleep(Duration::from_millis(200)); // B sits in the queue
         let mut c = Client::connect(addr).unwrap();
-        match c.query(METADATA_QUERY).unwrap() {
+        match c.query_all(METADATA_QUERY).unwrap() {
             ServerReply::Busy {
                 queue_depth,
                 queued,
+                ..
             } => {
                 assert_eq!(queue_depth, 1);
                 assert_eq!(queued, 1);
@@ -259,7 +280,7 @@ fn oversized_query_rejected_without_serving_interruption() {
     let mut raw = TcpStream::connect(addr).unwrap();
     let frame = protocol::frame_bytes(&Frame::Query {
         delay_ms: 0,
-        sql: huge_sql,
+        sql: huge_sql.clone(),
     })
     .unwrap();
     raw.write_all(&frame).unwrap();
@@ -271,6 +292,18 @@ fn oversized_query_rejected_without_serving_interruption() {
         }
         other => panic!("expected oversize error, got {other:?}"),
     }
+
+    // The client enforces the same cap before ever touching the wire: an
+    // oversized request fails locally with the same stable code, and the
+    // connection is never poisoned — the same client keeps working.
+    let mut capped = Client::connect(addr).unwrap();
+    capped.set_max_request_bytes(1024);
+    let err = capped
+        .query_all(&huge_sql)
+        .expect_err("rejected client-side");
+    assert_eq!(err.code(), "proto.oversize");
+    let t = expect_rows(&mut capped, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
 
     // Under the cap still works on a fresh connection.
     let mut client = Client::connect(addr).unwrap();
@@ -286,11 +319,11 @@ fn query_errors_travel_with_codes_and_connection_survives() {
     let server = start_server(Arc::clone(&wh), ServerConfig::default());
     let mut client = Client::connect(server.addr()).unwrap();
 
-    match client.query("SELEKT broken").unwrap() {
+    match client.query_all("SELEKT broken").unwrap() {
         ServerReply::Error { code, .. } => assert_eq!(code, "query.parse"),
         other => panic!("expected parse error, got {other:?}"),
     }
-    match client.query("SELECT nope FROM mseed.files").unwrap() {
+    match client.query_all("SELECT nope FROM mseed.files").unwrap() {
         ServerReply::Error { code, .. } => assert_eq!(code, "query.plan"),
         other => panic!("expected plan error, got {other:?}"),
     }
@@ -325,10 +358,11 @@ fn graceful_shutdown_drains_saves_and_next_boot_is_warm() {
     assert!(!save.segments.is_empty(), "hot cache persisted");
     assert!(save_dir.join(lazyetl::core::MANIFEST_NAME).exists());
 
-    // New queries after the shutdown request are refused.
+    // New queries after the shutdown request are refused (the listener
+    // goes away at drain start, so the connect itself usually fails).
     let mut late = Client::connect(addr);
     if let Ok(c) = late.as_mut() {
-        match c.query(METADATA_QUERY) {
+        match c.query_all(METADATA_QUERY) {
             Ok(ServerReply::Error { code, .. }) => assert_eq!(code, "server.shutdown"),
             Ok(other) => panic!("late query should be refused, got {other:?}"),
             Err(_) => {} // listener already gone — equally acceptable
@@ -339,7 +373,7 @@ fn graceful_shutdown_drains_saves_and_next_boot_is_warm() {
     let wh2 = Arc::new(Warehouse::open_saved(&repo.root, &save_dir, quiet_config()).unwrap());
     let server2 = start_server(Arc::clone(&wh2), ServerConfig::default());
     let mut client2 = Client::connect(server2.addr()).unwrap();
-    match client2.query(FIGURE1_Q2).unwrap() {
+    match client2.query_all(FIGURE1_Q2).unwrap() {
         ServerReply::Result(r) => {
             assert_eq!(r.table, hot, "warm boot answers identically");
             assert_eq!(
@@ -379,5 +413,288 @@ fn stats_frame_reports_serving_counters() {
     assert_eq!(files as usize, repo.generated.files.len());
     let hit_rate: f64 = stats.get("server.cache_hit_rate").unwrap().parse().unwrap();
     assert!((0.0..=1.0).contains(&hit_rate));
+    // The v2 streaming counters travel over the same frame.
+    let opened: u64 = stats.get("server.cursors_opened").unwrap().parse().unwrap();
+    assert_eq!(opened, 2);
+    let streamed: u64 = stats
+        .get("server.batches_streamed")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(streamed >= 2, "each result is at least one batch");
     server.stop().unwrap();
+}
+
+#[test]
+fn v1_client_is_served_whole_frame_by_v2_server() {
+    let repo = figure1_repo("srv_v1compat", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+    let addr = server.addr();
+
+    // A v1 peer skips the handshake and gets whole-frame results.
+    let mut old = Client::connect_v1(addr).unwrap();
+    assert_eq!(old.protocol_version(), 1);
+    let mix = [FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY];
+    let v1_results: Vec<_> = mix.iter().map(|sql| expect_rows(&mut old, sql)).collect();
+    assert_eq!(
+        server.stats().cursors_opened,
+        0,
+        "v1 queries never open cursors"
+    );
+
+    // The iterator API works identically over a v1 connection: the whole
+    // result is surfaced as a single inline batch.
+    match old.query(FIGURE1_Q2).unwrap() {
+        QueryReply::Stream(mut stream) => {
+            let first = stream.next_batch().unwrap().expect("one inline batch");
+            assert_eq!(first, v1_results[1]);
+            assert!(stream.next_batch().unwrap().is_none(), "then end-of-stream");
+        }
+        _ => panic!("v1 stream adapter failed"),
+    }
+
+    // A v2 peer on the same server sees identical rows, streamed.
+    let mut new = Client::connect(addr).unwrap();
+    assert_eq!(new.protocol_version(), 2);
+    for (i, sql) in mix.iter().enumerate() {
+        assert_eq!(
+            expect_rows(&mut new, sql),
+            v1_results[i],
+            "v1 and v2 clients must see identical rows for {sql:?}"
+        );
+    }
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.queries_ok, 3 + 1 + 3);
+    assert_eq!(report.stats.proto_errors, 0);
+    assert_eq!(
+        report.stats.cursors_opened, 3,
+        "only the v2 queries streamed"
+    );
+}
+
+#[test]
+fn slow_consumer_backpressure_bounds_server_memory() {
+    let repo = figure1_repo("srv_backpressure", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    // Serial ground truth for the drained stream.
+    let expected = (*wh.query(WIDE_SCAN).unwrap().table).clone();
+    assert!(
+        expected.num_rows() >= 20_000,
+        "scan must be large enough to stream in many batches"
+    );
+
+    let max_outbuf = 32 * 1024;
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            batch_rows: 256,
+            initial_credit: 2,
+            max_outbuf_bytes: max_outbuf,
+            ..Default::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+    assert_eq!(
+        client.batch_rows(),
+        256,
+        "handshake advertises the batch size"
+    );
+
+    let mut stream = match client.query(WIDE_SCAN).unwrap() {
+        QueryReply::Stream(s) => s,
+        QueryReply::Busy { queued, .. } => panic!("unexpected busy ({queued} queued)"),
+        QueryReply::Error { code, message } => panic!("unexpected error {code}: {message}"),
+    };
+    // Consume one batch, then stall: the server may spend its remaining
+    // credit, then must suspend the cursor rather than buffer the result.
+    let first = stream.next_batch().unwrap().expect("first batch");
+    assert_eq!(first.num_rows(), 256);
+    wait_for(&server, "credit stall", |s| s.credit_stalls >= 1);
+    std::thread::sleep(Duration::from_millis(200)); // stay stalled a while
+    let mid = server.stats();
+    assert!(
+        mid.outbuf_hwm_bytes <= (max_outbuf + 16 * 1024) as u64,
+        "stalled reader must not grow server memory past the ceiling \
+         (+1 batch of slack): hwm {} bytes",
+        mid.outbuf_hwm_bytes
+    );
+    assert_eq!(mid.cursors_open, 1, "the suspended cursor stays live");
+
+    // Resume: draining the stream reproduces the serial scan exactly.
+    let mut got = stream.schema().clone();
+    got.append_table(&first).unwrap();
+    for batch in &mut stream {
+        got.append_table(&batch.unwrap()).unwrap();
+    }
+    assert_eq!(got, expected, "streamed scan diverged from serial baseline");
+    assert_eq!(stream.rows() as usize, expected.num_rows());
+    drop(stream);
+
+    wait_for(&server, "cursor retired", |s| s.cursors_open == 0);
+    let report = server.stop().unwrap();
+    assert!(report.stats.credit_stalls >= 1);
+    assert!(report.stats.batches_streamed as usize >= expected.num_rows() / 256);
+    assert_eq!(report.stats.queries_ok, 1);
+}
+
+#[test]
+fn cancel_mid_stream_frees_cursor_and_worker() {
+    let repo = figure1_repo("srv_cancel", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            workers: 1,
+            batch_rows: 64,
+            initial_credit: 1,
+            ..Default::default()
+        },
+    );
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Open a wide stream, take one batch, then abandon the rest.
+    let mut stream = match client.query(WIDE_SCAN).unwrap() {
+        QueryReply::Stream(s) => s,
+        _ => panic!("expected stream"),
+    };
+    let first = stream.next_batch().unwrap().expect("first batch");
+    assert_eq!(first.num_rows(), 64);
+    stream.cancel().unwrap();
+    assert!(stream.was_cancelled());
+    assert!(stream.next_batch().unwrap().is_none(), "cancelled = ended");
+    drop(stream);
+
+    // The cursor is gone server-side and the single worker is free: the
+    // same connection immediately serves another query.
+    wait_for(&server, "cancelled cursor freed", |s| s.cursors_open == 0);
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+
+    // Dropping a live stream cancels it too (drop-abort).
+    match client.query(WIDE_SCAN).unwrap() {
+        QueryReply::Stream(mut s) => {
+            s.next_batch().unwrap().expect("streaming");
+            drop(s); // best-effort Cancel rides out with the drop
+        }
+        _ => panic!("expected stream"),
+    }
+    wait_for(&server, "dropped cursor freed", |s| s.cursors_open == 0);
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.cursors_open, 0);
+    assert_eq!(report.stats.queries_err, 0);
+    assert_eq!(report.stats.proto_errors, 0);
+}
+
+#[test]
+fn disconnect_storm_leaves_no_leaked_cursors() {
+    let repo = figure1_repo("srv_storm", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    wh.query(WIDE_SCAN).unwrap(); // warm the cache so the storm is fast
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            workers: 2,
+            batch_rows: 128,
+            initial_credit: 2,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Wave 1: clients that open a wide stream, read one batch, and slam
+    // the connection shut with the cursor still live.
+    for _ in 0..40 {
+        let mut client = Client::connect(addr).unwrap();
+        match client.query(WIDE_SCAN).unwrap() {
+            QueryReply::Stream(mut s) => {
+                s.next_batch().unwrap().expect("streaming");
+            }
+            _ => panic!("expected stream"),
+        }
+        drop(client); // stream drop-aborts, then the socket dies
+    }
+    // Wave 2: connections that never even finish a handshake.
+    for _ in 0..40 {
+        drop(TcpStream::connect(addr).unwrap());
+    }
+    // Wave 3: handshake then immediate disappearance mid-request.
+    for _ in 0..20 {
+        let client = Client::connect(addr).unwrap();
+        drop(client);
+    }
+
+    wait_for(&server, "all cursors reaped", |s| s.cursors_open == 0);
+    // The server is fully healthy: a fresh client gets exact rows.
+    let mut client = Client::connect(addr).unwrap();
+    let t = expect_rows(&mut client, METADATA_QUERY);
+    assert!(t.num_rows() > 0);
+
+    let report = server.stop().unwrap();
+    assert_eq!(
+        report.stats.cursors_open, 0,
+        "no leaked cursors after the storm"
+    );
+    assert!(report.stats.connections >= 100);
+    assert_eq!(
+        report.stats.proto_errors, 0,
+        "disconnects are not protocol errors"
+    );
+}
+
+#[test]
+fn cost_budget_rejects_wide_scans_with_estimate_in_busy_frame() {
+    let repo = figure1_repo("srv_cost", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    wh.query(METADATA_QUERY).unwrap(); // catalog walked → statistics live
+
+    let budget = 1_000;
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            workers: 1,
+            cost_budget_rows: Some(budget),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Occupy the worker so admitted cost is nonzero when the scan lands
+    // (an idle server always admits — cost control must never starve).
+    std::thread::scope(|s| {
+        let bg = s.spawn(|| {
+            let mut c = Client::connect(addr).unwrap();
+            c.query_all_with_delay(METADATA_QUERY, 800).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(250)); // worker busy now
+        let mut c = Client::connect(addr).unwrap();
+        match c.query_all(WIDE_SCAN).unwrap() {
+            ServerReply::Busy {
+                estimated_rows,
+                cost_budget,
+                ..
+            } => {
+                assert_eq!(cost_budget, budget, "budget echoed in the busy frame");
+                assert!(
+                    estimated_rows > budget,
+                    "estimate {estimated_rows} should exceed the {budget}-row budget"
+                );
+            }
+            other => panic!("expected cost-based busy, got {other:?}"),
+        }
+        assert!(matches!(bg.join().unwrap(), ServerReply::Result(_)));
+    });
+
+    // With the worker idle again the very same scan is admitted: the
+    // budget sheds load under pressure, it does not blacklist queries.
+    let mut c = Client::connect(addr).unwrap();
+    let t = expect_rows(&mut c, WIDE_SCAN);
+    assert!(t.num_rows() >= 20_000);
+
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.cost_rejections, 1);
+    assert!(report.stats.busy_rejections >= 1);
 }

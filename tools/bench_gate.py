@@ -140,6 +140,11 @@ GATES = {
 # E14's admission row exists to prove backpressure fires; gate that too.
 E14_ADMISSION_MIN_BUSY = 1
 
+# E14's connection sweep: the event-driven server must complete these
+# client counts over a 2-worker pool (timings are informational — p99 at
+# 100x oversubscription is contention noise, not a regression signal).
+E14_CONNSWEEP_CLIENTS = (50, 100, 200)
+
 # E15's agg_parallel sweep: 2 execution workers must beat 1 by this factor.
 # Loose on purpose (perfect scaling would be 2.0) and only applied when the
 # measuring host reports >= 2 cores — on a single-core runner the workers
@@ -323,6 +328,70 @@ def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
                 notes.append(
                     f"e14[admission]: {row['busy_rejections']} busy rejections "
                     f"(rate {row.get('busy_rate', 0):.2f}) ok"
+                )
+
+        # The v2 streaming counters must actually move: every served query
+        # opens a cursor and streams at least one batch.
+        for row in current_doc["rows"]:
+            if row.get("phase") in ("cold", "warm", "admission", "connsweep"):
+                for counter in ("cursors_opened", "batches_streamed", "credit_stalls"):
+                    if counter not in row:
+                        failures.append(
+                            f"e14[{row.get('phase')}]: streaming counter {counter} missing"
+                        )
+                if row.get("cursors_opened", 0) < row.get("total_queries", 0):
+                    failures.append(
+                        f"e14[{row.get('phase')}]: {row.get('cursors_opened')} cursors for "
+                        f"{row.get('total_queries')} queries — v2 streaming not in use"
+                    )
+
+        # Connection sweep: hundreds of clients over a 2-worker pool must
+        # all complete through the event-driven connection layer.
+        sweep = {r.get("clients"): r for r in current_doc["rows"] if r.get("phase") == "connsweep"}
+        missing = [c for c in E14_CONNSWEEP_CLIENTS if c not in sweep]
+        if missing:
+            failures.append(f"e14[connsweep]: client counts missing from current run: {missing}")
+        for clients, row in sorted(sweep.items()):
+            want = clients * 2  # queries_per_client is fixed at 2
+            if row.get("total_queries") != want:
+                failures.append(
+                    f"e14[connsweep clients={clients}]: {row.get('total_queries')} queries "
+                    f"completed, want {want} — connections lost under load"
+                )
+            else:
+                notes.append(
+                    f"e14[connsweep clients={clients}]: {want} queries, "
+                    f"p99 {row.get('p99_us', 0) / 1000:.0f}ms ok"
+                )
+
+        # Memory ceiling: a stalled reader must suspend its cursor (credit
+        # stalls observed) while the outbound high-water mark stays under
+        # the configured ceiling — the O(batch)-not-O(result) guarantee.
+        memceil = next((r for r in current_doc["rows"] if r.get("phase") == "memceil"), None)
+        if memceil is None:
+            failures.append("e14: memceil row missing from current run")
+        else:
+            if memceil.get("ceiling_ok") is not True:
+                failures.append(
+                    f"e14[memceil]: outbuf high water {memceil.get('outbuf_hwm_bytes')}B "
+                    f"blew the {memceil.get('ceiling_bytes')}B ceiling"
+                )
+            if memceil.get("credit_stalls", 0) < 1:
+                failures.append(
+                    "e14[memceil]: stalled reader never suspended its cursor — "
+                    "credit backpressure did not fire"
+                )
+            min_batches = memceil.get("rows", 0) // max(1, memceil.get("batch_rows", 1))
+            if memceil.get("batches_streamed", 0) < min_batches:
+                failures.append(
+                    f"e14[memceil]: only {memceil.get('batches_streamed')} batches for "
+                    f"{memceil.get('rows')} rows at {memceil.get('batch_rows')} rows/batch"
+                )
+            if not failures or all("memceil" not in f for f in failures):
+                notes.append(
+                    f"e14[memceil]: hwm {memceil.get('outbuf_hwm_bytes')}B <= "
+                    f"ceiling {memceil.get('ceiling_bytes')}B, "
+                    f"{memceil.get('credit_stalls')} credit stalls ok"
                 )
 
 
