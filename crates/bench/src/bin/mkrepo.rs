@@ -2,21 +2,70 @@
 //!
 //! ```sh
 //! cargo run -p lazyetl-bench --bin mkrepo -- tiny /tmp/srv-repo
+//! cargo run -p lazyetl-bench --bin mkrepo -- add-file /tmp/srv-repo --minute 3
 //! ```
 //!
 //! The CI `server-smoke` job uses this to stand up a repository for
-//! `lazyetl-serve` without going through the bench cache directory.
+//! `lazyetl-serve` without going through the bench cache directory, and
+//! `add-file` to land a fresh file under a *running* server so the
+//! subscribe→refresh→push round-trip can be exercised from a shell.
 
 use lazyetl_bench::{scale_config, ScaleName};
 use lazyetl_mseed::gen::{generate_repository, RepoFormat};
+use lazyetl_mseed::record::SourceId;
+use lazyetl_mseed::Timestamp;
+use lazyetl_repo::{updates, Repository};
 use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: mkrepo <tiny|small|medium|large> <dest-dir> [--format mseed|sac|csv|mixed]";
+    "usage: mkrepo <tiny|small|medium|large> <dest-dir> [--format mseed|sac|csv|mixed]\n\
+     \x20      mkrepo add-file <dest-dir> [--minute N]";
+
+/// Land one deterministic new NL.HGN BHZ file (2010-01-13 00:MM, 10 s)
+/// in an existing repository — an insert-only delta the next refresh
+/// picks up.
+fn add_file(args: &[String]) -> ExitCode {
+    let Some(dest) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let minute: u32 = match args.iter().position(|a| a == "--minute") {
+        Some(p) => match args.get(p + 1).and_then(|v| v.parse().ok()) {
+            Some(m) => m,
+            None => {
+                eprintln!("--minute needs an integer\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 0,
+    };
+    let mut repo = match Repository::open(Path::new(dest)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open repository {dest}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let src = SourceId::new("NL", "HGN", "", "BHZ").expect("static source id");
+    let start = Timestamp::from_ymd_hms(2010, 1, 13, 0, minute, 0, 0);
+    match updates::add_file(&mut repo, &src, start, 10, 0xC1 + minute as u64) {
+        Ok(rel) => {
+            println!("added {rel} at {dest}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("add-file failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("add-file") {
+        return add_file(&args[1..]);
+    }
     let (scale, dest) = match (args.first(), args.get(1)) {
         (Some(s), Some(d)) => (s.as_str(), d.as_str()),
         _ => {

@@ -1251,9 +1251,79 @@ fn e8_observability(scale: ScaleName) {
 }
 
 /// Every experiment the harness knows, in run order.
-const KNOWN_EXPERIMENTS: [&str; 17] = [
+/// E18: fresh-data polling — a steady update stream under K pollers,
+/// incremental result maintenance vs drop-and-recompute.
+fn e18_fresh(scale: ScaleName) {
+    use lazyetl_bench::fresh::{run_fresh_bench, FreshConfig, FRESH_QUERIES};
+    let src = scale_repo(scale);
+    let cfg = FreshConfig::default();
+    let (incr, recomp, results_match) = run_fresh_bench(&src, &cfg);
+    let speedup = recomp.total().as_secs_f64() / incr.total().as_secs_f64().max(1e-9);
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for r in [&incr, &recomp] {
+        rows.push(vec![
+            r.mode.to_string(),
+            r.rounds.to_string(),
+            r.pollers.to_string(),
+            r.polls.to_string(),
+            fmt_dur(r.refresh_total),
+            fmt_dur(r.poll_total),
+            fmt_dur(r.total()),
+            r.recycler.results_patched.to_string(),
+            r.recycler.patch_rows_applied.to_string(),
+            r.recycler.recompute_fallbacks.to_string(),
+            r.recycler.bytes_saved_estimate.to_string(),
+            results_match.to_string(),
+        ]);
+        json_rows.push(Json::obj([
+            ("mode", Json::str(r.mode)),
+            ("rounds", Json::Int(r.rounds as i64)),
+            ("pollers", Json::Int(r.pollers as i64)),
+            ("polls", Json::Int(r.polls as i64)),
+            ("refresh_us", Json::Int(r.refresh_total.as_micros() as i64)),
+            ("poll_us", Json::Int(r.poll_total.as_micros() as i64)),
+            ("total_us", Json::Int(r.total().as_micros() as i64)),
+            (
+                "results_patched",
+                Json::Int(r.recycler.results_patched as i64),
+            ),
+            (
+                "patch_rows_applied",
+                Json::Int(r.recycler.patch_rows_applied as i64),
+            ),
+            (
+                "recompute_fallbacks",
+                Json::Int(r.recycler.recompute_fallbacks as i64),
+            ),
+            (
+                "bytes_saved_estimate",
+                Json::Int(r.recycler.bytes_saved_estimate as i64),
+            ),
+            ("recycler_hits", Json::Int(r.recycler.hits as i64)),
+            ("results_match", Json::Bool(results_match)),
+        ]));
+    }
+    print_table(
+        &format!(
+            "E18 — Fresh-data polling ({} scale): {} update rounds, {} pollers x {} queries; incremental maintenance vs recompute ({speedup:.1}x)",
+            scale.label(),
+            cfg.rounds,
+            cfg.pollers,
+            FRESH_QUERIES.len(),
+        ),
+        &[
+            "mode", "rounds", "pollers", "polls", "refresh", "poll", "total",
+            "patched", "patch rows", "fallbacks", "bytes saved", "match",
+        ],
+        &rows,
+    );
+    emit_json("e18", scale, json_rows);
+}
+
+const KNOWN_EXPERIMENTS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 fn main() {
@@ -1303,6 +1373,7 @@ fn main() {
             "e15" => e15_kernels(scale),
             "e16" => e16_federated(scale),
             "e17" => e17_planner(scale),
+            "e18" => e18_fresh(scale),
             _ => unreachable!("validated above"),
         }
     }

@@ -8,6 +8,7 @@
 
 pub mod concurrent;
 pub mod federated;
+pub mod fresh;
 pub mod json;
 pub mod kernels;
 pub mod planner;

@@ -86,7 +86,10 @@ pub use persistence::{
     stray_files, RecoveryReport, SaveReport, SavedFile, SavedManifest, CRASH_MARKER, JOURNAL_NAME,
     MANIFEST_NAME,
 };
-pub use qcache::{QueryResultCache, ResultCacheSnapshot, ResultCacheStats};
+pub use qcache::{
+    DeltaOutcome, QueryResultCache, RefreshDelta, ResultCacheSnapshot, ResultCacheStats,
+    ResultMeta, ResultScope,
+};
 pub use rewrite::{lazy_rewrite, LocatorIndex, RewriteReport};
 pub use schema::{
     data_schema, dataview_sql, files_schema, records_schema, FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY,

@@ -132,6 +132,38 @@ pub enum EtlOp {
         /// The epoch whose partial files were discarded.
         epoch: u64,
     },
+    /// A refresh produced a record-level delta for incremental result
+    /// maintenance (new generation, what changed, whether the change was
+    /// insert-only — the precondition for patching).
+    RefreshDelta {
+        /// The generation the refresh moved the warehouse to.
+        generation: u64,
+        /// Files that newly appeared.
+        added_files: usize,
+        /// Record-metadata rows the added files contributed.
+        added_records: usize,
+        /// True when nothing was modified or removed (patchable delta).
+        insert_only: bool,
+    },
+    /// A resident recycled result was patched in place from a refresh
+    /// delta instead of being dropped.
+    ResultPatch {
+        /// Delta rows folded into the entry (appended rows or touched
+        /// group states).
+        rows: usize,
+    },
+    /// A resident recycled result survived a refresh untouched because its
+    /// referenced tables/time window do not intersect the delta.
+    ResultKeep {
+        /// Bytes that did not need recomputing.
+        bytes: usize,
+    },
+    /// A resident recycled result could not be maintained and was dropped
+    /// for recompute on next access.
+    ResultRecomputeFallback {
+        /// Why the entry fell back ("opaque plan", "dirty delta", …).
+        reason: String,
+    },
 }
 
 impl EtlOp {

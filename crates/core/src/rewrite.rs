@@ -347,7 +347,10 @@ fn contains_external(plan: &LogicalPlan) -> bool {
 /// The bound extraction is [`lazyetl_query::prune::TimeInterval`] — the
 /// same interval logic the executor's zone-map pruning uses — applied to
 /// every `Filter` predicate of the subtree.
-fn sample_time_interval(plan: &LogicalPlan) -> (Option<i64>, Option<i64>) {
+///
+/// Public because the warehouse also uses it to key recycled results by
+/// time interval for scoped invalidation.
+pub fn sample_time_interval(plan: &LogicalPlan) -> (Option<i64>, Option<i64>) {
     let mut interval = lazyetl_query::prune::TimeInterval::unconstrained();
     fn walk(plan: &LogicalPlan, interval: &mut lazyetl_query::prune::TimeInterval) {
         if let LogicalPlan::Filter { predicate, .. } = plan {

@@ -55,7 +55,7 @@ use crate::error::{EtlError, Result};
 use crate::extract::{push_file_row, push_record_row, FormatRegistry, RecordLocator};
 use crate::log::{EtlLog, EtlOp};
 use crate::parallel::{extract_groups_into, FileGroup};
-use crate::qcache::{QueryResultCache, ResultCacheSnapshot};
+use crate::qcache::{QueryResultCache, ResultCacheSnapshot, ResultMeta, ResultScope};
 use crate::rewrite::{lazy_rewrite, LocatorIndex, RewriteContext, RewriteReport};
 use crate::schema::{self, DATA_TABLE, FILES_TABLE, RECORDS_TABLE};
 use lazyetl_query::exec::{execute, ExecContext};
@@ -63,7 +63,9 @@ use lazyetl_query::optimizer::{
     coerce_timestamp_literals, fold_constants, optimize, optimize_with_cost,
 };
 use lazyetl_query::planner::{plan_select, TableSource};
-use lazyetl_query::{parse_select, CostModel, LogicalPlan};
+use lazyetl_query::{
+    classify, parse_select, CostModel, LogicalPlan, MaintKind, MaintPlan, Maintainability,
+};
 use lazyetl_repo::{AccessProfile, FileEntry, FileId, LazySource, RepoError, Repository};
 use lazyetl_store::{Catalog, Table};
 use std::collections::BTreeSet;
@@ -156,6 +158,12 @@ pub struct WarehouseConfig {
     /// Byte budget of the result recycler (only used when
     /// [`recycle_query_results`](Self::recycle_query_results) is on).
     pub result_cache_budget_bytes: usize,
+    /// Maintain recycled results incrementally across insert-only
+    /// refreshes (patch filter/project/aggregate results from the delta)
+    /// instead of dropping them. `false` is the E18 recompute baseline;
+    /// scoped invalidation (keeping entries whose tables/time windows the
+    /// delta provably misses) stays on either way.
+    pub maintain_recycled_results: bool,
     /// Worker threads for the extraction phase of lazy fetches (file
     /// granularity; experiment E10). `1` is the paper's sequential
     /// behaviour; higher values overlap decoding of independent files
@@ -184,6 +192,7 @@ impl Default for WarehouseConfig {
             use_cache: true,
             recycle_query_results: false,
             result_cache_budget_bytes: 64 << 20,
+            maintain_recycled_results: true,
             extraction_threads: 1,
             parallelism: 1,
             access: AccessProfile::local(),
@@ -299,6 +308,11 @@ pub struct WarehouseStats {
     /// Saved cache segments attached but not yet rehydrated (warm
     /// restarts only; 0 on cold opens and after first touch).
     pub pending_segments: usize,
+    /// Result-recycler counters (hits, misses, patches, scoped keeps, …).
+    /// All zero unless [`WarehouseConfig::recycle_query_results`] is on.
+    pub recycler: crate::qcache::ResultCacheStats,
+    /// Result-recycler resident entries.
+    pub recycler_entries: usize,
     /// Executor counters: rows scanned/pruned, vectorized batches and
     /// scalar fallbacks, cumulative across every query this warehouse ran.
     pub exec: lazyetl_query::ExecCounters,
@@ -963,6 +977,8 @@ impl Warehouse {
             cache_used_bytes: snap.used_bytes,
             cache_budget_bytes: snap.budget_bytes,
             pending_segments: self.cache.pending_segments(),
+            recycler: self.qcache.stats(),
+            recycler_entries: self.qcache.len(),
             exec: self.exec_metrics.snapshot(),
         }
     }
@@ -1092,13 +1108,30 @@ impl Warehouse {
         } else {
             None
         };
+        // Classify the plan for incremental maintenance / scoped
+        // invalidation; the class travels with the admitted entry.
+        let classification = fingerprint.as_ref().map(|_| classify(&plan));
+        let maint: Option<&MaintPlan> = match &classification {
+            Some(Maintainability::Maintainable(m)) if self.config.maintain_recycled_results => {
+                Some(m)
+            }
+            _ => None,
+        };
 
         // Run-time lazy rewrite (lazy mode only). The optimized plan is
         // kept aside: the rewrite replaces its scans with injected data,
         // and EXPLAIN's join-order/access report describes the plan as
         // chosen, not as materialized.
         let optimized_plan = cost_model.as_ref().map(|_| plan.clone());
-        let has_external = plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
+        // Maintainable plans execute in augmented form (AVG companions
+        // appended, the planner's top projection peeled) so the raw
+        // aggregate state can be cached alongside the visible result.
+        let run_plan = match maint {
+            Some(m) => m.exec_plan.clone(),
+            None => plan.clone(),
+        };
+        let has_external =
+            run_plan.any_node(&mut |n| matches!(n, LogicalPlan::ExternalScan { .. }));
         let final_plan = if self.mode == Mode::Lazy && has_external {
             let mut rewrite_report = RewriteReport::default();
             let mut stats = FetchStats::default();
@@ -1130,7 +1163,7 @@ impl Warehouse {
                     time_index_seek: self.config.time_index_seek,
                 };
                 let rewritten =
-                    lazy_rewrite(&plan, &ctx, &exec_meta, &mut fetch, &mut rewrite_report)?;
+                    lazy_rewrite(&run_plan, &ctx, &exec_meta, &mut fetch, &mut rewrite_report)?;
                 if rewrite_report.index_seek || rewrite_report.index_entries_examined > 0 {
                     self.exec_metrics.add_index_prune(
                         rewrite_report.index_seek,
@@ -1161,7 +1194,7 @@ impl Warehouse {
                 rewritten
             }
         } else {
-            plan
+            run_plan
         };
 
         // Cost the final plan *before* executing it (post-rewrite, so
@@ -1173,13 +1206,38 @@ impl Warehouse {
             .map(|r| r.round().max(0.0) as u64);
 
         // Execute.
-        let table = execute(
+        let state_table = execute(
             &final_plan,
             &ExecContext::new(&state.catalog)
                 .with_metrics(&self.exec_metrics)
                 .with_parallelism(self.config.parallelism),
         )
         .map_err(EtlError::Query)?;
+        // Maintainable aggregations executed in peeled form: re-apply the
+        // planner's top projection to produce the user-visible table (the
+        // raw state is cached for future delta merges).
+        let table = match maint.map(|m| &m.kind) {
+            Some(MaintKind::Aggregate {
+                post_project: Some(exprs),
+                ..
+            }) => {
+                let project = LogicalPlan::Project {
+                    input: Box::new(LogicalPlan::InlineData {
+                        label: "maintained-state".to_string(),
+                        table: state_table.clone(),
+                    }),
+                    exprs: exprs.clone(),
+                };
+                execute(
+                    &project,
+                    &ExecContext::new(&state.catalog)
+                        .with_metrics(&self.exec_metrics)
+                        .with_parallelism(self.config.parallelism),
+                )
+                .map_err(EtlError::Query)?
+            }
+            _ => state_table.clone(),
+        };
         if let (Some(model), Some(chosen)) = (&cost_model, &optimized_plan) {
             if let Some(est) = estimated {
                 self.exec_metrics.add_estimate(est, table.num_rows() as u64);
@@ -1196,8 +1254,38 @@ impl Warehouse {
             ));
         }
         if let Some(fp) = fingerprint {
+            let meta = match (&classification, maint) {
+                (_, Some(m)) => ResultMeta {
+                    tables: Some(m.tables.clone()),
+                    interval: crate::rewrite::sample_time_interval(&plan),
+                    scope: ResultScope::Maintainable {
+                        exec_plan: Arc::new(m.exec_plan.clone()),
+                        kind: m.kind.clone(),
+                        state: state_table.clone(),
+                    },
+                },
+                (Some(Maintainability::TimeScoped { tables }), _) => ResultMeta {
+                    tables: Some(tables.clone()),
+                    interval: crate::rewrite::sample_time_interval(&plan),
+                    scope: ResultScope::TimeScoped,
+                },
+                // Maintainable plan with maintenance disabled, or opaque:
+                // only the table-scope keep applies.
+                (Some(Maintainability::Maintainable(m)), None) => ResultMeta {
+                    tables: Some(m.tables.clone()),
+                    interval: (None, None),
+                    scope: ResultScope::Opaque,
+                },
+                (Some(Maintainability::Opaque), _) => ResultMeta {
+                    tables: Some(lazyetl_query::maintain::referenced_tables(&plan)),
+                    interval: (None, None),
+                    scope: ResultScope::Opaque,
+                },
+                (None, _) => ResultMeta::opaque(),
+            };
             let bytes = table.byte_size();
-            self.qcache.insert(fp, table.clone(), generation);
+            self.qcache
+                .insert_with_meta(fp, table.clone(), generation, meta);
             self.log.push(EtlOp::ResultRecycleAdmit {
                 rows: table.num_rows(),
                 bytes,
@@ -1399,6 +1487,7 @@ impl Warehouse {
         let mut summary = RefreshSummary::default();
         let mut removed_fids: Vec<i64> = Vec::new();
         let mut to_reload: Vec<String> = Vec::new();
+        let mut added_fids: Vec<i64> = Vec::new();
         let multi = state.mounts.len() > 1;
         for mi in 0..state.mounts.len() {
             // Capture the pre-rescan id mapping so removed files can be
@@ -1420,6 +1509,21 @@ impl Warehouse {
                     removed_fids.push(fid);
                 }
             }
+            // Added files got fresh ids during the rescan; capture them so
+            // the recycler's delta pass can isolate exactly the new rows.
+            if !change.added.is_empty() {
+                let post: std::collections::HashMap<&str, FileId> = state.mounts[mi]
+                    .source
+                    .files()
+                    .iter()
+                    .map(|e| (e.uri.as_str(), e.id))
+                    .collect();
+                for uri in &change.added {
+                    if let Some(&id) = post.get(uri.as_str()) {
+                        added_fids.push(global_file_id(mi, id)?);
+                    }
+                }
+            }
             let name = &state.mounts[mi].name;
             for uri in change.modified.iter().chain(&change.added) {
                 to_reload.push(if multi {
@@ -1435,7 +1539,8 @@ impl Warehouse {
             return Ok(summary);
         }
         // Recycled results were computed against the pre-change catalog.
-        self.generation.fetch_add(1, Ordering::AcqRel);
+        let prev_generation = self.generation.fetch_add(1, Ordering::AcqRel);
+        let new_generation = prev_generation + 1;
 
         // Purge removed files.
         for fid in removed_fids {
@@ -1453,8 +1558,168 @@ impl Warehouse {
 
         // Rebuild the locator index from the fresh R table.
         state.rebuild_index()?;
+
+        // Fold the delta into the result recycler: entries the change
+        // provably misses are kept, maintainable ones are patched from
+        // the delta rows, the rest fall back to recompute-on-next-query.
+        // A delta is insert-only when nothing was modified or removed
+        // (and every added file's id was captured above).
+        let insert_only =
+            summary.modified == 0 && summary.removed == 0 && added_fids.len() == summary.added;
+        self.apply_result_delta(
+            &state,
+            prev_generation,
+            new_generation,
+            insert_only,
+            &added_fids,
+        );
         summary.elapsed = t0.elapsed();
         Ok(summary)
+    }
+
+    /// Build the refresh's table-level deltas and fold them into the
+    /// result recycler (scoped keeps + incremental patches). Called under
+    /// the state write lock, after the catalog and index are rebuilt.
+    fn apply_result_delta(
+        &self,
+        state: &WarehouseState,
+        prev_generation: u64,
+        generation: u64,
+        insert_only: bool,
+        added_fids: &[i64],
+    ) {
+        if !self.config.recycle_query_results || self.qcache.is_empty() {
+            return;
+        }
+        // Every refresh touches the whole metadata/data family; entries
+        // over none of these (e.g. constant queries) are kept by the
+        // table-scope check.
+        let touched: Vec<String> = vec![
+            DATA_TABLE.to_string(),
+            FILES_TABLE.to_string(),
+            RECORDS_TABLE.to_string(),
+        ];
+        // Row-level deltas exist only for insert-only refreshes; other
+        // shapes still benefit from scoped invalidation.
+        let (f_delta, r_delta, interval) = if insert_only {
+            let fid_set: std::collections::HashSet<i64> = added_fids.iter().copied().collect();
+            let f = filter_by_fid(state.catalog.table(FILES_TABLE), &fid_set);
+            let r = filter_by_fid(state.catalog.table(RECORDS_TABLE), &fid_set);
+            let interval = r.as_ref().map_or((None, None), record_time_coverage);
+            (f, r, interval)
+        } else {
+            (None, None, (None, None))
+        };
+        self.log.push(EtlOp::RefreshDelta {
+            generation,
+            added_files: added_fids.len(),
+            added_records: r_delta.as_ref().map_or(0, |t| t.num_rows()),
+            insert_only,
+        });
+        let delta = crate::qcache::RefreshDelta {
+            prev_generation,
+            generation,
+            insert_only,
+            tables: &touched,
+            interval,
+        };
+        // The actual-data delta is extracted lazily, once, and only if a
+        // maintainable entry's plan really reads `D`.
+        let mut d_delta: Option<Arc<Table>> = None;
+        let mut d_failed = false;
+        let mut exec_cb = |p: &LogicalPlan| -> Option<Arc<Table>> {
+            let (f, r) = match (&f_delta, &r_delta) {
+                (Some(f), Some(r)) => (f.clone(), r.clone()),
+                _ => return None,
+            };
+            let needs_data = p.any_node(&mut |n| match n {
+                LogicalPlan::ExternalScan { .. } => true,
+                LogicalPlan::TableScan { table, .. } => table == DATA_TABLE,
+                _ => false,
+            });
+            if needs_data && d_delta.is_none() && !d_failed {
+                d_delta = self.extract_data_delta(state, added_fids);
+                d_failed = d_delta.is_none();
+            }
+            if needs_data && d_failed {
+                return None;
+            }
+            let d = d_delta.clone();
+            let inline = |label: &str, table: Arc<Table>| LogicalPlan::InlineData {
+                label: label.to_string(),
+                table,
+            };
+            let substituted = p.transform_up(&mut |n| match n {
+                LogicalPlan::TableScan { table, .. } if table == FILES_TABLE => {
+                    inline("files-delta", f.clone())
+                }
+                LogicalPlan::TableScan { table, .. } if table == RECORDS_TABLE => {
+                    inline("records-delta", r.clone())
+                }
+                LogicalPlan::TableScan { table, .. } if table == DATA_TABLE => inline(
+                    "data-delta",
+                    d.clone().expect("data delta materialized above"),
+                ),
+                LogicalPlan::ExternalScan { .. } => inline(
+                    "data-delta",
+                    d.clone().expect("data delta materialized above"),
+                ),
+                other => other,
+            });
+            let ctx = ExecContext::new(&state.catalog)
+                .with_metrics(&self.exec_metrics)
+                .with_parallelism(self.config.parallelism);
+            execute(&substituted, &ctx).ok()
+        };
+        let outcome =
+            self.qcache
+                .apply_delta(&delta, self.config.maintain_recycled_results, &mut exec_cb);
+        if outcome.kept > 0 {
+            self.log.push(EtlOp::ResultKeep {
+                bytes: outcome.kept_bytes,
+            });
+        }
+        if outcome.patched > 0 {
+            self.log.push(EtlOp::ResultPatch {
+                rows: outcome.patch_rows,
+            });
+        }
+        for reason in outcome.dropped {
+            self.log.push(EtlOp::ResultRecomputeFallback { reason });
+        }
+    }
+
+    /// Materialize the delta's `D` rows: eager mode filters the resident
+    /// data table; lazy mode extracts the added files' records through
+    /// the regular fetch pipeline (cache-admitted, source-accounted).
+    fn extract_data_delta(&self, state: &WarehouseState, added_fids: &[i64]) -> Option<Arc<Table>> {
+        match self.mode {
+            Mode::Eager => {
+                let fid_set: std::collections::HashSet<i64> = added_fids.iter().copied().collect();
+                filter_by_fid(state.catalog.table(DATA_TABLE), &fid_set)
+            }
+            Mode::Lazy => {
+                let mut pairs: Vec<(i64, i64)> = Vec::new();
+                for &fid in added_fids {
+                    for &seq in state.index.seqs_of_file(fid) {
+                        pairs.push((fid, seq));
+                    }
+                }
+                let mut stats = FetchStats::default();
+                fetch_pairs(
+                    state,
+                    &self.source_counters,
+                    &self.extractor,
+                    &self.cache,
+                    &self.log,
+                    self.config.use_cache,
+                    self.config.extraction_threads,
+                    &pairs,
+                    &mut stats,
+                )
+                .ok()
+            }
+        }
     }
 
     /// Reopen a warehouse from state persisted by
@@ -1782,6 +2047,44 @@ fn render_explain(
 /// file's reads go through its own mounted source; extraction work is
 /// costed under that source's access profile and tallied into its
 /// [`SourceCounters`].
+#[allow(clippy::too_many_arguments)]
+/// Rows of `table` whose `file_id` is in `fids` (`None` when the table or
+/// its `file_id` column is missing).
+fn filter_by_fid(
+    table: Option<&Table>,
+    fids: &std::collections::HashSet<i64>,
+) -> Option<Arc<Table>> {
+    let table = table?;
+    let col = table.column("file_id")?;
+    let mask: Vec<bool> = (0..table.num_rows())
+        .map(|i| {
+            col.get(i)
+                .ok()
+                .and_then(|v| v.as_i64())
+                .is_some_and(|fid| fids.contains(&fid))
+        })
+        .collect();
+    table.filter(&mask).ok().map(Arc::new)
+}
+
+/// `(min start_time, max end_time)` over an R-delta's rows — the record
+/// time coverage scoped invalidation compares entry windows against.
+fn record_time_coverage(table: &Arc<Table>) -> (Option<i64>, Option<i64>) {
+    let (Some(start), Some(end)) = (table.column("start_time"), table.column("end_time")) else {
+        return (None, None);
+    };
+    let (mut lo, mut hi) = (None, None);
+    for i in 0..table.num_rows() {
+        if let Some(t) = start.get(i).ok().and_then(|v| v.as_i64()) {
+            lo = Some(lo.map_or(t, |c: i64| c.min(t)));
+        }
+        if let Some(t) = end.get(i).ok().and_then(|v| v.as_i64()) {
+            hi = Some(hi.map_or(t, |c: i64| c.max(t)));
+        }
+    }
+    (lo, hi)
+}
+
 #[allow(clippy::too_many_arguments)]
 fn fetch_pairs(
     state: &WarehouseState,

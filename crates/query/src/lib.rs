@@ -36,6 +36,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod maintain;
 pub mod metrics;
 pub mod optimizer;
 pub mod parser;
@@ -49,6 +50,7 @@ pub use cost::{CostModel, TableCost};
 pub use error::{QueryError, Result};
 pub use exec::{execute, ExecContext, ExternalTableProvider};
 pub use expr::{AggFunc, BinaryOp, Expr, UnaryOp};
+pub use maintain::{classify, MaintKind, MaintPlan, Maintainability, MergeSpec};
 pub use metrics::{ExecCounters, ExecMetrics};
 pub use optimizer::{optimize, optimize_with_cost, predicates_above};
 pub use parser::{parse, parse_select};

@@ -11,7 +11,7 @@
 //! 3 assertion mismatch (`mix --expect`).
 
 use lazyetl_core::{FIGURE1_Q1, FIGURE1_Q2, METADATA_QUERY};
-use lazyetl_server::{Client, QueryReply, ServerReply};
+use lazyetl_server::{Client, QueryReply, ServerReply, SubscribeReply};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -28,6 +28,11 @@ fn usage() -> &'static str {
      \n\
      commands:\n\
        query \"SQL\" [--delay-ms N]   run one query, print rows + metrics\n\
+       follow \"SQL\" [--updates N]   subscribe (live tail): print the\n\
+                                    result now and again on every server\n\
+                                    refresh; stop after N revisions\n\
+                                    (default: run until the server ends\n\
+                                    the subscription)\n\
        mix [--rounds N] [--expect A,B,C]\n\
                                     run the Figure-1 mix; --expect asserts\n\
                                     the q1,q2,metadata row counts\n\
@@ -143,6 +148,57 @@ fn run() -> Result<(), (u8, String)> {
                 QueryReply::Error { code, message } => Err((1, format!("{code}: {message}"))),
             };
             outcome
+        }
+        "follow" => {
+            let sql = rest
+                .get(1)
+                .cloned()
+                .ok_or((2, "follow needs SQL".to_string()))?;
+            let updates: Option<u32> = match rest.iter().position(|a| a == "--updates") {
+                Some(p) => Some(
+                    rest.get(p + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or((2, "--updates needs an integer".to_string()))?,
+                ),
+                None => None,
+            };
+            let mut client = connect(&addr).map_err(|m| (1, m))?;
+            let mut sub = match client.subscribe(&sql).map_err(|e| (1, e.to_string()))? {
+                SubscribeReply::Subscription(sub) => sub,
+                SubscribeReply::Busy {
+                    queue_depth,
+                    queued,
+                    ..
+                } => {
+                    return Err((
+                        1,
+                        format!("server busy: {queued} queued (depth {queue_depth})"),
+                    ))
+                }
+                SubscribeReply::Error { code, message } => {
+                    return Err((1, format!("{code}: {message}")))
+                }
+            };
+            const PRINT_CAP: usize = 20;
+            loop {
+                match sub.next_update() {
+                    Ok(Some(table)) => {
+                        println!(
+                            "update={} rows={}",
+                            sub.updates().saturating_sub(1),
+                            table.num_rows()
+                        );
+                        println!("{}", table.to_ascii(PRINT_CAP));
+                        if updates.is_some_and(|n| sub.updates() >= n) {
+                            sub.cancel().map_err(|e| (1, e.to_string()))?;
+                            break;
+                        }
+                    }
+                    Ok(None) => break, // server drain ended the tail
+                    Err(e) => return Err((1, e.to_string())),
+                }
+            }
+            Ok(())
         }
         "mix" => {
             let rounds: usize = match rest.iter().position(|a| a == "--rounds") {

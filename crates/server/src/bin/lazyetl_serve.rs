@@ -64,6 +64,8 @@ struct Args {
     ready_file: Option<PathBuf>,
     eager: bool,
     no_auto_refresh: bool,
+    refresh_ms: Option<u64>,
+    recycle_results: bool,
 }
 
 fn usage() -> &'static str {
@@ -90,7 +92,13 @@ fn usage() -> &'static str {
                           write it on graceful shutdown\n\
        --ready-file PATH  write the bound address here once listening\n\
        --eager            open the warehouse eagerly (baseline mode)\n\
-       --no-auto-refresh  skip the per-query repository rescan"
+       --no-auto-refresh  skip the per-query repository rescan\n\
+       --refresh-ms N     poll the repository every N ms server-side and\n\
+                          push updated results to live-tail subscribers\n\
+                          (default off)\n\
+       --recycle-results  keep finished query results resident and patch\n\
+                          them in place from refresh deltas (the O(delta)\n\
+                          path behind live-tail pushes; default off)"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -109,6 +117,8 @@ fn parse_args() -> Result<Args, String> {
         ready_file: None,
         eager: false,
         no_auto_refresh: false,
+        refresh_ms: None,
+        recycle_results: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -195,6 +205,18 @@ fn parse_args() -> Result<Args, String> {
                 args.no_auto_refresh = true;
                 i += 1;
             }
+            "--refresh-ms" => {
+                args.refresh_ms = Some(
+                    value(&argv, i, "--refresh-ms")?
+                        .parse()
+                        .map_err(|_| "--refresh-ms needs an integer".to_string())?,
+                );
+                i += 2;
+            }
+            "--recycle-results" => {
+                args.recycle_results = true;
+                i += 1;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -236,6 +258,7 @@ fn main() -> ExitCode {
     let config = WarehouseConfig {
         auto_refresh: !args.no_auto_refresh,
         parallelism: args.parallelism.max(1),
+        recycle_query_results: args.recycle_results,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -328,6 +351,7 @@ fn main() -> ExitCode {
             max_outbuf_bytes: args.max_outbuf_kib.max(1) * 1024,
             cost_budget_rows: args.cost_budget_rows,
             save_dir: args.save_dir.clone(),
+            refresh_interval: args.refresh_ms.map(Duration::from_millis),
             ..Default::default()
         },
     ) {

@@ -45,7 +45,7 @@
 
 use crate::protocol::{
     frame_bytes_checked, read_frame, Frame, ProtoError, WireMetrics, DEFAULT_MAX_REQUEST,
-    DEFAULT_MAX_RESPONSE, MAX_VERSION,
+    DEFAULT_MAX_RESPONSE, MAX_VERSION, VERSION_V2_1,
 };
 use lazyetl_store::Table;
 use std::collections::BTreeMap;
@@ -95,6 +95,32 @@ pub enum QueryReply<'a> {
     /// The cursor opened: pull batches from the stream.
     Stream(QueryStream<'a>),
     /// Admission control rejected the query; retry later.
+    Busy {
+        /// The server's configured queue depth.
+        queue_depth: u32,
+        /// Jobs queued when the request was rejected.
+        queued: u32,
+        /// The planner's row estimate for the rejected query (0 = not
+        /// estimated).
+        estimated_rows: u64,
+        /// The server's admission cost budget (0 = queue-depth-only).
+        cost_budget: u64,
+    },
+    /// The server answered with an error frame.
+    Error {
+        /// Stable machine-readable code.
+        code: String,
+        /// Rendered message.
+        message: String,
+    },
+}
+
+/// What the server answered to a subscribe request
+/// ([`Client::subscribe`], protocol v2.1).
+pub enum SubscribeReply<'a> {
+    /// The subscription opened: pull result revisions from it.
+    Subscription(Subscription<'a>),
+    /// Admission control rejected the initial query; retry later.
     Busy {
         /// The server's configured queue depth.
         queue_depth: u32,
@@ -291,11 +317,14 @@ impl Client {
     }
 
     /// Consume the tail of a dropped-mid-stream cursor so the
-    /// connection is clean for the next request.
+    /// connection is clean for the next request. A dropped subscription
+    /// may have revision batches and `SubUpdate` boundaries in flight;
+    /// both are skipped until the cancelled `ResultEnd` lands.
     fn drain_pending(&mut self) -> Result<(), ClientError> {
         while let Some(cursor) = self.pending_drain {
             match self.recv()? {
                 Frame::ResultBatch { cursor: c, .. } if c == cursor => {}
+                Frame::SubUpdate { cursor: c, .. } if c == cursor => {}
                 Frame::ResultEnd { cursor: c, .. } if c == cursor => {
                     self.pending_drain = None;
                 }
@@ -461,6 +490,61 @@ impl Client {
                 }
                 reply => return Ok((reply, busy)),
             }
+        }
+    }
+
+    /// Open a live-tail subscription (protocol v2.1): the query runs
+    /// once, streams its result, and then *stays open* — every time the
+    /// server folds repository changes in ([`ServerConfig::refresh_interval`]
+    /// or query-triggered auto-refresh), the updated result is pushed as
+    /// a new revision. The push is O(delta) server-side when the resident
+    /// recycled result was patched incrementally.
+    ///
+    /// Fails with `client.unexpected` on connections below v2.1 (v1
+    /// clients and pre-subscription v2 servers keep working unchanged —
+    /// they simply cannot subscribe).
+    ///
+    /// [`ServerConfig::refresh_interval`]: crate::ServerConfig::refresh_interval
+    pub fn subscribe(&mut self, sql: &str) -> Result<SubscribeReply<'_>, ClientError> {
+        self.drain_pending()?;
+        if self.version < VERSION_V2_1 {
+            return Err(ClientError::Unexpected(format!(
+                "subscriptions need protocol v2.1; this connection negotiated v{}",
+                self.version
+            )));
+        }
+        let cursor = self.next_cursor;
+        self.next_cursor = self.next_cursor.wrapping_add(1).max(1);
+        self.send(&Frame::Subscribe {
+            cursor,
+            sql: sql.to_string(),
+        })?;
+        match self.recv()? {
+            Frame::ResultStart {
+                cursor: c,
+                metrics,
+                schema,
+            } if c == cursor => Ok(SubscribeReply::Subscription(Subscription {
+                cursor,
+                metrics,
+                schema: Arc::try_unwrap(schema).unwrap_or_else(|shared| (*shared).clone()),
+                updates: 0,
+                done: false,
+                client: self,
+            })),
+            Frame::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            } => Ok(SubscribeReply::Busy {
+                queue_depth,
+                queued,
+                estimated_rows,
+                cost_budget,
+            }),
+            Frame::Error { code, message } => Ok(SubscribeReply::Error { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
     }
 
@@ -649,5 +733,111 @@ impl Iterator for QueryStream<'_> {
 
     fn next(&mut self) -> Option<Self::Item> {
         self.next_batch().transpose()
+    }
+}
+
+/// A live-tail subscription ([`Client::subscribe`]): a long-lived cursor
+/// whose result is re-pushed as a fresh revision every time the server's
+/// warehouse generation moves. Each revision streams as credit-gated
+/// batches (same flow control as [`QueryStream`]) and ends with a
+/// `SubUpdate` boundary frame instead of `ResultEnd` — the cursor
+/// survives until [`Subscription::cancel`], drop, or server drain.
+pub struct Subscription<'a> {
+    client: &'a mut Client,
+    cursor: u32,
+    metrics: WireMetrics,
+    schema: Table,
+    updates: u32,
+    done: bool,
+}
+
+impl Subscription<'_> {
+    /// What the *initial* query cost server-side.
+    pub fn metrics(&self) -> WireMetrics {
+        self.metrics
+    }
+
+    /// Zero-row table carrying the result schema.
+    pub fn schema(&self) -> &Table {
+        &self.schema
+    }
+
+    /// Revisions received so far (the initial snapshot counts as one).
+    pub fn updates(&self) -> u32 {
+        self.updates
+    }
+
+    /// Block until the next full result revision arrives, granting the
+    /// server one credit per consumed batch. The first call returns the
+    /// initial snapshot; later calls block until a refresh changes the
+    /// warehouse generation and the server pushes the updated result.
+    /// `Ok(None)` once the subscription ended (cancelled or server
+    /// drain).
+    pub fn next_update(&mut self) -> Result<Option<Table>, ClientError> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut out = self.schema.clone();
+        loop {
+            match self.client.recv()? {
+                Frame::ResultBatch { cursor, table, .. } if cursor == self.cursor => {
+                    // Credit *after* receiving — the keeping-up signal.
+                    self.client.send(&Frame::Credit { cursor, n: 1 })?;
+                    out.append_table(&table)
+                        .map_err(|e| ClientError::Unexpected(format!("batch append: {e}")))?;
+                }
+                Frame::SubUpdate { cursor, .. } if cursor == self.cursor => {
+                    self.updates += 1;
+                    return Ok(Some(out));
+                }
+                Frame::ResultEnd { cursor, .. } if cursor == self.cursor => {
+                    self.done = true;
+                    return Ok(None);
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+
+    /// Cancel the subscription and synchronously drain to the server's
+    /// acknowledgement — in-flight revision batches and `SubUpdate`
+    /// boundaries are discarded. Idempotent; a no-op once ended.
+    pub fn cancel(&mut self) -> Result<(), ClientError> {
+        if self.done {
+            return Ok(());
+        }
+        self.client.send(&Frame::Cancel {
+            cursor: self.cursor,
+        })?;
+        loop {
+            match self.client.recv()? {
+                Frame::ResultBatch { cursor, .. } if cursor == self.cursor => {}
+                Frame::SubUpdate { cursor, .. } if cursor == self.cursor => {}
+                Frame::ResultEnd { cursor, .. } if cursor == self.cursor => {
+                    self.done = true;
+                    return Ok(());
+                }
+                other => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            }
+        }
+    }
+}
+
+impl Drop for Subscription<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Best-effort abort; the tail is drained lazily by the next
+        // request on this connection (drain_pending skips SubUpdate).
+        if self
+            .client
+            .send(&Frame::Cancel {
+                cursor: self.cursor,
+            })
+            .is_ok()
+        {
+            self.client.pending_drain = Some(self.cursor);
+        }
     }
 }

@@ -8,8 +8,12 @@
 //! * [`protocol`] — the length-prefixed, versioned, typed wire frames.
 //!   Protocol **v2** streams results as credit-gated record-batch frames
 //!   over client-chosen cursors (`Hello` handshake, `ResultStart` /
-//!   `ResultBatch` / `ResultEnd` / `Credit` / `Cancel`); v1 peers are
-//!   still served whole-frame results, bit for bit;
+//!   `ResultBatch` / `ResultEnd` / `Credit` / `Cancel`); **v2.1** adds
+//!   live-tail subscriptions (`Subscribe` / `SubUpdate`): a long-lived
+//!   cursor whose result is re-pushed as a new revision whenever a
+//!   repository refresh moves the warehouse generation — O(delta) per
+//!   subscriber when the recycler patched the resident result. v1 peers
+//!   are still served whole-frame results, bit for bit;
 //! * [`server`] — an **event-driven connection layer**: one poller
 //!   thread owns every connection on nonblocking sockets (connection
 //!   count bounded by memory, not threads), parses frames incrementally,
@@ -67,6 +71,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, QueryReply, QueryStream, ServedResult, ServerReply};
+pub use client::{
+    Client, ClientError, QueryReply, QueryStream, ServedResult, ServerReply, SubscribeReply,
+    Subscription,
+};
 pub use protocol::{Frame, ProtoError, WireMetrics};
 pub use server::{Server, ServerConfig, ServerStats, ShutdownReport};

@@ -45,6 +45,8 @@
 //! | 0x10 | [`Frame::ResultEnd`]   | s → c | v2 | `u32` cursor, `u32` batches, `u64` rows, `u8` cancelled |
 //! | 0x11 | [`Frame::Credit`]      | c → s | v2 | `u32` cursor, `u32` batches granted |
 //! | 0x12 | [`Frame::Cancel`]      | c → s | v2 | `u32` cursor |
+//! | 0x13 | [`Frame::Subscribe`]   | c → s | v2.1 | `u32` cursor id, SQL utf-8 |
+//! | 0x14 | [`Frame::SubUpdate`]   | s → c | v2.1 | `u32` cursor, `u32` update seq, `u64` rows in this revision |
 //!
 //! All integers are big-endian. Both [`crate::server`] and
 //! [`crate::client`] use the same encode/decode pair; direction is a
@@ -68,6 +70,23 @@
 //! natural end of stream — a non-cancelled `ResultEnd` for the same
 //! cursor is the benign outcome of that race).
 //!
+//! # Live-tail subscriptions (protocol v2.1)
+//!
+//! A v2.1 connection (both peers `Hello`-negotiated version ≥ 3) may open
+//! a **long-lived cursor** with `Subscribe`. The server answers exactly
+//! like a streamed query — `ResultStart` then credit-gated `ResultBatch`
+//! frames — but ends each result *revision* with a [`Frame::SubUpdate`]
+//! instead of `ResultEnd`, and keeps the cursor open. Whenever a
+//! warehouse refresh lands (and the result recycler patched or recomputed
+//! the underlying result — see `lazyetl_core::qcache`), the server
+//! re-runs the subscription — an O(delta) recycler hit in the common
+//! insert-only case — and pushes the updated result as another run of
+//! `ResultBatch` frames closed by the next `SubUpdate`. Credit,
+//! backpressure and `Cancel` are exactly the v2 machinery: a subscriber
+//! that stops reading suspends its subscription server-side, and `Cancel`
+//! (or connection close, or server drain) ends it with a cancelled
+//! `ResultEnd`.
+//!
 //! Error frames carry a **stable machine-readable code** (see
 //! [`lazyetl_core::EtlError::code`] for warehouse errors and the
 //! `proto.*` / `server.*` families defined by the serving layer) plus the
@@ -86,8 +105,11 @@ pub const VERSION: u8 = 1;
 /// Protocol version that introduced streamed result cursors. Carried on
 /// the v2-only frame types.
 pub const VERSION_V2: u8 = 2;
+/// Protocol version that introduced live-tail subscriptions
+/// (`Subscribe`/`SubUpdate`). Carried on the v2.1-only frame types.
+pub const VERSION_V2_1: u8 = 3;
 /// Highest protocol revision this build speaks.
-pub const MAX_VERSION: u8 = VERSION_V2;
+pub const MAX_VERSION: u8 = VERSION_V2_1;
 /// Bytes before the payload: magic + version + type + length.
 pub const HEADER_LEN: usize = 8;
 /// Default cap on a *request* payload accepted by the server — and, since
@@ -116,6 +138,8 @@ const TYPE_RESULT_BATCH: u8 = 0x0F;
 const TYPE_RESULT_END: u8 = 0x10;
 const TYPE_CREDIT: u8 = 0x11;
 const TYPE_CANCEL: u8 = 0x12;
+const TYPE_SUBSCRIBE: u8 = 0x13;
+const TYPE_SUB_UPDATE: u8 = 0x14;
 
 /// Per-request serving metrics, returned inside every result frame so
 /// clients see what their query cost without a second round trip.
@@ -317,6 +341,27 @@ pub enum Frame {
         /// The cursor to abort.
         cursor: u32,
     },
+    /// Open a long-lived subscription cursor (protocol v2.1): the server
+    /// streams the current result, then pushes an updated result run
+    /// whenever a warehouse refresh changes it, each revision closed by a
+    /// [`Frame::SubUpdate`]. Ended by `Cancel` / connection close / drain.
+    Subscribe {
+        /// Client-chosen cursor id (same id space as `QueryV2` cursors).
+        cursor: u32,
+        /// The SQL text the subscription tails.
+        sql: String,
+    },
+    /// End of one pushed result revision on a subscription cursor. The
+    /// cursor stays open; the next revision starts with the next
+    /// `ResultBatch`.
+    SubUpdate {
+        /// The subscription cursor.
+        cursor: u32,
+        /// Revision sequence number, 0-based (0 = the initial result).
+        update: u32,
+        /// Rows in this revision (the full refreshed result, not a diff).
+        rows: u64,
+    },
 }
 
 /// Protocol-level failures (distinct from in-band [`Frame::Error`]s).
@@ -402,6 +447,8 @@ fn type_byte(frame: &Frame) -> u8 {
         Frame::ResultEnd { .. } => TYPE_RESULT_END,
         Frame::Credit { .. } => TYPE_CREDIT,
         Frame::Cancel { .. } => TYPE_CANCEL,
+        Frame::Subscribe { .. } => TYPE_SUBSCRIBE,
+        Frame::SubUpdate { .. } => TYPE_SUB_UPDATE,
     }
 }
 
@@ -409,6 +456,7 @@ fn type_byte(frame: &Frame) -> u8 {
 /// can parse it. v1 peers never receive (or send) a frame stamped 2.
 fn version_byte(frame: &Frame) -> u8 {
     match frame {
+        Frame::Subscribe { .. } | Frame::SubUpdate { .. } => VERSION_V2_1,
         Frame::Hello { .. }
         | Frame::HelloAck { .. }
         | Frame::QueryV2 { .. }
@@ -506,6 +554,19 @@ pub fn frame_bytes(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
             payload.extend_from_slice(&n.to_be_bytes());
         }
         Frame::Cancel { cursor } => payload.extend_from_slice(&cursor.to_be_bytes()),
+        Frame::Subscribe { cursor, sql } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(sql.as_bytes());
+        }
+        Frame::SubUpdate {
+            cursor,
+            update,
+            rows,
+        } => {
+            payload.extend_from_slice(&cursor.to_be_bytes());
+            payload.extend_from_slice(&update.to_be_bytes());
+            payload.extend_from_slice(&rows.to_be_bytes());
+        }
         Frame::Stats | Frame::Ping | Frame::Pong | Frame::Shutdown | Frame::ShutdownAck => {}
     }
     // The length field is u32; a larger payload must fail loudly here,
@@ -724,6 +785,25 @@ fn decode_payload(ftype: u8, payload: &[u8]) -> Result<Frame, ProtoError> {
                 cursor: u32_at(payload, 0, "cancel")?,
             })
         }
+        TYPE_SUBSCRIBE => {
+            if payload.len() < 4 {
+                return Err(ProtoError::Malformed("subscribe frame too short".into()));
+            }
+            Ok(Frame::Subscribe {
+                cursor: u32_at(payload, 0, "subscribe")?,
+                sql: str_from(&payload[4..], "sql")?,
+            })
+        }
+        TYPE_SUB_UPDATE => {
+            if payload.len() < 16 {
+                return Err(ProtoError::Malformed("sub-update frame too short".into()));
+            }
+            Ok(Frame::SubUpdate {
+                cursor: u32_at(payload, 0, "sub-update")?,
+                update: u32_at(payload, 4, "sub-update")?,
+                rows: u64_at(payload, 8, "sub-update")?,
+            })
+        }
         other => Err(ProtoError::BadType(other)),
     }
 }
@@ -887,6 +967,15 @@ mod tests {
             },
             Frame::Credit { cursor: 7, n: 2 },
             Frame::Cancel { cursor: 7 },
+            Frame::Subscribe {
+                cursor: 9,
+                sql: "SELECT COUNT(*) FROM mseed.records".into(),
+            },
+            Frame::SubUpdate {
+                cursor: 9,
+                update: 4,
+                rows: 123_456,
+            },
         ];
         for f in frames {
             assert_eq!(roundtrip(f.clone()), f);
@@ -902,6 +991,19 @@ mod tests {
         // A v1-only decoder (version must equal 1) would reject the v2
         // frame at the header — which is exactly why the server never
         // sends one before a Hello negotiated the upgrade.
+        let v21 = frame_bytes(&Frame::SubUpdate {
+            cursor: 1,
+            update: 0,
+            rows: 0,
+        })
+        .unwrap();
+        assert_eq!(v21[2], VERSION_V2_1);
+        let v21 = frame_bytes(&Frame::Subscribe {
+            cursor: 1,
+            sql: "SELECT 1".into(),
+        })
+        .unwrap();
+        assert_eq!(v21[2], VERSION_V2_1);
     }
 
     #[test]

@@ -119,6 +119,12 @@ pub struct ServerConfig {
     /// Snapshot directory for the graceful-shutdown save; `None` skips
     /// the save.
     pub save_dir: Option<PathBuf>,
+    /// Poll the repository for changes this often ([`Warehouse::refresh`]
+    /// on the serving side), waking live-tail subscriptions when the
+    /// warehouse generation moves. `None` disables server-driven refresh
+    /// — subscriptions then only advance when a query triggers
+    /// auto-refresh.
+    pub refresh_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +138,7 @@ impl Default for ServerConfig {
             max_outbuf_bytes: 256 * 1024,
             cost_budget_rows: None,
             save_dir: None,
+            refresh_interval: None,
         }
     }
 }
@@ -157,6 +164,9 @@ struct Counters {
     batches_streamed: AtomicU64,
     credit_stalls: AtomicU64,
     outbuf_hwm_bytes: AtomicU64,
+    subscriptions_opened: AtomicU64,
+    sub_updates_pushed: AtomicU64,
+    refreshes_applied: AtomicU64,
 }
 
 /// Point-in-time copy of the serving counters.
@@ -199,6 +209,15 @@ pub struct ServerStats {
     /// outbound bytes — the memory-ceiling observable: with v2 streaming
     /// it stays `O(batch)` no matter how large the result.
     pub outbuf_hwm_bytes: u64,
+    /// Live-tail subscriptions opened (v2.1 `Subscribe` frames that
+    /// produced a result).
+    pub subscriptions_opened: u64,
+    /// `SubUpdate` frames pushed — one per result revision delivered to
+    /// a subscriber (the initial snapshot included).
+    pub sub_updates_pushed: u64,
+    /// Server-driven [`Warehouse::refresh`] rounds that folded at least
+    /// one repository change in.
+    pub refreshes_applied: u64,
 }
 
 impl ServerStats {
@@ -239,6 +258,9 @@ struct Job {
     token: u64,
     /// `Some` = v2 streamed cursor; `None` = v1 whole-frame reply.
     cursor: Option<u32>,
+    /// This job (re-)runs a v2.1 live-tail subscription: its completion
+    /// opens (or refreshes) a long-lived cursor instead of a one-shot one.
+    subscribe: bool,
     /// Set by `Cancel` (or connection death on v2): the worker skips the
     /// query entirely if it has not started yet.
     cancel: Arc<AtomicBool>,
@@ -252,6 +274,10 @@ enum Done {
     Ok {
         metrics: WireMetrics,
         table: Arc<Table>,
+        /// Warehouse generation observed **before** execution — the
+        /// conservative watermark for subscription wakeups (a refresh
+        /// racing the query re-triggers a push instead of being missed).
+        generation: u64,
     },
     Err {
         code: String,
@@ -264,6 +290,9 @@ enum Done {
 struct Completion {
     token: u64,
     cursor: Option<u32>,
+    /// The SQL of a subscription job (`None` for one-shot queries) — kept
+    /// so the poller can re-run the subscription on later refreshes.
+    subscribe_sql: Option<String>,
     done: Done,
 }
 
@@ -419,6 +448,9 @@ impl Shared {
             batches_streamed: g(&c.batches_streamed),
             credit_stalls: g(&c.credit_stalls),
             outbuf_hwm_bytes: g(&c.outbuf_hwm_bytes),
+            subscriptions_opened: g(&c.subscriptions_opened),
+            sub_updates_pushed: g(&c.sub_updates_pushed),
+            refreshes_applied: g(&c.refreshes_applied),
         }
     }
 
@@ -449,6 +481,9 @@ impl Shared {
             ("server.batches_streamed", s.batches_streamed),
             ("server.credit_stalls", s.credit_stalls),
             ("server.outbuf_hwm_bytes", s.outbuf_hwm_bytes),
+            ("server.subscriptions_opened", s.subscriptions_opened),
+            ("server.sub_updates_pushed", s.sub_updates_pushed),
+            ("server.refreshes_applied", s.refreshes_applied),
             ("server.workers", self.cfg.workers as u64),
             ("server.queue_depth", self.cfg.queue_depth as u64),
             ("server.batch_rows", self.cfg.batch_rows as u64),
@@ -470,6 +505,26 @@ impl Shared {
             ("warehouse.cache_evictions", w.cache.evictions),
             ("warehouse.segments_loaded", w.cache.segments_loaded),
             ("warehouse.pending_segments", w.pending_segments as u64),
+            ("warehouse.recycler_entries", w.recycler_entries as u64),
+            ("warehouse.recycler_hits", w.recycler.hits),
+            ("warehouse.recycler_misses", w.recycler.misses),
+            (
+                "warehouse.recycler_results_patched",
+                w.recycler.results_patched,
+            ),
+            (
+                "warehouse.recycler_patch_rows_applied",
+                w.recycler.patch_rows_applied,
+            ),
+            (
+                "warehouse.recycler_recompute_fallbacks",
+                w.recycler.recompute_fallbacks,
+            ),
+            (
+                "warehouse.recycler_bytes_saved_estimate",
+                w.recycler.bytes_saved_estimate,
+            ),
+            ("warehouse.recycler_results_kept", w.recycler.results_kept),
             ("warehouse.rows_scanned", w.exec.rows_scanned),
             ("warehouse.rows_pruned", w.exec.rows_pruned),
             ("warehouse.vectorized_batches", w.exec.vectorized_batches),
@@ -552,6 +607,7 @@ fn worker_loop(shared: &Shared) {
             .push(Completion {
                 token: job.token,
                 cursor: job.cursor,
+                subscribe_sql: job.subscribe.then(|| job.sql.clone()),
                 done,
             });
         if job.cost > 0 {
@@ -580,6 +636,10 @@ fn run_job(shared: &Shared, job: &Job) -> Done {
     }
     let t0 = Instant::now();
     let c = &shared.counters;
+    // Read the generation before executing: a refresh landing mid-query
+    // makes the watermark stale, which re-pushes a subscription once too
+    // often — never too rarely.
+    let generation = shared.wh.generation();
     match shared.wh.query(&job.sql) {
         Ok(out) => {
             let exec = t0.elapsed();
@@ -605,6 +665,7 @@ fn run_job(shared: &Shared, job: &Job) -> Done {
             Done::Ok {
                 metrics,
                 table: out.table,
+                generation,
             }
         }
         Err(e) => {
@@ -626,6 +687,23 @@ struct Cursor {
     seq: u32,
     /// True while suspended on zero credit (so one stall counts once).
     stalled: bool,
+    /// `Some` = long-lived v2.1 subscription; the cursor survives the end
+    /// of each result revision and re-runs when the generation moves.
+    sub: Option<SubState>,
+}
+
+/// The long-lived half of a subscription cursor.
+struct SubState {
+    /// The SQL re-run on every refresh (a recycler hit — O(delta) when
+    /// the resident result was patched incrementally).
+    sql: String,
+    /// Next revision sequence number for the `SubUpdate` boundary frame.
+    update: u32,
+    /// Warehouse generation the current revision reflects.
+    generation: u64,
+    /// The current revision streamed fully; waiting for the generation to
+    /// move before re-running.
+    drained: bool,
 }
 
 /// A v2 query admitted but not yet completed by a worker.
@@ -634,6 +712,10 @@ struct Inflight {
     /// The client cancelled while the query was queued/running; the
     /// completion turns into a cancelled `ResultEnd`.
     cancelled: bool,
+    /// The cancel was already answered with a `ResultEnd` (an open
+    /// subscription cursor cancelled while its refresh re-run was in
+    /// flight); the completion is discarded silently.
+    cancel_acked: bool,
 }
 
 /// Per-connection outbound queue: encoded frames waiting for the socket
@@ -746,6 +828,7 @@ fn poller_loop(listener: TcpListener, shared: &Arc<Shared>) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut next_token: u64 = 0;
     let mut drain_deadline: Option<Instant> = None;
+    let mut last_refresh = Instant::now();
     loop {
         let mut progress = false;
         let draining = shared.is_shutdown();
@@ -757,6 +840,37 @@ fn poller_loop(listener: TcpListener, shared: &Arc<Shared>) {
             }
             if drain_deadline.is_none() {
                 drain_deadline = Some(Instant::now() + DRAIN_DEADLINE);
+            }
+            // Subscriptions never exhaust on their own; drain ends them
+            // with a cancelled ResultEnd so the quiescence check can pass.
+            for conn in conns.values_mut() {
+                let subs: Vec<u32> = conn
+                    .cursors
+                    .iter()
+                    .filter(|(_, c)| c.sub.is_some())
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in subs {
+                    let cur = conn.cursors.remove(&id).expect("cursor vanished");
+                    shared.counters.cursors_open.fetch_sub(1, Ordering::Relaxed);
+                    conn.push(
+                        &Frame::ResultEnd {
+                            cursor: id,
+                            batches: cur.seq,
+                            rows: cur.next_row as u64,
+                            cancelled: true,
+                        },
+                        &shared.counters,
+                    );
+                    // A refresh re-run still in flight must not reopen
+                    // the cursor when its completion posts.
+                    if let Some(inflight) = conn.inflight.get_mut(&id) {
+                        inflight.cancel.store(true, Ordering::Release);
+                        inflight.cancelled = true;
+                        inflight.cancel_acked = true;
+                    }
+                    progress = true;
+                }
             }
         }
 
@@ -847,6 +961,76 @@ fn poller_loop(listener: TcpListener, shared: &Arc<Shared>) {
             }
         }
 
+        // 3b. Server-driven refresh + subscription wakeups. The refresh
+        // runs inline on the poller (it is the only writer the serving
+        // side has); subscriptions whose revision is behind the new
+        // generation re-enqueue their SQL — a recycler hit whose resident
+        // result was patched incrementally, i.e. O(delta) per subscriber.
+        if !draining {
+            if let Some(interval) = shared.cfg.refresh_interval {
+                if last_refresh.elapsed() >= interval {
+                    last_refresh = Instant::now();
+                    if let Ok(summary) = shared.wh.refresh() {
+                        if !summary.is_noop() {
+                            shared
+                                .counters
+                                .refreshes_applied
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            let gen_now = shared.wh.generation();
+            for (&token, conn) in conns.iter_mut() {
+                let mut wake: Vec<(u32, String)> = Vec::new();
+                for (&id, cur) in conn.cursors.iter() {
+                    if conn.inflight.contains_key(&id) {
+                        continue; // re-run already queued/running
+                    }
+                    if let Some(sub) = cur.sub.as_ref() {
+                        if sub.drained && sub.generation < gen_now {
+                            wake.push((id, sub.sql.clone()));
+                        }
+                    }
+                }
+                for (id, sql) in wake {
+                    let cancel = Arc::new(AtomicBool::new(false));
+                    let enqueued = {
+                        let mut q = shared.queue.lock().expect("queue poisoned");
+                        // Same invariant as try_admit: push only while a
+                        // worker is guaranteed alive to drain it.
+                        if shared.is_shutdown() {
+                            false
+                        } else {
+                            q.push_back(Job {
+                                sql,
+                                delay_ms: 0,
+                                enqueued: Instant::now(),
+                                token,
+                                cursor: Some(id),
+                                subscribe: true,
+                                cancel: Arc::clone(&cancel),
+                                cost: 0,
+                            });
+                            true
+                        }
+                    };
+                    if enqueued {
+                        shared.job_ready.notify_one();
+                        conn.inflight.insert(
+                            id,
+                            Inflight {
+                                cancel,
+                                cancelled: false,
+                                cancel_acked: false,
+                            },
+                        );
+                        progress = true;
+                    }
+                }
+            }
+        }
+
         // 4. Pump cursors (credit- and outbuf-gated), then flush sockets.
         for (&token, conn) in conns.iter_mut() {
             pump_cursors(shared, conn);
@@ -928,6 +1112,7 @@ fn try_admit(
     cursor: Option<u32>,
     sql: String,
     delay_ms: u32,
+    subscribe: bool,
     cancel: Arc<AtomicBool>,
 ) -> Admit {
     // Cost the query before taking the queue lock (planning is pure
@@ -980,6 +1165,7 @@ fn try_admit(
         enqueued: Instant::now(),
         token,
         cursor,
+        subscribe,
         cancel,
         cost,
     });
@@ -1007,7 +1193,7 @@ fn handle_frame(shared: &Shared, token: u64, conn: &mut Conn, frame: Frame, drai
             );
         }
         Frame::Query { delay_ms, sql } => {
-            admit_or_reject(shared, token, conn, None, sql, delay_ms, draining)
+            admit_or_reject(shared, token, conn, None, sql, delay_ms, false, draining)
         }
         Frame::QueryV2 {
             cursor,
@@ -1031,7 +1217,37 @@ fn handle_frame(shared: &Shared, token: u64, conn: &mut Conn, frame: Frame, drai
                     counters,
                 );
             } else {
-                admit_or_reject(shared, token, conn, Some(cursor), sql, delay_ms, draining)
+                admit_or_reject(
+                    shared,
+                    token,
+                    conn,
+                    Some(cursor),
+                    sql,
+                    delay_ms,
+                    false,
+                    draining,
+                )
+            }
+        }
+        Frame::Subscribe { cursor, sql } => {
+            if conn.version < crate::protocol::VERSION_V2_1 {
+                conn.push(
+                    &Frame::Error {
+                        code: "proto.unexpected".into(),
+                        message: "Subscribe before a v2.1 Hello handshake".into(),
+                    },
+                    counters,
+                );
+            } else if conn.cursors.contains_key(&cursor) || conn.inflight.contains_key(&cursor) {
+                conn.push(
+                    &Frame::Error {
+                        code: "server.cursor".into(),
+                        message: format!("cursor {cursor} is already in use"),
+                    },
+                    counters,
+                );
+            } else {
+                admit_or_reject(shared, token, conn, Some(cursor), sql, 0, true, draining)
             }
         }
         Frame::Credit { cursor, n } => {
@@ -1053,6 +1269,16 @@ fn handle_frame(shared: &Shared, token: u64, conn: &mut Conn, frame: Frame, drai
                     },
                     counters,
                 );
+                // A subscription's refresh re-run may still be in flight;
+                // flag it so the completion is discarded (the cancel is
+                // answered right here).
+                if cur.sub.is_some() {
+                    if let Some(inflight) = conn.inflight.get_mut(&cursor) {
+                        inflight.cancel.store(true, Ordering::Release);
+                        inflight.cancelled = true;
+                        inflight.cancel_acked = true;
+                    }
+                }
             } else if let Some(inflight) = conn.inflight.get_mut(&cursor) {
                 // Queued or executing: flag it (a queued job is skipped
                 // outright) and acknowledge when the completion posts.
@@ -1085,6 +1311,7 @@ fn handle_frame(shared: &Shared, token: u64, conn: &mut Conn, frame: Frame, drai
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn admit_or_reject(
     shared: &Shared,
     token: u64,
@@ -1092,6 +1319,7 @@ fn admit_or_reject(
     cursor: Option<u32>,
     sql: String,
     delay_ms: u32,
+    subscribe: bool,
     draining: bool,
 ) {
     let counters = &shared.counters;
@@ -1106,7 +1334,15 @@ fn admit_or_reject(
         return;
     }
     let cancel = Arc::new(AtomicBool::new(false));
-    match try_admit(shared, token, cursor, sql, delay_ms, Arc::clone(&cancel)) {
+    match try_admit(
+        shared,
+        token,
+        cursor,
+        sql,
+        delay_ms,
+        subscribe,
+        Arc::clone(&cancel),
+    ) {
         Admit::Admitted => {
             if let Some(id) = cursor {
                 conn.inflight.insert(
@@ -1114,6 +1350,7 @@ fn admit_or_reject(
                     Inflight {
                         cancel,
                         cancelled: false,
+                        cancel_acked: false,
                     },
                 );
             }
@@ -1148,36 +1385,63 @@ fn admit_or_reject(
 }
 
 /// Route one worker completion to its connection: v1 gets the whole
-/// result frame, v2 opens a cursor (or acknowledges its cancellation).
+/// result frame, v2 opens a cursor (or acknowledges its cancellation),
+/// a v2.1 subscription opens a long-lived cursor or — on a refresh
+/// re-run — swaps the new revision into the live cursor.
 fn deliver_completion(shared: &Shared, conn: &mut Conn, comp: Completion) {
     let counters = &shared.counters;
     match comp.cursor {
         None => match comp.done {
-            Done::Ok { metrics, table } => conn.push(&Frame::Result { metrics, table }, counters),
+            Done::Ok { metrics, table, .. } => {
+                conn.push(&Frame::Result { metrics, table }, counters)
+            }
             Done::Err { code, message } => conn.push(&Frame::Error { code, message }, counters),
             Done::Skipped => {} // v1 jobs are never cancelled
         },
         Some(cursor) => {
-            let cancelled = conn
-                .inflight
-                .remove(&cursor)
-                .map(|f| f.cancelled || f.cancel.load(Ordering::Acquire))
-                .unwrap_or(false);
+            let (cancelled, cancel_acked) = match conn.inflight.remove(&cursor) {
+                Some(f) => (
+                    f.cancelled || f.cancel.load(Ordering::Acquire),
+                    f.cancel_acked,
+                ),
+                None => (false, false),
+            };
             match comp.done {
                 _ if cancelled => {
                     // Cancelled while queued/executing: the result (if
-                    // any) is discarded; acknowledge the cancel.
-                    conn.push(
-                        &Frame::ResultEnd {
-                            cursor,
-                            batches: 0,
-                            rows: 0,
-                            cancelled: true,
-                        },
-                        counters,
-                    );
+                    // any) is discarded; acknowledge the cancel — unless
+                    // the `Cancel` handler already did.
+                    if !cancel_acked {
+                        conn.push(
+                            &Frame::ResultEnd {
+                                cursor,
+                                batches: 0,
+                                rows: 0,
+                                cancelled: true,
+                            },
+                            counters,
+                        );
+                    }
                 }
-                Done::Ok { metrics, table } => {
+                Done::Ok {
+                    metrics,
+                    table,
+                    generation,
+                } => {
+                    if comp.subscribe_sql.is_some() && conn.cursors.contains_key(&cursor) {
+                        // Refresh re-run landing on the live subscription
+                        // cursor: swap the revision in and resume batching
+                        // under the same cursor — no new ResultStart, the
+                        // SubUpdate boundary frame delimits revisions.
+                        let cur = conn.cursors.get_mut(&cursor).expect("checked above");
+                        cur.table = table;
+                        cur.next_row = 0;
+                        if let Some(sub) = cur.sub.as_mut() {
+                            sub.generation = generation;
+                            sub.drained = false;
+                        }
+                        return;
+                    }
                     // Schema travels on ResultStart as a zero-row slice,
                     // so even an empty result tells the client its shape.
                     let schema = match table.slice(0, 0) {
@@ -1195,6 +1459,17 @@ fn deliver_completion(shared: &Shared, conn: &mut Conn, comp: Completion) {
                     };
                     counters.cursors_opened.fetch_add(1, Ordering::Relaxed);
                     counters.cursors_open.fetch_add(1, Ordering::Relaxed);
+                    let sub = comp.subscribe_sql.map(|sql| {
+                        counters
+                            .subscriptions_opened
+                            .fetch_add(1, Ordering::Relaxed);
+                        SubState {
+                            sql,
+                            update: 0,
+                            generation,
+                            drained: false,
+                        }
+                    });
                     conn.push(
                         &Frame::ResultStart {
                             cursor,
@@ -1211,24 +1486,43 @@ fn deliver_completion(shared: &Shared, conn: &mut Conn, comp: Completion) {
                             credit: shared.cfg.initial_credit,
                             seq: 0,
                             stalled: false,
+                            sub,
                         },
                     );
                 }
-                Done::Err { code, message } => conn.push(&Frame::Error { code, message }, counters),
+                Done::Err { code, message } => {
+                    conn.push(&Frame::Error { code, message }, counters);
+                    // An erroring refresh re-run ends the subscription:
+                    // the cursor cannot advance past a failed revision.
+                    if let Some(cur) = conn.cursors.remove(&cursor) {
+                        counters.cursors_open.fetch_sub(1, Ordering::Relaxed);
+                        conn.push(
+                            &Frame::ResultEnd {
+                                cursor,
+                                batches: cur.seq,
+                                rows: cur.next_row as u64,
+                                cancelled: true,
+                            },
+                            counters,
+                        );
+                    }
+                }
                 Done::Skipped => {
                     // Skipped without a recorded cancel only happens when
                     // the connection died and was reborn — impossible
                     // (tokens are unique) — or a cancel raced delivery;
                     // either way a cancelled end is the honest answer.
-                    conn.push(
-                        &Frame::ResultEnd {
-                            cursor,
-                            batches: 0,
-                            rows: 0,
-                            cancelled: true,
-                        },
-                        counters,
-                    );
+                    if !cancel_acked {
+                        conn.push(
+                            &Frame::ResultEnd {
+                                cursor,
+                                batches: 0,
+                                rows: 0,
+                                cancelled: true,
+                            },
+                            counters,
+                        );
+                    }
                 }
             }
         }
@@ -1247,10 +1541,32 @@ fn pump_cursors(shared: &Shared, conn: &mut Conn) {
         // can be queued (updating `out.bytes`) as they are sliced — the
         // ceiling check must see every byte already produced this tick.
         let mut cur = conn.cursors.remove(&id).expect("cursor vanished");
+        if cur.sub.as_ref().is_some_and(|s| s.drained) {
+            // Fully-streamed subscription revision: parked until the
+            // warehouse generation moves and the wakeup re-runs it.
+            conn.cursors.insert(id, cur);
+            continue;
+        }
         let mut finished = false;
         loop {
             let total = cur.table.num_rows();
             if cur.next_row >= total {
+                if let Some(sub) = cur.sub.as_mut() {
+                    // A subscription revision ends with SubUpdate, not
+                    // ResultEnd: the cursor stays open for the next one.
+                    conn.push(
+                        &Frame::SubUpdate {
+                            cursor: id,
+                            update: sub.update,
+                            rows: cur.next_row as u64,
+                        },
+                        counters,
+                    );
+                    sub.update += 1;
+                    sub.drained = true;
+                    counters.sub_updates_pushed.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 conn.push(
                     &Frame::ResultEnd {
                         cursor: id,

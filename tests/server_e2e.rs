@@ -7,8 +7,11 @@ mod common;
 
 use common::{figure1_repo, FIGURE1_Q1, FIGURE1_Q2};
 use lazyetl::core::{Warehouse, WarehouseConfig, METADATA_QUERY};
+use lazyetl::mseed::record::SourceId;
+use lazyetl::mseed::Timestamp;
+use lazyetl::repo::{updates, Repository};
 use lazyetl::server::protocol::{self, Frame};
-use lazyetl::server::{Client, QueryReply, Server, ServerConfig, ServerReply};
+use lazyetl::server::{Client, QueryReply, Server, ServerConfig, ServerReply, SubscribeReply};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
@@ -73,7 +76,11 @@ fn served_results_match_serial_eager_baseline() {
             let baseline = &baseline;
             s.spawn(move || {
                 let mut client = Client::connect(addr).unwrap();
-                assert_eq!(client.protocol_version(), 2, "handshake negotiates v2");
+                assert_eq!(
+                    client.protocol_version(),
+                    protocol::MAX_VERSION,
+                    "handshake negotiates the newest version"
+                );
                 for round in 0..3 {
                     for (i, sql) in mix.iter().enumerate() {
                         let got = expect_rows(&mut client, sql);
@@ -456,7 +463,7 @@ fn v1_client_is_served_whole_frame_by_v2_server() {
 
     // A v2 peer on the same server sees identical rows, streamed.
     let mut new = Client::connect(addr).unwrap();
-    assert_eq!(new.protocol_version(), 2);
+    assert_eq!(new.protocol_version(), protocol::MAX_VERSION);
     for (i, sql) in mix.iter().enumerate() {
         assert_eq!(
             expect_rows(&mut new, sql),
@@ -697,4 +704,166 @@ fn cost_budget_rejects_wide_scans_with_estimate_in_busy_frame() {
     let report = server.stop().unwrap();
     assert_eq!(report.stats.cost_rejections, 1);
     assert!(report.stats.busy_rejections >= 1);
+}
+
+/// Open a live-tail subscription or die trying.
+fn expect_subscription<'a>(client: &'a mut Client, sql: &str) -> lazyetl::server::Subscription<'a> {
+    match client.subscribe(sql).expect("transport ok") {
+        SubscribeReply::Subscription(sub) => sub,
+        SubscribeReply::Busy { queued, .. } => panic!("busy ({queued} queued) for {sql:?}"),
+        SubscribeReply::Error { code, message } => panic!("{code}: {message} for {sql:?}"),
+    }
+}
+
+#[test]
+fn subscription_pushes_updated_result_after_refresh() {
+    let repo = figure1_repo("srv_subscribe", 512);
+    let cfg = WarehouseConfig {
+        auto_refresh: false,
+        recycle_query_results: true,
+        ..Default::default()
+    };
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, cfg).unwrap());
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            refresh_interval: Some(Duration::from_millis(20)),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    let sql = "SELECT COUNT(*) FROM mseed.records";
+    let mut client = Client::connect(addr).unwrap();
+    let mut sub = expect_subscription(&mut client, sql);
+    let snapshot = sub.next_update().unwrap().expect("initial snapshot");
+    assert_eq!(snapshot.num_rows(), 1);
+
+    // Change the repository behind the server's back: the poller's
+    // refresh timer folds it in and pushes the new revision — the K
+    // pollers of the paper's workflow become one O(delta) push.
+    let mut raw = Repository::open(repo.root.clone()).unwrap();
+    let src = SourceId::new("NL", "HGN", "", "BHZ").unwrap();
+    updates::add_file(
+        &mut raw,
+        &src,
+        Timestamp::from_ymd_hms(2010, 1, 12, 23, 30, 0, 0),
+        10,
+        0xF01,
+    )
+    .unwrap();
+
+    let revision = sub.next_update().unwrap().expect("pushed revision");
+    assert_eq!(revision.num_rows(), 1);
+    assert_ne!(
+        revision.to_ascii(10),
+        snapshot.to_ascii(10),
+        "the push reflects the inserted records"
+    );
+    drop(sub);
+
+    // Pushed revision ≡ what a fresh query against the same server sees.
+    let mut verify = Client::connect(addr).unwrap();
+    let requeried = expect_rows(&mut verify, sql);
+    assert_eq!(revision.to_ascii(10), requeried.to_ascii(10));
+
+    // The subscription re-run was served from the patched resident
+    // result, not a recompute — the tentpole's O(delta) claim.
+    let recycler = wh.stats_snapshot().recycler;
+    assert!(
+        recycler.results_patched >= 1,
+        "refresh patched the subscribed result: {recycler:?}"
+    );
+
+    let report = server.stop().unwrap();
+    assert!(report.stats.subscriptions_opened >= 1);
+    assert!(
+        report.stats.sub_updates_pushed >= 2,
+        "initial snapshot + refresh push: {:?}",
+        report.stats
+    );
+    assert!(report.stats.refreshes_applied >= 1);
+    assert_eq!(report.stats.cursors_open, 0, "drain freed the cursor");
+}
+
+#[test]
+fn subscription_cancel_mid_push_frees_cursor() {
+    let repo = figure1_repo("srv_sub_cancel", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    // Tiny batches + credit 1: the wide scan cannot finish its initial
+    // revision before the cancel lands mid-stream.
+    let server = start_server(
+        Arc::clone(&wh),
+        ServerConfig {
+            batch_rows: 64,
+            initial_credit: 1,
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    let mut client = Client::connect(addr).unwrap();
+    let mut sub = expect_subscription(&mut client, WIDE_SCAN);
+    sub.cancel().expect("cancel drains to the server's ack");
+    drop(sub);
+    wait_for(&server, "cursor freed", |s| s.cursors_open == 0);
+
+    // The connection is clean: a normal query works right after.
+    let t = expect_rows(&mut client, FIGURE1_Q1);
+    assert!(t.num_rows() > 0);
+
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.cursors_open, 0);
+    assert!(report.stats.subscriptions_opened >= 1);
+}
+
+#[test]
+fn subscription_ends_cleanly_on_server_drain() {
+    let repo = figure1_repo("srv_sub_drain", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut sub = expect_subscription(&mut client, FIGURE1_Q2);
+    let initial = sub.next_update().unwrap().expect("initial snapshot");
+    assert!(initial.num_rows() > 0);
+
+    // Drain while the subscription idles: the server ends the tail with
+    // a cancelled ResultEnd instead of hanging shutdown on it.
+    server.request_shutdown();
+    assert!(
+        sub.next_update().unwrap().is_none(),
+        "drain ends the subscription"
+    );
+    let report = server.stop().unwrap();
+    assert_eq!(report.stats.cursors_open, 0);
+}
+
+#[test]
+fn subscribe_rejected_below_v2_1() {
+    let repo = figure1_repo("srv_sub_v1", 512);
+    let wh = Arc::new(Warehouse::open_lazy(&repo.root, quiet_config()).unwrap());
+    let server = start_server(Arc::clone(&wh), ServerConfig::default());
+
+    // The v1 client refuses locally — it never negotiated subscriptions.
+    let mut old = Client::connect_v1(server.addr()).unwrap();
+    assert!(old.subscribe(FIGURE1_Q1).is_err());
+    // The connection is still perfectly usable for v1 queries.
+    assert!(expect_rows(&mut old, FIGURE1_Q1).num_rows() > 0);
+
+    // A raw Subscribe frame without any handshake gets the stable
+    // protocol error from the server side.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let bytes = protocol::frame_bytes(&Frame::Subscribe {
+        cursor: 1,
+        sql: FIGURE1_Q1.to_string(),
+    })
+    .unwrap();
+    stream.write_all(&bytes).unwrap();
+    match protocol::read_frame(&mut stream, protocol::DEFAULT_MAX_RESPONSE).unwrap() {
+        Frame::Error { code, .. } => assert_eq!(code, "proto.unexpected"),
+        other => panic!("expected proto.unexpected, got {other:?}"),
+    }
+
+    server.stop().unwrap();
 }

@@ -122,6 +122,23 @@ GATES = {
         floor=(),
         monotone=None,
     ),
+    # E18 fresh-data polling: the deterministic schedule (rounds, pollers,
+    # polls) and the recycler's patch accounting must not drift; the
+    # actual bar — incremental strictly beating recompute on the same
+    # host, patches landing only in incremental mode, answers agreeing —
+    # lives in the custom block below. Timings get the loose ceiling.
+    "e18": dict(
+        key=("mode",),
+        only={},
+        equal=(
+            "rounds", "pollers", "polls", "results_patched",
+            "patch_rows_applied", "recompute_fallbacks", "results_match",
+        ),
+        faster=(),
+        slower=(("total_us", 4.0),),
+        floor=(),
+        monotone=None,
+    ),
     "e16": dict(
         key=("source",),
         only={},
@@ -316,6 +333,34 @@ def gate_experiment(exp, current_doc, baseline_doc, scale, failures, notes):
                     "e17: seek and sweep disagree on extraction counts — the index "
                     "changed pruning decisions instead of only accelerating them"
                 )
+
+    if exp == "e18":
+        by_mode = {r.get("mode"): r for r in current_doc["rows"]}
+        missing = [m for m in ("incremental", "recompute") if m not in by_mode]
+        if missing:
+            failures.append(f"e18: mode rows missing from current run: {missing}")
+        else:
+            incr, recomp = by_mode["incremental"], by_mode["recompute"]
+            for mode, row in by_mode.items():
+                if row.get("results_match") is not True:
+                    failures.append(f"e18[{mode}]: incremental and recompute answers diverged")
+            if incr.get("total_us", 0) >= recomp.get("total_us", 0):
+                failures.append(
+                    f"e18: incremental total {incr.get('total_us')}us did not beat "
+                    f"recompute's {recomp.get('total_us')}us on the same host"
+                )
+            else:
+                ratio = recomp.get("total_us", 1) / max(incr.get("total_us", 1), 1)
+                notes.append(f"e18: incremental {ratio:.1f}x faster than recompute ok")
+            if incr.get("results_patched", 0) < 1:
+                failures.append("e18[incremental]: the recycler never patched a resident result")
+            if incr.get("recompute_fallbacks", 0) != 0:
+                failures.append(
+                    "e18[incremental]: maintainable mix fell back to recompute — "
+                    "the delta classifier regressed"
+                )
+            if recomp.get("results_patched", 0) != 0:
+                failures.append("e18[recompute]: maintenance-disabled ablation still patched")
 
     if exp == "e14":
         admission = [r for r in current_doc["rows"] if r.get("phase") == "admission"]
